@@ -1,0 +1,548 @@
+//! A parser for a small AFL-style query language.
+//!
+//! SciDB queries are written in AFL, the functional syntax the paper
+//! shows in Query 1:
+//!
+//! ```text
+//! store(apply(join(SVIS, SSWIR), ndsi, ndsi_func(SVIS.reflectance, SSWIR.reflectance)), NDSI)
+//! ```
+//!
+//! This module parses that style of text into the [`Query`] builder.
+//! Supported operators:
+//!
+//! | syntax | meaning |
+//! |---|---|
+//! | `NAME` or `scan(NAME)` | read a stored array |
+//! | `regrid(q, j1, j2, agg)` | window aggregation (`avg/sum/min/max/count`) |
+//! | `subarray(q, lo1, hi1, lo2, hi2, …)` | half-open slices per dimension |
+//! | `join(q1, q2)` | cell-wise equi-join on dimensions |
+//! | `apply(q, new_attr, udf(attr, …))` | add a computed attribute |
+//! | `filter(q, attr op const)` | keep cells where the comparison holds (`< <= > >= = !=`) |
+//! | `store(q, NAME)` | persist the result under NAME |
+//!
+//! UDFs are looked up in a [`UdfRegistry`]; `ndsi` is built in.
+
+use crate::agg::AggFn;
+use crate::database::Database;
+use crate::dense::DenseArray;
+use crate::error::{ArrayError, Result};
+use crate::query::Query;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scalar user-defined function over attribute values.
+pub type ScalarUdf = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// Named scalar UDFs available to `apply(...)` expressions.
+#[derive(Clone)]
+pub struct UdfRegistry {
+    funcs: HashMap<String, ScalarUdf>,
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.funcs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("UdfRegistry").field("funcs", &names).finish()
+    }
+}
+
+impl Default for UdfRegistry {
+    /// Registry with the built-in functions: `ndsi(vis, swir)`,
+    /// `add`, `sub`, `mul`, `div` (all binary), and `neg`, `abs` (unary).
+    fn default() -> Self {
+        let mut r = Self {
+            funcs: HashMap::new(),
+        };
+        r.register("ndsi", |args| {
+            let (v, s) = (args[0], args[1]);
+            (v - s) / (v + s)
+        });
+        r.register("add", |args| args[0] + args[1]);
+        r.register("sub", |args| args[0] - args[1]);
+        r.register("mul", |args| args[0] * args[1]);
+        r.register("div", |args| args[0] / args[1]);
+        r.register("neg", |args| -args[0]);
+        r.register("abs", |args| args[0].abs());
+        r
+    }
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            funcs: HashMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a UDF.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    {
+        self.funcs.insert(name.into(), Arc::new(f));
+    }
+
+    /// Looks up a UDF.
+    pub fn get(&self, name: &str) -> Option<ScalarUdf> {
+        self.funcs.get(name).cloned()
+    }
+}
+
+/// Parses AFL text into a [`Query`] using the default UDF registry.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] with a position-annotated message on
+/// any syntax error.
+pub fn parse(text: &str) -> Result<Query> {
+    parse_with(text, &UdfRegistry::default())
+}
+
+/// Parses AFL text with a custom UDF registry.
+///
+/// # Errors
+/// As [`parse`].
+pub fn parse_with(text: &str, udfs: &UdfRegistry) -> Result<Query> {
+    let tokens = lex(text)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        udfs,
+    };
+    let q = p.expr()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+/// Parses and executes in one step.
+///
+/// # Errors
+/// Parse errors or execution errors.
+pub fn execute(text: &str, db: &Database) -> Result<Arc<DenseArray>> {
+    parse(text)?.execute(db)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Op(String),
+    /// Qualified identifier like `SVIS.reflectance`.
+    Qualified(String),
+}
+
+fn lex(text: &str) -> Result<Vec<(Token, usize)>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '(' => {
+                out.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, i));
+                i += 1;
+            }
+            '<' | '>' | '=' | '!' => {
+                let start = i;
+                i += 1;
+                if i < bytes.len() && bytes[i] == '=' {
+                    i += 1;
+                }
+                let op: String = bytes[start..i].iter().collect();
+                if op == "!" {
+                    return Err(err_at("expected != operator", start));
+                }
+                out.push((Token::Op(op), start));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '-' || bytes[i] == '+')
+                            && matches!(bytes[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let raw: String = bytes[start..i].iter().collect();
+                let n: f64 = raw
+                    .parse()
+                    .map_err(|_| err_at(&format!("bad number {raw}"), start))?;
+                out.push((Token::Number(n), start));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                let mut qualified = false;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    if bytes[i] == '.' {
+                        qualified = true;
+                    }
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                out.push((
+                    if qualified {
+                        Token::Qualified(ident)
+                    } else {
+                        Token::Ident(ident)
+                    },
+                    start,
+                ));
+            }
+            other => return Err(err_at(&format!("unexpected character {other:?}"), i)),
+        }
+    }
+    Ok(out)
+}
+
+fn err_at(msg: &str, pos: usize) -> ArrayError {
+    ArrayError::InvalidArgument(format!("AFL parse error at byte {pos}: {msg}"))
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    udfs: &'a UdfRegistry,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |(_, p)| *p)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        let here = self.here();
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            other => Err(err_at(&format!("expected {want:?}, found {other:?}"), here)),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(err_at("trailing tokens after query", self.here()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let here = self.here();
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(err_at(&format!("expected identifier, found {other:?}"), here)),
+        }
+    }
+
+    fn attr_name(&mut self) -> Result<String> {
+        let here = self.here();
+        match self.next() {
+            Some(Token::Ident(s)) | Some(Token::Qualified(s)) => Ok(s),
+            other => Err(err_at(&format!("expected attribute, found {other:?}"), here)),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let here = self.here();
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(err_at(&format!("expected number, found {other:?}"), here)),
+        }
+    }
+
+    fn usize_arg(&mut self) -> Result<usize> {
+        let here = self.here();
+        let n = self.number()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(err_at(&format!("expected non-negative integer, got {n}"), here));
+        }
+        Ok(n as usize)
+    }
+
+    fn expr(&mut self) -> Result<Query> {
+        let here = self.here();
+        let head = self.ident()?;
+        // Bare identifier = scan.
+        if self.peek() != Some(&Token::LParen) {
+            return Ok(Query::scan(head));
+        }
+        self.expect(&Token::LParen)?;
+        let q = match head.as_str() {
+            "scan" => {
+                let name = self.ident()?;
+                Query::scan(name)
+            }
+            "regrid" => {
+                let input = self.expr()?;
+                let mut windows = Vec::new();
+                self.expect(&Token::Comma)?;
+                loop {
+                    match self.peek() {
+                        Some(Token::Number(_)) => {
+                            windows.push(self.usize_arg()?);
+                            self.expect(&Token::Comma)?;
+                        }
+                        _ => break,
+                    }
+                }
+                let agg_name = self.ident()?;
+                let agg = parse_agg(&agg_name)
+                    .ok_or_else(|| err_at(&format!("unknown aggregate {agg_name}"), here))?;
+                input.regrid(&windows, agg)
+            }
+            "subarray" => {
+                let input = self.expr()?;
+                let mut bounds = Vec::new();
+                while self.peek() == Some(&Token::Comma) {
+                    self.expect(&Token::Comma)?;
+                    bounds.push(self.usize_arg()?);
+                }
+                if bounds.is_empty() || bounds.len() % 2 != 0 {
+                    return Err(err_at("subarray needs lo,hi pairs per dimension", here));
+                }
+                let ranges: Vec<(usize, usize)> =
+                    bounds.chunks(2).map(|c| (c[0], c[1])).collect();
+                input.subarray(&ranges)
+            }
+            "join" => {
+                let left = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let right = self.expr()?;
+                left.join(right)
+            }
+            "apply" => {
+                let input = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let new_attr = self.ident()?;
+                self.expect(&Token::Comma)?;
+                let udf_name = self.ident()?;
+                self.expect(&Token::LParen)?;
+                let mut attrs = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    attrs.push(self.attr_name()?);
+                    while self.peek() == Some(&Token::Comma) {
+                        self.expect(&Token::Comma)?;
+                        attrs.push(self.attr_name()?);
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                let udf = self
+                    .udfs
+                    .get(&udf_name)
+                    .ok_or_else(|| err_at(&format!("unknown UDF {udf_name}"), here))?;
+                input.apply(new_attr, move |cell| {
+                    let vals: Vec<f64> = attrs
+                        .iter()
+                        .map(|a| cell.attr_by_name(a).unwrap_or(f64::NAN))
+                        .collect();
+                    udf(&vals)
+                })
+            }
+            "filter" => {
+                let input = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let attr = self.attr_name()?;
+                let op = match self.next() {
+                    Some(Token::Op(op)) => op,
+                    other => {
+                        return Err(err_at(
+                            &format!("expected comparison operator, found {other:?}"),
+                            here,
+                        ))
+                    }
+                };
+                let rhs = self.number()?;
+                input.filter(move |cell| {
+                    let v = cell.attr_by_name(&attr).unwrap_or(f64::NAN);
+                    match op.as_str() {
+                        "<" => v < rhs,
+                        "<=" => v <= rhs,
+                        ">" => v > rhs,
+                        ">=" => v >= rhs,
+                        "=" | "==" => v == rhs,
+                        "!=" => v != rhs,
+                        _ => false,
+                    }
+                })
+            }
+            "store" => {
+                let input = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let name = self.ident()?;
+                input.store(name)
+            }
+            other => return Err(err_at(&format!("unknown operator {other}"), here)),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(q)
+    }
+}
+
+fn parse_agg(name: &str) -> Option<AggFn> {
+    match name {
+        "avg" => Some(AggFn::Avg),
+        "sum" => Some(AggFn::Sum),
+        "min" => Some(AggFn::Min),
+        "max" => Some(AggFn::Max),
+        "count" => Some(AggFn::Count),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn db_with_bands() -> Database {
+        let db = Database::new();
+        let mk = |name: &str, vals: Vec<f64>| {
+            DenseArray::from_vec(
+                Schema::grid2d(name, 2, 2, &["reflectance"]).unwrap(),
+                vals,
+            )
+            .unwrap()
+        };
+        db.store("SVIS", mk("SVIS", vec![0.8, 0.5, 0.2, 0.6]));
+        db.store("SSWIR", mk("SSWIR", vec![0.2, 0.5, 0.8, 0.2]));
+        db
+    }
+
+    /// The paper's Query 1, parsed from its AFL text form.
+    #[test]
+    fn parses_and_runs_query1() {
+        let db = db_with_bands();
+        let out = execute(
+            "store(apply(join(SVIS, SSWIR), ndsi, ndsi(SVIS.reflectance, SSWIR.reflectance)), NDSI)",
+            &db,
+        )
+        .unwrap();
+        assert!((out.get("ndsi", &[0, 0]).unwrap().unwrap() - 0.6).abs() < 1e-12);
+        assert!(db.scan("NDSI").is_ok());
+    }
+
+    #[test]
+    fn bare_identifier_is_scan() {
+        let db = db_with_bands();
+        let out = execute("SVIS", &db).unwrap();
+        assert_eq!(out.schema().name, "SVIS");
+        let out2 = execute("scan(SVIS)", &db).unwrap();
+        assert_eq!(out2.shape(), out.shape());
+    }
+
+    #[test]
+    fn regrid_and_subarray_pipeline() {
+        let db = Database::new();
+        let data: Vec<f64> = (0..64).map(f64::from).collect();
+        db.store(
+            "G",
+            DenseArray::from_vec(Schema::grid2d("G", 8, 8, &["v"]).unwrap(), data).unwrap(),
+        );
+        let out = execute("subarray(regrid(G, 2, 2, avg), 0, 2, 0, 2)", &db).unwrap();
+        assert_eq!(out.shape(), vec![2, 2]);
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), Some(4.5));
+    }
+
+    #[test]
+    fn filter_comparisons() {
+        let db = db_with_bands();
+        for (query, expected) in [
+            ("filter(SVIS, reflectance >= 0.6, )", None), // trailing comma is an error
+            ("filter(SVIS, reflectance >= 0.6)", Some(2)),
+            ("filter(SVIS, reflectance < 0.5)", Some(1)),
+            ("filter(SVIS, reflectance != 0.5)", Some(3)),
+        ] {
+            match expected {
+                Some(n) => {
+                    let out = execute(query, &db).unwrap();
+                    assert_eq!(out.npresent(), n, "{query}");
+                }
+                None => assert!(execute(query, &db).is_err(), "{query}"),
+            }
+        }
+    }
+
+    #[test]
+    fn custom_udf_registry() {
+        let db = db_with_bands();
+        let mut udfs = UdfRegistry::empty();
+        udfs.register("brighten", |args| (args[0] * 2.0).min(1.0));
+        let q = parse_with("apply(SVIS, bright, brighten(reflectance))", &udfs).unwrap();
+        let out = q.execute(&db).unwrap();
+        assert_eq!(out.get("bright", &[0, 1]).unwrap(), Some(1.0));
+        // Unknown UDF rejected at parse time.
+        assert!(parse_with("apply(SVIS, x, nope(reflectance))", &udfs).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        for bad in [
+            "store(SVIS)",              // missing name
+            "regrid(SVIS, 2, 2, nope)", // unknown aggregate
+            "subarray(SVIS, 1)",        // odd bounds
+            "frobnicate(SVIS)",         // unknown operator
+            "scan(SVIS) extra",         // trailing tokens
+            "scan(SVIS",                // unbalanced paren
+            "apply(SVIS, 5, ndsi(a))",  // attr must be identifier
+            "@!",                       // garbage
+        ] {
+            let e = parse(bad).unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains("AFL parse error"), "{bad} → {msg}");
+        }
+    }
+
+    #[test]
+    fn numbers_lex_correctly() {
+        let db = Database::new();
+        db.store(
+            "T",
+            DenseArray::from_vec(
+                Schema::grid2d("T", 1, 2, &["v"]).unwrap(),
+                vec![1.5e2, -2.0],
+            )
+            .unwrap(),
+        );
+        let out = execute("filter(T, v > 1.0e1)", &db).unwrap();
+        assert_eq!(out.npresent(), 1);
+    }
+
+    #[test]
+    fn registry_debug_lists_names() {
+        let r = UdfRegistry::default();
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("ndsi"));
+        assert!(r.get("ndsi").is_some());
+        assert!(r.get("nope").is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Aggregate functions used by `regrid` to build zoom levels.
+//!
+//! The paper's tile-building process (§2.3) applies an aggregation query
+//! per zoom level; the MODIS NDSI dataset carries "maximum, minimum and
+//! average NDSI values" per cell, so the same set is supported here.
+
+/// An aggregate over the present cells of a regrid window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum of values.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of present cells.
+    Count,
+}
+
+impl AggFn {
+    /// Folds an iterator of values into the aggregate. Returns `None` when
+    /// the window has no present cells (the output cell is then empty),
+    /// except for `Count` which returns `Some(0.0)` only if at least one
+    /// cell was present — an all-empty window stays empty for every
+    /// aggregate, matching SciDB `regrid` semantics.
+    pub fn fold(self, values: impl Iterator<Item = f64>) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            return None;
+        }
+        Some(match self {
+            AggFn::Avg => sum / n as f64,
+            AggFn::Sum => sum,
+            AggFn::Min => min,
+            AggFn::Max => max,
+            AggFn::Count => n as f64,
+        })
+    }
+
+    /// Canonical lowercase name (as would appear in an AFL query).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Avg => "avg",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Count => "count",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_basic_aggregates() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggFn::Avg.fold(vals.iter().copied()), Some(2.5));
+        assert_eq!(AggFn::Sum.fold(vals.iter().copied()), Some(10.0));
+        assert_eq!(AggFn::Min.fold(vals.iter().copied()), Some(1.0));
+        assert_eq!(AggFn::Max.fold(vals.iter().copied()), Some(4.0));
+        assert_eq!(AggFn::Count.fold(vals.iter().copied()), Some(4.0));
+    }
+
+    #[test]
+    fn empty_window_yields_none_for_all() {
+        for f in [AggFn::Avg, AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Count] {
+            assert_eq!(f.fold(std::iter::empty()), None, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn single_value_window() {
+        assert_eq!(AggFn::Avg.fold([7.0].into_iter()), Some(7.0));
+        assert_eq!(AggFn::Min.fold([7.0].into_iter()), Some(7.0));
+        assert_eq!(AggFn::Max.fold([7.0].into_iter()), Some(7.0));
+        assert_eq!(AggFn::Count.fold([7.0].into_iter()), Some(1.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AggFn::Avg.name(), "avg");
+        assert_eq!(AggFn::Count.name(), "count");
+    }
+}

@@ -1,0 +1,177 @@
+//! A compact bit vector used for whole-cell validity (emptiness) masks.
+//!
+//! SciDB arrays distinguish *empty* cells from present cells; regridding a
+//! region with empty cells must skip them, and tiles cut from the border of
+//! a dataset may be partially empty. A `Vec<bool>` would use 8x the memory
+//! of this packed representation, which matters when every tile in a
+//! pyramid carries a mask.
+
+/// A packed, growable bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let nwords = len.div_ceil(64);
+        let mut v = Self {
+            words: vec![word; nwords],
+            len,
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `idx` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let idx = self.len - 1;
+        if value {
+            self.words[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Approximate heap footprint in bytes (used by the simulated disk to
+    /// charge transfer time).
+    pub fn nbytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Zeroes bits beyond `len` in the final word so `count_ones` stays
+    /// correct after `filled(len, true)`.
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_true_has_all_ones_and_clean_tail() {
+        let v = BitVec::filled(70, true);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 70);
+        assert!(v.all());
+    }
+
+    #[test]
+    fn filled_false_is_all_zero() {
+        let v = BitVec::filled(130, false);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.all());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::filled(100, false);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn push_and_collect() {
+        let v: BitVec = [true, false, true, true].into_iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::filled(8, false).get(8);
+    }
+
+    #[test]
+    fn nbytes_tracks_words() {
+        assert_eq!(BitVec::filled(64, true).nbytes(), 8);
+        assert_eq!(BitVec::filled(65, true).nbytes(), 16);
+        assert_eq!(BitVec::new().nbytes(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! A named-array catalog, the `store(...)`/`scan(...)` surface of the
+//! embedded DBMS.
+
+use crate::dense::DenseArray;
+use crate::error::{ArrayError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A catalog of named arrays. Cloning is cheap (shared state), so one
+/// `Database` can be handed to the query executor, the tile builder, and
+/// the middleware simultaneously.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    arrays: Arc<RwLock<HashMap<String, Arc<DenseArray>>>>,
+}
+
+impl Database {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `array` under `name` (SciDB `store(..., name)`), replacing
+    /// any existing array of that name.
+    pub fn store(&self, name: impl Into<String>, array: DenseArray) -> Arc<DenseArray> {
+        let name = name.into();
+        let arc = Arc::new(array.with_name(name.clone()));
+        self.arrays.write().insert(name, arc.clone());
+        arc
+    }
+
+    /// Stores `array` only if `name` is free.
+    ///
+    /// # Errors
+    /// [`ArrayError::AlreadyExists`] when the name is taken.
+    pub fn store_new(&self, name: impl Into<String>, array: DenseArray) -> Result<Arc<DenseArray>> {
+        let name = name.into();
+        let mut guard = self.arrays.write();
+        if guard.contains_key(&name) {
+            return Err(ArrayError::AlreadyExists(name));
+        }
+        let arc = Arc::new(array.with_name(name.clone()));
+        guard.insert(name, arc.clone());
+        Ok(arc)
+    }
+
+    /// Fetches the array named `name` (SciDB `scan(name)`).
+    ///
+    /// # Errors
+    /// [`ArrayError::NoSuchArray`] when absent.
+    pub fn scan(&self, name: &str) -> Result<Arc<DenseArray>> {
+        self.arrays
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArrayError::NoSuchArray(name.to_string()))
+    }
+
+    /// Drops the array named `name`; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.arrays.write().remove(name).is_some()
+    }
+
+    /// Sorted list of array names.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.arrays.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of stored arrays.
+    pub fn len(&self) -> usize {
+        self.arrays.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn small(name: &str) -> DenseArray {
+        DenseArray::filled(Schema::grid2d(name, 2, 2, &["v"]).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn store_scan_roundtrip() {
+        let db = Database::new();
+        db.store("A", small("tmp"));
+        let a = db.scan("A").unwrap();
+        assert_eq!(a.schema().name, "A");
+        assert!(db.scan("B").is_err());
+    }
+
+    #[test]
+    fn store_new_rejects_duplicates() {
+        let db = Database::new();
+        db.store_new("A", small("x")).unwrap();
+        assert!(matches!(
+            db.store_new("A", small("y")),
+            Err(ArrayError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let db = Database::new();
+        let db2 = db.clone();
+        db.store("A", small("a"));
+        assert!(db2.scan("A").is_ok());
+        assert!(db2.remove("A"));
+        assert!(db.scan("A").is_err());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let db = Database::new();
+        db.store("B", small("b"));
+        db.store("A", small("a"));
+        db.store("C", small("c"));
+        assert_eq!(db.list(), vec!["A", "B", "C"]);
+        assert_eq!(db.len(), 3);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,514 @@
+//! Array operators: `regrid`, `subarray`, `join`, `apply`, `filter`.
+//!
+//! These are the SciDB operators the paper relies on:
+//! * `regrid` with aggregation parameters `(j1, …, jd)` builds each
+//!   materialized zoom level (§2.3, Fig. 3);
+//! * `subarray` cuts a view into fixed-size data tiles (Fig. 4);
+//! * `join` + `apply` express Query 1, the NDSI UDF pipeline (§5.1.2).
+
+use crate::agg::AggFn;
+use crate::dense::{CellView, DenseArray};
+use crate::error::{ArrayError, Result};
+use crate::schema::Schema;
+
+/// Aggregates every `windows[i]`-sized window along each dimension into a
+/// single output cell (the paper's Fig. 3: a 16×16 array with parameters
+/// `(2,2)` becomes 8×8). Windows need not divide dimension lengths evenly;
+/// ragged edge windows aggregate whatever cells exist. Empty input cells
+/// are skipped; an all-empty window yields an empty output cell.
+///
+/// Every attribute is aggregated with the same function `f`, matching how
+/// the NDSI pyramid stores avg/min/max per level via separate calls.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] if `windows` has the wrong arity or a
+/// zero entry.
+pub fn regrid(input: &DenseArray, windows: &[usize], f: AggFn) -> Result<DenseArray> {
+    regrid_with(input, windows, &vec![f; input.schema().attrs.len()])
+}
+
+/// Like [`regrid`], but each attribute gets its own aggregate function
+/// (`aggs[i]` applies to attribute `i`). The MODIS NDSI dataset stores
+/// max/min/avg NDSI per cell, which aggregate with Max/Min/Avg
+/// respectively when building coarser zoom levels.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] on window arity/zero errors or when
+/// `aggs.len()` differs from the attribute count.
+pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Result<DenseArray> {
+    let schema = input.schema();
+    if aggs.len() != schema.attrs.len() {
+        return Err(ArrayError::InvalidArgument(format!(
+            "regrid_with expects {} aggregates, got {}",
+            schema.attrs.len(),
+            aggs.len()
+        )));
+    }
+    if windows.len() != schema.ndims() {
+        return Err(ArrayError::InvalidArgument(format!(
+            "regrid expects {} window sizes, got {}",
+            schema.ndims(),
+            windows.len()
+        )));
+    }
+    if windows.iter().any(|&w| w == 0) {
+        return Err(ArrayError::InvalidArgument(
+            "regrid window size must be >= 1".into(),
+        ));
+    }
+    let out_dims: Vec<(String, usize)> = schema
+        .dims
+        .iter()
+        .zip(windows)
+        .map(|(d, &w)| (d.name.clone(), d.len.div_ceil(w)))
+        .collect();
+    let out_schema = Schema::new(
+        format!("regrid({})", schema.name),
+        out_dims,
+        schema.attrs.iter().map(|a| a.name.clone()),
+    )?;
+
+    let mut out = DenseArray::empty(out_schema);
+    let out_shape = out.shape();
+    let in_shape = schema.shape();
+    let nattrs = schema.attrs.len();
+    let in_strides = schema.strides();
+
+    // Iterate output cells; for each, walk its input window.
+    let mut ocoords = vec![0usize; out_shape.len()];
+    let total: usize = out_shape.iter().product();
+    let mut values = vec![0.0f64; nattrs];
+    for oidx in 0..total {
+        // Window bounds in input space.
+        let lo: Vec<usize> = ocoords.iter().zip(windows).map(|(&c, &w)| c * w).collect();
+        let hi: Vec<usize> = lo
+            .iter()
+            .zip(windows)
+            .zip(&in_shape)
+            .map(|((&l, &w), &s)| (l + w).min(s))
+            .collect();
+
+        // Aggregate each attribute over present cells of the window.
+        let mut any_present = false;
+        for ai in 0..nattrs {
+            let vals = WindowIter::new(&lo, &hi, &in_strides).filter_map(|flat| {
+                input
+                    .valid_at(flat)
+                    .then(|| input.cell_view(flat).attr(ai))
+            });
+            match aggs[ai].fold(vals) {
+                Some(v) => {
+                    values[ai] = v;
+                    any_present = true;
+                }
+                None => values[ai] = f64::NAN,
+            }
+        }
+        if any_present {
+            out.write_cell(oidx, &values, true);
+        }
+
+        // Advance output coordinates (row-major odometer).
+        for d in (0..ocoords.len()).rev() {
+            ocoords[d] += 1;
+            if ocoords[d] < out_shape[d] {
+                break;
+            }
+            ocoords[d] = 0;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-major iterator over the flat indices of a hyper-rectangular window.
+struct WindowIter<'a> {
+    lo: &'a [usize],
+    hi: &'a [usize],
+    strides: &'a [usize],
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> WindowIter<'a> {
+    fn new(lo: &'a [usize], hi: &'a [usize], strides: &'a [usize]) -> Self {
+        let done = lo.iter().zip(hi).any(|(&l, &h)| l >= h);
+        Self {
+            lo,
+            hi,
+            strides,
+            cur: lo.to_vec(),
+            done,
+        }
+    }
+}
+
+impl Iterator for WindowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.done {
+            return None;
+        }
+        let flat: usize = self
+            .cur
+            .iter()
+            .zip(self.strides)
+            .map(|(&c, &s)| c * s)
+            .sum();
+        // Odometer advance.
+        let mut d = self.cur.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            self.cur[d] += 1;
+            if self.cur[d] < self.hi[d] {
+                break;
+            }
+            self.cur[d] = self.lo[d];
+        }
+        Some(flat)
+    }
+}
+
+/// Extracts the half-open hyper-rectangle `ranges` (one `(lo, hi)` per
+/// dimension) into a new array, preserving emptiness.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] on arity mismatch, empty or reversed
+/// ranges, or ranges exceeding the array bounds.
+pub fn subarray(input: &DenseArray, ranges: &[(usize, usize)]) -> Result<DenseArray> {
+    let schema = input.schema();
+    if ranges.len() != schema.ndims() {
+        return Err(ArrayError::InvalidArgument(format!(
+            "subarray expects {} ranges, got {}",
+            schema.ndims(),
+            ranges.len()
+        )));
+    }
+    for ((lo, hi), d) in ranges.iter().zip(&schema.dims) {
+        if lo >= hi || *hi > d.len {
+            return Err(ArrayError::InvalidArgument(format!(
+                "bad range {lo}..{hi} for dimension {} (len {})",
+                d.name, d.len
+            )));
+        }
+    }
+    let out_schema = Schema::new(
+        format!("subarray({})", schema.name),
+        ranges
+            .iter()
+            .zip(&schema.dims)
+            .map(|((lo, hi), d)| (d.name.clone(), hi - lo)),
+        schema.attrs.iter().map(|a| a.name.clone()),
+    )?;
+    let mut out = DenseArray::empty(out_schema);
+    let in_strides = schema.strides();
+    let lo: Vec<usize> = ranges.iter().map(|r| r.0).collect();
+    let hi: Vec<usize> = ranges.iter().map(|r| r.1).collect();
+    let nattrs = schema.attrs.len();
+    let mut values = vec![0.0f64; nattrs];
+    for (oidx, flat) in WindowIter::new(&lo, &hi, &in_strides).enumerate() {
+        if input.valid_at(flat) {
+            let cv = input.cell_view(flat);
+            for (ai, v) in values.iter_mut().enumerate() {
+                *v = cv.attr(ai);
+            }
+            out.write_cell(oidx, &values, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Cell-wise equi-join on dimensions (SciDB joins on dimensions
+/// implicitly — Query 1 line 3). Both inputs must have identical
+/// dimensions. Output cells are present where *both* inputs are present.
+/// Attribute name conflicts are resolved by qualifying with the source
+/// array name (`SVIS.reflectance`), as SciDB does.
+///
+/// # Errors
+/// [`ArrayError::SchemaMismatch`] when dimensions differ.
+pub fn join(left: &DenseArray, right: &DenseArray) -> Result<DenseArray> {
+    if !left.schema().dims_match(right.schema()) {
+        return Err(ArrayError::SchemaMismatch(format!(
+            "join dimensions differ: {} vs {}",
+            left.schema(),
+            right.schema()
+        )));
+    }
+    let lname = &left.schema().name;
+    let rname = &right.schema().name;
+    let mut attr_names: Vec<String> = Vec::new();
+    for a in &left.schema().attrs {
+        let conflict = right.schema().attrs.iter().any(|b| b.name == a.name);
+        attr_names.push(if conflict {
+            format!("{lname}.{}", a.name)
+        } else {
+            a.name.clone()
+        });
+    }
+    for b in &right.schema().attrs {
+        let conflict = left.schema().attrs.iter().any(|a| a.name == b.name);
+        attr_names.push(if conflict {
+            format!("{rname}.{}", b.name)
+        } else {
+            b.name.clone()
+        });
+    }
+    let out_schema = Schema::new(
+        format!("join({lname},{rname})"),
+        left.schema()
+            .dims
+            .iter()
+            .map(|d| (d.name.clone(), d.len)),
+        attr_names,
+    )?;
+    let mut out = DenseArray::empty(out_schema);
+    let nl = left.schema().attrs.len();
+    let nr = right.schema().attrs.len();
+    let mut values = vec![0.0f64; nl + nr];
+    for idx in 0..left.ncells() {
+        if left.valid_at(idx) && right.valid_at(idx) {
+            let lc = left.cell_view(idx);
+            let rc = right.cell_view(idx);
+            for ai in 0..nl {
+                values[ai] = lc.attr(ai);
+            }
+            for ai in 0..nr {
+                values[nl + ai] = rc.attr(ai);
+            }
+            out.write_cell(idx, &values, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Adds a computed attribute `name` via the user-defined function `udf`
+/// (Query 1 lines 2–6: `apply(join(SVIS, SSWIR), ndsi, ndsi_func(...))`).
+/// The UDF sees every *present* cell; empty cells stay empty and their new
+/// attribute is NaN.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] for duplicate attribute names.
+pub fn apply<F>(input: &DenseArray, name: &str, udf: F) -> Result<DenseArray>
+where
+    F: Fn(&CellView<'_>) -> f64,
+{
+    let mut values = vec![f64::NAN; input.ncells()];
+    for idx in 0..input.ncells() {
+        if input.valid_at(idx) {
+            let cv = input.cell_view(idx);
+            values[idx] = udf(&cv);
+        }
+    }
+    let mut out = input.clone();
+    out.push_attr(name, values)?;
+    Ok(out)
+}
+
+/// Keeps only cells where `pred` holds; others become empty (SciDB
+/// `filter`). Used e.g. with the MODIS land/sea mask attribute.
+pub fn filter<F>(input: &DenseArray, pred: F) -> DenseArray
+where
+    F: Fn(&CellView<'_>) -> bool,
+{
+    let mut out = input.clone();
+    for idx in 0..input.ncells() {
+        if input.valid_at(idx) {
+            let cv = input.cell_view(idx);
+            if !pred(&cv) {
+                let coords = input.schema().coords_of(idx);
+                out.clear_cell(&coords).expect("coords derived from index");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    /// The paper's Fig. 3: 16×16 aggregated with parameters (2,2) → 8×8.
+    #[test]
+    fn regrid_fig3_shape_and_avg() {
+        let schema = Schema::grid2d("A", 16, 16, &["v"]).unwrap();
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let a = DenseArray::from_vec(schema, data).unwrap();
+        let out = regrid(&a, &[2, 2], AggFn::Avg).unwrap();
+        assert_eq!(out.shape(), vec![8, 8]);
+        // Window at (0,0) covers cells (0,0),(0,1),(1,0),(1,1) = 0,1,16,17.
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), Some(8.5));
+        // Window at (7,7) covers 238,239,254,255 → avg 246.5.
+        assert_eq!(out.get("v", &[7, 7]).unwrap(), Some(246.5));
+    }
+
+    #[test]
+    fn regrid_ragged_edges() {
+        let schema = Schema::grid2d("A", 3, 5, &["v"]).unwrap();
+        let a = DenseArray::from_vec(schema, vec![1.0; 15]).unwrap();
+        let out = regrid(&a, &[2, 2], AggFn::Count).unwrap();
+        assert_eq!(out.shape(), vec![2, 3]);
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), Some(4.0));
+        assert_eq!(out.get("v", &[0, 2]).unwrap(), Some(2.0)); // 2 rows × 1 col
+        assert_eq!(out.get("v", &[1, 2]).unwrap(), Some(1.0)); // 1 row × 1 col
+    }
+
+    #[test]
+    fn regrid_skips_empty_cells() {
+        let schema = Schema::grid2d("A", 2, 2, &["v"]).unwrap();
+        let mut a = DenseArray::empty(schema);
+        a.set("v", &[0, 0], 4.0).unwrap();
+        let out = regrid(&a, &[2, 2], AggFn::Avg).unwrap();
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), Some(4.0));
+
+        let empty = DenseArray::empty(Schema::grid2d("B", 2, 2, &["v"]).unwrap());
+        let out = regrid(&empty, &[2, 2], AggFn::Avg).unwrap();
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), None);
+    }
+
+    #[test]
+    fn regrid_validates_windows() {
+        let a = DenseArray::filled(Schema::grid2d("A", 4, 4, &["v"]).unwrap(), 0.0);
+        assert!(regrid(&a, &[2], AggFn::Avg).is_err());
+        assert!(regrid(&a, &[0, 2], AggFn::Avg).is_err());
+    }
+
+    #[test]
+    fn regrid_1d() {
+        let schema = Schema::new("T", [("t".to_string(), 6)], ["hr".to_string()]).unwrap();
+        let a = DenseArray::from_vec(schema, vec![60.0, 62.0, 64.0, 66.0, 70.0, 72.0]).unwrap();
+        let out = regrid(&a, &[2], AggFn::Max).unwrap();
+        assert_eq!(out.shape(), vec![3]);
+        assert_eq!(out.get("hr", &[0]).unwrap(), Some(62.0));
+        assert_eq!(out.get("hr", &[2]).unwrap(), Some(72.0));
+    }
+
+    /// The paper's Fig. 4: an 8×8 view with tiling parameters (4,4) yields
+    /// four 4×4 tiles.
+    #[test]
+    fn subarray_fig4_tiles() {
+        let schema = Schema::grid2d("A", 8, 8, &["v"]).unwrap();
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let a = DenseArray::from_vec(schema, data).unwrap();
+        let t00 = subarray(&a, &[(0, 4), (0, 4)]).unwrap();
+        let t01 = subarray(&a, &[(0, 4), (4, 8)]).unwrap();
+        let t10 = subarray(&a, &[(4, 8), (0, 4)]).unwrap();
+        let t11 = subarray(&a, &[(4, 8), (4, 8)]).unwrap();
+        for t in [&t00, &t01, &t10, &t11] {
+            assert_eq!(t.shape(), vec![4, 4]);
+        }
+        assert_eq!(t00.get("v", &[0, 0]).unwrap(), Some(0.0));
+        assert_eq!(t01.get("v", &[0, 0]).unwrap(), Some(4.0));
+        assert_eq!(t10.get("v", &[0, 0]).unwrap(), Some(32.0));
+        assert_eq!(t11.get("v", &[3, 3]).unwrap(), Some(63.0));
+    }
+
+    #[test]
+    fn subarray_validates_ranges() {
+        let a = DenseArray::filled(Schema::grid2d("A", 4, 4, &["v"]).unwrap(), 0.0);
+        assert!(subarray(&a, &[(0, 4)]).is_err());
+        assert!(subarray(&a, &[(0, 5), (0, 4)]).is_err());
+        assert!(subarray(&a, &[(2, 2), (0, 4)]).is_err());
+        assert!(subarray(&a, &[(3, 2), (0, 4)]).is_err());
+    }
+
+    #[test]
+    fn subarray_preserves_emptiness() {
+        let schema = Schema::grid2d("A", 2, 2, &["v"]).unwrap();
+        let mut a = DenseArray::empty(schema);
+        a.set("v", &[0, 1], 3.0).unwrap();
+        let s = subarray(&a, &[(0, 2), (0, 2)]).unwrap();
+        assert_eq!(s.get("v", &[0, 0]).unwrap(), None);
+        assert_eq!(s.get("v", &[0, 1]).unwrap(), Some(3.0));
+    }
+
+    /// Query 1 end to end: join two band arrays, apply the NDSI UDF.
+    #[test]
+    fn join_apply_query1_ndsi() {
+        let vis = DenseArray::from_vec(
+            Schema::grid2d("SVIS", 2, 2, &["reflectance"]).unwrap(),
+            vec![0.8, 0.5, 0.2, 0.6],
+        )
+        .unwrap();
+        let swir = DenseArray::from_vec(
+            Schema::grid2d("SSWIR", 2, 2, &["reflectance"]).unwrap(),
+            vec![0.2, 0.5, 0.8, 0.2],
+        )
+        .unwrap();
+        let joined = join(&vis, &swir).unwrap();
+        assert_eq!(joined.schema().attrs[0].name, "SVIS.reflectance");
+        assert_eq!(joined.schema().attrs[1].name, "SSWIR.reflectance");
+        let ndsi = apply(&joined, "ndsi", |c| {
+            let v = c.attr(0);
+            let s = c.attr(1);
+            (v - s) / (v + s)
+        })
+        .unwrap()
+        .with_name("NDSI");
+        let got = ndsi.get("ndsi", &[0, 0]).unwrap().unwrap();
+        assert!((got - 0.6).abs() < 1e-12);
+        assert_eq!(ndsi.get("ndsi", &[0, 1]).unwrap(), Some(0.0));
+        assert!((ndsi.get("ndsi", &[1, 0]).unwrap().unwrap() + 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_requires_matching_dims() {
+        let a = DenseArray::filled(Schema::grid2d("A", 2, 2, &["v"]).unwrap(), 0.0);
+        let b = DenseArray::filled(Schema::grid2d("B", 2, 3, &["v"]).unwrap(), 0.0);
+        assert!(matches!(join(&a, &b), Err(ArrayError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn join_intersects_presence() {
+        let mut a = DenseArray::empty(Schema::grid2d("A", 1, 2, &["u"]).unwrap());
+        let mut b = DenseArray::empty(Schema::grid2d("B", 1, 2, &["w"]).unwrap());
+        a.set("u", &[0, 0], 1.0).unwrap();
+        a.set("u", &[0, 1], 2.0).unwrap();
+        b.set("w", &[0, 1], 3.0).unwrap();
+        let j = join(&a, &b).unwrap();
+        assert_eq!(j.npresent(), 1);
+        assert_eq!(j.get("u", &[0, 1]).unwrap(), Some(2.0));
+        assert_eq!(j.get("w", &[0, 1]).unwrap(), Some(3.0));
+    }
+
+    #[test]
+    fn filter_land_sea_mask() {
+        let schema = Schema::grid2d("A", 1, 4, &["ndsi", "mask"]).unwrap();
+        let mut a = DenseArray::empty(schema);
+        for (i, (n, m)) in [(0.9, 1.0), (0.8, 0.0), (0.1, 1.0), (0.2, 0.0)]
+            .iter()
+            .enumerate()
+        {
+            a.set("ndsi", &[0, i], *n).unwrap();
+            a.set("mask", &[0, i], *m).unwrap();
+        }
+        let land = filter(&a, |c| c.attr_by_name("mask").unwrap() > 0.5);
+        assert_eq!(land.npresent(), 2);
+        assert_eq!(land.get("ndsi", &[0, 1]).unwrap(), None);
+        assert_eq!(land.get("ndsi", &[0, 2]).unwrap(), Some(0.1));
+    }
+
+    #[test]
+    fn regrid_with_per_attribute_aggs() {
+        let schema = Schema::grid2d("A", 2, 2, &["mx", "mn"]).unwrap();
+        let mut a = DenseArray::empty(schema);
+        for (i, coords) in [[0usize, 0], [0, 1], [1, 0], [1, 1]].iter().enumerate() {
+            a.set("mx", coords, i as f64).unwrap();
+            a.set("mn", coords, i as f64).unwrap();
+        }
+        let out = regrid_with(&a, &[2, 2], &[AggFn::Max, AggFn::Min]).unwrap();
+        assert_eq!(out.get("mx", &[0, 0]).unwrap(), Some(3.0));
+        assert_eq!(out.get("mn", &[0, 0]).unwrap(), Some(0.0));
+        assert!(regrid_with(&a, &[2, 2], &[AggFn::Max]).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_duplicate_attr() {
+        let a = DenseArray::filled(Schema::grid2d("A", 1, 1, &["v"]).unwrap(), 1.0);
+        assert!(apply(&a, "v", |c| c.attr(0)).is_err());
+    }
+}

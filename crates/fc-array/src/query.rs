@@ -1,0 +1,285 @@
+//! A small composable query layer over [`Database`], mirroring the
+//! functional AFL style of the paper's Query 1:
+//!
+//! ```text
+//! store(apply(join(SVIS, SSWIR), ndsi, ndsi_func(...)), NDSI);
+//! ```
+//!
+//! ```
+//! use fc_array::{Database, DenseArray, Query, Schema};
+//!
+//! let db = Database::new();
+//! db.store("SVIS", DenseArray::from_vec(
+//!     Schema::grid2d("SVIS", 1, 2, &["reflectance"]).unwrap(),
+//!     vec![0.8, 0.5]).unwrap());
+//! db.store("SSWIR", DenseArray::from_vec(
+//!     Schema::grid2d("SSWIR", 1, 2, &["reflectance"]).unwrap(),
+//!     vec![0.2, 0.5]).unwrap());
+//!
+//! let ndsi = Query::scan("SVIS")
+//!     .join(Query::scan("SSWIR"))
+//!     .apply("ndsi", |c| {
+//!         let v = c.attr_by_name("SVIS.reflectance").unwrap();
+//!         let s = c.attr_by_name("SSWIR.reflectance").unwrap();
+//!         (v - s) / (v + s)
+//!     })
+//!     .store("NDSI")
+//!     .execute(&db)
+//!     .unwrap();
+//! assert!((ndsi.get("ndsi", &[0, 0]).unwrap().unwrap() - 0.6).abs() < 1e-12);
+//! assert!(db.scan("NDSI").is_ok());
+//! ```
+
+use crate::agg::AggFn;
+use crate::database::Database;
+use crate::dense::{CellView, DenseArray};
+use crate::error::Result;
+use crate::ops;
+use std::sync::Arc;
+
+/// A cell-wise user-defined function.
+pub type Udf = Arc<dyn Fn(&CellView<'_>) -> f64 + Send + Sync>;
+
+/// A cell-wise predicate.
+pub type Predicate = Arc<dyn Fn(&CellView<'_>) -> bool + Send + Sync>;
+
+/// A lazily evaluated query plan.
+pub struct Query {
+    plan: Plan,
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Query(..)")
+    }
+}
+
+enum Plan {
+    Scan(String),
+    Literal(Box<DenseArray>),
+    Regrid {
+        input: Box<Plan>,
+        windows: Vec<usize>,
+        agg: AggFn,
+    },
+    Subarray {
+        input: Box<Plan>,
+        ranges: Vec<(usize, usize)>,
+    },
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    Apply {
+        input: Box<Plan>,
+        name: String,
+        udf: Udf,
+    },
+    Filter {
+        input: Box<Plan>,
+        pred: Predicate,
+    },
+    Store {
+        input: Box<Plan>,
+        name: String,
+    },
+}
+
+impl Query {
+    /// Reads a named array from the database.
+    pub fn scan(name: impl Into<String>) -> Self {
+        Self {
+            plan: Plan::Scan(name.into()),
+        }
+    }
+
+    /// Uses an in-memory array as the source.
+    pub fn literal(array: DenseArray) -> Self {
+        Self {
+            plan: Plan::Literal(Box::new(array)),
+        }
+    }
+
+    /// Aggregates `(j1, …, jd)` windows with `agg` (see [`ops::regrid`]).
+    pub fn regrid(self, windows: &[usize], agg: AggFn) -> Self {
+        Self {
+            plan: Plan::Regrid {
+                input: Box::new(self.plan),
+                windows: windows.to_vec(),
+                agg,
+            },
+        }
+    }
+
+    /// Slices the half-open ranges (see [`ops::subarray`]).
+    pub fn subarray(self, ranges: &[(usize, usize)]) -> Self {
+        Self {
+            plan: Plan::Subarray {
+                input: Box::new(self.plan),
+                ranges: ranges.to_vec(),
+            },
+        }
+    }
+
+    /// Cell-wise equi-join on dimensions (see [`ops::join`]).
+    pub fn join(self, right: Query) -> Self {
+        Self {
+            plan: Plan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// Adds a computed attribute via a UDF (see [`ops::apply`]).
+    pub fn apply<F>(self, name: impl Into<String>, udf: F) -> Self
+    where
+        F: Fn(&CellView<'_>) -> f64 + Send + Sync + 'static,
+    {
+        Self {
+            plan: Plan::Apply {
+                input: Box::new(self.plan),
+                name: name.into(),
+                udf: Arc::new(udf),
+            },
+        }
+    }
+
+    /// Keeps only cells satisfying `pred` (see [`ops::filter`]).
+    pub fn filter<F>(self, pred: F) -> Self
+    where
+        F: Fn(&CellView<'_>) -> bool + Send + Sync + 'static,
+    {
+        Self {
+            plan: Plan::Filter {
+                input: Box::new(self.plan),
+                pred: Arc::new(pred),
+            },
+        }
+    }
+
+    /// Stores the result under `name` as a side effect of execution.
+    pub fn store(self, name: impl Into<String>) -> Self {
+        Self {
+            plan: Plan::Store {
+                input: Box::new(self.plan),
+                name: name.into(),
+            },
+        }
+    }
+
+    /// Executes the plan against `db`.
+    ///
+    /// # Errors
+    /// Propagates any operator error (unknown arrays, schema mismatches,
+    /// invalid ranges, …).
+    pub fn execute(self, db: &Database) -> Result<Arc<DenseArray>> {
+        exec(self.plan, db)
+    }
+}
+
+fn exec(plan: Plan, db: &Database) -> Result<Arc<DenseArray>> {
+    match plan {
+        Plan::Scan(name) => db.scan(&name),
+        Plan::Literal(a) => Ok(Arc::new(*a)),
+        Plan::Regrid {
+            input,
+            windows,
+            agg,
+        } => {
+            let a = exec(*input, db)?;
+            Ok(Arc::new(ops::regrid(&a, &windows, agg)?))
+        }
+        Plan::Subarray { input, ranges } => {
+            let a = exec(*input, db)?;
+            Ok(Arc::new(ops::subarray(&a, &ranges)?))
+        }
+        Plan::Join { left, right } => {
+            let l = exec(*left, db)?;
+            let r = exec(*right, db)?;
+            Ok(Arc::new(ops::join(&l, &r)?))
+        }
+        Plan::Apply { input, name, udf } => {
+            let a = exec(*input, db)?;
+            Ok(Arc::new(ops::apply(&a, &name, |c| udf(c))?))
+        }
+        Plan::Filter { input, pred } => {
+            let a = exec(*input, db)?;
+            Ok(Arc::new(ops::filter(&a, |c| pred(c))))
+        }
+        Plan::Store { input, name } => {
+            let a = exec(*input, db)?;
+            Ok(db.store(name, (*a).clone()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn db_with_base() -> Database {
+        let db = Database::new();
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        db.store(
+            "BASE",
+            DenseArray::from_vec(Schema::grid2d("BASE", 8, 8, &["v"]).unwrap(), data).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn scan_regrid_subarray_pipeline() {
+        let db = db_with_base();
+        let out = Query::scan("BASE")
+            .regrid(&[2, 2], AggFn::Avg)
+            .subarray(&[(0, 2), (0, 2)])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(out.shape(), vec![2, 2]);
+        assert_eq!(out.get("v", &[0, 0]).unwrap(), Some(4.5));
+    }
+
+    #[test]
+    fn store_persists_intermediate() {
+        let db = db_with_base();
+        Query::scan("BASE")
+            .regrid(&[4, 4], AggFn::Max)
+            .store("L0")
+            .execute(&db)
+            .unwrap();
+        let l0 = db.scan("L0").unwrap();
+        assert_eq!(l0.shape(), vec![2, 2]);
+        assert_eq!(l0.get("v", &[1, 1]).unwrap(), Some(63.0));
+    }
+
+    #[test]
+    fn literal_filter_apply() {
+        let db = Database::new();
+        let arr = DenseArray::from_vec(
+            Schema::grid2d("X", 1, 4, &["v"]).unwrap(),
+            vec![1.0, -2.0, 3.0, -4.0],
+        )
+        .unwrap();
+        let out = Query::literal(arr)
+            .filter(|c| c.attr(0) > 0.0)
+            .apply("double", |c| c.attr(0) * 2.0)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(out.npresent(), 2);
+        assert_eq!(out.get("double", &[0, 2]).unwrap(), Some(6.0));
+        assert_eq!(out.get("double", &[0, 1]).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let db = Database::new();
+        assert!(Query::scan("NOPE").execute(&db).is_err());
+        let db = db_with_base();
+        assert!(Query::scan("BASE")
+            .regrid(&[0, 2], AggFn::Avg)
+            .execute(&db)
+            .is_err());
+    }
+}

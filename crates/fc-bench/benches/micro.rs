@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks for the hot paths of every subsystem:
+//! array aggregation, pyramid building, signatures, model prediction
+//! steps, cache operations, and protocol encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fc_array::{regrid, AggFn, DenseArray, Schema};
+use fc_core::engine::PhaseSource;
+use fc_core::signature::{attach_signatures, SignatureConfig, SignatureKind};
+use fc_core::{
+    AbRecommender, AllocationStrategy, CacheManager, EngineConfig, MomentumRecommender,
+    PredictionContext, PredictionEngine, Recommender, Request, SbConfig, SbRecommender,
+    SessionHistory,
+};
+use fc_ngram::KneserNey;
+use fc_tiles::{Move, Pyramid, PyramidBuilder, PyramidConfig, Tile, TileId};
+use fc_vision::{dense_descriptors, detect_keypoints, DetectorParams, GrayImage};
+use std::sync::Arc;
+
+fn base_array(side: usize) -> DenseArray {
+    let schema = Schema::grid2d("B", side, side, &["v"]).expect("schema");
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i as f64 * 0.37).sin().abs() + (i % side) as f64 / side as f64) / 2.0)
+        .collect();
+    DenseArray::from_vec(schema, data).expect("base")
+}
+
+fn built_pyramid() -> Arc<Pyramid> {
+    let base = base_array(256);
+    let pyramid = Arc::new(
+        PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(4, 32, &["v"]))
+            .expect("pyramid"),
+    );
+    let mut cfg = SignatureConfig::ndsi("v");
+    cfg.domain = (0.0, 1.0);
+    attach_signatures(&pyramid, &cfg);
+    pyramid
+}
+
+fn bench_array_ops(c: &mut Criterion) {
+    let a = base_array(256);
+    c.bench_function("regrid 256x256 window 4 avg", |b| {
+        b.iter(|| regrid(black_box(&a), &[4, 4], AggFn::Avg).expect("regrid"))
+    });
+    c.bench_function("pyramid build 256x256 / 4 levels", |b| {
+        b.iter(|| {
+            PyramidBuilder::new()
+                .build(black_box(&a), &PyramidConfig::simple(4, 32, &["v"]))
+                .expect("pyramid")
+        })
+    });
+}
+
+fn bench_vision(c: &mut Criterion) {
+    let img = GrayImage::new(
+        64,
+        64,
+        (0..64 * 64)
+            .map(|i| ((i as f64 * 0.11).sin().abs()))
+            .collect(),
+    );
+    c.bench_function("sift detect 64x64", |b| {
+        b.iter(|| detect_keypoints(black_box(&img), &DetectorParams::default()))
+    });
+    c.bench_function("dense descriptors 64x64 step 8", |b| {
+        b.iter(|| dense_descriptors(black_box(&img), 8, 6.0))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let pyramid = built_pyramid();
+    let g = pyramid.geometry();
+    let right = Move::PanRight.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![vec![right; 50]];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    let ab = AbRecommender::train(refs.clone(), 3);
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let momentum = MomentumRecommender;
+
+    let mut history = SessionHistory::new(3);
+    let cur = Request::new(TileId::new(2, 2, 2), Some(Move::PanRight));
+    history.push(Request::new(TileId::new(2, 2, 1), Some(Move::PanRight)));
+    history.push(cur);
+    let candidates = g.candidates(cur.tile, 1);
+    let roi = [TileId::new(3, 4, 4), TileId::new(3, 4, 5)];
+    let ctx = PredictionContext {
+        request: cur,
+        history: &history,
+        candidates: &candidates,
+        geometry: g,
+        store: pyramid.store(),
+        roi: &roi,
+    };
+
+    c.bench_function("kneser-ney distribution (order 3)", |b| {
+        let m = KneserNey::train(refs.clone(), 3, 9);
+        let h = [right, right, right];
+        b.iter(|| m.distribution(black_box(&h)))
+    });
+    c.bench_function("AB rank 9 candidates", |b| b.iter(|| ab.rank(black_box(&ctx))));
+    c.bench_function("SB rank 9 candidates (4 signatures)", |b| {
+        b.iter(|| sb.rank(black_box(&ctx)))
+    });
+    c.bench_function("Momentum rank 9 candidates", |b| {
+        b.iter(|| momentum.rank(black_box(&ctx)))
+    });
+}
+
+fn bench_engine_and_cache(c: &mut Criterion) {
+    let pyramid = built_pyramid();
+    let right = Move::PanRight.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![vec![right; 50]];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    c.bench_function("engine predict k=5 (two-level merge)", |b| {
+        let mut engine = PredictionEngine::new(
+            pyramid.geometry(),
+            AbRecommender::train(refs.clone(), 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Sift)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::Updated,
+                ..EngineConfig::default()
+            },
+        );
+        engine.observe(Request::new(TileId::new(2, 2, 2), Some(Move::PanRight)));
+        b.iter(|| engine.predict(pyramid.store(), black_box(5)))
+    });
+
+    c.bench_function("cache lookup+note+prefetch cycle", |b| {
+        let mut cache = CacheManager::new(4);
+        let tile = pyramid
+            .store()
+            .fetch_offline(TileId::new(2, 2, 2))
+            .expect("tile");
+        let prefetch: Vec<Arc<Tile>> = pyramid
+            .geometry()
+            .candidates(TileId::new(2, 2, 2), 1)
+            .into_iter()
+            .filter_map(|t| pyramid.store().fetch_offline(t))
+            .collect();
+        b.iter(|| {
+            cache.lookup(black_box(TileId::new(2, 2, 2)));
+            cache.note_request(tile.clone());
+            cache.install_prefetch(prefetch.clone());
+        })
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let pyramid = built_pyramid();
+    let tile = pyramid
+        .store()
+        .fetch_offline(TileId::new(3, 4, 4))
+        .expect("tile");
+    let payload = fc_server::server::tile_payload(&tile);
+    let msg = fc_server::ServerMsg::Tile {
+        payload,
+        latency_ns: 19_500_000,
+        cache_hit: true,
+        phase: 1,
+    };
+    c.bench_function("protocol encode 32x32 tile", |b| b.iter(|| msg.encode()));
+    let encoded = msg.encode();
+    c.bench_function("protocol decode 32x32 tile", |b| {
+        b.iter(|| {
+            fc_server::ServerMsg::decode(fc_server::protocol::unframe(black_box(&encoded)))
+                .expect("decode")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_array_ops,
+    bench_vision,
+    bench_models,
+    bench_engine_and_cache,
+    bench_protocol
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `ablation_sb` experiment (see DESIGN.md §4).
+fn main() {
+    let ctx = fc_bench::ExpContext::load();
+    let f = fc_bench::experiments::by_name("ablation_sb").expect("known experiment");
+    print!("{}", f(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `auto_weights` extension experiment (see DESIGN.md §5).
+fn main() {
+    let ctx = fc_bench::ExpContext::load();
+    let f = fc_bench::experiments::by_name("auto_weights").expect("known experiment");
+    print!("{}", f(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig12` experiment (see DESIGN.md §4).
+fn main() {
+    let ctx = fc_bench::ExpContext::load();
+    let f = fc_bench::experiments::by_name("fig12").expect("known experiment");
+    print!("{}", f(&ctx));
+}

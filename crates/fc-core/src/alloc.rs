@@ -1,0 +1,169 @@
+//! Cache allocation strategies (§4.4, updated in §5.4.3).
+//!
+//! The cache manager assigns each recommendation model a slice of the
+//! prefetch budget `k`, depending on the predicted analysis phase:
+//!
+//! * **Original** (§4.4): Navigation → all AB; Sensemaking → all SB;
+//!   Foraging → equal split.
+//! * **Updated** (§5.4.3, after the accuracy study): "When the
+//!   Sensemaking phase is predicted, our model always fetches predictions
+//!   from our SB model only. Otherwise, our final model fetches the first
+//!   4 predictions from the AB model (or less if k < 4), and then starts
+//!   fetching predictions from the SB model if k > 4."
+//! * AB-only / SB-only for the ablation benches.
+
+use crate::phase::Phase;
+
+/// How the prefetch budget is split between the AB and SB recommenders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocationStrategy {
+    /// The §4.4 design.
+    Original,
+    /// The §5.4.3 final engine (used for Figs. 10c–13).
+    Updated,
+    /// Everything to the AB model (ablation).
+    AbOnly,
+    /// Everything to the SB model (ablation).
+    SbOnly,
+}
+
+impl AllocationStrategy {
+    /// Returns `(ab_slots, sb_slots)` for a budget of `k` tiles in the
+    /// given phase. Slots sum to `k`.
+    pub fn allocate(self, phase: Phase, k: usize) -> (usize, usize) {
+        match self {
+            AllocationStrategy::Original => match phase {
+                Phase::Navigation => (k, 0),
+                Phase::Sensemaking => (0, k),
+                Phase::Foraging => {
+                    let ab = k / 2 + k % 2; // odd budgets favour AB
+                    (ab, k - ab)
+                }
+            },
+            AllocationStrategy::Updated => match phase {
+                Phase::Sensemaking => (0, k),
+                _ => {
+                    let ab = k.min(4);
+                    (ab, k - ab)
+                }
+            },
+            AllocationStrategy::AbOnly => (k, 0),
+            AllocationStrategy::SbOnly => (0, k),
+        }
+    }
+
+    /// Short name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationStrategy::Original => "original",
+            AllocationStrategy::Updated => "hybrid",
+            AllocationStrategy::AbOnly => "ab-only",
+            AllocationStrategy::SbOnly => "sb-only",
+        }
+    }
+}
+
+/// Merges two ranked lists under an allocation: take `ab_slots` from
+/// `ab`, then `sb_slots` from `sb`, skipping duplicates; if either list
+/// runs short, backfill from the other so the budget is used fully.
+pub fn merge_allocated(
+    ab: &[fc_tiles::TileId],
+    sb: &[fc_tiles::TileId],
+    ab_slots: usize,
+    sb_slots: usize,
+) -> Vec<fc_tiles::TileId> {
+    let budget = ab_slots + sb_slots;
+    let mut out = Vec::with_capacity(budget);
+    let push = |t: fc_tiles::TileId, out: &mut Vec<fc_tiles::TileId>| {
+        if !out.contains(&t) && out.len() < budget {
+            out.push(t);
+        }
+    };
+    for &t in ab.iter().take(ab_slots) {
+        push(t, &mut out);
+    }
+    for &t in sb {
+        if out.len() >= budget {
+            break;
+        }
+        push(t, &mut out);
+    }
+    // Backfill from AB beyond its slots if SB was short.
+    for &t in ab.iter().skip(ab_slots) {
+        if out.len() >= budget {
+            break;
+        }
+        push(t, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_tiles::TileId;
+
+    #[test]
+    fn original_strategy_follows_section_4_4() {
+        let s = AllocationStrategy::Original;
+        assert_eq!(s.allocate(Phase::Navigation, 8), (8, 0));
+        assert_eq!(s.allocate(Phase::Sensemaking, 8), (0, 8));
+        assert_eq!(s.allocate(Phase::Foraging, 8), (4, 4));
+        assert_eq!(s.allocate(Phase::Foraging, 5), (3, 2));
+    }
+
+    #[test]
+    fn updated_strategy_follows_section_5_4_3() {
+        let s = AllocationStrategy::Updated;
+        assert_eq!(s.allocate(Phase::Sensemaking, 6), (0, 6));
+        assert_eq!(s.allocate(Phase::Navigation, 3), (3, 0));
+        assert_eq!(s.allocate(Phase::Navigation, 4), (4, 0));
+        assert_eq!(s.allocate(Phase::Foraging, 8), (4, 4));
+        assert_eq!(s.allocate(Phase::Navigation, 8), (4, 4));
+    }
+
+    #[test]
+    fn slots_always_sum_to_k() {
+        for s in [
+            AllocationStrategy::Original,
+            AllocationStrategy::Updated,
+            AllocationStrategy::AbOnly,
+            AllocationStrategy::SbOnly,
+        ] {
+            for phase in Phase::ALL {
+                for k in 0..=9 {
+                    let (a, b) = s.allocate(phase, k);
+                    assert_eq!(a + b, k, "{s:?} {phase} k={k}");
+                }
+            }
+        }
+    }
+
+    fn tid(x: u32) -> TileId {
+        TileId::new(3, 0, x)
+    }
+
+    #[test]
+    fn merge_takes_slots_then_dedups() {
+        let ab = [tid(1), tid(2), tid(3)];
+        let sb = [tid(2), tid(4), tid(5)];
+        let merged = merge_allocated(&ab, &sb, 2, 2);
+        assert_eq!(merged, vec![tid(1), tid(2), tid(4), tid(5)]);
+    }
+
+    #[test]
+    fn merge_backfills_when_sb_short() {
+        let ab = [tid(1), tid(2), tid(3), tid(4)];
+        let sb = [tid(1)];
+        let merged = merge_allocated(&ab, &sb, 2, 2);
+        assert_eq!(merged, vec![tid(1), tid(2), tid(3), tid(4)]);
+    }
+
+    #[test]
+    fn merge_respects_budget() {
+        let ab = [tid(1), tid(2), tid(3)];
+        let sb = [tid(4), tid(5), tid(6)];
+        assert_eq!(merge_allocated(&ab, &sb, 1, 1).len(), 2);
+        assert_eq!(merge_allocated(&ab, &sb, 0, 0).len(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The two-level prediction engine (§4).
+//!
+//! Per request the engine: (1) records the request in the session history
+//! and the ROI tracker, (2) predicts the current analysis phase with the
+//! top-level classifier, (3) asks the AB and SB recommenders for ranked
+//! candidate lists, and (4) merges them under the cache allocation
+//! strategy for the predicted phase.
+
+use crate::ab::AbRecommender;
+use crate::alloc::{merge_allocated, AllocationStrategy};
+use crate::history::{Request, SessionHistory};
+use crate::phase::{Phase, PhaseClassifier};
+use crate::recommender::{PredictionContext, Recommender};
+use crate::roi::RoiTracker;
+use crate::sb::SbRecommender;
+use fc_tiles::{Geometry, TileId, TileStore};
+
+/// Engine configuration (paper §4.1: history length `n` and prediction
+/// distance `d` are system parameters set before the session starts).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// History length `n`.
+    pub history_len: usize,
+    /// Prediction distance `d` (default 1: "we only considered the tiles
+    /// that were exactly one step ahead of the user").
+    pub distance: usize,
+    /// Cache allocation strategy.
+    pub strategy: AllocationStrategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            history_len: 3,
+            distance: 1,
+            strategy: AllocationStrategy::Updated,
+        }
+    }
+}
+
+/// How the engine learns the current analysis phase.
+pub enum PhaseSource {
+    /// The trained SVM classifier (the deployed configuration).
+    Classifier(Box<PhaseClassifier>),
+    /// A rule-based fallback for sessions without training data: zooms →
+    /// Navigation; pans in the deepest third of the pyramid →
+    /// Sensemaking; otherwise Foraging.
+    Heuristic,
+}
+
+impl std::fmt::Debug for PhaseSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseSource::Classifier(_) => f.write_str("Classifier"),
+            PhaseSource::Heuristic => f.write_str("Heuristic"),
+        }
+    }
+}
+
+/// The per-session two-level prediction engine.
+pub struct PredictionEngine {
+    config: EngineConfig,
+    geometry: Geometry,
+    ab: AbRecommender,
+    sb: SbRecommender,
+    phase_source: PhaseSource,
+    history: SessionHistory,
+    roi: RoiTracker,
+}
+
+impl std::fmt::Debug for PredictionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionEngine")
+            .field("config", &self.config)
+            .field("history_len", &self.history.len())
+            .field("phase_source", &self.phase_source)
+            .finish()
+    }
+}
+
+impl PredictionEngine {
+    /// Builds an engine.
+    pub fn new(
+        geometry: Geometry,
+        ab: AbRecommender,
+        sb: SbRecommender,
+        phase_source: PhaseSource,
+        config: EngineConfig,
+    ) -> Self {
+        Self {
+            history: SessionHistory::new(config.history_len.max(1)),
+            roi: RoiTracker::new(),
+            config,
+            geometry,
+            ab,
+            sb,
+            phase_source,
+        }
+    }
+
+    /// Records a request (history + ROI tracking). Call once per user
+    /// request, before [`PredictionEngine::predict`].
+    pub fn observe(&mut self, request: Request) {
+        self.history.push(request);
+        self.roi.update(&request);
+    }
+
+    /// The engine's current phase estimate for the last observed request.
+    pub fn current_phase(&self) -> Phase {
+        let Some(last) = self.history.last() else {
+            return Phase::Foraging;
+        };
+        match &self.phase_source {
+            PhaseSource::Classifier(c) => c.predict(last, self.history.previous()),
+            PhaseSource::Heuristic => heuristic_phase(self.geometry, last),
+        }
+    }
+
+    /// Predicts up to `k` tiles to prefetch for the last observed request,
+    /// letting the engine infer the phase.
+    pub fn predict(&self, store: &TileStore, k: usize) -> Vec<TileId> {
+        self.predict_with_phase(store, self.current_phase(), k)
+    }
+
+    /// Predicts with an externally supplied phase (used when evaluating
+    /// the bottom level against hand-labeled phases, §5.4.2).
+    pub fn predict_with_phase(&self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
+        let Some(last) = self.history.last() else {
+            return Vec::new();
+        };
+        let candidates = self.geometry.candidates(last.tile, self.config.distance);
+        let ctx = PredictionContext {
+            request: *last,
+            history: &self.history,
+            candidates: &candidates,
+            geometry: self.geometry,
+            store,
+            roi: self.roi.roi(),
+        };
+        let (ab_slots, sb_slots) = self.config.strategy.allocate(phase, k);
+        let ab_list = if ab_slots > 0 || sb_slots > 0 {
+            self.ab.rank(&ctx)
+        } else {
+            Vec::new()
+        };
+        let sb_list = self.sb.rank(&ctx);
+        merge_allocated(&ab_list, &sb_list, ab_slots, sb_slots)
+    }
+
+    /// The session history (read-only).
+    pub fn history(&self) -> &SessionHistory {
+        &self.history
+    }
+
+    /// The user's most recent ROI.
+    pub fn roi(&self) -> &[TileId] {
+        self.roi.roi()
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Resets per-session state (history + ROI) without retraining.
+    pub fn reset_session(&mut self) {
+        self.history.clear();
+        self.roi.reset();
+    }
+}
+
+/// Rule-based phase fallback: zooms → Navigation; pans in the deepest
+/// third of the pyramid → Sensemaking; everything else → Foraging.
+pub fn heuristic_phase(geometry: Geometry, request: &Request) -> Phase {
+    match request.mv {
+        Some(m) if m.is_zoom_in() || m.is_zoom_out() => Phase::Navigation,
+        Some(m) if m.is_pan() => {
+            let deep_threshold = (geometry.levels as f64 * 2.0 / 3.0).floor() as u8;
+            if request.tile.level >= deep_threshold {
+                Phase::Sensemaking
+            } else {
+                Phase::Foraging
+            }
+        }
+        _ => Phase::Foraging,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sb::SbConfig;
+    use crate::signature::SignatureKind;
+    use fc_array::{IoMode, LatencyModel, SimClock};
+    use fc_tiles::{Move, Quadrant};
+
+    fn geometry() -> Geometry {
+        Geometry::new(4, 512, 512, 64, 64)
+    }
+
+    fn store(g: Geometry) -> TileStore {
+        let s = TileStore::new(g, LatencyModel::free(), IoMode::Simulated, SimClock::new());
+        // Give every tile a histogram signature so SB has something.
+        for id in g.all_tiles() {
+            let v = f64::from(id.x % 3) / 3.0;
+            s.put_meta(
+                id,
+                SignatureKind::Hist1D.meta_name(),
+                vec![v, 1.0 - v],
+            );
+        }
+        s
+    }
+
+    fn engine(strategy: AllocationStrategy) -> PredictionEngine {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 10]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        PredictionEngine::new(
+            geometry(),
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn empty_engine_predicts_nothing() {
+        let e = engine(AllocationStrategy::Updated);
+        let s = store(geometry());
+        assert!(e.predict(&s, 5).is_empty());
+        assert_eq!(e.current_phase(), Phase::Foraging);
+    }
+
+    #[test]
+    fn predictions_respect_budget_and_dedup() {
+        let mut e = engine(AllocationStrategy::Updated);
+        let s = store(geometry());
+        // Level 2 of 4 is interior: all nine moves are legal at (2,2,2).
+        e.observe(Request::initial(TileId::new(2, 2, 0)));
+        for x in 1..=2 {
+            e.observe(Request::new(TileId::new(2, 2, x), Some(Move::PanRight)));
+        }
+        for k in 0..=9 {
+            let p = e.predict(&s, k);
+            assert!(p.len() <= k);
+            let mut d = p.clone();
+            d.sort();
+            d.dedup();
+            assert_eq!(d.len(), p.len(), "k={k}");
+        }
+        // Budget 9 fills completely at an interior tile.
+        assert_eq!(e.predict(&s, 9).len(), 9);
+    }
+
+    #[test]
+    fn pan_run_predicts_continuation_first() {
+        let mut e = engine(AllocationStrategy::AbOnly);
+        let s = store(geometry());
+        e.observe(Request::initial(TileId::new(3, 4, 1)));
+        for x in 2..5 {
+            e.observe(Request::new(TileId::new(3, 4, x), Some(Move::PanRight)));
+        }
+        let p = e.predict(&s, 3);
+        assert_eq!(p[0], TileId::new(3, 4, 5));
+    }
+
+    #[test]
+    fn heuristic_phase_rules() {
+        let g = geometry();
+        let zoom = Request::new(TileId::new(2, 0, 0), Some(Move::ZoomIn(Quadrant::Nw)));
+        assert_eq!(heuristic_phase(g, &zoom), Phase::Navigation);
+        let deep_pan = Request::new(TileId::new(3, 1, 1), Some(Move::PanRight));
+        assert_eq!(heuristic_phase(g, &deep_pan), Phase::Sensemaking);
+        let shallow_pan = Request::new(TileId::new(1, 0, 0), Some(Move::PanRight));
+        assert_eq!(heuristic_phase(g, &shallow_pan), Phase::Foraging);
+        let initial = Request::initial(TileId::ROOT);
+        assert_eq!(heuristic_phase(g, &initial), Phase::Foraging);
+    }
+
+    #[test]
+    fn sensemaking_uses_sb_only_under_updated_strategy() {
+        let mut e = engine(AllocationStrategy::Updated);
+        let s = store(geometry());
+        // Deep-level pan → Sensemaking heuristic → all slots to SB.
+        e.observe(Request::initial(TileId::new(3, 4, 4)));
+        e.observe(Request::new(TileId::new(3, 4, 5), Some(Move::PanRight)));
+        let phase = e.current_phase();
+        assert_eq!(phase, Phase::Sensemaking);
+        let p = e.predict(&s, 4);
+        assert_eq!(p.len(), 4);
+        // SB ranks by signature similarity: top prediction should share
+        // the (x % 3) signature class of the ROI fallback (current tile).
+        let cur_class = 5 % 3;
+        assert_eq!(p[0].x % 3, cur_class);
+    }
+
+    #[test]
+    fn observe_tracks_roi() {
+        let mut e = engine(AllocationStrategy::Updated);
+        e.observe(Request::initial(TileId::new(1, 0, 0)));
+        e.observe(Request::new(
+            TileId::new(2, 0, 0),
+            Some(Move::ZoomIn(Quadrant::Nw)),
+        ));
+        e.observe(Request::new(TileId::new(2, 0, 1), Some(Move::PanRight)));
+        e.observe(Request::new(TileId::new(1, 0, 0), Some(Move::ZoomOut)));
+        assert_eq!(e.roi(), &[TileId::new(2, 0, 0), TileId::new(2, 0, 1)]);
+        e.reset_session();
+        assert!(e.roi().is_empty());
+        assert!(e.history().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Table-1 feature extraction for the phase classifier.
+//!
+//! | feature | information recorded |
+//! |---|---|
+//! | X position (in tiles) | x of the requested tile |
+//! | Y position (in tiles) | y of the requested tile |
+//! | Zoom level            | zoom level id |
+//! | Pan flag              | 1 if the user panned, else 0 |
+//! | Zoom-in flag          | 1 if zoom in, else 0 |
+//! | Zoom-out flag         | 1 if zoom out, else 0 |
+//!
+//! "To construct an input to our SVM classifier, we compute a feature
+//! vector using the current request r, and the user's previous request
+//! rn ∈ H" (§4.2.2). The previous request is unused by the feature set
+//! itself beyond having established `r.mv`, but the extractor accepts it
+//! to mirror the paper's interface (and so richer features can be added).
+
+use crate::history::Request;
+
+/// Number of features in the Table-1 vector.
+pub const NUM_FEATURES: usize = 6;
+
+/// Human-readable feature names, aligned with the vector layout.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "X position (in tiles)",
+    "Y position (in tiles)",
+    "Zoom level",
+    "Pan flag",
+    "Zoom-in flag",
+    "Zoom-out flag",
+];
+
+/// Extracts the Table-1 feature vector for `(r, prev)`.
+pub fn phase_features(r: &Request, _prev: Option<&Request>) -> [f64; NUM_FEATURES] {
+    let (pan, zin, zout) = match r.mv {
+        Some(m) if m.is_pan() => (1.0, 0.0, 0.0),
+        Some(m) if m.is_zoom_in() => (0.0, 1.0, 0.0),
+        Some(m) if m.is_zoom_out() => (0.0, 0.0, 1.0),
+        _ => (0.0, 0.0, 0.0),
+    };
+    [
+        f64::from(r.tile.x),
+        f64::from(r.tile.y),
+        f64::from(r.tile.level),
+        pan,
+        zin,
+        zout,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_tiles::{Move, Quadrant, TileId};
+
+    #[test]
+    fn features_reflect_position_and_move() {
+        let r = Request::new(TileId::new(6, 3, 9), Some(Move::PanLeft));
+        let f = phase_features(&r, None);
+        assert_eq!(f, [9.0, 3.0, 6.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn move_flags_are_one_hot() {
+        for (mv, expected) in [
+            (Move::PanUp, [1.0, 0.0, 0.0]),
+            (Move::ZoomIn(Quadrant::Se), [0.0, 1.0, 0.0]),
+            (Move::ZoomOut, [0.0, 0.0, 1.0]),
+        ] {
+            let r = Request::new(TileId::new(1, 0, 0), Some(mv));
+            let f = phase_features(&r, None);
+            assert_eq!(&f[3..6], &expected);
+        }
+    }
+
+    #[test]
+    fn initial_request_has_no_flags() {
+        let r = Request::initial(TileId::new(0, 0, 0));
+        let f = phase_features(&r, None);
+        assert_eq!(&f[3..6], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn names_align_with_layout() {
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+        assert_eq!(FEATURE_NAMES[2], "Zoom level");
+    }
+}

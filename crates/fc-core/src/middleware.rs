@@ -1,0 +1,346 @@
+//! The ForeCache middleware: prediction engine + cache manager + backend
+//! store, serving tile requests with the paper's latency profile (§3).
+//!
+//! Per request the middleware:
+//! 1. answers from the cache (hit → 19.5 ms) or the backend DBMS
+//!    (miss → ~984 ms);
+//! 2. records the request with the prediction engine and cache manager;
+//! 3. re-evaluates the allocation strategy and prefetches the engine's
+//!    top-k tiles into the cache for the *next* request.
+
+use crate::cache::{CacheManager, CacheStats};
+use crate::engine::PredictionEngine;
+use crate::history::Request;
+use crate::latency::LatencyProfile;
+use crate::phase::Phase;
+use fc_tiles::{Pyramid, Tile, TileId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The middleware's answer to one tile request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The tile payload.
+    pub tile: Arc<Tile>,
+    /// User-visible response time for this request.
+    pub latency: Duration,
+    /// Whether the cache answered.
+    pub cache_hit: bool,
+    /// The phase the engine inferred for this request.
+    pub phase: Phase,
+    /// Tiles prefetched after answering (for the next request).
+    pub prefetched: Vec<TileId>,
+}
+
+/// Aggregate middleware statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MiddlewareStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Cache hits among them.
+    pub hits: usize,
+    /// Sum of user-visible latency.
+    pub total_latency: Duration,
+    /// Requests per phase, indexed by [`Phase::index`].
+    pub per_phase: [usize; 3],
+}
+
+impl MiddlewareStats {
+    /// Average user-visible latency; zero when no requests.
+    pub fn avg_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(self.requests).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The middleware layer for one user session.
+pub struct Middleware {
+    engine: PredictionEngine,
+    cache: CacheManager,
+    pyramid: Arc<Pyramid>,
+    profile: LatencyProfile,
+    /// Prefetch budget k (tiles fetched ahead per request).
+    k: usize,
+    stats: MiddlewareStats,
+}
+
+impl std::fmt::Debug for Middleware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Middleware")
+            .field("k", &self.k)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Middleware {
+    /// Creates a middleware session.
+    ///
+    /// `history_cache` is the number of recently requested tiles kept in
+    /// the cache alongside the prefetch set; `k` is the prefetch budget.
+    pub fn new(
+        engine: PredictionEngine,
+        pyramid: Arc<Pyramid>,
+        profile: LatencyProfile,
+        history_cache: usize,
+        k: usize,
+    ) -> Self {
+        Self {
+            engine,
+            cache: CacheManager::new(history_cache),
+            pyramid,
+            profile,
+            k,
+            stats: MiddlewareStats::default(),
+        }
+    }
+
+    /// Serves one tile request. The `mv` is the interface move that
+    /// produced it (`None` for the session's first request).
+    ///
+    /// Returns `None` when the tile does not exist in the pyramid.
+    pub fn request(&mut self, id: TileId, mv: Option<fc_tiles::Move>) -> Option<Response> {
+        if !self.pyramid.geometry().contains(id) {
+            return None;
+        }
+        // 1. Serve the tile.
+        let (tile, latency, cache_hit) = match self.cache.lookup(id) {
+            Some(t) => {
+                self.pyramid.store().clock().advance(self.profile.hit);
+                (t, self.profile.hit, true)
+            }
+            None => {
+                // Backend query; the store charges its own (SciDB-like)
+                // latency on the shared clock.
+                let (t, cost) = self.pyramid.store().fetch_backend(id)?;
+                (t, cost, false)
+            }
+        };
+
+        // 2. Record the request.
+        let req = Request::new(id, mv);
+        self.engine.observe(req);
+        self.cache.note_request(tile.clone());
+        let phase = self.engine.current_phase();
+
+        // 3. Re-evaluate allocations and prefetch for the next request.
+        let predictions = self.engine.predict(self.pyramid.store(), self.k);
+        let mut fetched = Vec::with_capacity(predictions.len());
+        let mut prefetched_ids = Vec::with_capacity(predictions.len());
+        for p in &predictions {
+            if self.cache.contains(*p) {
+                continue;
+            }
+            // Prefetch I/O happens while the user analyzes the current
+            // tile; it costs backend time (accounted on the shared clock)
+            // but not user-visible latency.
+            if let Some(t) = self.pyramid.store().fetch_offline(*p) {
+                self.pyramid
+                    .store()
+                    .clock()
+                    .advance(self.pyramid.store().latency_model().cost(t.array.nbytes()));
+                fetched.push(t);
+                prefetched_ids.push(*p);
+            }
+        }
+        self.cache.install_prefetch(fetched);
+
+        self.stats.requests += 1;
+        if cache_hit {
+            self.stats.hits += 1;
+        }
+        self.stats.total_latency += latency;
+        self.stats.per_phase[phase.index()] += 1;
+
+        Some(Response {
+            tile,
+            latency,
+            cache_hit,
+            phase,
+            prefetched: prefetched_ids,
+        })
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> MiddlewareStats {
+        self.stats
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying engine (e.g. to inspect ROI state).
+    pub fn engine(&self) -> &PredictionEngine {
+        &self.engine
+    }
+
+    /// The prefetch budget k.
+    pub fn prefetch_budget(&self) -> usize {
+        self.k
+    }
+
+    /// Changes the prefetch budget (the paper varies k from 1 to 8).
+    pub fn set_prefetch_budget(&mut self, k: usize) {
+        self.k = k;
+    }
+
+    /// Resets the session (history, ROI, cache, stats).
+    pub fn reset_session(&mut self) {
+        self.engine.reset_session();
+        self.cache.clear();
+        self.stats = MiddlewareStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ab::AbRecommender;
+    use crate::alloc::AllocationStrategy;
+    use crate::engine::{EngineConfig, PhaseSource};
+    use crate::sb::{SbConfig, SbRecommender};
+    use crate::signature::SignatureKind;
+    use fc_array::{DenseArray, Schema};
+    use fc_tiles::{Move, PyramidBuilder, PyramidConfig};
+
+    fn pyramid() -> Arc<Pyramid> {
+        let schema = Schema::grid2d("G", 64, 64, &["v"]).unwrap();
+        let data: Vec<f64> = (0..64 * 64).map(|i| (i % 64) as f64 / 64.0).collect();
+        let base = DenseArray::from_vec(schema, data).unwrap();
+        let mut cfg = PyramidConfig::simple(3, 16, &["v"]);
+        cfg.latency = fc_array::LatencyModel::scidb_like();
+        let p = PyramidBuilder::new().build(&base, &cfg).unwrap();
+        // Hist signatures for the SB model.
+        for id in p.geometry().all_tiles() {
+            let t = p.store().fetch_offline(id).unwrap();
+            p.store().put_meta(
+                id,
+                SignatureKind::Hist1D.meta_name(),
+                crate::signature::hist_signature(&t, "v", (0.0, 1.0), 8),
+            );
+        }
+        p.store().reset_io_stats();
+        Arc::new(p)
+    }
+
+    fn middleware(p: Arc<Pyramid>, k: usize) -> Middleware {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 12]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        let engine = PredictionEngine::new(
+            p.geometry(),
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                // AB-only keeps the prefetch target deterministic for the
+                // pan-run tests (the SB model would chase the synthetic
+                // gradient's vertical stripes instead).
+                strategy: AllocationStrategy::AbOnly,
+                ..EngineConfig::default()
+            },
+        );
+        Middleware::new(engine, p, LatencyProfile::paper(), 3, k)
+    }
+
+    #[test]
+    fn first_request_misses_then_prefetch_hits() {
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        let r1 = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        assert!(!r1.cache_hit);
+        assert!(r1.latency >= Duration::from_millis(900), "{:?}", r1.latency);
+        assert!(!r1.prefetched.is_empty());
+
+        // Pan right repeatedly: the AB model (trained on right-runs)
+        // prefetches the continuation, so subsequent requests hit.
+        let mut hits = 0;
+        for x in 1..=3 {
+            let r = mw
+                .request(TileId::new(2, 2, x), Some(Move::PanRight))
+                .unwrap();
+            if r.cache_hit {
+                hits += 1;
+                assert_eq!(r.latency, LatencyProfile::paper().hit);
+            }
+        }
+        assert!(hits >= 2, "prefetching should produce hits, got {hits}");
+        let stats = mw.stats();
+        assert_eq!(stats.requests, 4);
+        assert!(stats.hit_rate() > 0.0);
+        assert!(stats.avg_latency() < Duration::from_millis(984));
+    }
+
+    #[test]
+    fn nonexistent_tile_returns_none() {
+        let p = pyramid();
+        let mut mw = middleware(p, 2);
+        assert!(mw.request(TileId::new(7, 0, 0), None).is_none());
+        assert!(mw.request(TileId::new(2, 9, 9), None).is_none());
+        assert_eq!(mw.stats().requests, 0);
+    }
+
+    #[test]
+    fn zero_budget_never_prefetches() {
+        let p = pyramid();
+        let mut mw = middleware(p, 0);
+        let r1 = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        assert!(r1.prefetched.is_empty());
+        let r2 = mw
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert!(!r2.cache_hit, "no prefetching → miss");
+        // Except the history cache: re-requesting a recent tile hits.
+        let r3 = mw
+            .request(TileId::new(2, 2, 0), Some(Move::PanLeft))
+            .unwrap();
+        assert!(r3.cache_hit, "history cache serves recent tiles");
+    }
+
+    #[test]
+    fn budget_is_adjustable() {
+        let p = pyramid();
+        let mut mw = middleware(p, 1);
+        assert_eq!(mw.prefetch_budget(), 1);
+        mw.set_prefetch_budget(8);
+        let r = mw.request(TileId::new(2, 2, 2), None).unwrap();
+        assert!(r.prefetched.len() > 1);
+    }
+
+    #[test]
+    fn reset_session_clears_state() {
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.request(TileId::new(2, 2, 0), None).unwrap();
+        mw.reset_session();
+        assert_eq!(mw.stats(), MiddlewareStats::default());
+        assert!(mw.engine().history().is_empty());
+        let r = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        assert!(!r.cache_hit, "cache cleared");
+    }
+
+    #[test]
+    fn phase_counts_accumulate() {
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.request(TileId::new(1, 0, 0), None).unwrap();
+        mw.request(TileId::new(1, 0, 1), Some(Move::PanRight)).unwrap();
+        mw.request(TileId::new(1, 0, 0), Some(Move::PanLeft)).unwrap();
+        let total: usize = mw.stats().per_phase.iter().sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,359 @@
+//! Multi-user cache coordination (paper §6.2, future work).
+//!
+//! "It is unclear how to partition the middleware cache to make
+//! predictions for multiple users exploring different datasets, or how
+//! to share data between users exploring the same dataset. We plan to
+//! extend our architecture to manage coordinated predictions and caching
+//! across multiple users."
+//!
+//! This module implements that extension for the same-dataset case:
+//! a [`SharedTileCache`] holds one copy of every resident tile, visible
+//! to all sessions; each session gets a fair slice of the prefetch
+//! budget, re-partitioned as sessions come and go; and tiles requested
+//! by several sessions gain *popularity* so eviction keeps communal
+//! tiles longest.
+
+use fc_tiles::{Tile, TileId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A session handle within the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+#[derive(Debug)]
+struct Resident {
+    tile: Arc<Tile>,
+    /// Sessions whose prefetch set or history references this tile.
+    holders: Vec<SessionId>,
+    /// Total times any session requested this tile (popularity).
+    popularity: u64,
+    /// Monotonic touch counter for LRU among equal popularity.
+    last_touch: u64,
+}
+
+/// Aggregate statistics for the shared cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found the tile resident (any holder).
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Hits on tiles brought in by a *different* session — the §6.2
+    /// sharing benefit.
+    pub cross_session_hits: usize,
+    /// Evictions performed.
+    pub evictions: usize,
+}
+
+impl SharedCacheStats {
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    tiles: HashMap<TileId, Resident>,
+    sessions: Vec<SessionId>,
+    capacity: usize,
+    next_session: u64,
+    touch: u64,
+    stats: SharedCacheStats,
+}
+
+/// A tile cache shared by all sessions of one dataset.
+pub struct SharedTileCache {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SharedTileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("SharedTileCache")
+            .field("capacity", &g.capacity)
+            .field("resident", &g.tiles.len())
+            .field("sessions", &g.sessions.len())
+            .finish()
+    }
+}
+
+impl SharedTileCache {
+    /// Creates a cache holding at most `capacity` tiles in total.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shared cache needs capacity");
+        Self {
+            inner: Mutex::new(Inner {
+                tiles: HashMap::new(),
+                sessions: Vec::new(),
+                capacity,
+                next_session: 1,
+                touch: 0,
+                stats: SharedCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Opens a session; the prefetch budget re-partitions across all
+    /// open sessions.
+    pub fn open_session(&self) -> SessionId {
+        let mut g = self.inner.lock();
+        let id = SessionId(g.next_session);
+        g.next_session += 1;
+        g.sessions.push(id);
+        id
+    }
+
+    /// Closes a session, releasing its holds; unheld unpopular tiles
+    /// become eviction candidates.
+    pub fn close_session(&self, id: SessionId) {
+        let mut g = self.inner.lock();
+        g.sessions.retain(|&s| s != id);
+        for r in g.tiles.values_mut() {
+            r.holders.retain(|&h| h != id);
+        }
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    /// The per-session prefetch allocation: the global budget divided
+    /// fairly among open sessions (at least 1).
+    pub fn session_budget(&self) -> usize {
+        let g = self.inner.lock();
+        (g.capacity / g.sessions.len().max(1)).max(1)
+    }
+
+    /// Looks up a tile for `session`, counting shared hits.
+    pub fn lookup(&self, session: SessionId, id: TileId) -> Option<Arc<Tile>> {
+        let mut g = self.inner.lock();
+        g.touch += 1;
+        let touch = g.touch;
+        match g.tiles.get_mut(&id) {
+            Some(r) => {
+                r.popularity += 1;
+                r.last_touch = touch;
+                let foreign = !r.holders.contains(&session);
+                if !r.holders.contains(&session) {
+                    r.holders.push(session);
+                }
+                let tile = r.tile.clone();
+                g.stats.hits += 1;
+                if foreign {
+                    g.stats.cross_session_hits += 1;
+                }
+                Some(tile)
+            }
+            None => {
+                g.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs tiles fetched for `session` (its prefetch set or history),
+    /// evicting the least-popular, least-recently-touched unheld tiles
+    /// when over capacity. A session may install at most its fair budget
+    /// per call; excess tiles are ignored (and reported back).
+    ///
+    /// Returns the number of tiles actually installed.
+    pub fn install(&self, session: SessionId, tiles: Vec<Arc<Tile>>) -> usize {
+        let budget = self.session_budget();
+        let mut g = self.inner.lock();
+        let mut installed = 0usize;
+        for tile in tiles.into_iter().take(budget) {
+            g.touch += 1;
+            let touch = g.touch;
+            let entry = g.tiles.entry(tile.id);
+            match entry {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let r = o.get_mut();
+                    if !r.holders.contains(&session) {
+                        r.holders.push(session);
+                    }
+                    r.last_touch = touch;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Resident {
+                        tile,
+                        holders: vec![session],
+                        popularity: 1,
+                        last_touch: touch,
+                    });
+                    installed += 1;
+                }
+            }
+        }
+        // Evict down to capacity: lowest (popularity, last_touch) first,
+        // preferring tiles with no holders.
+        while g.tiles.len() > g.capacity {
+            let victim = g
+                .tiles
+                .iter()
+                .min_by_key(|(_, r)| (!r.holders.is_empty() as u64, r.popularity, r.last_touch))
+                .map(|(&id, _)| id);
+            match victim {
+                Some(id) => {
+                    g.tiles.remove(&id);
+                    g.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        installed
+    }
+
+    /// Releases `session`'s hold on tiles outside `keep` (its new
+    /// prefetch set) — the per-request reallocation step.
+    pub fn retain_for(&self, session: SessionId, keep: &[TileId]) {
+        let mut g = self.inner.lock();
+        for (id, r) in g.tiles.iter_mut() {
+            if !keep.contains(id) {
+                r.holders.retain(|&h| h != session);
+            }
+        }
+    }
+
+    /// Number of resident tiles.
+    pub fn len(&self) -> usize {
+        self.inner.lock().tiles.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SharedCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// The most popular resident tiles, best first (dataset hotspots in
+    /// the §5.2.3 sense, discovered online).
+    pub fn popular(&self, n: usize) -> Vec<(TileId, u64)> {
+        let g = self.inner.lock();
+        let mut v: Vec<(TileId, u64)> = g
+            .tiles
+            .iter()
+            .map(|(&id, r)| (id, r.popularity))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_array::{DenseArray, Schema};
+
+    fn tile(id: TileId) -> Arc<Tile> {
+        Arc::new(Tile::new(
+            id,
+            DenseArray::filled(Schema::grid2d("T", 2, 2, &["v"]).unwrap(), 1.0),
+        ))
+    }
+
+    fn tid(x: u32) -> TileId {
+        TileId::new(2, 0, x)
+    }
+
+    #[test]
+    fn budget_splits_across_sessions() {
+        let c = SharedTileCache::new(12);
+        let a = c.open_session();
+        assert_eq!(c.session_budget(), 12);
+        let b = c.open_session();
+        assert_eq!(c.session_budget(), 6);
+        let d = c.open_session();
+        assert_eq!(c.session_budget(), 4);
+        c.close_session(b);
+        assert_eq!(c.session_budget(), 6);
+        let _ = (a, d);
+    }
+
+    #[test]
+    fn cross_session_sharing_counts() {
+        let c = SharedTileCache::new(8);
+        let a = c.open_session();
+        let b = c.open_session();
+        c.install(a, vec![tile(tid(1))]);
+        // Session b hits the tile session a brought in.
+        assert!(c.lookup(b, tid(1)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.cross_session_hits, 1);
+        // Session a hitting its own tile is not a cross hit.
+        assert!(c.lookup(a, tid(1)).is_some());
+        assert_eq!(c.stats().cross_session_hits, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_unheld_unpopular_tiles() {
+        let c = SharedTileCache::new(2);
+        let a = c.open_session();
+        c.install(a, vec![tile(tid(1))]);
+        c.install(a, vec![tile(tid(2))]);
+        // Popularize tile 1.
+        for _ in 0..3 {
+            c.lookup(a, tid(1));
+        }
+        // Release holds on tile 2 only.
+        c.retain_for(a, &[tid(1)]);
+        c.install(a, vec![tile(tid(3))]);
+        assert!(c.lookup(a, tid(1)).is_some(), "popular tile survives");
+        assert!(c.lookup(a, tid(2)).is_none(), "unheld unpopular evicted");
+        assert!(c.lookup(a, tid(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn install_respects_session_budget() {
+        let c = SharedTileCache::new(4);
+        let a = c.open_session();
+        let _b = c.open_session(); // budget now 2 per session
+        let installed = c.install(a, (0..4).map(|x| tile(tid(x))).collect());
+        assert_eq!(installed, 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn popular_ranks_by_request_count() {
+        let c = SharedTileCache::new(8);
+        let a = c.open_session();
+        c.install(a, vec![tile(tid(1)), tile(tid(2))]);
+        for _ in 0..5 {
+            c.lookup(a, tid(2));
+        }
+        c.lookup(a, tid(1));
+        let top = c.popular(2);
+        assert_eq!(top[0].0, tid(2));
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn close_session_releases_holds() {
+        let c = SharedTileCache::new(1);
+        let a = c.open_session();
+        c.install(a, vec![tile(tid(1))]);
+        c.close_session(a);
+        // New session can displace the old session's tile.
+        let b = c.open_session();
+        c.install(b, vec![tile(tid(9))]);
+        assert!(c.lookup(b, tid(9)).is_some());
+        assert!(c.lookup(b, tid(1)).is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! The Signature-Based (SB) recommender — the paper's Algorithm 3,
+//! implemented verbatim.
+//!
+//! For every candidate tile `T_A` and every ROI tile `T_B`:
+//!
+//! 1. per signature `S_i`:  `d_{i,A,B} = 2^{dmanh(T_A,T_B)−1} · distχ²(S_i(T_A), S_i(T_B))`
+//! 2. normalize by the per-signature maximum over all pairs;
+//! 3. combine: `d_{A,B} = √(Σ_i w_i · d_{i,A,B}²) / dphysical(A,B)`
+//! 4. per candidate: `d_A = Σ_B d_{A,B}`; rank ascending (most similar
+//!    first).
+//!
+//! The χ² distance applies to all four signatures ("all four of our
+//! current signatures produce histograms as output"). When the user has
+//! not yet committed an ROI, the current tile serves as the reference —
+//! the recommender then looks for "more tiles like the one being viewed".
+
+use crate::recommender::{PredictionContext, Recommender};
+use crate::signature::SignatureKind;
+use fc_tiles::{TileId, TileStore};
+
+/// Configuration for the SB recommender.
+#[derive(Debug, Clone)]
+pub struct SbConfig {
+    /// Which signatures participate, with their weights `w_i`
+    /// ("All signatures are assigned equal weight by default, but the
+    /// user can update these weight parameters as necessary").
+    pub weights: Vec<(SignatureKind, f64)>,
+    /// Apply Algorithm 3's line-8 Manhattan penalty `2^(dmanh−1)`
+    /// (disabled only by the ablation benches).
+    pub manhattan_penalty: bool,
+    /// Apply Algorithm 3's line-13 division by `dphysical(A,B)`
+    /// (disabled only by the ablation benches).
+    pub physical_distance: bool,
+}
+
+impl SbConfig {
+    /// All four signatures with equal weight.
+    pub fn all_equal() -> Self {
+        Self {
+            weights: crate::signature::SIGNATURE_KINDS
+                .iter()
+                .map(|&k| (k, 1.0))
+                .collect(),
+            manhattan_penalty: true,
+            physical_distance: true,
+        }
+    }
+
+    /// A single signature (used by the Fig. 10b per-signature runs).
+    pub fn single(kind: SignatureKind) -> Self {
+        Self {
+            weights: vec![(kind, 1.0)],
+            ..Self::all_equal()
+        }
+    }
+}
+
+/// The SB recommendation model.
+#[derive(Debug, Clone)]
+pub struct SbRecommender {
+    cfg: SbConfig,
+    name: String,
+}
+
+impl SbRecommender {
+    /// Creates a recommender with the given signature weights.
+    pub fn new(cfg: SbConfig) -> Self {
+        let name = if cfg.weights.len() == 1 {
+            format!("SB:{}", cfg.weights[0].0.display_name())
+        } else {
+            "SB".to_string()
+        };
+        Self { cfg, name }
+    }
+
+    /// Computes Algorithm 3's distance values for `candidates` against
+    /// `roi`, returning `(candidate, d_A)` pairs (unsorted).
+    pub fn distances(
+        &self,
+        store: &TileStore,
+        candidates: &[TileId],
+        roi: &[TileId],
+    ) -> Vec<(TileId, f64)> {
+        let nsig = self.cfg.weights.len();
+        // d[i][(a, b)] laid out as d[i][a * roi.len() + b].
+        let mut per_sig = vec![vec![0.0f64; candidates.len() * roi.len()]; nsig];
+        let mut maxes = vec![1.0f64; nsig]; // line 2: d_i,MAX ← 1
+
+        for (i, &(kind, _)) in self.cfg.weights.iter().enumerate() {
+            for (ai, &a) in candidates.iter().enumerate() {
+                let sig_a = store.meta_vec(a, kind.meta_name());
+                for (bi, &b) in roi.iter().enumerate() {
+                    let sig_b = store.meta_vec(b, kind.meta_name());
+                    let raw = match (&sig_a, &sig_b) {
+                        (Some(x), Some(y)) => chi_squared(x, y),
+                        // Missing metadata: treated as maximally distant.
+                        _ => 1.0,
+                    };
+                    // Line 8: Manhattan-distance penalty 2^(dmanh − 1).
+                    let penalty = if self.cfg.manhattan_penalty {
+                        let dmanh = a.manhattan(&b);
+                        2.0f64.powi(dmanh as i32 - 1)
+                    } else {
+                        1.0
+                    };
+                    let v = penalty * raw;
+                    per_sig[i][ai * roi.len() + bi] = v;
+                    maxes[i] = maxes[i].max(v);
+                }
+            }
+        }
+
+        // Lines 10-11: normalize by per-signature max.
+        for (i, sig) in per_sig.iter_mut().enumerate() {
+            for v in sig.iter_mut() {
+                *v /= maxes[i];
+            }
+        }
+
+        // Lines 12-15: weighted l2 combine / physical distance, then sum
+        // over ROI tiles.
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(ai, &a)| {
+                let mut total = 0.0f64;
+                for (bi, &b) in roi.iter().enumerate() {
+                    let mut sq = 0.0f64;
+                    for (i, &(_, w)) in self.cfg.weights.iter().enumerate() {
+                        let d = per_sig[i][ai * roi.len() + bi];
+                        sq += w * d * d;
+                    }
+                    let denom = if self.cfg.physical_distance {
+                        physical_distance(a, b)
+                    } else {
+                        1.0
+                    };
+                    total += sq.sqrt() / denom;
+                }
+                (a, total)
+            })
+            .collect()
+    }
+}
+
+impl Recommender for SbRecommender {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rank(&self, ctx: &PredictionContext<'_>) -> Vec<TileId> {
+        // Reference set: the last ROI, or the current tile before any ROI
+        // has been committed.
+        let fallback = [ctx.request.tile];
+        let refs: &[TileId] = if ctx.roi.is_empty() {
+            &fallback
+        } else {
+            ctx.roi
+        };
+        let mut scored = self.distances(ctx.store, ctx.candidates, refs);
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(t, _)| t).collect()
+    }
+}
+
+/// χ² distance between two non-negative vectors:
+/// `½ Σ (a−b)² / (a+b)`, skipping all-zero bins. Defined for unequal
+/// lengths by treating missing entries as 0.
+pub fn chi_squared(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        let denom = x + y;
+        if denom > 1e-12 {
+            acc += (x - y) * (x - y) / denom;
+        }
+    }
+    acc / 2.0
+}
+
+/// `dphysical(A, B)`: Euclidean distance between tile centres in the
+/// deeper level's tile coordinates, floored at 1 so the division in
+/// Algorithm 3 line 13 is well-defined for coincident tiles.
+pub fn physical_distance(a: TileId, b: TileId) -> f64 {
+    let level = a.level.max(b.level);
+    let pa = a.project_to(level);
+    let pb = b.project_to(level);
+    let dy = f64::from(pa.y) - f64::from(pb.y);
+    let dx = f64::from(pa.x) - f64::from(pb.x);
+    (dy * dy + dx * dx).sqrt().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Request, SessionHistory};
+    use fc_array::{IoMode, LatencyModel, SimClock};
+    use fc_tiles::Geometry;
+
+    fn store_with_sigs() -> (TileStore, Geometry) {
+        let g = Geometry::new(3, 256, 256, 64, 64);
+        let s = TileStore::new(g, LatencyModel::free(), IoMode::Simulated, SimClock::new());
+        (s, g)
+    }
+
+    fn put_hist(s: &TileStore, id: TileId, hist: &[f64]) {
+        s.put_meta(id, SignatureKind::Hist1D.meta_name(), hist.to_vec());
+    }
+
+    #[test]
+    fn chi_squared_basics() {
+        assert_eq!(chi_squared(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        let d = chi_squared(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-12, "{d}");
+        // Symmetry.
+        let a = [0.2, 0.3, 0.5];
+        let b = [0.5, 0.25, 0.25];
+        assert!((chi_squared(&a, &b) - chi_squared(&b, &a)).abs() < 1e-15);
+        // Unequal lengths: missing = 0.
+        assert!(chi_squared(&[1.0], &[1.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn physical_distance_floors_at_one() {
+        let a = TileId::new(2, 1, 1);
+        assert_eq!(physical_distance(a, a), 1.0);
+        assert_eq!(physical_distance(a, TileId::new(2, 1, 4)), 3.0);
+        // Cross-level projects to the deeper level.
+        let parent = TileId::new(1, 0, 0);
+        let deep = TileId::new(2, 0, 4);
+        assert_eq!(physical_distance(parent, deep), 4.0);
+    }
+
+    #[test]
+    fn rank_prefers_similar_signature() {
+        let (s, g) = store_with_sigs();
+        let roi = TileId::new(2, 1, 1);
+        let similar = TileId::new(2, 1, 2);
+        let different = TileId::new(2, 2, 1);
+        put_hist(&s, roi, &[0.9, 0.1]);
+        put_hist(&s, similar, &[0.85, 0.15]);
+        put_hist(&s, different, &[0.1, 0.9]);
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let mut h = SessionHistory::new(3);
+        let cur = Request::initial(TileId::new(2, 2, 2));
+        h.push(cur);
+        let candidates = [similar, different];
+        let roi_tiles = [roi];
+        let ctx = PredictionContext {
+            request: cur,
+            history: &h,
+            candidates: &candidates,
+            geometry: g,
+            store: &s,
+            roi: &roi_tiles,
+        };
+        let ranked = sb.rank(&ctx);
+        assert_eq!(ranked[0], similar);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn manhattan_penalty_demotes_distant_lookalikes() {
+        let (s, _g) = store_with_sigs();
+        let roi = TileId::new(2, 0, 0);
+        // Identical signatures, but one candidate is far away.
+        let near = TileId::new(2, 0, 1);
+        let far = TileId::new(2, 3, 3);
+        for id in [roi, near, far] {
+            put_hist(&s, id, &[0.5, 0.5]);
+        }
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let d = sb.distances(&s, &[near, far], &[roi]);
+        // Identical signatures → raw distance 0 for both; the Manhattan
+        // penalty multiplies zero, so both are 0 — the tie is fine. Now
+        // make signatures slightly different to expose the penalty.
+        put_hist(&s, near, &[0.45, 0.55]);
+        put_hist(&s, far, &[0.45, 0.55]);
+        let d2 = sb.distances(&s, &[near, far], &[roi]);
+        let near_d = d2[0].1;
+        let far_d = d2[1].1;
+        assert!(near_d < far_d, "near {near_d} vs far {far_d}");
+        let _ = d;
+    }
+
+    #[test]
+    fn missing_metadata_is_max_distance() {
+        let (s, _g) = store_with_sigs();
+        let roi = TileId::new(2, 1, 1);
+        let known = TileId::new(2, 1, 2);
+        let unknown = TileId::new(2, 1, 0);
+        put_hist(&s, roi, &[1.0, 0.0]);
+        put_hist(&s, known, &[1.0, 0.0]);
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let d = sb.distances(&s, &[known, unknown], &[roi]);
+        assert!(d[0].1 < d[1].1);
+    }
+
+    #[test]
+    fn falls_back_to_current_tile_without_roi() {
+        let (s, g) = store_with_sigs();
+        let cur_tile = TileId::new(2, 1, 1);
+        let like_cur = TileId::new(2, 1, 2);
+        let unlike = TileId::new(2, 0, 1);
+        put_hist(&s, cur_tile, &[0.8, 0.2]);
+        put_hist(&s, like_cur, &[0.8, 0.2]);
+        put_hist(&s, unlike, &[0.0, 1.0]);
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let mut h = SessionHistory::new(3);
+        let cur = Request::initial(cur_tile);
+        h.push(cur);
+        let candidates = [unlike, like_cur];
+        let ctx = PredictionContext {
+            request: cur,
+            history: &h,
+            candidates: &candidates,
+            geometry: g,
+            store: &s,
+            roi: &[],
+        };
+        assert_eq!(sb.rank(&ctx)[0], like_cur);
+    }
+
+    #[test]
+    fn multi_signature_weights_combine() {
+        let cfg = SbConfig::all_equal();
+        assert_eq!(cfg.weights.len(), 4);
+        let sb = SbRecommender::new(cfg);
+        assert_eq!(sb.name(), "SB");
+        let single = SbRecommender::new(SbConfig::single(SignatureKind::Sift));
+        assert_eq!(single.name(), "SB:SIFT");
+    }
+}

@@ -1,0 +1,377 @@
+//! Tile signatures (paper Table 2): compact numerical representations of
+//! a data tile used to compare visual similarity.
+//!
+//! | signature | measures | captures |
+//! |---|---|---|
+//! | NormalDist | mean, std of cell values | average position/color/size |
+//! | Hist1D | histogram of cell values | value distribution |
+//! | Sift | BoVW histogram of DoG keypoint descriptors | distinct landmarks |
+//! | DenseSift | BoVW histogram of dense-grid descriptors | landmarks **and** their layout |
+//!
+//! All signatures are computed over a single array attribute and stored
+//! as `f64` vectors in the tile store's shared metadata map. The SIFT
+//! variants need a visual-word vocabulary trained over the pyramid's tile
+//! corpus first — [`attach_signatures`] performs the whole offline
+//! pipeline (§2.3, "Computing Metadata").
+
+use fc_tiles::{MetadataComputer, Pyramid, Tile};
+use fc_vision::{
+    dense_descriptors, describe_keypoints, detect_keypoints, DetectorParams, GrayImage,
+    Vocabulary,
+};
+use std::sync::Arc;
+
+/// The four signature families of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureKind {
+    /// Mean and standard deviation of the attribute values.
+    NormalDist,
+    /// Fixed-bin histogram of the attribute values.
+    Hist1D,
+    /// Bag-of-visual-words over sparse SIFT keypoint descriptors.
+    Sift,
+    /// Bag-of-visual-words over dense-grid descriptors.
+    DenseSift,
+}
+
+/// All four kinds, in Table-2 order.
+pub const SIGNATURE_KINDS: [SignatureKind; 4] = [
+    SignatureKind::NormalDist,
+    SignatureKind::Hist1D,
+    SignatureKind::Sift,
+    SignatureKind::DenseSift,
+];
+
+impl SignatureKind {
+    /// The metadata key under which this signature is stored.
+    pub fn meta_name(self) -> &'static str {
+        match self {
+            SignatureKind::NormalDist => "sig_normal",
+            SignatureKind::Hist1D => "sig_hist",
+            SignatureKind::Sift => "sig_sift",
+            SignatureKind::DenseSift => "sig_densesift",
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SignatureKind::NormalDist => "Normal Distribution",
+            SignatureKind::Hist1D => "1-D histogram",
+            SignatureKind::Sift => "SIFT",
+            SignatureKind::DenseSift => "DenseSIFT",
+        }
+    }
+}
+
+/// Configuration for the signature pipeline.
+#[derive(Debug, Clone)]
+pub struct SignatureConfig {
+    /// The attribute the signatures are computed over (§4.3.3: "All of
+    /// our signatures are calculated over a single SciDB array
+    /// attribute").
+    pub attr: String,
+    /// Renderer value domain `(lo, hi)` for the grayscale heatmap.
+    pub domain: (f64, f64),
+    /// Histogram bin count for [`SignatureKind::Hist1D`].
+    pub hist_bins: usize,
+    /// Visual-word vocabulary size for the SIFT signatures.
+    pub vocab_size: usize,
+    /// Cap on keypoints described per tile (strongest first).
+    pub max_keypoints: usize,
+    /// Dense grid step in pixels.
+    pub dense_step: usize,
+    /// Dense patch radius in pixels.
+    pub dense_radius: f64,
+    /// DoG detector parameters.
+    pub detector: DetectorParams,
+    /// RNG seed for vocabulary training.
+    pub seed: u64,
+}
+
+impl SignatureConfig {
+    /// Defaults tuned for NDSI-style heatmaps in `[-1, 1]`.
+    pub fn ndsi(attr: impl Into<String>) -> Self {
+        Self {
+            attr: attr.into(),
+            domain: (-1.0, 1.0),
+            hist_bins: 16,
+            vocab_size: 16,
+            max_keypoints: 60,
+            dense_step: 8,
+            dense_radius: 6.0,
+            detector: DetectorParams {
+                // Snow-cover heatmaps are smoother than photographs;
+                // a lower contrast threshold keeps ridge-edge keypoints.
+                contrast_threshold: 0.004,
+                ..DetectorParams::default()
+            },
+            seed: 0xF0CE,
+        }
+    }
+}
+
+/// Renders a tile to the grayscale image the vision signatures consume.
+pub fn tile_image(tile: &Tile, attr: &str, domain: (f64, f64)) -> GrayImage {
+    let (h, w) = tile.shape();
+    let raster = tile
+        .render(attr, domain.0, domain.1)
+        .unwrap_or_else(|_| vec![0.0; w * h]);
+    GrayImage::new(w, h, raster)
+}
+
+/// Computes the [`SignatureKind::NormalDist`] vector: `[mean, std]`.
+pub fn normal_signature(tile: &Tile, attr: &str) -> Vec<f64> {
+    let vals = tile.present_values(attr).unwrap_or_default();
+    vec![fc_ml::mean(&vals), fc_ml::std_dev(&vals)]
+}
+
+/// Computes the [`SignatureKind::Hist1D`] vector: a normalized
+/// `bins`-bucket histogram of attribute values over `domain`.
+pub fn hist_signature(tile: &Tile, attr: &str, domain: (f64, f64), bins: usize) -> Vec<f64> {
+    let vals = tile.present_values(attr).unwrap_or_default();
+    let mut h = vec![0.0f64; bins];
+    let span = (domain.1 - domain.0).max(f64::EPSILON);
+    for v in &vals {
+        let t = ((v - domain.0) / span).clamp(0.0, 1.0);
+        let b = ((t * bins as f64) as usize).min(bins - 1);
+        h[b] += 1.0;
+    }
+    let total: f64 = h.iter().sum();
+    if total > 0.0 {
+        for v in &mut h {
+            *v /= total;
+        }
+    }
+    h
+}
+
+/// Extracts SIFT keypoint descriptors from a tile image (strongest
+/// `max_keypoints`).
+pub fn sift_descriptors(img: &GrayImage, cfg: &SignatureConfig) -> Vec<Vec<f64>> {
+    let mut kps = detect_keypoints(img, &cfg.detector);
+    kps.truncate(cfg.max_keypoints);
+    describe_keypoints(img, &kps)
+}
+
+/// A [`MetadataComputer`] producing one signature kind per tile.
+pub struct SignatureComputer {
+    kind: SignatureKind,
+    cfg: SignatureConfig,
+    /// Trained codebook; required for the SIFT kinds.
+    vocab: Option<Arc<Vocabulary>>,
+}
+
+impl SignatureComputer {
+    /// A computer for a value-statistics signature (NormalDist / Hist1D).
+    ///
+    /// # Panics
+    /// Panics when `kind` is a SIFT kind (those need a vocabulary).
+    pub fn stats(kind: SignatureKind, cfg: SignatureConfig) -> Self {
+        assert!(
+            matches!(kind, SignatureKind::NormalDist | SignatureKind::Hist1D),
+            "SIFT kinds need a vocabulary; use SignatureComputer::vision"
+        );
+        Self {
+            kind,
+            cfg,
+            vocab: None,
+        }
+    }
+
+    /// A computer for a vision signature with a trained vocabulary.
+    ///
+    /// # Panics
+    /// Panics when `kind` is a stats kind.
+    pub fn vision(kind: SignatureKind, cfg: SignatureConfig, vocab: Arc<Vocabulary>) -> Self {
+        assert!(
+            matches!(kind, SignatureKind::Sift | SignatureKind::DenseSift),
+            "stats kinds take no vocabulary; use SignatureComputer::stats"
+        );
+        Self {
+            kind,
+            cfg,
+            vocab: Some(vocab),
+        }
+    }
+}
+
+impl MetadataComputer for SignatureComputer {
+    fn name(&self) -> &str {
+        self.kind.meta_name()
+    }
+
+    fn compute(&self, tile: &Tile) -> Vec<f64> {
+        match self.kind {
+            SignatureKind::NormalDist => normal_signature(tile, &self.cfg.attr),
+            SignatureKind::Hist1D => {
+                hist_signature(tile, &self.cfg.attr, self.cfg.domain, self.cfg.hist_bins)
+            }
+            SignatureKind::Sift => {
+                let img = tile_image(tile, &self.cfg.attr, self.cfg.domain);
+                let descs = sift_descriptors(&img, &self.cfg);
+                self.vocab
+                    .as_ref()
+                    .expect("vision computer has vocabulary")
+                    .histogram(&descs)
+            }
+            SignatureKind::DenseSift => {
+                let img = tile_image(tile, &self.cfg.attr, self.cfg.domain);
+                let descs = dense_descriptors(&img, self.cfg.dense_step, self.cfg.dense_radius);
+                self.vocab
+                    .as_ref()
+                    .expect("vision computer has vocabulary")
+                    .histogram(&descs)
+            }
+        }
+    }
+}
+
+/// Runs the full offline metadata pipeline over a built pyramid:
+/// 1. trains SIFT and denseSIFT vocabularies over the tile corpus,
+/// 2. computes all four signatures for every tile,
+/// 3. stores them in the tile store's shared metadata map.
+///
+/// Returns the trained vocabularies `(sift, dense_sift)` so callers can
+/// attach signatures to future tiles.
+pub fn attach_signatures(
+    pyramid: &Pyramid,
+    cfg: &SignatureConfig,
+) -> (Arc<Vocabulary>, Arc<Vocabulary>) {
+    let store = pyramid.store();
+    // Pass 1: harvest descriptors for vocabulary training.
+    let mut sift_corpus = Vec::new();
+    let mut dense_corpus = Vec::new();
+    for id in pyramid.geometry().all_tiles() {
+        if let Some(tile) = store.fetch_offline(id) {
+            let img = tile_image(&tile, &cfg.attr, cfg.domain);
+            sift_corpus.extend(sift_descriptors(&img, cfg));
+            dense_corpus.extend(dense_descriptors(&img, cfg.dense_step, cfg.dense_radius));
+        }
+    }
+    // Degenerate datasets (entirely flat) still need a non-empty corpus.
+    if sift_corpus.is_empty() {
+        sift_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+    }
+    if dense_corpus.is_empty() {
+        dense_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+    }
+    let sift_vocab = Arc::new(Vocabulary::train(&sift_corpus, cfg.vocab_size, cfg.seed));
+    let dense_vocab = Arc::new(Vocabulary::train(
+        &dense_corpus,
+        cfg.vocab_size,
+        cfg.seed ^ 0xD5,
+    ));
+
+    // Pass 2: compute and store all four signatures per tile.
+    let computers: Vec<SignatureComputer> = vec![
+        SignatureComputer::stats(SignatureKind::NormalDist, cfg.clone()),
+        SignatureComputer::stats(SignatureKind::Hist1D, cfg.clone()),
+        SignatureComputer::vision(SignatureKind::Sift, cfg.clone(), sift_vocab.clone()),
+        SignatureComputer::vision(SignatureKind::DenseSift, cfg.clone(), dense_vocab.clone()),
+    ];
+    for id in pyramid.geometry().all_tiles() {
+        if let Some(tile) = store.fetch_offline(id) {
+            for c in &computers {
+                store.put_meta(id, c.name(), c.compute(&tile));
+            }
+        }
+    }
+    (sift_vocab, dense_vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_array::{DenseArray, Schema};
+    use fc_tiles::{PyramidBuilder, PyramidConfig, TileId};
+
+    fn tile_with(values: Vec<f64>, side: usize) -> Tile {
+        let schema = Schema::grid2d("T", side, side, &["v"]).unwrap();
+        Tile::new(
+            TileId::new(1, 0, 0),
+            DenseArray::from_vec(schema, values).unwrap(),
+        )
+    }
+
+    #[test]
+    fn normal_signature_mean_std() {
+        let t = tile_with(vec![1.0, 1.0, 3.0, 3.0], 2);
+        let s = normal_signature(&t, "v");
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_signature_buckets_and_normalizes() {
+        let t = tile_with(vec![-1.0, -0.9, 0.95, 1.0], 2);
+        let h = hist_signature(&t, "v", (-1.0, 1.0), 4);
+        assert_eq!(h.len(), 4);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[0] - 0.5).abs() < 1e-12);
+        assert!((h[3] - 0.5).abs() < 1e-12);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn hist_of_empty_tile_is_zero() {
+        let schema = Schema::grid2d("T", 2, 2, &["v"]).unwrap();
+        let t = Tile::new(TileId::ROOT, DenseArray::empty(schema));
+        let h = hist_signature(&t, "v", (-1.0, 1.0), 4);
+        assert_eq!(h, vec![0.0; 4]);
+        let n = normal_signature(&t, "v");
+        assert_eq!(n, vec![0.0, 0.0]);
+    }
+
+    /// Terrain with a bright blob in one corner; pyramid 2 levels.
+    fn blobby_base(side: usize) -> DenseArray {
+        let schema = Schema::grid2d("B", side, side, &["v"]).unwrap();
+        let mut data = vec![0.0f64; side * side];
+        for y in 0..side {
+            for x in 0..side {
+                let d2 = (x as f64 - side as f64 / 4.0).powi(2)
+                    + (y as f64 - side as f64 / 4.0).powi(2);
+                data[y * side + x] = (-d2 / 16.0).exp() * 2.0 - 1.0;
+            }
+        }
+        DenseArray::from_vec(schema, data).unwrap()
+    }
+
+    #[test]
+    fn attach_signatures_populates_all_tiles() {
+        let base = blobby_base(64);
+        let cfg = PyramidConfig::simple(2, 32, &["v"]);
+        let pyramid = PyramidBuilder::new().build(&base, &cfg).unwrap();
+        let sig_cfg = SignatureConfig::ndsi("v");
+        let (sv, dv) = attach_signatures(&pyramid, &sig_cfg);
+        assert!(sv.size() >= 1);
+        assert!(dv.size() >= 1);
+        for id in pyramid.geometry().all_tiles() {
+            let meta = pyramid.store().meta(id).unwrap();
+            for kind in SIGNATURE_KINDS {
+                let v = meta.get(kind.meta_name()).unwrap();
+                assert!(!v.is_empty(), "{} on {id}", kind.meta_name());
+                assert!(v.iter().all(|x| x.is_finite()));
+            }
+        }
+        // I/O stats untouched: signature work is offline.
+        assert_eq!(pyramid.store().io_stats().reads, 0);
+    }
+
+    #[test]
+    fn meta_names_are_distinct() {
+        let names: Vec<&str> = SIGNATURE_KINDS.iter().map(|k| k.meta_name()).collect();
+        let mut d = names.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), names.len());
+        assert_eq!(SignatureKind::Sift.display_name(), "SIFT");
+    }
+
+    #[test]
+    #[should_panic(expected = "need a vocabulary")]
+    fn stats_constructor_rejects_sift() {
+        SignatureComputer::stats(SignatureKind::Sift, SignatureConfig::ndsi("v"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used by the SIFT/denseSIFT signatures: descriptors from the tile corpus
+//! are clustered into visual words, and each tile's signature is the
+//! histogram of its descriptors over those words ("SIFT: histogram built
+//! from clustered SIFT descriptors", paper Table 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model (the visual-word codebook).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `data` with at most `max_iters` Lloyd
+    /// iterations, deterministic under `seed`. If `data` has fewer than
+    /// `k` points, the number of clusters is reduced to `data.len()`.
+    ///
+    /// # Panics
+    /// Panics on empty data, `k == 0`, or inconsistent arity.
+    pub fn fit(data: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "k-means needs data");
+        assert!(k > 0, "k must be positive");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|d| d.len() == dim),
+            "inconsistent point arity"
+        );
+        let k = k.min(data.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        let mut d2: Vec<f64> = data
+            .iter()
+            .map(|p| sq_dist(p, &centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= f64::EPSILON {
+                // All points coincide with some centroid; pick any.
+                rng.gen_range(0..data.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut idx = 0;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                    idx = i;
+                }
+                idx
+            };
+            centroids.push(data[next].clone());
+            for (i, p) in data.iter().enumerate() {
+                d2[i] = d2[i].min(sq_dist(p, centroids.last().expect("just pushed")));
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let best = nearest(&centroids, p).0;
+                if best != assignment[i] {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cv, &sv) in c.iter_mut().zip(sum) {
+                        *cv = sv / count as f64;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+        }
+        Self { centroids }
+    }
+
+    /// Index of the nearest centroid.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+
+    /// Squared distance to the nearest centroid (for diagnostics).
+    pub fn distortion(&self, point: &[f64]) -> f64 {
+        nearest(&self.centroids, point).1
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters actually fitted.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Builds the normalized histogram of cluster assignments for a bag
+    /// of points (the BoVW signature). Returns all-zeros for an empty
+    /// bag.
+    pub fn histogram(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        let mut h = vec![0.0f64; self.k()];
+        for p in points {
+            h[self.assign(p)] += 1.0;
+        }
+        let total: f64 = h.iter().sum();
+        if total > 0.0 {
+            for v in &mut h {
+                *v /= total;
+            }
+        }
+        h
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.01;
+            data.push(vec![0.0 + jitter, 0.0]);
+            data.push(vec![10.0 + jitter, 10.0]);
+            data.push(vec![-10.0 - jitter, 10.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let km = KMeans::fit(&blobs(), 3, 50, 42);
+        assert_eq!(km.k(), 3);
+        // All three blob anchors land in distinct clusters.
+        let a = km.assign(&[0.0, 0.0]);
+        let b = km.assign(&[10.0, 10.0]);
+        let c = km.assign(&[-10.0, 10.0]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        // Distortion at a blob center is tiny.
+        assert!(km.distortion(&[0.0, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = KMeans::fit(&blobs(), 3, 50, 1);
+        let b = KMeans::fit(&blobs(), 3, 50, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_data_is_reduced() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(&data, 10, 10, 0);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn histogram_normalized() {
+        let km = KMeans::fit(&blobs(), 3, 50, 42);
+        let bag = vec![
+            vec![0.1, 0.0],
+            vec![0.2, 0.1],
+            vec![10.0, 10.1],
+            vec![9.9, 9.8],
+        ];
+        let h = km.histogram(&bag);
+        assert_eq!(h.len(), 3);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(h.iter().any(|&v| (v - 0.5).abs() < 1e-12));
+        // Empty bag → zero histogram.
+        assert_eq!(km.histogram(&[]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let data = vec![vec![1.0, 1.0]; 20];
+        let km = KMeans::fit(&data, 4, 10, 9);
+        assert_eq!(km.assign(&[1.0, 1.0]), km.assign(&[1.0, 1.0]));
+    }
+}

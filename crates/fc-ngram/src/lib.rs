@@ -1,0 +1,26 @@
+//! # fc-ngram — Kneser–Ney smoothed n-gram models over small alphabets
+//!
+//! The paper's Action-Based (AB) recommender "builds an n-th order Markov
+//! chain from users' past actions" and fills in missing counts with
+//! "Kneser-Ney smoothing, a well-studied smoothing method in natural
+//! language processing" (§4.3.2, [7] Chen & Goodman 1999), using the
+//! BerkeleyLM Java library. This crate is that substrate, implemented
+//! from scratch:
+//!
+//! * [`TransitionCounts`] — Algorithm 2 verbatim: walk every trace,
+//!   extract its move sequence, and count how often each length-`n`
+//!   context is followed by each move;
+//! * [`KneserNey`] — an interpolated Kneser–Ney model with per-order
+//!   absolute discounts estimated from the data
+//!   (`D = n1 / (n1 + 2·n2)`), continuation counts for lower orders, and
+//!   a uniform base distribution;
+//! * tokens are plain `u16` ids so the crate stays independent of the
+//!   move enum (ForeCache's vocabulary is the nine interface moves).
+
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod model;
+
+pub use counts::TransitionCounts;
+pub use model::KneserNey;

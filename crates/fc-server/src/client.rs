@@ -1,0 +1,136 @@
+//! A blocking ForeCache client.
+
+use crate::protocol::{read_frame, write_frame, ClientMsg, ServerMsg, TilePayload};
+use fc_tiles::{Move, TileId};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    levels: u8,
+    deepest_tiles: (u32, u32),
+}
+
+/// A tile answer as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileAnswer {
+    /// The tile payload.
+    pub payload: TilePayload,
+    /// Server-reported latency.
+    pub latency: Duration,
+    /// Whether the middleware cache answered.
+    pub cache_hit: bool,
+    /// The engine's phase estimate (`Phase::index`).
+    pub phase: u8,
+}
+
+/// Session statistics as seen by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Average latency.
+    pub avg_latency: Duration,
+}
+
+impl Client {
+    /// Connects and opens a session with prefetch budget `k` (0 = server
+    /// default).
+    ///
+    /// # Errors
+    /// Socket errors, protocol violations, or a server-side error reply.
+    pub fn connect<A: ToSocketAddrs>(addr: A, k: u32) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &ClientMsg::Hello { prefetch_k: k }.encode())?;
+        match ServerMsg::decode(read_frame(&mut stream)?)? {
+            ServerMsg::Welcome {
+                levels,
+                deepest_tiles,
+            } => Ok(Client {
+                stream,
+                levels,
+                deepest_tiles,
+            }),
+            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            other => Err(io::Error::other(format!(
+                "unexpected reply to Hello: {other:?}"
+            ))),
+        }
+    }
+
+    /// Number of zoom levels in the served dataset.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Tile-grid dimensions at the deepest level.
+    pub fn deepest_tiles(&self) -> (u32, u32) {
+        self.deepest_tiles
+    }
+
+    /// Requests a tile.
+    ///
+    /// # Errors
+    /// Socket errors or a server-side error reply (e.g. nonexistent
+    /// tile).
+    pub fn request_tile(&mut self, tile: TileId, mv: Option<Move>) -> io::Result<TileAnswer> {
+        write_frame(
+            &mut self.stream,
+            &ClientMsg::RequestTile { tile, mv }.encode(),
+        )?;
+        match ServerMsg::decode(read_frame(&mut self.stream)?)? {
+            ServerMsg::Tile {
+                payload,
+                latency_ns,
+                cache_hit,
+                phase,
+            } => Ok(TileAnswer {
+                payload,
+                latency: Duration::from_nanos(latency_ns),
+                cache_hit,
+                phase,
+            }),
+            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            other => Err(io::Error::other(format!(
+                "unexpected reply to RequestTile: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches session statistics.
+    ///
+    /// # Errors
+    /// Socket or protocol errors.
+    pub fn stats(&mut self) -> io::Result<SessionStats> {
+        write_frame(&mut self.stream, &ClientMsg::GetStats.encode())?;
+        match ServerMsg::decode(read_frame(&mut self.stream)?)? {
+            ServerMsg::Stats {
+                requests,
+                hits,
+                avg_latency_ns,
+            } => Ok(SessionStats {
+                requests,
+                hits,
+                avg_latency: Duration::from_nanos(avg_latency_ns),
+            }),
+            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            other => Err(io::Error::other(format!(
+                "unexpected reply to GetStats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the session politely.
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn bye(mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &ClientMsg::Bye.encode())
+    }
+}

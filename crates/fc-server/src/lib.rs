@@ -1,0 +1,29 @@
+//! # fc-server — the ForeCache client-server architecture (§3)
+//!
+//! "ForeCache utilizes a client-server architecture, where the user
+//! interacts with a lightweight client-side interface to browse datasets,
+//! and the data to be browsed is retrieved from a DBMS running on a
+//! back-end server." The paper's front-end is a web page; ForeCache is
+//! explicitly front-end agnostic — "the only requirement for the
+//! visualizer is that it must interact with the back-end through tile
+//! requests."
+//!
+//! This crate provides:
+//! * [`protocol`] — a length-prefixed binary wire format (no external
+//!   serialization framework; `bytes` for framing);
+//! * [`server`] — a threaded TCP server: one connection = one user
+//!   session with its own [`fc_core::Middleware`] (prediction engine +
+//!   cache) over a shared tile pyramid, supporting many concurrent
+//!   users (§5.5: "many users can actively navigate the data freely and
+//!   in parallel");
+//! * [`client`] — a blocking client for Rust front-ends and tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ClientMsg, ServerMsg, TilePayload};
+pub use server::{EngineFactory, Server, ServerConfig};

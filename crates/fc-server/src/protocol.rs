@@ -1,0 +1,461 @@
+//! The wire protocol: length-prefixed frames, hand-rolled binary codec.
+//!
+//! Frame layout: `u32 LE payload length | u8 message tag | payload`.
+//! All integers little-endian; strings are `u16 LE length + UTF-8`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fc_tiles::{Move, TileId};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (guards against corrupt length prefixes).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Open a session (returns `ServerMsg::Welcome`).
+    Hello {
+        /// Prefetch budget k requested for this session.
+        prefetch_k: u32,
+    },
+    /// Request a tile; `mv` is the interface move that produced the
+    /// request (`None` for the first request).
+    RequestTile {
+        /// The tile.
+        tile: TileId,
+        /// The move, if any.
+        mv: Option<Move>,
+    },
+    /// Ask for session statistics.
+    GetStats,
+    /// Close the session.
+    Bye,
+}
+
+/// The tile payload of a [`ServerMsg::Tile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePayload {
+    /// Which tile this is.
+    pub tile: TileId,
+    /// Tile height in cells.
+    pub h: u32,
+    /// Tile width in cells.
+    pub w: u32,
+    /// Attribute names, in storage order.
+    pub attrs: Vec<String>,
+    /// Row-major values per attribute (`attrs.len() × h·w`).
+    pub data: Vec<Vec<f64>>,
+    /// Cell presence mask, row-major (1 = present).
+    pub present: Vec<u8>,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Session accepted.
+    Welcome {
+        /// Zoom levels in the dataset.
+        levels: u8,
+        /// Tile grid rows/cols at the deepest level.
+        deepest_tiles: (u32, u32),
+    },
+    /// A requested tile.
+    Tile {
+        /// The payload.
+        payload: TilePayload,
+        /// Server-side latency for this request, nanoseconds.
+        latency_ns: u64,
+        /// Whether the middleware cache answered.
+        cache_hit: bool,
+        /// The engine's phase estimate (by `Phase::index`).
+        phase: u8,
+    },
+    /// Session statistics.
+    Stats {
+        /// Requests served.
+        requests: u64,
+        /// Cache hits among them.
+        hits: u64,
+        /// Average latency, nanoseconds.
+        avg_latency_ns: u64,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    buf.put_u16_le(u16::try_from(bytes.len()).expect("string fits u16"));
+    buf.put_slice(bytes);
+}
+
+fn get_string(buf: &mut Bytes) -> io::Result<String> {
+    if buf.remaining() < 2 {
+        return Err(bad("truncated string length"));
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(bad("truncated string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| bad("invalid UTF-8"))
+}
+
+fn put_tile_id(buf: &mut BytesMut, t: TileId) {
+    buf.put_u8(t.level);
+    buf.put_u32_le(t.y);
+    buf.put_u32_le(t.x);
+}
+
+fn get_tile_id(buf: &mut Bytes) -> io::Result<TileId> {
+    if buf.remaining() < 9 {
+        return Err(bad("truncated tile id"));
+    }
+    Ok(TileId::new(buf.get_u8(), buf.get_u32_le(), buf.get_u32_le()))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl ClientMsg {
+    /// Encodes into a framed byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            ClientMsg::Hello { prefetch_k } => {
+                body.put_u8(0);
+                body.put_u32_le(*prefetch_k);
+            }
+            ClientMsg::RequestTile { tile, mv } => {
+                body.put_u8(1);
+                put_tile_id(&mut body, *tile);
+                match mv {
+                    Some(m) => body.put_u8(u8::try_from(m.index() + 1).expect("move id fits")),
+                    None => body.put_u8(0),
+                }
+            }
+            ClientMsg::GetStats => body.put_u8(2),
+            ClientMsg::Bye => body.put_u8(3),
+        }
+        frame(body)
+    }
+
+    /// Decodes one unframed message body.
+    ///
+    /// # Errors
+    /// `InvalidData` on malformed bodies.
+    pub fn decode(mut body: Bytes) -> io::Result<Self> {
+        if body.is_empty() {
+            return Err(bad("empty message"));
+        }
+        match body.get_u8() {
+            0 => {
+                if body.remaining() < 4 {
+                    return Err(bad("truncated Hello"));
+                }
+                Ok(ClientMsg::Hello {
+                    prefetch_k: body.get_u32_le(),
+                })
+            }
+            1 => {
+                let tile = get_tile_id(&mut body)?;
+                if body.remaining() < 1 {
+                    return Err(bad("truncated RequestTile"));
+                }
+                let raw = body.get_u8();
+                let mv = match raw {
+                    0 => None,
+                    n if (n as usize) <= fc_tiles::MOVES.len() => {
+                        Some(Move::from_index(n as usize - 1))
+                    }
+                    _ => return Err(bad("bad move id")),
+                };
+                Ok(ClientMsg::RequestTile { tile, mv })
+            }
+            2 => Ok(ClientMsg::GetStats),
+            3 => Ok(ClientMsg::Bye),
+            t => Err(bad(&format!("unknown client tag {t}"))),
+        }
+    }
+}
+
+impl ServerMsg {
+    /// Encodes into a framed byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            ServerMsg::Welcome {
+                levels,
+                deepest_tiles,
+            } => {
+                body.put_u8(0);
+                body.put_u8(*levels);
+                body.put_u32_le(deepest_tiles.0);
+                body.put_u32_le(deepest_tiles.1);
+            }
+            ServerMsg::Tile {
+                payload,
+                latency_ns,
+                cache_hit,
+                phase,
+            } => {
+                body.put_u8(1);
+                put_tile_id(&mut body, payload.tile);
+                body.put_u32_le(payload.h);
+                body.put_u32_le(payload.w);
+                body.put_u64_le(*latency_ns);
+                body.put_u8(u8::from(*cache_hit));
+                body.put_u8(*phase);
+                body.put_u16_le(u16::try_from(payload.attrs.len()).expect("attr count"));
+                for (name, values) in payload.attrs.iter().zip(&payload.data) {
+                    put_string(&mut body, name);
+                    for v in values {
+                        body.put_f64_le(*v);
+                    }
+                }
+                body.put_slice(&payload.present);
+            }
+            ServerMsg::Stats {
+                requests,
+                hits,
+                avg_latency_ns,
+            } => {
+                body.put_u8(2);
+                body.put_u64_le(*requests);
+                body.put_u64_le(*hits);
+                body.put_u64_le(*avg_latency_ns);
+            }
+            ServerMsg::Error { reason } => {
+                body.put_u8(3);
+                put_string(&mut body, reason);
+            }
+        }
+        frame(body)
+    }
+
+    /// Decodes one unframed message body.
+    ///
+    /// # Errors
+    /// `InvalidData` on malformed bodies.
+    pub fn decode(mut body: Bytes) -> io::Result<Self> {
+        if body.is_empty() {
+            return Err(bad("empty message"));
+        }
+        match body.get_u8() {
+            0 => {
+                if body.remaining() < 9 {
+                    return Err(bad("truncated Welcome"));
+                }
+                Ok(ServerMsg::Welcome {
+                    levels: body.get_u8(),
+                    deepest_tiles: (body.get_u32_le(), body.get_u32_le()),
+                })
+            }
+            1 => {
+                let tile = get_tile_id(&mut body)?;
+                if body.remaining() < 4 + 4 + 8 + 1 + 1 + 2 {
+                    return Err(bad("truncated Tile header"));
+                }
+                let h = body.get_u32_le();
+                let w = body.get_u32_le();
+                let latency_ns = body.get_u64_le();
+                let cache_hit = body.get_u8() != 0;
+                let phase = body.get_u8();
+                let nattrs = body.get_u16_le() as usize;
+                let ncells = (h as usize) * (w as usize);
+                let mut attrs = Vec::with_capacity(nattrs);
+                let mut data = Vec::with_capacity(nattrs);
+                for _ in 0..nattrs {
+                    let name = get_string(&mut body)?;
+                    if body.remaining() < ncells * 8 {
+                        return Err(bad("truncated attribute data"));
+                    }
+                    let mut values = Vec::with_capacity(ncells);
+                    for _ in 0..ncells {
+                        values.push(body.get_f64_le());
+                    }
+                    attrs.push(name);
+                    data.push(values);
+                }
+                if body.remaining() < ncells {
+                    return Err(bad("truncated presence mask"));
+                }
+                let present = body.copy_to_bytes(ncells).to_vec();
+                Ok(ServerMsg::Tile {
+                    payload: TilePayload {
+                        tile,
+                        h,
+                        w,
+                        attrs,
+                        data,
+                        present,
+                    },
+                    latency_ns,
+                    cache_hit,
+                    phase,
+                })
+            }
+            2 => {
+                if body.remaining() < 24 {
+                    return Err(bad("truncated Stats"));
+                }
+                Ok(ServerMsg::Stats {
+                    requests: body.get_u64_le(),
+                    hits: body.get_u64_le(),
+                    avg_latency_ns: body.get_u64_le(),
+                })
+            }
+            3 => Ok(ServerMsg::Error {
+                reason: get_string(&mut body)?,
+            }),
+            t => Err(bad(&format!("unknown server tag {t}"))),
+        }
+    }
+}
+
+fn frame(body: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_u32_le(u32::try_from(body.len()).expect("frame fits u32"));
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Writes one framed message to a stream.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_frame<W: Write>(w: &mut W, framed: &Bytes) -> io::Result<()> {
+    w.write_all(framed)?;
+    w.flush()
+}
+
+/// Reads one frame body from a stream (without the length prefix).
+///
+/// # Errors
+/// Propagates I/O errors; `InvalidData` for oversized frames;
+/// `UnexpectedEof` at clean stream end.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(bad("frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Bytes::from(body))
+}
+
+/// Strips the 4-byte length prefix from an encoded message (test helper
+/// and internal plumbing for decode-after-encode).
+pub fn unframe(framed: &Bytes) -> Bytes {
+    framed.slice(4..)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_tiles::Quadrant;
+
+    #[test]
+    fn client_msgs_roundtrip() {
+        let msgs = vec![
+            ClientMsg::Hello { prefetch_k: 5 },
+            ClientMsg::RequestTile {
+                tile: TileId::new(3, 7, 9),
+                mv: Some(Move::ZoomIn(Quadrant::Se)),
+            },
+            ClientMsg::RequestTile {
+                tile: TileId::ROOT,
+                mv: None,
+            },
+            ClientMsg::GetStats,
+            ClientMsg::Bye,
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            let dec = ClientMsg::decode(unframe(&enc)).unwrap();
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn server_msgs_roundtrip() {
+        let payload = TilePayload {
+            tile: TileId::new(2, 1, 3),
+            h: 2,
+            w: 2,
+            attrs: vec!["ndsi_avg".into(), "land".into()],
+            data: vec![vec![0.1, 0.2, 0.3, 0.4], vec![1.0, 1.0, 0.0, 1.0]],
+            present: vec![1, 1, 0, 1],
+        };
+        let msgs = vec![
+            ServerMsg::Welcome {
+                levels: 6,
+                deepest_tiles: (32, 32),
+            },
+            ServerMsg::Tile {
+                payload,
+                latency_ns: 19_500_000,
+                cache_hit: true,
+                phase: 2,
+            },
+            ServerMsg::Stats {
+                requests: 10,
+                hits: 8,
+                avg_latency_ns: 123,
+            },
+            ServerMsg::Error {
+                reason: "no such tile".into(),
+            },
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            let dec = ServerMsg::decode(unframe(&enc)).unwrap();
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ClientMsg::decode(Bytes::from_static(&[])).is_err());
+        assert!(ClientMsg::decode(Bytes::from_static(&[9])).is_err());
+        assert!(ServerMsg::decode(Bytes::from_static(&[9])).is_err());
+        assert!(ClientMsg::decode(Bytes::from_static(&[1, 0])).is_err());
+        // Bad move id.
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u8(0);
+        b.put_u32_le(0);
+        b.put_u32_le(0);
+        b.put_u8(200);
+        assert!(ClientMsg::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn frame_stream_roundtrip() {
+        let m = ClientMsg::Hello { prefetch_k: 3 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &m.encode()).unwrap();
+        write_frame(&mut buf, &ClientMsg::Bye.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let f1 = read_frame(&mut cursor).unwrap();
+        assert_eq!(ClientMsg::decode(f1).unwrap(), m);
+        let f2 = read_frame(&mut cursor).unwrap();
+        assert_eq!(ClientMsg::decode(f2).unwrap(), ClientMsg::Bye);
+        assert!(read_frame(&mut cursor).is_err(), "EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

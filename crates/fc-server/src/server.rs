@@ -1,0 +1,265 @@
+//! The threaded middleware server: one TCP connection = one user session
+//! with its own prediction engine and cache over the shared pyramid.
+
+use crate::protocol::{read_frame, write_frame, ClientMsg, ServerMsg, TilePayload};
+use fc_core::{LatencyProfile, Middleware, PredictionEngine};
+use fc_tiles::{Pyramid, Tile};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builds a fresh prediction engine per session (sessions must not share
+/// history/ROI state; §6.2 notes multi-user prediction sharing as future
+/// work).
+pub type EngineFactory = Arc<dyn Fn() -> PredictionEngine + Send + Sync>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Latency profile reported to clients.
+    pub profile: LatencyProfile,
+    /// Recently-requested tiles kept per session cache.
+    pub history_cache: usize,
+    /// Default prefetch budget when the client's Hello doesn't set one.
+    pub default_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            profile: LatencyProfile::paper(),
+            history_cache: 4,
+            default_k: 5,
+        }
+    }
+}
+
+/// A running ForeCache server.
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    active_sessions: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        pyramid: Arc<Pyramid>,
+        engines: EngineFactory,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active_sessions = Arc::new(AtomicUsize::new(0));
+        let accept_shutdown = shutdown.clone();
+        let accept_sessions = active_sessions.clone();
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(
+                listener,
+                pyramid,
+                engines,
+                config,
+                accept_shutdown,
+                accept_sessions,
+            );
+        });
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            active_sessions,
+        })
+    }
+
+    /// The bound address (for clients).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of sessions currently connected.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins the accept thread. Existing session
+    /// threads finish on their own when clients disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    pyramid: Arc<Pyramid>,
+    engines: EngineFactory,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    sessions: Arc<AtomicUsize>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let pyramid = pyramid.clone();
+                let engines = engines.clone();
+                let config = config.clone();
+                let sessions = sessions.clone();
+                sessions.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    let _ = serve_session(stream, pyramid, engines, config);
+                    sessions.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_session(
+    mut stream: TcpStream,
+    pyramid: Arc<Pyramid>,
+    engines: EngineFactory,
+    config: ServerConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut middleware: Option<Middleware> = None;
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let msg = ClientMsg::decode(body)?;
+        match msg {
+            ClientMsg::Hello { prefetch_k } => {
+                let k = if prefetch_k == 0 {
+                    config.default_k
+                } else {
+                    prefetch_k as usize
+                };
+                middleware = Some(Middleware::new(
+                    engines(),
+                    pyramid.clone(),
+                    config.profile,
+                    config.history_cache,
+                    k,
+                ));
+                let g = pyramid.geometry();
+                let reply = ServerMsg::Welcome {
+                    levels: g.levels,
+                    deepest_tiles: g.tiles_at(g.levels - 1),
+                };
+                write_frame(&mut stream, &reply.encode())?;
+            }
+            ClientMsg::RequestTile { tile, mv } => {
+                let reply = match middleware.as_mut() {
+                    None => ServerMsg::Error {
+                        reason: "session not opened: send Hello first".into(),
+                    },
+                    Some(mw) => match mw.request(tile, mv) {
+                        Some(resp) => ServerMsg::Tile {
+                            payload: tile_payload(&resp.tile),
+                            latency_ns: u64::try_from(resp.latency.as_nanos())
+                                .unwrap_or(u64::MAX),
+                            cache_hit: resp.cache_hit,
+                            phase: u8::try_from(resp.phase.index()).expect("phase id"),
+                        },
+                        None => ServerMsg::Error {
+                            reason: format!("no such tile: {tile}"),
+                        },
+                    },
+                };
+                write_frame(&mut stream, &reply.encode())?;
+            }
+            ClientMsg::GetStats => {
+                let reply = match middleware.as_ref() {
+                    None => ServerMsg::Error {
+                        reason: "session not opened".into(),
+                    },
+                    Some(mw) => {
+                        let s = mw.stats();
+                        ServerMsg::Stats {
+                            requests: s.requests as u64,
+                            hits: s.hits as u64,
+                            avg_latency_ns: u64::try_from(s.avg_latency().as_nanos())
+                                .unwrap_or(u64::MAX),
+                        }
+                    }
+                };
+                write_frame(&mut stream, &reply.encode())?;
+            }
+            ClientMsg::Bye => return Ok(()),
+        }
+    }
+}
+
+/// Converts a tile into its wire payload.
+pub fn tile_payload(tile: &Tile) -> TilePayload {
+    let (h, w) = tile.shape();
+    let schema = tile.array.schema();
+    let attrs: Vec<String> = schema.attrs.iter().map(|a| a.name.clone()).collect();
+    let data: Vec<Vec<f64>> = attrs
+        .iter()
+        .map(|a| tile.array.attr_values(a).expect("attr exists").to_vec())
+        .collect();
+    let present: Vec<u8> = tile
+        .array
+        .validity()
+        .iter()
+        .map(u8::from)
+        .collect();
+    TilePayload {
+        tile: tile.id,
+        h: u32::try_from(h).expect("tile height"),
+        w: u32::try_from(w).expect("tile width"),
+        attrs,
+        data,
+        present,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_array::{DenseArray, Schema};
+    use fc_tiles::TileId;
+
+    #[test]
+    fn tile_payload_reflects_tile() {
+        let schema = Schema::grid2d("T", 2, 3, &["a", "b"]).unwrap();
+        let mut arr = DenseArray::empty(schema);
+        arr.set("a", &[0, 0], 1.5).unwrap();
+        arr.set("b", &[0, 0], 2.5).unwrap();
+        arr.set("a", &[1, 2], 3.5).unwrap();
+        arr.set("b", &[1, 2], 4.5).unwrap();
+        let tile = Tile::new(TileId::new(1, 0, 0), arr);
+        let p = tile_payload(&tile);
+        assert_eq!((p.h, p.w), (2, 3));
+        assert_eq!(p.attrs, vec!["a", "b"]);
+        assert_eq!(p.present, vec![1, 0, 0, 0, 0, 1]);
+        assert_eq!(p.data[0][0], 1.5);
+        assert_eq!(p.data[1][5], 4.5);
+    }
+}

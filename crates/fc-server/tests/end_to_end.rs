@@ -1,0 +1,128 @@
+//! End-to-end client/server tests over localhost.
+
+use fc_core::{
+    AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
+};
+use fc_core::engine::PhaseSource;
+use fc_core::signature::SignatureKind;
+use fc_server::{Client, EngineFactory, Server, ServerConfig};
+use fc_sim::dataset::{DatasetConfig, StudyDataset};
+use fc_tiles::{Move, Quadrant, TileId};
+use std::sync::Arc;
+
+fn start_server() -> (Server, StudyDataset) {
+    let ds = StudyDataset::build(DatasetConfig::tiny());
+    let pyramid = ds.pyramid.clone();
+    let engine_pyramid = pyramid.clone();
+    let factory: EngineFactory = Arc::new(move || {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 10]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        PredictionEngine::new(
+            engine_pyramid.geometry(),
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::Updated,
+                ..EngineConfig::default()
+            },
+        )
+    });
+    let server = Server::bind("127.0.0.1:0", pyramid, factory, ServerConfig::default())
+        .expect("server binds");
+    (server, ds)
+}
+
+#[test]
+fn session_serves_tiles_and_stats() {
+    let (mut server, ds) = start_server();
+    let mut client = Client::connect(server.addr(), 4).expect("client connects");
+    assert_eq!(client.levels(), ds.pyramid.geometry().levels);
+
+    // Walk: root → zoom in → pan.
+    let root = client.request_tile(TileId::ROOT, None).expect("root tile");
+    assert_eq!(root.payload.tile, TileId::ROOT);
+    assert!(!root.cache_hit, "first request is a miss");
+    assert!(root.payload.attrs.contains(&"ndsi_avg".to_string()));
+    assert_eq!(
+        root.payload.data.len(),
+        root.payload.attrs.len(),
+        "one data vector per attribute"
+    );
+
+    let child = client
+        .request_tile(TileId::new(1, 0, 0), Some(Move::ZoomIn(Quadrant::Nw)))
+        .expect("child tile");
+    assert_eq!(child.payload.tile, TileId::new(1, 0, 0));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 2);
+
+    client.bye().expect("clean close");
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_are_rejected_not_fatal() {
+    let (mut server, _ds) = start_server();
+    let mut client = Client::connect(server.addr(), 2).expect("connect");
+    // Nonexistent tile → error reply, connection stays usable.
+    let err = client.request_tile(TileId::new(7, 0, 0), None);
+    assert!(err.is_err());
+    let ok = client.request_tile(TileId::ROOT, None);
+    assert!(ok.is_ok());
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_are_isolated() {
+    let (mut server, _ds) = start_server();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, 3).expect("connect");
+                // Each session walks a different path.
+                c.request_tile(TileId::ROOT, None).expect("root");
+                let q = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se][i % 4];
+                c.request_tile(TileId::new(1, q.dy(), q.dx()), Some(Move::ZoomIn(q)))
+                    .expect("child");
+                let s = c.stats().expect("stats");
+                assert_eq!(s.requests, 2, "sessions do not share counters");
+                c.bye().expect("bye");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn prefetching_speeds_up_predictable_walks() {
+    let (mut server, ds) = start_server();
+    let mut client = Client::connect(server.addr(), 5).expect("connect");
+    let g = ds.pyramid.geometry();
+    let deepest = g.levels - 1;
+    // Pan right along the deepest level; the right-run-trained AB model
+    // should prefetch continuations.
+    let mut hits = 0;
+    client
+        .request_tile(TileId::new(deepest, 1, 0), None)
+        .expect("first");
+    for x in 1..4 {
+        let a = client
+            .request_tile(TileId::new(deepest, 1, x), Some(Move::PanRight))
+            .expect("pan");
+        if a.cache_hit {
+            hits += 1;
+            assert!(a.latency.as_millis() < 100, "hits are fast");
+        }
+    }
+    assert!(hits >= 2, "expected prefetch hits, got {hits}");
+    client.bye().unwrap();
+    server.shutdown();
+}

@@ -1,0 +1,55 @@
+//! Protocol robustness: decoding must never panic on malformed input.
+
+use bytes::Bytes;
+use fc_server::protocol::{read_frame, unframe};
+use fc_server::{ClientMsg, ServerMsg, TilePayload};
+use fc_tiles::TileId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup never panics the decoders — they return errors.
+    #[test]
+    fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let b = Bytes::from(data.clone());
+        let _ = ClientMsg::decode(b.clone());
+        let _ = ServerMsg::decode(b);
+    }
+
+    /// Truncating a valid frame at any point yields an error, not a panic
+    /// or a bogus success (except cutting nothing).
+    #[test]
+    fn truncated_tiles_error(cut in 1usize..60) {
+        let payload = TilePayload {
+            tile: TileId::new(3, 1, 2),
+            h: 2,
+            w: 2,
+            attrs: vec!["v".into()],
+            data: vec![vec![1.0, 2.0, 3.0, 4.0]],
+            present: vec![1, 1, 1, 1],
+        };
+        let msg = ServerMsg::Tile {
+            payload,
+            latency_ns: 5,
+            cache_hit: false,
+            phase: 0,
+        };
+        let full = unframe(&msg.encode());
+        prop_assume!(cut < full.len());
+        let truncated = full.slice(..full.len() - cut);
+        prop_assert!(ServerMsg::decode(truncated).is_err());
+    }
+
+    /// read_frame with random prefixes either errors or returns a body of
+    /// exactly the advertised length.
+    #[test]
+    fn read_frame_respects_lengths(len in 0u32..512, extra in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_le_bytes());
+        let body: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&extra);
+        let mut cursor = std::io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor).expect("complete frame reads");
+        prop_assert_eq!(frame.len(), len as usize);
+    }
+}

@@ -1,0 +1,103 @@
+//! Automatic signature selection (paper §6.2).
+//!
+//! "We plan to build a general-purpose signature toolbox … and plan to
+//! extend ForeCache to learn what signatures work best for a given
+//! dataset automatically." This module implements that future-work item:
+//! each signature is evaluated standalone on training traces, and the
+//! per-signature accuracies become its weight in the combined SB
+//! recommender (normalized, floored at a small ε so no signature is
+//! silenced outright).
+
+use crate::replay::{replay_trace, AccuracyReport, ModelPredictor};
+use crate::trace::Trace;
+use fc_core::signature::{SignatureKind, SIGNATURE_KINDS};
+use fc_core::{SbConfig, SbRecommender};
+use fc_tiles::Pyramid;
+use std::sync::Arc;
+
+/// Result of the weight-learning pass.
+#[derive(Debug, Clone)]
+pub struct LearnedWeights {
+    /// `(signature, standalone accuracy, learned weight)` per kind.
+    pub per_signature: Vec<(SignatureKind, f64, f64)>,
+    /// The resulting SB configuration.
+    pub config: SbConfig,
+}
+
+/// Learns signature weights from training traces at budget `k`.
+///
+/// Weights are standalone accuracies normalized to sum 1, floored at
+/// 0.05 — a simple, monotone scheme: a signature that predicts this
+/// dataset's transitions better gets proportionally more influence in
+/// Algorithm 3's weighted ℓ2 combination.
+pub fn learn_weights(pyramid: Arc<Pyramid>, train: &[&Trace], k: usize) -> LearnedWeights {
+    let mut per_signature = Vec::with_capacity(SIGNATURE_KINDS.len());
+    for kind in SIGNATURE_KINDS {
+        let mut predictor = ModelPredictor::new(
+            Box::new(SbRecommender::new(SbConfig::single(kind))),
+            pyramid.clone(),
+        );
+        let mut outcomes = Vec::new();
+        for t in train {
+            outcomes.extend(replay_trace(&mut predictor, t, k));
+        }
+        let acc = AccuracyReport::from_outcomes(&outcomes).overall;
+        per_signature.push((kind, acc, 0.0));
+    }
+    let total: f64 = per_signature.iter().map(|(_, a, _)| a.max(0.05)).sum();
+    for (_, a, w) in per_signature.iter_mut() {
+        *w = a.max(0.05) / total;
+    }
+    let config = SbConfig {
+        weights: per_signature.iter().map(|&(kind, _, w)| (kind, w)).collect(),
+        manhattan_penalty: true,
+        physical_distance: true,
+    };
+    LearnedWeights {
+        per_signature,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, StudyDataset};
+    use crate::study::{Study, StudyConfig};
+
+    #[test]
+    fn learned_weights_are_normalized_and_monotone() {
+        let ds = StudyDataset::build(DatasetConfig::tiny());
+        let study = Study::generate(&ds, &StudyConfig { num_users: 3 });
+        let train: Vec<&Trace> = study.traces.iter().collect();
+        let learned = learn_weights(ds.pyramid.clone(), &train, 3);
+
+        assert_eq!(learned.per_signature.len(), 4);
+        let sum: f64 = learned.per_signature.iter().map(|(_, _, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights sum to 1: {sum}");
+        // Monotone: better accuracy → weight at least as large.
+        for a in &learned.per_signature {
+            for b in &learned.per_signature {
+                if a.1 > b.1 + 1e-12 {
+                    assert!(a.2 >= b.2, "{:?} vs {:?}", a, b);
+                }
+            }
+        }
+        assert_eq!(learned.config.weights.len(), 4);
+    }
+
+    #[test]
+    fn learned_config_is_usable() {
+        let ds = StudyDataset::build(DatasetConfig::tiny());
+        let study = Study::generate(&ds, &StudyConfig { num_users: 3 });
+        let train: Vec<&Trace> = study.traces.iter().take(6).collect();
+        let learned = learn_weights(ds.pyramid.clone(), &train, 2);
+        // The learned config drives a working recommender.
+        let mut predictor = ModelPredictor::new(
+            Box::new(SbRecommender::new(learned.config)),
+            ds.pyramid.clone(),
+        );
+        let outcomes = replay_trace(&mut predictor, &study.traces[6], 3);
+        assert_eq!(outcomes.len(), study.traces[6].len() - 1);
+    }
+}

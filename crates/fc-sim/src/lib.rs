@@ -1,0 +1,43 @@
+//! # fc-sim — synthetic study: data, users, and the replay harness
+//!
+//! The paper evaluates ForeCache with a user study: 18 domain scientists
+//! exploring NASA MODIS snow-cover (NDSI) data, three search tasks each,
+//! yielding 54 traces (§5). Neither the MODIS archive nor the study
+//! traces ship with the paper, so this crate builds faithful synthetic
+//! equivalents:
+//!
+//! * [`terrain`] — fractal terrain with three continent-scale mountain
+//!   ranges (stand-ins for the Rockies, Alps, and Andes); VIS/SWIR
+//!   reflectance bands derived from elevation and snow cover, pushed
+//!   through the paper's Query-1 `join`+`apply` NDSI pipeline in
+//!   `fc-array`;
+//! * [`dataset`] — the tiled study dataset: NDSI pyramid + signatures;
+//! * [`user`] — a stochastic behavioural agent that explores the pyramid
+//!   according to the paper's own three-phase analysis model, emitting
+//!   ground-truth-labeled traces;
+//! * [`study`] — 18 parameterized users × 3 tasks = 54 traces;
+//! * [`trace`] — trace types and a line-oriented (de)serializer;
+//! * [`replay`] — the accuracy/latency harness of §5.2.2: step through a
+//!   trace, collect each model's top-k predictions, count a hit when the
+//!   next requested tile is in the list; leave-one-user-out
+//!   cross-validation as in §5.4.
+
+#![warn(missing_docs)]
+
+pub mod auto_weights;
+pub mod dataset;
+pub mod replay;
+pub mod study;
+pub mod task;
+pub mod terrain;
+pub mod trace;
+pub mod user;
+
+pub use auto_weights::{learn_weights, LearnedWeights};
+pub use dataset::{DatasetConfig, StudyDataset};
+pub use replay::{AccuracyReport, Predictor, ReplayOutcome};
+pub use study::{Study, StudyConfig};
+pub use task::TaskSpec;
+pub use terrain::TerrainConfig;
+pub use trace::{Trace, TraceStep};
+pub use user::UserParams;

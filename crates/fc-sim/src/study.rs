@@ -1,0 +1,254 @@
+//! The synthetic user study: 18 users × 3 tasks = 54 traces (§5.3).
+
+use crate::dataset::StudyDataset;
+use crate::task::TaskSpec;
+use crate::trace::Trace;
+use crate::user::{run_session, UserParams};
+use fc_core::{phase_features, Request};
+use fc_tiles::nav::MoveClass;
+
+/// Study composition parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Number of simulated participants (18 in the paper).
+    pub num_users: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self { num_users: 18 }
+    }
+}
+
+/// A generated study: the traces plus their task specs.
+#[derive(Debug)]
+pub struct Study {
+    /// All traces, ordered by (user, task).
+    pub traces: Vec<Trace>,
+    /// The three task specifications.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl Study {
+    /// Runs every (user, task) session.
+    pub fn generate(dataset: &StudyDataset, cfg: &StudyConfig) -> Self {
+        let tasks = TaskSpec::study_tasks(dataset.pyramid.geometry().levels);
+        let mut traces = Vec::with_capacity(cfg.num_users * tasks.len());
+        for user in 0..cfg.num_users {
+            let params = UserParams::study_user(user);
+            for task in &tasks {
+                traces.push(run_session(dataset, task, &params, user));
+            }
+        }
+        Self { traces, tasks }
+    }
+
+    /// Traces of one user.
+    pub fn user_traces(&self, user: usize) -> Vec<&Trace> {
+        self.traces.iter().filter(|t| t.user == user).collect()
+    }
+
+    /// Traces of one task.
+    pub fn task_traces(&self, task: usize) -> Vec<&Trace> {
+        self.traces.iter().filter(|t| t.task == task).collect()
+    }
+
+    /// Number of distinct users.
+    pub fn num_users(&self) -> usize {
+        self.traces.iter().map(|t| t.user).max().map_or(0, |m| m + 1)
+    }
+
+    /// Total requests across all traces (the paper's study had 1390).
+    pub fn total_requests(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// The labeled phase-classification dataset: one `(features, label,
+    /// user)` row per request (the §5.4.1 training data).
+    pub fn phase_dataset(&self) -> PhaseDataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        let mut users = Vec::new();
+        for t in &self.traces {
+            let mut prev: Option<Request> = None;
+            for s in &t.steps {
+                let req = Request::new(s.tile, s.mv);
+                features.push(phase_features(&req, prev.as_ref()).to_vec());
+                labels.push(s.phase.index());
+                users.push(t.user);
+                prev = Some(req);
+            }
+        }
+        PhaseDataset {
+            features,
+            labels,
+            users,
+        }
+    }
+
+    /// Move-class distribution per task, averaged across users
+    /// (Fig. 8a): rows are tasks, columns `(pan, zoom_in, zoom_out)`
+    /// fractions.
+    pub fn move_distribution_per_task(&self) -> Vec<[f64; 3]> {
+        let ntasks = self.tasks.len();
+        let mut out = vec![[0.0f64; 3]; ntasks];
+        for (ti, row) in out.iter_mut().enumerate() {
+            let traces = self.task_traces(ti);
+            let mut counts = [0usize; 3];
+            for t in &traces {
+                for s in &t.steps {
+                    if let Some(m) = s.mv {
+                        match m.class() {
+                            MoveClass::Pan => counts[0] += 1,
+                            MoveClass::ZoomIn => counts[1] += 1,
+                            MoveClass::ZoomOut => counts[2] += 1,
+                        }
+                    }
+                }
+            }
+            let total: usize = counts.iter().sum();
+            if total > 0 {
+                for (o, c) in row.iter_mut().zip(counts) {
+                    *o = c as f64 / total as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Phase distribution per task (Fig. 8b): rows are tasks, columns
+    /// indexed by [`Phase::index`].
+    pub fn phase_distribution_per_task(&self) -> Vec<[f64; 3]> {
+        let ntasks = self.tasks.len();
+        let mut out = vec![[0.0f64; 3]; ntasks];
+        for (ti, row) in out.iter_mut().enumerate() {
+            let traces = self.task_traces(ti);
+            let mut counts = [0usize; 3];
+            for t in &traces {
+                for s in &t.steps {
+                    counts[s.phase.index()] += 1;
+                }
+            }
+            let total: usize = counts.iter().sum();
+            if total > 0 {
+                for (o, c) in row.iter_mut().zip(counts) {
+                    *o = c as f64 / total as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-user move-class distribution for one task (Fig. 8c–e).
+    pub fn per_user_move_distribution(&self, task: usize) -> Vec<(usize, [f64; 3])> {
+        let mut out = Vec::new();
+        for t in self.task_traces(task) {
+            let mut counts = [0usize; 3];
+            for s in &t.steps {
+                if let Some(m) = s.mv {
+                    match m.class() {
+                        MoveClass::Pan => counts[0] += 1,
+                        MoveClass::ZoomIn => counts[1] += 1,
+                        MoveClass::ZoomOut => counts[2] += 1,
+                    }
+                }
+            }
+            let total: usize = counts.iter().sum::<usize>().max(1);
+            out.push((
+                t.user,
+                [
+                    counts[0] as f64 / total as f64,
+                    counts[1] as f64 / total as f64,
+                    counts[2] as f64 / total as f64,
+                ],
+            ));
+        }
+        out
+    }
+}
+
+/// The labeled phase-classification dataset (§5.4.1).
+#[derive(Debug, Clone)]
+pub struct PhaseDataset {
+    /// Table-1 feature vectors, one per request.
+    pub features: Vec<Vec<f64>>,
+    /// Phase class ids aligned with `features`.
+    pub labels: Vec<usize>,
+    /// User ids aligned with `features` (for leave-one-user-out CV).
+    pub users: Vec<usize>,
+}
+
+impl PhaseDataset {
+    /// Distribution of labels as fractions, indexed by [`Phase::index`].
+    pub fn label_distribution(&self) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        let total = self.labels.len().max(1);
+        [
+            counts[0] as f64 / total as f64,
+            counts[1] as f64 / total as f64,
+            counts[2] as f64 / total as f64,
+        ]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, StudyDataset};
+
+    fn small_study() -> (StudyDataset, Study) {
+        let ds = StudyDataset::build(DatasetConfig::tiny());
+        let study = Study::generate(&ds, &StudyConfig { num_users: 4 });
+        (ds, study)
+    }
+
+    #[test]
+    fn generates_users_times_tasks_traces() {
+        let (_ds, study) = small_study();
+        assert_eq!(study.traces.len(), 4 * 3);
+        assert_eq!(study.num_users(), 4);
+        assert_eq!(study.user_traces(1).len(), 3);
+        assert_eq!(study.task_traces(2).len(), 4);
+        assert!(study.total_requests() > 40);
+    }
+
+    #[test]
+    fn phase_dataset_aligned() {
+        let (_ds, study) = small_study();
+        let pd = study.phase_dataset();
+        assert_eq!(pd.len(), study.total_requests());
+        assert_eq!(pd.labels.len(), pd.len());
+        assert_eq!(pd.users.len(), pd.len());
+        let dist = pd.label_distribution();
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(dist.iter().all(|&d| d > 0.0), "all phases present: {dist:?}");
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let (_ds, study) = small_study();
+        for row in study.move_distribution_per_task() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
+        }
+        for row in study.phase_distribution_per_task() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        let per_user = study.per_user_move_distribution(0);
+        assert_eq!(per_user.len(), 4);
+    }
+}

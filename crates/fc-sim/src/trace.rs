@@ -1,0 +1,239 @@
+//! Trace types and a line-oriented codec.
+//!
+//! "A separate request log was recorded for each user and task.
+//! Therefore, by the end of the study we had 54 user traces, each
+//! consisting of sequential tile requests." Each request carries its
+//! ground-truth phase label (the paper hand-labeled theirs, §5.4.1).
+
+use fc_core::Phase;
+use fc_tiles::{Move, TileId};
+use std::fmt::Write as _;
+
+/// One labeled request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The requested tile.
+    pub tile: TileId,
+    /// The move that produced it (`None` for the first request).
+    pub mv: Option<Move>,
+    /// Ground-truth analysis phase of this request.
+    pub phase: Phase,
+}
+
+/// One user-task session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// User index (0..17 in the study).
+    pub user: usize,
+    /// Task index (0..2).
+    pub task: usize,
+    /// Sequential requests.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// The move-id sequence of the trace (n-gram training input;
+    /// Algorithm 2's `GETMOVESEQUENCE`).
+    pub fn move_sequence(&self) -> Vec<u16> {
+        self.steps
+            .iter()
+            .filter_map(|s| s.mv.map(|m| m.index() as u16))
+            .collect()
+    }
+
+    /// The visited tile sequence (Hotspot training input).
+    pub fn tile_sequence(&self) -> Vec<TileId> {
+        self.steps.iter().map(|s| s.tile).collect()
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Serializes traces to a line-oriented text format:
+/// `user task level y x move phase` per request, `#`-comments allowed.
+pub fn encode(traces: &[Trace]) -> String {
+    let mut out = String::new();
+    out.push_str("# forecache trace v1: user task level y x move phase\n");
+    for t in traces {
+        for s in &t.steps {
+            let mv = s.mv.map_or("start", |m| m.name());
+            writeln!(
+                out,
+                "{} {} {} {} {} {} {}",
+                t.user,
+                t.task,
+                s.tile.level,
+                s.tile.y,
+                s.tile.x,
+                mv,
+                s.phase.index()
+            )
+            .expect("write to string");
+        }
+    }
+    out
+}
+
+/// Parses the [`encode`] format. Consecutive lines with the same
+/// `(user, task)` form one trace.
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn decode(text: &str) -> Result<Vec<Trace>, String> {
+    let mut traces: Vec<Trace> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(format!("line {}: expected 7 fields", lineno + 1));
+        }
+        let parse_u = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| format!("line {}: bad {what}: {s}", lineno + 1))
+        };
+        let user = parse_u(fields[0], "user")? as usize;
+        let task = parse_u(fields[1], "task")? as usize;
+        let level = parse_u(fields[2], "level")? as u8;
+        let y = parse_u(fields[3], "y")? as u32;
+        let x = parse_u(fields[4], "x")? as u32;
+        let mv = if fields[5] == "start" {
+            None
+        } else {
+            Some(
+                Move::from_name(fields[5])
+                    .ok_or_else(|| format!("line {}: bad move: {}", lineno + 1, fields[5]))?,
+            )
+        };
+        let phase_idx = parse_u(fields[6], "phase")? as usize;
+        if phase_idx > 2 {
+            return Err(format!("line {}: bad phase id {phase_idx}", lineno + 1));
+        }
+        let step = TraceStep {
+            tile: TileId::new(level, y, x),
+            mv,
+            phase: Phase::from_index(phase_idx),
+        };
+        match traces.last_mut() {
+            Some(t) if t.user == user && t.task == task => t.steps.push(step),
+            _ => traces.push(Trace {
+                user,
+                task,
+                steps: vec![step],
+            }),
+        }
+    }
+    Ok(traces)
+}
+
+/// Writes traces to a file in the [`encode`] format.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_to(path: &std::path::Path, traces: &[Trace]) -> std::io::Result<()> {
+    std::fs::write(path, encode(traces))
+}
+
+/// Loads traces from a file written by [`save_to`].
+///
+/// # Errors
+/// I/O errors, or `InvalidData` for malformed content.
+pub fn load_from(path: &std::path::Path) -> std::io::Result<Vec<Trace>> {
+    let text = std::fs::read_to_string(path)?;
+    decode(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_tiles::Quadrant;
+
+    fn sample() -> Vec<Trace> {
+        vec![
+            Trace {
+                user: 0,
+                task: 1,
+                steps: vec![
+                    TraceStep {
+                        tile: TileId::new(0, 0, 0),
+                        mv: None,
+                        phase: Phase::Foraging,
+                    },
+                    TraceStep {
+                        tile: TileId::new(1, 1, 1),
+                        mv: Some(Move::ZoomIn(Quadrant::Se)),
+                        phase: Phase::Navigation,
+                    },
+                    TraceStep {
+                        tile: TileId::new(1, 1, 0),
+                        mv: Some(Move::PanLeft),
+                        phase: Phase::Sensemaking,
+                    },
+                ],
+            },
+            Trace {
+                user: 3,
+                task: 0,
+                steps: vec![TraceStep {
+                    tile: TileId::new(2, 3, 3),
+                    mv: Some(Move::ZoomOut),
+                    phase: Phase::Foraging,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let traces = sample();
+        let text = encode(&traces);
+        let back = decode(&text).unwrap();
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(decode("1 2 3").is_err());
+        assert!(decode("0 0 0 0 0 sideways 0").is_err());
+        assert!(decode("0 0 0 0 0 start 9").is_err());
+        assert!(decode("a 0 0 0 0 start 0").is_err());
+    }
+
+    #[test]
+    fn decode_skips_comments_and_blanks() {
+        let text = "# header\n\n0 0 0 0 0 start 0\n";
+        let traces = decode(text).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let traces = sample();
+        let dir = std::env::temp_dir().join("fc_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        save_to(&path, &traces).unwrap();
+        assert_eq!(load_from(&path).unwrap(), traces);
+        std::fs::write(&path, "garbage line").unwrap();
+        assert!(load_from(&path).is_err());
+    }
+
+    #[test]
+    fn helper_sequences() {
+        let t = &sample()[0];
+        assert_eq!(t.move_sequence().len(), 2);
+        assert_eq!(t.tile_sequence().len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Tile identifiers.
+
+use std::fmt;
+
+/// Identifies one data tile: a zoom level plus a `(y, x)` tile coordinate
+/// within that level. Level 0 is the coarsest zoom level; zooming in
+/// increases `level` (paper §2.2). The quadtree layout guarantees that the
+/// tile `(l, y, x)` covers exactly the four tiles
+/// `(l+1, 2y..2y+1, 2x..2x+1)` of the next level (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId {
+    /// Zoom level (0 = coarsest).
+    pub level: u8,
+    /// Tile row within the level.
+    pub y: u32,
+    /// Tile column within the level.
+    pub x: u32,
+}
+
+impl TileId {
+    /// Creates a tile id.
+    pub const fn new(level: u8, y: u32, x: u32) -> Self {
+        Self { level, y, x }
+    }
+
+    /// The root (coarsest) tile.
+    pub const ROOT: TileId = TileId::new(0, 0, 0);
+
+    /// The parent tile one zoom level up, or `None` at level 0.
+    pub fn parent(&self) -> Option<TileId> {
+        (self.level > 0).then(|| TileId::new(self.level - 1, self.y / 2, self.x / 2))
+    }
+
+    /// The four child tile ids one level down (existence depends on the
+    /// dataset's [`crate::Geometry`]).
+    pub fn children(&self) -> [TileId; 4] {
+        let (l, y, x) = (self.level + 1, self.y * 2, self.x * 2);
+        [
+            TileId::new(l, y, x),
+            TileId::new(l, y, x + 1),
+            TileId::new(l, y + 1, x),
+            TileId::new(l, y + 1, x + 1),
+        ]
+    }
+
+    /// Manhattan distance to `other` **within the same level**. Used by
+    /// the SB recommender's distance penalty (Algorithm 3). For tiles on
+    /// different levels, the comparison is made at the deeper of the two
+    /// levels by projecting the coarser tile's origin down.
+    pub fn manhattan(&self, other: &TileId) -> u32 {
+        let (a, b) = if self.level <= other.level {
+            (self.project_to(other.level), *other)
+        } else {
+            (*self, other.project_to(self.level))
+        };
+        a.y.abs_diff(b.y) + a.x.abs_diff(b.x)
+    }
+
+    /// Projects this tile's origin corner to coordinates at `level`
+    /// (deeper levels only; shallower levels use integer division).
+    pub fn project_to(&self, level: u8) -> TileId {
+        if level >= self.level {
+            let shift = u32::from(level - self.level);
+            TileId::new(level, self.y << shift, self.x << shift)
+        } else {
+            let shift = u32::from(self.level - level);
+            TileId::new(level, self.y >> shift, self.x >> shift)
+        }
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}({},{})", self.level, self.y, self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let t = TileId::new(3, 5, 6);
+        for c in t.children() {
+            assert_eq!(c.parent(), Some(t));
+        }
+        assert_eq!(TileId::ROOT.parent(), None);
+    }
+
+    #[test]
+    fn children_are_the_four_quadrants() {
+        let t = TileId::new(1, 1, 2);
+        let c = t.children();
+        assert_eq!(c[0], TileId::new(2, 2, 4));
+        assert_eq!(c[1], TileId::new(2, 2, 5));
+        assert_eq!(c[2], TileId::new(2, 3, 4));
+        assert_eq!(c[3], TileId::new(2, 3, 5));
+    }
+
+    #[test]
+    fn manhattan_same_level() {
+        let a = TileId::new(2, 1, 1);
+        let b = TileId::new(2, 3, 0);
+        assert_eq!(a.manhattan(&b), 3);
+        assert_eq!(b.manhattan(&a), 3);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn manhattan_cross_level_projects_down() {
+        let coarse = TileId::new(1, 0, 0);
+        let deep = TileId::new(2, 0, 2);
+        // coarse projects to (2,0,0); distance = 2.
+        assert_eq!(coarse.manhattan(&deep), 2);
+        assert_eq!(deep.manhattan(&coarse), 2);
+    }
+
+    #[test]
+    fn project_shallower_uses_division() {
+        let t = TileId::new(3, 5, 7);
+        assert_eq!(t.project_to(1), TileId::new(1, 1, 1));
+        assert_eq!(t.project_to(3), t);
+    }
+
+    #[test]
+    fn ordering_is_level_major() {
+        let mut v = vec![
+            TileId::new(1, 0, 0),
+            TileId::new(0, 0, 0),
+            TileId::new(1, 0, 1),
+        ];
+        v.sort();
+        assert_eq!(v[0].level, 0);
+        assert_eq!(v[2], TileId::new(1, 0, 1));
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(TileId::new(2, 3, 4).to_string(), "L2(3,4)");
+    }
+}

@@ -1,0 +1,260 @@
+//! Prediction beyond 2-D datasets (paper §6.1).
+//!
+//! "To support multidimensional exploration (e.g., 3D datasets), we can
+//! employ a coordinated view design, where tiles are represented by
+//! several visualizations at the same time. … To navigate via latitude
+//! and longitude, the user moves in the heatmap. To navigate via time,
+//! the user moves in the line chart. However, the number of tiles grows
+//! exponentially with the number of dimensions … One solution is to
+//! insert a pruning level between our phase classifier and recommendation
+//! models to remove low-probability interaction paths."
+//!
+//! This module implements that design: 3-D tile ids (level, y, x, t), the
+//! extended move set (spatial moves in the heatmap view + temporal pans
+//! in the line-chart view), and candidate enumeration with a pruning
+//! hook.
+
+use crate::nav::{Move, Quadrant};
+
+/// A tile in a 3-D (lat, lon, time) pyramid. Zooming subdivides the two
+/// spatial dimensions (quadtree) and the time dimension (halving),
+/// giving 8 children per tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId3 {
+    /// Zoom level, 0 = coarsest.
+    pub level: u8,
+    /// Spatial tile row.
+    pub y: u32,
+    /// Spatial tile column.
+    pub x: u32,
+    /// Temporal tile index.
+    pub t: u32,
+}
+
+impl TileId3 {
+    /// Creates a 3-D tile id.
+    pub const fn new(level: u8, y: u32, x: u32, t: u32) -> Self {
+        Self { level, y, x, t }
+    }
+
+    /// The root tile.
+    pub const ROOT: TileId3 = TileId3::new(0, 0, 0, 0);
+
+    /// Parent tile, or `None` at the root level.
+    pub fn parent(&self) -> Option<TileId3> {
+        (self.level > 0).then(|| TileId3::new(self.level - 1, self.y / 2, self.x / 2, self.t / 2))
+    }
+}
+
+/// A move in the coordinated-view interface: the spatial heatmap accepts
+/// the usual nine moves; the time line-chart adds temporal pans and
+/// temporal zoom targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move3 {
+    /// A move in the spatial (heatmap) view; zoom-ins keep the current
+    /// time half (earlier half by convention).
+    Spatial(Move),
+    /// Pan one tile back in time (line-chart view).
+    TimeBack,
+    /// Pan one tile forward in time.
+    TimeForward,
+    /// Zoom into the later time half (spatial quadrant `q`).
+    ZoomInLater(Quadrant),
+}
+
+/// All seventeen 3-D moves: 9 spatial (zoom-ins target the earlier time
+/// half) + 2 temporal pans + 4 later-half zoom-ins… minus the spatial
+/// zoom-out which is shared. Enumerated explicitly for clarity.
+pub fn moves3() -> Vec<Move3> {
+    let mut v: Vec<Move3> = crate::nav::MOVES.into_iter().map(Move3::Spatial).collect();
+    v.push(Move3::TimeBack);
+    v.push(Move3::TimeForward);
+    for q in Quadrant::ALL {
+        v.push(Move3::ZoomInLater(q));
+    }
+    v
+}
+
+/// Geometry of a 3-D pyramid: all three dimensions double per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry3 {
+    /// Number of zoom levels.
+    pub levels: u8,
+}
+
+impl Geometry3 {
+    /// Creates a 3-D geometry with `levels` zoom levels (each level `l`
+    /// has a `2^l × 2^l × 2^l` tile grid).
+    ///
+    /// # Panics
+    /// Panics when `levels` is 0 or would overflow `u32` grids.
+    pub fn new(levels: u8) -> Self {
+        assert!(levels >= 1 && levels <= 30, "levels must be in 1..=30");
+        Self { levels }
+    }
+
+    /// Tiles per axis at `level`.
+    pub fn axis_tiles(&self, level: u8) -> u32 {
+        1u32 << level
+    }
+
+    /// Whether the tile exists.
+    pub fn contains(&self, id: TileId3) -> bool {
+        id.level < self.levels && {
+            let n = self.axis_tiles(id.level);
+            id.y < n && id.x < n && id.t < n
+        }
+    }
+
+    /// Total tiles across all levels — grows as `8^level` per level,
+    /// the exponential blow-up §6.1 warns about.
+    pub fn total_tiles(&self) -> u64 {
+        (0..self.levels).map(|l| 1u64 << (3 * l)).sum()
+    }
+
+    /// Applies a 3-D move.
+    pub fn apply(&self, from: TileId3, mv: Move3) -> Option<TileId3> {
+        let to = match mv {
+            Move3::Spatial(m) => match m {
+                Move::PanUp => TileId3::new(from.level, from.y.checked_sub(1)?, from.x, from.t),
+                Move::PanDown => TileId3::new(from.level, from.y + 1, from.x, from.t),
+                Move::PanLeft => TileId3::new(from.level, from.y, from.x.checked_sub(1)?, from.t),
+                Move::PanRight => TileId3::new(from.level, from.y, from.x + 1, from.t),
+                Move::ZoomOut => from.parent()?,
+                Move::ZoomIn(q) => {
+                    if from.level + 1 >= self.levels {
+                        return None;
+                    }
+                    TileId3::new(
+                        from.level + 1,
+                        from.y * 2 + q.dy(),
+                        from.x * 2 + q.dx(),
+                        from.t * 2, // earlier half
+                    )
+                }
+            },
+            Move3::TimeBack => TileId3::new(from.level, from.y, from.x, from.t.checked_sub(1)?),
+            Move3::TimeForward => TileId3::new(from.level, from.y, from.x, from.t + 1),
+            Move3::ZoomInLater(q) => {
+                if from.level + 1 >= self.levels {
+                    return None;
+                }
+                TileId3::new(
+                    from.level + 1,
+                    from.y * 2 + q.dy(),
+                    from.x * 2 + q.dx(),
+                    from.t * 2 + 1, // later half
+                )
+            }
+        };
+        self.contains(to).then_some(to)
+    }
+
+    /// Candidate tiles at most one move away, **after pruning**: the
+    /// `keep` predicate is the paper's "pruning level between our phase
+    /// classifier and recommendation models" — it removes low-probability
+    /// interaction paths (e.g. only the active view's moves).
+    pub fn candidates_pruned<F>(&self, from: TileId3, keep: F) -> Vec<TileId3>
+    where
+        F: Fn(Move3) -> bool,
+    {
+        let mut out = Vec::new();
+        for mv in moves3() {
+            if !keep(mv) {
+                continue;
+            }
+            if let Some(t) = self.apply(from, mv) {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The §6.1 "choose only two dimensions to explore at a time"
+    /// restriction: candidates when only the spatial heatmap is active.
+    pub fn candidates_spatial_only(&self, from: TileId3) -> Vec<TileId3> {
+        self.candidates_pruned(from, |m| matches!(m, Move3::Spatial(_)))
+    }
+
+    /// Candidates when only the time line-chart is active (temporal pans
+    /// plus shared zoom-out).
+    pub fn candidates_time_only(&self, from: TileId3) -> Vec<TileId3> {
+        self.candidates_pruned(from, |m| {
+            matches!(
+                m,
+                Move3::TimeBack | Move3::TimeForward | Move3::Spatial(Move::ZoomOut)
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_counts_grow_exponentially() {
+        let g = Geometry3::new(4);
+        assert_eq!(g.total_tiles(), 1 + 8 + 64 + 512);
+        assert_eq!(g.axis_tiles(3), 8);
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let g = Geometry3::new(3);
+        let from = TileId3::new(1, 1, 0, 1);
+        let child = g.apply(from, Move3::ZoomInLater(Quadrant::Se)).unwrap();
+        assert_eq!(child, TileId3::new(2, 3, 1, 3));
+        assert_eq!(child.parent(), Some(from));
+        let early = g.apply(from, Move3::Spatial(Move::ZoomIn(Quadrant::Se))).unwrap();
+        assert_eq!(early.t, 2, "spatial zoom-in keeps the earlier half");
+    }
+
+    #[test]
+    fn temporal_pans_respect_bounds() {
+        let g = Geometry3::new(3);
+        let t0 = TileId3::new(2, 0, 0, 0);
+        assert_eq!(g.apply(t0, Move3::TimeBack), None);
+        assert_eq!(
+            g.apply(t0, Move3::TimeForward),
+            Some(TileId3::new(2, 0, 0, 1))
+        );
+        let tmax = TileId3::new(2, 0, 0, 3);
+        assert_eq!(g.apply(tmax, Move3::TimeForward), None);
+    }
+
+    #[test]
+    fn unpruned_candidate_set_is_large() {
+        let g = Geometry3::new(4);
+        let mid = TileId3::new(2, 1, 1, 1);
+        let all = g.candidates_pruned(mid, |_| true);
+        // 4 spatial pans + zoom out + 4 early zoom-ins + 2 time pans +
+        // 4 late zoom-ins = 15 distinct tiles.
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    fn pruning_restores_tractable_sets() {
+        let g = Geometry3::new(4);
+        let mid = TileId3::new(2, 1, 1, 1);
+        let spatial = g.candidates_spatial_only(mid);
+        assert_eq!(spatial.len(), 9, "2-D-equivalent move budget");
+        let temporal = g.candidates_time_only(mid);
+        assert_eq!(temporal.len(), 3);
+        // Pruned sets are subsets of the full set.
+        let all = g.candidates_pruned(mid, |_| true);
+        assert!(spatial.iter().all(|t| all.contains(t)));
+        assert!(temporal.iter().all(|t| all.contains(t)));
+    }
+
+    #[test]
+    fn moves3_enumeration_is_complete_and_distinct() {
+        let m = moves3();
+        assert_eq!(m.len(), 15);
+        let mut dedup = m.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), m.len());
+    }
+}

@@ -1,0 +1,243 @@
+//! The backend tile store: tiles on the simulated DBMS disk, plus the
+//! shared per-tile metadata structure (paper §2.3, "Computing Metadata").
+//!
+//! Reads through [`TileStore::fetch_backend`] model a SciDB query for one
+//! tile and charge the configured latency; metadata lookups are free
+//! (the paper keeps signatures "in a shared data structure for later use
+//! by our prediction engine").
+
+use crate::geometry::Geometry;
+use crate::id::TileId;
+use crate::tile::Tile;
+use fc_array::{IoMode, IoStats, LatencyModel, SimClock, SimDisk};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-tile metadata: named signature vectors computed at build time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TileMeta {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl TileMeta {
+    /// Looks up a metadata vector by name.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Inserts or replaces a metadata vector.
+    pub fn put(&mut self, name: impl Into<String>, value: Vec<f64>) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Names of all stored metadata vectors.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metadata is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Computes one named metadata vector per tile during the pyramid build.
+/// `fc-core` registers its tile signatures through this trait.
+pub trait MetadataComputer: Send + Sync {
+    /// Metadata key (e.g. `"hist"`, `"sift"`).
+    fn name(&self) -> &str;
+    /// Computes the vector for one tile.
+    fn compute(&self, tile: &Tile) -> Vec<f64>;
+}
+
+/// The backend store holding every pre-computed tile (on the simulated
+/// DBMS disk) and the shared metadata map.
+#[derive(Debug)]
+pub struct TileStore {
+    geometry: Geometry,
+    disk: SimDisk<TileId, Tile>,
+    meta: RwLock<HashMap<TileId, TileMeta>>,
+}
+
+impl TileStore {
+    /// Creates an empty store.
+    pub fn new(
+        geometry: Geometry,
+        latency: LatencyModel,
+        mode: IoMode,
+        clock: Arc<SimClock>,
+    ) -> Self {
+        Self {
+            geometry,
+            disk: SimDisk::new(latency, mode, clock),
+            meta: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The pyramid geometry this store serves.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Stores a tile (free: tile building happens offline).
+    pub fn put_tile(&self, tile: Tile) {
+        self.disk.write(tile.id, tile);
+    }
+
+    /// Fetches a tile from the backend, charging the miss-path latency.
+    /// Returns the tile and the latency charged. `None` when the tile does
+    /// not exist.
+    pub fn fetch_backend(&self, id: TileId) -> Option<(Arc<Tile>, Duration)> {
+        self.disk.read(&id)
+    }
+
+    /// Fetches a tile **without charging latency** — offline access for
+    /// signature training and metadata computation, never the user path.
+    pub fn fetch_offline(&self, id: TileId) -> Option<Arc<Tile>> {
+        self.disk.peek(&id)
+    }
+
+    /// Whether the backend holds `id` (metadata check, free).
+    pub fn contains(&self, id: TileId) -> bool {
+        self.disk.contains(&id)
+    }
+
+    /// Number of tiles on the backend.
+    pub fn backend_len(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Adds a named metadata vector for a tile.
+    pub fn put_meta(&self, id: TileId, name: &str, value: Vec<f64>) {
+        self.meta.write().entry(id).or_default().put(name, value);
+    }
+
+    /// Reads a tile's metadata (free, shared structure).
+    pub fn meta(&self, id: TileId) -> Option<TileMeta> {
+        self.meta.read().get(&id).cloned()
+    }
+
+    /// Reads one named metadata vector.
+    pub fn meta_vec(&self, id: TileId, name: &str) -> Option<Vec<f64>> {
+        self.meta
+            .read()
+            .get(&id)
+            .and_then(|m| m.get(name).map(|v| v.to_vec()))
+    }
+
+    /// Backend I/O statistics (reads = simulated SciDB queries).
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Resets backend I/O statistics.
+    pub fn reset_io_stats(&self) {
+        self.disk.reset_stats()
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        self.disk.clock()
+    }
+
+    /// The backend latency model.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.disk.latency_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_array::{DenseArray, Schema};
+
+    fn store() -> TileStore {
+        TileStore::new(
+            Geometry::new(2, 16, 16, 8, 8),
+            LatencyModel::fast(),
+            IoMode::Simulated,
+            SimClock::new(),
+        )
+    }
+
+    fn tile(id: TileId) -> Tile {
+        Tile::new(
+            id,
+            DenseArray::filled(Schema::grid2d("T", 8, 8, &["v"]).unwrap(), 1.0),
+        )
+    }
+
+    #[test]
+    fn put_fetch_charges_latency() {
+        let s = store();
+        let id = TileId::new(1, 0, 1);
+        s.put_tile(tile(id));
+        assert!(s.contains(id));
+        let (t, cost) = s.fetch_backend(id).unwrap();
+        assert_eq!(t.id, id);
+        assert!(cost > Duration::ZERO);
+        assert_eq!(s.io_stats().reads, 1);
+        assert!(s.clock().now() >= cost);
+    }
+
+    #[test]
+    fn missing_tile_returns_none() {
+        let s = store();
+        assert!(s.fetch_backend(TileId::new(1, 5, 5)).is_none());
+        assert_eq!(s.io_stats().reads, 0);
+    }
+
+    #[test]
+    fn metadata_is_free_and_named() {
+        let s = store();
+        let id = TileId::ROOT;
+        s.put_meta(id, "hist", vec![1.0, 2.0]);
+        s.put_meta(id, "mean", vec![0.5]);
+        let before = s.clock().now();
+        let m = s.meta(id).unwrap();
+        assert_eq!(s.clock().now(), before, "metadata reads are free");
+        assert_eq!(m.get("hist").unwrap(), &[1.0, 2.0]);
+        assert_eq!(m.get("mean").unwrap(), &[0.5]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(s.meta_vec(id, "mean").unwrap(), vec![0.5]);
+        assert!(s.meta_vec(id, "nope").is_none());
+        assert!(s.meta(TileId::new(1, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn meta_put_replaces() {
+        let mut m = TileMeta::default();
+        assert!(m.is_empty());
+        m.put("a", vec![1.0]);
+        m.put("a", vec![2.0]);
+        assert_eq!(m.get("a").unwrap(), &[2.0]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.names().collect::<Vec<_>>(), vec!["a"]);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let s = store();
+        s.put_tile(tile(TileId::ROOT));
+        s.fetch_backend(TileId::ROOT);
+        assert_eq!(s.io_stats().reads, 1);
+        s.reset_io_stats();
+        assert_eq!(s.io_stats().reads, 0);
+        assert_eq!(s.backend_len(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for pyramid geometry and navigation invariants.
+
+use fc_tiles::{Geometry, TileId, MOVES};
+use proptest::prelude::*;
+
+fn geometries() -> impl Strategy<Value = Geometry> {
+    (1u8..6, 1usize..400, 1usize..400, 1usize..40, 1usize..40)
+        .prop_map(|(levels, h, w, th, tw)| Geometry::new(levels, h, w, th, tw))
+}
+
+proptest! {
+    /// Every move from a contained tile lands on a contained tile, and
+    /// `move_between` recovers the move that was applied.
+    #[test]
+    fn moves_stay_inside_and_are_recoverable(g in geometries(), seed in any::<u64>()) {
+        let mut idx = seed as usize;
+        let mut pos = TileId::ROOT;
+        for _ in 0..24 {
+            let mv = MOVES[idx % MOVES.len()];
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if let Some(next) = g.apply(pos, mv) {
+                prop_assert!(g.contains(next), "{next} outside geometry");
+                prop_assert_eq!(g.move_between(pos, next), Some(mv));
+                pos = next;
+            }
+        }
+    }
+
+    /// Candidate sets contain only existing tiles, never the origin, and
+    /// d=1 candidates equal the legal-move images.
+    #[test]
+    fn candidates_are_exact(g in geometries(), seed in any::<u64>()) {
+        // Derive an arbitrary contained tile from the seed.
+        let l = (seed % u64::from(g.levels)) as u8;
+        let (rows, cols) = g.tiles_at(l);
+        let y = ((seed >> 8) % u64::from(rows)) as u32;
+        let x = ((seed >> 24) % u64::from(cols)) as u32;
+        let from = TileId::new(l, y, x);
+        let c1 = g.candidates(from, 1);
+        prop_assert!(!c1.contains(&from));
+        prop_assert!(c1.iter().all(|&t| g.contains(t)));
+        let legal: Vec<TileId> = g
+            .legal_moves(from)
+            .into_iter()
+            .filter_map(|m| g.apply(from, m))
+            .collect();
+        let mut a = c1.clone();
+        let mut b = legal.clone();
+        a.sort();
+        b.sort();
+        b.dedup();
+        prop_assert_eq!(a, b);
+    }
+
+    /// total_tiles equals the number of tiles enumerated by all_tiles,
+    /// and every enumerated tile is contained.
+    #[test]
+    fn enumeration_matches_total(g in geometries()) {
+        let all: Vec<TileId> = g.all_tiles().collect();
+        prop_assert_eq!(all.len(), g.total_tiles());
+        prop_assert!(all.iter().all(|&t| g.contains(t)));
+        // No duplicates.
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len());
+    }
+
+    /// Manhattan distance is a metric on same-level tiles: symmetric,
+    /// zero iff equal, triangle inequality.
+    #[test]
+    fn manhattan_is_a_metric(l in 0u8..4, ay in 0u32..16, ax in 0u32..16,
+                             by in 0u32..16, bx in 0u32..16,
+                             cy in 0u32..16, cx in 0u32..16) {
+        let a = TileId::new(l, ay, ax);
+        let b = TileId::new(l, by, bx);
+        let c = TileId::new(l, cy, cx);
+        prop_assert_eq!(a.manhattan(&b), b.manhattan(&a));
+        prop_assert_eq!(a.manhattan(&a), 0);
+        if a.manhattan(&b) == 0 {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert!(a.manhattan(&c) <= a.manhattan(&b) + b.manhattan(&c));
+    }
+
+    /// Parent/child projection: children project back onto their parent.
+    #[test]
+    fn children_project_to_parent(l in 0u8..6, y in 0u32..64, x in 0u32..64) {
+        let t = TileId::new(l, y, x);
+        for c in t.children() {
+            prop_assert_eq!(c.project_to(l), t);
+            prop_assert_eq!(c.parent(), Some(t));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! SIFT-style 128-d gradient-orientation descriptors.
+
+use crate::filters::gradients;
+use crate::image::GrayImage;
+use crate::keypoints::Keypoint;
+
+/// Spatial grid side (4×4 cells).
+const GRID: usize = 4;
+/// Orientation bins per cell.
+const ORI_BINS: usize = 8;
+/// Descriptor dimensionality: 4 × 4 × 8 = 128, as in SIFT.
+pub const DESCRIPTOR_DIM: usize = GRID * GRID * ORI_BINS;
+
+/// A dense descriptor vector (L2-normalized, SIFT clip at 0.2).
+pub type Descriptor = Vec<f64>;
+
+/// Computes a descriptor for the square patch of half-width `radius`
+/// centred at `(cx, cy)`: gradients are pooled into a 4×4 spatial grid of
+/// 8-bin orientation histograms, L2-normalized, clipped at 0.2, and
+/// renormalized (SIFT's illumination normalization). Returns `None` for
+/// degenerate patches (zero gradient energy).
+pub fn describe_patch(
+    dx: &GrayImage,
+    dy: &GrayImage,
+    cx: f64,
+    cy: f64,
+    radius: f64,
+) -> Option<Descriptor> {
+    let mut hist = vec![0.0f64; DESCRIPTOR_DIM];
+    let r = radius.max(2.0);
+    let lo_x = (cx - r).floor() as isize;
+    let hi_x = (cx + r).ceil() as isize;
+    let lo_y = (cy - r).floor() as isize;
+    let hi_y = (cy + r).ceil() as isize;
+    let cell = 2.0 * r / GRID as f64;
+
+    for py in lo_y..=hi_y {
+        for px in lo_x..=hi_x {
+            let gx = dx.get_clamped(px, py);
+            let gy = dy.get_clamped(px, py);
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag <= 0.0 {
+                continue;
+            }
+            // Spatial cell (clamped into the grid).
+            let u = ((px as f64 - (cx - r)) / cell).floor();
+            let v = ((py as f64 - (cy - r)) / cell).floor();
+            if u < 0.0 || v < 0.0 {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            if u >= GRID || v >= GRID {
+                continue;
+            }
+            // Orientation bin in [0, 2π).
+            let theta = gy.atan2(gx).rem_euclid(std::f64::consts::TAU);
+            let bin = ((theta / std::f64::consts::TAU) * ORI_BINS as f64).floor() as usize
+                % ORI_BINS;
+            // Gaussian spatial weighting centred on the keypoint.
+            let d2 = ((px as f64 - cx).powi(2) + (py as f64 - cy).powi(2)) / (r * r);
+            let weight = (-d2).exp();
+            hist[(v * GRID + u) * ORI_BINS + bin] += mag * weight;
+        }
+    }
+
+    normalize_sift(&mut hist).then_some(hist)
+}
+
+/// L2-normalize, clip at 0.2, renormalize. Returns false for zero vectors.
+fn normalize_sift(h: &mut [f64]) -> bool {
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let n = norm(h);
+    if n <= 1e-12 {
+        return false;
+    }
+    for v in h.iter_mut() {
+        *v = (*v / n).min(0.2);
+    }
+    let n2 = norm(h);
+    if n2 <= 1e-12 {
+        return false;
+    }
+    for v in h.iter_mut() {
+        *v /= n2;
+    }
+    true
+}
+
+/// Describes a set of detected keypoints over `img`. The patch radius is
+/// `3 × scale` (descriptor window grows with keypoint scale, as in SIFT).
+pub fn describe_keypoints(img: &GrayImage, keypoints: &[Keypoint]) -> Vec<Descriptor> {
+    let (dx, dy) = gradients(img);
+    keypoints
+        .iter()
+        .filter_map(|kp| describe_patch(&dx, &dy, kp.x, kp.y, 3.0 * kp.scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keypoints::{detect_keypoints, DetectorParams};
+
+    fn blob(w: usize, h: usize, cx: f64, cy: f64) -> GrayImage {
+        let mut px = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                px.push((-d2 / 18.0).exp());
+            }
+        }
+        GrayImage::new(w, h, px)
+    }
+
+    #[test]
+    fn descriptor_has_unit_norm_and_dim() {
+        let img = blob(32, 32, 16.0, 16.0);
+        let (dx, dy) = gradients(&img);
+        let d = describe_patch(&dx, &dy, 16.0, 16.0, 6.0).unwrap();
+        assert_eq!(d.len(), DESCRIPTOR_DIM);
+        let norm: f64 = d.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // After clip-and-renormalize every entry is non-negative and the
+        // clipped spread is bounded (0.2 clip / minimal renorm factor).
+        assert!(d.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn flat_patch_yields_none() {
+        let img = GrayImage::filled(32, 32, 0.3);
+        let (dx, dy) = gradients(&img);
+        assert!(describe_patch(&dx, &dy, 16.0, 16.0, 6.0).is_none());
+    }
+
+    #[test]
+    fn same_structure_matches_translated_copy() {
+        // The same blob at two image locations → nearly identical
+        // descriptors; a ramp → a different descriptor.
+        let a = blob(48, 48, 16.0, 16.0);
+        let b = blob(48, 48, 30.0, 28.0);
+        let (adx, ady) = gradients(&a);
+        let (bdx, bdy) = gradients(&b);
+        let da = describe_patch(&adx, &ady, 16.0, 16.0, 8.0).unwrap();
+        let db = describe_patch(&bdx, &bdy, 30.0, 28.0, 8.0).unwrap();
+        let ramp = GrayImage::new(
+            48,
+            48,
+            (0..48 * 48).map(|i| (i % 48) as f64 / 48.0).collect(),
+        );
+        let (rdx, rdy) = gradients(&ramp);
+        let dr = describe_patch(&rdx, &rdy, 24.0, 24.0, 8.0).unwrap();
+
+        let dist = |p: &[f64], q: &[f64]| -> f64 {
+            p.iter().zip(q).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        assert!(
+            dist(&da, &db) < dist(&da, &dr),
+            "blob-blob {} vs blob-ramp {}",
+            dist(&da, &db),
+            dist(&da, &dr)
+        );
+    }
+
+    #[test]
+    fn describe_keypoints_end_to_end() {
+        let img = blob(48, 48, 24.0, 24.0);
+        let kps = detect_keypoints(&img, &DetectorParams::default());
+        let descs = describe_keypoints(&img, &kps);
+        assert!(!descs.is_empty());
+        assert!(descs.iter().all(|d| d.len() == DESCRIPTOR_DIM));
+    }
+}

@@ -1,0 +1,136 @@
+//! Separable Gaussian filtering and image gradients.
+
+use crate::image::GrayImage;
+
+/// Builds a normalized 1-D Gaussian kernel for `sigma`, truncated at
+/// ±3σ (odd length ≥ 1).
+pub fn gaussian_kernel(sigma: f64) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as usize;
+    let mut k = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in 0..=(2 * radius) {
+        let d = i as f64 - radius as f64;
+        k.push((-d * d / denom).exp());
+    }
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Gaussian-blurs an image with a separable convolution (clamp-to-edge).
+pub fn gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
+    let kernel = gaussian_kernel(sigma);
+    let radius = kernel.len() / 2;
+    let (w, h) = (img.width(), img.height());
+
+    // Horizontal pass.
+    let mut tmp = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                let xi = x as isize + i as isize - radius as isize;
+                acc += kv * img.get_clamped(xi, y as isize);
+            }
+            tmp[y * w + x] = acc;
+        }
+    }
+    let tmp_img = GrayImage::new(w, h, tmp);
+
+    // Vertical pass.
+    let mut out = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                let yi = y as isize + i as isize - radius as isize;
+                acc += kv * tmp_img.get_clamped(x as isize, yi);
+            }
+            out[y * w + x] = acc;
+        }
+    }
+    GrayImage::new(w, h, out)
+}
+
+/// Central-difference gradients; returns `(dx, dy)` images.
+pub fn gradients(img: &GrayImage) -> (GrayImage, GrayImage) {
+    let (w, h) = (img.width(), img.height());
+    let mut dx = vec![0.0f64; w * h];
+    let mut dy = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let (xi, yi) = (x as isize, y as isize);
+            dx[y * w + x] = (img.get_clamped(xi + 1, yi) - img.get_clamped(xi - 1, yi)) / 2.0;
+            dy[y * w + x] = (img.get_clamped(xi, yi + 1) - img.get_clamped(xi, yi - 1)) / 2.0;
+        }
+    }
+    (GrayImage::new(w, h, dx), GrayImage::new(w, h, dy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized_and_symmetric() {
+        for sigma in [0.5, 1.0, 1.6, 3.0] {
+            let k = gaussian_kernel(sigma);
+            assert_eq!(k.len() % 2, 1);
+            assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-12);
+            }
+            let mid = k.len() / 2;
+            assert!(k[mid] >= k[0], "peak at center");
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::filled(8, 8, 0.42);
+        let b = gaussian_blur(&img, 1.5);
+        assert!(b.pixels().iter().all(|&v| (v - 0.42).abs() < 1e-12));
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut img = GrayImage::filled(9, 9, 0.0);
+        img.set(4, 4, 1.0);
+        let b = gaussian_blur(&img, 1.0);
+        // Peak stays at the center but is reduced; energy is conserved
+        // away from borders.
+        assert!(b.get(4, 4) < 1.0);
+        assert!(b.get(4, 4) > b.get(0, 0));
+        let total: f64 = b.pixels().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_is_monotone_in_sigma() {
+        let mut img = GrayImage::filled(15, 15, 0.0);
+        img.set(7, 7, 1.0);
+        let s1 = gaussian_blur(&img, 0.8).get(7, 7);
+        let s2 = gaussian_blur(&img, 1.6).get(7, 7);
+        assert!(s1 > s2, "more blur → flatter peak");
+    }
+
+    #[test]
+    fn gradients_of_ramp() {
+        // Horizontal ramp: dx == slope, dy == 0 (away from edges).
+        let img = GrayImage::new(
+            5,
+            4,
+            (0..20).map(|i| (i % 5) as f64 * 0.1).collect(),
+        );
+        let (dx, dy) = gradients(&img);
+        for y in 0..4 {
+            for x in 1..4 {
+                assert!((dx.get(x, y) - 0.1).abs() < 1e-12);
+                assert!(dy.get(x, y).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Grayscale images in `[0, 1]`.
+
+/// A row-major grayscale raster. Pixel values are `f64` in `[0, 1]`
+/// (tiles are rendered to this range by `fc-tiles`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Creates an image from row-major pixels.
+    ///
+    /// # Panics
+    /// Panics when `pixels.len() != width * height` or a dimension is 0.
+    pub fn new(width: usize, height: usize, pixels: Vec<f64>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// A constant image.
+    pub fn filled(width: usize, height: usize, value: f64) -> Self {
+        Self::new(width, height, vec![value; width * height])
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)` with clamp-to-edge semantics for out-of-range
+    /// coordinates (the convolution boundary convention).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f64 {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[yi * self.width + xi]
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Half-resolution copy (every other pixel; inputs should be blurred
+    /// first to avoid aliasing).
+    pub fn downsample2(&self) -> GrayImage {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                out.push(self.get(
+                    (x * 2).min(self.width - 1),
+                    (y * 2).min(self.height - 1),
+                ));
+            }
+        }
+        GrayImage::new(w, h, out)
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Pixel-wise difference `self - other` (for DoG layers).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn diff(&self, other: &GrayImage) -> GrayImage {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions mismatch"
+        );
+        let pixels = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| a - b)
+            .collect();
+        GrayImage::new(self.width, self.height, pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let img = GrayImage::new(3, 2, vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(2, 1), 0.5);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn wrong_pixel_count_panics() {
+        GrayImage::new(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn clamped_access_extends_edges() {
+        let img = GrayImage::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(img.get_clamped(-5, 0), 1.0);
+        assert_eq!(img.get_clamped(5, 5), 4.0);
+        assert_eq!(img.get_clamped(0, 5), 3.0);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::new(4, 4, (0..16).map(|i| i as f64).collect());
+        let d = img.downsample2();
+        assert_eq!((d.width(), d.height()), (2, 2));
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(0, 1), 8.0);
+        // Degenerate 1-pixel image survives.
+        let tiny = GrayImage::filled(1, 1, 0.5).downsample2();
+        assert_eq!((tiny.width(), tiny.height()), (1, 1));
+    }
+
+    #[test]
+    fn diff_and_mean() {
+        let a = GrayImage::filled(2, 2, 0.75);
+        let b = GrayImage::filled(2, 2, 0.25);
+        let d = a.diff(&b);
+        assert!(d.pixels().iter().all(|&v| (v - 0.5).abs() < 1e-15));
+        assert!((a.mean() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn set_updates_pixel() {
+        let mut img = GrayImage::filled(2, 2, 0.0);
+        img.set(1, 1, 0.9);
+        assert_eq!(img.get(1, 1), 0.9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Train and inspect the top-level phase classifier (§4.2.2, §5.4.1):
+//! leave-one-user-out cross-validated accuracy and the confusion matrix
+//! over Foraging / Navigation / Sensemaking.
+//!
+//! ```sh
+//! cargo run --example phase_classifier --release
+//! ```
+
+use forecache::core::{Phase, PhaseClassifier};
+use forecache::ml::{leave_one_group_out, ConfusionMatrix};
+use forecache::sim::dataset::{DatasetConfig, StudyDataset};
+use forecache::sim::study::{Study, StudyConfig};
+use forecache::sim::terrain::TerrainConfig;
+
+fn main() {
+    println!("building dataset and simulating the study…");
+    let ds = StudyDataset::build(DatasetConfig {
+        terrain: TerrainConfig {
+            size: 256,
+            ..TerrainConfig::default()
+        },
+        levels: 4,
+        tile: 32,
+        ..DatasetConfig::default()
+    });
+    let study = Study::generate(&ds, &StudyConfig { num_users: 10 });
+    let pd = study.phase_dataset();
+    println!(
+        "  {} labeled requests; phase mix F/N/S = {:.2}/{:.2}/{:.2}",
+        pd.len(),
+        pd.label_distribution()[0],
+        pd.label_distribution()[1],
+        pd.label_distribution()[2]
+    );
+
+    println!("\nleave-one-user-out cross-validation…");
+    let folds = leave_one_group_out(&pd.users);
+    let mut cm = ConfusionMatrix::new(3);
+    let mut per_user = Vec::new();
+    for (train_idx, test_idx) in folds {
+        let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| pd.features[i].clone()).collect();
+        let train_y: Vec<usize> = train_idx.iter().map(|&i| pd.labels[i]).collect();
+        let clf = PhaseClassifier::train_on_features(&train_x, &train_y);
+        let mut fold_cm = ConfusionMatrix::new(3);
+        for &i in &test_idx {
+            let pred = clf.predict_features(&pd.features[i]);
+            fold_cm.add(pd.labels[i], pred);
+        }
+        per_user.push(fold_cm.accuracy());
+        cm.merge(&fold_cm);
+    }
+
+    println!("\nconfusion matrix (rows = truth, cols = predicted):");
+    println!("{:>14} {:>10} {:>10} {:>10}", "", "Foraging", "Navigation", "Sensemaking");
+    for truth in Phase::ALL {
+        print!("{:>14}", truth.name());
+        for pred in Phase::ALL {
+            print!(" {:>10}", cm.get(truth.index(), pred.index()));
+        }
+        println!();
+    }
+    println!("\nper-class recall:");
+    for p in Phase::ALL {
+        println!("  {:<12} {:.3}", p.name(), cm.recall(p.index()));
+    }
+    let best = per_user.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "\noverall accuracy {:.1}% (paper: 82%); best user {:.1}% (paper: \"90% or higher\" for some users)",
+        cm.accuracy() * 100.0,
+        best * 100.0
+    );
+}

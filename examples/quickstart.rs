@@ -1,0 +1,100 @@
+//! Quickstart: build a tiny dataset, run a ForeCache middleware session,
+//! and watch prefetching turn ~1 s misses into ~20 ms hits.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use forecache::array::{DenseArray, LatencyModel, Schema};
+use forecache::core::engine::PhaseSource;
+use forecache::core::signature::{attach_signatures, SignatureConfig};
+use forecache::core::{
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
+    PredictionEngine, SbConfig, SbRecommender,
+};
+use forecache::tiles::{Move, PyramidBuilder, PyramidConfig, Quadrant, TileId};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A 128x128 gradient dataset, tiled into a 3-level pyramid with a
+    //    SciDB-like ~1 s backend fetch cost.
+    let schema = Schema::grid2d("DEMO", 128, 128, &["v"]).expect("schema");
+    let data: Vec<f64> = (0..128 * 128)
+        .map(|i| {
+            let (y, x) = (i / 128, i % 128);
+            ((x as f64 / 16.0).sin() * (y as f64 / 16.0).cos() + 1.0) / 2.0
+        })
+        .collect();
+    let base = DenseArray::from_vec(schema, data).expect("base array");
+    let mut cfg = PyramidConfig::simple(3, 32, &["v"]);
+    cfg.latency = LatencyModel::scidb_like();
+    let pyramid = Arc::new(PyramidBuilder::new().build(&base, &cfg).expect("pyramid"));
+    let mut sig_cfg = SignatureConfig::ndsi("v");
+    sig_cfg.domain = (0.0, 1.0);
+    attach_signatures(&pyramid, &sig_cfg);
+    println!(
+        "pyramid: {} levels, {} tiles",
+        pyramid.geometry().levels,
+        pyramid.store().backend_len()
+    );
+
+    // 2. A prediction engine: the AB Markov model trained on pan-heavy
+    //    traces, plus the SB signature model.
+    let right = Move::PanRight.index() as u16;
+    let down = Move::PanDown.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![
+        vec![right; 10],
+        vec![right, right, right, down, right, right, right],
+    ];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    let engine = PredictionEngine::new(
+        pyramid.geometry(),
+        AbRecommender::train(refs, 3),
+        SbRecommender::new(SbConfig::all_equal()),
+        PhaseSource::Heuristic,
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    );
+
+    // 3. A browsing session: zoom to the detailed level, then pan right.
+    let mut mw = Middleware::new(engine, pyramid, LatencyProfile::paper(), 4, 5);
+    let path = [
+        (TileId::new(0, 0, 0), None),
+        (TileId::new(1, 0, 0), Some(Move::ZoomIn(Quadrant::Nw))),
+        (TileId::new(2, 0, 0), Some(Move::ZoomIn(Quadrant::Nw))),
+        (TileId::new(2, 0, 1), Some(Move::PanRight)),
+        (TileId::new(2, 0, 2), Some(Move::PanRight)),
+        (TileId::new(2, 0, 3), Some(Move::PanRight)),
+        (TileId::new(2, 1, 3), Some(Move::PanDown)),
+    ];
+    println!("\n{:<12} {:>10} {:>6} {:<12} prefetched", "tile", "latency", "hit", "phase");
+    for (tile, mv) in path {
+        let r = mw.request(tile, mv).expect("tile exists");
+        println!(
+            "{:<12} {:>8.1}ms {:>6} {:<12} {}",
+            tile.to_string(),
+            r.latency.as_secs_f64() * 1e3,
+            if r.cache_hit { "HIT" } else { "miss" },
+            r.phase.to_string(),
+            r.prefetched
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+
+    let stats = mw.stats();
+    println!(
+        "\n{} requests, {:.0}% hit rate, avg latency {:.1} ms",
+        stats.requests,
+        stats.hit_rate() * 100.0,
+        stats.avg_latency().as_secs_f64() * 1e3
+    );
+    println!(
+        "without prefetching every request would cost ~{:.0} ms",
+        LatencyProfile::paper().miss.as_secs_f64() * 1e3
+    );
+}

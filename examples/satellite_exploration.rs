@@ -1,0 +1,113 @@
+//! Satellite-imagery exploration: the paper's full scenario end-to-end.
+//!
+//! Generates synthetic MODIS-like terrain, computes the NDSI through the
+//! Query-1 pipeline, builds the tile pyramid with signatures, trains the
+//! two-level prediction engine on simulated study users, and replays a
+//! held-out user's snow-hunting session through the middleware —
+//! reporting the latency the user would experience.
+//!
+//! ```sh
+//! cargo run --example satellite_exploration --release
+//! ```
+
+use forecache::core::engine::PhaseSource;
+use forecache::core::{
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
+    PhaseClassifier, PredictionEngine, SbConfig, SbRecommender,
+};
+use forecache::sim::dataset::{DatasetConfig, StudyDataset};
+use forecache::sim::study::{Study, StudyConfig};
+use forecache::sim::terrain::TerrainConfig;
+
+fn main() {
+    // A mid-size dataset: 512² cells, five zoom levels, 64-cell tiles.
+    println!("building synthetic MODIS NDSI dataset (terrain -> Query 1 -> pyramid -> signatures)…");
+    let ds = StudyDataset::build(DatasetConfig {
+        terrain: TerrainConfig {
+            size: 512,
+            ..TerrainConfig::default()
+        },
+        levels: 5,
+        tile: 32,
+        ..DatasetConfig::default()
+    });
+    let g = ds.pyramid.geometry();
+    println!(
+        "  {} zoom levels, {} tiles, deepest grid {:?}",
+        g.levels,
+        ds.pyramid.store().backend_len(),
+        g.tiles_at(g.levels - 1)
+    );
+
+    // Simulate the user study and hold user 0 out for the live session.
+    println!("simulating 8 study users × 3 tasks…");
+    let study = Study::generate(&ds, &StudyConfig { num_users: 8 });
+    println!(
+        "  {} traces, {} total requests",
+        study.traces.len(),
+        study.total_requests()
+    );
+
+    let train: Vec<&forecache::sim::trace::Trace> =
+        study.traces.iter().filter(|t| t.user != 0).collect();
+    let move_traces: Vec<Vec<u16>> = train.iter().map(|t| t.move_sequence()).collect();
+    let move_refs: Vec<&[u16]> = move_traces.iter().map(|t| t.as_slice()).collect();
+
+    // Phase classifier trained on the other users' labeled requests.
+    let pd = study.phase_dataset();
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..pd.len() {
+        if pd.users[i] != 0 {
+            feats.push(pd.features[i].clone());
+            labels.push(pd.labels[i]);
+        }
+    }
+    let classifier = PhaseClassifier::train_on_features(&feats, &labels);
+
+    let engine = PredictionEngine::new(
+        g,
+        AbRecommender::train(move_refs, 3),
+        SbRecommender::new(SbConfig::all_equal()),
+        PhaseSource::Classifier(Box::new(classifier)),
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Replay user 0's task-1 session through the live middleware (k=5).
+    let session = study
+        .traces
+        .iter()
+        .find(|t| t.user == 0 && t.task == 0)
+        .expect("user 0, task 1 exists");
+    println!(
+        "\nreplaying held-out user 0, task 1 ({} requests) with k = 5…",
+        session.len()
+    );
+    let mut mw = Middleware::new(engine, ds.pyramid.clone(), LatencyProfile::paper(), 4, 5);
+    let mut slow_requests = 0usize;
+    for step in &session.steps {
+        let r = mw.request(step.tile, step.mv).expect("tile exists");
+        if r.latency.as_millis() > 500 {
+            slow_requests += 1;
+        }
+    }
+    let stats = mw.stats();
+    println!(
+        "  hit rate {:.0}%  avg latency {:.1} ms  (> 500 ms on {}/{} requests)",
+        stats.hit_rate() * 100.0,
+        stats.avg_latency().as_secs_f64() * 1e3,
+        slow_requests,
+        stats.requests
+    );
+    println!(
+        "  phase mix: Foraging {}  Navigation {}  Sensemaking {}",
+        stats.per_phase[0], stats.per_phase[1], stats.per_phase[2]
+    );
+    println!(
+        "  no-prefetch baseline would average {:.0} ms per request",
+        LatencyProfile::paper().miss.as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,128 @@
+//! Time-series browsing: the paper's heart-rate monitoring scenario
+//! (Fig. 2c) on a 1-D dataset lifted into the tile model.
+//!
+//! ```sh
+//! cargo run --example timeseries_monitoring --release
+//! ```
+
+use forecache::array::{AggFn, DenseArray, IoMode, LatencyModel, Schema};
+use forecache::core::engine::PhaseSource;
+use forecache::core::signature::{attach_signatures, SignatureConfig};
+use forecache::core::{
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
+    PredictionEngine, SbConfig, SbRecommender,
+};
+use forecache::tiles::{lift_1d, AttrAgg, Move, PyramidBuilder, PyramidConfig, Quadrant, TileId};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A day of 1 Hz heart-rate samples with exercise bouts and an
+    //    arrhythmia-like spike burst.
+    let n = 4096usize;
+    let schema = Schema::new(
+        "HR",
+        [("t".to_string(), n)],
+        ["bpm".to_string()],
+    )
+    .expect("schema");
+    let samples: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let circadian = 62.0 + 6.0 * (t / n as f64 * std::f64::consts::TAU).sin();
+            let exercise = if (1200..1500).contains(&i) { 55.0 } else { 0.0 };
+            let spikes = if (3000..3030).contains(&i) && i % 3 == 0 {
+                40.0
+            } else {
+                0.0
+            };
+            circadian + exercise + spikes + ((i * 2654435761) % 7) as f64 - 3.0
+        })
+        .collect();
+    let hr = DenseArray::from_vec(schema, samples).expect("heart-rate series");
+
+    // 2. Lift to 2-D and build a 5-level pyramid of 1×256 tiles; the
+    //    max-aggregation keeps spikes visible at coarse zoom levels.
+    let lifted = lift_1d(&hr).expect("1-D lift");
+    let cfg = PyramidConfig {
+        levels: 5,
+        tile_h: 1,
+        tile_w: 256,
+        aggs: vec![AttrAgg::new("bpm", AggFn::Max)],
+        latency: LatencyModel::scidb_like(),
+        io_mode: IoMode::Simulated,
+    };
+    let pyramid = Arc::new(PyramidBuilder::new().build(&lifted, &cfg).expect("pyramid"));
+    let mut sig_cfg = SignatureConfig::ndsi("bpm");
+    sig_cfg.domain = (40.0, 180.0);
+    attach_signatures(&pyramid, &sig_cfg);
+    let g = pyramid.geometry();
+    println!(
+        "heart-rate pyramid: {} levels, deepest grid {:?}",
+        g.levels,
+        g.tiles_at(g.levels - 1)
+    );
+
+    // 3. Engine trained on the archetypal time-series gesture: pan right
+    //    repeatedly, zoom into anomalies.
+    let right = Move::PanRight.index() as u16;
+    let zin = Move::ZoomIn(Quadrant::Ne).index() as u16;
+    let zout = Move::ZoomOut.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![
+        vec![right; 12],
+        vec![right, right, zin, zin, right, zout, right, right],
+    ];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    let engine = PredictionEngine::new(
+        g,
+        AbRecommender::train(refs, 3),
+        SbRecommender::new(SbConfig::all_equal()),
+        PhaseSource::Heuristic,
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    );
+    let mut mw = Middleware::new(engine, pyramid, LatencyProfile::paper(), 4, 4);
+
+    // 4. An analyst scrolls the day at mid-zoom, then drills into the
+    //    spike burst near t = 3000 (tile x = 2 at level 2 covers
+    //    2048..3072 with window 4 → raw 8192; scaled: level 2 tile x
+    //    covers 1024 raw samples).
+    println!("\nscrolling at level 2, then drilling into the anomaly…");
+    let mut walk: Vec<(TileId, Option<Move>)> = vec![(TileId::new(2, 0, 0), None)];
+    for x in 1..=2 {
+        walk.push((TileId::new(2, 0, x), Some(Move::PanRight)));
+    }
+    // The spike burst is at raw t≈3000 → level-3 tile x = 5 → level-4 x = 11.
+    walk.push((TileId::new(3, 0, 5), Some(Move::ZoomIn(Quadrant::Ne))));
+    walk.push((TileId::new(4, 0, 11), Some(Move::ZoomIn(Quadrant::Ne))));
+    walk.push((TileId::new(4, 0, 10), Some(Move::PanLeft)));
+
+    for (tile, mv) in walk {
+        match mw.request(tile, mv) {
+            Some(r) => {
+                let peak = r
+                    .tile
+                    .present_values("bpm")
+                    .expect("bpm attr")
+                    .into_iter()
+                    .fold(f64::MIN, f64::max);
+                println!(
+                    "  {:<10} {:>7.1}ms {:>5} peak {:>5.0} bpm",
+                    tile.to_string(),
+                    r.latency.as_secs_f64() * 1e3,
+                    if r.cache_hit { "HIT" } else { "miss" },
+                    peak
+                );
+            }
+            None => println!("  {tile} does not exist"),
+        }
+    }
+    let stats = mw.stats();
+    println!(
+        "\n{} requests, {:.0}% hits, avg {:.1} ms",
+        stats.requests,
+        stats.hit_rate() * 100.0,
+        stats.avg_latency().as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,77 @@
+//! # ForeCache — dynamic prefetching of data tiles for interactive visualization
+//!
+//! A from-scratch Rust reproduction of *Battle, Chang, Stonebraker:
+//! "Dynamic Prefetching of Data Tiles for Interactive Visualization"*
+//! (SIGMOD 2016). ForeCache is a middleware layer between a lightweight
+//! visualization client and an array DBMS that **prefetches data tiles**
+//! ahead of the user with a two-level prediction engine: an SVM phase
+//! classifier on top, and Action-Based (Markov) plus Signature-Based
+//! (visual similarity) recommenders below.
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`array`] — embedded array-DBMS substrate (dense arrays, regrid
+//!   aggregation, join/apply UDFs, simulated storage latency);
+//! * [`tiles`] — zoom-level pyramids, data tiles, the nine-move
+//!   navigation model, tile store;
+//! * [`ngram`] — Kneser–Ney smoothed n-gram models (AB substrate);
+//! * [`ml`] — SMO-trained SVM, k-means, evaluation utilities;
+//! * [`vision`] — SIFT-lite keypoints/descriptors and visual words;
+//! * [`core`] — the prediction engine, recommenders, baselines, cache
+//!   manager, and middleware;
+//! * [`sim`] — synthetic MODIS-like data, behavioural users, and the
+//!   replay harness reproducing the paper's evaluation;
+//! * [`server`] — the client-server architecture over TCP.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use forecache::array::{DenseArray, Schema};
+//! use forecache::core::{
+//!     AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
+//!     PredictionEngine, SbConfig, SbRecommender,
+//! };
+//! use forecache::core::engine::PhaseSource;
+//! use forecache::core::signature::{attach_signatures, SignatureConfig};
+//! use forecache::tiles::{Move, PyramidBuilder, PyramidConfig, TileId};
+//! use std::sync::Arc;
+//!
+//! // 1. A small dataset and its tile pyramid.
+//! let schema = Schema::grid2d("DEMO", 64, 64, &["v"]).unwrap();
+//! let data: Vec<f64> = (0..64 * 64).map(|i| ((i % 64) as f64 / 64.0)).collect();
+//! let base = DenseArray::from_vec(schema, data).unwrap();
+//! let pyramid = Arc::new(
+//!     PyramidBuilder::new()
+//!         .build(&base, &PyramidConfig::simple(3, 16, &["v"]))
+//!         .unwrap(),
+//! );
+//! let mut sig = SignatureConfig::ndsi("v");
+//! sig.domain = (0.0, 1.0);
+//! attach_signatures(&pyramid, &sig);
+//!
+//! // 2. A prediction engine (AB Markov model + SB signatures).
+//! let traces: Vec<Vec<u16>> = vec![vec![Move::PanRight.index() as u16; 8]];
+//! let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+//! let engine = PredictionEngine::new(
+//!     pyramid.geometry(),
+//!     AbRecommender::train(refs, 3),
+//!     SbRecommender::new(SbConfig::all_equal()),
+//!     PhaseSource::Heuristic,
+//!     EngineConfig { strategy: AllocationStrategy::Updated, ..Default::default() },
+//! );
+//!
+//! // 3. Serve requests through the middleware.
+//! let mut mw = Middleware::new(engine, pyramid, LatencyProfile::paper(), 4, 5);
+//! let first = mw.request(TileId::ROOT, None).unwrap();
+//! assert!(!first.cache_hit); // cold cache
+//! assert!(!first.prefetched.is_empty()); // but the engine is already fetching ahead
+//! ```
+
+pub use fc_array as array;
+pub use fc_core as core;
+pub use fc_ml as ml;
+pub use fc_ngram as ngram;
+pub use fc_server as server;
+pub use fc_sim as sim;
+pub use fc_tiles as tiles;
+pub use fc_vision as vision;

@@ -1,0 +1,175 @@
+//! Cross-crate integration: terrain → Query 1 → pyramid → signatures →
+//! study → prediction engines → replay harness.
+
+use forecache::core::engine::PhaseSource;
+use forecache::core::{
+    AbRecommender, AllocationStrategy, EngineConfig, MomentumRecommender, PhaseClassifier,
+    PredictionEngine, SbConfig, SbRecommender,
+};
+use forecache::ml::leave_one_group_out;
+use forecache::sim::dataset::{DatasetConfig, StudyDataset};
+use forecache::sim::replay::{
+    loocv, replay_trace, AccuracyReport, EnginePhaseMode, EnginePredictor, ModelPredictor,
+};
+use forecache::sim::study::{Study, StudyConfig};
+use forecache::sim::trace;
+use std::sync::{Arc, OnceLock};
+
+/// Dataset + study are expensive to build; share one instance across the
+/// whole test binary.
+fn shared() -> &'static (StudyDataset, Study) {
+    static SHARED: OnceLock<(StudyDataset, Study)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let ds = StudyDataset::build(DatasetConfig::tiny());
+        let st = Study::generate(&ds, &StudyConfig { num_users: 5 });
+        (ds, st)
+    })
+}
+
+fn dataset() -> &'static StudyDataset {
+    &shared().0
+}
+
+fn study(_ds: &StudyDataset) -> &'static Study {
+    &shared().1
+}
+
+#[test]
+fn traces_roundtrip_through_the_codec() {
+    let ds = dataset();
+    let st = study(&ds);
+    let text = trace::encode(&st.traces);
+    let back = trace::decode(&text).expect("codec roundtrip");
+    assert_eq!(back, st.traces);
+}
+
+#[test]
+fn every_model_is_perfect_at_k9() {
+    // §5.2.2: at k = 9 the correct tile is guaranteed to be prefetched.
+    let ds = dataset();
+    let st = study(&ds);
+    let mut p = ModelPredictor::new(Box::new(MomentumRecommender), ds.pyramid.clone());
+    let mut outcomes = Vec::new();
+    for t in &st.traces {
+        outcomes.extend(replay_trace(&mut p, t, 9));
+    }
+    let r = AccuracyReport::from_outcomes(&outcomes);
+    assert!((r.overall - 1.0).abs() < 1e-12, "k=9 accuracy {}", r.overall);
+}
+
+#[test]
+fn trained_ab_beats_momentum_at_k1() {
+    let ds = dataset();
+    let st = study(&ds);
+    let pyramid = ds.pyramid.clone();
+
+    let momentum = loocv(&st.traces, 1, |_| {
+        Box::new(ModelPredictor::new(
+            Box::new(MomentumRecommender),
+            pyramid.clone(),
+        ))
+    });
+    let ab = loocv(&st.traces, 1, |train| {
+        let seqs: Vec<Vec<u16>> = train.iter().map(|t| t.move_sequence()).collect();
+        let refs: Vec<&[u16]> = seqs.iter().map(|s| s.as_slice()).collect();
+        Box::new(ModelPredictor::new(
+            Box::new(AbRecommender::train(refs, 3)),
+            pyramid.clone(),
+        ))
+    });
+    assert!(
+        ab.overall >= momentum.overall,
+        "AB {} should not lose to Momentum {}",
+        ab.overall,
+        momentum.overall
+    );
+}
+
+#[test]
+fn hybrid_engine_replays_with_classifier() {
+    let ds = dataset();
+    let st = study(&ds);
+    let pyramid = ds.pyramid.clone();
+    let pd = st.phase_dataset();
+
+    let report = loocv(&st.traces, 5, |train| {
+        let train_users: std::collections::HashSet<usize> =
+            train.iter().map(|t| t.user).collect();
+        let seqs: Vec<Vec<u16>> = train.iter().map(|t| t.move_sequence()).collect();
+        let refs: Vec<&[u16]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let ab = AbRecommender::train(refs, 3);
+        let mut fx = Vec::new();
+        let mut fy = Vec::new();
+        for i in 0..pd.len() {
+            if train_users.contains(&pd.users[i]) {
+                fx.push(pd.features[i].clone());
+                fy.push(pd.labels[i]);
+            }
+        }
+        let clf = PhaseClassifier::train_on_features(&fx, &fy);
+        let engine = PredictionEngine::new(
+            pyramid.geometry(),
+            ab,
+            SbRecommender::new(SbConfig::all_equal()),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::Updated,
+                ..EngineConfig::default()
+            },
+        );
+        Box::new(EnginePredictor::new(
+            engine,
+            pyramid.clone(),
+            EnginePhaseMode::Classifier(Box::new(clf)),
+            "hybrid",
+        ))
+    });
+    assert!(
+        report.overall > 0.4,
+        "hybrid accuracy at k=5 too low: {}",
+        report.overall
+    );
+    assert_eq!(report.counts.iter().sum::<usize>(), report.total);
+}
+
+#[test]
+fn phase_classifier_generalizes_across_users() {
+    let ds = dataset();
+    let st = study(&ds);
+    let pd = st.phase_dataset();
+    let folds = leave_one_group_out(&pd.users);
+    assert_eq!(folds.len(), 5);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (train_idx, test_idx) in folds {
+        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| pd.features[i].clone()).collect();
+        let ty: Vec<usize> = train_idx.iter().map(|&i| pd.labels[i]).collect();
+        let clf = PhaseClassifier::train_on_features(&tx, &ty);
+        for &i in &test_idx {
+            if clf.predict_features(&pd.features[i]) == pd.labels[i] {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.6, "cross-user phase accuracy {acc}");
+}
+
+#[test]
+fn simulated_clock_accumulates_backend_time() {
+    // Build a one-off dataset with a real (non-free) latency model.
+    let mut cfg = DatasetConfig::tiny();
+    cfg.terrain.size = 64;
+    cfg.levels = 2;
+    cfg.latency = forecache::array::LatencyModel::scidb_like();
+    let ds = StudyDataset::build(cfg);
+    let pyramid: Arc<_> = ds.pyramid.clone();
+    let clock = pyramid.store().clock().clone();
+    assert_eq!(clock.now(), std::time::Duration::ZERO);
+    pyramid
+        .store()
+        .fetch_backend(forecache::tiles::TileId::ROOT)
+        .expect("root exists");
+    assert!(clock.now() > std::time::Duration::from_millis(900));
+}

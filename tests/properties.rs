@@ -1,0 +1,126 @@
+//! Workspace-level property tests: random walks through the full stack.
+
+use forecache::core::engine::PhaseSource;
+use forecache::core::{
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
+    MomentumRecommender, PredictionEngine, SbConfig, SbRecommender,
+};
+use forecache::sim::replay::{replay_trace, AccuracyReport, ModelPredictor};
+use forecache::sim::trace::{Trace, TraceStep};
+use forecache::core::Phase;
+use forecache::array::{DenseArray, Schema};
+use forecache::tiles::{Geometry, Move, PyramidBuilder, PyramidConfig, TileId, MOVES};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A pyramid over a deterministic 64x64 texture, shared by all cases.
+fn pyramid() -> Arc<forecache::tiles::Pyramid> {
+    let schema = Schema::grid2d("P", 64, 64, &["v"]).unwrap();
+    let data: Vec<f64> = (0..64 * 64)
+        .map(|i| ((i as f64 * 0.37).sin().abs() + (i % 64) as f64 / 64.0) / 2.0)
+        .collect();
+    let base = DenseArray::from_vec(schema, data).unwrap();
+    // Paper-calibrated backend latency so hit < miss ordering holds.
+    let mut cfg = PyramidConfig::simple(3, 16, &["v"]);
+    cfg.latency = forecache::array::LatencyModel::scidb_like();
+    Arc::new(PyramidBuilder::new().build(&base, &cfg).unwrap())
+}
+
+/// Generates a random legal walk through a geometry as a labeled trace.
+fn random_walk(g: Geometry, moves: Vec<u8>) -> Trace {
+    let mut pos = TileId::ROOT;
+    let mut steps = vec![TraceStep {
+        tile: pos,
+        mv: None,
+        phase: Phase::Foraging,
+    }];
+    for m in moves {
+        let mv = MOVES[m as usize % MOVES.len()];
+        if let Some(next) = g.apply(pos, mv) {
+            pos = next;
+            steps.push(TraceStep {
+                tile: pos,
+                mv: Some(mv),
+                phase: Phase::Navigation,
+            });
+        }
+    }
+    Trace {
+        user: 0,
+        task: 0,
+        steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The middleware serves every legal random walk: correct tiles,
+    /// sane latencies, stats adding up.
+    #[test]
+    fn middleware_survives_random_walks(moves in proptest::collection::vec(0u8..9, 1..40)) {
+        let pyramid = pyramid();
+        let g = pyramid.geometry();
+        let trace = random_walk(g, moves);
+        let refs: Vec<Vec<u16>> = vec![vec![Move::PanRight.index() as u16; 6]];
+        let trefs: Vec<&[u16]> = refs.iter().map(|t| t.as_slice()).collect();
+        let engine = PredictionEngine::new(
+            g,
+            AbRecommender::train(trefs, 2),
+            SbRecommender::new(SbConfig::all_equal()),
+            PhaseSource::Heuristic,
+            EngineConfig { strategy: AllocationStrategy::Updated, ..Default::default() },
+        );
+        let mut mw = Middleware::new(engine, pyramid, LatencyProfile::paper(), 3, 4);
+        for s in &trace.steps {
+            let r = mw.request(s.tile, s.mv).expect("walk stays in bounds");
+            prop_assert_eq!(r.tile.id, s.tile);
+            prop_assert!(r.latency >= LatencyProfile::paper().hit);
+            prop_assert!(r.latency <= std::time::Duration::from_millis(1100));
+        }
+        let st = mw.stats();
+        prop_assert_eq!(st.requests, trace.steps.len());
+        prop_assert!(st.hits <= st.requests);
+        prop_assert_eq!(st.per_phase.iter().sum::<usize>(), st.requests);
+    }
+
+    /// Accuracy is monotone non-decreasing in k for a fixed model/trace
+    /// (a bigger prefetch budget can only help).
+    #[test]
+    fn accuracy_is_monotone_in_k(moves in proptest::collection::vec(0u8..9, 4..50)) {
+        let pyramid = pyramid();
+        let trace = random_walk(pyramid.geometry(), moves);
+        let mut last = 0.0f64;
+        for k in 1..=9 {
+            let mut p = ModelPredictor::new(Box::new(MomentumRecommender), pyramid.clone());
+            let outcomes = replay_trace(&mut p, &trace, k);
+            let acc = AccuracyReport::from_outcomes(&outcomes).overall;
+            prop_assert!(acc >= last - 1e-12, "k={k}: {acc} < {last}");
+            last = acc;
+        }
+        prop_assert!((last - 1.0).abs() < 1e-12, "k=9 is complete coverage");
+    }
+
+    /// Geometry round-trip: any legal move followed by its inverse (when
+    /// one exists) returns to the starting tile.
+    #[test]
+    fn moves_have_inverses(level in 0u8..3, y in 0u32..4, x in 0u32..4, m in 0usize..9) {
+        let g = Geometry::new(3, 64, 64, 16, 16);
+        let from = TileId::new(level, y, x);
+        prop_assume!(g.contains(from));
+        let mv = MOVES[m];
+        if let Some(to) = g.apply(from, mv) {
+            let back = match mv {
+                Move::PanUp => Some(Move::PanDown),
+                Move::PanDown => Some(Move::PanUp),
+                Move::PanLeft => Some(Move::PanRight),
+                Move::PanRight => Some(Move::PanLeft),
+                Move::ZoomIn(_) => Some(Move::ZoomOut),
+                Move::ZoomOut => None, // zoom-out loses quadrant information
+            };
+            if let Some(b) = back {
+                prop_assert_eq!(g.apply(to, b), Some(from));
+            }
+        }
+    }
+}
