@@ -43,7 +43,9 @@ impl std::fmt::Debug for UdfRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<&str> = self.funcs.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("UdfRegistry").field("funcs", &names).finish()
+        f.debug_struct("UdfRegistry")
+            .field("funcs", &names)
+            .finish()
     }
 }
 
@@ -171,7 +173,9 @@ fn lex(text: &str) -> Result<Vec<(Token, usize)>> {
                 let start = i;
                 i += 1;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
                         || bytes[i] == 'E'
                         || ((bytes[i] == '-' || bytes[i] == '+')
                             && matches!(bytes[i - 1], 'e' | 'E')))
@@ -260,7 +264,10 @@ impl Parser<'_> {
         let here = self.here();
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(err_at(&format!("expected identifier, found {other:?}"), here)),
+            other => Err(err_at(
+                &format!("expected identifier, found {other:?}"),
+                here,
+            )),
         }
     }
 
@@ -268,7 +275,10 @@ impl Parser<'_> {
         let here = self.here();
         match self.next() {
             Some(Token::Ident(s)) | Some(Token::Qualified(s)) => Ok(s),
-            other => Err(err_at(&format!("expected attribute, found {other:?}"), here)),
+            other => Err(err_at(
+                &format!("expected attribute, found {other:?}"),
+                here,
+            )),
         }
     }
 
@@ -284,7 +294,10 @@ impl Parser<'_> {
         let here = self.here();
         let n = self.number()?;
         if n < 0.0 || n.fract() != 0.0 {
-            return Err(err_at(&format!("expected non-negative integer, got {n}"), here));
+            return Err(err_at(
+                &format!("expected non-negative integer, got {n}"),
+                here,
+            ));
         }
         Ok(n as usize)
     }
@@ -306,14 +319,9 @@ impl Parser<'_> {
                 let input = self.expr()?;
                 let mut windows = Vec::new();
                 self.expect(&Token::Comma)?;
-                loop {
-                    match self.peek() {
-                        Some(Token::Number(_)) => {
-                            windows.push(self.usize_arg()?);
-                            self.expect(&Token::Comma)?;
-                        }
-                        _ => break,
-                    }
+                while let Some(Token::Number(_)) = self.peek() {
+                    windows.push(self.usize_arg()?);
+                    self.expect(&Token::Comma)?;
                 }
                 let agg_name = self.ident()?;
                 let agg = parse_agg(&agg_name)
@@ -330,8 +338,7 @@ impl Parser<'_> {
                 if bounds.is_empty() || bounds.len() % 2 != 0 {
                     return Err(err_at("subarray needs lo,hi pairs per dimension", here));
                 }
-                let ranges: Vec<(usize, usize)> =
-                    bounds.chunks(2).map(|c| (c[0], c[1])).collect();
+                let ranges: Vec<(usize, usize)> = bounds.chunks(2).map(|c| (c[0], c[1])).collect();
                 input.subarray(&ranges)
             }
             "join" => {
@@ -427,11 +434,8 @@ mod tests {
     fn db_with_bands() -> Database {
         let db = Database::new();
         let mk = |name: &str, vals: Vec<f64>| {
-            DenseArray::from_vec(
-                Schema::grid2d(name, 2, 2, &["reflectance"]).unwrap(),
-                vals,
-            )
-            .unwrap()
+            DenseArray::from_vec(Schema::grid2d(name, 2, 2, &["reflectance"]).unwrap(), vals)
+                .unwrap()
         };
         db.store("SVIS", mk("SVIS", vec![0.8, 0.5, 0.2, 0.6]));
         db.store("SSWIR", mk("SSWIR", vec![0.2, 0.5, 0.8, 0.2]));

@@ -309,8 +309,7 @@ mod tests {
         let mut a = DenseArray::empty(schema);
         a.set("v", &[0, 1], 5.0).unwrap();
         a.set("v", &[1, 0], 7.0).unwrap();
-        let got: Vec<(Vec<usize>, f64)> =
-            a.cells().map(|c| (c.coords(), c.attr(0))).collect();
+        let got: Vec<(Vec<usize>, f64)> = a.cells().map(|c| (c.coords(), c.attr(0))).collect();
         assert_eq!(got, vec![(vec![0, 1], 5.0), (vec![1, 0], 7.0)]);
     }
 

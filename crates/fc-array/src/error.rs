@@ -34,7 +34,10 @@ impl fmt::Display for ArrayError {
             ArrayError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             ArrayError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             ArrayError::OutOfBounds { coords, shape } => {
-                write!(f, "coordinates {coords:?} out of bounds for shape {shape:?}")
+                write!(
+                    f,
+                    "coordinates {coords:?} out of bounds for shape {shape:?}"
+                )
             }
             ArrayError::NoSuchArray(n) => write!(f, "no such array: {n}"),
             ArrayError::AlreadyExists(n) => write!(f, "array already exists: {n}"),

@@ -37,7 +37,7 @@ pub mod query;
 pub mod schema;
 pub mod storage;
 
-pub use afl::{UdfRegistry};
+pub use afl::UdfRegistry;
 pub use agg::AggFn;
 pub use bitvec::BitVec;
 pub use database::Database;

@@ -51,7 +51,7 @@ pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Res
             windows.len()
         )));
     }
-    if windows.iter().any(|&w| w == 0) {
+    if windows.contains(&0) {
         return Err(ArrayError::InvalidArgument(
             "regrid window size must be >= 1".into(),
         ));
@@ -91,11 +91,9 @@ pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Res
         // Aggregate each attribute over present cells of the window.
         let mut any_present = false;
         for ai in 0..nattrs {
-            let vals = WindowIter::new(&lo, &hi, &in_strides).filter_map(|flat| {
-                input
-                    .valid_at(flat)
-                    .then(|| input.cell_view(flat).attr(ai))
-            });
+            let vals = WindowIter::new(&lo, &hi, &in_strides)
+                .filter(|&flat| input.valid_at(flat))
+                .map(|flat| input.cell_view(flat).attr(ai));
             match aggs[ai].fold(vals) {
                 Some(v) => {
                     values[ai] = v;
@@ -259,10 +257,7 @@ pub fn join(left: &DenseArray, right: &DenseArray) -> Result<DenseArray> {
     }
     let out_schema = Schema::new(
         format!("join({lname},{rname})"),
-        left.schema()
-            .dims
-            .iter()
-            .map(|d| (d.name.clone(), d.len)),
+        left.schema().dims.iter().map(|d| (d.name.clone(), d.len)),
         attr_names,
     )?;
     let mut out = DenseArray::empty(out_schema);
@@ -273,11 +268,11 @@ pub fn join(left: &DenseArray, right: &DenseArray) -> Result<DenseArray> {
         if left.valid_at(idx) && right.valid_at(idx) {
             let lc = left.cell_view(idx);
             let rc = right.cell_view(idx);
-            for ai in 0..nl {
-                values[ai] = lc.attr(ai);
+            for (ai, v) in values[..nl].iter_mut().enumerate() {
+                *v = lc.attr(ai);
             }
-            for ai in 0..nr {
-                values[nl + ai] = rc.attr(ai);
+            for (ai, v) in values[nl..].iter_mut().enumerate() {
+                *v = rc.attr(ai);
             }
             out.write_cell(idx, &values, true);
         }
@@ -297,10 +292,10 @@ where
     F: Fn(&CellView<'_>) -> f64,
 {
     let mut values = vec![f64::NAN; input.ncells()];
-    for idx in 0..input.ncells() {
+    for (idx, value) in values.iter_mut().enumerate() {
         if input.valid_at(idx) {
             let cv = input.cell_view(idx);
-            values[idx] = udf(&cv);
+            *value = udf(&cv);
         }
     }
     let mut out = input.clone();

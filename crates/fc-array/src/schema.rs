@@ -81,9 +81,7 @@ impl Schema {
             ));
         }
         if dims.iter().any(|d| d.len == 0) {
-            return Err(ArrayError::InvalidArgument(
-                "zero-length dimension".into(),
-            ));
+            return Err(ArrayError::InvalidArgument("zero-length dimension".into()));
         }
         for (i, d) in dims.iter().enumerate() {
             if dims[..i].iter().any(|p| p.name == d.name) {
@@ -109,12 +107,7 @@ impl Schema {
     }
 
     /// Convenience constructor for 2-D arrays `[y, x]`.
-    pub fn grid2d(
-        name: impl Into<String>,
-        ny: usize,
-        nx: usize,
-        attrs: &[&str],
-    ) -> Result<Self> {
+    pub fn grid2d(name: impl Into<String>, ny: usize, nx: usize, attrs: &[&str]) -> Result<Self> {
         Self::new(
             name,
             [("y".to_string(), ny), ("x".to_string(), nx)],

@@ -13,8 +13,14 @@ fn query1_then_zoom_levels() {
         let data: Vec<f64> = (0..n * n).map(|i| f(i / n, i % n)).collect();
         DenseArray::from_vec(schema, data).unwrap()
     };
-    db.store("SVIS", mk("SVIS", &|y, _| 0.2 + 0.6 * (y as f64 / n as f64)));
-    db.store("SSWIR", mk("SSWIR", &|y, _| 0.8 - 0.6 * (y as f64 / n as f64)));
+    db.store(
+        "SVIS",
+        mk("SVIS", &|y, _| 0.2 + 0.6 * (y as f64 / n as f64)),
+    );
+    db.store(
+        "SSWIR",
+        mk("SSWIR", &|y, _| 0.8 - 0.6 * (y as f64 / n as f64)),
+    );
 
     Query::scan("SVIS")
         .join(Query::scan("SSWIR"))
@@ -57,7 +63,8 @@ fn filter_then_regrid_skips_masked_cells() {
     for y in 0..4 {
         for x in 0..4 {
             arr.set("v", &[y, x], 10.0).unwrap();
-            arr.set("keep", &[y, x], f64::from(u8::from(x < 2))).unwrap();
+            arr.set("keep", &[y, x], f64::from(u8::from(x < 2)))
+                .unwrap();
         }
     }
     let out = Query::literal(arr)

@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fc_array::{regrid, AggFn, DenseArray, Schema};
+use fc_bench::seed_baseline::{sb_distances_seed, SeedMetaStore};
 use fc_core::engine::PhaseSource;
+use fc_core::sb::{chi_squared, PredictScratch};
 use fc_core::signature::{attach_signatures, SignatureConfig, SignatureKind};
 use fc_core::{
     AbRecommender, AllocationStrategy, CacheManager, EngineConfig, MomentumRecommender,
@@ -12,7 +14,7 @@ use fc_core::{
     SessionHistory,
 };
 use fc_ngram::KneserNey;
-use fc_tiles::{Move, Pyramid, PyramidBuilder, PyramidConfig, Tile, TileId};
+use fc_tiles::{Geometry, Move, Pyramid, PyramidBuilder, PyramidConfig, Tile, TileId};
 use fc_vision::{dense_descriptors, detect_keypoints, DetectorParams, GrayImage};
 use std::sync::Arc;
 
@@ -56,7 +58,7 @@ fn bench_vision(c: &mut Criterion) {
         64,
         64,
         (0..64 * 64)
-            .map(|i| ((i as f64 * 0.11).sin().abs()))
+            .map(|i| (i as f64 * 0.11).sin().abs())
             .collect(),
     );
     c.bench_function("sift detect 64x64", |b| {
@@ -97,12 +99,66 @@ fn bench_models(c: &mut Criterion) {
         let h = [right, right, right];
         b.iter(|| m.distribution(black_box(&h)))
     });
-    c.bench_function("AB rank 9 candidates", |b| b.iter(|| ab.rank(black_box(&ctx))));
+    c.bench_function("AB rank 9 candidates", |b| {
+        b.iter(|| ab.rank(black_box(&ctx)))
+    });
     c.bench_function("SB rank 9 candidates (4 signatures)", |b| {
         b.iter(|| sb.rank(black_box(&ctx)))
     });
     c.bench_function("Momentum rank 9 candidates", |b| {
         b.iter(|| momentum.rank(black_box(&ctx)))
+    });
+}
+
+/// The acceptance-criterion shape over the real signature pyramid:
+/// 4 signatures × 64 candidates (all of level 3) × 16 ROI (all of
+/// level 2 — a committed coarse-level region of interest).
+fn sb_bench_shape(g: Geometry) -> (Vec<TileId>, Vec<TileId>) {
+    let candidates: Vec<TileId> = (0..8u32)
+        .flat_map(|y| (0..8u32).map(move |x| TileId::new(3, y, x)))
+        .collect();
+    let roi: Vec<TileId> = (0..4u32)
+        .flat_map(|y| (0..4u32).map(move |x| TileId::new(2, y, x)))
+        .collect();
+    assert_eq!(candidates.len(), 64);
+    assert_eq!(roi.len(), 16);
+    assert!(candidates.iter().chain(&roi).all(|&t| g.contains(t)));
+    (candidates, roi)
+}
+
+fn bench_sb_distances(c: &mut Criterion) {
+    let h1: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 136.0).collect();
+    let h2: Vec<f64> = (0..16).map(|i| (16.0 - i as f64) / 136.0).collect();
+    c.bench_function("chi_squared 16 bins", |b| {
+        b.iter(|| chi_squared(black_box(&h1), black_box(&h2)))
+    });
+
+    let pyramid = built_pyramid();
+    let store = pyramid.store();
+    let g = pyramid.geometry();
+    let (candidates, roi) = sb_bench_shape(g);
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let seed_store = SeedMetaStore::mirror(store, g);
+    c.bench_function("SB distances 4sig x 64cand x 16roi (seed impl)", |b| {
+        b.iter(|| {
+            sb_distances_seed(
+                &SbConfig::all_equal(),
+                black_box(&seed_store),
+                &candidates,
+                &roi,
+            )
+        })
+    });
+    c.bench_function("SB distances 4sig x 64cand x 16roi (meta_vec ref)", |b| {
+        b.iter(|| sb.distances(black_box(store), &candidates, &roi))
+    });
+    let index = store.signature_index().expect("synthetic signatures");
+    let mut scratch = PredictScratch::default();
+    let mut out = Vec::new();
+    c.bench_function("SB distances 4sig x 64cand x 16roi (frozen index)", |b| {
+        b.iter(|| {
+            sb.distances_indexed_into(black_box(&index), &candidates, &roi, &mut scratch, &mut out)
+        })
     });
 }
 
@@ -174,6 +230,7 @@ criterion_group!(
     bench_array_ops,
     bench_vision,
     bench_models,
+    bench_sb_distances,
     bench_engine_and_cache,
     bench_protocol
 );

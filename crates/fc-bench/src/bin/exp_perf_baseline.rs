@@ -1,0 +1,220 @@
+//! Performance baseline: the numbers future perf PRs must beat.
+//!
+//! Measures the prediction hot path at three layers and writes
+//! `BENCH_predict.json` next to the working directory:
+//!
+//! * `sb_distances_*_ns` — Algorithm 3 at the acceptance shape
+//!   (4 signatures × 64 candidates × 16 ROI tiles): the seed
+//!   implementation (string-keyed clone-per-pair store, reproduced
+//!   verbatim), the retained `meta_vec` reference path, and the frozen
+//!   [`SignatureIndex`] fast path;
+//! * `engine_predict_per_s` — steady-state two-level
+//!   `PredictionEngine::predict` throughput (k = 5);
+//! * `middleware_requests_per_s` — full `Middleware::request` cycles
+//!   (cache + predict + prefetch) over a scripted pan walk.
+//!
+//! Measurements interleave the compared paths round-robin and keep the
+//! per-round median, so slow container neighbours shift all paths
+//! together instead of skewing one ratio.
+
+use fc_array::{DenseArray, Schema};
+use fc_bench::seed_baseline::{sb_distances_seed, SeedMetaStore};
+use fc_core::engine::PhaseSource;
+use fc_core::sb::{PredictScratch, SbConfig, SbRecommender};
+use fc_core::signature::{attach_signatures, SignatureConfig};
+use fc_core::{
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware, PredictionEngine,
+    Request,
+};
+use fc_tiles::{Move, Pyramid, PyramidBuilder, PyramidConfig, TileId};
+use std::time::Instant;
+
+/// Median ns/iter over `rounds` timed batches of `iters` calls.
+fn measure<F: FnMut()>(rounds: usize, iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| b.total_cmp(a));
+    samples[samples.len() / 2]
+}
+
+fn signature_pyramid() -> std::sync::Arc<Pyramid> {
+    let side = 256;
+    let schema = Schema::grid2d("B", side, side, &["v"]).expect("schema");
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i as f64 * 0.37).sin().abs() + (i % side) as f64 / side as f64) / 2.0)
+        .collect();
+    let base = DenseArray::from_vec(schema, data).expect("base");
+    let pyramid = std::sync::Arc::new(
+        PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(4, 32, &["v"]))
+            .expect("pyramid"),
+    );
+    let mut cfg = SignatureConfig::ndsi("v");
+    cfg.domain = (0.0, 1.0);
+    attach_signatures(&pyramid, &cfg);
+    pyramid
+}
+
+fn main() {
+    let pyramid = signature_pyramid();
+    let store = pyramid.store();
+    let g = pyramid.geometry();
+
+    // ---- SB distances at 4 sigs × 64 candidates × 16 ROI ----
+    let candidates: Vec<TileId> = (0..8u32)
+        .flat_map(|y| (0..8u32).map(move |x| TileId::new(3, y, x)))
+        .collect();
+    let roi: Vec<TileId> = (0..4u32)
+        .flat_map(|y| (0..4u32).map(move |x| TileId::new(2, y, x)))
+        .collect();
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let seed_store = SeedMetaStore::mirror(store, g);
+    let index = store.signature_index().expect("signatures attached");
+    let mut scratch = PredictScratch::default();
+    let mut out = Vec::new();
+
+    // Interleaved rounds: per round measure each path once; report the
+    // per-path median across rounds.
+    const ROUNDS: usize = 9;
+    let mut seed_ns = Vec::new();
+    let mut reference_ns = Vec::new();
+    let mut indexed_ns = Vec::new();
+    for _ in 0..ROUNDS {
+        seed_ns.push(measure(1, 48, || {
+            std::hint::black_box(sb_distances_seed(
+                &SbConfig::all_equal(),
+                &seed_store,
+                &candidates,
+                &roi,
+            ));
+        }));
+        reference_ns.push(measure(1, 48, || {
+            std::hint::black_box(sb.distances(store, &candidates, &roi));
+        }));
+        indexed_ns.push(measure(1, 256, || {
+            sb.distances_indexed_into(&index, &candidates, &roi, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        }));
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let (seed, reference, indexed) = (
+        median(&mut seed_ns),
+        median(&mut reference_ns),
+        median(&mut indexed_ns),
+    );
+
+    // ---- Engine predict throughput (steady state, k = 5) ----
+    let right = Move::PanRight.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![vec![right; 50]];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    let mut engine = PredictionEngine::new(
+        g,
+        AbRecommender::train(refs.clone(), 3),
+        SbRecommender::new(SbConfig::all_equal()),
+        PhaseSource::Heuristic,
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    );
+    engine.observe(Request::new(TileId::new(2, 2, 2), Some(Move::PanRight)));
+    let predict_ns = measure(7, 4096, || {
+        std::hint::black_box(engine.predict(store, 5));
+    });
+
+    // ---- Middleware request throughput (pan walk, k = 4) ----
+    let mw_engine = PredictionEngine::new(
+        g,
+        AbRecommender::train(refs, 3),
+        SbRecommender::new(SbConfig::all_equal()),
+        PhaseSource::Heuristic,
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    );
+    let mut mw = Middleware::new(mw_engine, pyramid.clone(), LatencyProfile::paper(), 4, 4);
+    let (rows, cols) = g.tiles_at(3);
+    let walk: Vec<(TileId, Option<Move>)> = {
+        let mut w = vec![(TileId::new(3, 0, 0), None)];
+        let mut y = 0u32;
+        let mut x = 0u32;
+        let mut dir_right = true;
+        for _ in 0..63 {
+            if dir_right && x + 1 < cols {
+                x += 1;
+                w.push((TileId::new(3, y, x), Some(Move::PanRight)));
+            } else if !dir_right && x > 0 {
+                x -= 1;
+                w.push((TileId::new(3, y, x), Some(Move::PanLeft)));
+            } else if y + 1 < rows {
+                y += 1;
+                dir_right = !dir_right;
+                w.push((TileId::new(3, y, x), Some(Move::PanDown)));
+            }
+        }
+        w
+    };
+    let request_ns = measure(7, 8, || {
+        mw.reset_session();
+        for &(t, m) in &walk {
+            std::hint::black_box(mw.request(t, m));
+        }
+    }) / walk.len() as f64;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"predict_hot_path\",\n",
+            "  \"shape\": {{\"signatures\": 4, \"candidates\": 64, \"roi\": 16}},\n",
+            "  \"sb_distances_seed_ns\": {seed:.1},\n",
+            "  \"sb_distances_reference_ns\": {reference:.1},\n",
+            "  \"sb_distances_indexed_ns\": {indexed:.1},\n",
+            "  \"sb_speedup_vs_seed\": {speedup:.2},\n",
+            "  \"engine_predict_ns\": {predict:.1},\n",
+            "  \"engine_predict_per_s\": {predict_rate:.0},\n",
+            "  \"middleware_request_ns\": {request:.1},\n",
+            "  \"middleware_requests_per_s\": {request_rate:.0}\n",
+            "}}\n"
+        ),
+        seed = seed,
+        reference = reference,
+        indexed = indexed,
+        speedup = seed / indexed,
+        predict = predict_ns,
+        predict_rate = 1e9 / predict_ns,
+        request = request_ns,
+        request_rate = 1e9 / request_ns,
+    );
+    std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+    println!("# exp_perf_baseline — prediction hot path");
+    println!();
+    println!("SB distances (4 sigs x 64 cand x 16 roi):");
+    println!("  seed implementation : {:>10.0} ns", seed);
+    println!("  meta_vec reference  : {:>10.0} ns", reference);
+    println!("  frozen index        : {:>10.0} ns", indexed);
+    println!("  speedup vs seed     : {:>10.2} x", seed / indexed);
+    println!();
+    println!(
+        "engine predict k=5    : {:>10.0} ns  ({:.0}/s)",
+        predict_ns,
+        1e9 / predict_ns
+    );
+    println!(
+        "middleware request    : {:>10.0} ns  ({:.0}/s)",
+        request_ns,
+        1e9 / request_ns
+    );
+    println!();
+    println!("wrote BENCH_predict.json");
+}

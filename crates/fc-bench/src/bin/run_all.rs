@@ -16,7 +16,10 @@ fn main() {
         let t = std::time::Instant::now();
         let section = f(&ctx);
         report.push_str(&section);
-        report.push_str(&format!("\n[{name} took {:.1}s]\n", t.elapsed().as_secs_f64()));
+        report.push_str(&format!(
+            "\n[{name} took {:.1}s]\n",
+            t.elapsed().as_secs_f64()
+        ));
         print!("{section}");
     }
     report.push_str(&format!(

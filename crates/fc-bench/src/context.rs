@@ -42,9 +42,7 @@ impl ExpContext {
 
     /// Builds a context with explicit parameters.
     pub fn build(terrain: usize, levels: u8, tile: usize, users: usize) -> Self {
-        eprintln!(
-            "[setup] building dataset (terrain {terrain}², {levels} levels, tile {tile}) …"
-        );
+        eprintln!("[setup] building dataset (terrain {terrain}², {levels} levels, tile {tile}) …");
         let dataset = StudyDataset::build(DatasetConfig {
             terrain: TerrainConfig {
                 size: terrain,
@@ -80,8 +78,7 @@ impl ExpContext {
 
     /// Predictor factory: Hotspot baseline trained on the fold's traces.
     pub fn hotspot(&self, train: &[&Trace]) -> Box<dyn Predictor> {
-        let tiles: Vec<Vec<fc_tiles::TileId>> =
-            train.iter().map(|t| t.tile_sequence()).collect();
+        let tiles: Vec<Vec<fc_tiles::TileId>> = train.iter().map(|t| t.tile_sequence()).collect();
         Box::new(ModelPredictor::new(
             Box::new(HotspotRecommender::train(&tiles, 10, 4)),
             self.dataset.pyramid.clone(),
@@ -128,9 +125,7 @@ impl ExpContext {
             return c.clone();
         }
         let built = Arc::new(self.classifier_for(train));
-        self.classifier_cache
-            .lock()
-            .insert(users, built.clone());
+        self.classifier_cache.lock().insert(users, built.clone());
         built
     }
 
@@ -148,9 +143,9 @@ impl ExpContext {
         PhaseClassifier::train_on_features(&fx, &fy)
     }
 
-    /// Predictor factory: the full two-level engine ("hybrid": Markov3 AB
-    /// + SIFT SB under the §5.4.3 allocation, phase from a fold-trained
-    /// classifier — the configuration of Figs. 10c–13).
+    /// Predictor factory: the full two-level engine ("hybrid": Markov3
+    /// AB plus SIFT SB under the §5.4.3 allocation, phase from a
+    /// fold-trained classifier — the configuration of Figs. 10c–13).
     pub fn hybrid(&self, train: &[&Trace]) -> Box<dyn Predictor> {
         self.hybrid_with(train, AllocationStrategy::Updated, SignatureKind::Sift)
     }

@@ -10,8 +10,11 @@ pub mod study_stats;
 
 use crate::context::ExpContext;
 
+/// An experiment runner: renders one table/figure from the context.
+pub type ExpRunner = fn(&ExpContext) -> String;
+
 /// Every experiment, in DESIGN.md order: `(id, runner)`.
-pub fn all() -> Vec<(&'static str, fn(&ExpContext) -> String)> {
+pub fn all() -> Vec<(&'static str, ExpRunner)> {
     vec![
         ("fig3_4", data_model::fig3_4 as fn(&ExpContext) -> String),
         ("table1", classifier::table1),

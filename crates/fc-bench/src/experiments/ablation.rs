@@ -2,11 +2,11 @@
 //! Algorithm 3's distance penalties, and the cache allocation strategies.
 
 use crate::context::ExpContext;
-use crate::fmt::{acc, banner, table};
 use crate::experiments::accuracy::{phase_table, sweep};
+use crate::fmt::{acc, banner, table};
+use fc_core::signature::SignatureKind;
 use fc_core::signature::SIGNATURE_KINDS;
 use fc_core::{AllocationStrategy, Phase, SbConfig};
-use fc_core::signature::SignatureKind;
 use fc_sim::replay::loocv;
 
 /// Algorithm 3 ablation: drop the Manhattan penalty and/or the physical
@@ -36,7 +36,13 @@ pub fn ablation_sb(ctx: &ExpContext) -> String {
         ]);
     }
     out.push_str(&table(
-        &["variant", "overall", "Foraging", "Navigation", "Sensemaking"],
+        &[
+            "variant",
+            "overall",
+            "Foraging",
+            "Navigation",
+            "Sensemaking",
+        ],
         &rows,
     ));
     out.push_str(

@@ -61,9 +61,7 @@ pub fn markov_sweep(ctx: &ExpContext) -> String {
     out.push_str(&table(&["model", "accuracy @ k=1"], &rows));
     let m2 = accs[0];
     let m3 = accs[1];
-    let plateau = accs[1..]
-        .iter()
-        .all(|&a| (a - m3).abs() < 0.05);
+    let plateau = accs[1..].iter().all(|&a| (a - m3).abs() < 0.05);
     out.push_str(&format!(
         "\npaper: \"n = 2 was too small, and resulted in worse accuracy.\nOtherwise … negligible improvements in accuracy for lengths beyond\nn = 3\". measured: Markov2 {} vs Markov3 {} ({}), plateau beyond 3: {}\n",
         acc(m2),
@@ -88,8 +86,10 @@ pub fn fig10a(ctx: &ExpContext) -> String {
         out.push('\n');
     }
     let nav = Phase::Navigation.index();
-    let ab_nav: f64 = sweeps[0].iter().map(|(_, r)| r.per_phase[nav]).sum::<f64>() / KS.len() as f64;
-    let mo_nav: f64 = sweeps[1].iter().map(|(_, r)| r.per_phase[nav]).sum::<f64>() / KS.len() as f64;
+    let ab_nav: f64 =
+        sweeps[0].iter().map(|(_, r)| r.per_phase[nav]).sum::<f64>() / KS.len() as f64;
+    let mo_nav: f64 =
+        sweeps[1].iter().map(|(_, r)| r.per_phase[nav]).sum::<f64>() / KS.len() as f64;
     out.push_str(&format!(
         "paper: \"our AB model achieves significantly higher accuracy during\nthe Navigation phase for all values of k\". measured mean Navigation\naccuracy: AB {} vs Momentum {} → {}\n",
         acc(ab_nav),

@@ -16,7 +16,10 @@ fn loocv_features(ctx: &ExpContext, columns: &[usize]) -> (f64, f64) {
     let mut total = 0usize;
     let mut best_user = 0.0f64;
     for (train_idx, test_idx) in folds {
-        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| project(&pd.features[i])).collect();
+        let tx: Vec<Vec<f64>> = train_idx
+            .iter()
+            .map(|&i| project(&pd.features[i]))
+            .collect();
         let ty: Vec<usize> = train_idx.iter().map(|&i| pd.labels[i]).collect();
         let clf = PhaseClassifier::train_on_features(&tx, &ty);
         let mut user_correct = 0usize;
@@ -39,11 +42,7 @@ pub fn table1(ctx: &ExpContext) -> String {
     let mut rows = Vec::new();
     for j in 0..NUM_FEATURES {
         let (a, _) = loocv_features(ctx, &[j]);
-        rows.push(vec![
-            FEATURE_NAMES[j].to_string(),
-            acc(a),
-            acc(paper[j]),
-        ]);
+        rows.push(vec![FEATURE_NAMES[j].to_string(), acc(a), acc(paper[j])]);
     }
     out.push_str(&table(
         &["feature", "accuracy (measured)", "accuracy (paper)"],

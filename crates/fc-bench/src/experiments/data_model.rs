@@ -13,8 +13,7 @@ use fc_tiles::TileId;
 pub fn fig3_4(_ctx: &ExpContext) -> String {
     let mut out = banner("Figure 3/4 — aggregation & tiling worked example");
     let schema = Schema::grid2d("RAW", 16, 16, &["v"]).expect("schema");
-    let raw = DenseArray::from_vec(schema, (0..256).map(f64::from).collect())
-        .expect("raw 16x16");
+    let raw = DenseArray::from_vec(schema, (0..256).map(f64::from).collect()).expect("raw 16x16");
     out.push_str("raw array: 16x16, cells 0..255 (row-major)\n");
 
     let agg = regrid(&raw, &[2, 2], AggFn::Avg).expect("regrid (2,2)");
@@ -31,8 +30,8 @@ pub fn fig3_4(_ctx: &ExpContext) -> String {
 
     out.push_str("\npartition with tiling parameters (4,4) → 4 tiles of 4x4:\n");
     for (ty, tx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-        let tile = subarray(&agg, &[(ty * 4, ty * 4 + 4), (tx * 4, tx * 4 + 4)])
-            .expect("tile slice");
+        let tile =
+            subarray(&agg, &[(ty * 4, ty * 4 + 4), (tx * 4, tx * 4 + 4)]).expect("tile slice");
         out.push_str(&format!(
             "  tile ({ty},{tx}): shape {:?}, corner values {:.1} … {:.1}\n",
             tile.shape(),
@@ -72,7 +71,15 @@ pub fn table2(ctx: &ExpContext) -> String {
     }
     let roi = best.0;
     // A neighbour (same ridge) and the far corner (ocean/plain).
-    let neighbour = TileId::new(deepest, roi.y, if roi.x + 1 < cols { roi.x + 1 } else { roi.x - 1 });
+    let neighbour = TileId::new(
+        deepest,
+        roi.y,
+        if roi.x + 1 < cols {
+            roi.x + 1
+        } else {
+            roi.x - 1
+        },
+    );
     let distant = TileId::new(deepest, rows - 1, cols - 1);
 
     out.push_str(&format!(
@@ -95,7 +102,11 @@ pub fn table2(ctx: &ExpContext) -> String {
             sig_roi.len().to_string(),
             format!("{d_nb:.4}"),
             format!("{d_far:.4}"),
-            if d_nb < d_far { "yes".into() } else { "NO".into() },
+            if d_nb < d_far {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     out.push_str(&table(

@@ -2,8 +2,8 @@
 //! response times), and the headline §5.5 numbers.
 
 use crate::context::ExpContext;
-use crate::fmt::{acc, banner, table};
 use crate::experiments::accuracy::{sweep, KS};
+use crate::fmt::{acc, banner, table};
 use fc_core::LatencyProfile;
 use fc_ml::linreg;
 use fc_sim::replay::{loocv, replay_trace, ReplayOutcome};
@@ -84,7 +84,10 @@ pub fn fig12(ctx: &ExpContext) -> String {
         }
     }
 
-    out.push_str(&table(&["model", "k", "accuracy", "avg response (ms)"], &rows));
+    out.push_str(&table(
+        &["model", "k", "accuracy", "avg response (ms)"],
+        &rows,
+    ));
     let fit = linreg(&xs, &ys);
     out.push_str(&format!(
         "\nlinear fit: response_ms = {:.2} + {:.2} · accuracy, adj R² = {:.5}\n",
@@ -96,7 +99,11 @@ pub fn fig12(ctx: &ExpContext) -> String {
     out.push_str(&format!(
         "measured: a 1%-point accuracy gain is worth {:.1} ms ({}).\n",
         -fit.slope / 100.0,
-        if fit.slope < 0.0 { "confirms the linear law" } else { "DIFFERS" },
+        if fit.slope < 0.0 {
+            "confirms the linear law"
+        } else {
+            "DIFFERS"
+        },
     ));
     out
 }
@@ -114,19 +121,37 @@ pub fn fig13(ctx: &ExpContext) -> String {
     for (i, &k) in KS.iter().enumerate() {
         rows.push(vec![
             k.to_string(),
-            format!("{:.1}", hybrid[i].1.avg_latency(profile).as_secs_f64() * 1e3),
-            format!("{:.1}", momentum[i].1.avg_latency(profile).as_secs_f64() * 1e3),
-            format!("{:.1}", hotspot[i].1.avg_latency(profile).as_secs_f64() * 1e3),
+            format!(
+                "{:.1}",
+                hybrid[i].1.avg_latency(profile).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1}",
+                momentum[i].1.avg_latency(profile).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1}",
+                hotspot[i].1.avg_latency(profile).as_secs_f64() * 1e3
+            ),
             format!("{:.1}", profile.miss.as_secs_f64() * 1e3),
         ]);
     }
     out.push_str(&table(
-        &["k", "hybrid (ms)", "Momentum (ms)", "Hotspot (ms)", "no prefetch (ms)"],
+        &[
+            "k",
+            "hybrid (ms)",
+            "Momentum (ms)",
+            "Hotspot (ms)",
+            "no prefetch (ms)",
+        ],
         &rows,
     ));
 
     let at = |s: &[(usize, fc_sim::replay::AccuracyReport)], k: usize| {
-        s.iter().find(|(kk, _)| *kk == k).map(|(_, r)| r.avg_latency(profile)).expect("k in sweep")
+        s.iter()
+            .find(|(kk, _)| *kk == k)
+            .map(|(_, r)| r.avg_latency(profile))
+            .expect("k in sweep")
     };
     let h5 = at(&hybrid, 5).as_secs_f64() * 1e3;
     let m5 = at(&momentum, 5).as_secs_f64() * 1e3;

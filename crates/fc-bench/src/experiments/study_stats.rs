@@ -47,25 +47,24 @@ pub fn fig8(ctx: &ExpContext) -> String {
         &["task", "Foraging", "Navigation", "Sensemaking"],
         &phase_rows,
     ));
-    out.push_str("paper: \"users spent noticeably less time in the Foraging phase\nfor tasks 2 and 3\".\n\n");
+    out.push_str(
+        "paper: \"users spent noticeably less time in the Foraging phase\nfor tasks 2 and 3\".\n\n",
+    );
 
     // 8c-e: per-user distributions, grouped by dominant style.
     for task in 0..3 {
-        out.push_str(&format!("({}) per-user move mix, task {}:\n", ['c', 'd', 'e'][task], task + 1));
+        out.push_str(&format!(
+            "({}) per-user move mix, task {}:\n",
+            ['c', 'd', 'e'][task],
+            task + 1
+        ));
         let mut rows: Vec<(usize, [f64; 3])> = study.per_user_move_distribution(task);
         // Group users with similar mixes (sort by pan share) as in the
         // paper's grouped bars.
         rows.sort_by(|a, b| b.1[0].partial_cmp(&a.1[0]).expect("finite"));
         let urows: Vec<Vec<String>> = rows
             .iter()
-            .map(|(u, m)| {
-                vec![
-                    format!("user {u}"),
-                    pct(m[0]),
-                    pct(m[1]),
-                    pct(m[2]),
-                ]
-            })
+            .map(|(u, m)| vec![format!("user {u}"), pct(m[0]), pct(m[1]), pct(m[2])])
             .collect();
         out.push_str(&table(&["user", "pan", "zoom-in", "zoom-out"], &urows));
         out.push('\n');

@@ -15,5 +15,6 @@
 pub mod context;
 pub mod experiments;
 pub mod fmt;
+pub mod seed_baseline;
 
 pub use context::ExpContext;

@@ -12,8 +12,9 @@ use crate::history::{Request, SessionHistory};
 use crate::phase::{Phase, PhaseClassifier};
 use crate::recommender::{PredictionContext, Recommender};
 use crate::roi::RoiTracker;
-use crate::sb::SbRecommender;
-use fc_tiles::{Geometry, TileId, TileStore};
+use crate::sb::{PredictScratch, SbRecommender};
+use fc_tiles::{Geometry, SignatureIndex, TileId, TileStore};
+use std::sync::Arc;
 
 /// Engine configuration (paper §4.1: history length `n` and prediction
 /// distance `d` are system parameters set before the session starts).
@@ -66,6 +67,13 @@ pub struct PredictionEngine {
     phase_source: PhaseSource,
     history: SessionHistory,
     roi: RoiTracker,
+    /// Reused buffers for the allocation-free SB fast path.
+    scratch: PredictScratch,
+    /// The store's frozen signature index, cached with the
+    /// `(store_id, meta_epoch)` it was read at; revalidated per
+    /// predict with one atomic load so the steady state acquires no
+    /// store locks, and never confused between stores.
+    sig_cache: Option<((u64, u64), Arc<SignatureIndex>)>,
 }
 
 impl std::fmt::Debug for PredictionEngine {
@@ -95,6 +103,8 @@ impl PredictionEngine {
             ab,
             sb,
             phase_source,
+            scratch: PredictScratch::default(),
+            sig_cache: None,
         }
     }
 
@@ -118,19 +128,37 @@ impl PredictionEngine {
 
     /// Predicts up to `k` tiles to prefetch for the last observed request,
     /// letting the engine infer the phase.
-    pub fn predict(&self, store: &TileStore, k: usize) -> Vec<TileId> {
+    pub fn predict(&mut self, store: &TileStore, k: usize) -> Vec<TileId> {
         self.predict_with_phase(store, self.current_phase(), k)
+    }
+
+    /// Refreshes the cached frozen signature index. Steady state (same
+    /// store, no metadata writes since the last call) costs one atomic
+    /// load and touches no store locks. The key carries the store's
+    /// process-unique id, so handing the engine a different store
+    /// never reuses the previous store's index.
+    fn refresh_sig_cache(&mut self, store: &TileStore) -> Option<Arc<SignatureIndex>> {
+        let key = (store.store_id(), store.meta_epoch());
+        if let Some((cached_key, ix)) = &self.sig_cache {
+            if *cached_key == key {
+                return Some(ix.clone());
+            }
+        }
+        self.sig_cache = store.signature_index().map(|ix| (key, ix));
+        self.sig_cache.as_ref().map(|(_, ix)| ix.clone())
     }
 
     /// Predicts with an externally supplied phase (used when evaluating
     /// the bottom level against hand-labeled phases, §5.4.2).
-    pub fn predict_with_phase(&self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
+    pub fn predict_with_phase(&mut self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
         let Some(last) = self.history.last() else {
             return Vec::new();
         };
+        let last = *last;
+        let index = self.refresh_sig_cache(store);
         let candidates = self.geometry.candidates(last.tile, self.config.distance);
         let ctx = PredictionContext {
-            request: *last,
+            request: last,
             history: &self.history,
             candidates: &candidates,
             geometry: self.geometry,
@@ -143,7 +171,12 @@ impl PredictionEngine {
         } else {
             Vec::new()
         };
-        let sb_list = self.sb.rank(&ctx);
+        // SB: frozen-index fast path when metadata exists; the locked
+        // reference path only serves metadata-free stores.
+        let sb_list = match &index {
+            Some(ix) => self.sb.rank_indexed(&ctx, ix, &mut self.scratch),
+            None => self.sb.rank(&ctx),
+        };
         merge_allocated(&ab_list, &sb_list, ab_slots, sb_slots)
     }
 
@@ -208,11 +241,7 @@ mod tests {
         // Give every tile a histogram signature so SB has something.
         for id in g.all_tiles() {
             let v = f64::from(id.x % 3) / 3.0;
-            s.put_meta(
-                id,
-                SignatureKind::Hist1D.meta_name(),
-                vec![v, 1.0 - v],
-            );
+            s.put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
         }
         s
     }
@@ -233,9 +262,55 @@ mod tests {
         )
     }
 
+    /// Two stores with identical epoch counters must not share a
+    /// cached index: the cache key carries the store identity.
+    #[test]
+    fn switching_stores_refreshes_the_index() {
+        let g = geometry();
+        let s_by_x = store(g); // signature class = x % 3
+        let s_by_y = TileStore::new(g, LatencyModel::free(), IoMode::Simulated, SimClock::new());
+        for id in g.all_tiles() {
+            let v = f64::from(id.y % 3) / 3.0;
+            s_by_y.put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+        }
+        assert_eq!(s_by_x.meta_epoch(), s_by_y.meta_epoch(), "equal epochs");
+        assert_ne!(s_by_x.store_id(), s_by_y.store_id());
+        let mut e = engine(AllocationStrategy::Updated);
+        // Deep pan → Sensemaking → all slots to SB.
+        e.observe(Request::initial(TileId::new(3, 4, 4)));
+        e.observe(Request::new(TileId::new(3, 4, 5), Some(Move::PanRight)));
+        // Warm the cache on the x-keyed store, then predict against the
+        // y-keyed store: the top tile must match the y-keyed classes.
+        let px = e.predict(&s_by_x, 4);
+        assert_eq!(px[0].x % 3, 5 % 3, "x-keyed store ranks by x class");
+        let py = e.predict(&s_by_y, 4);
+        assert_eq!(py[0].y % 3, 4 % 3, "y-keyed store ranks by y class");
+    }
+
+    /// A metadata write after the index froze must be visible to the
+    /// next prediction (epoch invalidation end to end).
+    #[test]
+    fn metadata_writes_invalidate_cached_index() {
+        let g = geometry();
+        let s = store(g);
+        let mut e = engine(AllocationStrategy::Updated);
+        e.observe(Request::initial(TileId::new(3, 4, 4)));
+        e.observe(Request::new(TileId::new(3, 4, 5), Some(Move::PanRight)));
+        let before = e.predict(&s, 4);
+        assert_eq!(before[0].x % 3, 5 % 3, "x-keyed classes before rewrite");
+        // Rewrite every tile's signature from x-keyed to y-keyed classes.
+        for id in g.all_tiles() {
+            let v = f64::from(id.y % 3) / 3.0;
+            s.put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+        }
+        let after = e.predict(&s, 4);
+        assert_eq!(after[0].y % 3, 4 % 3, "y-keyed classes after rewrite");
+        assert_ne!(before[0], after[0], "stale index would repeat {before:?}");
+    }
+
     #[test]
     fn empty_engine_predicts_nothing() {
-        let e = engine(AllocationStrategy::Updated);
+        let mut e = engine(AllocationStrategy::Updated);
         let s = store(geometry());
         assert!(e.predict(&s, 5).is_empty());
         assert_eq!(e.current_phase(), Phase::Foraging);

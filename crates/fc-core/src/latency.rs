@@ -28,9 +28,7 @@ impl LatencyProfile {
     /// (= cache hit rate).
     pub fn expected_response(&self, accuracy: f64) -> Duration {
         let a = accuracy.clamp(0.0, 1.0);
-        Duration::from_secs_f64(
-            self.hit.as_secs_f64() * a + self.miss.as_secs_f64() * (1.0 - a),
-        )
+        Duration::from_secs_f64(self.hit.as_secs_f64() * a + self.miss.as_secs_f64() * (1.0 - a))
     }
 
     /// The slope of response-vs-accuracy in milliseconds per unit

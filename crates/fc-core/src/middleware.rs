@@ -14,8 +14,15 @@ use crate::history::Request;
 use crate::latency::LatencyProfile;
 use crate::phase::Phase;
 use fc_tiles::{Pyramid, Tile, TileId};
+use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Fan the prefetch-fetch loop out across cores only for bulk budgets;
+/// interactive budgets (k ≤ 9) stay on the sequential path where the
+/// per-fetch work (a map lookup + `Arc` clone) is far below the cost of
+/// spawning workers.
+const PREFETCH_PAR_MIN_LEN: usize = 64;
 
 /// The middleware's answer to one tile request.
 #[derive(Debug, Clone)]
@@ -137,25 +144,37 @@ impl Middleware {
 
         // 3. Re-evaluate allocations and prefetch for the next request.
         let predictions = self.engine.predict(self.pyramid.store(), self.k);
-        let mut fetched = Vec::with_capacity(predictions.len());
-        let mut prefetched_ids = Vec::with_capacity(predictions.len());
-        for p in &predictions {
-            if self.cache.contains(*p) {
-                continue;
-            }
-            // Prefetch I/O happens while the user analyzes the current
-            // tile; it costs backend time (accounted on the shared clock)
-            // but not user-visible latency.
-            if let Some(t) = self.pyramid.store().fetch_offline(*p) {
-                self.pyramid
-                    .store()
-                    .clock()
-                    .advance(self.pyramid.store().latency_model().cost(t.array.nbytes()));
-                fetched.push(t);
-                prefetched_ids.push(*p);
-            }
-        }
-        self.cache.install_prefetch(fetched);
+        let store = self.pyramid.store();
+        let to_fetch: Vec<TileId> = predictions
+            .iter()
+            .copied()
+            .filter(|p| !self.cache.contains(*p))
+            .collect();
+        // Prefetch I/O happens while the user analyzes the current tile;
+        // it costs backend time (accounted on the shared clock) but not
+        // user-visible latency. The fetches are independent reads of the
+        // immutable backend, so bulk budgets fan out across cores; each
+        // fetch's cost is computed locally and the sum is charged to the
+        // shared clock once, so the clock reading is identical to the
+        // sequential loop's regardless of worker interleaving.
+        let model = store.latency_model();
+        let fetched: Vec<(Arc<Tile>, Duration)> = to_fetch
+            .par_iter()
+            .with_min_len(PREFETCH_PAR_MIN_LEN)
+            .map(|p| {
+                store.fetch_offline(*p).map(|t| {
+                    let cost = model.cost(t.array.nbytes());
+                    (t, cost)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        store.clock().advance(fetched.iter().map(|(_, c)| *c).sum());
+        let prefetched_ids: Vec<TileId> = fetched.iter().map(|(t, _)| t.id).collect();
+        self.cache
+            .install_prefetch(fetched.into_iter().map(|(t, _)| t).collect());
 
         self.stats.requests += 1;
         if cache_hit {
@@ -338,8 +357,10 @@ mod tests {
         let p = pyramid();
         let mut mw = middleware(p, 4);
         mw.request(TileId::new(1, 0, 0), None).unwrap();
-        mw.request(TileId::new(1, 0, 1), Some(Move::PanRight)).unwrap();
-        mw.request(TileId::new(1, 0, 0), Some(Move::PanLeft)).unwrap();
+        mw.request(TileId::new(1, 0, 1), Some(Move::PanRight))
+            .unwrap();
+        mw.request(TileId::new(1, 0, 0), Some(Move::PanLeft))
+            .unwrap();
         let total: usize = mw.stats().per_phase.iter().sum();
         assert_eq!(total, 3);
     }

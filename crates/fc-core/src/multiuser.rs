@@ -244,11 +244,7 @@ impl SharedTileCache {
     /// the §5.2.3 sense, discovered online).
     pub fn popular(&self, n: usize) -> Vec<(TileId, u64)> {
         let g = self.inner.lock();
-        let mut v: Vec<(TileId, u64)> = g
-            .tiles
-            .iter()
-            .map(|(&id, r)| (id, r.popularity))
-            .collect();
+        let mut v: Vec<(TileId, u64)> = g.tiles.iter().map(|(&id, r)| (id, r.popularity)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v

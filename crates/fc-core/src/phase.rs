@@ -146,7 +146,10 @@ mod tests {
                     Move::ZoomOut
                 }),
             );
-            let prev = Request::new(TileId::new(3, i % 4, i % 4), Some(Move::ZoomIn(Quadrant::Se)));
+            let prev = Request::new(
+                TileId::new(3, i % 4, i % 4),
+                Some(Move::ZoomIn(Quadrant::Se)),
+            );
             samples.push((cur, Some(prev)));
             labels.push(Phase::Navigation);
             // Sensemaking: pan at deep level 6.

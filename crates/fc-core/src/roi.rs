@@ -32,11 +32,9 @@ impl RoiTracker {
                 self.temp_roi = vec![r.tile];
             }
             // Lines 8-12: a zoom-out commits tempROI if we were collecting.
-            Some(m) if m.is_zoom_out() => {
-                if self.in_flag {
-                    self.roi = std::mem::take(&mut self.temp_roi);
-                    self.in_flag = false;
-                }
+            Some(m) if m.is_zoom_out() && self.in_flag => {
+                self.roi = std::mem::take(&mut self.temp_roi);
+                self.in_flag = false;
             }
             // Lines 13-14: pans while collecting extend tempROI.
             Some(m) if m.is_pan() && self.in_flag => {

@@ -13,10 +13,28 @@
 //! current signatures produce histograms as output"). When the user has
 //! not yet committed an ROI, the current tile serves as the reference —
 //! the recommender then looks for "more tiles like the one being viewed".
+//!
+//! # Two evaluation paths
+//!
+//! [`SbRecommender::distances`] is the reference path: it reads every
+//! signature through the store's locked metadata map. It is kept for
+//! standalone use, for the golden regression test, and as the baseline
+//! the perf benches compare against. The hot path is
+//! [`SbRecommender::distances_indexed_into`]: it reads contiguous rows
+//! of a frozen [`SignatureIndex`] with all tile/key lookups hoisted out
+//! of the triple loop and every buffer reused from a caller-owned
+//! [`PredictScratch`] — no locks, no signature copies, no allocation.
+//! Both paths produce **bit-identical** distances for tiles inside
+//! the index's geometry: they perform the same floating-point
+//! operations in the same order (index rows are zero-padded, and χ²
+//! skips all-zero bins). Metadata stored for out-of-geometry ids is
+//! not representable in the index and ranks as "missing" there — see
+//! the scope note in `fc_tiles::sigindex`.
 
 use crate::recommender::{PredictionContext, Recommender};
 use crate::signature::SignatureKind;
-use fc_tiles::{TileId, TileStore};
+use fc_tiles::{MetaKey, SignatureIndex, TileId, TileStore};
+use rayon::prelude::*;
 
 /// Configuration for the SB recommender.
 #[derive(Debug, Clone)]
@@ -55,10 +73,52 @@ impl SbConfig {
     }
 }
 
+/// Reusable buffers for the allocation-free predict path. Owned by the
+/// caller (the [`crate::engine::PredictionEngine`] keeps one per
+/// session) and grown to the high-water mark of
+/// `candidates × signatures × ROI`; steady-state predictions then
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    /// Penalized χ² per (candidate, signature, roi), candidate-major so
+    /// each candidate owns one contiguous block (enables disjoint
+    /// parallel fills).
+    pair: Vec<f64>,
+    /// Per-signature normalization maxima (Algorithm 3 line 2).
+    maxes: Vec<f64>,
+    /// Dense index per candidate (`usize::MAX` = outside the index).
+    cand_rows: Vec<usize>,
+    /// Manhattan penalty per (candidate, roi) pair — it is independent
+    /// of the signature, so it is computed once per pair instead of
+    /// once per (signature, pair).
+    penalties: Vec<f64>,
+    /// Physical-distance denominator per (candidate, roi) pair, sharing
+    /// the penalty pass's level projection.
+    denoms: Vec<f64>,
+    /// Matrix row offset per (signature, roi) (`usize::MAX` = the ROI
+    /// tile has no vector under that signature's key).
+    roi_offsets: Vec<usize>,
+    /// Per-ROI weighted-l2 partials for the current candidate.
+    sq: Vec<f64>,
+    /// Scored candidates, reused by [`SbRecommender::rank_indexed`].
+    scored: Vec<(TileId, f64)>,
+}
+
+/// Sentinel for "no row" in the hoisted offset tables.
+const NO_ROW: usize = usize::MAX;
+
+/// Parallelize the per-candidate distance fill only at batch sizes
+/// where the fan-out pays for itself; interactive candidate sets
+/// (|C| ≤ 24 at d = 1) stay on the allocation-free sequential path.
+const SB_PAR_MIN_CANDIDATES: usize = 512;
+
 /// The SB recommendation model.
 #[derive(Debug, Clone)]
 pub struct SbRecommender {
     cfg: SbConfig,
+    /// Interned metadata keys, parallel to `cfg.weights` — resolved
+    /// once at construction so the hot path never touches strings.
+    keys: Vec<MetaKey>,
     name: String,
 }
 
@@ -70,11 +130,20 @@ impl SbRecommender {
         } else {
             "SB".to_string()
         };
-        Self { cfg, name }
+        let keys = cfg
+            .weights
+            .iter()
+            .map(|&(kind, _)| MetaKey::intern(kind.meta_name()))
+            .collect();
+        Self { cfg, keys, name }
     }
 
     /// Computes Algorithm 3's distance values for `candidates` against
     /// `roi`, returning `(candidate, d_A)` pairs (unsorted).
+    ///
+    /// This is the **reference path**: it re-reads every signature
+    /// through the store's metadata lock, per pair. Use
+    /// [`Self::distances_indexed_into`] on the request path.
     pub fn distances(
         &self,
         store: &TileStore,
@@ -86,61 +155,282 @@ impl SbRecommender {
         let mut per_sig = vec![vec![0.0f64; candidates.len() * roi.len()]; nsig];
         let mut maxes = vec![1.0f64; nsig]; // line 2: d_i,MAX ← 1
 
-        for (i, &(kind, _)) in self.cfg.weights.iter().enumerate() {
+        for (i, &key) in self.keys.iter().enumerate() {
             for (ai, &a) in candidates.iter().enumerate() {
-                let sig_a = store.meta_vec(a, kind.meta_name());
+                let sig_a = store.meta_vec_key(a, key);
                 for (bi, &b) in roi.iter().enumerate() {
-                    let sig_b = store.meta_vec(b, kind.meta_name());
+                    let sig_b = store.meta_vec_key(b, key);
                     let raw = match (&sig_a, &sig_b) {
                         (Some(x), Some(y)) => chi_squared(x, y),
                         // Missing metadata: treated as maximally distant.
                         _ => 1.0,
                     };
-                    // Line 8: Manhattan-distance penalty 2^(dmanh − 1).
-                    let penalty = if self.cfg.manhattan_penalty {
-                        let dmanh = a.manhattan(&b);
-                        2.0f64.powi(dmanh as i32 - 1)
-                    } else {
-                        1.0
-                    };
-                    let v = penalty * raw;
+                    let v = penalized(self.cfg.manhattan_penalty, a, b, raw);
                     per_sig[i][ai * roi.len() + bi] = v;
                     maxes[i] = maxes[i].max(v);
                 }
             }
         }
 
-        // Lines 10-11: normalize by per-signature max.
-        for (i, sig) in per_sig.iter_mut().enumerate() {
-            for v in sig.iter_mut() {
-                *v /= maxes[i];
-            }
-        }
-
-        // Lines 12-15: weighted l2 combine / physical distance, then sum
-        // over ROI tiles.
+        // Lines 10-15: normalize, combine, sum over ROI tiles.
         candidates
             .iter()
             .enumerate()
             .map(|(ai, &a)| {
-                let mut total = 0.0f64;
-                for (bi, &b) in roi.iter().enumerate() {
-                    let mut sq = 0.0f64;
-                    for (i, &(_, w)) in self.cfg.weights.iter().enumerate() {
-                        let d = per_sig[i][ai * roi.len() + bi];
-                        sq += w * d * d;
-                    }
-                    let denom = if self.cfg.physical_distance {
-                        physical_distance(a, b)
-                    } else {
-                        1.0
-                    };
-                    total += sq.sqrt() / denom;
-                }
+                let total = combine_one(&self.cfg, a, roi, |i, bi| {
+                    per_sig[i][ai * roi.len() + bi] / maxes[i]
+                });
                 (a, total)
             })
             .collect()
     }
+
+    /// The allocation-free hot path: Algorithm 3 over the frozen
+    /// [`SignatureIndex`], writing `(candidate, d_A)` pairs into `out`
+    /// (cleared first). All metadata lookups are hoisted out of the
+    /// triple loop; χ² runs over contiguous matrix rows; every buffer
+    /// comes from `scratch`. Results are bit-identical to
+    /// [`Self::distances`].
+    pub fn distances_indexed_into(
+        &self,
+        index: &SignatureIndex,
+        candidates: &[TileId],
+        roi: &[TileId],
+        scratch: &mut PredictScratch,
+        out: &mut Vec<(TileId, f64)>,
+    ) {
+        let nsig = self.cfg.weights.len();
+        let (nc, nr) = (candidates.len(), roi.len());
+        let block = nsig * nr; // one candidate's contiguous block
+
+        // Hoisted lookups, each performed once per call instead of once
+        // per pair inside the triple loop:
+        // candidate dense indices …
+        scratch.cand_rows.clear();
+        scratch.cand_rows.extend(
+            candidates
+                .iter()
+                .map(|&t| index.dense_index(t).unwrap_or(NO_ROW)),
+        );
+        // … ROI row offsets per signature …
+        scratch.roi_offsets.clear();
+        for &key in &self.keys {
+            let mat = index.matrix(key);
+            scratch.roi_offsets.extend(roi.iter().map(|&b| {
+                index
+                    .dense_index(b)
+                    .and_then(|d| mat.and_then(|m| m.row_offset(d)))
+                    .unwrap_or(NO_ROW)
+            }));
+        }
+        // … and the signature-independent pair geometry: the Manhattan
+        // penalty and the physical-distance denominator share one
+        // level-projection per pair instead of recomputing it in the
+        // combine loop.
+        scratch.penalties.clear();
+        scratch.denoms.clear();
+        for &a in candidates {
+            for &b in roi {
+                let level = a.level.max(b.level);
+                let pa = a.project_to(level);
+                let pb = b.project_to(level);
+                scratch.penalties.push(if self.cfg.manhattan_penalty {
+                    let dmanh = pa.y.abs_diff(pb.y) + pa.x.abs_diff(pb.x);
+                    exp2i(dmanh as i32 - 1)
+                } else {
+                    1.0
+                });
+                scratch.denoms.push(if self.cfg.physical_distance {
+                    let dy = f64::from(pa.y) - f64::from(pb.y);
+                    let dx = f64::from(pa.x) - f64::from(pb.x);
+                    (dy * dy + dx * dx).sqrt().max(1.0)
+                } else {
+                    1.0
+                });
+            }
+        }
+
+        scratch.pair.clear();
+        scratch.pair.resize(nc * block, 0.0);
+
+        // Fill the penalized χ² block of every candidate. Blocks are
+        // disjoint, so large batches (bulk replay / multi-user sweeps)
+        // fan out across cores; results are bit-identical to the
+        // sequential fill because each block's arithmetic is
+        // self-contained.
+        let roi_offsets = &scratch.roi_offsets;
+        let penalties = &scratch.penalties;
+        let cand_rows = &scratch.cand_rows;
+        let fill = |ai: usize, chunk: &mut [f64]| {
+            let ra = cand_rows[ai];
+            let pen = &penalties[ai * nr..ai * nr + nr];
+            for (i, &key) in self.keys.iter().enumerate() {
+                let out_row = &mut chunk[i * nr..i * nr + nr];
+                let offs = &roi_offsets[i * nr..i * nr + nr];
+                let mat_row = index.matrix(key).and_then(|m| {
+                    let row = if ra != NO_ROW { m.row(ra) } else { None };
+                    row.map(|r| (m, r))
+                });
+                match mat_row {
+                    Some((mat, row_a)) => {
+                        chi_squared_lanes(row_a, mat.data(), offs, pen, out_row);
+                    }
+                    // Candidate (or whole key) missing: every pair is
+                    // maximally distant (raw = 1) times its penalty.
+                    None => {
+                        for bi in 0..nr {
+                            out_row[bi] = pen[bi] * 1.0;
+                        }
+                    }
+                }
+            }
+        };
+        if nc >= SB_PAR_MIN_CANDIDATES && block > 0 {
+            scratch
+                .pair
+                .par_chunks_mut(block)
+                .with_min_len(1)
+                .enumerate()
+                .for_each(|(ai, chunk)| fill(ai, chunk));
+        } else {
+            for (ai, chunk) in scratch.pair.chunks_mut(block.max(1)).enumerate().take(nc) {
+                fill(ai, chunk);
+            }
+        }
+
+        // Line 2 + 10-11: per-signature maxima over the L1-resident
+        // pair buffer (`f64::max` is insensitive to accumulation order,
+        // so the parallel fill cannot change the result), then one
+        // vectorizable in-place normalize pass — each element divided
+        // once by its signature's max, exactly as the reference path.
+        scratch.maxes.clear();
+        scratch.maxes.resize(nsig, 1.0); // line 2: d_i,MAX ← 1
+        for ai_block in scratch.pair.chunks_exact(block.max(1)).take(nc) {
+            for i in 0..nsig {
+                for &v in &ai_block[i * nr..i * nr + nr] {
+                    scratch.maxes[i] = scratch.maxes[i].max(v);
+                }
+            }
+        }
+        for ai_block in scratch.pair.chunks_exact_mut(block.max(1)).take(nc) {
+            for i in 0..nsig {
+                let m = scratch.maxes[i];
+                for v in &mut ai_block[i * nr..i * nr + nr] {
+                    *v /= m;
+                }
+            }
+        }
+
+        // Lines 12-15: weighted l2 combine, physical distance, sum over
+        // ROI — same operation order as `distances`. The per-pair
+        // `sq`/`t` phases are element-independent (vectorizable); only
+        // the final per-candidate sum is order-sensitive, and it runs
+        // in ROI order exactly like the reference path.
+        out.clear();
+        out.reserve(nc);
+        let weights = &self.cfg.weights;
+        scratch.sq.clear();
+        scratch.sq.resize(nr, 0.0);
+        for (ai, &a) in candidates.iter().enumerate() {
+            let ai_block = &scratch.pair[ai * block..(ai + 1) * block];
+            // Phase a: sq[bi] = Σ_i w_i · d², accumulated sig-major so
+            // each addition matches the reference's i-order per pair.
+            scratch.sq.iter_mut().for_each(|v| *v = 0.0);
+            for (i, &(_, w)) in weights.iter().enumerate() {
+                let row = &ai_block[i * nr..i * nr + nr];
+                for (bi, sqv) in scratch.sq.iter_mut().enumerate() {
+                    let d = row[bi];
+                    *sqv += w * d * d;
+                }
+            }
+            // Phase b+c: t = √sq / dphysical, summed in ROI order.
+            let denoms = &scratch.denoms[ai * nr..ai * nr + nr];
+            let mut total = 0.0f64;
+            for (sqv, dn) in scratch.sq.iter().zip(denoms) {
+                total += sqv.sqrt() / dn;
+            }
+            out.push((a, total));
+        }
+    }
+
+    /// Ranks candidates against the context's reference set using the
+    /// frozen index and caller-owned scratch. Ordering is identical to
+    /// [`Recommender::rank`] on the same data.
+    pub fn rank_indexed(
+        &self,
+        ctx: &PredictionContext<'_>,
+        index: &SignatureIndex,
+        scratch: &mut PredictScratch,
+    ) -> Vec<TileId> {
+        let fallback = [ctx.request.tile];
+        let refs: &[TileId] = if ctx.roi.is_empty() {
+            &fallback
+        } else {
+            ctx.roi
+        };
+        let mut scored = std::mem::take(&mut scratch.scored);
+        self.distances_indexed_into(index, ctx.candidates, refs, scratch, &mut scored);
+        sort_scored(&mut scored);
+        let ranked = scored.iter().map(|&(t, _)| t).collect();
+        scratch.scored = scored;
+        ranked
+    }
+}
+
+/// Line 8: the Manhattan-distance penalty `2^(dmanh − 1)` applied to a
+/// raw χ² value.
+#[inline]
+fn penalized(enabled: bool, a: TileId, b: TileId, raw: f64) -> f64 {
+    if enabled {
+        let dmanh = a.manhattan(&b);
+        2.0f64.powi(dmanh as i32 - 1) * raw
+    } else {
+        raw
+    }
+}
+
+/// Exact `2^n` by exponent-field construction — the same value
+/// `2.0f64.powi(n)` computes (powers of two are exact in binary
+/// floating point) without the libcall. Falls back to `powi` outside
+/// the normal-exponent range.
+#[inline]
+fn exp2i(n: i32) -> f64 {
+    if (-1022..=1023).contains(&n) {
+        f64::from_bits(((1023 + n) as u64) << 52)
+    } else {
+        2.0f64.powi(n)
+    }
+}
+
+/// Lines 12-15 for one candidate: weighted l2 combine over signatures,
+/// divided by physical distance, summed over ROI tiles. `d(i, bi)`
+/// yields the normalized per-signature distance.
+#[inline]
+fn combine_one(cfg: &SbConfig, a: TileId, roi: &[TileId], d: impl Fn(usize, usize) -> f64) -> f64 {
+    let mut total = 0.0f64;
+    for (bi, &b) in roi.iter().enumerate() {
+        let mut sq = 0.0f64;
+        for (i, &(_, w)) in cfg.weights.iter().enumerate() {
+            let v = d(i, bi);
+            sq += w * v * v;
+        }
+        let denom = if cfg.physical_distance {
+            physical_distance(a, b)
+        } else {
+            1.0
+        };
+        total += sq.sqrt() / denom;
+    }
+    total
+}
+
+/// Ascending by distance, candidate id as the deterministic tiebreak.
+fn sort_scored(scored: &mut [(TileId, f64)]) {
+    scored.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite distances")
+            .then(a.0.cmp(&b.0))
+    });
 }
 
 impl Recommender for SbRecommender {
@@ -158,11 +448,7 @@ impl Recommender for SbRecommender {
             ctx.roi
         };
         let mut scored = self.distances(ctx.store, ctx.candidates, refs);
-        scored.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite distances")
-                .then(a.0.cmp(&b.0))
-        });
+        sort_scored(&mut scored);
         scored.into_iter().map(|(t, _)| t).collect()
     }
 }
@@ -182,6 +468,84 @@ pub fn chi_squared(a: &[f64], b: &[f64]) -> f64 {
         }
     }
     acc / 2.0
+}
+
+/// χ² over two equal-length contiguous rows — the hot-path form used
+/// against [`SignatureIndex`] matrices, whose rows are zero-padded to a
+/// common width. Zero-padded bins contribute exactly 0, as in
+/// [`chi_squared`]'s skip, so both forms agree bitwise (the accumulator
+/// is non-negative, and adding +0.0 to a non-negative `f64` is exact).
+#[inline]
+pub fn chi_squared_rows(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let denom = x + y;
+        let num = (x - y) * (x - y);
+        // Branchless select: the rejected-lane division may produce
+        // inf/NaN, which is discarded, never accumulated.
+        acc += if denom > 1e-12 { num / denom } else { 0.0 };
+    }
+    acc / 2.0
+}
+
+/// χ² of one candidate row against many ROI rows of the same matrix,
+/// fused with the per-pair penalty multiply: `out[bi] = pen[bi] ·
+/// χ²(row_a, row(offs[bi]))`, with `offs[bi] == NO_ROW` meaning the ROI
+/// tile lacks this signature (raw distance 1).
+///
+/// Present lanes are processed four at a time with one independent
+/// accumulator per lane. Each lane performs exactly the operations of
+/// [`chi_squared_rows`] in the same order — lanes are independent
+/// sums, so the blocking adds instruction-level parallelism without
+/// reassociating any addition, and results stay bit-identical to the
+/// scalar loop.
+fn chi_squared_lanes(row_a: &[f64], data: &[f64], offs: &[usize], pen: &[f64], out: &mut [f64]) {
+    let dim = row_a.len();
+    let nr = offs.len();
+    if dim == 0 {
+        // Degenerate zero-width key: χ² of empty rows is 0.
+        for bi in 0..nr {
+            out[bi] = pen[bi] * if offs[bi] == NO_ROW { 1.0 } else { 0.0 };
+        }
+        return;
+    }
+    let mut bi = 0;
+    while bi < nr {
+        if bi + 4 <= nr && offs[bi..bi + 4].iter().all(|&o| o != NO_ROW) {
+            let b0 = &data[offs[bi]..][..dim];
+            let b1 = &data[offs[bi + 1]..][..dim];
+            let b2 = &data[offs[bi + 2]..][..dim];
+            let b3 = &data[offs[bi + 3]..][..dim];
+            let mut acc = [0.0f64; 4];
+            let step = |j: usize, acc: &mut [f64; 4]| {
+                let x = row_a[j];
+                let mut lane = |k: usize, y: f64| {
+                    let denom = x + y;
+                    let num = (x - y) * (x - y);
+                    acc[k] += if denom > 1e-12 { num / denom } else { 0.0 };
+                };
+                lane(0, b0[j]);
+                lane(1, b1[j]);
+                lane(2, b2[j]);
+                lane(3, b3[j]);
+            };
+            for j in 0..dim {
+                step(j, &mut acc);
+            }
+            for k in 0..4 {
+                out[bi + k] = pen[bi + k] * (acc[k] / 2.0);
+            }
+            bi += 4;
+        } else {
+            let raw = match offs[bi] {
+                NO_ROW => 1.0,
+                o => chi_squared_rows(row_a, &data[o..][..dim]),
+            };
+            out[bi] = pen[bi] * raw;
+            bi += 1;
+        }
+    }
 }
 
 /// `dphysical(A, B)`: Euclidean distance between tile centres in the
@@ -227,6 +591,16 @@ mod tests {
     }
 
     #[test]
+    fn chi_squared_rows_matches_padded_general_form() {
+        let a = [0.2, 0.3, 0.5, 0.0];
+        let b = [0.5, 0.25, 0.25, 0.0];
+        assert_eq!(
+            chi_squared_rows(&a, &b).to_bits(),
+            chi_squared(&[0.2, 0.3, 0.5], &[0.5, 0.25, 0.25]).to_bits()
+        );
+    }
+
+    #[test]
     fn physical_distance_floors_at_one() {
         let a = TileId::new(2, 1, 1);
         assert_eq!(physical_distance(a, a), 1.0);
@@ -263,6 +637,10 @@ mod tests {
         let ranked = sb.rank(&ctx);
         assert_eq!(ranked[0], similar);
         assert_eq!(ranked.len(), 2);
+        // The indexed fast path agrees exactly.
+        let ix = s.signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        assert_eq!(sb.rank_indexed(&ctx, &ix, &mut scratch), ranked);
     }
 
     #[test]
@@ -300,6 +678,13 @@ mod tests {
         let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
         let d = sb.distances(&s, &[known, unknown], &[roi]);
         assert!(d[0].1 < d[1].1);
+        // Same verdict through the index.
+        let ix = s.signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::new();
+        sb.distances_indexed_into(&ix, &[known, unknown], &[roi], &mut scratch, &mut out);
+        assert_eq!(out[0].1.to_bits(), d[0].1.to_bits());
+        assert_eq!(out[1].1.to_bits(), d[1].1.to_bits());
     }
 
     #[test]
@@ -325,6 +710,9 @@ mod tests {
             roi: &[],
         };
         assert_eq!(sb.rank(&ctx)[0], like_cur);
+        let ix = s.signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        assert_eq!(sb.rank_indexed(&ctx, &ix, &mut scratch)[0], like_cur);
     }
 
     #[test]
@@ -335,5 +723,39 @@ mod tests {
         assert_eq!(sb.name(), "SB");
         let single = SbRecommender::new(SbConfig::single(SignatureKind::Sift));
         assert_eq!(single.name(), "SB:SIFT");
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let (s, _g) = store_with_sigs();
+        for y in 0..4 {
+            for x in 0..4 {
+                put_hist(
+                    &s,
+                    TileId::new(2, y, x),
+                    &[f64::from(y) / 4.0, 1.0 - f64::from(y) / 4.0],
+                );
+            }
+        }
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let ix = s.signature_index().unwrap();
+        let candidates: Vec<TileId> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| TileId::new(2, y, x)))
+            .collect();
+        let roi = [TileId::new(2, 0, 0), TileId::new(2, 3, 3)];
+        let mut scratch = PredictScratch::default();
+        let mut first = Vec::new();
+        sb.distances_indexed_into(&ix, &candidates, &roi, &mut scratch, &mut first);
+        // Re-running with warm scratch (including a shrunk problem in
+        // between) must give identical bits.
+        let mut small = Vec::new();
+        sb.distances_indexed_into(&ix, &candidates[..3], &roi[..1], &mut scratch, &mut small);
+        let mut second = Vec::new();
+        sb.distances_indexed_into(&ix, &candidates, &roi, &mut scratch, &mut second);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
     }
 }

@@ -16,8 +16,7 @@
 
 use fc_tiles::{MetadataComputer, Pyramid, Tile};
 use fc_vision::{
-    dense_descriptors, describe_keypoints, detect_keypoints, DetectorParams, GrayImage,
-    Vocabulary,
+    dense_descriptors, describe_keypoints, detect_keypoints, DetectorParams, GrayImage, Vocabulary,
 };
 use std::sync::Arc;
 
@@ -277,6 +276,9 @@ pub fn attach_signatures(
             }
         }
     }
+    // Freeze the signature index now that the metadata map is complete,
+    // so the first user request doesn't pay the build.
+    store.signature_index();
     (sift_vocab, dense_vocab)
 }
 
@@ -330,8 +332,8 @@ mod tests {
         let mut data = vec![0.0f64; side * side];
         for y in 0..side {
             for x in 0..side {
-                let d2 = (x as f64 - side as f64 / 4.0).powi(2)
-                    + (y as f64 - side as f64 / 4.0).powi(2);
+                let d2 =
+                    (x as f64 - side as f64 / 4.0).powi(2) + (y as f64 - side as f64 / 4.0).powi(2);
                 data[y * side + x] = (-d2 / 16.0).exp() * 2.0 - 1.0;
             }
         }

@@ -59,10 +59,7 @@ mod tests {
 
     #[test]
     fn rbf_default_gamma() {
-        assert_eq!(
-            Kernel::rbf_default(4),
-            Kernel::Rbf { gamma: 0.25 }
-        );
+        assert_eq!(Kernel::rbf_default(4), Kernel::Rbf { gamma: 0.25 });
         assert_eq!(Kernel::rbf_default(0), Kernel::Rbf { gamma: 1.0 });
     }
 

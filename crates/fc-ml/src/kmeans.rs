@@ -35,10 +35,7 @@ impl KMeans {
         // k-means++ seeding.
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
         centroids.push(data[rng.gen_range(0..data.len())].clone());
-        let mut d2: Vec<f64> = data
-            .iter()
-            .map(|p| sq_dist(p, &centroids[0]))
-            .collect();
+        let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
         while centroids.len() < k {
             let total: f64 = d2.iter().sum();
             let next = if total <= f64::EPSILON {

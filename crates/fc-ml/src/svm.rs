@@ -114,10 +114,12 @@ impl BinarySvm {
                     let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                     alpha[i] = ai;
                     alpha[j] = aj;
-                    let b1 = b - ei
+                    let b1 = b
+                        - ei
                         - y[i] * (ai - ai_old) * k.at(i, i)
                         - y[j] * (aj - aj_old) * k.at(i, j);
-                    let b2 = b - ej
+                    let b2 = b
+                        - ej
                         - y[i] * (ai - ai_old) * k.at(i, j)
                         - y[j] * (aj - aj_old) * k.at(j, j);
                     b = if ai > 0.0 && ai < p.c {
@@ -181,7 +183,6 @@ impl BinarySvm {
 /// Lower-triangular packed Gram matrix.
 struct Gram {
     vals: Vec<f64>,
-    n: usize,
 }
 
 impl Gram {
@@ -200,7 +201,7 @@ fn gram(x: &[Vec<f64>], kernel: Kernel) -> Gram {
             vals.push(kernel.eval(&x[i], &x[j]));
         }
     }
-    Gram { vals, n }
+    Gram { vals }
 }
 
 /// A multi-class SVM using one-vs-one voting over all class pairs, as in
@@ -237,7 +238,7 @@ impl SvmClassifier {
                 }
                 // A pair may be absent from a training fold; skip it —
                 // voting still works with the remaining machines.
-                if ys.iter().any(|&v| v == 1.0) && ys.iter().any(|&v| v == -1.0) {
+                if ys.contains(&1.0) && ys.iter().any(|&v| v == -1.0) {
                     machines.push((a, b, BinarySvm::train(&xs, &ys, p)));
                 }
             }

@@ -69,16 +69,12 @@ impl TransitionCounts {
 
     /// Count for `context → next`.
     pub fn count(&self, context: &[u16], next: u16) -> u32 {
-        self.table
-            .get(context)
-            .map_or(0, |c| c[next as usize])
+        self.table.get(context).map_or(0, |c| c[next as usize])
     }
 
     /// Total transitions observed from `context`.
     pub fn context_total(&self, context: &[u16]) -> u32 {
-        self.table
-            .get(context)
-            .map_or(0, |c| c.iter().sum())
+        self.table.get(context).map_or(0, |c| c.iter().sum())
     }
 
     /// Number of distinct next-tokens observed after `context`

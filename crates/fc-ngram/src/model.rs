@@ -50,7 +50,7 @@ impl KneserNey {
             tables.push(next);
         }
         tables.reverse(); // tables[k] = context length k
-        let discounts = tables.iter().map(|t| estimate_discount(t)).collect();
+        let discounts = tables.iter().map(estimate_discount).collect();
         Self {
             tables,
             discounts,

@@ -6,10 +6,7 @@ use proptest::prelude::*;
 const V: usize = 9;
 
 fn traces() -> impl Strategy<Value = Vec<Vec<u16>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u16..V as u16, 0..40),
-        1..6,
-    )
+    proptest::collection::vec(proptest::collection::vec(0u16..V as u16, 0..40), 1..6)
 }
 
 proptest! {

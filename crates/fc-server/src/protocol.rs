@@ -114,7 +114,11 @@ fn get_tile_id(buf: &mut Bytes) -> io::Result<TileId> {
     if buf.remaining() < 9 {
         return Err(bad("truncated tile id"));
     }
-    Ok(TileId::new(buf.get_u8(), buf.get_u32_le(), buf.get_u32_le()))
+    Ok(TileId::new(
+        buf.get_u8(),
+        buf.get_u32_le(),
+        buf.get_u32_le(),
+    ))
 }
 
 fn bad(msg: &str) -> io::Error {

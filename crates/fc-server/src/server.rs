@@ -181,8 +181,7 @@ fn serve_session(
                     Some(mw) => match mw.request(tile, mv) {
                         Some(resp) => ServerMsg::Tile {
                             payload: tile_payload(&resp.tile),
-                            latency_ns: u64::try_from(resp.latency.as_nanos())
-                                .unwrap_or(u64::MAX),
+                            latency_ns: u64::try_from(resp.latency.as_nanos()).unwrap_or(u64::MAX),
                             cache_hit: resp.cache_hit,
                             phase: u8::try_from(resp.phase.index()).expect("phase id"),
                         },
@@ -224,12 +223,7 @@ pub fn tile_payload(tile: &Tile) -> TilePayload {
         .iter()
         .map(|a| tile.array.attr_values(a).expect("attr exists").to_vec())
         .collect();
-    let present: Vec<u8> = tile
-        .array
-        .validity()
-        .iter()
-        .map(u8::from)
-        .collect();
+    let present: Vec<u8> = tile.array.validity().iter().map(u8::from).collect();
     TilePayload {
         tile: tile.id,
         h: u32::try_from(h).expect("tile height"),

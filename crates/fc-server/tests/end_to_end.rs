@@ -1,10 +1,10 @@
 //! End-to-end client/server tests over localhost.
 
+use fc_core::engine::PhaseSource;
+use fc_core::signature::SignatureKind;
 use fc_core::{
     AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
 };
-use fc_core::engine::PhaseSource;
-use fc_core::signature::SignatureKind;
 use fc_server::{Client, EngineFactory, Server, ServerConfig};
 use fc_sim::dataset::{DatasetConfig, StudyDataset};
 use fc_tiles::{Move, Quadrant, TileId};

@@ -49,7 +49,10 @@ pub fn learn_weights(pyramid: Arc<Pyramid>, train: &[&Trace], k: usize) -> Learn
         *w = a.max(0.05) / total;
     }
     let config = SbConfig {
-        weights: per_signature.iter().map(|&(kind, _, w)| (kind, w)).collect(),
+        weights: per_signature
+            .iter()
+            .map(|&(kind, _, w)| (kind, w))
+            .collect(),
         manhattan_penalty: true,
         physical_distance: true,
     };

@@ -325,10 +325,7 @@ mod tests {
             prev = r.overall;
         }
         // k=9 covers every legal move: guaranteed prefetch (§5.2.2).
-        assert!(
-            (prev - 1.0).abs() < 1e-9,
-            "k=9 must be perfect, got {prev}"
-        );
+        assert!((prev - 1.0).abs() < 1e-9, "k=9 must be perfect, got {prev}");
     }
 
     #[test]

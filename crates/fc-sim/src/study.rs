@@ -55,7 +55,11 @@ impl Study {
 
     /// Number of distinct users.
     pub fn num_users(&self) -> usize {
-        self.traces.iter().map(|t| t.user).max().map_or(0, |m| m + 1)
+        self.traces
+            .iter()
+            .map(|t| t.user)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// Total requests across all traces (the paper's study had 1390).
@@ -234,7 +238,10 @@ mod tests {
         assert_eq!(pd.users.len(), pd.len());
         let dist = pd.label_distribution();
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(dist.iter().all(|&d| d > 0.0), "all phases present: {dist:?}");
+        assert!(
+            dist.iter().all(|&d| d > 0.0),
+            "all phases present: {dist:?}"
+        );
     }
 
     #[test]

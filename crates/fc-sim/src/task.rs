@@ -108,8 +108,8 @@ impl TaskSpec {
         assert!(levels >= 3, "study tasks need at least 3 levels");
         let target = levels - 1; // deepest level, like "raw data" answers
         let (rows, cols) = (1u32 << target, 1u32 << target); // quadtree tiles
-        // Fractions of the unit square covering each ridge system
-        // (see `terrain::study_ridges`), padded.
+                                                             // Fractions of the unit square covering each ridge system
+                                                             // (see `terrain::study_ridges`), padded.
         let frac = |lo: f64, hi: f64, n: u32| -> (u32, u32) {
             let a = (lo * n as f64).floor() as u32;
             let b = ((hi * n as f64).ceil() as u32).clamp(a + 1, n);

@@ -323,12 +323,18 @@ mod tests {
         // Sample on the west ridge vs in the flat east-south.
         let on_ridge = t
             .elevation
-            .get("elevation", &[(0.35 * 128.0) as usize, (0.17 * 128.0) as usize])
+            .get(
+                "elevation",
+                &[(0.35 * 128.0) as usize, (0.17 * 128.0) as usize],
+            )
             .unwrap()
             .unwrap();
         let off_ridge = t
             .elevation
-            .get("elevation", &[(0.85 * 128.0) as usize, (0.65 * 128.0) as usize])
+            .get(
+                "elevation",
+                &[(0.85 * 128.0) as usize, (0.65 * 128.0) as usize],
+            )
             .unwrap()
             .unwrap();
         assert!(
@@ -349,10 +355,7 @@ mod tests {
         let mut plain_vals = Vec::new();
         for c in ndsi.cells() {
             let coords = c.coords();
-            let (v, u) = (
-                coords[0] as f64 / 128.0,
-                coords[1] as f64 / 128.0,
-            );
+            let (v, u) = (coords[0] as f64 / 128.0, coords[1] as f64 / 128.0);
             let val = c.attr(ndsi.schema().attr_index("ndsi_avg").unwrap());
             assert!((-1.0..=1.0).contains(&val));
             if dist_to_segment((u, v), (0.12, 0.15), (0.22, 0.55)) < 0.03 {

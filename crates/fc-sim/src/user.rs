@@ -146,9 +146,7 @@ impl Agent<'_> {
         // Session opens at the root overview.
         self.emit(self.pos, None, Phase::Foraging);
         let mut state = AgentState::NavDown; // descend to the coarse level first
-        while self.steps.len() < self.p.max_steps
-            && self.collected.len() < self.task.tiles_needed
-        {
+        while self.steps.len() < self.p.max_steps && self.collected.len() < self.task.tiles_needed {
             state = match state {
                 AgentState::Forage => self.forage(),
                 AgentState::NavDown => self.nav_down(),
@@ -193,10 +191,7 @@ impl Agent<'_> {
     /// shared metadata the SB recommender reads.
     fn visual_similarity(&self, a: TileId, b: TileId) -> f64 {
         let store = self.dataset.pyramid.store();
-        match (
-            store.meta_vec(a, "sig_hist"),
-            store.meta_vec(b, "sig_hist"),
-        ) {
+        match (store.meta_vec(a, "sig_hist"), store.meta_vec(b, "sig_hist")) {
             (Some(x), Some(y)) => {
                 let d = fc_core::sb::chi_squared(&x, &y);
                 (1.0 - d).clamp(0.0, 1.0)

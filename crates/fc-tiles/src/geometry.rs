@@ -1,9 +1,9 @@
 //! Pyramid geometry: which tiles exist, and how moves map between them.
 
 use crate::id::TileId;
-use crate::nav::{Move, MOVES};
 #[cfg(test)]
 use crate::nav::Quadrant;
+use crate::nav::{Move, MOVES};
 
 /// The shape of a tile pyramid: number of zoom levels and per-level tile
 /// grids derived from the raw array shape and the tiling intervals.

@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn ordering_is_level_major() {
-        let mut v = vec![
+        let mut v = [
             TileId::new(1, 0, 0),
             TileId::new(0, 0, 0),
             TileId::new(1, 0, 1),

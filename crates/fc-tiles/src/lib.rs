@@ -27,6 +27,7 @@ pub mod id;
 pub mod nav;
 pub mod pyramid;
 pub mod pyramid3d;
+pub mod sigindex;
 pub mod store;
 pub mod tile;
 
@@ -35,5 +36,6 @@ pub use id::TileId;
 pub use nav::{Move, Quadrant, MOVES};
 pub use pyramid::{lift_1d, AttrAgg, Pyramid, PyramidBuilder, PyramidConfig};
 pub use pyramid3d::{Geometry3, Move3, TileId3};
-pub use store::{MetadataComputer, TileMeta, TileStore};
+pub use sigindex::{SigMatrix, SignatureIndex};
+pub use store::{MetaKey, MetadataComputer, TileMeta, TileStore};
 pub use tile::Tile;

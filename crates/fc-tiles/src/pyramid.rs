@@ -231,7 +231,11 @@ impl PyramidBuilder {
 /// Keeps only the attributes in `aggs` (in that order).
 fn project(base: &DenseArray, aggs: &[AttrAgg]) -> Result<DenseArray> {
     let schema = base.schema();
-    let dims: Vec<(String, usize)> = schema.dims.iter().map(|d| (d.name.clone(), d.len)).collect();
+    let dims: Vec<(String, usize)> = schema
+        .dims
+        .iter()
+        .map(|d| (d.name.clone(), d.len))
+        .collect();
     let out_schema = Schema::new(
         schema.name.clone(),
         dims,
@@ -423,8 +427,10 @@ mod tests {
         let mut empty = cfg();
         empty.aggs.clear();
         assert!(PyramidBuilder::new().build(&b, &empty).is_err());
-        let one_d =
-            DenseArray::filled(Schema::new("T", [("t".to_string(), 8)], ["v".to_string()]).unwrap(), 0.0);
+        let one_d = DenseArray::filled(
+            Schema::new("T", [("t".to_string(), 8)], ["v".to_string()]).unwrap(),
+            0.0,
+        );
         assert!(PyramidBuilder::new().build(&one_d, &cfg()).is_err());
     }
 

@@ -89,7 +89,7 @@ impl Geometry3 {
     /// # Panics
     /// Panics when `levels` is 0 or would overflow `u32` grids.
     pub fn new(levels: u8) -> Self {
-        assert!(levels >= 1 && levels <= 30, "levels must be in 1..=30");
+        assert!((1..=30).contains(&levels), "levels must be in 1..=30");
         Self { levels }
     }
 
@@ -208,7 +208,9 @@ mod tests {
         let child = g.apply(from, Move3::ZoomInLater(Quadrant::Se)).unwrap();
         assert_eq!(child, TileId3::new(2, 3, 1, 3));
         assert_eq!(child.parent(), Some(from));
-        let early = g.apply(from, Move3::Spatial(Move::ZoomIn(Quadrant::Se))).unwrap();
+        let early = g
+            .apply(from, Move3::Spatial(Move::ZoomIn(Quadrant::Se)))
+            .unwrap();
         assert_eq!(early.t, 2, "spatial zoom-in keeps the earlier half");
     }
 

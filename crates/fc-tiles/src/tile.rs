@@ -113,8 +113,7 @@ mod tests {
 
     #[test]
     fn one_dim_tile_shape() {
-        let schema =
-            fc_array::Schema::new("T", [("t".to_string(), 4)], ["v".to_string()]).unwrap();
+        let schema = fc_array::Schema::new("T", [("t".to_string(), 4)], ["v".to_string()]).unwrap();
         let t = Tile::new(
             TileId::ROOT,
             DenseArray::from_vec(schema, vec![1.0; 4]).unwrap(),

@@ -18,7 +18,10 @@ impl Vocabulary {
     /// # Panics
     /// Panics on an empty corpus.
     pub fn train(corpus: &[Descriptor], k: usize, seed: u64) -> Self {
-        assert!(!corpus.is_empty(), "cannot train a vocabulary on no descriptors");
+        assert!(
+            !corpus.is_empty(),
+            "cannot train a vocabulary on no descriptors"
+        );
         Self {
             codebook: KMeans::fit(corpus, k, 30, seed),
         }

@@ -60,7 +60,9 @@ mod tests {
         let img = GrayImage::new(
             32,
             32,
-            (0..32 * 32).map(|i| (i as f64 * 0.37).sin().abs()).collect(),
+            (0..32 * 32)
+                .map(|i| (i as f64 * 0.37).sin().abs())
+                .collect(),
         );
         let coarse = dense_descriptors(&img, 16, 6.0).len();
         let fine = dense_descriptors(&img, 4, 6.0).len();

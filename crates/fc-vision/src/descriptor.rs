@@ -54,8 +54,8 @@ pub fn describe_patch(
             }
             // Orientation bin in [0, 2π).
             let theta = gy.atan2(gx).rem_euclid(std::f64::consts::TAU);
-            let bin = ((theta / std::f64::consts::TAU) * ORI_BINS as f64).floor() as usize
-                % ORI_BINS;
+            let bin =
+                ((theta / std::f64::consts::TAU) * ORI_BINS as f64).floor() as usize % ORI_BINS;
             // Gaussian spatial weighting centred on the keypoint.
             let d2 = ((px as f64 - cx).powi(2) + (py as f64 - cy).powi(2)) / (r * r);
             let weight = (-d2).exp();
@@ -150,9 +150,8 @@ mod tests {
         let (rdx, rdy) = gradients(&ramp);
         let dr = describe_patch(&rdx, &rdy, 24.0, 24.0, 8.0).unwrap();
 
-        let dist = |p: &[f64], q: &[f64]| -> f64 {
-            p.iter().zip(q).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |p: &[f64], q: &[f64]| -> f64 { p.iter().zip(q).map(|(x, y)| (x - y) * (x - y)).sum() };
         assert!(
             dist(&da, &db) < dist(&da, &dr),
             "blob-blob {} vs blob-ramp {}",

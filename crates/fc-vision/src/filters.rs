@@ -120,11 +120,7 @@ mod tests {
     #[test]
     fn gradients_of_ramp() {
         // Horizontal ramp: dx == slope, dy == 0 (away from edges).
-        let img = GrayImage::new(
-            5,
-            4,
-            (0..20).map(|i| (i % 5) as f64 * 0.1).collect(),
-        );
+        let img = GrayImage::new(5, 4, (0..20).map(|i| (i % 5) as f64 * 0.1).collect());
         let (dx, dy) = gradients(&img);
         for y in 0..4 {
             for x in 1..4 {

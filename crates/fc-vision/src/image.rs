@@ -81,10 +81,7 @@ impl GrayImage {
         let mut out = Vec::with_capacity(w * h);
         for y in 0..h {
             for x in 0..w {
-                out.push(self.get(
-                    (x * 2).min(self.width - 1),
-                    (y * 2).min(self.height - 1),
-                ));
+                out.push(self.get((x * 2).min(self.width - 1), (y * 2).min(self.height - 1)));
             }
         }
         GrayImage::new(w, h, out)

@@ -64,10 +64,7 @@ pub fn detect_keypoints(img: &GrayImage, p: &DetectorParams) -> Vec<Keypoint> {
             blurred.push(gaussian_blur(&octave_img, sigma));
         }
         // DoG layers.
-        let dog: Vec<GrayImage> = blurred
-            .windows(2)
-            .map(|w| w[1].diff(&w[0]))
-            .collect();
+        let dog: Vec<GrayImage> = blurred.windows(2).map(|w| w[1].diff(&w[0])).collect();
 
         // 3x3x3 extrema in the interior DoG layers.
         for li in 1..dog.len().saturating_sub(1) {
@@ -185,9 +182,8 @@ mod tests {
             }
         }
         let kps = detect_keypoints(&img, &DetectorParams::default());
-        let near = |kp: &Keypoint, cx: f64, cy: f64| {
-            (kp.x - cx).abs() <= 5.0 && (kp.y - cy).abs() <= 5.0
-        };
+        let near =
+            |kp: &Keypoint, cx: f64, cy: f64| (kp.x - cx).abs() <= 5.0 && (kp.y - cy).abs() <= 5.0;
         assert!(kps.iter().any(|k| near(k, 16.0, 16.0)), "first blob found");
         assert!(kps.iter().any(|k| near(k, 48.0, 48.0)), "second blob found");
     }

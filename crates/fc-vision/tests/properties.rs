@@ -11,7 +11,9 @@ fn images() -> impl Strategy<Value = GrayImage> {
         let mut state = seed | 1;
         let px: Vec<f64> = (0..w * h)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64) / (1u64 << 31) as f64 / 2.0
             })
             .collect();

@@ -1,0 +1,125 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! [`Bencher::iter`], and [`black_box`] with a simple wall-clock
+//! harness: a warm-up pass sizes the batch, then the median of several
+//! timed batches is reported as ns/iter on stdout. Benches must be
+//! declared with `harness = false`, exactly as with crates.io criterion.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The bench harness handle passed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        match b.result {
+            Some(r) => println!(
+                "bench: {name:<48} {:>12.1} ns/iter ({} iters)",
+                r.ns_per_iter, r.iters
+            ),
+            None => println!("bench: {name:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Runs closures under timing.
+#[derive(Debug)]
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter over several batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find a batch size that runs ≥ ~5 ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(5) || batch >= 1 << 24 {
+                break;
+            }
+            batch = (batch * 4).max(4);
+        }
+        // Measure: median of 7 batches.
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            ns_per_iter: samples[samples.len() / 2],
+            iters: batch * 7,
+        });
+    }
+
+    /// The last measured ns/iter (shim extension, used by perf assertions).
+    pub fn measured_ns_per_iter(&self) -> Option<f64> {
+        self.result.map(|r| r.ns_per_iter)
+    }
+}
+
+/// Groups bench target functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+}

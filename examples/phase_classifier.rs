@@ -51,7 +51,10 @@ fn main() {
     }
 
     println!("\nconfusion matrix (rows = truth, cols = predicted):");
-    println!("{:>14} {:>10} {:>10} {:>10}", "", "Foraging", "Navigation", "Sensemaking");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "", "Foraging", "Navigation", "Sensemaking"
+    );
     for truth in Phase::ALL {
         print!("{:>14}", truth.name());
         for pred in Phase::ALL {

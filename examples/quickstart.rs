@@ -9,8 +9,8 @@ use forecache::array::{DenseArray, LatencyModel, Schema};
 use forecache::core::engine::PhaseSource;
 use forecache::core::signature::{attach_signatures, SignatureConfig};
 use forecache::core::{
-    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
-    PredictionEngine, SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware, PredictionEngine,
+    SbConfig, SbRecommender,
 };
 use forecache::tiles::{Move, PyramidBuilder, PyramidConfig, Quadrant, TileId};
 use std::sync::Arc;
@@ -69,7 +69,10 @@ fn main() {
         (TileId::new(2, 0, 3), Some(Move::PanRight)),
         (TileId::new(2, 1, 3), Some(Move::PanDown)),
     ];
-    println!("\n{:<12} {:>10} {:>6} {:<12} prefetched", "tile", "latency", "hit", "phase");
+    println!(
+        "\n{:<12} {:>10} {:>6} {:<12} prefetched",
+        "tile", "latency", "hit", "phase"
+    );
     for (tile, mv) in path {
         let r = mw.request(tile, mv).expect("tile exists");
         println!(

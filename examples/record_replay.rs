@@ -53,5 +53,8 @@ fn main() {
         });
         println!("{k:>3} {:>9.1}%", r.overall * 100.0);
     }
-    println!("\n(request logs are plain text — `head {}`)", path.display());
+    println!(
+        "\n(request logs are plain text — `head {}`)",
+        path.display()
+    );
 }

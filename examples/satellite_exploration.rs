@@ -12,8 +12,8 @@
 
 use forecache::core::engine::PhaseSource;
 use forecache::core::{
-    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
-    PhaseClassifier, PredictionEngine, SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware, PhaseClassifier,
+    PredictionEngine, SbConfig, SbRecommender,
 };
 use forecache::sim::dataset::{DatasetConfig, StudyDataset};
 use forecache::sim::study::{Study, StudyConfig};
@@ -21,7 +21,9 @@ use forecache::sim::terrain::TerrainConfig;
 
 fn main() {
     // A mid-size dataset: 512² cells, five zoom levels, 64-cell tiles.
-    println!("building synthetic MODIS NDSI dataset (terrain -> Query 1 -> pyramid -> signatures)…");
+    println!(
+        "building synthetic MODIS NDSI dataset (terrain -> Query 1 -> pyramid -> signatures)…"
+    );
     let ds = StudyDataset::build(DatasetConfig {
         terrain: TerrainConfig {
             size: 512,

@@ -9,8 +9,8 @@ use forecache::array::{AggFn, DenseArray, IoMode, LatencyModel, Schema};
 use forecache::core::engine::PhaseSource;
 use forecache::core::signature::{attach_signatures, SignatureConfig};
 use forecache::core::{
-    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
-    PredictionEngine, SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware, PredictionEngine,
+    SbConfig, SbRecommender,
 };
 use forecache::tiles::{lift_1d, AttrAgg, Move, PyramidBuilder, PyramidConfig, Quadrant, TileId};
 use std::sync::Arc;
@@ -19,12 +19,7 @@ fn main() {
     // 1. A day of 1 Hz heart-rate samples with exercise bouts and an
     //    arrhythmia-like spike burst.
     let n = 4096usize;
-    let schema = Schema::new(
-        "HR",
-        [("t".to_string(), n)],
-        ["bpm".to_string()],
-    )
-    .expect("schema");
+    let schema = Schema::new("HR", [("t".to_string(), n)], ["bpm".to_string()]).expect("schema");
     let samples: Vec<f64> = (0..n)
         .map(|i| {
             let t = i as f64;

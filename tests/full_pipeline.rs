@@ -37,7 +37,7 @@ fn study(_ds: &StudyDataset) -> &'static Study {
 #[test]
 fn traces_roundtrip_through_the_codec() {
     let ds = dataset();
-    let st = study(&ds);
+    let st = study(ds);
     let text = trace::encode(&st.traces);
     let back = trace::decode(&text).expect("codec roundtrip");
     assert_eq!(back, st.traces);
@@ -47,20 +47,24 @@ fn traces_roundtrip_through_the_codec() {
 fn every_model_is_perfect_at_k9() {
     // §5.2.2: at k = 9 the correct tile is guaranteed to be prefetched.
     let ds = dataset();
-    let st = study(&ds);
+    let st = study(ds);
     let mut p = ModelPredictor::new(Box::new(MomentumRecommender), ds.pyramid.clone());
     let mut outcomes = Vec::new();
     for t in &st.traces {
         outcomes.extend(replay_trace(&mut p, t, 9));
     }
     let r = AccuracyReport::from_outcomes(&outcomes);
-    assert!((r.overall - 1.0).abs() < 1e-12, "k=9 accuracy {}", r.overall);
+    assert!(
+        (r.overall - 1.0).abs() < 1e-12,
+        "k=9 accuracy {}",
+        r.overall
+    );
 }
 
 #[test]
 fn trained_ab_beats_momentum_at_k1() {
     let ds = dataset();
-    let st = study(&ds);
+    let st = study(ds);
     let pyramid = ds.pyramid.clone();
 
     let momentum = loocv(&st.traces, 1, |_| {
@@ -88,13 +92,12 @@ fn trained_ab_beats_momentum_at_k1() {
 #[test]
 fn hybrid_engine_replays_with_classifier() {
     let ds = dataset();
-    let st = study(&ds);
+    let st = study(ds);
     let pyramid = ds.pyramid.clone();
     let pd = st.phase_dataset();
 
     let report = loocv(&st.traces, 5, |train| {
-        let train_users: std::collections::HashSet<usize> =
-            train.iter().map(|t| t.user).collect();
+        let train_users: std::collections::HashSet<usize> = train.iter().map(|t| t.user).collect();
         let seqs: Vec<Vec<u16>> = train.iter().map(|t| t.move_sequence()).collect();
         let refs: Vec<&[u16]> = seqs.iter().map(|s| s.as_slice()).collect();
         let ab = AbRecommender::train(refs, 3);
@@ -135,7 +138,7 @@ fn hybrid_engine_replays_with_classifier() {
 #[test]
 fn phase_classifier_generalizes_across_users() {
     let ds = dataset();
-    let st = study(&ds);
+    let st = study(ds);
     let pd = st.phase_dataset();
     let folds = leave_one_group_out(&pd.users);
     assert_eq!(folds.len(), 5);

@@ -1,14 +1,14 @@
 //! Workspace-level property tests: random walks through the full stack.
 
+use forecache::array::{DenseArray, Schema};
 use forecache::core::engine::PhaseSource;
+use forecache::core::Phase;
 use forecache::core::{
     AbRecommender, AllocationStrategy, EngineConfig, LatencyProfile, Middleware,
     MomentumRecommender, PredictionEngine, SbConfig, SbRecommender,
 };
 use forecache::sim::replay::{replay_trace, AccuracyReport, ModelPredictor};
 use forecache::sim::trace::{Trace, TraceStep};
-use forecache::core::Phase;
-use forecache::array::{DenseArray, Schema};
 use forecache::tiles::{Geometry, Move, PyramidBuilder, PyramidConfig, TileId, MOVES};
 use proptest::prelude::*;
 use std::sync::Arc;
