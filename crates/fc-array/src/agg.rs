@@ -19,6 +19,71 @@ pub enum AggFn {
     Count,
 }
 
+/// A streaming accumulator for one regrid window: values are folded in
+/// one at a time, then finished into any [`AggFn`]. This is the
+/// allocation-free alternative to
+/// [`AggFn::fold`]'s iterator indirection that the blocked columnar
+/// regrid uses — one `AggState` per output cell, updated in input
+/// row-stripe order.
+///
+/// Update order matters for bit-exactness of `Avg`/`Sum` (floating-point
+/// addition is not associative): pushing the same values in the same
+/// order as `fold` yields bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggState {
+    /// Present values folded so far.
+    pub n: u64,
+    /// Running sum.
+    pub sum: f64,
+    /// Running minimum (`+inf` when empty).
+    pub min: f64,
+    /// Running maximum (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl AggState {
+    /// The identity accumulator (no values folded).
+    pub const EMPTY: Self = Self {
+        n: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Folds one value in. Matches `fold`'s per-value operations exactly:
+    /// NaN values poison `sum` but are ignored by `min`/`max` (IEEE
+    /// `minNum`/`maxNum` semantics of `f64::min`/`f64::max`).
+    #[inline(always)]
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Finishes into the given aggregate; `None` when no values were
+    /// folded (the output cell stays empty).
+    #[inline]
+    pub fn finish(&self, f: AggFn) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(match f {
+            AggFn::Avg => self.sum / self.n as f64,
+            AggFn::Sum => self.sum,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+            AggFn::Count => self.n as f64,
+        })
+    }
+}
+
 impl AggFn {
     /// Folds an iterator of values into the aggregate. Returns `None` when
     /// the window has no present cells (the output cell is then empty),
@@ -26,26 +91,11 @@ impl AggFn {
     /// cell was present — an all-empty window stays empty for every
     /// aggregate, matching SciDB `regrid` semantics.
     pub fn fold(self, values: impl Iterator<Item = f64>) -> Option<f64> {
-        let mut n = 0usize;
-        let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut acc = AggState::EMPTY;
         for v in values {
-            n += 1;
-            sum += v;
-            min = min.min(v);
-            max = max.max(v);
+            acc.push(v);
         }
-        if n == 0 {
-            return None;
-        }
-        Some(match self {
-            AggFn::Avg => sum / n as f64,
-            AggFn::Sum => sum,
-            AggFn::Min => min,
-            AggFn::Max => max,
-            AggFn::Count => n as f64,
-        })
+        acc.finish(self)
     }
 
     /// Canonical lowercase name (as would appear in an AFL query).
@@ -87,6 +137,25 @@ mod tests {
         assert_eq!(AggFn::Min.fold([7.0].into_iter()), Some(7.0));
         assert_eq!(AggFn::Max.fold([7.0].into_iter()), Some(7.0));
         assert_eq!(AggFn::Count.fold([7.0].into_iter()), Some(1.0));
+    }
+
+    #[test]
+    fn state_push_matches_fold() {
+        let vals = [1.0, f64::NAN, 3.0, -2.0];
+        for f in [AggFn::Avg, AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Count] {
+            let mut acc = AggState::EMPTY;
+            for v in vals {
+                acc.push(v);
+            }
+            let folded = f.fold(vals.iter().copied());
+            match (acc.finish(f), folded) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{}", f.name());
+                }
+                (a, b) => assert_eq!(a, b, "{}", f.name()),
+            }
+        }
+        assert_eq!(AggState::EMPTY.finish(AggFn::Count), None);
     }
 
     #[test]

@@ -98,6 +98,19 @@ impl DenseArray {
         })
     }
 
+    /// Assembles an array from pre-built attribute columns and a validity
+    /// mask (the columnar constructor used by `ops::project`).
+    pub(crate) fn from_parts(schema: Schema, attrs: Vec<Vec<f64>>, valid: BitVec) -> Self {
+        debug_assert_eq!(attrs.len(), schema.attrs.len());
+        debug_assert!(attrs.iter().all(|a| a.len() == schema.ncells()));
+        debug_assert_eq!(valid.len(), schema.ncells());
+        Self {
+            schema,
+            attrs,
+            valid,
+        }
+    }
+
     /// The array's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -196,6 +209,23 @@ impl DenseArray {
     /// Whether the flat-indexed cell is present.
     pub(crate) fn valid_at(&self, idx: usize) -> bool {
         self.valid.get(idx)
+    }
+
+    /// Raw row-major values of attribute `ai` (columnar access for the
+    /// blocked operators; callers must pair with [`Self::validity`]).
+    pub(crate) fn attr_col(&self, ai: usize) -> &[f64] {
+        &self.attrs[ai]
+    }
+
+    /// Mutable raw values of attribute `ai`.
+    pub(crate) fn attr_col_mut(&mut self, ai: usize) -> &mut [f64] {
+        &mut self.attrs[ai]
+    }
+
+    /// Mutable validity mask (for blocked operators that compute presence
+    /// in bulk instead of via per-cell writes).
+    pub(crate) fn validity_mut(&mut self) -> &mut BitVec {
+        &mut self.valid
     }
 
     /// Writes every attribute of the cell at flat index `idx` and marks it

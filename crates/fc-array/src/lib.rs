@@ -38,12 +38,14 @@ pub mod schema;
 pub mod storage;
 
 pub use afl::UdfRegistry;
-pub use agg::AggFn;
+pub use agg::{AggFn, AggState};
 pub use bitvec::BitVec;
 pub use database::Database;
 pub use dense::{CellView, DenseArray};
 pub use error::{ArrayError, Result};
-pub use ops::{apply, join, regrid, regrid_with, subarray};
+pub use ops::{
+    apply, extract_block_2d, join, project, regrid, regrid_with, regrid_with_reference, subarray,
+};
 pub use query::Query;
 pub use schema::{Attribute, Dimension, Schema};
 pub use storage::{BlobSize, IoMode, IoStats, LatencyModel, SimClock, SimDisk};

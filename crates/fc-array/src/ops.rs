@@ -5,11 +5,44 @@
 //!   materialized zoom level (§2.3, Fig. 3);
 //! * `subarray` cuts a view into fixed-size data tiles (Fig. 4);
 //! * `join` + `apply` express Query 1, the NDSI UDF pipeline (§5.1.2).
+//!
+//! # Columnar regrid layout
+//!
+//! `regrid`/`regrid_with` on 2-D arrays (every pyramid level build) run
+//! as **blocked, per-attribute column passes** instead of a per-output-
+//! cell window gather:
+//!
+//! 1. a presence pass folds the validity mask into per-output-cell
+//!    counts, one input row-stripe at a time (rows `oy·wy .. oy·wy+wy`
+//!    accumulate into output row `oy`);
+//! 2. each attribute column is then swept with an aggregate-specialized
+//!    kernel (`Avg`/`Sum` accumulate sums only, `Min`/`Max` fold just
+//!    their comparison, `Count` reuses the presence counts) over the
+//!    same row stripes, so the inner loop is a contiguous slice walk
+//!    with no iterator indirection, no `flat_index` math, and no
+//!    per-cell allocation;
+//! 3. input rows whose validity words are all-ones (checked via
+//!    [`crate::bitvec::BitVec::all_set_in`]) take a branch-free path.
+//!
+//! Output row blocks are independent (windows never straddle an output
+//! row), so large inputs fan the stripe passes out across worker
+//! threads with `rayon`; values fold in the same order as the
+//! sequential pass, keeping results bit-identical. The original
+//! cell-by-cell gather is retained as [`regrid_with_reference`] — it
+//! serves n-dimensional inputs and anchors the golden equivalence
+//! tests (`tests/golden_regrid.rs`).
 
-use crate::agg::AggFn;
+use crate::agg::{AggFn, AggState};
+use crate::bitvec::BitVec;
 use crate::dense::{CellView, DenseArray};
 use crate::error::{ArrayError, Result};
 use crate::schema::Schema;
+use rayon::prelude::*;
+
+/// Input cell count below which the blocked regrid stays on one thread:
+/// spawning scoped workers costs tens of microseconds, which the stripe
+/// passes only amortize on large levels.
+const REGRID_PAR_MIN_CELLS: usize = 1 << 18;
 
 /// Aggregates every `windows[i]`-sized window along each dimension into a
 /// single output cell (the paper's Fig. 3: a 16×16 array with parameters
@@ -36,6 +69,35 @@ pub fn regrid(input: &DenseArray, windows: &[usize], f: AggFn) -> Result<DenseAr
 /// [`ArrayError::InvalidArgument`] on window arity/zero errors or when
 /// `aggs.len()` differs from the attribute count.
 pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Result<DenseArray> {
+    let mut out = regrid_output(input, windows, aggs)?;
+    if input.schema().ndims() == 2 {
+        regrid_blocked_2d(input, windows, aggs, &mut out);
+    } else {
+        regrid_reference_into(input, windows, aggs, &mut out);
+    }
+    Ok(out)
+}
+
+/// The original cell-by-cell `regrid` gather, retained as the reference
+/// implementation: it handles any dimensionality and the blocked 2-D
+/// path is proven bit-identical to it by the golden tests. Prefer
+/// [`regrid_with`], which routes 2-D inputs onto the blocked columnar
+/// path.
+///
+/// # Errors
+/// As [`regrid_with`].
+pub fn regrid_with_reference(
+    input: &DenseArray,
+    windows: &[usize],
+    aggs: &[AggFn],
+) -> Result<DenseArray> {
+    let mut out = regrid_output(input, windows, aggs)?;
+    regrid_reference_into(input, windows, aggs, &mut out);
+    Ok(out)
+}
+
+/// Validates regrid arguments and allocates the all-empty output array.
+fn regrid_output(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Result<DenseArray> {
     let schema = input.schema();
     if aggs.len() != schema.attrs.len() {
         return Err(ArrayError::InvalidArgument(format!(
@@ -67,34 +129,48 @@ pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Res
         out_dims,
         schema.attrs.iter().map(|a| a.name.clone()),
     )?;
+    Ok(DenseArray::empty(out_schema))
+}
 
-    let mut out = DenseArray::empty(out_schema);
+/// Reference gather: one window walk per (output cell × attribute), with
+/// the window bounds held in scratch buffers reused across cells.
+fn regrid_reference_into(
+    input: &DenseArray,
+    windows: &[usize],
+    aggs: &[AggFn],
+    out: &mut DenseArray,
+) {
+    let schema = input.schema();
     let out_shape = out.shape();
     let in_shape = schema.shape();
     let nattrs = schema.attrs.len();
     let in_strides = schema.strides();
 
-    // Iterate output cells; for each, walk its input window.
-    let mut ocoords = vec![0usize; out_shape.len()];
+    // Iterate output cells; for each, walk its input window. The window
+    // bounds and cell values live in scratch reused across iterations.
+    let nd = out_shape.len();
+    let mut ocoords = vec![0usize; nd];
+    let mut lo = vec![0usize; nd];
+    let mut hi = vec![0usize; nd];
     let total: usize = out_shape.iter().product();
     let mut values = vec![0.0f64; nattrs];
     for oidx in 0..total {
         // Window bounds in input space.
-        let lo: Vec<usize> = ocoords.iter().zip(windows).map(|(&c, &w)| c * w).collect();
-        let hi: Vec<usize> = lo
-            .iter()
-            .zip(windows)
-            .zip(&in_shape)
-            .map(|((&l, &w), &s)| (l + w).min(s))
-            .collect();
+        for d in 0..nd {
+            lo[d] = ocoords[d] * windows[d];
+            hi[d] = (lo[d] + windows[d]).min(in_shape[d]);
+        }
 
         // Aggregate each attribute over present cells of the window.
         let mut any_present = false;
         for ai in 0..nattrs {
-            let vals = WindowIter::new(&lo, &hi, &in_strides)
-                .filter(|&flat| input.valid_at(flat))
-                .map(|flat| input.cell_view(flat).attr(ai));
-            match aggs[ai].fold(vals) {
+            let mut acc = AggState::EMPTY;
+            for flat in WindowIter::new(&lo, &hi, &in_strides) {
+                if input.valid_at(flat) {
+                    acc.push(input.cell_view(flat).attr(ai));
+                }
+            }
+            match acc.finish(aggs[ai]) {
                 Some(v) => {
                     values[ai] = v;
                     any_present = true;
@@ -115,7 +191,220 @@ pub fn regrid_with(input: &DenseArray, windows: &[usize], aggs: &[AggFn]) -> Res
             ocoords[d] = 0;
         }
     }
-    Ok(out)
+}
+
+/// Blocked columnar regrid for 2-D inputs; see the module docs for the
+/// pass structure. Bit-identical to [`regrid_reference_into`]: every
+/// output cell folds its window values in the same row-major order with
+/// the same [`AggState`] operations.
+fn regrid_blocked_2d(input: &DenseArray, windows: &[usize], aggs: &[AggFn], out: &mut DenseArray) {
+    let in_shape = input.schema().shape();
+    let (h, w) = (in_shape[0], in_shape[1]);
+    let (wy, wx) = (windows[0], windows[1]);
+    let (oh, ow) = (h.div_ceil(wy), w.div_ceil(wx));
+    let valid = input.validity();
+    let parallel = h * w >= REGRID_PAR_MIN_CELLS;
+
+    // Fully-present input rows take the branch-free accumulation path.
+    let row_full: Vec<bool> = (0..h).map(|y| valid.all_set_in(y * w, y * w + w)).collect();
+
+    // Presence pass: per-output-cell count of present input cells.
+    let mut counts = vec![0u32; oh * ow];
+    for_each_row_block(&mut counts, ow, parallel, |oy0, block| {
+        for (r, out_row) in block.chunks_mut(ow).enumerate() {
+            let y0 = (oy0 + r) * wy;
+            let y1 = (y0 + wy).min(h);
+            for (y, &full) in row_full.iter().enumerate().take(y1).skip(y0) {
+                let base = y * w;
+                if full {
+                    for (ox, c) in out_row.iter_mut().enumerate() {
+                        let x0 = ox * wx;
+                        *c += ((x0 + wx).min(w) - x0) as u32;
+                    }
+                } else {
+                    for (ox, c) in out_row.iter_mut().enumerate() {
+                        let x0 = ox * wx;
+                        for x in x0..(x0 + wx).min(w) {
+                            *c += u32::from(valid.get(base + x));
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    // Attribute passes: aggregate-specialized stripe sweeps.
+    for (ai, &agg) in aggs.iter().enumerate() {
+        let col = input.attr_col(ai);
+        let out_col = out.attr_col_mut(ai);
+        match agg {
+            AggFn::Count => {
+                for (o, &n) in out_col.iter_mut().zip(&counts) {
+                    *o = if n > 0 { f64::from(n) } else { f64::NAN };
+                }
+            }
+            AggFn::Avg | AggFn::Sum => {
+                sweep_attr(
+                    out_col,
+                    col,
+                    valid,
+                    &row_full,
+                    h,
+                    w,
+                    wy,
+                    wx,
+                    ow,
+                    parallel,
+                    0.0,
+                    |a, v| a + v,
+                );
+                if agg == AggFn::Avg {
+                    for (o, &n) in out_col.iter_mut().zip(&counts) {
+                        *o = if n > 0 { *o / f64::from(n) } else { f64::NAN };
+                    }
+                } else {
+                    for (o, &n) in out_col.iter_mut().zip(&counts) {
+                        if n == 0 {
+                            *o = f64::NAN;
+                        }
+                    }
+                }
+            }
+            AggFn::Min => {
+                sweep_attr(
+                    out_col,
+                    col,
+                    valid,
+                    &row_full,
+                    h,
+                    w,
+                    wy,
+                    wx,
+                    ow,
+                    parallel,
+                    f64::INFINITY,
+                    f64::min,
+                );
+                for (o, &n) in out_col.iter_mut().zip(&counts) {
+                    if n == 0 {
+                        *o = f64::NAN;
+                    }
+                }
+            }
+            AggFn::Max => {
+                sweep_attr(
+                    out_col,
+                    col,
+                    valid,
+                    &row_full,
+                    h,
+                    w,
+                    wy,
+                    wx,
+                    ow,
+                    parallel,
+                    f64::NEG_INFINITY,
+                    f64::max,
+                );
+                for (o, &n) in out_col.iter_mut().zip(&counts) {
+                    if n == 0 {
+                        *o = f64::NAN;
+                    }
+                }
+            }
+        }
+    }
+
+    // Presence mask: a cell is present iff its window had present cells.
+    let validity = out.validity_mut();
+    for (oidx, &n) in counts.iter().enumerate() {
+        if n > 0 {
+            validity.set(oidx, true);
+        }
+    }
+}
+
+/// One attribute's stripe sweep: accumulates `update` over each output
+/// cell's window, visiting values in the reference row-major window
+/// order (input rows ascending; columns ascending within a row).
+#[allow(clippy::too_many_arguments)]
+fn sweep_attr<U>(
+    out_col: &mut [f64],
+    col: &[f64],
+    valid: &BitVec,
+    row_full: &[bool],
+    h: usize,
+    w: usize,
+    wy: usize,
+    wx: usize,
+    ow: usize,
+    parallel: bool,
+    init: f64,
+    update: U,
+) where
+    U: Fn(f64, f64) -> f64 + Copy + Sync,
+{
+    for_each_row_block(out_col, ow, parallel, |oy0, block| {
+        for (r, out_row) in block.chunks_mut(ow).enumerate() {
+            out_row.fill(init);
+            let y0 = (oy0 + r) * wy;
+            let y1 = (y0 + wy).min(h);
+            for y in y0..y1 {
+                let row = &col[y * w..y * w + w];
+                if row_full[y] {
+                    let mut x0 = 0usize;
+                    for acc in out_row.iter_mut() {
+                        let x1 = (x0 + wx).min(w);
+                        let mut a = *acc;
+                        for &v in &row[x0..x1] {
+                            a = update(a, v);
+                        }
+                        *acc = a;
+                        x0 = x1;
+                    }
+                } else {
+                    let base = y * w;
+                    let mut x0 = 0usize;
+                    for acc in out_row.iter_mut() {
+                        let x1 = (x0 + wx).min(w);
+                        let mut a = *acc;
+                        for (off, &v) in row[x0..x1].iter().enumerate() {
+                            if valid.get(base + x0 + off) {
+                                a = update(a, v);
+                            }
+                        }
+                        *acc = a;
+                        x0 = x1;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Runs `body(first_output_row, rows_slice)` over blocks of whole output
+/// rows of `buf` (row length `ow`), fanning blocks out across workers
+/// when `parallel`. Blocks never split an output row and windows never
+/// straddle output rows, so every output cell is produced by exactly one
+/// block — results are identical to the sequential order.
+fn for_each_row_block<T, F>(buf: &mut [T], ow: usize, parallel: bool, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let oh = buf.len() / ow.max(1);
+    if !parallel || oh < 2 {
+        body(0, buf);
+        return;
+    }
+    // Aim for a handful of blocks per worker so stripe cost imbalance
+    // (ragged validity) evens out without shredding the cache.
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let rows_per_block = oh.div_ceil(4 * workers).max(1);
+    buf.par_chunks_mut(rows_per_block * ow)
+        .with_min_len(2)
+        .enumerate()
+        .for_each(|(bi, block)| body(bi * rows_per_block, block));
 }
 
 /// Row-major iterator over the flat indices of a hyper-rectangular window.
@@ -218,6 +507,121 @@ pub fn subarray(input: &DenseArray, ranges: &[(usize, usize)]) -> Result<DenseAr
         }
     }
     Ok(out)
+}
+
+/// Cuts the 2-D block with origin `(y0, x0)` and nominal size `h × w`
+/// out of `input` in one pass: the in-bounds part is copied row-by-row
+/// with contiguous per-attribute slice copies, and anything past the
+/// input's edge is left empty — equivalent to `subarray` followed by
+/// padding to `h × w`, without the intermediate array or the per-cell
+/// coordinate math. This is the tile-cutting fast path for pyramid
+/// partitioning (Fig. 4); the output is named `subarray({input})` to
+/// match the operator chain it replaces.
+///
+/// # Errors
+/// [`ArrayError::InvalidArgument`] for non-2-D inputs, zero block sizes,
+/// or an origin outside the array.
+pub fn extract_block_2d(
+    input: &DenseArray,
+    y0: usize,
+    x0: usize,
+    h: usize,
+    w: usize,
+) -> Result<DenseArray> {
+    let schema = input.schema();
+    if schema.ndims() != 2 {
+        return Err(ArrayError::InvalidArgument(format!(
+            "extract_block_2d expects a 2-D array, got {} dims",
+            schema.ndims()
+        )));
+    }
+    let in_shape = schema.shape();
+    if y0 >= in_shape[0] || x0 >= in_shape[1] {
+        return Err(ArrayError::InvalidArgument(format!(
+            "block origin ({y0}, {x0}) outside array {}x{}",
+            in_shape[0], in_shape[1]
+        )));
+    }
+    let out_schema = Schema::new(
+        format!("subarray({})", schema.name),
+        [
+            (schema.dims[0].name.clone(), h),
+            (schema.dims[1].name.clone(), w),
+        ],
+        schema.attrs.iter().map(|a| a.name.clone()),
+    )?;
+    let mut out = DenseArray::empty(out_schema);
+    let copy_h = (in_shape[0] - y0).min(h);
+    let copy_w = (in_shape[1] - x0).min(w);
+    let iw = in_shape[1];
+    let valid = input.validity();
+
+    for ai in 0..schema.attrs.len() {
+        let src = input.attr_col(ai);
+        let dst = out.attr_col_mut(ai);
+        for r in 0..copy_h {
+            let sbase = (y0 + r) * iw + x0;
+            let drow = &mut dst[r * w..r * w + copy_w];
+            drow.copy_from_slice(&src[sbase..sbase + copy_w]);
+            if !valid.all_set_in(sbase, sbase + copy_w) {
+                // Absent cells keep the empty representation (NaN) so the
+                // raw storage matches the per-cell reference path.
+                for (k, v) in drow.iter_mut().enumerate() {
+                    if !valid.get(sbase + k) {
+                        *v = f64::NAN;
+                    }
+                }
+            }
+        }
+    }
+    let out_valid = out.validity_mut();
+    for r in 0..copy_h {
+        let sbase = (y0 + r) * iw + x0;
+        if valid.all_set_in(sbase, sbase + copy_w) {
+            out_valid.set_range(r * w, r * w + copy_w, true);
+        } else {
+            for k in 0..copy_w {
+                if valid.get(sbase + k) {
+                    out_valid.set(r * w + k, true);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Keeps only the named attributes, in the given order (SciDB `project`,
+/// §2.3's "SELECT avg(ndsi)" projection step). Cell presence is
+/// unchanged by projection, so attribute columns are copied whole; cells
+/// that are empty keep the canonical NaN representation.
+///
+/// # Errors
+/// [`ArrayError::UnknownName`] for absent attributes,
+/// [`ArrayError::InvalidArgument`] for duplicates or an empty selection.
+pub fn project(input: &DenseArray, attrs: &[&str]) -> Result<DenseArray> {
+    let schema = input.schema();
+    let out_schema = Schema::new(
+        schema.name.clone(),
+        schema.dims.iter().map(|d| (d.name.clone(), d.len)),
+        attrs.iter().map(|s| s.to_string()),
+    )?;
+    let valid = input.validity().clone();
+    let all_present = valid.all();
+    let mut cols = Vec::with_capacity(attrs.len());
+    for name in attrs {
+        let mut col = input.attr_col(schema.attr_index(name)?).to_vec();
+        if !all_present {
+            // Scrub stale values at empty cells so the raw storage matches
+            // a per-cell rebuild.
+            for (i, v) in col.iter_mut().enumerate() {
+                if !valid.get(i) {
+                    *v = f64::NAN;
+                }
+            }
+        }
+        cols.push(col);
+    }
+    Ok(DenseArray::from_parts(out_schema, cols, valid))
 }
 
 /// Cell-wise equi-join on dimensions (SciDB joins on dimensions

@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fc_array::{regrid, AggFn, DenseArray, Schema};
-use fc_bench::seed_baseline::{sb_distances_seed, SeedMetaStore};
+use fc_bench::seed_baseline::{
+    sb_distances_seed, seed_decode_server_msg, seed_encode_server_msg, seed_regrid_with,
+    SeedMetaStore,
+};
 use fc_core::engine::PhaseSource;
 use fc_core::sb::{chi_squared, PredictScratch};
 use fc_core::signature::{attach_signatures, SignatureConfig, SignatureKind};
@@ -41,6 +44,9 @@ fn built_pyramid() -> Arc<Pyramid> {
 
 fn bench_array_ops(c: &mut Criterion) {
     let a = base_array(256);
+    c.bench_function("regrid 256x256 window 4 avg (seed impl)", |b| {
+        b.iter(|| seed_regrid_with(black_box(&a), &[4, 4], &[AggFn::Avg]).expect("regrid"))
+    });
     c.bench_function("regrid 256x256 window 4 avg", |b| {
         b.iter(|| regrid(black_box(&a), &[4, 4], AggFn::Avg).expect("regrid"))
     });
@@ -215,8 +221,23 @@ fn bench_protocol(c: &mut Criterion) {
         cache_hit: true,
         phase: 1,
     };
+    c.bench_function("protocol encode 32x32 tile (seed impl)", |b| {
+        b.iter(|| seed_encode_server_msg(black_box(&msg)))
+    });
     c.bench_function("protocol encode 32x32 tile", |b| b.iter(|| msg.encode()));
+    let mut frame = fc_server::FrameBuf::new();
+    c.bench_function("protocol encode 32x32 tile (reused FrameBuf)", |b| {
+        b.iter(|| {
+            black_box(msg.encode_into(&mut frame));
+        })
+    });
     let encoded = msg.encode();
+    c.bench_function("protocol decode 32x32 tile (seed impl)", |b| {
+        b.iter(|| {
+            seed_decode_server_msg(fc_server::protocol::unframe(black_box(&encoded)))
+                .expect("decode")
+        })
+    });
     c.bench_function("protocol decode 32x32 tile", |b| {
         b.iter(|| {
             fc_server::ServerMsg::decode(fc_server::protocol::unframe(black_box(&encoded)))

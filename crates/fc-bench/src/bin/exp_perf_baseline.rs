@@ -1,7 +1,12 @@
 //! Performance baseline: the numbers future perf PRs must beat.
 //!
 //! Measures the prediction hot path at three layers and writes
-//! `BENCH_predict.json` next to the working directory:
+//! `BENCH_predict.json`, then the tile-serving data path (regrid,
+//! pyramid build, signature attachment, tile wire codec, end-to-end
+//! middleware requests) against the seed implementations and writes
+//! `BENCH_datapath.json`.
+//!
+//! Prediction measurements:
 //!
 //! * `sb_distances_*_ns` — Algorithm 3 at the acceptance shape
 //!   (4 signatures × 64 candidates × 16 ROI tiles): the seed
@@ -17,8 +22,11 @@
 //! per-round median, so slow container neighbours shift all paths
 //! together instead of skewing one ratio.
 
-use fc_array::{DenseArray, Schema};
-use fc_bench::seed_baseline::{sb_distances_seed, SeedMetaStore};
+use fc_array::{regrid_with, AggFn, DenseArray, Schema};
+use fc_bench::seed_baseline::{
+    sb_distances_seed, seed_attach_signatures, seed_build_pyramid, seed_decode_server_msg,
+    seed_encode_server_msg, seed_regrid_with, SeedMetaStore,
+};
 use fc_core::engine::PhaseSource;
 use fc_core::sb::{PredictScratch, SbConfig, SbRecommender};
 use fc_core::signature::{attach_signatures, SignatureConfig};
@@ -172,6 +180,103 @@ fn main() {
         }
     }) / walk.len() as f64;
 
+    // ---- Data path: regrid / pyramid / signatures / codec ----
+    // Interleaved seed-vs-current rounds, per-path median, as above.
+    let base = {
+        let side = 256;
+        let schema = Schema::grid2d("B", side, side, &["v"]).expect("schema");
+        let data: Vec<f64> = (0..side * side)
+            .map(|i| ((i as f64 * 0.37).sin().abs() + (i % side) as f64 / side as f64) / 2.0)
+            .collect();
+        DenseArray::from_vec(schema, data).expect("base")
+    };
+    let avg = [AggFn::Avg];
+    let mut regrid_seed_ns = Vec::new();
+    let mut regrid_ns = Vec::new();
+    let mut pyr_seed_ns = Vec::new();
+    let mut pyr_ns = Vec::new();
+    let pyr_cfg = PyramidConfig::simple(4, 32, &["v"]);
+    for _ in 0..ROUNDS {
+        regrid_seed_ns.push(measure(1, 8, || {
+            std::hint::black_box(seed_regrid_with(&base, &[4, 4], &avg).expect("seed regrid"));
+        }));
+        regrid_ns.push(measure(1, 32, || {
+            std::hint::black_box(regrid_with(&base, &[4, 4], &avg).expect("regrid"));
+        }));
+        pyr_seed_ns.push(measure(1, 2, || {
+            std::hint::black_box(seed_build_pyramid(&base, &pyr_cfg).expect("seed pyramid"));
+        }));
+        pyr_ns.push(measure(1, 8, || {
+            std::hint::black_box(
+                PyramidBuilder::new()
+                    .build(&base, &pyr_cfg)
+                    .expect("pyramid"),
+            );
+        }));
+    }
+
+    // Signature attachment over freshly built pyramids (the offline
+    // metadata pipeline; dominated by per-tile vision work).
+    let mut sig_cfg = fc_core::signature::SignatureConfig::ndsi("v");
+    sig_cfg.domain = (0.0, 1.0);
+    let seed_target = PyramidBuilder::new()
+        .build(&base, &pyr_cfg)
+        .expect("pyramid");
+    let new_target = PyramidBuilder::new()
+        .build(&base, &pyr_cfg)
+        .expect("pyramid");
+    let mut attach_seed_ns = Vec::new();
+    let mut attach_ns = Vec::new();
+    for _ in 0..5 {
+        attach_seed_ns.push(measure(1, 1, || {
+            std::hint::black_box(seed_attach_signatures(
+                seed_target.geometry(),
+                seed_target.store(),
+                &sig_cfg,
+            ));
+        }));
+        attach_ns.push(measure(1, 1, || {
+            std::hint::black_box(attach_signatures(&new_target, &sig_cfg));
+        }));
+    }
+
+    // Tile wire codec at the 32×32 single-attribute tile shape.
+    let wire_tile = pyramid
+        .store()
+        .fetch_offline(TileId::new(3, 4, 4))
+        .expect("tile");
+    let wire_msg = fc_server::ServerMsg::Tile {
+        payload: fc_server::server::tile_payload(&wire_tile),
+        latency_ns: 19_500_000,
+        cache_hit: true,
+        phase: 1,
+    };
+    let encoded = wire_msg.encode();
+    let mut frame = fc_server::FrameBuf::new();
+    let mut enc_seed_ns = Vec::new();
+    let mut enc_ns = Vec::new();
+    let mut dec_seed_ns = Vec::new();
+    let mut dec_ns = Vec::new();
+    for _ in 0..ROUNDS {
+        enc_seed_ns.push(measure(1, 2048, || {
+            std::hint::black_box(seed_encode_server_msg(&wire_msg));
+        }));
+        enc_ns.push(measure(1, 8192, || {
+            std::hint::black_box(wire_msg.encode_into(&mut frame));
+        }));
+        dec_seed_ns.push(measure(1, 512, || {
+            std::hint::black_box(
+                seed_decode_server_msg(fc_server::protocol::unframe(&encoded)).expect("decode"),
+            );
+        }));
+        dec_ns.push(measure(1, 8192, || {
+            std::hint::black_box(
+                fc_server::ServerMsg::decode(fc_server::protocol::unframe(&encoded))
+                    .expect("decode"),
+            );
+        }));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -215,6 +320,72 @@ fn main() {
         request_ns,
         1e9 / request_ns
     );
+
+    let (regrid_seed, regrid_now) = (median(&mut regrid_seed_ns), median(&mut regrid_ns));
+    let (pyr_seed, pyr_now) = (median(&mut pyr_seed_ns), median(&mut pyr_ns));
+    let (attach_seed, attach_now) = (median(&mut attach_seed_ns), median(&mut attach_ns));
+    let (enc_seed, enc_now) = (median(&mut enc_seed_ns), median(&mut enc_ns));
+    let (dec_seed, dec_now) = (median(&mut dec_seed_ns), median(&mut dec_ns));
+    let datapath = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"datapath\",\n",
+            "  \"shapes\": {{\"regrid\": \"256x256 window 4 avg\", ",
+            "\"pyramid\": \"256x256, 4 levels, 32x32 tiles\", ",
+            "\"attach_signatures\": \"85-tile pyramid, 4 signatures\", ",
+            "\"tile_codec\": \"32x32 tile, 1 attribute\"}},\n",
+            "  \"regrid_seed_ns\": {regrid_seed:.1},\n",
+            "  \"regrid_blocked_ns\": {regrid_now:.1},\n",
+            "  \"regrid_speedup_vs_seed\": {regrid_x:.2},\n",
+            "  \"pyramid_build_seed_ns\": {pyr_seed:.1},\n",
+            "  \"pyramid_build_ns\": {pyr_now:.1},\n",
+            "  \"pyramid_build_speedup_vs_seed\": {pyr_x:.2},\n",
+            "  \"attach_signatures_seed_ns\": {attach_seed:.1},\n",
+            "  \"attach_signatures_ns\": {attach_now:.1},\n",
+            "  \"attach_signatures_speedup_vs_seed\": {attach_x:.2},\n",
+            "  \"tile_encode_seed_ns\": {enc_seed:.1},\n",
+            "  \"tile_encode_ns\": {enc_now:.1},\n",
+            "  \"tile_encode_speedup_vs_seed\": {enc_x:.2},\n",
+            "  \"tile_decode_seed_ns\": {dec_seed:.1},\n",
+            "  \"tile_decode_ns\": {dec_now:.1},\n",
+            "  \"tile_decode_speedup_vs_seed\": {dec_x:.2},\n",
+            "  \"middleware_request_ns\": {request:.1},\n",
+            "  \"middleware_requests_per_s\": {request_rate:.0}\n",
+            "}}\n"
+        ),
+        regrid_seed = regrid_seed,
+        regrid_now = regrid_now,
+        regrid_x = regrid_seed / regrid_now,
+        pyr_seed = pyr_seed,
+        pyr_now = pyr_now,
+        pyr_x = pyr_seed / pyr_now,
+        attach_seed = attach_seed,
+        attach_now = attach_now,
+        attach_x = attach_seed / attach_now,
+        enc_seed = enc_seed,
+        enc_now = enc_now,
+        enc_x = enc_seed / enc_now,
+        dec_seed = dec_seed,
+        dec_now = dec_now,
+        dec_x = dec_seed / dec_now,
+        request = request_ns,
+        request_rate = 1e9 / request_ns,
+    );
+    std::fs::write("BENCH_datapath.json", &datapath).expect("write BENCH_datapath.json");
     println!();
-    println!("wrote BENCH_predict.json");
+    println!("# data path vs seed implementations");
+    println!();
+    let row = |name: &str, seed: f64, now: f64| {
+        println!(
+            "{name:<22}: {seed:>12.0} ns -> {now:>10.0} ns   ({:.2}x)",
+            seed / now
+        );
+    };
+    row("regrid 256^2 w4 avg", regrid_seed, regrid_now);
+    row("pyramid build 4 lvl", pyr_seed, pyr_now);
+    row("attach_signatures", attach_seed, attach_now);
+    row("tile encode 32x32", enc_seed, enc_now);
+    row("tile decode 32x32", dec_seed, dec_now);
+    println!();
+    println!("wrote BENCH_predict.json, BENCH_datapath.json");
 }

@@ -1,19 +1,42 @@
-//! The seed commit's SB implementation, reproduced verbatim as the
-//! perf baseline the refactored hot path is measured against.
+//! The seed commit's implementations of the measured hot paths,
+//! reproduced verbatim as the perf baselines the refactors are measured
+//! against. Used by `benches/micro.rs` and `bin/exp_perf_baseline.rs`.
 //!
-//! The seed stored per-tile metadata as a `RwLock`ed map of
-//! string-keyed `(String, Vec<f64>)` entry lists whose `meta_vec`
-//! cloned the vector on every read, and its Algorithm 3 loop fetched
-//! `sig_b` per (signature × candidate × ROI) triple — one lock
-//! round-trip plus one heap copy each. The refactored store interns
-//! keys and shares `Arc<[f64]>` values, so this module rebuilds the
-//! seed's cost model for honest comparison. Used by
-//! `benches/micro.rs` and `bin/exp_perf_baseline.rs`.
+//! * **SB distances** — the seed stored per-tile metadata as a
+//!   `RwLock`ed map of string-keyed `(String, Vec<f64>)` entry lists
+//!   whose `meta_vec` cloned the vector on every read, and its
+//!   Algorithm 3 loop fetched `sig_b` per (signature × candidate × ROI)
+//!   triple — one lock round-trip plus one heap copy each
+//!   ([`sb_distances_seed`]).
+//! * **regrid** — the seed aggregated one output cell at a time through
+//!   a `WindowIter` odometer gather, allocating the `lo`/`hi` window
+//!   bounds per cell ([`seed_regrid_with`]); the blocked columnar
+//!   passes in `fc_array::regrid_with` replaced it.
+//! * **pyramid build** — the seed projected attributes cell-by-cell and
+//!   cut tiles with `subarray` + per-cell padding
+//!   ([`seed_build_pyramid`]); the rebuilt path cuts padded tiles with
+//!   contiguous row copies.
+//! * **signature attachment** — the seed ran both offline passes on one
+//!   thread ([`seed_attach_signatures`]); `attach_signatures` now fans
+//!   tiles out across workers.
+//! * **tile wire codec** — the seed encoded/decoded every `f64` through
+//!   per-value `put_f64_le`/`get_f64_le` calls and framed bodies with
+//!   an extra copy ([`seed_encode_server_msg`] /
+//!   [`seed_decode_server_msg`]); the zero-copy codec in
+//!   `fc_server::protocol` replaced it.
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fc_core::sb::{chi_squared, physical_distance, SbConfig};
-use fc_tiles::{Geometry, TileId, TileStore};
+use fc_core::signature::{
+    sift_descriptors, tile_image, SignatureComputer, SignatureConfig, SignatureKind,
+};
+use fc_server::{ServerMsg, TilePayload};
+use fc_tiles::{Geometry, Tile, TileId, TileStore};
+use fc_vision::{dense_descriptors, Vocabulary};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
 
 /// The seed's metadata map shape: string-keyed entry lists per tile.
 pub type SeedMetaMap = HashMap<TileId, Vec<(String, Vec<f64>)>>;
@@ -110,4 +133,478 @@ pub fn sb_distances_seed(
             (a, total)
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Seed regrid: per-output-cell WindowIter gather (fc-array/src/ops.rs at
+// the seed commit), with the per-cell `lo`/`hi` Vec allocations intact.
+// Reads go through the public columnar accessors instead of the seed's
+// crate-private `cell_view`, which costs the same slice index.
+// ---------------------------------------------------------------------
+
+use fc_array::{subarray, AggFn, DenseArray, Result as ArrayResult, Schema};
+
+/// The seed's `regrid_with`, verbatim.
+///
+/// # Errors
+/// As `fc_array::regrid_with`.
+pub fn seed_regrid_with(
+    input: &DenseArray,
+    windows: &[usize],
+    aggs: &[AggFn],
+) -> ArrayResult<DenseArray> {
+    let schema = input.schema();
+    assert_eq!(aggs.len(), schema.attrs.len(), "seed baseline arity");
+    assert_eq!(windows.len(), schema.ndims(), "seed baseline windows");
+    assert!(!windows.contains(&0), "seed baseline zero window");
+    let out_dims: Vec<(String, usize)> = schema
+        .dims
+        .iter()
+        .zip(windows)
+        .map(|(d, &w)| (d.name.clone(), d.len.div_ceil(w)))
+        .collect();
+    let out_schema = Schema::new(
+        format!("regrid({})", schema.name),
+        out_dims,
+        schema.attrs.iter().map(|a| a.name.clone()),
+    )?;
+
+    let mut out = DenseArray::empty(out_schema);
+    let out_shape = out.shape();
+    let in_shape = schema.shape();
+    let nattrs = schema.attrs.len();
+    let in_strides = schema.strides();
+    let valid = input.validity();
+    let cols: Vec<&[f64]> = schema
+        .attrs
+        .iter()
+        .map(|a| input.attr_values(&a.name).expect("attr exists"))
+        .collect();
+
+    // Iterate output cells; for each, walk its input window.
+    let mut ocoords = vec![0usize; out_shape.len()];
+    let total: usize = out_shape.iter().product();
+    let mut values = vec![0.0f64; nattrs];
+    for oidx in 0..total {
+        // Window bounds in input space (fresh Vecs per cell, as seeded).
+        let lo: Vec<usize> = ocoords.iter().zip(windows).map(|(&c, &w)| c * w).collect();
+        let hi: Vec<usize> = lo
+            .iter()
+            .zip(windows)
+            .zip(&in_shape)
+            .map(|((&l, &w), &s)| (l + w).min(s))
+            .collect();
+
+        let mut any_present = false;
+        for ai in 0..nattrs {
+            let vals = SeedWindowIter::new(&lo, &hi, &in_strides)
+                .filter(|&flat| valid.get(flat))
+                .map(|flat| cols[ai][flat]);
+            match aggs[ai].fold(vals) {
+                Some(v) => {
+                    values[ai] = v;
+                    any_present = true;
+                }
+                None => values[ai] = f64::NAN,
+            }
+        }
+        if any_present {
+            out.fill_cell(oidx, &values).expect("in range");
+        }
+
+        for d in (0..ocoords.len()).rev() {
+            ocoords[d] += 1;
+            if ocoords[d] < out_shape[d] {
+                break;
+            }
+            ocoords[d] = 0;
+        }
+    }
+    Ok(out)
+}
+
+/// The seed's row-major window odometer, verbatim.
+struct SeedWindowIter<'a> {
+    lo: &'a [usize],
+    hi: &'a [usize],
+    strides: &'a [usize],
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> SeedWindowIter<'a> {
+    fn new(lo: &'a [usize], hi: &'a [usize], strides: &'a [usize]) -> Self {
+        let done = lo.iter().zip(hi).any(|(&l, &h)| l >= h);
+        Self {
+            lo,
+            hi,
+            strides,
+            cur: lo.to_vec(),
+            done,
+        }
+    }
+}
+
+impl Iterator for SeedWindowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.done {
+            return None;
+        }
+        let flat: usize = self
+            .cur
+            .iter()
+            .zip(self.strides)
+            .map(|(&c, &s)| c * s)
+            .sum();
+        let mut d = self.cur.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            self.cur[d] += 1;
+            if self.cur[d] < self.hi[d] {
+                break;
+            }
+            self.cur[d] = self.lo[d];
+        }
+        Some(flat)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seed pyramid build: cell-by-cell projection, seed regrid per level,
+// and subarray + per-cell padding tile cuts (fc-tiles/src/pyramid.rs at
+// the seed commit).
+// ---------------------------------------------------------------------
+
+use fc_tiles::{AttrAgg, PyramidConfig};
+
+/// The seed's attribute projection (cell-by-cell `fill_cell`), verbatim.
+fn seed_project(base: &DenseArray, aggs: &[AttrAgg]) -> ArrayResult<DenseArray> {
+    let schema = base.schema();
+    let dims: Vec<(String, usize)> = schema
+        .dims
+        .iter()
+        .map(|d| (d.name.clone(), d.len))
+        .collect();
+    let out_schema = Schema::new(
+        schema.name.clone(),
+        dims,
+        aggs.iter().map(|a| a.attr.clone()),
+    )?;
+    let mut out = DenseArray::empty(out_schema);
+    let idxs: Vec<usize> = aggs
+        .iter()
+        .map(|a| schema.attr_index(&a.attr))
+        .collect::<ArrayResult<_>>()?;
+    let mut values = vec![0.0f64; idxs.len()];
+    for c in base.cells() {
+        for (vi, &ai) in idxs.iter().enumerate() {
+            values[vi] = c.attr(ai);
+        }
+        out.fill_cell(c.index(), &values)?;
+    }
+    Ok(out)
+}
+
+/// The seed's per-cell edge-tile padding, verbatim.
+fn seed_pad_to(block: &DenseArray, h: usize, w: usize) -> ArrayResult<DenseArray> {
+    let shape = block.shape();
+    if shape[0] == h && shape[1] == w {
+        return Ok(block.clone());
+    }
+    let schema = Schema::new(
+        block.schema().name.clone(),
+        [
+            (block.schema().dims[0].name.clone(), h),
+            (block.schema().dims[1].name.clone(), w),
+        ],
+        block.schema().attrs.iter().map(|a| a.name.clone()),
+    )?;
+    let mut out = DenseArray::empty(schema);
+    let nattrs = block.schema().attrs.len();
+    let mut values = vec![0.0f64; nattrs];
+    for c in block.cells() {
+        let co = c.coords();
+        for (ai, v) in values.iter_mut().enumerate() {
+            *v = c.attr(ai);
+        }
+        let idx = out.schema().flat_index(&co)?;
+        out.fill_cell(idx, &values)?;
+    }
+    Ok(out)
+}
+
+/// The seed's `PyramidBuilder::build` loop (no metadata computers),
+/// verbatim: project, regrid every level from the base, partition with
+/// `subarray` + padding. Returns the geometry and populated store.
+///
+/// # Errors
+/// As `PyramidBuilder::build`.
+pub fn seed_build_pyramid(
+    base: &DenseArray,
+    cfg: &PyramidConfig,
+) -> ArrayResult<(Geometry, TileStore)> {
+    let projected = seed_project(base, &cfg.aggs)?;
+    let shape = projected.shape();
+    let geometry = Geometry::new(cfg.levels, shape[0], shape[1], cfg.tile_h, cfg.tile_w);
+    let store = TileStore::new(
+        geometry,
+        cfg.latency,
+        cfg.io_mode,
+        fc_array::SimClock::new(),
+    );
+    let aggs: Vec<AggFn> = cfg.aggs.iter().map(|a| a.agg).collect();
+    for level in 0..cfg.levels {
+        let window = geometry.agg_window(level);
+        let view = if window == 1 {
+            projected.clone()
+        } else {
+            seed_regrid_with(&projected, &[window, window], &aggs)?
+        };
+        let (rows, cols) = geometry.tiles_at(level);
+        let vshape = view.shape();
+        for ty in 0..rows {
+            for tx in 0..cols {
+                let y0 = ty as usize * geometry.tile_h;
+                let x0 = tx as usize * geometry.tile_w;
+                let y1 = (y0 + geometry.tile_h).min(vshape[0]);
+                let x1 = (x0 + geometry.tile_w).min(vshape[1]);
+                let block = subarray(&view, &[(y0, y1), (x0, x1)])?;
+                let block = seed_pad_to(&block, geometry.tile_h, geometry.tile_w)?;
+                store.put_tile(Tile::new(TileId::new(level, ty, tx), block));
+            }
+        }
+    }
+    Ok((geometry, store))
+}
+
+// ---------------------------------------------------------------------
+// Seed signature attachment: both offline passes on one thread
+// (fc-core/src/signature.rs at the seed commit).
+// ---------------------------------------------------------------------
+
+/// The seed's `attach_signatures`, verbatim: sequential descriptor
+/// harvest, vocabulary training, then sequential per-tile computation
+/// through the `MetadataComputer` objects.
+pub fn seed_attach_signatures(
+    geometry: Geometry,
+    store: &TileStore,
+    cfg: &SignatureConfig,
+) -> (Arc<Vocabulary>, Arc<Vocabulary>) {
+    use fc_tiles::MetadataComputer;
+
+    let mut sift_corpus = Vec::new();
+    let mut dense_corpus = Vec::new();
+    for id in geometry.all_tiles() {
+        if let Some(tile) = store.fetch_offline(id) {
+            let img = tile_image(&tile, &cfg.attr, cfg.domain);
+            sift_corpus.extend(sift_descriptors(&img, cfg));
+            dense_corpus.extend(dense_descriptors(&img, cfg.dense_step, cfg.dense_radius));
+        }
+    }
+    if sift_corpus.is_empty() {
+        sift_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+    }
+    if dense_corpus.is_empty() {
+        dense_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+    }
+    let sift_vocab = Arc::new(Vocabulary::train(&sift_corpus, cfg.vocab_size, cfg.seed));
+    let dense_vocab = Arc::new(Vocabulary::train(
+        &dense_corpus,
+        cfg.vocab_size,
+        cfg.seed ^ 0xD5,
+    ));
+
+    let computers: Vec<SignatureComputer> = vec![
+        SignatureComputer::stats(SignatureKind::NormalDist, cfg.clone()),
+        SignatureComputer::stats(SignatureKind::Hist1D, cfg.clone()),
+        SignatureComputer::vision(SignatureKind::Sift, cfg.clone(), sift_vocab.clone()),
+        SignatureComputer::vision(SignatureKind::DenseSift, cfg.clone(), dense_vocab.clone()),
+    ];
+    for id in geometry.all_tiles() {
+        if let Some(tile) = store.fetch_offline(id) {
+            for c in &computers {
+                store.put_meta(id, c.name(), c.compute(&tile));
+            }
+        }
+    }
+    store.signature_index();
+    (sift_vocab, dense_vocab)
+}
+
+// ---------------------------------------------------------------------
+// Seed wire codec: per-value f64 writer/reader calls and the extra
+// body-to-frame copy (fc-server/src/protocol.rs at the seed commit).
+// ---------------------------------------------------------------------
+
+fn seed_put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    buf.put_u16_le(u16::try_from(bytes.len()).expect("string fits u16"));
+    buf.put_slice(bytes);
+}
+
+fn seed_get_string(buf: &mut Bytes) -> io::Result<String> {
+    if buf.remaining() < 2 {
+        return Err(seed_bad("truncated string length"));
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(seed_bad("truncated string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| seed_bad("invalid UTF-8"))
+}
+
+fn seed_bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn seed_frame(body: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_u32_le(u32::try_from(body.len()).expect("frame fits u32"));
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// The seed's `ServerMsg::encode`, verbatim (per-value `put_f64_le`,
+/// body built in one buffer then copied into the frame).
+pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
+    let mut body = BytesMut::new();
+    match msg {
+        ServerMsg::Welcome {
+            levels,
+            deepest_tiles,
+        } => {
+            body.put_u8(0);
+            body.put_u8(*levels);
+            body.put_u32_le(deepest_tiles.0);
+            body.put_u32_le(deepest_tiles.1);
+        }
+        ServerMsg::Tile {
+            payload,
+            latency_ns,
+            cache_hit,
+            phase,
+        } => {
+            body.put_u8(1);
+            body.put_u8(payload.tile.level);
+            body.put_u32_le(payload.tile.y);
+            body.put_u32_le(payload.tile.x);
+            body.put_u32_le(payload.h);
+            body.put_u32_le(payload.w);
+            body.put_u64_le(*latency_ns);
+            body.put_u8(u8::from(*cache_hit));
+            body.put_u8(*phase);
+            body.put_u16_le(u16::try_from(payload.attrs.len()).expect("attr count"));
+            for (name, values) in payload.attrs.iter().zip(&payload.data) {
+                seed_put_string(&mut body, name);
+                for v in values {
+                    body.put_f64_le(*v);
+                }
+            }
+            body.put_slice(&payload.present);
+        }
+        ServerMsg::Stats {
+            requests,
+            hits,
+            avg_latency_ns,
+        } => {
+            body.put_u8(2);
+            body.put_u64_le(*requests);
+            body.put_u64_le(*hits);
+            body.put_u64_le(*avg_latency_ns);
+        }
+        ServerMsg::Error { reason } => {
+            body.put_u8(3);
+            seed_put_string(&mut body, reason);
+        }
+    }
+    seed_frame(body)
+}
+
+/// The seed's `ServerMsg::decode`, verbatim (per-value `get_f64_le`).
+///
+/// # Errors
+/// `InvalidData` on malformed bodies.
+pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
+    if body.is_empty() {
+        return Err(seed_bad("empty message"));
+    }
+    match body.get_u8() {
+        0 => {
+            if body.remaining() < 9 {
+                return Err(seed_bad("truncated Welcome"));
+            }
+            Ok(ServerMsg::Welcome {
+                levels: body.get_u8(),
+                deepest_tiles: (body.get_u32_le(), body.get_u32_le()),
+            })
+        }
+        1 => {
+            if body.remaining() < 9 {
+                return Err(seed_bad("truncated tile id"));
+            }
+            let tile = TileId::new(body.get_u8(), body.get_u32_le(), body.get_u32_le());
+            if body.remaining() < 4 + 4 + 8 + 1 + 1 + 2 {
+                return Err(seed_bad("truncated Tile header"));
+            }
+            let h = body.get_u32_le();
+            let w = body.get_u32_le();
+            let latency_ns = body.get_u64_le();
+            let cache_hit = body.get_u8() != 0;
+            let phase = body.get_u8();
+            let nattrs = body.get_u16_le() as usize;
+            let ncells = (h as usize) * (w as usize);
+            let mut attrs = Vec::with_capacity(nattrs);
+            let mut data = Vec::with_capacity(nattrs);
+            for _ in 0..nattrs {
+                let name = seed_get_string(&mut body)?;
+                if body.remaining() < ncells * 8 {
+                    return Err(seed_bad("truncated attribute data"));
+                }
+                let mut values = Vec::with_capacity(ncells);
+                for _ in 0..ncells {
+                    values.push(body.get_f64_le());
+                }
+                attrs.push(name);
+                data.push(values);
+            }
+            if body.remaining() < ncells {
+                return Err(seed_bad("truncated presence mask"));
+            }
+            let present = body.copy_to_bytes(ncells).to_vec();
+            Ok(ServerMsg::Tile {
+                payload: TilePayload {
+                    tile,
+                    h,
+                    w,
+                    attrs,
+                    data,
+                    present,
+                },
+                latency_ns,
+                cache_hit,
+                phase,
+            })
+        }
+        2 => {
+            if body.remaining() < 24 {
+                return Err(seed_bad("truncated Stats"));
+            }
+            Ok(ServerMsg::Stats {
+                requests: body.get_u64_le(),
+                hits: body.get_u64_le(),
+                avg_latency_ns: body.get_u64_le(),
+            })
+        }
+        3 => Ok(ServerMsg::Error {
+            reason: seed_get_string(&mut body)?,
+        }),
+        t => Err(seed_bad(&format!("unknown server tag {t}"))),
+    }
 }

@@ -18,6 +18,7 @@ use fc_tiles::{MetadataComputer, Pyramid, Tile};
 use fc_vision::{
     dense_descriptors, describe_keypoints, detect_keypoints, DetectorParams, GrayImage, Vocabulary,
 };
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// The four signature families of Table 2.
@@ -122,16 +123,26 @@ pub fn tile_image(tile: &Tile, attr: &str, domain: (f64, f64)) -> GrayImage {
 /// Computes the [`SignatureKind::NormalDist`] vector: `[mean, std]`.
 pub fn normal_signature(tile: &Tile, attr: &str) -> Vec<f64> {
     let vals = tile.present_values(attr).unwrap_or_default();
-    vec![fc_ml::mean(&vals), fc_ml::std_dev(&vals)]
+    normal_signature_from(&vals)
+}
+
+/// [`normal_signature`] over an already-collected value slice.
+fn normal_signature_from(vals: &[f64]) -> Vec<f64> {
+    vec![fc_ml::mean(vals), fc_ml::std_dev(vals)]
 }
 
 /// Computes the [`SignatureKind::Hist1D`] vector: a normalized
 /// `bins`-bucket histogram of attribute values over `domain`.
 pub fn hist_signature(tile: &Tile, attr: &str, domain: (f64, f64), bins: usize) -> Vec<f64> {
     let vals = tile.present_values(attr).unwrap_or_default();
+    hist_signature_from(&vals, domain, bins)
+}
+
+/// [`hist_signature`] over an already-collected value slice.
+fn hist_signature_from(vals: &[f64], domain: (f64, f64), bins: usize) -> Vec<f64> {
     let mut h = vec![0.0f64; bins];
     let span = (domain.1 - domain.0).max(f64::EPSILON);
-    for v in &vals {
+    for v in vals {
         let t = ((v - domain.0) / span).clamp(0.0, 1.0);
         let b = ((t * bins as f64) as usize).min(bins - 1);
         h[b] += 1.0;
@@ -226,27 +237,86 @@ impl MetadataComputer for SignatureComputer {
     }
 }
 
+/// Splits `items` into one contiguous span per worker thread, so a
+/// parallel map over the spans lets each worker keep mutable scratch
+/// across its whole span while preserving input order.
+fn worker_spans<T>(items: &[T]) -> Vec<&[T]> {
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    items.chunks(items.len().div_ceil(workers).max(1)).collect()
+}
+
+/// Per-tile output of the parallel harvest pass: the two cheap stats
+/// signatures plus the tile's own SIFT / denseSIFT descriptors (kept so
+/// the histogram pass never re-runs the vision pipeline).
+struct TileHarvest {
+    id: fc_tiles::TileId,
+    normal: Vec<f64>,
+    hist: Vec<f64>,
+    sift: Vec<Vec<f64>>,
+    dense: Vec<Vec<f64>>,
+}
+
 /// Runs the full offline metadata pipeline over a built pyramid:
-/// 1. trains SIFT and denseSIFT vocabularies over the tile corpus,
-/// 2. computes all four signatures for every tile,
-/// 3. stores them in the tile store's shared metadata map.
+/// 1. harvests per-tile descriptors and stats signatures,
+/// 2. trains SIFT and denseSIFT vocabularies over the descriptor corpus,
+/// 3. quantizes each tile's harvested descriptors into BoVW histograms
+///    and stores all four signatures in the shared metadata map.
 ///
 /// Returns the trained vocabularies `(sift, dense_sift)` so callers can
 /// attach signatures to future tiles.
+///
+/// The harvest fans tiles out across worker threads — one contiguous
+/// tile span per worker, per-worker value scratch reused across its
+/// span — and each tile's descriptors are computed **once** and reused
+/// for both vocabulary training and its own histograms (the seed ran
+/// the whole vision pipeline twice per tile). Per-tile math is
+/// independent of the split and spans are concatenated in tile order
+/// before training or `put_meta`, so the output is identical to a
+/// sequential build regardless of worker count.
 pub fn attach_signatures(
     pyramid: &Pyramid,
     cfg: &SignatureConfig,
 ) -> (Arc<Vocabulary>, Arc<Vocabulary>) {
     let store = pyramid.store();
-    // Pass 1: harvest descriptors for vocabulary training.
-    let mut sift_corpus = Vec::new();
-    let mut dense_corpus = Vec::new();
-    for id in pyramid.geometry().all_tiles() {
-        if let Some(tile) = store.fetch_offline(id) {
-            let img = tile_image(&tile, &cfg.attr, cfg.domain);
-            sift_corpus.extend(sift_descriptors(&img, cfg));
-            dense_corpus.extend(dense_descriptors(&img, cfg.dense_step, cfg.dense_radius));
-        }
+    let ids: Vec<_> = pyramid.geometry().all_tiles().collect();
+
+    let harvested: Vec<Vec<TileHarvest>> = worker_spans(&ids)
+        .par_iter()
+        .with_min_len(1)
+        .map(|span| {
+            let mut vals: Vec<f64> = Vec::new();
+            let mut out = Vec::with_capacity(span.len());
+            for &id in *span {
+                if let Some(tile) = store.fetch_offline(id) {
+                    if tile.present_values_into(&cfg.attr, &mut vals).is_err() {
+                        vals.clear();
+                    }
+                    let img = tile_image(&tile, &cfg.attr, cfg.domain);
+                    out.push(TileHarvest {
+                        id,
+                        normal: normal_signature_from(&vals),
+                        hist: hist_signature_from(&vals, cfg.domain, cfg.hist_bins),
+                        sift: sift_descriptors(&img, cfg),
+                        dense: dense_descriptors(&img, cfg.dense_step, cfg.dense_radius),
+                    });
+                }
+            }
+            out
+        })
+        .collect();
+    let mut harvested: Vec<TileHarvest> = harvested.into_iter().flatten().collect();
+
+    // Concatenate the corpora (tile order, as sequential), remembering
+    // each tile's descriptor range so the histogram step can quantize
+    // straight out of the corpus without copies.
+    let mut sift_corpus: Vec<Vec<f64>> = Vec::new();
+    let mut dense_corpus: Vec<Vec<f64>> = Vec::new();
+    let mut ranges = Vec::with_capacity(harvested.len());
+    for t in &mut harvested {
+        let (s0, d0) = (sift_corpus.len(), dense_corpus.len());
+        sift_corpus.append(&mut t.sift);
+        dense_corpus.append(&mut t.dense);
+        ranges.push((s0..sift_corpus.len(), d0..dense_corpus.len()));
     }
     // Degenerate datasets (entirely flat) still need a non-empty corpus.
     if sift_corpus.is_empty() {
@@ -262,19 +332,23 @@ pub fn attach_signatures(
         cfg.seed ^ 0xD5,
     ));
 
-    // Pass 2: compute and store all four signatures per tile.
-    let computers: Vec<SignatureComputer> = vec![
-        SignatureComputer::stats(SignatureKind::NormalDist, cfg.clone()),
-        SignatureComputer::stats(SignatureKind::Hist1D, cfg.clone()),
-        SignatureComputer::vision(SignatureKind::Sift, cfg.clone(), sift_vocab.clone()),
-        SignatureComputer::vision(SignatureKind::DenseSift, cfg.clone(), dense_vocab.clone()),
-    ];
-    for id in pyramid.geometry().all_tiles() {
-        if let Some(tile) = store.fetch_offline(id) {
-            for c in &computers {
-                store.put_meta(id, c.name(), c.compute(&tile));
-            }
-        }
+    // Quantize the harvested descriptors and store in tile order
+    // (single-threaded: put_meta takes the metadata write lock and bumps
+    // the epoch; batching writes here keeps that serialization out of
+    // the parallel region).
+    for (t, (srange, drange)) in harvested.into_iter().zip(ranges) {
+        store.put_meta(t.id, SignatureKind::NormalDist.meta_name(), t.normal);
+        store.put_meta(t.id, SignatureKind::Hist1D.meta_name(), t.hist);
+        store.put_meta(
+            t.id,
+            SignatureKind::Sift.meta_name(),
+            sift_vocab.histogram(&sift_corpus[srange]),
+        );
+        store.put_meta(
+            t.id,
+            SignatureKind::DenseSift.meta_name(),
+            dense_vocab.histogram(&dense_corpus[drange]),
+        );
     }
     // Freeze the signature index now that the metadata map is complete,
     // so the first user request doesn't pay the build.

@@ -25,5 +25,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use protocol::{ClientMsg, ServerMsg, TilePayload};
+pub use protocol::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
 pub use server::{EngineFactory, Server, ServerConfig};

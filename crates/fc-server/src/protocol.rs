@@ -2,8 +2,38 @@
 //!
 //! Frame layout: `u32 LE payload length | u8 message tag | payload`.
 //! All integers little-endian; strings are `u16 LE length + UTF-8`.
+//!
+//! # Zero-copy tile codec and frame reuse
+//!
+//! `ServerMsg::Tile` carries `attrs × h·w` f64 columns; the codec moves
+//! them in bulk instead of value-at-a-time:
+//!
+//! * **encode** stages `f64::to_le_bytes` through a fixed 512-byte
+//!   chunk buffer, appending one contiguous copy per chunk — no
+//!   per-value writer calls, no per-value capacity checks. Frames are
+//!   pre-sized to their exact encoded length (each message's
+//!   `encoded_body_len`), so a frame is built in a single pass with at
+//!   most one buffer growth; the length prefix is patched afterwards
+//!   from the bytes actually written, so it can never disagree with
+//!   the body.
+//! * **decode** takes one zero-copy sub-view of the frame per attribute
+//!   column (`copy_to_bytes` shares the frame allocation) and converts
+//!   with `f64::from_le_bytes` over `chunks_exact(8)` — the only copy
+//!   is into the destination `Vec<f64>` itself.
+//!
+//! ## The [`FrameBuf`] reuse contract
+//!
+//! [`ClientMsg::encode`]/[`ServerMsg::encode`] allocate a fresh buffer
+//! per call. Steady-state senders (the per-session server loop, bulk
+//! benchmarks) should hold one [`FrameBuf`] and call
+//! `encode_into(&mut buf)` instead: the returned `&[u8]` is the framed
+//! message, valid until the next `encode_into` on the same buffer, and
+//! after warm-up encoding allocates nothing — the buffer retains the
+//! high-water capacity of the largest frame it has carried. A
+//! `FrameBuf` is plain reusable memory: it may be moved across
+//! messages, sessions, and threads freely.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use fc_tiles::{Move, TileId};
 use std::io::{self, Read, Write};
 
@@ -86,10 +116,57 @@ pub enum ServerMsg {
     },
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+/// A reusable frame-encoding buffer; see the module docs for the reuse
+/// contract. `encode_into` clears it, writes one exact-length frame, and
+/// returns the framed bytes; the allocation is retained across calls.
+#[derive(Debug, Default, Clone)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty buffer (first encode sizes it exactly).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retained capacity in bytes (the high-water frame size).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Clears and reserves for one frame of exactly `body_len` payload
+    /// bytes, writes a placeholder length prefix, and hands out the Vec.
+    fn start_frame(&mut self, body_len: usize) -> &mut Vec<u8> {
+        self.buf.clear();
+        self.buf.reserve(4 + body_len);
+        self.buf.extend_from_slice(&[0u8; 4]);
+        &mut self.buf
+    }
+
+    /// Patches the length prefix from the bytes actually encoded and
+    /// returns the frame. Deriving the prefix from reality (rather than
+    /// the predicted size) means an inconsistent payload — say `data`
+    /// columns shorter than `h·w` — still yields a self-consistent
+    /// frame the receiver rejects cleanly, never a desynced stream.
+    fn finish_frame(&mut self) -> &[u8] {
+        let body_len = u32::try_from(self.buf.len() - 4).expect("frame fits u32");
+        self.buf[..4].copy_from_slice(&body_len.to_le_bytes());
+        &self.buf
+    }
+
+    /// Consumes the buffer into an immutable [`Bytes`] (used by the
+    /// allocating `encode` wrappers; no copy).
+    fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
-    buf.put_u16_le(u16::try_from(bytes.len()).expect("string fits u16"));
-    buf.put_slice(bytes);
+    let len = u16::try_from(bytes.len()).expect("string fits u16");
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(bytes);
 }
 
 fn get_string(buf: &mut Bytes) -> io::Result<String> {
@@ -100,14 +177,44 @@ fn get_string(buf: &mut Bytes) -> io::Result<String> {
     if buf.remaining() < len {
         return Err(bad("truncated string body"));
     }
+    // `copy_to_bytes` is a shared sub-view; decode the UTF-8 straight
+    // from it so the only copy is into the returned String.
     let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| bad("invalid UTF-8"))
+    std::str::from_utf8(&raw)
+        .map(str::to_owned)
+        .map_err(|_| bad("invalid UTF-8"))
 }
 
-fn put_tile_id(buf: &mut BytesMut, t: TileId) {
-    buf.put_u8(t.level);
-    buf.put_u32_le(t.y);
-    buf.put_u32_le(t.x);
+fn put_tile_id(buf: &mut Vec<u8>, t: TileId) {
+    buf.push(t.level);
+    buf.extend_from_slice(&t.y.to_le_bytes());
+    buf.extend_from_slice(&t.x.to_le_bytes());
+}
+
+/// Bulk-appends a f64 column as little-endian bytes, staging
+/// `to_le_bytes` conversions through a fixed 64-value chunk so the copy
+/// into `out` is one `extend_from_slice` per 512 bytes instead of one
+/// writer call per value.
+fn put_f64_column(out: &mut Vec<u8>, values: &[f64]) {
+    let mut stage = [0u8; 512];
+    for chunk in values.chunks(64) {
+        for (slot, v) in stage.chunks_exact_mut(8).zip(chunk) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&stage[..chunk.len() * 8]);
+    }
+}
+
+/// Bulk-reads `n` little-endian f64s from the front of `buf` via a
+/// zero-copy sub-view; the destination `Vec` is the only copy made.
+fn get_f64_column(buf: &mut Bytes, n: usize) -> Vec<f64> {
+    debug_assert!(buf.remaining() >= n * 8);
+    let raw = buf.copy_to_bytes(n * 8);
+    let mut values = vec![0.0f64; n];
+    for (v, b) in values.iter_mut().zip(raw.chunks_exact(8)) {
+        *v = f64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+    }
+    values
 }
 
 fn get_tile_id(buf: &mut Bytes) -> io::Result<TileId> {
@@ -128,24 +235,42 @@ fn bad(msg: &str) -> io::Error {
 impl ClientMsg {
     /// Encodes into a framed byte buffer.
     pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::new();
+        let mut buf = FrameBuf::new();
+        self.encode_into(&mut buf);
+        buf.into_bytes()
+    }
+
+    /// Exact encoded payload size (without the 4-byte length prefix).
+    fn encoded_body_len(&self) -> usize {
+        match self {
+            ClientMsg::Hello { .. } => 1 + 4,
+            ClientMsg::RequestTile { .. } => 1 + 9 + 1,
+            ClientMsg::GetStats | ClientMsg::Bye => 1,
+        }
+    }
+
+    /// Encodes into a reusable [`FrameBuf`], returning the framed bytes
+    /// (valid until the next encode on the same buffer). Allocation-free
+    /// once the buffer has warmed to the largest frame it carries.
+    pub fn encode_into<'a>(&self, frame: &'a mut FrameBuf) -> &'a [u8] {
+        let body = frame.start_frame(self.encoded_body_len());
         match self {
             ClientMsg::Hello { prefetch_k } => {
-                body.put_u8(0);
-                body.put_u32_le(*prefetch_k);
+                body.push(0);
+                body.extend_from_slice(&prefetch_k.to_le_bytes());
             }
             ClientMsg::RequestTile { tile, mv } => {
-                body.put_u8(1);
-                put_tile_id(&mut body, *tile);
+                body.push(1);
+                put_tile_id(body, *tile);
                 match mv {
-                    Some(m) => body.put_u8(u8::try_from(m.index() + 1).expect("move id fits")),
-                    None => body.put_u8(0),
+                    Some(m) => body.push(u8::try_from(m.index() + 1).expect("move id fits")),
+                    None => body.push(0),
                 }
             }
-            ClientMsg::GetStats => body.put_u8(2),
-            ClientMsg::Bye => body.put_u8(3),
+            ClientMsg::GetStats => body.push(2),
+            ClientMsg::Bye => body.push(3),
         }
-        frame(body)
+        frame.finish_frame()
     }
 
     /// Decodes one unframed message body.
@@ -190,16 +315,44 @@ impl ClientMsg {
 impl ServerMsg {
     /// Encodes into a framed byte buffer.
     pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::new();
+        let mut buf = FrameBuf::new();
+        self.encode_into(&mut buf);
+        buf.into_bytes()
+    }
+
+    /// Exact encoded payload size (without the 4-byte length prefix).
+    fn encoded_body_len(&self) -> usize {
+        match self {
+            ServerMsg::Welcome { .. } => 1 + 1 + 4 + 4,
+            ServerMsg::Tile { payload, .. } => {
+                let ncells = payload.h as usize * payload.w as usize;
+                let columns: usize = payload
+                    .attrs
+                    .iter()
+                    .map(|name| 2 + name.len() + ncells * 8)
+                    .sum();
+                1 + 9 + 4 + 4 + 8 + 1 + 1 + 2 + columns + payload.present.len()
+            }
+            ServerMsg::Stats { .. } => 1 + 8 + 8 + 8,
+            ServerMsg::Error { reason } => 1 + 2 + reason.len(),
+        }
+    }
+
+    /// Encodes into a reusable [`FrameBuf`], returning the framed bytes
+    /// (valid until the next encode on the same buffer). The frame is
+    /// pre-sized to its exact length and f64 columns are appended with
+    /// bulk chunk copies, so steady-state encoding allocates nothing.
+    pub fn encode_into<'a>(&self, frame: &'a mut FrameBuf) -> &'a [u8] {
+        let body = frame.start_frame(self.encoded_body_len());
         match self {
             ServerMsg::Welcome {
                 levels,
                 deepest_tiles,
             } => {
-                body.put_u8(0);
-                body.put_u8(*levels);
-                body.put_u32_le(deepest_tiles.0);
-                body.put_u32_le(deepest_tiles.1);
+                body.push(0);
+                body.push(*levels);
+                body.extend_from_slice(&deepest_tiles.0.to_le_bytes());
+                body.extend_from_slice(&deepest_tiles.1.to_le_bytes());
             }
             ServerMsg::Tile {
                 payload,
@@ -207,38 +360,37 @@ impl ServerMsg {
                 cache_hit,
                 phase,
             } => {
-                body.put_u8(1);
-                put_tile_id(&mut body, payload.tile);
-                body.put_u32_le(payload.h);
-                body.put_u32_le(payload.w);
-                body.put_u64_le(*latency_ns);
-                body.put_u8(u8::from(*cache_hit));
-                body.put_u8(*phase);
-                body.put_u16_le(u16::try_from(payload.attrs.len()).expect("attr count"));
+                body.push(1);
+                put_tile_id(body, payload.tile);
+                body.extend_from_slice(&payload.h.to_le_bytes());
+                body.extend_from_slice(&payload.w.to_le_bytes());
+                body.extend_from_slice(&latency_ns.to_le_bytes());
+                body.push(u8::from(*cache_hit));
+                body.push(*phase);
+                let nattrs = u16::try_from(payload.attrs.len()).expect("attr count");
+                body.extend_from_slice(&nattrs.to_le_bytes());
                 for (name, values) in payload.attrs.iter().zip(&payload.data) {
-                    put_string(&mut body, name);
-                    for v in values {
-                        body.put_f64_le(*v);
-                    }
+                    put_string(body, name);
+                    put_f64_column(body, values);
                 }
-                body.put_slice(&payload.present);
+                body.extend_from_slice(&payload.present);
             }
             ServerMsg::Stats {
                 requests,
                 hits,
                 avg_latency_ns,
             } => {
-                body.put_u8(2);
-                body.put_u64_le(*requests);
-                body.put_u64_le(*hits);
-                body.put_u64_le(*avg_latency_ns);
+                body.push(2);
+                body.extend_from_slice(&requests.to_le_bytes());
+                body.extend_from_slice(&hits.to_le_bytes());
+                body.extend_from_slice(&avg_latency_ns.to_le_bytes());
             }
             ServerMsg::Error { reason } => {
-                body.put_u8(3);
-                put_string(&mut body, reason);
+                body.push(3);
+                put_string(body, reason);
             }
         }
-        frame(body)
+        frame.finish_frame()
     }
 
     /// Decodes one unframed message body.
@@ -270,7 +422,14 @@ impl ServerMsg {
                 let cache_hit = body.get_u8() != 0;
                 let phase = body.get_u8();
                 let nattrs = body.get_u16_le() as usize;
-                let ncells = (h as usize) * (w as usize);
+                // Bound the cell count before any size arithmetic: a
+                // crafted h×w near usize::MAX would wrap `ncells * 8`
+                // below and slip past the truncation checks. No valid
+                // frame can carry more than MAX_FRAME bytes anyway.
+                let ncells = (h as usize)
+                    .checked_mul(w as usize)
+                    .filter(|&n| n <= MAX_FRAME)
+                    .ok_or_else(|| bad("tile dimensions too large"))?;
                 let mut attrs = Vec::with_capacity(nattrs);
                 let mut data = Vec::with_capacity(nattrs);
                 for _ in 0..nattrs {
@@ -278,12 +437,8 @@ impl ServerMsg {
                     if body.remaining() < ncells * 8 {
                         return Err(bad("truncated attribute data"));
                     }
-                    let mut values = Vec::with_capacity(ncells);
-                    for _ in 0..ncells {
-                        values.push(body.get_f64_le());
-                    }
                     attrs.push(name);
-                    data.push(values);
+                    data.push(get_f64_column(&mut body, ncells));
                 }
                 if body.remaining() < ncells {
                     return Err(bad("truncated presence mask"));
@@ -321,18 +476,12 @@ impl ServerMsg {
     }
 }
 
-fn frame(body: BytesMut) -> Bytes {
-    let mut out = BytesMut::with_capacity(body.len() + 4);
-    out.put_u32_le(u32::try_from(body.len()).expect("frame fits u32"));
-    out.extend_from_slice(&body);
-    out.freeze()
-}
-
-/// Writes one framed message to a stream.
+/// Writes one framed message (as produced by `encode`/`encode_into`) to
+/// a stream.
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_frame<W: Write>(w: &mut W, framed: &Bytes) -> io::Result<()> {
+pub fn write_frame<W: Write>(w: &mut W, framed: &[u8]) -> io::Result<()> {
     w.write_all(framed)?;
     w.flush()
 }
@@ -363,6 +512,7 @@ pub fn unframe(framed: &Bytes) -> Bytes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::{BufMut, BytesMut};
     use fc_tiles::Quadrant;
 
     #[test]
@@ -438,6 +588,51 @@ mod tests {
         b.put_u32_le(0);
         b.put_u8(200);
         assert!(ClientMsg::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn oversized_tile_dimensions_rejected_without_allocating() {
+        // h=2^31, w=2^30 makes ncells*8 wrap on 64-bit; the decoder
+        // must return InvalidData, not attempt a huge allocation.
+        let mut b = BytesMut::new();
+        b.put_u8(1); // Tile tag
+        b.put_u8(0); // tile id
+        b.put_u32_le(0);
+        b.put_u32_le(0);
+        b.put_u32_le(0x8000_0000); // h
+        b.put_u32_le(0x4000_0000); // w
+        b.put_u64_le(0); // latency
+        b.put_u8(0); // cache_hit
+        b.put_u8(0); // phase
+        b.put_u16_le(1); // nattrs
+        b.put_u16_le(1); // attr name len
+        b.put_u8(b'v');
+        assert!(ServerMsg::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn inconsistent_payload_still_frames_consistently() {
+        // A payload whose data column is shorter than h·w is a caller
+        // bug, but the frame must still be self-consistent (prefix ==
+        // actual body) so the receiver rejects one message instead of
+        // desyncing the stream.
+        let msg = ServerMsg::Tile {
+            payload: TilePayload {
+                tile: TileId::ROOT,
+                h: 4,
+                w: 4,
+                attrs: vec!["v".into()],
+                data: vec![vec![1.0, 2.0]], // 2 values, not 16
+                present: vec![1; 16],
+            },
+            latency_ns: 1,
+            cache_hit: false,
+            phase: 0,
+        };
+        let framed = msg.encode();
+        let prefix = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;
+        assert_eq!(prefix, framed.len() - 4, "prefix matches actual body");
+        assert!(ServerMsg::decode(unframe(&framed)).is_err(), "rejected");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The threaded middleware server: one TCP connection = one user session
 //! with its own prediction engine and cache over the shared pyramid.
 
-use crate::protocol::{read_frame, write_frame, ClientMsg, ServerMsg, TilePayload};
+use crate::protocol::{read_frame, write_frame, ClientMsg, FrameBuf, ServerMsg, TilePayload};
 use fc_core::{LatencyProfile, Middleware, PredictionEngine};
 use fc_tiles::{Pyramid, Tile};
 use std::io;
@@ -145,6 +145,9 @@ fn serve_session(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut middleware: Option<Middleware> = None;
+    // One reusable frame buffer per session: steady-state replies encode
+    // with zero allocations (see protocol.rs, "FrameBuf reuse contract").
+    let mut frame = FrameBuf::new();
     loop {
         let body = match read_frame(&mut stream) {
             Ok(b) => b,
@@ -171,7 +174,7 @@ fn serve_session(
                     levels: g.levels,
                     deepest_tiles: g.tiles_at(g.levels - 1),
                 };
-                write_frame(&mut stream, &reply.encode())?;
+                write_frame(&mut stream, reply.encode_into(&mut frame))?;
             }
             ClientMsg::RequestTile { tile, mv } => {
                 let reply = match middleware.as_mut() {
@@ -190,7 +193,7 @@ fn serve_session(
                         },
                     },
                 };
-                write_frame(&mut stream, &reply.encode())?;
+                write_frame(&mut stream, reply.encode_into(&mut frame))?;
             }
             ClientMsg::GetStats => {
                 let reply = match middleware.as_ref() {
@@ -207,7 +210,7 @@ fn serve_session(
                         }
                     }
                 };
-                write_frame(&mut stream, &reply.encode())?;
+                write_frame(&mut stream, reply.encode_into(&mut frame))?;
             }
             ClientMsg::Bye => return Ok(()),
         }

@@ -1,0 +1,171 @@
+//! Property-based roundtrips for every `ClientMsg`/`ServerMsg` variant:
+//! encode → decode must reproduce the message exactly (bit-level for
+//! f64 payloads, NaN and ±∞ included), empty-attribute tiles must
+//! survive, and truncating any frame must be rejected, never panic or
+//! mis-decode.
+
+use bytes::Bytes;
+use fc_server::protocol::unframe;
+use fc_server::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
+use fc_tiles::{Move, TileId, MOVES};
+use proptest::prelude::*;
+
+/// Deterministic value stream mixing finite values with NaN, ±∞ and -0.
+fn payload_values(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            match i % 6 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                _ => (state % 100_000) as f64 / 7.0 - 5_000.0,
+            }
+        })
+        .collect()
+}
+
+fn tile_msg(level: u8, y: u32, x: u32, h: u32, w: u32, nattrs: usize, seed: u64) -> ServerMsg {
+    let ncells = (h * w) as usize;
+    ServerMsg::Tile {
+        payload: TilePayload {
+            tile: TileId::new(level, y, x),
+            h,
+            w,
+            attrs: (0..nattrs).map(|i| format!("attr_{i}")).collect(),
+            data: (0..nattrs)
+                .map(|i| payload_values(seed ^ (i as u64).wrapping_mul(0x9E37), ncells))
+                .collect(),
+            present: (0..ncells).map(|i| u8::from(i % 3 != 1)).collect(),
+        },
+        latency_ns: seed,
+        cache_hit: seed.is_multiple_of(2),
+        phase: (seed % 4) as u8,
+    }
+}
+
+/// Bit-level (NaN-safe) equality: re-encoding the decoded message must
+/// reproduce the original frame exactly.
+fn assert_reencode_identical(framed: &Bytes, decoded: &ServerMsg) {
+    let again = decoded.encode();
+    assert_eq!(&framed[..], &again[..], "re-encoded frame differs");
+}
+
+proptest! {
+    /// Every ClientMsg variant roundtrips; RequestTile covers all move
+    /// ids and the no-move case.
+    #[test]
+    fn client_variants_roundtrip(
+        k in any::<u32>(),
+        level in 0u8..12,
+        y in any::<u32>(),
+        x in any::<u32>(),
+        mv in 0usize..10,
+    ) {
+        let mv = if mv >= MOVES.len() { None } else { Some(Move::from_index(mv)) };
+        let msgs = [
+            ClientMsg::Hello { prefetch_k: k },
+            ClientMsg::RequestTile { tile: TileId::new(level, y, x), mv },
+            ClientMsg::GetStats,
+            ClientMsg::Bye,
+        ];
+        for m in msgs {
+            let dec = ClientMsg::decode(unframe(&m.encode()))
+                .expect("valid frame decodes");
+            prop_assert_eq!(dec, m);
+        }
+    }
+
+    /// Welcome / Stats / Error roundtrip across their whole domains.
+    #[test]
+    fn simple_server_variants_roundtrip(
+        levels in any::<u8>(),
+        ty in any::<u32>(),
+        tx in any::<u32>(),
+        requests in any::<u64>(),
+        hits in any::<u64>(),
+        avg in any::<u64>(),
+        reason_len in 0usize..64,
+    ) {
+        let msgs = [
+            ServerMsg::Welcome { levels, deepest_tiles: (ty, tx) },
+            ServerMsg::Stats { requests, hits, avg_latency_ns: avg },
+            ServerMsg::Error { reason: "e".repeat(reason_len) },
+        ];
+        for m in msgs {
+            let dec = ServerMsg::decode(unframe(&m.encode()))
+                .expect("valid frame decodes");
+            prop_assert_eq!(dec, m);
+        }
+    }
+
+    /// Tile payloads — NaN, ±∞, -0.0, multi-attribute, empty-attribute,
+    /// and zero-cell tiles — roundtrip bit-exactly through both the
+    /// allocating and the FrameBuf-reusing encoder.
+    #[test]
+    fn tile_payloads_roundtrip_bit_exact(
+        level in 0u8..10,
+        y in 0u32..1000,
+        x in 0u32..1000,
+        h in 0u32..6,
+        w in 0u32..6,
+        nattrs in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let msg = tile_msg(level, y, x, h, w, nattrs, seed);
+        let framed = msg.encode();
+        let mut buf = FrameBuf::new();
+        let reused = msg.encode_into(&mut buf);
+        prop_assert_eq!(&framed[..], reused, "encode vs encode_into");
+        let dec = ServerMsg::decode(unframe(&framed)).expect("valid frame decodes");
+        assert_reencode_identical(&framed, &dec);
+        if let (ServerMsg::Tile { payload: a, .. }, ServerMsg::Tile { payload: b, .. }) =
+            (&msg, &dec)
+        {
+            prop_assert_eq!(&a.attrs, &b.attrs);
+            prop_assert_eq!(&a.present, &b.present);
+        } else {
+            panic!("decoded to a different variant");
+        }
+    }
+
+    /// Truncating any valid frame of any variant at any byte yields a
+    /// decode error — never a panic, never a bogus success.
+    #[test]
+    fn truncated_frames_rejected(
+        cut in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let client_msgs = [
+            ClientMsg::Hello { prefetch_k: 7 },
+            ClientMsg::RequestTile {
+                tile: TileId::new(2, 1, 3),
+                mv: Some(Move::from_index((seed % MOVES.len() as u64) as usize)),
+            },
+            ClientMsg::GetStats,
+            ClientMsg::Bye,
+        ];
+        for m in client_msgs {
+            let body = unframe(&m.encode());
+            if cut < body.len() {
+                prop_assert!(ClientMsg::decode(body.slice(..body.len() - cut)).is_err());
+            }
+        }
+        let server_msgs = [
+            ServerMsg::Welcome { levels: 4, deepest_tiles: (8, 8) },
+            tile_msg(3, 1, 2, 3, 3, 2, seed),
+            ServerMsg::Stats { requests: 10, hits: 8, avg_latency_ns: 5 },
+            ServerMsg::Error { reason: "broken pipe".into() },
+        ];
+        for m in server_msgs {
+            let body = unframe(&m.encode());
+            if cut < body.len() {
+                prop_assert!(ServerMsg::decode(body.slice(..body.len() - cut)).is_err());
+            }
+        }
+    }
+}

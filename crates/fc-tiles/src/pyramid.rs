@@ -11,10 +11,15 @@ use crate::id::TileId;
 use crate::store::{MetadataComputer, TileStore};
 use crate::tile::Tile;
 use fc_array::{
-    regrid_with, subarray, AggFn, ArrayError, Database, DenseArray, IoMode, LatencyModel, Result,
-    Schema, SimClock,
+    extract_block_2d, regrid_with, AggFn, ArrayError, Database, DenseArray, IoMode, LatencyModel,
+    Result, Schema, SimClock,
 };
+use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Tile count per level above which tile cutting fans out across worker
+/// threads; below it, thread spawn-up would outweigh the row copies.
+const PARTITION_PAR_MIN_TILES: usize = 256;
 
 /// How one attribute aggregates when building coarser levels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +202,13 @@ impl PyramidBuilder {
         Ok(pyramid)
     }
 
+    /// Cuts one materialized level into `tile_h × tile_w` tiles with
+    /// [`extract_block_2d`] (row-wise contiguous copies; ragged edge
+    /// tiles come back already padded to the nominal size with empty
+    /// cells, so "all tiles have the same dimensions" — §2.3). Large
+    /// levels cut tiles in parallel; metadata computers and store
+    /// inserts run afterwards in row-major tile order either way, so
+    /// the build is deterministic.
     fn partition_level(
         &self,
         view: &DenseArray,
@@ -205,83 +217,41 @@ impl PyramidBuilder {
         store: &TileStore,
     ) -> Result<()> {
         let (rows, cols) = geometry.tiles_at(level);
-        let shape = view.shape();
-        for ty in 0..rows {
-            for tx in 0..cols {
-                let y0 = ty as usize * geometry.tile_h;
-                let x0 = tx as usize * geometry.tile_w;
-                let y1 = (y0 + geometry.tile_h).min(shape[0]);
-                let x1 = (x0 + geometry.tile_w).min(shape[1]);
-                let block = subarray(view, &[(y0, y1), (x0, x1)])?;
-                // Pad ragged edge tiles to the nominal size with empty
-                // cells so "all tiles have the same dimensions" (§2.3).
-                let block = pad_to(&block, geometry.tile_h, geometry.tile_w)?;
-                let tile = Tile::new(TileId::new(level, ty, tx), block);
-                for c in &self.computers {
-                    let value = c.compute(&tile);
-                    store.put_meta(tile.id, c.name(), value);
-                }
-                store.put_tile(tile);
+        let ids: Vec<TileId> = (0..rows)
+            .flat_map(|ty| (0..cols).map(move |tx| TileId::new(level, ty, tx)))
+            .collect();
+        let cut = |id: &TileId| -> Result<Tile> {
+            let block = extract_block_2d(
+                view,
+                id.y as usize * geometry.tile_h,
+                id.x as usize * geometry.tile_w,
+                geometry.tile_h,
+                geometry.tile_w,
+            )?;
+            Ok(Tile::new(*id, block))
+        };
+        let tiles: Vec<Result<Tile>> = if ids.len() >= PARTITION_PAR_MIN_TILES {
+            ids.par_iter().with_min_len(1).map(cut).collect()
+        } else {
+            ids.iter().map(cut).collect()
+        };
+        for tile in tiles {
+            let tile = tile?;
+            for c in &self.computers {
+                let value = c.compute(&tile);
+                store.put_meta(tile.id, c.name(), value);
             }
+            store.put_tile(tile);
         }
         Ok(())
     }
 }
 
-/// Keeps only the attributes in `aggs` (in that order).
+/// Keeps only the attributes in `aggs` (in that order) via the columnar
+/// `fc_array::project`.
 fn project(base: &DenseArray, aggs: &[AttrAgg]) -> Result<DenseArray> {
-    let schema = base.schema();
-    let dims: Vec<(String, usize)> = schema
-        .dims
-        .iter()
-        .map(|d| (d.name.clone(), d.len))
-        .collect();
-    let out_schema = Schema::new(
-        schema.name.clone(),
-        dims,
-        aggs.iter().map(|a| a.attr.clone()),
-    )?;
-    let mut out = DenseArray::empty(out_schema);
-    let idxs: Vec<usize> = aggs
-        .iter()
-        .map(|a| schema.attr_index(&a.attr))
-        .collect::<Result<_>>()?;
-    let mut values = vec![0.0f64; idxs.len()];
-    for c in base.cells() {
-        for (vi, &ai) in idxs.iter().enumerate() {
-            values[vi] = c.attr(ai);
-        }
-        out.fill_cell(c.index(), &values)?;
-    }
-    Ok(out)
-}
-
-/// Pads `block` with empty cells to exactly `h × w`.
-fn pad_to(block: &DenseArray, h: usize, w: usize) -> Result<DenseArray> {
-    let shape = block.shape();
-    if shape[0] == h && shape[1] == w {
-        return Ok(block.clone());
-    }
-    let schema = Schema::new(
-        block.schema().name.clone(),
-        [
-            (block.schema().dims[0].name.clone(), h),
-            (block.schema().dims[1].name.clone(), w),
-        ],
-        block.schema().attrs.iter().map(|a| a.name.clone()),
-    )?;
-    let mut out = DenseArray::empty(schema);
-    let nattrs = block.schema().attrs.len();
-    let mut values = vec![0.0f64; nattrs];
-    for c in block.cells() {
-        let co = c.coords();
-        for (ai, v) in values.iter_mut().enumerate() {
-            *v = c.attr(ai);
-        }
-        let idx = out.schema().flat_index(&co)?;
-        out.fill_cell(idx, &values)?;
-    }
-    Ok(out)
+    let names: Vec<&str> = aggs.iter().map(|a| a.attr.as_str()).collect();
+    fc_array::project(base, &names)
 }
 
 /// Lifts a 1-D array (e.g. a time series) to the 2-D `[y=1, x]` layout the

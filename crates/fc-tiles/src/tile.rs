@@ -31,8 +31,22 @@ impl Tile {
     /// # Errors
     /// [`fc_array::ArrayError::UnknownName`] when the attribute is absent.
     pub fn present_values(&self, attr: &str) -> fc_array::Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.present_values_into(attr, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Tile::present_values`], but clears and fills a caller-owned
+    /// buffer — lets batch signature computation reuse one allocation
+    /// across tiles.
+    ///
+    /// # Errors
+    /// [`fc_array::ArrayError::UnknownName`] when the attribute is absent.
+    pub fn present_values_into(&self, attr: &str, out: &mut Vec<f64>) -> fc_array::Result<()> {
         let ai = self.array.schema().attr_index(attr)?;
-        Ok(self.array.cells().map(|c| c.attr(ai)).collect())
+        out.clear();
+        out.extend(self.array.cells().map(|c| c.attr(ai)));
+        Ok(())
     }
 
     /// Renders `attr` as a row-major grayscale raster in `[0, 1]`,
