@@ -12,7 +12,7 @@
 //!   (4 signatures × 64 candidates × 16 ROI tiles): the seed
 //!   implementation (string-keyed clone-per-pair store, reproduced
 //!   verbatim), the retained `meta_vec` reference path, and the frozen
-//!   [`SignatureIndex`] fast path;
+//!   [`fc_tiles::SignatureIndex`] fast path;
 //! * `engine_predict_per_s` — steady-state two-level
 //!   `PredictionEngine::predict` throughput (k = 5);
 //! * `middleware_requests_per_s` — full `Middleware::request` cycles

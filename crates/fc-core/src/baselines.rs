@@ -1,4 +1,4 @@
-//! The comparison baselines from Doshi et al. [8], as described in §5.2.3.
+//! The comparison baselines from Doshi et al. \[8\], as described in §5.2.3.
 //!
 //! * **Momentum** — "assumes that the user's next move will be the same
 //!   as her previous move. … the tile matching the user's previous move

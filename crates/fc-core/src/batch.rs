@@ -1,0 +1,490 @@
+//! Cross-session predict batching (the multi-user serving core).
+//!
+//! One analyst's candidate set at prediction distance 1 is at most 24
+//! tiles — far below the ≥ 512-candidate threshold where the SB
+//! recommender's rayon fan-out pays for itself (`sb.rs`,
+//! `SB_PAR_MIN_CANDIDATES`). A busy server, however, runs many
+//! sessions whose predicts arrive *together*. The
+//! [`PredictScheduler`] exploits that: concurrent sessions submit
+//! their candidate/ROI sets, a short rendezvous coalesces them into
+//! **one** [`SbRecommender::distances_batched_into`] call per tick,
+//! and every session gets back exactly the ranking it would have
+//! computed alone (per-job normalization keeps the batch
+//! bit-identical to per-session predicts — a golden test enforces it).
+//!
+//! # Rendezvous protocol (group commit)
+//!
+//! The first session to submit becomes the **tick leader**. With the
+//! default zero window it computes the pending batch *immediately* —
+//! no timed wait — while jobs submitted during its compute accumulate
+//! for the next tick, whose leader is the first of them. Batch size
+//! therefore adapts to load (one job when idle, most of the registered
+//! sessions when saturated) without adding latency at low
+//! concurrency: this is group commit, not a barrier. Setting
+//! [`BatchConfig::window`] non-zero makes the leader additionally wait
+//! up to that long for every registered session to join — a fan-in
+//! hint for multi-core hosts chasing maximal batch width. Followers
+//! just enqueue and sleep on the condvar until the leader deposits
+//! their results.
+//!
+//! # Allocation discipline
+//!
+//! The scheduler owns one [`PredictScratch`] plus pooled job and
+//! output buffers, all recycled through the state mutex: at a steady
+//! session count the submit → batch → result cycle allocates only the
+//! final ranked `Vec<TileId>` handed to each caller (the same
+//! allocation the unbatched path makes), keeping `predict`
+//! allocation-free under fan-in.
+
+use crate::sb::{sort_scored, PredictScratch, SbBatchJob, SbRecommender};
+use fc_tiles::{Pyramid, TileId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchConfig {
+    /// Extra fan-in time a tick leader waits for the remaining
+    /// registered sessions before computing. Zero (the default) is
+    /// pure group commit: the leader computes whatever is pending and
+    /// later arrivals form the next tick — the right setting when
+    /// cores are scarce. A non-zero window trades per-predict latency
+    /// for wider batches (more rayon headroom) on multi-core hosts.
+    pub window: Duration,
+    /// Upper bound on jobs folded into one tick (0 = no bound beyond
+    /// the registered-session count).
+    pub max_batch: usize,
+}
+
+/// Counters describing scheduler behaviour (monotonic, lock-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Batch ticks executed.
+    pub batches: u64,
+    /// Jobs served across all ticks.
+    pub jobs: u64,
+    /// Largest single tick, in jobs.
+    pub largest_batch: usize,
+    /// Candidates scored across all ticks (the quantity the rayon
+    /// threshold sees).
+    pub batched_candidates: u64,
+}
+
+/// One queued predict job: the submitting session's candidate set and
+/// resolved reference tiles, plus the ticket its result is filed under.
+#[derive(Debug, Default)]
+struct PendingJob {
+    ticket: u64,
+    candidates: Vec<TileId>,
+    roi: Vec<TileId>,
+}
+
+/// Mutex-guarded scheduler state (see module docs for the protocol).
+#[derive(Debug, Default)]
+struct SchedState {
+    next_ticket: u64,
+    /// Jobs awaiting the current tick.
+    pending: Vec<PendingJob>,
+    /// Results for followers, keyed by ticket.
+    results: HashMap<u64, Vec<TileId>>,
+    /// Whether a leader is collecting the current tick.
+    leader_active: bool,
+    /// Whether that leader is inside its fan-in wait (submitters only
+    /// notify the condvar then, sparing the thundering herd when the
+    /// window is zero).
+    leader_waiting: bool,
+    /// Batch scratch, recycled across ticks.
+    scratch: PredictScratch,
+    /// Per-job distance outputs, recycled across ticks.
+    outs: Vec<Vec<(TileId, f64)>>,
+    /// Recycled job buffers (candidates/roi capacity survives).
+    job_pool: Vec<PendingJob>,
+}
+
+/// Coalesces concurrent sessions' SB predictions into one batched
+/// distance computation per tick. Construct one per served pyramid and
+/// share it (`Arc`) across session threads; results are bit-identical
+/// to unbatched per-session prediction.
+///
+/// The scheduler's [`SbRecommender`] must be configured identically to
+/// the sessions' own (same signature weights and flags) — the engine
+/// factory that builds session engines should also supply this model,
+/// e.g. via [`crate::engine::PredictionEngine::sb_model`].
+pub struct PredictScheduler {
+    sb: SbRecommender,
+    pyramid: Arc<Pyramid>,
+    cfg: BatchConfig,
+    /// Sessions currently registered (the leader's fan-in target).
+    registered: AtomicUsize,
+    state: Mutex<SchedState>,
+    /// Std condvar: the parking_lot shim's guards are std guards, so
+    /// they interoperate directly.
+    cv: Condvar,
+    batches: AtomicU64,
+    jobs_total: AtomicU64,
+    largest: AtomicUsize,
+    cands_total: AtomicU64,
+}
+
+impl std::fmt::Debug for PredictScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictScheduler")
+            .field("registered", &self.registered.load(Ordering::Relaxed))
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PredictScheduler {
+    /// Creates a scheduler for sessions exploring `pyramid`, using `sb`
+    /// (a clone of the sessions' SB model) for the batched scoring.
+    pub fn new(sb: SbRecommender, pyramid: Arc<Pyramid>, cfg: BatchConfig) -> Self {
+        Self {
+            sb,
+            pyramid,
+            cfg,
+            registered: AtomicUsize::new(0),
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+            batches: AtomicU64::new(0),
+            jobs_total: AtomicU64::new(0),
+            largest: AtomicUsize::new(0),
+            cands_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a session: the fan-in target every tick leader waits
+    /// for grows by one. Pair with [`Self::unregister`].
+    pub fn register(&self) {
+        self.registered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unregisters a session (a leader mid-wait re-reads the target,
+    /// so departures never wedge a tick past its window).
+    pub fn unregister(&self) {
+        self.registered.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of registered sessions.
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs_total.load(Ordering::Relaxed),
+            largest_batch: self.largest.load(Ordering::Relaxed),
+            batched_candidates: self.cands_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ranks `candidates` against `refs` (the session's ROI, or its
+    /// current tile when no ROI is committed), joining — or leading —
+    /// the current batch tick. Blocks until the tick containing this
+    /// job completes; the returned ranking is bit-identical to
+    /// [`SbRecommender::rank_indexed`] on the same inputs.
+    pub fn rank(&self, candidates: &[TileId], refs: &[TileId]) -> Vec<TileId> {
+        let (ticket, leading, wake_leader) = {
+            let mut g = self.state.lock();
+            let ticket = g.next_ticket;
+            g.next_ticket += 1;
+            let mut job = g.job_pool.pop().unwrap_or_default();
+            job.ticket = ticket;
+            job.candidates.clear();
+            job.candidates.extend_from_slice(candidates);
+            job.roi.clear();
+            job.roi.extend_from_slice(refs);
+            g.pending.push(job);
+            let leading = !g.leader_active;
+            if leading {
+                g.leader_active = true;
+            }
+            (ticket, leading, g.leader_waiting)
+        };
+        if wake_leader {
+            // A leader is in its fan-in wait: let it see the new job.
+            self.cv.notify_all();
+        }
+        if leading {
+            self.lead(ticket)
+        } else {
+            self.follow(ticket)
+        }
+    }
+
+    /// Leader path: (optionally) wait for fan-in, compute the batch,
+    /// deposit the followers' results, return our own.
+    fn lead(&self, ticket: u64) -> Vec<TileId> {
+        let mut g = self.state.lock();
+        if !self.cfg.window.is_zero() {
+            let deadline = Instant::now() + self.cfg.window;
+            g.leader_waiting = true;
+            loop {
+                let mut target = self.registered.load(Ordering::Relaxed).max(1);
+                if self.cfg.max_batch > 0 {
+                    target = target.min(self.cfg.max_batch);
+                }
+                if g.pending.len() >= target {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g2, _timeout) = self
+                    .cv
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = g2;
+            }
+            g.leader_waiting = false;
+        }
+        let jobs = std::mem::take(&mut g.pending);
+        let mut scratch = std::mem::take(&mut g.scratch);
+        let mut outs = std::mem::take(&mut g.outs);
+        // The next submitter may start collecting the following tick
+        // while we compute this one outside the lock.
+        g.leader_active = false;
+        drop(g);
+
+        let ncands: usize = jobs.iter().map(|j| j.candidates.len()).sum();
+        // The compute runs under `catch_unwind`: a panicking leader
+        // must still deposit *something* for its followers (empty
+        // rankings) before re-raising, or every coalesced session
+        // would sleep on the condvar forever.
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let store = self.pyramid.store();
+            let mut ranked: Vec<(u64, Vec<TileId>)> = Vec::with_capacity(jobs.len());
+            match store.signature_index() {
+                Some(index) => {
+                    let jobrefs: Vec<SbBatchJob<'_>> = jobs
+                        .iter()
+                        .map(|j| SbBatchJob {
+                            candidates: &j.candidates,
+                            roi: &j.roi,
+                        })
+                        .collect();
+                    self.sb
+                        .distances_batched_into(&index, &jobrefs, &mut scratch, &mut outs);
+                    for (j, job) in jobs.iter().enumerate() {
+                        sort_scored(&mut outs[j]);
+                        ranked.push((job.ticket, outs[j].iter().map(|&(t, _)| t).collect()));
+                    }
+                }
+                // Metadata-free store: fall back to the locked
+                // reference path per job (identical to the sessions'
+                // own fallback).
+                None => {
+                    for job in &jobs {
+                        let mut scored = self.sb.distances(store, &job.candidates, &job.roi);
+                        sort_scored(&mut scored);
+                        ranked.push((job.ticket, scored.into_iter().map(|(t, _)| t).collect()));
+                    }
+                }
+            }
+            ranked
+        }));
+        let ranked = match computed {
+            Ok(r) => r,
+            Err(payload) => {
+                // Unwedge the followers with empty rankings (the
+                // possibly-poisoned scratch/outs are dropped, not
+                // returned to the pool), then re-raise on this thread.
+                let mut g = self.state.lock();
+                for job in &jobs {
+                    if job.ticket != ticket {
+                        g.results.insert(job.ticket, Vec::new());
+                    }
+                }
+                drop(g);
+                self.cv.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        };
+
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs_total
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.largest.fetch_max(jobs.len(), Ordering::Relaxed);
+        self.cands_total.fetch_add(ncands as u64, Ordering::Relaxed);
+
+        let mut mine = Vec::new();
+        let mut g = self.state.lock();
+        for (t, r) in ranked {
+            if t == ticket {
+                mine = r;
+            } else {
+                g.results.insert(t, r);
+            }
+        }
+        g.job_pool.extend(jobs);
+        g.scratch = scratch;
+        g.outs = outs;
+        drop(g);
+        self.cv.notify_all();
+        mine
+    }
+
+    /// Follower path: sleep until the tick leader deposits our result.
+    fn follow(&self, ticket: u64) -> Vec<TileId> {
+        let mut g = self.state.lock();
+        loop {
+            if let Some(r) = g.results.remove(&ticket) {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureKind;
+    use crate::{SbConfig, SbRecommender};
+    use fc_array::{DenseArray, Schema};
+    use fc_tiles::{PyramidBuilder, PyramidConfig, TileId};
+
+    fn pyramid(with_sigs: bool) -> Arc<Pyramid> {
+        let schema = Schema::grid2d("G", 64, 64, &["v"]).unwrap();
+        let data: Vec<f64> = (0..64 * 64).map(|i| (i % 64) as f64 / 64.0).collect();
+        let base = DenseArray::from_vec(schema, data).unwrap();
+        let p = PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(3, 16, &["v"]))
+            .unwrap();
+        if with_sigs {
+            for id in p.geometry().all_tiles() {
+                let v = f64::from(id.x % 3) / 3.0;
+                p.store()
+                    .put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+            }
+        }
+        Arc::new(p)
+    }
+
+    fn scheduler(p: &Arc<Pyramid>) -> PredictScheduler {
+        PredictScheduler::new(
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            p.clone(),
+            BatchConfig::default(),
+        )
+    }
+
+    #[test]
+    fn single_session_rank_matches_unbatched() {
+        let p = pyramid(true);
+        let s = scheduler(&p);
+        s.register();
+        let g = p.geometry();
+        let cands = g.candidates(TileId::new(2, 2, 2), 1);
+        let refs = [TileId::new(2, 2, 2)];
+        let batched = s.rank(&cands, &refs);
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let ix = p.store().signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::new();
+        sb.distances_indexed_into(&ix, &cands, &refs, &mut scratch, &mut out);
+        sort_scored(&mut out);
+        let direct: Vec<TileId> = out.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(batched, direct);
+        assert_eq!(s.stats().batches, 1);
+        assert_eq!(s.stats().jobs, 1);
+        s.unregister();
+    }
+
+    #[test]
+    fn concurrent_sessions_coalesce_and_agree_with_solo_ranking() {
+        let p = pyramid(true);
+        let s = Arc::new(scheduler(&p));
+        let g = p.geometry();
+        const N: usize = 8;
+        for _ in 0..N {
+            s.register();
+        }
+        let results: Vec<(usize, Vec<TileId>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N)
+                .map(|i| {
+                    let s = s.clone();
+                    let tile = TileId::new(2, (i % 4) as u32, (i / 4 + 1) as u32);
+                    scope.spawn(move || {
+                        let cands = g.candidates(tile, 1);
+                        let refs = [tile];
+                        (i, s.rank(&cands, &refs))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every session's ranking equals its solo computation.
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let ix = p.store().signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        for (i, ranked) in &results {
+            let tile = TileId::new(2, (i % 4) as u32, (i / 4 + 1) as u32);
+            let cands = g.candidates(tile, 1);
+            let mut out = Vec::new();
+            sb.distances_indexed_into(&ix, &cands, &[tile], &mut scratch, &mut out);
+            sort_scored(&mut out);
+            let solo: Vec<TileId> = out.into_iter().map(|(t, _)| t).collect();
+            assert_eq!(ranked, &solo, "session {i}");
+        }
+        let st = s.stats();
+        assert_eq!(st.jobs, N as u64);
+        assert!(st.batches <= N as u64);
+        assert!(st.largest_batch >= 1);
+        for _ in 0..N {
+            s.unregister();
+        }
+    }
+
+    #[test]
+    fn leader_panic_reraises_and_scheduler_stays_usable() {
+        let p = pyramid(false);
+        // Infinite metadata drives χ² to ∞/∞ = NaN (NaN inputs are
+        // skipped by the zero-bin guard, but ∞ passes it), so
+        // sort_scored's finite-distance expectation fires inside the
+        // leader's compute.
+        for id in p.geometry().all_tiles() {
+            p.store().put_meta(
+                id,
+                SignatureKind::Hist1D.meta_name(),
+                vec![f64::INFINITY, 0.5],
+            );
+        }
+        let s = scheduler(&p);
+        s.register();
+        let cands = [TileId::new(2, 1, 1), TileId::new(2, 1, 2)];
+        let refs = [TileId::new(2, 1, 0)];
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.rank(&cands, &refs)));
+        assert!(panicked.is_err(), "NaN distances must still panic");
+        // The tick's state was cleaned up: a later rank (with sane
+        // metadata) leads a fresh batch instead of wedging.
+        for id in p.geometry().all_tiles() {
+            let v = f64::from(id.x % 3) / 3.0;
+            p.store()
+                .put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+        }
+        let ranked = s.rank(&cands, &refs);
+        assert_eq!(ranked.len(), 2);
+        s.unregister();
+    }
+
+    #[test]
+    fn metadata_free_store_falls_back_to_reference_path() {
+        let p = pyramid(false);
+        let s = scheduler(&p);
+        s.register();
+        let cands = [TileId::new(2, 1, 1), TileId::new(2, 1, 2)];
+        let refs = [TileId::new(2, 1, 0)];
+        let ranked = s.rank(&cands, &refs);
+        assert_eq!(ranked.len(), 2);
+        s.unregister();
+    }
+}

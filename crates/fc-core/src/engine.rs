@@ -151,10 +151,50 @@ impl PredictionEngine {
     /// Predicts with an externally supplied phase (used when evaluating
     /// the bottom level against hand-labeled phases, §5.4.2).
     pub fn predict_with_phase(&mut self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
+        self.predict_inner(store, phase, k, None)
+    }
+
+    /// Like [`Self::predict`], but the SB ranking is computed through
+    /// the shared [`crate::batch::PredictScheduler`], coalescing with other sessions'
+    /// concurrent predicts into one batched distance sweep. The result
+    /// is bit-identical to [`Self::predict`] (per-job normalization in
+    /// the batch; golden-tested). `scheduler` must be built over the
+    /// same pyramid as `store` and with the same SB configuration as
+    /// this engine (see [`Self::sb_model`]).
+    pub fn predict_batched(
+        &mut self,
+        scheduler: &crate::batch::PredictScheduler,
+        store: &TileStore,
+        k: usize,
+    ) -> Vec<TileId> {
+        self.predict_inner(store, self.current_phase(), k, Some(scheduler))
+    }
+
+    /// [`Self::predict_with_phase`] through the shared scheduler.
+    pub fn predict_batched_with_phase(
+        &mut self,
+        scheduler: &crate::batch::PredictScheduler,
+        store: &TileStore,
+        phase: Phase,
+        k: usize,
+    ) -> Vec<TileId> {
+        self.predict_inner(store, phase, k, Some(scheduler))
+    }
+
+    fn predict_inner(
+        &mut self,
+        store: &TileStore,
+        phase: Phase,
+        k: usize,
+        scheduler: Option<&crate::batch::PredictScheduler>,
+    ) -> Vec<TileId> {
         let Some(last) = self.history.last() else {
             return Vec::new();
         };
         let last = *last;
+        // Refreshed before `ctx` borrows the engine; steady state is
+        // one atomic load (unused on the scheduler path, which owns
+        // its own index refresh).
         let index = self.refresh_sig_cache(store);
         let candidates = self.geometry.candidates(last.tile, self.config.distance);
         let ctx = PredictionContext {
@@ -171,13 +211,35 @@ impl PredictionEngine {
         } else {
             Vec::new()
         };
-        // SB: frozen-index fast path when metadata exists; the locked
-        // reference path only serves metadata-free stores.
-        let sb_list = match &index {
-            Some(ix) => self.sb.rank_indexed(&ctx, ix, &mut self.scratch),
-            None => self.sb.rank(&ctx),
+        let sb_list = match scheduler {
+            // Cross-session path: the scheduler owns index refresh and
+            // scratch; we resolve the reference set (ROI, or the
+            // current tile before any ROI commits) exactly as
+            // `rank_indexed` would.
+            Some(s) => {
+                let fallback = [last.tile];
+                let refs: &[TileId] = if ctx.roi.is_empty() {
+                    &fallback
+                } else {
+                    ctx.roi
+                };
+                s.rank(&candidates, refs)
+            }
+            // SB: frozen-index fast path when metadata exists; the
+            // locked reference path only serves metadata-free stores.
+            None => match &index {
+                Some(ix) => self.sb.rank_indexed(&ctx, ix, &mut self.scratch),
+                None => self.sb.rank(&ctx),
+            },
         };
         merge_allocated(&ab_list, &sb_list, ab_slots, sb_slots)
+    }
+
+    /// The engine's SB model (e.g. to clone into a
+    /// [`crate::batch::PredictScheduler`] so the batched and local
+    /// paths share one configuration).
+    pub fn sb_model(&self) -> &SbRecommender {
+        &self.sb
     }
 
     /// The session history (read-only).

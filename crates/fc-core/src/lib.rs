@@ -17,12 +17,20 @@
 //!   the per-recommender prefetch allocations; [`middleware::Middleware`]
 //!   ties engine + cache + backend store together and accounts latency
 //!   on the simulated clock (19.5 ms hit / 984 ms miss by default).
+//! * The multi-user serving core extends §6.2 beyond the paper:
+//!   [`multiuser`] holds the lock-striped [`multiuser::SharedTileCache`]
+//!   (power-of-two shards, per-shard LRU clocks, globally repartitioned
+//!   prefetch budgets) next to the retained single-mutex golden
+//!   reference, and [`batch`] coalesces concurrent sessions' SB
+//!   predictions into one batched sweep per tick, bit-identical to
+//!   per-session prediction.
 
 #![warn(missing_docs)]
 
 pub mod ab;
 pub mod alloc;
 pub mod baselines;
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod features;
@@ -39,13 +47,16 @@ pub mod signature;
 pub use ab::AbRecommender;
 pub use alloc::AllocationStrategy;
 pub use baselines::{HotspotRecommender, MomentumRecommender};
+pub use batch::{BatchConfig, PredictScheduler, SchedulerStats};
 pub use cache::{CacheManager, CacheStats};
 pub use engine::{EngineConfig, PredictionEngine};
 pub use features::{phase_features, FEATURE_NAMES, NUM_FEATURES};
 pub use history::{Request, SessionHistory};
 pub use latency::LatencyProfile;
-pub use middleware::{Middleware, MiddlewareStats, Response};
-pub use multiuser::{SessionId, SharedCacheStats, SharedTileCache};
+pub use middleware::{Middleware, MiddlewareStats, Response, SharedSessionHandle};
+pub use multiuser::{
+    MultiUserCache, SessionId, SharedCacheStats, SharedTileCache, SingleMutexTileCache,
+};
 pub use phase::{Phase, PhaseClassifier};
 pub use recommender::{PredictionContext, Recommender};
 pub use roi::RoiTracker;

@@ -8,15 +8,17 @@
 //! 3. re-evaluates the allocation strategy and prefetches the engine's
 //!    top-k tiles into the cache for the *next* request.
 
+use crate::batch::PredictScheduler;
 use crate::cache::{CacheManager, CacheStats};
 use crate::engine::PredictionEngine;
 use crate::history::Request;
 use crate::latency::LatencyProfile;
+use crate::multiuser::{MultiUserCache, SessionId};
 use crate::phase::Phase;
 use fc_tiles::{Pyramid, Tile, TileId};
 use rayon::prelude::*;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fan the prefetch-fetch loop out across cores only for bulk budgets;
 /// interactive budgets (k ≤ 9) stay on the sequential path where the
@@ -37,6 +39,65 @@ pub struct Response {
     pub phase: Phase,
     /// Tiles prefetched after answering (for the next request).
     pub prefetched: Vec<TileId>,
+    /// Wall time the prediction-engine call took (includes any
+    /// cross-session batch rendezvous) — the quantity `exp_multiuser`
+    /// reports percentiles of.
+    pub predict_time: Duration,
+}
+
+/// A session's membership in the multi-user serving layer: its slot in
+/// the shared tile cache, plus (optionally) the cross-session predict
+/// scheduler it coalesces with. Dropping the handle closes the session
+/// — holds release, the prefetch budget repartitions across the
+/// remaining sessions, and the scheduler's fan-in target shrinks.
+pub struct SharedSessionHandle {
+    cache: Arc<dyn MultiUserCache>,
+    id: SessionId,
+    scheduler: Option<Arc<PredictScheduler>>,
+}
+
+impl std::fmt::Debug for SharedSessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSessionHandle")
+            .field("id", &self.id)
+            .field("batched", &self.scheduler.is_some())
+            .finish()
+    }
+}
+
+impl SharedSessionHandle {
+    /// Opens a session on `cache` (and registers with `scheduler` when
+    /// cross-session batching is enabled).
+    pub fn open(cache: Arc<dyn MultiUserCache>, scheduler: Option<Arc<PredictScheduler>>) -> Self {
+        let id = cache.open_session();
+        if let Some(s) = &scheduler {
+            s.register();
+        }
+        Self {
+            cache,
+            id,
+            scheduler,
+        }
+    }
+
+    /// The session's id within the shared cache.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The shared cache this session participates in.
+    pub fn cache(&self) -> &Arc<dyn MultiUserCache> {
+        &self.cache
+    }
+}
+
+impl Drop for SharedSessionHandle {
+    fn drop(&mut self) {
+        if let Some(s) = &self.scheduler {
+            s.unregister();
+        }
+        self.cache.close_session(self.id);
+    }
 }
 
 /// Aggregate middleware statistics.
@@ -81,6 +142,10 @@ pub struct Middleware {
     /// Prefetch budget k (tiles fetched ahead per request).
     k: usize,
     stats: MiddlewareStats,
+    /// Multi-user mode: prefetched tiles go to the shared cache (under
+    /// the session's fair budget slice) instead of the private
+    /// prefetch set, and predictions may coalesce with other sessions.
+    shared: Option<SharedSessionHandle>,
 }
 
 impl std::fmt::Debug for Middleware {
@@ -111,7 +176,33 @@ impl Middleware {
             profile,
             k,
             stats: MiddlewareStats::default(),
+            shared: None,
         }
+    }
+
+    /// Creates a middleware session in multi-user mode: lookups fall
+    /// back to the shared tile cache (earning cross-session hits),
+    /// prefetched tiles install into it under the session's fair
+    /// budget slice, and — when the handle carries a scheduler —
+    /// predictions coalesce with other sessions' into batched SB
+    /// sweeps. The private cache still keeps the last `history_cache`
+    /// requested tiles, as in single-user mode.
+    pub fn new_shared(
+        engine: PredictionEngine,
+        pyramid: Arc<Pyramid>,
+        profile: LatencyProfile,
+        history_cache: usize,
+        k: usize,
+        shared: SharedSessionHandle,
+    ) -> Self {
+        let mut mw = Self::new(engine, pyramid, profile, history_cache, k);
+        mw.shared = Some(shared);
+        mw
+    }
+
+    /// The session's multi-user membership, when in shared mode.
+    pub fn shared(&self) -> Option<&SharedSessionHandle> {
+        self.shared.as_ref()
     }
 
     /// Serves one tile request. The `mv` is the interface move that
@@ -122,8 +213,17 @@ impl Middleware {
         if !self.pyramid.geometry().contains(id) {
             return None;
         }
-        // 1. Serve the tile.
-        let (tile, latency, cache_hit) = match self.cache.lookup(id) {
+        // 1. Serve the tile: private cache, then the shared cache
+        // (another session may have prefetched it — the §6.2 sharing
+        // benefit), then the backend.
+        let shared_probe = match self.cache.lookup(id) {
+            Some(t) => Some(t),
+            None => self
+                .shared
+                .as_ref()
+                .and_then(|sh| sh.cache.lookup(sh.id, id)),
+        };
+        let (tile, latency, cache_hit) = match shared_probe {
             Some(t) => {
                 self.pyramid.store().clock().advance(self.profile.hit);
                 (t, self.profile.hit, true)
@@ -143,13 +243,30 @@ impl Middleware {
         let phase = self.engine.current_phase();
 
         // 3. Re-evaluate allocations and prefetch for the next request.
-        let predictions = self.engine.predict(self.pyramid.store(), self.k);
+        let predict_start = Instant::now();
+        let predictions = match self.shared.as_ref().and_then(|sh| sh.scheduler.clone()) {
+            Some(sched) => self
+                .engine
+                .predict_batched(&sched, self.pyramid.store(), self.k),
+            None => self.engine.predict(self.pyramid.store(), self.k),
+        };
+        let predict_time = predict_start.elapsed();
         let store = self.pyramid.store();
-        let to_fetch: Vec<TileId> = predictions
+        let mut to_fetch: Vec<TileId> = predictions
             .iter()
             .copied()
-            .filter(|p| !self.cache.contains(*p))
+            .filter(|p| {
+                !self.cache.contains(*p)
+                    && self.shared.as_ref().is_none_or(|sh| !sh.cache.contains(*p))
+            })
             .collect();
+        // Shared mode: install() keeps at most the session's fair
+        // budget slice, so fetching past it would charge backend I/O
+        // for tiles the cache immediately discards. Predictions are
+        // ranked best-first; the cap keeps the best.
+        if let Some(sh) = &self.shared {
+            to_fetch.truncate(sh.cache.session_budget());
+        }
         // Prefetch I/O happens while the user analyzes the current tile;
         // it costs backend time (accounted on the shared clock) but not
         // user-visible latency. The fetches are independent reads of the
@@ -173,8 +290,22 @@ impl Middleware {
             .collect();
         store.clock().advance(fetched.iter().map(|(_, c)| *c).sum());
         let prefetched_ids: Vec<TileId> = fetched.iter().map(|(t, _)| t.id).collect();
-        self.cache
-            .install_prefetch(fetched.into_iter().map(|(t, _)| t).collect());
+        let fetched_tiles: Vec<Arc<Tile>> = fetched.into_iter().map(|(t, _)| t).collect();
+        match &self.shared {
+            // Shared mode: the prefetch set lives in the communal
+            // cache (capped at this session's fair budget slice).
+            // `hold` covers predictions already resident — fetched by
+            // this session earlier or by *another* session — so the
+            // whole prediction list is protected from eviction until
+            // the next request, when `retain_for` re-partitions the
+            // hold set to the new list.
+            Some(sh) => {
+                sh.cache.install(sh.id, fetched_tiles);
+                sh.cache.hold(sh.id, &predictions);
+                sh.cache.retain_for(sh.id, &predictions);
+            }
+            None => self.cache.install_prefetch(fetched_tiles),
+        }
 
         self.stats.requests += 1;
         if cache_hit {
@@ -189,6 +320,7 @@ impl Middleware {
             cache_hit,
             phase,
             prefetched: prefetched_ids,
+            predict_time,
         })
     }
 

@@ -24,6 +24,12 @@
 //! of a frozen [`SignatureIndex`] with all tile/key lookups hoisted out
 //! of the triple loop and every buffer reused from a caller-owned
 //! [`PredictScratch`] — no locks, no signature copies, no allocation.
+//! [`SbRecommender::distances_batched_into`] generalizes the hot path
+//! to several sessions' jobs at once: one shared pair-matrix fill
+//! (so the rayon fan-out engages on the summed candidate count) with
+//! per-job normalization, keeping every job bit-identical to its
+//! standalone run — see [`crate::batch::PredictScheduler`] for the
+//! cross-session rendezvous built on it.
 //! Both paths produce **bit-identical** distances for tiles inside
 //! the index's geometry: they perform the same floating-point
 //! operations in the same order (index rows are zero-padded, and χ²
@@ -102,6 +108,38 @@ pub struct PredictScratch {
     sq: Vec<f64>,
     /// Scored candidates, reused by [`SbRecommender::rank_indexed`].
     scored: Vec<(TileId, f64)>,
+    /// Per-job layout descriptors for the batched fill.
+    descs: Vec<JobDesc>,
+    /// Job index per flat candidate across the batch.
+    job_of: Vec<u32>,
+}
+
+/// One session's slice of a cross-session predict batch: its candidate
+/// set scored against its own reference (ROI) tiles. Jobs in one batch
+/// share a single pair-matrix fill but are normalized and combined
+/// independently, so each job's distances are bit-identical to running
+/// [`SbRecommender::distances_indexed_into`] on that job alone.
+#[derive(Debug, Clone, Copy)]
+pub struct SbBatchJob<'a> {
+    /// Candidate tiles to score.
+    pub candidates: &'a [TileId],
+    /// Reference tiles (the session's ROI, or its current tile).
+    pub roi: &'a [TileId],
+}
+
+/// Offsets of one job's slices inside the flat batch scratch buffers.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobDesc {
+    /// Candidate count.
+    nc: usize,
+    /// Reference-tile count.
+    nr: usize,
+    /// First flat candidate index (into `cand_rows` / pair blocks).
+    cand_off: usize,
+    /// Offset into `roi_offsets` (job occupies `nsig * nr` entries).
+    roioff_off: usize,
+    /// Offset into `penalties`/`denoms` (job occupies `nc * nr`).
+    pen_off: usize,
 }
 
 /// Sentinel for "no row" in the hoisted offset tables.
@@ -199,74 +237,146 @@ impl SbRecommender {
         scratch: &mut PredictScratch,
         out: &mut Vec<(TileId, f64)>,
     ) {
-        let nsig = self.cfg.weights.len();
-        let (nc, nr) = (candidates.len(), roi.len());
-        let block = nsig * nr; // one candidate's contiguous block
+        let job = SbBatchJob { candidates, roi };
+        let stride = self.batch_fill(index, std::slice::from_ref(&job), scratch);
+        out.clear();
+        self.combine_job(0, &job, stride, scratch, out);
+    }
 
-        // Hoisted lookups, each performed once per call instead of once
-        // per pair inside the triple loop:
-        // candidate dense indices …
-        scratch.cand_rows.clear();
-        scratch.cand_rows.extend(
-            candidates
-                .iter()
-                .map(|&t| index.dense_index(t).unwrap_or(NO_ROW)),
-        );
-        // … ROI row offsets per signature …
-        scratch.roi_offsets.clear();
-        for &key in &self.keys {
-            let mat = index.matrix(key);
-            scratch.roi_offsets.extend(roi.iter().map(|&b| {
-                index
-                    .dense_index(b)
-                    .and_then(|d| mat.and_then(|m| m.row_offset(d)))
-                    .unwrap_or(NO_ROW)
-            }));
+    /// Algorithm 3 over several sessions' jobs at once — the
+    /// cross-session batching entry point. All jobs share **one**
+    /// pair-matrix fill (the expensive χ² sweep), so the rayon fan-out
+    /// engages on the *total* candidate count across sessions
+    /// (≥ `SB_PAR_MIN_CANDIDATES`, 512) even when each individual session
+    /// brings an interactive-sized candidate set. Normalization maxima
+    /// and the combine pass stay **per job**, so `outs[j]` is
+    /// bit-identical to calling [`Self::distances_indexed_into`] with
+    /// job `j` alone.
+    ///
+    /// `outs` is resized to `jobs.len()`; inner vectors are reused
+    /// across calls (allocation-free at a steady batch shape).
+    pub fn distances_batched_into(
+        &self,
+        index: &SignatureIndex,
+        jobs: &[SbBatchJob<'_>],
+        scratch: &mut PredictScratch,
+        outs: &mut Vec<Vec<(TileId, f64)>>,
+    ) {
+        let stride = self.batch_fill(index, jobs, scratch);
+        outs.resize_with(jobs.len(), Vec::new);
+        outs.truncate(jobs.len());
+        for (j, job) in jobs.iter().enumerate() {
+            let mut out = std::mem::take(&mut outs[j]);
+            out.clear();
+            self.combine_job(j, job, stride, scratch, &mut out);
+            outs[j] = out;
         }
-        // … and the signature-independent pair geometry: the Manhattan
-        // penalty and the physical-distance denominator share one
-        // level-projection per pair instead of recomputing it in the
-        // combine loop.
+    }
+
+    /// The shared batch core: hoists per-job lookups, fills every
+    /// candidate's penalized-χ² block (flat across jobs, parallel past
+    /// [`SB_PAR_MIN_CANDIDATES`] total candidates), then normalizes
+    /// per job (Algorithm 3 lines 2 + 10-11). Returns the per-candidate
+    /// block stride (`nsig × max_j nr_j`; blocks of jobs with fewer
+    /// reference tiles are zero-padded at the tail and never read).
+    fn batch_fill(
+        &self,
+        index: &SignatureIndex,
+        jobs: &[SbBatchJob<'_>],
+        scratch: &mut PredictScratch,
+    ) -> usize {
+        let nsig = self.cfg.weights.len();
+        let nr_max = jobs.iter().map(|j| j.roi.len()).max().unwrap_or(0);
+        let stride = nsig * nr_max;
+
+        // Hoisted lookups, each performed once per batch instead of
+        // once per pair inside the triple loop:
+        scratch.descs.clear();
+        scratch.job_of.clear();
+        scratch.cand_rows.clear();
+        scratch.roi_offsets.clear();
         scratch.penalties.clear();
         scratch.denoms.clear();
-        for &a in candidates {
-            for &b in roi {
-                let level = a.level.max(b.level);
-                let pa = a.project_to(level);
-                let pb = b.project_to(level);
-                scratch.penalties.push(if self.cfg.manhattan_penalty {
-                    let dmanh = pa.y.abs_diff(pb.y) + pa.x.abs_diff(pb.x);
-                    exp2i(dmanh as i32 - 1)
-                } else {
-                    1.0
-                });
-                scratch.denoms.push(if self.cfg.physical_distance {
-                    let dy = f64::from(pa.y) - f64::from(pb.y);
-                    let dx = f64::from(pa.x) - f64::from(pb.x);
-                    (dy * dy + dx * dx).sqrt().max(1.0)
-                } else {
-                    1.0
-                });
+        let mut total_nc = 0usize;
+        for (j, job) in jobs.iter().enumerate() {
+            scratch.descs.push(JobDesc {
+                nc: job.candidates.len(),
+                nr: job.roi.len(),
+                cand_off: total_nc,
+                roioff_off: scratch.roi_offsets.len(),
+                pen_off: scratch.penalties.len(),
+            });
+            scratch
+                .job_of
+                .extend(std::iter::repeat_n(j as u32, job.candidates.len()));
+            // candidate dense indices …
+            scratch.cand_rows.extend(
+                job.candidates
+                    .iter()
+                    .map(|&t| index.dense_index(t).unwrap_or(NO_ROW)),
+            );
+            // … ROI row offsets per signature …
+            for &key in &self.keys {
+                let mat = index.matrix(key);
+                scratch.roi_offsets.extend(job.roi.iter().map(|&b| {
+                    index
+                        .dense_index(b)
+                        .and_then(|d| mat.and_then(|m| m.row_offset(d)))
+                        .unwrap_or(NO_ROW)
+                }));
             }
+            // … and the signature-independent pair geometry: the
+            // Manhattan penalty and the physical-distance denominator
+            // share one level-projection per pair instead of
+            // recomputing it in the combine loop.
+            for &a in job.candidates {
+                for &b in job.roi {
+                    let level = a.level.max(b.level);
+                    let pa = a.project_to(level);
+                    let pb = b.project_to(level);
+                    scratch.penalties.push(if self.cfg.manhattan_penalty {
+                        let dmanh = pa.y.abs_diff(pb.y) + pa.x.abs_diff(pb.x);
+                        exp2i(dmanh as i32 - 1)
+                    } else {
+                        1.0
+                    });
+                    scratch.denoms.push(if self.cfg.physical_distance {
+                        let dy = f64::from(pa.y) - f64::from(pb.y);
+                        let dx = f64::from(pa.x) - f64::from(pb.x);
+                        (dy * dy + dx * dx).sqrt().max(1.0)
+                    } else {
+                        1.0
+                    });
+                }
+            }
+            total_nc += job.candidates.len();
         }
 
         scratch.pair.clear();
-        scratch.pair.resize(nc * block, 0.0);
+        scratch.pair.resize(total_nc * stride, 0.0);
 
         // Fill the penalized χ² block of every candidate. Blocks are
-        // disjoint, so large batches (bulk replay / multi-user sweeps)
-        // fan out across cores; results are bit-identical to the
-        // sequential fill because each block's arithmetic is
-        // self-contained.
+        // disjoint, so large batches (bulk replay / coalesced
+        // multi-session predicts) fan out across cores; results are
+        // bit-identical to the sequential fill because each block's
+        // arithmetic is self-contained.
         let roi_offsets = &scratch.roi_offsets;
         let penalties = &scratch.penalties;
         let cand_rows = &scratch.cand_rows;
-        let fill = |ai: usize, chunk: &mut [f64]| {
-            let ra = cand_rows[ai];
-            let pen = &penalties[ai * nr..ai * nr + nr];
+        let descs = &scratch.descs;
+        let job_of = &scratch.job_of;
+        let fill = |fi: usize, chunk: &mut [f64]| {
+            let d = descs[job_of[fi] as usize];
+            let nr = d.nr;
+            if nr == 0 {
+                return;
+            }
+            let ai = fi - d.cand_off;
+            let ra = cand_rows[fi];
+            let pen = &penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
             for (i, &key) in self.keys.iter().enumerate() {
-                let out_row = &mut chunk[i * nr..i * nr + nr];
-                let offs = &roi_offsets[i * nr..i * nr + nr];
+                let out_row = &mut chunk[i * nr..(i + 1) * nr];
+                let offs = &roi_offsets[d.roioff_off + i * nr..d.roioff_off + (i + 1) * nr];
                 let mat_row = index.matrix(key).and_then(|m| {
                     let row = if ra != NO_ROW { m.row(ra) } else { None };
                     row.map(|r| (m, r))
@@ -285,66 +395,88 @@ impl SbRecommender {
                 }
             }
         };
-        if nc >= SB_PAR_MIN_CANDIDATES && block > 0 {
+        if stride > 0 && total_nc >= SB_PAR_MIN_CANDIDATES {
             scratch
                 .pair
-                .par_chunks_mut(block)
+                .par_chunks_mut(stride)
                 .with_min_len(1)
                 .enumerate()
-                .for_each(|(ai, chunk)| fill(ai, chunk));
-        } else {
-            for (ai, chunk) in scratch.pair.chunks_mut(block.max(1)).enumerate().take(nc) {
-                fill(ai, chunk);
+                .for_each(|(fi, chunk)| fill(fi, chunk));
+        } else if stride > 0 {
+            for (fi, chunk) in scratch.pair.chunks_mut(stride).enumerate() {
+                fill(fi, chunk);
             }
         }
 
-        // Line 2 + 10-11: per-signature maxima over the L1-resident
-        // pair buffer (`f64::max` is insensitive to accumulation order,
-        // so the parallel fill cannot change the result), then one
-        // vectorizable in-place normalize pass — each element divided
-        // once by its signature's max, exactly as the reference path.
-        scratch.maxes.clear();
-        scratch.maxes.resize(nsig, 1.0); // line 2: d_i,MAX ← 1
-        for ai_block in scratch.pair.chunks_exact(block.max(1)).take(nc) {
-            for i in 0..nsig {
-                for &v in &ai_block[i * nr..i * nr + nr] {
-                    scratch.maxes[i] = scratch.maxes[i].max(v);
+        // Line 2 + 10-11 **per job**: per-signature maxima over the
+        // job's pair blocks (`f64::max` is insensitive to accumulation
+        // order, so the parallel fill cannot change the result), then
+        // one vectorizable in-place normalize pass — each element
+        // divided once by its signature's max, exactly as the
+        // reference path. Jobs never share maxima: batching cannot
+        // change any session's normalization.
+        for j in 0..jobs.len() {
+            let d = scratch.descs[j];
+            if d.nr == 0 || d.nc == 0 {
+                continue;
+            }
+            scratch.maxes.clear();
+            scratch.maxes.resize(nsig, 1.0); // line 2: d_i,MAX ← 1
+            for ai in 0..d.nc {
+                let chunk = &scratch.pair[(d.cand_off + ai) * stride..];
+                for i in 0..nsig {
+                    for &v in &chunk[i * d.nr..(i + 1) * d.nr] {
+                        scratch.maxes[i] = scratch.maxes[i].max(v);
+                    }
+                }
+            }
+            for ai in 0..d.nc {
+                let base = (d.cand_off + ai) * stride;
+                for i in 0..nsig {
+                    let m = scratch.maxes[i];
+                    for v in &mut scratch.pair[base + i * d.nr..base + (i + 1) * d.nr] {
+                        *v /= m;
+                    }
                 }
             }
         }
-        for ai_block in scratch.pair.chunks_exact_mut(block.max(1)).take(nc) {
-            for i in 0..nsig {
-                let m = scratch.maxes[i];
-                for v in &mut ai_block[i * nr..i * nr + nr] {
-                    *v /= m;
-                }
-            }
-        }
+        stride
+    }
 
-        // Lines 12-15: weighted l2 combine, physical distance, sum over
-        // ROI — same operation order as `distances`. The per-pair
-        // `sq`/`t` phases are element-independent (vectorizable); only
-        // the final per-candidate sum is order-sensitive, and it runs
-        // in ROI order exactly like the reference path.
-        out.clear();
-        out.reserve(nc);
+    /// Lines 12-15 for one job: weighted l2 combine, physical
+    /// distance, sum over ROI — same operation order as `distances`.
+    /// The per-pair `sq`/`t` phases are element-independent
+    /// (vectorizable); only the final per-candidate sum is
+    /// order-sensitive, and it runs in ROI order exactly like the
+    /// reference path.
+    fn combine_job(
+        &self,
+        j: usize,
+        job: &SbBatchJob<'_>,
+        stride: usize,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<(TileId, f64)>,
+    ) {
+        let d = scratch.descs[j];
+        let nr = d.nr;
+        out.reserve(d.nc);
         let weights = &self.cfg.weights;
         scratch.sq.clear();
         scratch.sq.resize(nr, 0.0);
-        for (ai, &a) in candidates.iter().enumerate() {
-            let ai_block = &scratch.pair[ai * block..(ai + 1) * block];
+        for (ai, &a) in job.candidates.iter().enumerate() {
+            let base = (d.cand_off + ai) * stride;
             // Phase a: sq[bi] = Σ_i w_i · d², accumulated sig-major so
             // each addition matches the reference's i-order per pair.
             scratch.sq.iter_mut().for_each(|v| *v = 0.0);
             for (i, &(_, w)) in weights.iter().enumerate() {
-                let row = &ai_block[i * nr..i * nr + nr];
+                let row = &scratch.pair[base + i * nr..base + (i + 1) * nr];
                 for (bi, sqv) in scratch.sq.iter_mut().enumerate() {
-                    let d = row[bi];
-                    *sqv += w * d * d;
+                    let dv = row[bi];
+                    *sqv += w * dv * dv;
                 }
             }
             // Phase b+c: t = √sq / dphysical, summed in ROI order.
-            let denoms = &scratch.denoms[ai * nr..ai * nr + nr];
+            let denoms = &scratch.denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
             let mut total = 0.0f64;
             for (sqv, dn) in scratch.sq.iter().zip(denoms) {
                 total += sqv.sqrt() / dn;
@@ -425,7 +557,7 @@ fn combine_one(cfg: &SbConfig, a: TileId, roi: &[TileId], d: impl Fn(usize, usiz
 }
 
 /// Ascending by distance, candidate id as the deterministic tiebreak.
-fn sort_scored(scored: &mut [(TileId, f64)]) {
+pub(crate) fn sort_scored(scored: &mut [(TileId, f64)]) {
     scored.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)
             .expect("finite distances")

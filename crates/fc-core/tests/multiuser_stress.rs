@@ -1,0 +1,251 @@
+//! Concurrency and golden coverage for the lock-striped
+//! [`SharedTileCache`].
+//!
+//! * Golden: a 1-shard striped cache must be **indistinguishable** from
+//!   the retained [`SingleMutexTileCache`] reference after every
+//!   operation of a deterministic trace (same residency, same
+//!   popularity, same eviction count — hence the same victims in the
+//!   same order).
+//! * Golden: an N-shard cache must behave exactly like N independent
+//!   references, each running the hash-partition of the trace that
+//!   falls on its shard.
+//! * Stress: under multi-threaded install/lookup/retain/open/close
+//!   churn, capacity is never exceeded and the atomic stats balance
+//!   with per-thread ground truth.
+
+use fc_array::{DenseArray, Schema};
+use fc_core::{MultiUserCache, SharedTileCache, SingleMutexTileCache};
+use fc_tiles::{Tile, TileId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn tile(id: TileId) -> Arc<Tile> {
+    Arc::new(Tile::new(
+        id,
+        DenseArray::filled(Schema::grid2d("T", 2, 2, &["v"]).unwrap(), 1.0),
+    ))
+}
+
+/// Deterministic id stream covering several levels and coordinates.
+fn tid(i: u64) -> TileId {
+    TileId::new(
+        2 + (i % 3) as u8,
+        ((i * 7) % 13) as u32,
+        ((i * 11) % 17) as u32,
+    )
+}
+
+/// xorshift for deterministic pseudo-random op selection.
+fn rng(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Full observable state of a cache: sorted (id, popularity) residency
+/// plus counters.
+fn snapshot(c: &dyn MultiUserCache) -> (Vec<(TileId, u64)>, fc_core::SharedCacheStats, usize) {
+    let mut pop = c.popular(usize::MAX);
+    pop.sort();
+    (pop, c.stats(), c.len())
+}
+
+#[test]
+fn one_shard_matches_single_mutex_reference_step_by_step() {
+    let capacity = 6;
+    let sharded = SharedTileCache::with_shards(capacity, 1);
+    let reference = SingleMutexTileCache::new(capacity);
+    let caches: [&dyn MultiUserCache; 2] = [&sharded, &reference];
+
+    let mut sessions = Vec::new();
+    for _ in 0..3 {
+        let (a, b) = (sharded.open_session(), reference.open_session());
+        assert_eq!(a, b, "session ids allocate identically");
+        sessions.push(a);
+    }
+
+    let mut state = 0x5eed_cafe_u64;
+    for step in 0..600 {
+        let s = sessions[(rng(&mut state) % sessions.len() as u64) as usize];
+        match rng(&mut state) % 5 {
+            0 | 1 => {
+                // Install a small batch (may exceed budget: both must
+                // truncate identically).
+                let n = 1 + rng(&mut state) % 4;
+                let ids: Vec<u64> = (0..n).map(|_| rng(&mut state) % 40).collect();
+                let installed: Vec<usize> = caches
+                    .iter()
+                    .map(|c| c.install(s, ids.iter().map(|&i| tile(tid(i))).collect()))
+                    .collect();
+                assert_eq!(installed[0], installed[1], "step {step}");
+            }
+            2 => {
+                let id = tid(rng(&mut state) % 40);
+                let hit: Vec<bool> = caches.iter().map(|c| c.lookup(s, id).is_some()).collect();
+                assert_eq!(hit[0], hit[1], "step {step}");
+            }
+            3 => {
+                let keep: Vec<TileId> = (0..rng(&mut state) % 5)
+                    .map(|_| tid(rng(&mut state) % 40))
+                    .collect();
+                for c in caches {
+                    c.retain_for(s, &keep);
+                }
+            }
+            _ => {
+                // Session churn: close one, open a replacement.
+                for c in caches {
+                    c.close_session(s);
+                }
+                let (a, b) = (sharded.open_session(), reference.open_session());
+                assert_eq!(a, b);
+                let idx = sessions.iter().position(|&x| x == s).unwrap();
+                sessions[idx] = a;
+            }
+        }
+        let (pop_a, stats_a, len_a) = snapshot(&sharded);
+        let (pop_b, stats_b, len_b) = snapshot(&reference);
+        assert_eq!(pop_a, pop_b, "residency+popularity diverged at step {step}");
+        assert_eq!(stats_a, stats_b, "stats diverged at step {step}");
+        assert_eq!(len_a, len_b);
+        assert_eq!(sharded.session_budget(), reference.session_budget());
+        assert!(len_a <= capacity);
+    }
+    // The trace must actually have exercised eviction.
+    assert!(sharded.stats().evictions > 0, "trace never evicted");
+}
+
+#[test]
+fn n_shards_decompose_into_per_shard_references() {
+    let capacity = 16;
+    let shards = 4;
+    let sharded = SharedTileCache::with_shards(capacity, shards);
+    // Mirror the exact partition: base slots + one extra for the first
+    // `capacity % shards` shards.
+    let (base, extra) = (capacity / shards, capacity % shards);
+    let minis: Vec<SingleMutexTileCache> = (0..shards)
+        .map(|i| SingleMutexTileCache::new(base + usize::from(i < extra)))
+        .collect();
+
+    let s = sharded.open_session();
+    let mini_sessions: Vec<_> = minis.iter().map(|m| m.open_session()).collect();
+
+    let mut state = 0xfeed_f00d_u64;
+    for step in 0..400 {
+        match rng(&mut state) % 4 {
+            0 | 1 => {
+                // One tile per install keeps every sub-batch within the
+                // mini caches' budgets, so truncation never diverges.
+                let id = tid(rng(&mut state) % 60);
+                let sh = sharded.shard_of(id);
+                let a = sharded.install(s, vec![tile(id)]);
+                let b = minis[sh].install(mini_sessions[sh], vec![tile(id)]);
+                assert_eq!(a, b, "step {step}");
+            }
+            2 => {
+                let id = tid(rng(&mut state) % 60);
+                let sh = sharded.shard_of(id);
+                let a = sharded.lookup(s, id).is_some();
+                let b = minis[sh].lookup(mini_sessions[sh], id).is_some();
+                assert_eq!(a, b, "step {step}");
+            }
+            _ => {
+                let keep: Vec<TileId> = (0..rng(&mut state) % 6)
+                    .map(|_| tid(rng(&mut state) % 60))
+                    .collect();
+                sharded.retain_for(s, &keep);
+                for (m, &ms) in minis.iter().zip(&mini_sessions) {
+                    m.retain_for(ms, &keep);
+                }
+            }
+        }
+        // Global state must equal the union of the per-shard references.
+        let (pop, stats, len) = snapshot(&sharded);
+        let mut ref_pop: Vec<(TileId, u64)> = Vec::new();
+        let mut ref_evictions = 0usize;
+        let mut ref_len = 0usize;
+        for m in &minis {
+            ref_pop.extend(m.popular(usize::MAX));
+            ref_evictions += m.stats().evictions;
+            ref_len += m.len();
+        }
+        ref_pop.sort();
+        assert_eq!(pop, ref_pop, "residency diverged at step {step}");
+        assert_eq!(
+            stats.evictions, ref_evictions,
+            "evictions diverged at step {step}"
+        );
+        assert_eq!(len, ref_len);
+        assert!(len <= capacity, "capacity exceeded at step {step}");
+    }
+    assert!(sharded.stats().evictions > 0, "trace never evicted");
+}
+
+#[test]
+fn concurrent_stress_keeps_capacity_and_stats_balanced() {
+    let capacity = 64;
+    let cache = Arc::new(SharedTileCache::with_shards(capacity, 8));
+    let threads = 8;
+    let steps = 400;
+    let lookups = Arc::new(AtomicUsize::new(0));
+    let installed = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = cache.clone();
+            let lookups = lookups.clone();
+            let installed = installed.clone();
+            scope.spawn(move || {
+                let mut state = 0xabcd_0000_u64 + t as u64;
+                let mut session = cache.open_session();
+                for _ in 0..steps {
+                    match rng(&mut state) % 6 {
+                        0 | 1 => {
+                            let n = 1 + rng(&mut state) % 6;
+                            let tiles: Vec<_> =
+                                (0..n).map(|_| tile(tid(rng(&mut state) % 200))).collect();
+                            installed.fetch_add(cache.install(session, tiles), Ordering::Relaxed);
+                        }
+                        2 | 3 => {
+                            let _ = cache.lookup(session, tid(rng(&mut state) % 200));
+                            lookups.fetch_add(1, Ordering::Relaxed);
+                        }
+                        4 => {
+                            let keep: Vec<TileId> = (0..rng(&mut state) % 4)
+                                .map(|_| tid(rng(&mut state) % 200))
+                                .collect();
+                            cache.retain_for(session, &keep);
+                        }
+                        _ => {
+                            cache.close_session(session);
+                            session = cache.open_session();
+                        }
+                    }
+                    // The capacity invariant must hold at every moment,
+                    // not just at quiescence.
+                    assert!(cache.len() <= capacity, "capacity exceeded mid-stress");
+                }
+                cache.close_session(session);
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups.load(Ordering::Relaxed),
+        "every lookup is exactly one hit or one miss"
+    );
+    assert!(stats.cross_session_hits <= stats.hits);
+    // No removal path but eviction: what came in and is gone was evicted.
+    assert_eq!(
+        installed.load(Ordering::Relaxed) - cache.len(),
+        stats.evictions,
+        "installs - residents == evictions"
+    );
+    assert_eq!(cache.session_count(), 0, "all sessions closed");
+    // Capacity pressure was real.
+    assert!(stats.evictions > 0);
+    assert_eq!(cache.len(), capacity.min(cache.len()));
+}

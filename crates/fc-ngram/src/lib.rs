@@ -3,7 +3,7 @@
 //! The paper's Action-Based (AB) recommender "builds an n-th order Markov
 //! chain from users' past actions" and fills in missing counts with
 //! "Kneser-Ney smoothing, a well-studied smoothing method in natural
-//! language processing" (§4.3.2, [7] Chen & Goodman 1999), using the
+//! language processing" (§4.3.2, \[7\] Chen & Goodman 1999), using the
 //! BerkeleyLM Java library. This crate is that substrate, implemented
 //! from scratch:
 //!

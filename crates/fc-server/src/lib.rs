@@ -15,7 +15,11 @@
 //!   session with its own [`fc_core::Middleware`] (prediction engine +
 //!   cache) over a shared tile pyramid, supporting many concurrent
 //!   users (§5.5: "many users can actively navigate the data freely and
-//!   in parallel");
+//!   in parallel"); with [`server::ServerConfig::multi_user`] set,
+//!   sessions additionally share the lock-striped
+//!   [`fc_core::SharedTileCache`] (communal prefetches, fairly
+//!   repartitioned budgets) and the cross-session
+//!   [`fc_core::PredictScheduler`];
 //! * [`client`] — a blocking client for Rust front-ends and tests.
 
 #![warn(missing_docs)]
@@ -26,4 +30,4 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
-pub use server::{EngineFactory, Server, ServerConfig};
+pub use server::{EngineFactory, MultiUserServing, Server, ServerConfig};

@@ -1,8 +1,16 @@
 //! The threaded middleware server: one TCP connection = one user session
-//! with its own prediction engine and cache over the shared pyramid.
+//! with its own prediction engine over the shared pyramid. In
+//! multi-user mode ([`ServerConfig::multi_user`]) sessions additionally
+//! share a lock-striped tile cache (prefetches are communal; the
+//! per-session budget re-partitions as sessions come and go) and a
+//! cross-session predict scheduler that coalesces concurrent sessions'
+//! SB rankings into one batched sweep per tick.
 
 use crate::protocol::{read_frame, write_frame, ClientMsg, FrameBuf, ServerMsg, TilePayload};
-use fc_core::{LatencyProfile, Middleware, PredictionEngine};
+use fc_core::{
+    BatchConfig, LatencyProfile, Middleware, MultiUserCache, PredictScheduler, PredictionEngine,
+    SharedCacheStats, SharedSessionHandle, SharedTileCache,
+};
 use fc_tiles::{Pyramid, Tile};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -11,10 +19,38 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Builds a fresh prediction engine per session (sessions must not share
-/// history/ROI state; §6.2 notes multi-user prediction sharing as future
-/// work).
+/// Builds a fresh prediction engine per session (sessions never share
+/// history/ROI state; what *is* shared in multi-user mode — the tile
+/// cache and the predict batch — carries no per-session model state).
 pub type EngineFactory = Arc<dyn Fn() -> PredictionEngine + Send + Sync>;
+
+/// Multi-user serving parameters (see `fc_core::multiuser` for the
+/// sharding invariants and `fc_core::batch` for the rendezvous).
+#[derive(Debug, Clone)]
+pub struct MultiUserServing {
+    /// Total shared-cache capacity in tiles, partitioned exactly
+    /// across shards and fairly across sessions.
+    pub cache_capacity: usize,
+    /// Shard count (power of two); 0 picks the default striping.
+    pub shards: usize,
+    /// Whether concurrent sessions' predicts coalesce into batched SB
+    /// sweeps.
+    pub batch_predicts: bool,
+    /// Extra fan-in time a batch leader waits for the other sessions;
+    /// zero (default) is pure group commit — see `fc_core::batch`.
+    pub batch_window: Duration,
+}
+
+impl Default for MultiUserServing {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 4096,
+            shards: 0,
+            batch_predicts: true,
+            batch_window: Duration::ZERO,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +61,9 @@ pub struct ServerConfig {
     pub history_cache: usize,
     /// Default prefetch budget when the client's Hello doesn't set one.
     pub default_k: usize,
+    /// Multi-user serving core; `None` keeps the fully-isolated
+    /// per-session caches of the paper's single-analyst architecture.
+    pub multi_user: Option<MultiUserServing>,
 }
 
 impl Default for ServerConfig {
@@ -33,8 +72,15 @@ impl Default for ServerConfig {
             profile: LatencyProfile::paper(),
             history_cache: 4,
             default_k: 5,
+            multi_user: None,
         }
     }
+}
+
+/// The shared multi-user serving state: one per server.
+struct SharedServing {
+    cache: Arc<dyn MultiUserCache>,
+    scheduler: Option<Arc<PredictScheduler>>,
 }
 
 /// A running ForeCache server.
@@ -43,6 +89,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     active_sessions: Arc<AtomicUsize>,
+    shared: Option<Arc<SharedServing>>,
 }
 
 impl Server {
@@ -62,8 +109,32 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active_sessions = Arc::new(AtomicUsize::new(0));
+        let shared = config.multi_user.as_ref().map(|mu| {
+            let cache: Arc<dyn MultiUserCache> = Arc::new(if mu.shards == 0 {
+                SharedTileCache::new(mu.cache_capacity)
+            } else {
+                SharedTileCache::with_shards(mu.cache_capacity, mu.shards)
+            });
+            // The scheduler's SB model must match the sessions': probe
+            // the factory once and clone its model.
+            let scheduler = if mu.batch_predicts {
+                let probe = engines();
+                Some(Arc::new(PredictScheduler::new(
+                    probe.sb_model().clone(),
+                    pyramid.clone(),
+                    BatchConfig {
+                        window: mu.batch_window,
+                        max_batch: 0,
+                    },
+                )))
+            } else {
+                None
+            };
+            Arc::new(SharedServing { cache, scheduler })
+        });
         let accept_shutdown = shutdown.clone();
         let accept_sessions = active_sessions.clone();
+        let accept_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || {
             accept_loop(
                 listener,
@@ -72,6 +143,7 @@ impl Server {
                 config,
                 accept_shutdown,
                 accept_sessions,
+                accept_shared,
             );
         });
         Ok(Server {
@@ -79,7 +151,22 @@ impl Server {
             shutdown,
             accept_thread: Some(accept_thread),
             active_sessions,
+            shared,
         })
+    }
+
+    /// Shared-cache statistics (hits/misses/cross-session hits /
+    /// evictions) when running in multi-user mode.
+    pub fn shared_cache_stats(&self) -> Option<SharedCacheStats> {
+        self.shared.as_ref().map(|s| s.cache.stats())
+    }
+
+    /// Cross-session predict-scheduler statistics when batching is on.
+    pub fn scheduler_stats(&self) -> Option<fc_core::SchedulerStats> {
+        self.shared
+            .as_ref()
+            .and_then(|s| s.scheduler.as_ref())
+            .map(|s| s.stats())
     }
 
     /// The bound address (for clients).
@@ -115,6 +202,7 @@ fn accept_loop(
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     sessions: Arc<AtomicUsize>,
+    shared: Option<Arc<SharedServing>>,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -123,9 +211,10 @@ fn accept_loop(
                 let engines = engines.clone();
                 let config = config.clone();
                 let sessions = sessions.clone();
+                let shared = shared.clone();
                 sessions.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || {
-                    let _ = serve_session(stream, pyramid, engines, config);
+                    let _ = serve_session(stream, pyramid, engines, config, shared);
                     sessions.fetch_sub(1, Ordering::Relaxed);
                 });
             }
@@ -142,8 +231,12 @@ fn serve_session(
     pyramid: Arc<Pyramid>,
     engines: EngineFactory,
     config: ServerConfig,
+    shared: Option<Arc<SharedServing>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    // Dropping the middleware (on return, including error paths)
+    // closes its shared session: holds release and the prefetch budget
+    // repartitions across the surviving sessions.
     let mut middleware: Option<Middleware> = None;
     // One reusable frame buffer per session: steady-state replies encode
     // with zero allocations (see protocol.rs, "FrameBuf reuse contract").
@@ -162,13 +255,23 @@ fn serve_session(
                 } else {
                     prefetch_k as usize
                 };
-                middleware = Some(Middleware::new(
-                    engines(),
-                    pyramid.clone(),
-                    config.profile,
-                    config.history_cache,
-                    k,
-                ));
+                middleware = Some(match &shared {
+                    Some(s) => Middleware::new_shared(
+                        engines(),
+                        pyramid.clone(),
+                        config.profile,
+                        config.history_cache,
+                        k,
+                        SharedSessionHandle::open(s.cache.clone(), s.scheduler.clone()),
+                    ),
+                    None => Middleware::new(
+                        engines(),
+                        pyramid.clone(),
+                        config.profile,
+                        config.history_cache,
+                        k,
+                    ),
+                });
                 let g = pyramid.geometry();
                 let reply = ServerMsg::Welcome {
                     levels: g.levels,

@@ -5,12 +5,12 @@ use fc_core::signature::SignatureKind;
 use fc_core::{
     AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
 };
-use fc_server::{Client, EngineFactory, Server, ServerConfig};
+use fc_server::{Client, EngineFactory, MultiUserServing, Server, ServerConfig};
 use fc_sim::dataset::{DatasetConfig, StudyDataset};
 use fc_tiles::{Move, Quadrant, TileId};
 use std::sync::Arc;
 
-fn start_server() -> (Server, StudyDataset) {
+fn start_server_with(config: ServerConfig) -> (Server, StudyDataset) {
     let ds = StudyDataset::build(DatasetConfig::tiny());
     let pyramid = ds.pyramid.clone();
     let engine_pyramid = pyramid.clone();
@@ -29,9 +29,12 @@ fn start_server() -> (Server, StudyDataset) {
             },
         )
     });
-    let server = Server::bind("127.0.0.1:0", pyramid, factory, ServerConfig::default())
-        .expect("server binds");
+    let server = Server::bind("127.0.0.1:0", pyramid, factory, config).expect("server binds");
     (server, ds)
+}
+
+fn start_server() -> (Server, StudyDataset) {
+    start_server_with(ServerConfig::default())
 }
 
 #[test]
@@ -98,6 +101,56 @@ fn concurrent_sessions_are_isolated() {
     for h in handles {
         h.join().expect("client thread");
     }
+    server.shutdown();
+}
+
+#[test]
+fn multi_user_mode_shares_prefetched_tiles_across_sessions() {
+    let (mut server, ds) = start_server_with(ServerConfig {
+        multi_user: Some(MultiUserServing::default()),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let g = ds.pyramid.geometry();
+    let deepest = g.levels - 1;
+    // Two sessions walk the same pan run, one after the other: the
+    // second rides the first's communal prefetches.
+    let walk = |hold: bool| {
+        let mut c = Client::connect(addr, 5).expect("connect");
+        c.request_tile(TileId::new(deepest, 1, 0), None)
+            .expect("first");
+        let mut hits = 0;
+        for x in 1..4 {
+            let a = c
+                .request_tile(TileId::new(deepest, 1, x), Some(Move::PanRight))
+                .expect("pan");
+            if a.cache_hit {
+                hits += 1;
+            }
+        }
+        if hold {
+            (Some(c), hits)
+        } else {
+            c.bye().expect("bye");
+            (None, hits)
+        }
+    };
+    // Keep the first session open so its installs stay held while the
+    // second session walks.
+    let (first, _) = walk(true);
+    let (_, second_hits) = walk(false);
+    assert!(
+        second_hits >= 2,
+        "second session should hit shared prefetches, got {second_hits}"
+    );
+    let shared = server.shared_cache_stats().expect("multi-user mode");
+    assert!(
+        shared.cross_session_hits > 0,
+        "expected cross-session hits, got {shared:?}"
+    );
+    let sched = server.scheduler_stats().expect("batching on");
+    assert!(sched.batches > 0 && sched.jobs >= sched.batches);
+    first.expect("held client").bye().expect("bye");
     server.shutdown();
 }
 

@@ -20,12 +20,18 @@
 //! * [`replay`] — the accuracy/latency harness of §5.2.2: step through a
 //!   trace, collect each model's top-k predictions, count a hit when the
 //!   next requested tile is in the list; leave-one-user-out
-//!   cross-validation as in §5.4.
+//!   cross-validation as in §5.4;
+//! * [`multiuser`] — the multi-user replay driver: K concurrent
+//!   simulated analysts (threads) over one shared pyramid, joined
+//!   through the shared tile cache and optional cross-session predict
+//!   scheduler, reporting aggregate throughput and predict-latency
+//!   percentiles (the `exp_multiuser` substrate).
 
 #![warn(missing_docs)]
 
 pub mod auto_weights;
 pub mod dataset;
+pub mod multiuser;
 pub mod replay;
 pub mod study;
 pub mod task;
@@ -35,6 +41,9 @@ pub mod user;
 
 pub use auto_weights::{learn_weights, LearnedWeights};
 pub use dataset::{DatasetConfig, StudyDataset};
+pub use multiuser::{
+    run_multi_user, synthetic_workload, CacheImpl, MultiUserConfig, MultiUserReport,
+};
 pub use replay::{AccuracyReport, Predictor, ReplayOutcome};
 pub use study::{Study, StudyConfig};
 pub use task::TaskSpec;

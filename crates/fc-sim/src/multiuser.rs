@@ -1,0 +1,454 @@
+//! Multi-user replay: K concurrent simulated analysts over one shared
+//! dataset.
+//!
+//! The paper's evaluation replays one analyst at a time (§5.2.2); the
+//! ROADMAP's north star is a backend shared by many. This driver closes
+//! the gap: it runs `sessions` OS threads, each a full
+//! [`Middleware`] session (engine + private history cache) over one
+//! shared pyramid, joined through a [`MultiUserCache`] (the lock-striped
+//! [`fc_core::SharedTileCache`] or the retained
+//! [`fc_core::SingleMutexTileCache`] reference) and, optionally, the
+//! cross-session [`PredictScheduler`]. Sessions replay *different*
+//! traces (mixed pan runs and zoom cadences at distinct rows — mixed
+//! ROI workloads), so the shared cache sees both disjoint working sets
+//! and communal hotspots.
+//!
+//! The report aggregates what `exp_multiuser` publishes: wall-clock
+//! request throughput, p50/p99 per-request predict latency (including
+//! any batch rendezvous), hit rates, shared-cache statistics, and
+//! scheduler statistics.
+
+use crate::trace::{Trace, TraceStep};
+use fc_core::{
+    BatchConfig, LatencyProfile, Middleware, MultiUserCache, Phase, PredictScheduler,
+    PredictionEngine, SchedulerStats, SharedCacheStats, SharedSessionHandle, SharedTileCache,
+    SingleMutexTileCache,
+};
+use fc_tiles::{Geometry, Move, Pyramid, Quadrant, TileId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which shared-cache implementation the sessions meet in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheImpl {
+    /// The retained pre-sharding reference: one global mutex.
+    SingleMutex,
+    /// The lock-striped cache; `shards` 0 picks the default striping.
+    Sharded {
+        /// Shard count (power of two, 0 = default).
+        shards: usize,
+    },
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct MultiUserConfig {
+    /// Concurrent sessions (threads).
+    pub sessions: usize,
+    /// Requests each session replays (its trace repeats as needed).
+    pub steps_per_session: usize,
+    /// Shared-cache capacity in tiles.
+    pub cache_capacity: usize,
+    /// Shared-cache implementation under test.
+    pub cache: CacheImpl,
+    /// Whether concurrent predicts coalesce through a
+    /// [`PredictScheduler`].
+    pub batch_predicts: bool,
+    /// Scheduler fan-in window (ignored unless `batch_predicts`).
+    pub batch_window: Duration,
+    /// Per-session prefetch budget k.
+    pub k: usize,
+    /// Private last-n history cache per session.
+    pub history_cache: usize,
+    /// Latency profile for hit/miss accounting.
+    pub profile: LatencyProfile,
+}
+
+impl Default for MultiUserConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 8,
+            steps_per_session: 64,
+            cache_capacity: 1024,
+            cache: CacheImpl::Sharded { shards: 0 },
+            batch_predicts: true,
+            batch_window: Duration::ZERO,
+            k: 4,
+            history_cache: 4,
+            profile: LatencyProfile::paper(),
+        }
+    }
+}
+
+/// Aggregate outcome of one multi-user run.
+#[derive(Debug, Clone)]
+pub struct MultiUserReport {
+    /// Sessions run.
+    pub sessions: usize,
+    /// Total requests served across sessions.
+    pub requests: usize,
+    /// Wall-clock time of the concurrent phase.
+    pub wall: Duration,
+    /// Aggregate served requests (= predicts) per second.
+    pub throughput_rps: f64,
+    /// Median per-request predict latency.
+    pub predict_p50: Duration,
+    /// 99th-percentile per-request predict latency.
+    pub predict_p99: Duration,
+    /// Session-visible cache-hit rate (private + shared combined).
+    pub hit_rate: f64,
+    /// Shared-cache counters.
+    pub shared: SharedCacheStats,
+    /// Scheduler counters when batching was on.
+    pub scheduler: Option<SchedulerStats>,
+}
+
+/// Builds the shared cache named by `cfg`.
+pub fn build_cache(cfg: &MultiUserConfig) -> Arc<dyn MultiUserCache> {
+    match cfg.cache {
+        CacheImpl::SingleMutex => Arc::new(SingleMutexTileCache::new(cfg.cache_capacity)),
+        CacheImpl::Sharded { shards: 0 } => Arc::new(SharedTileCache::new(cfg.cache_capacity)),
+        CacheImpl::Sharded { shards } => {
+            Arc::new(SharedTileCache::with_shards(cfg.cache_capacity, shards))
+        }
+    }
+}
+
+/// Runs `cfg.sessions` concurrent analysts. Session `i` replays
+/// `traces[i % traces.len()]`, cycling it until `steps_per_session`
+/// requests have been served. `engine_factory` builds each session's
+/// private prediction engine (as in `fc-server`).
+pub fn run_multi_user<F>(
+    pyramid: &Arc<Pyramid>,
+    engine_factory: F,
+    traces: &[Trace],
+    cfg: &MultiUserConfig,
+) -> MultiUserReport
+where
+    F: Fn() -> PredictionEngine + Sync,
+{
+    assert!(cfg.sessions > 0, "need at least one session");
+    assert!(!traces.is_empty(), "need at least one trace");
+    let cache = build_cache(cfg);
+    let scheduler = cfg.batch_predicts.then(|| {
+        Arc::new(PredictScheduler::new(
+            engine_factory().sb_model().clone(),
+            pyramid.clone(),
+            BatchConfig {
+                window: cfg.batch_window,
+                max_batch: 0,
+            },
+        ))
+    });
+
+    struct SessionOutcome {
+        requests: usize,
+        hits: usize,
+        predict_ns: Vec<u64>,
+    }
+
+    let start = Instant::now();
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|i| {
+                let trace = &traces[i % traces.len()];
+                let cache = cache.clone();
+                let scheduler = scheduler.clone();
+                let engine = engine_factory();
+                let pyramid = pyramid.clone();
+                scope.spawn(move || {
+                    let handle = SharedSessionHandle::open(cache, scheduler);
+                    let mut mw = Middleware::new_shared(
+                        engine,
+                        pyramid,
+                        cfg.profile,
+                        cfg.history_cache,
+                        cfg.k,
+                        handle,
+                    );
+                    let mut out = SessionOutcome {
+                        requests: 0,
+                        hits: 0,
+                        predict_ns: Vec::with_capacity(cfg.steps_per_session),
+                    };
+                    'replay: loop {
+                        for (j, step) in trace.steps.iter().enumerate() {
+                            if out.requests >= cfg.steps_per_session {
+                                break 'replay;
+                            }
+                            // A repeat of the trace starts a fresh
+                            // navigation arc: no move on its first step.
+                            let mv = if j == 0 { None } else { step.mv };
+                            let Some(resp) = mw.request(step.tile, mv) else {
+                                continue;
+                            };
+                            out.requests += 1;
+                            if resp.cache_hit {
+                                out.hits += 1;
+                            }
+                            out.predict_ns.push(
+                                u64::try_from(resp.predict_time.as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        if trace.steps.is_empty() {
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let requests: usize = outcomes.iter().map(|o| o.requests).sum();
+    let hits: usize = outcomes.iter().map(|o| o.hits).sum();
+    let mut all_ns: Vec<u64> = outcomes.into_iter().flat_map(|o| o.predict_ns).collect();
+    all_ns.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if all_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((all_ns.len() as f64 - 1.0) * p).round() as usize;
+        Duration::from_nanos(all_ns[idx.min(all_ns.len() - 1)])
+    };
+
+    MultiUserReport {
+        sessions: cfg.sessions,
+        requests,
+        wall,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        predict_p50: pct(0.50),
+        predict_p99: pct(0.99),
+        hit_rate: if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        },
+        shared: cache.stats(),
+        scheduler: scheduler.map(|s| s.stats()),
+    }
+}
+
+/// Builds `sessions` deterministic scripted traces over `geometry`:
+/// each session serpentines along its own deepest-level row (panning
+/// right, then left after hitting an edge), descending a row at each
+/// turn, with a zoom-out/zoom-in excursion every `zoom_every` steps
+/// (offset per session). Distinct rows give disjoint working sets;
+/// the shared zoom ancestors give communal hotspots; the per-session
+/// zoom cadence mixes the ROI workloads.
+pub fn synthetic_workload(
+    geometry: Geometry,
+    sessions: usize,
+    steps: usize,
+    zoom_every: usize,
+) -> Vec<Trace> {
+    let level = geometry.levels - 1;
+    let (rows, cols) = geometry.tiles_at(level);
+    let mut traces = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let mut y = (s as u32 * 7 + 1) % rows;
+        let mut x = (s as u32 * 3) % cols;
+        let mut dir_right = (s % 2) == 0;
+        let mut steps_out = Vec::with_capacity(steps);
+        let mut cur = TileId::new(level, y, x);
+        steps_out.push(TraceStep {
+            tile: cur,
+            mv: None,
+            phase: Phase::Foraging,
+        });
+        let cadence = zoom_every.max(2) + s % 3;
+        let mut i = 1usize;
+        while steps_out.len() < steps {
+            if i.is_multiple_of(cadence) && cur.level > 0 {
+                // Zoom out to the parent, then back into the same
+                // quadrant — a §5.2.2 "verify context" excursion.
+                let parent = cur.parent().expect("level > 0");
+                steps_out.push(TraceStep {
+                    tile: parent,
+                    mv: Some(Move::ZoomOut),
+                    phase: Phase::Navigation,
+                });
+                if steps_out.len() >= steps {
+                    break;
+                }
+                let q = Quadrant::ALL
+                    .into_iter()
+                    .find(|q| q.dy() == cur.y % 2 && q.dx() == cur.x % 2)
+                    .expect("quadrant");
+                steps_out.push(TraceStep {
+                    tile: cur,
+                    mv: Some(Move::ZoomIn(q)),
+                    phase: Phase::Navigation,
+                });
+            } else {
+                // Serpentine pan.
+                if dir_right && x + 1 < cols {
+                    x += 1;
+                    cur = TileId::new(level, y, x);
+                    steps_out.push(TraceStep {
+                        tile: cur,
+                        mv: Some(Move::PanRight),
+                        phase: Phase::Foraging,
+                    });
+                } else if !dir_right && x > 0 {
+                    x -= 1;
+                    cur = TileId::new(level, y, x);
+                    steps_out.push(TraceStep {
+                        tile: cur,
+                        mv: Some(Move::PanLeft),
+                        phase: Phase::Foraging,
+                    });
+                } else {
+                    dir_right = !dir_right;
+                    y = (y + 1) % rows;
+                    cur = TileId::new(level, y, x);
+                    steps_out.push(TraceStep {
+                        tile: cur,
+                        mv: Some(Move::PanDown),
+                        phase: Phase::Sensemaking,
+                    });
+                }
+            }
+            i += 1;
+        }
+        traces.push(Trace {
+            user: s,
+            task: s % 3,
+            steps: steps_out,
+        });
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_array::{DenseArray, Schema};
+    use fc_core::engine::PhaseSource;
+    use fc_core::signature::SignatureKind;
+    use fc_core::{AbRecommender, AllocationStrategy, EngineConfig, SbConfig, SbRecommender};
+    use fc_tiles::{PyramidBuilder, PyramidConfig};
+
+    fn pyramid() -> Arc<Pyramid> {
+        let schema = Schema::grid2d("G", 128, 128, &["v"]).unwrap();
+        let data: Vec<f64> = (0..128 * 128).map(|i| (i % 128) as f64 / 128.0).collect();
+        let base = DenseArray::from_vec(schema, data).unwrap();
+        let p = PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(3, 32, &["v"]))
+            .unwrap();
+        for id in p.geometry().all_tiles() {
+            let v = f64::from(id.x % 3) / 3.0;
+            p.store()
+                .put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+        }
+        Arc::new(p)
+    }
+
+    fn factory(g: Geometry) -> impl Fn() -> PredictionEngine + Sync {
+        move || {
+            let r = Move::PanRight.index() as u16;
+            let traces: Vec<Vec<u16>> = vec![vec![r; 10]];
+            let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+            PredictionEngine::new(
+                g,
+                AbRecommender::train(refs, 3),
+                SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+                PhaseSource::Heuristic,
+                EngineConfig {
+                    strategy: AllocationStrategy::Updated,
+                    ..EngineConfig::default()
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn synthetic_workload_is_deterministic_and_well_formed() {
+        let p = pyramid();
+        let g = p.geometry();
+        let a = synthetic_workload(g, 4, 40, 8);
+        let b = synthetic_workload(g, 4, 40, 8);
+        assert_eq!(a, b, "deterministic");
+        assert_eq!(a.len(), 4);
+        for t in &a {
+            assert_eq!(t.steps.len(), 40);
+            assert!(t.steps[0].mv.is_none());
+            for s in &t.steps {
+                assert!(g.contains(s.tile), "in-geometry: {:?}", s.tile);
+            }
+            // Mixed workload: both pans and zooms appear.
+            assert!(t
+                .steps
+                .iter()
+                .any(|s| matches!(s.mv, Some(m) if m.is_pan())));
+            assert!(t.steps.iter().any(|s| matches!(s.mv, Some(Move::ZoomOut))));
+        }
+        // Sessions differ (mixed ROI workloads).
+        assert_ne!(a[0].steps, a[1].steps);
+    }
+
+    #[test]
+    fn concurrent_run_accounts_every_request() {
+        let p = pyramid();
+        let g = p.geometry();
+        let traces = synthetic_workload(g, 4, 30, 6);
+        for cache in [CacheImpl::SingleMutex, CacheImpl::Sharded { shards: 4 }] {
+            let cfg = MultiUserConfig {
+                sessions: 4,
+                steps_per_session: 30,
+                cache_capacity: 16,
+                cache,
+                batch_predicts: true,
+                k: 3,
+                ..MultiUserConfig::default()
+            };
+            let r = run_multi_user(&p, factory(g), &traces, &cfg);
+            assert_eq!(r.requests, 4 * 30, "{cache:?}");
+            assert!(r.throughput_rps > 0.0);
+            assert!(r.predict_p50 <= r.predict_p99);
+            assert!((0.0..=1.0).contains(&r.hit_rate));
+            // Stats balance: every shared-cache probe is a hit or miss.
+            let s = r.shared;
+            assert!(s.hits + s.misses > 0);
+            assert!(s.cross_session_hits <= s.hits);
+            let sched = r.scheduler.expect("batching on");
+            assert_eq!(sched.jobs, 4 * 30, "one predict per request");
+            assert!(sched.batches >= 1 && sched.batches <= sched.jobs);
+        }
+    }
+
+    #[test]
+    fn sessions_close_after_the_run() {
+        let p = pyramid();
+        let g = p.geometry();
+        let traces = synthetic_workload(g, 2, 10, 5);
+        let cfg = MultiUserConfig {
+            sessions: 2,
+            steps_per_session: 10,
+            cache_capacity: 8,
+            batch_predicts: false,
+            ..MultiUserConfig::default()
+        };
+        let cache = build_cache(&cfg);
+        // run_multi_user builds its own cache; emulate one session here
+        // to check the handle lifecycle directly.
+        {
+            let h = SharedSessionHandle::open(cache.clone(), None);
+            assert_eq!(cache.session_count(), 1);
+            drop(h);
+        }
+        assert_eq!(cache.session_count(), 0);
+        let r = run_multi_user(&p, factory(g), &traces, &cfg);
+        assert!(r.scheduler.is_none());
+        assert_eq!(r.requests, 20);
+    }
+}

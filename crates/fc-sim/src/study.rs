@@ -121,7 +121,7 @@ impl Study {
     }
 
     /// Phase distribution per task (Fig. 8b): rows are tasks, columns
-    /// indexed by [`Phase::index`].
+    /// indexed by [`fc_core::Phase::index`].
     pub fn phase_distribution_per_task(&self) -> Vec<[f64; 3]> {
         let ntasks = self.tasks.len();
         let mut out = vec![[0.0f64; 3]; ntasks];
@@ -183,7 +183,7 @@ pub struct PhaseDataset {
 }
 
 impl PhaseDataset {
-    /// Distribution of labels as fractions, indexed by [`Phase::index`].
+    /// Distribution of labels as fractions, indexed by [`fc_core::Phase::index`].
     pub fn label_distribution(&self) -> [f64; 3] {
         let mut counts = [0usize; 3];
         for &l in &self.labels {

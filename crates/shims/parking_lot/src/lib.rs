@@ -31,6 +31,17 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking; `None` when it is
+    /// held elsewhere (mirrors `parking_lot::Mutex::try_lock`). Used by
+    /// `Debug` impls that must never block behind a lock holder.
+    pub fn try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -92,6 +103,16 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(5);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("free lock"), 5);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod collection {
     use crate::TestRng;
     use rand::Rng;
 
-    /// Accepted size arguments for [`vec`]: a fixed length or a range.
+    /// Accepted size arguments for [`vec()`]: a fixed length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -109,7 +109,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

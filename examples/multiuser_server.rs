@@ -1,6 +1,9 @@
 //! Multi-user client/server demo: a ForeCache TCP server sharing one
 //! tile pyramid across several concurrent browsing sessions (§3, §5.5:
-//! "many users can actively navigate the data freely and in parallel").
+//! "many users can actively navigate the data freely and in parallel")
+//! — running the multi-user serving core: a lock-striped shared tile
+//! cache (communal prefetches, fairly repartitioned budgets) plus
+//! cross-session predict batching.
 //!
 //! ```sh
 //! cargo run --example multiuser_server --release
@@ -10,7 +13,7 @@ use forecache::core::engine::PhaseSource;
 use forecache::core::{
     AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
 };
-use forecache::server::{Client, EngineFactory, Server, ServerConfig};
+use forecache::server::{Client, EngineFactory, MultiUserServing, Server, ServerConfig};
 use forecache::sim::dataset::{DatasetConfig, StudyDataset};
 use forecache::sim::terrain::TerrainConfig;
 use forecache::tiles::{Move, Quadrant, TileId};
@@ -47,10 +50,15 @@ fn main() {
         )
     });
 
-    let mut server = Server::bind("127.0.0.1:0", pyramid, factory, ServerConfig::default())
-        .expect("server binds");
+    let config = ServerConfig {
+        // The multi-user serving core: sessions share a lock-striped
+        // tile cache and coalesce concurrent predictions.
+        multi_user: Some(MultiUserServing::default()),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::bind("127.0.0.1:0", pyramid, factory, config).expect("server binds");
     let addr = server.addr();
-    println!("server listening on {addr}");
+    println!("server listening on {addr} (multi-user: shared cache + batched predicts)");
 
     // Three users explore different corners of the dataset concurrently.
     let walks: Vec<Vec<(TileId, Option<Move>)>> = vec![
@@ -105,6 +113,18 @@ fn main() {
             stats.requests,
             stats.hits,
             stats.avg_latency.as_secs_f64() * 1e3
+        );
+    }
+    if let Some(shared) = server.shared_cache_stats() {
+        println!(
+            "shared cache: {} hits / {} misses, {} cross-session hits, {} evictions",
+            shared.hits, shared.misses, shared.cross_session_hits, shared.evictions
+        );
+    }
+    if let Some(sched) = server.scheduler_stats() {
+        println!(
+            "predict scheduler: {} jobs in {} batches (widest {})",
+            sched.jobs, sched.batches, sched.largest_batch
         );
     }
     server.shutdown();

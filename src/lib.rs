@@ -10,7 +10,7 @@
 //!
 //! This crate re-exports the whole workspace under one roof:
 //!
-//! * [`array`] — embedded array-DBMS substrate (dense arrays, regrid
+//! * [`mod@array`] — embedded array-DBMS substrate (dense arrays, regrid
 //!   aggregation, join/apply UDFs, simulated storage latency);
 //! * [`tiles`] — zoom-level pyramids, data tiles, the nine-move
 //!   navigation model, tile store;
