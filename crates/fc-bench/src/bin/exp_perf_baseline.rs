@@ -21,6 +21,10 @@
 //! Measurements interleave the compared paths round-robin and keep the
 //! per-round median, so slow container neighbours shift all paths
 //! together instead of skewing one ratio.
+//!
+//! `--smoke` runs a single short iteration of every measured path and
+//! skips the JSON writes — a CI wiring check that fails the build when
+//! hot-path plumbing breaks, without overwriting recorded numbers.
 
 use fc_array::{regrid_with, AggFn, DenseArray, Schema};
 use fc_bench::seed_baseline::{
@@ -71,6 +75,9 @@ fn signature_pyramid() -> std::sync::Arc<Pyramid> {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke mode: one round, a handful of iterations per path.
+    let scale = |iters: usize| if smoke { (iters / 16).max(1) } else { iters };
     let pyramid = signature_pyramid();
     let store = pyramid.store();
     let g = pyramid.geometry();
@@ -90,12 +97,12 @@ fn main() {
 
     // Interleaved rounds: per round measure each path once; report the
     // per-path median across rounds.
-    const ROUNDS: usize = 9;
+    let rounds = if smoke { 1 } else { 9 };
     let mut seed_ns = Vec::new();
     let mut reference_ns = Vec::new();
     let mut indexed_ns = Vec::new();
-    for _ in 0..ROUNDS {
-        seed_ns.push(measure(1, 48, || {
+    for _ in 0..rounds {
+        seed_ns.push(measure(1, scale(48), || {
             std::hint::black_box(sb_distances_seed(
                 &SbConfig::all_equal(),
                 &seed_store,
@@ -103,10 +110,10 @@ fn main() {
                 &roi,
             ));
         }));
-        reference_ns.push(measure(1, 48, || {
+        reference_ns.push(measure(1, scale(48), || {
             std::hint::black_box(sb.distances(store, &candidates, &roi));
         }));
-        indexed_ns.push(measure(1, 256, || {
+        indexed_ns.push(measure(1, scale(256), || {
             sb.distances_indexed_into(&index, &candidates, &roi, &mut scratch, &mut out);
             std::hint::black_box(&out);
         }));
@@ -136,7 +143,7 @@ fn main() {
         },
     );
     engine.observe(Request::new(TileId::new(2, 2, 2), Some(Move::PanRight)));
-    let predict_ns = measure(7, 4096, || {
+    let predict_ns = measure(if smoke { 1 } else { 7 }, scale(4096), || {
         std::hint::black_box(engine.predict(store, 5));
     });
 
@@ -173,7 +180,7 @@ fn main() {
         }
         w
     };
-    let request_ns = measure(7, 8, || {
+    let request_ns = measure(if smoke { 1 } else { 7 }, scale(8), || {
         mw.reset_session();
         for &(t, m) in &walk {
             std::hint::black_box(mw.request(t, m));
@@ -196,17 +203,17 @@ fn main() {
     let mut pyr_seed_ns = Vec::new();
     let mut pyr_ns = Vec::new();
     let pyr_cfg = PyramidConfig::simple(4, 32, &["v"]);
-    for _ in 0..ROUNDS {
-        regrid_seed_ns.push(measure(1, 8, || {
+    for _ in 0..rounds {
+        regrid_seed_ns.push(measure(1, scale(8), || {
             std::hint::black_box(seed_regrid_with(&base, &[4, 4], &avg).expect("seed regrid"));
         }));
-        regrid_ns.push(measure(1, 32, || {
+        regrid_ns.push(measure(1, scale(32), || {
             std::hint::black_box(regrid_with(&base, &[4, 4], &avg).expect("regrid"));
         }));
-        pyr_seed_ns.push(measure(1, 2, || {
+        pyr_seed_ns.push(measure(1, scale(2), || {
             std::hint::black_box(seed_build_pyramid(&base, &pyr_cfg).expect("seed pyramid"));
         }));
-        pyr_ns.push(measure(1, 8, || {
+        pyr_ns.push(measure(1, scale(8), || {
             std::hint::black_box(
                 PyramidBuilder::new()
                     .build(&base, &pyr_cfg)
@@ -227,7 +234,7 @@ fn main() {
         .expect("pyramid");
     let mut attach_seed_ns = Vec::new();
     let mut attach_ns = Vec::new();
-    for _ in 0..5 {
+    for _ in 0..if smoke { 1 } else { 5 } {
         attach_seed_ns.push(measure(1, 1, || {
             std::hint::black_box(seed_attach_signatures(
                 seed_target.geometry(),
@@ -257,19 +264,19 @@ fn main() {
     let mut enc_ns = Vec::new();
     let mut dec_seed_ns = Vec::new();
     let mut dec_ns = Vec::new();
-    for _ in 0..ROUNDS {
-        enc_seed_ns.push(measure(1, 2048, || {
+    for _ in 0..rounds {
+        enc_seed_ns.push(measure(1, scale(2048), || {
             std::hint::black_box(seed_encode_server_msg(&wire_msg));
         }));
-        enc_ns.push(measure(1, 8192, || {
+        enc_ns.push(measure(1, scale(8192), || {
             std::hint::black_box(wire_msg.encode_into(&mut frame));
         }));
-        dec_seed_ns.push(measure(1, 512, || {
+        dec_seed_ns.push(measure(1, scale(512), || {
             std::hint::black_box(
                 seed_decode_server_msg(fc_server::protocol::unframe(&encoded)).expect("decode"),
             );
         }));
-        dec_ns.push(measure(1, 8192, || {
+        dec_ns.push(measure(1, scale(8192), || {
             std::hint::black_box(
                 fc_server::ServerMsg::decode(fc_server::protocol::unframe(&encoded))
                     .expect("decode"),
@@ -301,7 +308,9 @@ fn main() {
         request = request_ns,
         request_rate = 1e9 / request_ns,
     );
-    std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+    if !smoke {
+        std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+    }
     println!("# exp_perf_baseline — prediction hot path");
     println!();
     println!("SB distances (4 sigs x 64 cand x 16 roi):");
@@ -371,7 +380,9 @@ fn main() {
         request = request_ns,
         request_rate = 1e9 / request_ns,
     );
-    std::fs::write("BENCH_datapath.json", &datapath).expect("write BENCH_datapath.json");
+    if !smoke {
+        std::fs::write("BENCH_datapath.json", &datapath).expect("write BENCH_datapath.json");
+    }
     println!();
     println!("# data path vs seed implementations");
     println!();
@@ -387,5 +398,9 @@ fn main() {
     row("tile encode 32x32", enc_seed, enc_now);
     row("tile decode 32x32", dec_seed, dec_now);
     println!();
-    println!("wrote BENCH_predict.json, BENCH_datapath.json");
+    if smoke {
+        println!("--smoke: skipped BENCH_predict.json / BENCH_datapath.json writes");
+    } else {
+        println!("wrote BENCH_predict.json, BENCH_datapath.json");
+    }
 }

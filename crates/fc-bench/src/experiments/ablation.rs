@@ -25,6 +25,7 @@ pub fn ablation_sb(ctx: &ExpContext) -> String {
             weights: SIGNATURE_KINDS.iter().map(|&k| (k, 1.0)).collect(),
             manhattan_penalty: manhattan,
             physical_distance: physical,
+            ..SbConfig::all_equal()
         };
         let r = loocv(&ctx.study.traces, 2, |_| ctx.sb_with(cfg.clone()));
         rows.push(vec![

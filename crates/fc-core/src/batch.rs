@@ -36,7 +36,9 @@
 //! allocation the unbatched path makes), keeping `predict`
 //! allocation-free under fan-in.
 
+use crate::paircache::{PairCache, PairCacheStats};
 use crate::sb::{sort_scored, PredictScratch, SbBatchJob, SbRecommender};
+use crate::signature::pair_cache_capacity_hint;
 use fc_tiles::{Pyramid, TileId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -98,6 +100,18 @@ struct SchedState {
     leader_waiting: bool,
     /// Batch scratch, recycled across ticks.
     scratch: PredictScratch,
+    /// The χ² pair cache **shared by every coalesced session**: one
+    /// session's pans warm the pairs another session probes (the
+    /// prediction-arithmetic analogue of §6.2's shared tile cache).
+    /// Sized lazily from the first tick's index; epoch changes
+    /// invalidate it in O(1) via its generation stamp.
+    cache: PairCache,
+    /// Snapshot of `cache`'s counters at the last leader deposit.
+    /// While a leader computes it holds the cache *outside* the lock
+    /// (`cache` here is a zero-stat placeholder), so readers combine
+    /// this snapshot with the live counters — see
+    /// [`PredictScheduler::pair_cache_stats`].
+    pair_stats: PairCacheStats,
     /// Per-job distance outputs, recycled across ticks.
     outs: Vec<Vec<(TileId, f64)>>,
     /// Recycled job buffers (candidates/roi capacity survives).
@@ -247,6 +261,7 @@ impl PredictScheduler {
         }
         let jobs = std::mem::take(&mut g.pending);
         let mut scratch = std::mem::take(&mut g.scratch);
+        let mut cache = std::mem::take(&mut g.cache);
         let mut outs = std::mem::take(&mut g.outs);
         // The next submitter may start collecting the following tick
         // while we compute this one outside the lock.
@@ -263,6 +278,13 @@ impl PredictScheduler {
             let mut ranked: Vec<(u64, Vec<TileId>)> = Vec::with_capacity(jobs.len());
             match store.signature_index() {
                 Some(index) => {
+                    // Lazy sizing: the shared cache follows the served
+                    // index's shape (a later epoch bump keeps the
+                    // table and invalidates by generation).
+                    let want = pair_cache_capacity_hint(index.keys().len(), index.ntiles());
+                    if cache.capacity() != want {
+                        cache = PairCache::new(want);
+                    }
                     let jobrefs: Vec<SbBatchJob<'_>> = jobs
                         .iter()
                         .map(|j| SbBatchJob {
@@ -270,8 +292,13 @@ impl PredictScheduler {
                             roi: &j.roi,
                         })
                         .collect();
-                    self.sb
-                        .distances_batched_into(&index, &jobrefs, &mut scratch, &mut outs);
+                    self.sb.distances_batched_cached_into(
+                        &index,
+                        &jobrefs,
+                        &mut cache,
+                        &mut scratch,
+                        &mut outs,
+                    );
                     for (j, job) in jobs.iter().enumerate() {
                         sort_scored(&mut outs[j]);
                         ranked.push((job.ticket, outs[j].iter().map(|&(t, _)| t).collect()));
@@ -325,10 +352,30 @@ impl PredictScheduler {
         }
         g.job_pool.extend(jobs);
         g.scratch = scratch;
+        g.pair_stats = cache.stats();
+        g.cache = cache;
         g.outs = outs;
         drop(g);
         self.cv.notify_all();
         mine
+    }
+
+    /// Counters of the shared χ² pair-distance cache (cumulative over
+    /// every coalesced session). Takes the scheduler state lock
+    /// briefly. While a tick leader is computing it holds the cache
+    /// outside the lock (the in-state placeholder reads all-zero), so
+    /// this returns the elementwise max of the live counters and the
+    /// last deposited snapshot — counters are monotonic, so the max is
+    /// always the freshest complete reading and never regresses.
+    pub fn pair_cache_stats(&self) -> PairCacheStats {
+        let g = self.state.lock();
+        let live = g.cache.stats();
+        let snap = g.pair_stats;
+        PairCacheStats {
+            hits: live.hits.max(snap.hits),
+            misses: live.misses.max(snap.misses),
+            invalidations: live.invalidations.max(snap.invalidations),
+        }
     }
 
     /// Follower path: sleep until the tick leader deposits our result.

@@ -9,10 +9,12 @@
 use crate::ab::AbRecommender;
 use crate::alloc::{merge_allocated, AllocationStrategy};
 use crate::history::{Request, SessionHistory};
+use crate::paircache::{PairCache, PairCacheStats};
 use crate::phase::{Phase, PhaseClassifier};
 use crate::recommender::{PredictionContext, Recommender};
 use crate::roi::RoiTracker;
 use crate::sb::{PredictScratch, SbRecommender};
+use crate::signature::pair_cache_capacity_hint;
 use fc_tiles::{Geometry, SignatureIndex, TileId, TileStore};
 use std::sync::Arc;
 
@@ -69,6 +71,10 @@ pub struct PredictionEngine {
     roi: RoiTracker,
     /// Reused buffers for the allocation-free SB fast path.
     scratch: PredictScratch,
+    /// Epoch-stamped χ² pair-distance cache for steady-state SB
+    /// prediction, sized for the current index (resized alongside
+    /// `sig_cache`; domain changes invalidate it in O(1)).
+    pair_cache: PairCache,
     /// The store's frozen signature index, cached with the
     /// `(store_id, meta_epoch)` it was read at; revalidated per
     /// predict with one atomic load so the steady state acquires no
@@ -104,6 +110,7 @@ impl PredictionEngine {
             sb,
             phase_source,
             scratch: PredictScratch::default(),
+            pair_cache: PairCache::default(),
             sig_cache: None,
         }
     }
@@ -146,6 +153,28 @@ impl PredictionEngine {
         }
         self.sig_cache = store.signature_index().map(|ix| (key, ix));
         self.sig_cache.as_ref().map(|(_, ix)| ix.clone())
+    }
+
+    /// Sizes the engine's pair cache for `index`, lazily: only the
+    /// unbatched predict path calls this (in scheduler-batched mode
+    /// the scheduler's *shared* cache does the caching, and a
+    /// per-session table would be dead weight). When the capacity is
+    /// already right (the common epoch-bump case) the table is kept
+    /// as-is: `PairCache::begin` sees the new build id and invalidates
+    /// by generation, no clearing pass.
+    fn ensure_pair_cache(&mut self, index: &SignatureIndex) {
+        let want = pair_cache_capacity_hint(index.keys().len(), index.ntiles());
+        if self.pair_cache.capacity() != want {
+            self.pair_cache = PairCache::new(want);
+        }
+    }
+
+    /// Counters of the engine's χ² pair-distance cache (cumulative for
+    /// the session). In scheduler-batched mode the scheduler's shared
+    /// cache does the caching instead — see
+    /// [`crate::batch::PredictScheduler::pair_cache_stats`].
+    pub fn pair_cache_stats(&self) -> PairCacheStats {
+        self.pair_cache.stats()
     }
 
     /// Predicts with an externally supplied phase (used when evaluating
@@ -196,6 +225,11 @@ impl PredictionEngine {
         // one atomic load (unused on the scheduler path, which owns
         // its own index refresh).
         let index = self.refresh_sig_cache(store);
+        if scheduler.is_none() {
+            if let Some(ix) = &index {
+                self.ensure_pair_cache(ix);
+            }
+        }
         let candidates = self.geometry.candidates(last.tile, self.config.distance);
         let ctx = PredictionContext {
             request: last,
@@ -225,10 +259,15 @@ impl PredictionEngine {
                 };
                 s.rank(&candidates, refs)
             }
-            // SB: frozen-index fast path when metadata exists; the
-            // locked reference path only serves metadata-free stores.
+            // SB: frozen-index fast path through the pair cache when
+            // metadata exists (steady state probes instead of
+            // dividing); the locked reference path only serves
+            // metadata-free stores.
             None => match &index {
-                Some(ix) => self.sb.rank_indexed(&ctx, ix, &mut self.scratch),
+                Some(ix) => {
+                    self.sb
+                        .rank_indexed_cached(&ctx, ix, &mut self.pair_cache, &mut self.scratch)
+                }
                 None => self.sb.rank(&ctx),
             },
         };

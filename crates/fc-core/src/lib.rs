@@ -38,6 +38,7 @@ pub mod history;
 pub mod latency;
 pub mod middleware;
 pub mod multiuser;
+pub mod paircache;
 pub mod phase;
 pub mod recommender;
 pub mod roi;
@@ -57,8 +58,9 @@ pub use middleware::{Middleware, MiddlewareStats, Response, SharedSessionHandle}
 pub use multiuser::{
     MultiUserCache, SessionId, SharedCacheStats, SharedTileCache, SingleMutexTileCache,
 };
+pub use paircache::{PairCache, PairCacheStats};
 pub use phase::{Phase, PhaseClassifier};
 pub use recommender::{PredictionContext, Recommender};
 pub use roi::RoiTracker;
-pub use sb::{SbConfig, SbRecommender};
+pub use sb::{Chi2Kernel, SbConfig, SbRecommender};
 pub use signature::{SignatureComputer, SignatureKind, SIGNATURE_KINDS};

@@ -14,6 +14,7 @@ use crate::engine::PredictionEngine;
 use crate::history::Request;
 use crate::latency::LatencyProfile;
 use crate::multiuser::{MultiUserCache, SessionId};
+use crate::paircache::PairCacheStats;
 use crate::phase::Phase;
 use fc_tiles::{Pyramid, Tile, TileId};
 use rayon::prelude::*;
@@ -43,6 +44,13 @@ pub struct Response {
     /// cross-session batch rendezvous) — the quantity `exp_multiuser`
     /// reports percentiles of.
     pub predict_time: Duration,
+    /// χ² pair-cache activity attributed to this request's prediction:
+    /// the counter delta across the predict call, from the engine's
+    /// private cache or — in scheduler-batched mode — the shared
+    /// cross-session cache (there the delta can include pairs other
+    /// coalesced sessions probed in the same tick; treat it as
+    /// approximate under concurrency).
+    pub pair_cache: PairCacheStats,
 }
 
 /// A session's membership in the multi-user serving layer: its slot in
@@ -244,13 +252,23 @@ impl Middleware {
 
         // 3. Re-evaluate allocations and prefetch for the next request.
         let predict_start = Instant::now();
-        let predictions = match self.shared.as_ref().and_then(|sh| sh.scheduler.clone()) {
+        let scheduler = self.shared.as_ref().and_then(|sh| sh.scheduler.clone());
+        let pair_before = match &scheduler {
+            Some(sched) => sched.pair_cache_stats(),
+            None => self.engine.pair_cache_stats(),
+        };
+        let predictions = match &scheduler {
             Some(sched) => self
                 .engine
-                .predict_batched(&sched, self.pyramid.store(), self.k),
+                .predict_batched(sched, self.pyramid.store(), self.k),
             None => self.engine.predict(self.pyramid.store(), self.k),
         };
         let predict_time = predict_start.elapsed();
+        let pair_cache = match &scheduler {
+            Some(sched) => sched.pair_cache_stats(),
+            None => self.engine.pair_cache_stats(),
+        }
+        .since(pair_before);
         let store = self.pyramid.store();
         let mut to_fetch: Vec<TileId> = predictions
             .iter()
@@ -321,6 +339,7 @@ impl Middleware {
             phase,
             prefetched: prefetched_ids,
             predict_time,
+            pair_cache,
         })
     }
 
@@ -416,19 +435,25 @@ mod tests {
         assert!(!r1.cache_hit);
         assert!(r1.latency >= Duration::from_millis(900), "{:?}", r1.latency);
         assert!(!r1.prefetched.is_empty());
+        // The first prediction runs against a cold pair cache.
+        assert_eq!(r1.pair_cache.hits, 0);
+        assert!(r1.pair_cache.misses > 0, "{:?}", r1.pair_cache);
 
         // Pan right repeatedly: the AB model (trained on right-runs)
         // prefetches the continuation, so subsequent requests hit.
         let mut hits = 0;
+        let mut pair_hits = 0;
         for x in 1..=3 {
             let r = mw
                 .request(TileId::new(2, 2, x), Some(Move::PanRight))
                 .unwrap();
+            pair_hits += r.pair_cache.hits;
             if r.cache_hit {
                 hits += 1;
                 assert_eq!(r.latency, LatencyProfile::paper().hit);
             }
         }
+        assert!(pair_hits > 0, "pan overlap must hit the pair cache");
         assert!(hits >= 2, "prefetching should produce hits, got {hits}");
         let stats = mw.stats();
         assert_eq!(stats.requests, 4);

@@ -171,19 +171,12 @@ pub trait MultiUserCache: Send + Sync {
 // Shared helpers
 // ---------------------------------------------------------------------
 
-/// The SplitMix64 finalizer: a stateless, deterministic mix whose low
-/// bits are well distributed, so power-of-two masks spread dense key
-/// ranges evenly. Used for both tile→shard and session→hold-stripe
-/// assignment.
-#[inline]
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The SplitMix64 finalizer lives in `paircache` now, shared with the
+// χ² pair cache's slot hashing.
+use crate::paircache::splitmix64;
 
-/// [`splitmix64`] over the packed tile coordinates.
+/// [`splitmix64`] over the packed tile coordinates — used for both
+/// tile→shard and session→hold-stripe assignment.
 #[inline]
 fn tile_hash(id: TileId) -> u64 {
     splitmix64((u64::from(id.level) << 58) ^ (u64::from(id.y) << 29) ^ u64::from(id.x))

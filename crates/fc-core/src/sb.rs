@@ -37,10 +37,53 @@
 //! not representable in the index and ranks as "missing" there — see
 //! the scope note in `fc_tiles::sigindex`.
 
+use crate::paircache::{pair_key, pair_key_ordered, slot_base, PairCache, MAX_CACHED_SIGS};
 use crate::recommender::{PredictionContext, Recommender};
 use crate::signature::SignatureKind;
 use fc_tiles::{MetaKey, SignatureIndex, TileId, TileStore};
 use rayon::prelude::*;
+
+/// How the hot paths evaluate the per-bin χ² division.
+///
+/// Applies to the indexed/batched fills (and therefore to the values a
+/// [`PairCache`] memoizes — the cache stamps the kernel into its
+/// validity domain, so switching kernels invalidates in O(1)). The
+/// locked [`SbRecommender::distances`] reference path always computes
+/// IEEE-exact divisions: it is the golden baseline both kernels are
+/// tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Chi2Kernel {
+    /// IEEE-exact per-bin division. Hot-path results are bit-identical
+    /// to the reference path (golden-tested).
+    #[default]
+    Exact,
+    /// The opt-in relaxed arithmetic mode, two effects:
+    ///
+    /// * cold/miss χ² uses a division-free reciprocal-multiply (an
+    ///   exponent-trick initial guess refined by three Newton–Raphson
+    ///   steps; multiplies and subtractions only, relative error
+    ///   ≲ 4 × 10⁻⁹ per bin);
+    /// * cached fills keep raw values ROI-major and finish with a
+    ///   fused reassociated normalize/combine (`wᵢ/mᵢ²` hoisted, no
+    ///   per-element normalization division, no transpose) — the
+    ///   warm-path latency win.
+    ///
+    /// Distances stay within [`CHI2_RECIPROCAL_EPSILON`] relative of
+    /// the exact path (golden + property tested); near-tie ranks can
+    /// flip within that bound. Trades bit-exactness for divider-port
+    /// relief and fewer passes.
+    Reciprocal,
+}
+
+/// Documented bound on the **relative** error of a full Algorithm 3
+/// distance computed with [`Chi2Kernel::Reciprocal`] versus
+/// [`Chi2Kernel::Exact`]: per-bin reciprocals are accurate to ≲ 4 ×
+/// 10⁻⁹, the fused combine's reassociation of non-negative terms and
+/// hoisted `1/m²` cost a few ulp more, and the subsequent sums and
+/// square root are error-contracting or mildly amplifying, so
+/// distances stay within `1e-6` relative of the exact path (golden +
+/// property tested with this constant).
+pub const CHI2_RECIPROCAL_EPSILON: f64 = 1e-6;
 
 /// Configuration for the SB recommender.
 #[derive(Debug, Clone)]
@@ -55,6 +98,9 @@ pub struct SbConfig {
     /// Apply Algorithm 3's line-13 division by `dphysical(A,B)`
     /// (disabled only by the ablation benches).
     pub physical_distance: bool,
+    /// χ² evaluation kernel for the indexed hot paths (default
+    /// [`Chi2Kernel::Exact`], bit-identical to the reference path).
+    pub kernel: Chi2Kernel,
 }
 
 impl SbConfig {
@@ -67,6 +113,7 @@ impl SbConfig {
                 .collect(),
             manhattan_penalty: true,
             physical_distance: true,
+            kernel: Chi2Kernel::Exact,
         }
     }
 
@@ -86,11 +133,14 @@ impl SbConfig {
 /// allocate nothing.
 #[derive(Debug, Default)]
 pub struct PredictScratch {
-    /// Penalized χ² per (candidate, signature, roi), candidate-major so
-    /// each candidate owns one contiguous block (enables disjoint
-    /// parallel fills).
+    /// Penalized (unnormalized) χ² per (candidate, signature, roi),
+    /// candidate-major so each candidate owns one contiguous block
+    /// (enables disjoint parallel fills). Normalization by the
+    /// per-signature maxima happens inside the combine pass — the same
+    /// per-element division, fused to avoid a full rewrite sweep.
     pair: Vec<f64>,
-    /// Per-signature normalization maxima (Algorithm 3 line 2).
+    /// Per-(job, signature) normalization maxima (Algorithm 3 line 2),
+    /// job-major (`nsig` entries per job).
     maxes: Vec<f64>,
     /// Dense index per candidate (`usize::MAX` = outside the index).
     cand_rows: Vec<usize>,
@@ -112,6 +162,33 @@ pub struct PredictScratch {
     descs: Vec<JobDesc>,
     /// Job index per flat candidate across the batch.
     job_of: Vec<u32>,
+    /// Dense index per (job, ROI tile) (`usize::MAX` = outside the
+    /// index) — the cache key half the pair probes share.
+    roi_dense: Vec<usize>,
+    /// ROI positions of the current candidate's cache misses.
+    miss_bi: Vec<u32>,
+    /// Geometry `(dmanh, dphysical)` per miss, stashed for write-back.
+    miss_geo: Vec<(u32, f64)>,
+    /// Row offsets gathered over the miss frontier.
+    gath_offs: Vec<usize>,
+    /// χ² lane outputs over the miss frontier.
+    gath_out: Vec<f64>,
+    /// All-ones penalty slice handed to the fused χ² lanes when the
+    /// cached fill wants raw values (`1.0 · x` is exact).
+    ones: Vec<f64>,
+    /// Raw per-signature values of the current candidate's resolved
+    /// (hit / tile-missing) pairs, ROI-major (`MAX_CACHED_SIGS` lanes
+    /// per pair) — transposed into the pair matrix in one pass.
+    hit_vals: Vec<f64>,
+    /// Raw per-signature values of the current candidate's misses,
+    /// stashed for the cache write-back (the pair matrix itself holds
+    /// *penalized* values by then).
+    miss_vals: Vec<f64>,
+    /// Whether the last fill used the relaxed cached layout: `pair`
+    /// holds **raw** values ROI-major (`nsig` lanes per pair) and
+    /// `combine_job` must run its fused reassociated pass. Set by
+    /// `batch_fill`, consumed by `combine_job`.
+    relaxed_combine: bool,
 }
 
 /// One session's slice of a cross-session predict batch: its candidate
@@ -140,6 +217,8 @@ struct JobDesc {
     roioff_off: usize,
     /// Offset into `penalties`/`denoms` (job occupies `nc * nr`).
     pen_off: usize,
+    /// Offset into `roi_dense` (job occupies `nr` entries).
+    rd_off: usize,
 }
 
 /// Sentinel for "no row" in the hoisted offset tables.
@@ -238,7 +317,31 @@ impl SbRecommender {
         out: &mut Vec<(TileId, f64)>,
     ) {
         let job = SbBatchJob { candidates, roi };
-        let stride = self.batch_fill(index, std::slice::from_ref(&job), scratch);
+        let stride = self.batch_fill(index, std::slice::from_ref(&job), scratch, None);
+        out.clear();
+        self.combine_job(0, &job, stride, scratch, out);
+    }
+
+    /// [`Self::distances_indexed_into`] through an epoch-stamped
+    /// [`PairCache`]: every (candidate, ROI) pair is probed first, only
+    /// the miss frontier runs the χ² kernel, and misses are written
+    /// back for the next request. With [`Chi2Kernel::Exact`] (the
+    /// default) results are **bit-identical** to
+    /// [`Self::distances_indexed_into`] — and therefore to
+    /// [`Self::distances`] — across hits, misses and epoch
+    /// invalidations (golden-tested); with [`Chi2Kernel::Reciprocal`]
+    /// they are within [`CHI2_RECIPROCAL_EPSILON`] relative.
+    pub fn distances_indexed_cached_into(
+        &self,
+        index: &SignatureIndex,
+        candidates: &[TileId],
+        roi: &[TileId],
+        cache: &mut PairCache,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<(TileId, f64)>,
+    ) {
+        let job = SbBatchJob { candidates, roi };
+        let stride = self.batch_fill(index, std::slice::from_ref(&job), scratch, Some(cache));
         out.clear();
         self.combine_job(0, &job, stride, scratch, out);
     }
@@ -262,9 +365,38 @@ impl SbRecommender {
         scratch: &mut PredictScratch,
         outs: &mut Vec<Vec<(TileId, f64)>>,
     ) {
-        let stride = self.batch_fill(index, jobs, scratch);
+        let stride = self.batch_fill(index, jobs, scratch, None);
+        self.combine_jobs(jobs, stride, scratch, outs);
+    }
+
+    /// [`Self::distances_batched_into`] through a shared [`PairCache`]:
+    /// the cross-session scheduler hands every tick the same cache, so
+    /// one session's pans warm the pairs another session probes. Same
+    /// exactness contract as [`Self::distances_indexed_cached_into`].
+    pub fn distances_batched_cached_into(
+        &self,
+        index: &SignatureIndex,
+        jobs: &[SbBatchJob<'_>],
+        cache: &mut PairCache,
+        scratch: &mut PredictScratch,
+        outs: &mut Vec<Vec<(TileId, f64)>>,
+    ) {
+        let stride = self.batch_fill(index, jobs, scratch, Some(cache));
+        self.combine_jobs(jobs, stride, scratch, outs);
+    }
+
+    /// Shared tail of the batched entry points: normalize/combine every
+    /// job into its own output vector. `outs` is resized to
+    /// `jobs.len()` (`resize_with` both grows and shrinks); inner
+    /// vectors are reused across calls.
+    fn combine_jobs(
+        &self,
+        jobs: &[SbBatchJob<'_>],
+        stride: usize,
+        scratch: &mut PredictScratch,
+        outs: &mut Vec<Vec<(TileId, f64)>>,
+    ) {
         outs.resize_with(jobs.len(), Vec::new);
-        outs.truncate(jobs.len());
         for (j, job) in jobs.iter().enumerate() {
             let mut out = std::mem::take(&mut outs[j]);
             out.clear();
@@ -279,15 +411,34 @@ impl SbRecommender {
     /// per job (Algorithm 3 lines 2 + 10-11). Returns the per-candidate
     /// block stride (`nsig × max_j nr_j`; blocks of jobs with fewer
     /// reference tiles are zero-padded at the tail and never read).
+    ///
+    /// With a [`PairCache`], the fill probes every (candidate, ROI)
+    /// pair first and runs the χ² kernel only over the miss frontier
+    /// (see [`Self::fill_cached`]); the cached fill is sequential —
+    /// probes and write-backs mutate the cache — and targets
+    /// interactive steady state, where hits dominate and the rayon
+    /// fan-out would have nothing to chew on anyway.
     fn batch_fill(
         &self,
         index: &SignatureIndex,
         jobs: &[SbBatchJob<'_>],
         scratch: &mut PredictScratch,
+        cache: Option<&mut PairCache>,
     ) -> usize {
         let nsig = self.cfg.weights.len();
         let nr_max = jobs.iter().map(|j| j.roi.len()).max().unwrap_or(0);
         let stride = nsig * nr_max;
+        // A cache only participates once it accepts the fill's domain
+        // (index build, kernel, key set); otherwise fall through to the
+        // uncached fill untouched.
+        let cache = cache.and_then(|c| {
+            if c.begin(index, self.cfg.kernel, &self.keys) {
+                Some(c)
+            } else {
+                None
+            }
+        });
+        let cached = cache.is_some();
 
         // Hoisted lookups, each performed once per batch instead of
         // once per pair inside the triple loop:
@@ -295,8 +446,16 @@ impl SbRecommender {
         scratch.job_of.clear();
         scratch.cand_rows.clear();
         scratch.roi_offsets.clear();
-        scratch.penalties.clear();
-        scratch.denoms.clear();
+        scratch.roi_dense.clear();
+        // Cached fills write every (candidate, ROI) slot of
+        // `penalties`/`denoms` during the probe pass, so those stay
+        // grow-only there (no clearing memset); the uncached hoist
+        // pushes, so it starts from empty.
+        if !cached {
+            scratch.penalties.clear();
+            scratch.denoms.clear();
+        }
+        let mut pen_len = 0usize;
         let mut total_nc = 0usize;
         for (j, job) in jobs.iter().enumerate() {
             scratch.descs.push(JobDesc {
@@ -304,7 +463,8 @@ impl SbRecommender {
                 nr: job.roi.len(),
                 cand_off: total_nc,
                 roioff_off: scratch.roi_offsets.len(),
-                pen_off: scratch.penalties.len(),
+                pen_off: pen_len,
+                rd_off: scratch.roi_dense.len(),
             });
             scratch
                 .job_of
@@ -315,135 +475,570 @@ impl SbRecommender {
                     .iter()
                     .map(|&t| index.dense_index(t).unwrap_or(NO_ROW)),
             );
+            // … ROI dense indices (the probe key half shared by every
+            // candidate of the job) …
+            scratch.roi_dense.extend(
+                job.roi
+                    .iter()
+                    .map(|&b| index.dense_index(b).unwrap_or(NO_ROW)),
+            );
             // … ROI row offsets per signature …
             for &key in &self.keys {
                 let mat = index.matrix(key);
-                scratch.roi_offsets.extend(job.roi.iter().map(|&b| {
-                    index
-                        .dense_index(b)
-                        .and_then(|d| mat.and_then(|m| m.row_offset(d)))
-                        .unwrap_or(NO_ROW)
+                let rd = &scratch.roi_dense[scratch.roi_dense.len() - job.roi.len()..];
+                scratch.roi_offsets.extend(rd.iter().map(|&d| {
+                    if d == NO_ROW {
+                        NO_ROW
+                    } else {
+                        mat.and_then(|m| m.row_offset(d)).unwrap_or(NO_ROW)
+                    }
                 }));
             }
             // … and the signature-independent pair geometry: the
             // Manhattan penalty and the physical-distance denominator
             // share one level-projection per pair instead of
-            // recomputing it in the combine loop.
-            for &a in job.candidates {
-                for &b in job.roi {
-                    let level = a.level.max(b.level);
-                    let pa = a.project_to(level);
-                    let pb = b.project_to(level);
-                    scratch.penalties.push(if self.cfg.manhattan_penalty {
-                        let dmanh = pa.y.abs_diff(pb.y) + pa.x.abs_diff(pb.x);
-                        exp2i(dmanh as i32 - 1)
-                    } else {
-                        1.0
-                    });
-                    scratch.denoms.push(if self.cfg.physical_distance {
-                        let dy = f64::from(pa.y) - f64::from(pb.y);
-                        let dx = f64::from(pa.x) - f64::from(pb.x);
-                        (dy * dy + dx * dx).sqrt().max(1.0)
-                    } else {
-                        1.0
-                    });
+            // recomputing it in the combine loop. The cached fill
+            // resolves geometry per pair instead (slot hit or miss
+            // compute), so it only reserves the slots here.
+            pen_len += job.candidates.len() * job.roi.len();
+            if cached {
+                if scratch.penalties.len() < pen_len {
+                    scratch.penalties.resize(pen_len, 0.0);
+                    scratch.denoms.resize(pen_len, 0.0);
+                }
+            } else {
+                for &a in job.candidates {
+                    for &b in job.roi {
+                        let (dmanh, dphys) = pair_geometry(a, b);
+                        scratch.penalties.push(if self.cfg.manhattan_penalty {
+                            exp2i(dmanh as i32 - 1)
+                        } else {
+                            1.0
+                        });
+                        scratch.denoms.push(if self.cfg.physical_distance {
+                            dphys
+                        } else {
+                            1.0
+                        });
+                    }
                 }
             }
             total_nc += job.candidates.len();
         }
 
-        scratch.pair.clear();
-        scratch.pair.resize(total_nc * stride, 0.0);
+        // Grow-only: every cell the normalize/combine passes read is
+        // written by the fill below (rows are packed `0..nsig·nr`;
+        // the `nsig·nr..stride` padding is never read), so stale data
+        // past the high-water mark needs no clearing pass.
+        let need = total_nc * stride;
+        if scratch.pair.len() < need {
+            scratch.pair.resize(need, 0.0);
+        }
 
-        // Fill the penalized χ² block of every candidate. Blocks are
-        // disjoint, so large batches (bulk replay / coalesced
-        // multi-session predicts) fan out across cores; results are
-        // bit-identical to the sequential fill because each block's
-        // arithmetic is self-contained.
-        let roi_offsets = &scratch.roi_offsets;
-        let penalties = &scratch.penalties;
-        let cand_rows = &scratch.cand_rows;
-        let descs = &scratch.descs;
-        let job_of = &scratch.job_of;
-        let fill = |fi: usize, chunk: &mut [f64]| {
-            let d = descs[job_of[fi] as usize];
-            let nr = d.nr;
-            if nr == 0 {
-                return;
+        // Line 2: d_i,MAX ← 1, per (job, signature). The relaxed
+        // cached fill accumulates these on the fly; the exact paths
+        // scan after the fill (gated below).
+        scratch.maxes.clear();
+        scratch.maxes.resize(jobs.len() * nsig, 1.0);
+        scratch.relaxed_combine = cached && self.cfg.kernel == Chi2Kernel::Reciprocal && stride > 0;
+
+        if let Some(cache) = cache {
+            if stride > 0 {
+                if self.cfg.kernel == Chi2Kernel::Reciprocal {
+                    self.fill_cached_relaxed(index, jobs, stride, scratch, cache);
+                } else {
+                    self.fill_cached(index, jobs, stride, scratch, cache);
+                }
             }
-            let ai = fi - d.cand_off;
-            let ra = cand_rows[fi];
-            let pen = &penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
-            for (i, &key) in self.keys.iter().enumerate() {
-                let out_row = &mut chunk[i * nr..(i + 1) * nr];
-                let offs = &roi_offsets[d.roioff_off + i * nr..d.roioff_off + (i + 1) * nr];
-                let mat_row = index.matrix(key).and_then(|m| {
-                    let row = if ra != NO_ROW { m.row(ra) } else { None };
-                    row.map(|r| (m, r))
-                });
-                match mat_row {
-                    Some((mat, row_a)) => {
-                        chi_squared_lanes(row_a, mat.data(), offs, pen, out_row);
-                    }
-                    // Candidate (or whole key) missing: every pair is
-                    // maximally distant (raw = 1) times its penalty.
-                    None => {
-                        for bi in 0..nr {
-                            out_row[bi] = pen[bi] * 1.0;
+        } else {
+            // Fill the penalized χ² block of every candidate. Blocks
+            // are disjoint, so large batches (bulk replay / coalesced
+            // multi-session predicts) fan out across cores; results
+            // are bit-identical to the sequential fill because each
+            // block's arithmetic is self-contained.
+            let kernel = self.cfg.kernel;
+            let roi_offsets = &scratch.roi_offsets;
+            let penalties = &scratch.penalties;
+            let cand_rows = &scratch.cand_rows;
+            let descs = &scratch.descs;
+            let job_of = &scratch.job_of;
+            let fill = |fi: usize, chunk: &mut [f64]| {
+                let d = descs[job_of[fi] as usize];
+                let nr = d.nr;
+                if nr == 0 {
+                    return;
+                }
+                let ai = fi - d.cand_off;
+                let ra = cand_rows[fi];
+                let pen = &penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                for (i, &key) in self.keys.iter().enumerate() {
+                    let out_row = &mut chunk[i * nr..(i + 1) * nr];
+                    let offs = &roi_offsets[d.roioff_off + i * nr..d.roioff_off + (i + 1) * nr];
+                    let mat_row = index.matrix(key).and_then(|m| {
+                        let row = if ra != NO_ROW { m.row(ra) } else { None };
+                        row.map(|r| (m, r))
+                    });
+                    match mat_row {
+                        Some((mat, row_a)) => {
+                            chi_squared_lanes(kernel, row_a, mat.data(), offs, pen, out_row);
+                        }
+                        // Candidate (or whole key) missing: every pair is
+                        // maximally distant (raw = 1) times its penalty.
+                        None => {
+                            for bi in 0..nr {
+                                out_row[bi] = pen[bi] * 1.0;
+                            }
                         }
                     }
                 }
-            }
-        };
-        if stride > 0 && total_nc >= SB_PAR_MIN_CANDIDATES {
-            scratch
-                .pair
-                .par_chunks_mut(stride)
-                .with_min_len(1)
-                .enumerate()
-                .for_each(|(fi, chunk)| fill(fi, chunk));
-        } else if stride > 0 {
-            for (fi, chunk) in scratch.pair.chunks_mut(stride).enumerate() {
-                fill(fi, chunk);
+            };
+            if stride > 0 && total_nc >= SB_PAR_MIN_CANDIDATES {
+                scratch.pair[..need]
+                    .par_chunks_mut(stride)
+                    .with_min_len(1)
+                    .enumerate()
+                    .for_each(|(fi, chunk)| fill(fi, chunk));
+            } else if stride > 0 {
+                for (fi, chunk) in scratch.pair[..need].chunks_mut(stride).enumerate() {
+                    fill(fi, chunk);
+                }
             }
         }
 
-        // Line 2 + 10-11 **per job**: per-signature maxima over the
-        // job's pair blocks (`f64::max` is insensitive to accumulation
-        // order, so the parallel fill cannot change the result), then
-        // one vectorizable in-place normalize pass — each element
-        // divided once by its signature's max, exactly as the
-        // reference path. Jobs never share maxima: batching cannot
-        // change any session's normalization.
-        for j in 0..jobs.len() {
+        // Line 2 **per job**: per-signature maxima over the job's pair
+        // blocks (`f64::max` selects one argument and is insensitive
+        // to accumulation order, so neither the parallel fill nor the
+        // blocked scan below can change the result). The line-10-11
+        // normalization division itself is fused into `combine_job` —
+        // the identical per-element `v / max`, without a full
+        // rewrite-and-reread sweep of the pair matrix. Jobs never
+        // share maxima: batching cannot change any session's
+        // normalization. (The relaxed cached fill already accumulated
+        // its maxima — and uses a ROI-major layout this scan cannot
+        // read — so it skips the scan.)
+        let scan_jobs = if scratch.relaxed_combine {
+            0
+        } else {
+            jobs.len()
+        };
+        for j in 0..scan_jobs {
             let d = scratch.descs[j];
             if d.nr == 0 || d.nc == 0 {
                 continue;
             }
-            scratch.maxes.clear();
-            scratch.maxes.resize(nsig, 1.0); // line 2: d_i,MAX ← 1
+            let maxes = &mut scratch.maxes[j * nsig..(j + 1) * nsig];
             for ai in 0..d.nc {
                 let chunk = &scratch.pair[(d.cand_off + ai) * stride..];
-                for i in 0..nsig {
-                    for &v in &chunk[i * d.nr..(i + 1) * d.nr] {
-                        scratch.maxes[i] = scratch.maxes[i].max(v);
+                for (i, mx) in maxes.iter_mut().enumerate() {
+                    let row = &chunk[i * d.nr..(i + 1) * d.nr];
+                    // Blocked max: four partial maxima combined at the
+                    // end equal the sequential scan bit-for-bit while
+                    // letting the reduction vectorize.
+                    let quads = row.chunks_exact(4);
+                    let rest = quads.remainder();
+                    let mut m4 = [f64::NEG_INFINITY; 4];
+                    for q in quads {
+                        m4[0] = m4[0].max(q[0]);
+                        m4[1] = m4[1].max(q[1]);
+                        m4[2] = m4[2].max(q[2]);
+                        m4[3] = m4[3].max(q[3]);
                     }
-                }
-            }
-            for ai in 0..d.nc {
-                let base = (d.cand_off + ai) * stride;
-                for i in 0..nsig {
-                    let m = scratch.maxes[i];
-                    for v in &mut scratch.pair[base + i * d.nr..base + (i + 1) * d.nr] {
-                        *v /= m;
+                    let mut m = m4[0].max(m4[1]).max(m4[2].max(m4[3]));
+                    for &v in rest {
+                        m = m.max(v);
                     }
+                    *mx = mx.max(m);
                 }
             }
         }
         stride
     }
 
-    /// Lines 12-15 for one job: weighted l2 combine, physical
+    /// The cache-aware fill: per candidate, probe the [`PairCache`]
+    /// for every ROI pair, collect the miss frontier, run the χ²
+    /// kernel over the gathered misses only, write them back, and
+    /// apply the Manhattan penalty outside the cached values.
+    ///
+    /// Exactness: a hit returns the bits a fresh kernel run would
+    /// produce (the cache stores raw kernel outputs for the same index
+    /// rows, and χ² is bitwise symmetric, so the shared `{a, b}` slot
+    /// serves both orientations); `raw · pen` equals the fused
+    /// `pen · raw` of the uncached fill (IEEE multiplication is
+    /// commutative); and gathering misses cannot change any value —
+    /// the 4-lane kernel keeps one independent accumulator per pair
+    /// regardless of grouping. Geometry read from a slot is the stored
+    /// result of the identical `pair_geometry` computation.
+    fn fill_cached(
+        &self,
+        index: &SignatureIndex,
+        jobs: &[SbBatchJob<'_>],
+        stride: usize,
+        scratch: &mut PredictScratch,
+        cache: &mut PairCache,
+    ) {
+        const NL: usize = MAX_CACHED_SIGS;
+        let nsig = self.keys.len();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let nr_max = stride / nsig.max(1);
+        if scratch.ones.len() < nr_max {
+            scratch.ones.resize(nr_max, 1.0);
+        }
+        if scratch.hit_vals.len() < nr_max * NL {
+            scratch.hit_vals.resize(nr_max * NL, 0.0);
+        }
+        // Disjoint field borrows so the per-candidate loop can write
+        // `pair`/`penalties`/`denoms` while reading the hoist tables.
+        let s = &mut *scratch;
+        let pair = &mut s.pair;
+        let penalties = &mut s.penalties;
+        let denoms = &mut s.denoms;
+        let miss_bi = &mut s.miss_bi;
+        let miss_geo = &mut s.miss_geo;
+        let miss_vals = &mut s.miss_vals;
+        let gath_offs = &mut s.gath_offs;
+        let gath_out = &mut s.gath_out;
+        let hit_vals = &mut s.hit_vals;
+        let ones = &s.ones;
+        for (j, job) in jobs.iter().enumerate() {
+            let d = s.descs[j];
+            let nr = d.nr;
+            if nr == 0 {
+                continue;
+            }
+            let rd = &s.roi_dense[d.rd_off..d.rd_off + nr];
+            // When every ROI dense index is valid and below every
+            // candidate's (the steady state: ROI tiles live at coarser
+            // levels, which have smaller dense indices), the candidate
+            // is the `hi` half of every pair key — one hash per
+            // candidate, consecutive slots per ROI. `NO_ROW` is
+            // `usize::MAX`, so any out-of-geometry ROI tile disables
+            // the fast path by dominating the max.
+            let rd_max = rd.iter().copied().max().unwrap_or(NO_ROW);
+            for ai in 0..d.nc {
+                let fi = d.cand_off + ai;
+                let ra = s.cand_rows[fi];
+                let chunk = &mut pair[fi * stride..(fi + 1) * stride];
+                let pen = &mut penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let den = &mut denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let a = job.candidates[ai];
+                // Resolve every pair: geometry + raw χ² lanes into
+                // `hit_vals` (ROI-major), misses deferred.
+                let (h, m) = self.resolve_pairs(
+                    cache, a, job.roi, ra, rd, rd_max, hit_vals, NL, pen, den, miss_bi, miss_geo,
+                );
+                hits += h;
+                misses += m;
+                // Transpose the resolved raw values into the pair
+                // matrix with the penalty fused (`raw · pen` is the
+                // same IEEE product as the uncached fill's
+                // `pen · raw`). Miss positions hold stale lanes here
+                // and are overwritten by the frontier scatter below,
+                // never read.
+                for i in 0..nsig {
+                    let row = &mut chunk[i * nr..(i + 1) * nr];
+                    for ((v, t), &p) in row
+                        .iter_mut()
+                        .zip(hit_vals.chunks_exact(NL))
+                        .zip(pen.iter())
+                    {
+                        *v = t[i] * p;
+                    }
+                }
+                if !miss_bi.is_empty() {
+                    // Miss frontier: scattered back penalized, stashed
+                    // raw for the write-back.
+                    miss_vals.clear();
+                    miss_vals.resize(miss_bi.len() * nsig, 0.0);
+                    self.miss_frontier(
+                        index,
+                        ra,
+                        nr,
+                        d.roioff_off,
+                        &s.roi_offsets,
+                        miss_bi,
+                        gath_offs,
+                        gath_out,
+                        ones,
+                        |i, mi, bi, raw| {
+                            miss_vals[mi * nsig + i] = raw;
+                            chunk[i * nr + bi] = raw * pen[bi];
+                        },
+                    );
+                    // Write-back: the slot gets the pair's raw χ² per
+                    // signature plus its geometry.
+                    for (mi, &bi) in miss_bi.iter().enumerate() {
+                        let (dmanh, dphys) = miss_geo[mi];
+                        let rb = rd[bi as usize];
+                        cache.insert(
+                            pair_key(ra, rb),
+                            &miss_vals[mi * nsig..(mi + 1) * nsig],
+                            dmanh,
+                            dphys,
+                        );
+                    }
+                }
+            }
+        }
+        cache.record(hits, misses);
+    }
+
+    /// The **relaxed** cache-aware fill ([`Chi2Kernel::Reciprocal`]):
+    /// raw slot values land ROI-major (`nsig` lanes per pair, no
+    /// transpose), and the per-signature maxima accumulate on the fly
+    /// from the same `pen · raw` products the exact path scans
+    /// (`f64::max` is order-insensitive, so the maxima equal the
+    /// exact path's bit-for-bit). [`Self::combine_job`] finishes with
+    /// a fused reassociated pass — see the `relaxed_combine` branch —
+    /// replacing the 4 096 per-request normalization divisions with
+    /// multiplies. Covered by the same [`CHI2_RECIPROCAL_EPSILON`]
+    /// bound as the kernel itself (reassociating the non-negative
+    /// weighted sum and hoisting `1/m²` cost a few ulp, far under the
+    /// documented 1e-6).
+    fn fill_cached_relaxed(
+        &self,
+        index: &SignatureIndex,
+        jobs: &[SbBatchJob<'_>],
+        stride: usize,
+        scratch: &mut PredictScratch,
+        cache: &mut PairCache,
+    ) {
+        let nsig = self.keys.len();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let nr_max = stride / nsig.max(1);
+        if scratch.ones.len() < nr_max {
+            scratch.ones.resize(nr_max, 1.0);
+        }
+        let s = &mut *scratch;
+        let pair = &mut s.pair;
+        let penalties = &mut s.penalties;
+        let denoms = &mut s.denoms;
+        let all_maxes = &mut s.maxes;
+        let miss_bi = &mut s.miss_bi;
+        let miss_geo = &mut s.miss_geo;
+        let gath_offs = &mut s.gath_offs;
+        let gath_out = &mut s.gath_out;
+        let ones = &s.ones;
+        for (j, job) in jobs.iter().enumerate() {
+            let d = s.descs[j];
+            let nr = d.nr;
+            if nr == 0 {
+                continue;
+            }
+            let rd = &s.roi_dense[d.rd_off..d.rd_off + nr];
+            let rd_max = rd.iter().copied().max().unwrap_or(NO_ROW);
+            let jmax = &mut all_maxes[j * nsig..(j + 1) * nsig];
+            for ai in 0..d.nc {
+                let fi = d.cand_off + ai;
+                let ra = s.cand_rows[fi];
+                let chunk = &mut pair[fi * stride..(fi + 1) * stride];
+                let pen = &mut penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let den = &mut denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let a = job.candidates[ai];
+                // Resolve every pair straight into the ROI-major pair
+                // matrix (no transpose), misses deferred.
+                let (h, m) = self.resolve_pairs(
+                    cache, a, job.roi, ra, rd, rd_max, chunk, nsig, pen, den, miss_bi, miss_geo,
+                );
+                hits += h;
+                misses += m;
+                if !miss_bi.is_empty() {
+                    self.miss_frontier(
+                        index,
+                        ra,
+                        nr,
+                        d.roioff_off,
+                        &s.roi_offsets,
+                        miss_bi,
+                        gath_offs,
+                        gath_out,
+                        ones,
+                        |i, _mi, bi, raw| chunk[bi * nsig + i] = raw,
+                    );
+                    // ROI-major lanes are contiguous per pair, so the
+                    // write-back reads them straight from the matrix.
+                    for (mi, &bi) in miss_bi.iter().enumerate() {
+                        let bi = bi as usize;
+                        let (dmanh, dphys) = miss_geo[mi];
+                        cache.insert(
+                            pair_key(ra, rd[bi]),
+                            &chunk[bi * nsig..(bi + 1) * nsig],
+                            dmanh,
+                            dphys,
+                        );
+                    }
+                }
+                // Line 2 on the fly: the same `pen · raw` products the
+                // exact scan maximizes over, in a different order —
+                // `f64::max` doesn't care.
+                for (bi, &p) in pen.iter().enumerate() {
+                    let lanes = &chunk[bi * nsig..(bi + 1) * nsig];
+                    for (mx, &v) in jmax.iter_mut().zip(lanes) {
+                        *mx = mx.max(p * v);
+                    }
+                }
+            }
+        }
+        cache.record(hits, misses);
+    }
+
+    /// Resolves one candidate's (candidate, ROI) pairs against the
+    /// cache — the single source of the probe protocol both cached
+    /// fills share. Per pair: writes the flag-adjusted penalty and
+    /// denominator, copies hit (or missing-tile) raw lanes into
+    /// `lanes` (`lw`-strided, `lw ≥ nsig`), and defers misses into
+    /// `miss_bi`/`miss_geo` with their geometry stashed for
+    /// write-back. Returns the (hits, misses) deltas.
+    ///
+    /// Fast path: when every ROI dense index is valid and below the
+    /// candidate's (the steady state — ROI tiles live at coarser
+    /// levels, which have smaller dense indices), the candidate is the
+    /// `hi` half of every pair key: one hash per candidate,
+    /// consecutive slots per ROI. `NO_ROW` is `usize::MAX`, so any
+    /// out-of-geometry ROI tile disables the fast path by dominating
+    /// `rd_max`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn resolve_pairs(
+        &self,
+        cache: &PairCache,
+        a: TileId,
+        roi: &[TileId],
+        ra: usize,
+        rd: &[usize],
+        rd_max: usize,
+        lanes: &mut [f64],
+        lw: usize,
+        pen: &mut [f64],
+        den: &mut [f64],
+        miss_bi: &mut Vec<u32>,
+        miss_geo: &mut Vec<(u32, f64)>,
+    ) -> (u64, u64) {
+        let nsig = self.keys.len();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        miss_bi.clear();
+        miss_geo.clear();
+        let tile_missing =
+            |bi: usize, b: TileId, pen: &mut [f64], den: &mut [f64], lanes: &mut [f64]| {
+                // Candidate or ROI tile outside the index: every signature
+                // reads as raw distance 1.
+                let (dmanh, dphys) = pair_geometry(a, b);
+                pen[bi] = self.penalty_of(dmanh);
+                den[bi] = self.denom_of(dphys);
+                lanes[bi * lw..bi * lw + nsig].fill(1.0);
+            };
+        if ra == NO_ROW {
+            for (bi, &b) in roi.iter().enumerate() {
+                tile_missing(bi, b, pen, den, lanes);
+            }
+        } else if ra > rd_max {
+            let base = slot_base(ra);
+            for (bi, &rb) in rd.iter().enumerate() {
+                let key = pair_key_ordered(rb, ra);
+                if let Some(slot) = cache.probe_from(base, rb, key) {
+                    hits += 1;
+                    pen[bi] = self.penalty_of(slot.dmanh);
+                    den[bi] = self.denom_of(slot.denom);
+                    copy_lanes(lanes, bi * lw, slot, nsig);
+                } else {
+                    misses += 1;
+                    let (dmanh, dphys) = pair_geometry(a, roi[bi]);
+                    pen[bi] = self.penalty_of(dmanh);
+                    den[bi] = self.denom_of(dphys);
+                    miss_bi.push(bi as u32);
+                    miss_geo.push((dmanh, dphys));
+                }
+            }
+        } else {
+            for (bi, &b) in roi.iter().enumerate() {
+                let rb = rd[bi];
+                if rb == NO_ROW {
+                    tile_missing(bi, b, pen, den, lanes);
+                } else if let Some(slot) = cache.probe(pair_key(ra, rb)) {
+                    hits += 1;
+                    pen[bi] = self.penalty_of(slot.dmanh);
+                    den[bi] = self.denom_of(slot.denom);
+                    copy_lanes(lanes, bi * lw, slot, nsig);
+                } else {
+                    misses += 1;
+                    let (dmanh, dphys) = pair_geometry(a, b);
+                    pen[bi] = self.penalty_of(dmanh);
+                    den[bi] = self.denom_of(dphys);
+                    miss_bi.push(bi as u32);
+                    miss_geo.push((dmanh, dphys));
+                }
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Runs the χ² kernel over one candidate's miss frontier: per
+    /// signature, gathers the missing pairs' row offsets, computes raw
+    /// values (unit penalties — `1.0 · x` is exact), and hands each to
+    /// `scatter(i, mi, bi, raw)`. Shared by both cached fills; only
+    /// the scatter destination differs between layouts.
+    #[allow(clippy::too_many_arguments)]
+    fn miss_frontier(
+        &self,
+        index: &SignatureIndex,
+        ra: usize,
+        nr: usize,
+        roioff_off: usize,
+        roi_offsets: &[usize],
+        miss_bi: &[u32],
+        gath_offs: &mut Vec<usize>,
+        gath_out: &mut Vec<f64>,
+        ones: &[f64],
+        mut scatter: impl FnMut(usize, usize, usize, f64),
+    ) {
+        let nm = miss_bi.len();
+        for (i, &key) in self.keys.iter().enumerate() {
+            let offs = &roi_offsets[roioff_off + i * nr..roioff_off + (i + 1) * nr];
+            gath_offs.clear();
+            gath_offs.extend(miss_bi.iter().map(|&bi| offs[bi as usize]));
+            gath_out.clear();
+            gath_out.resize(nm, 0.0);
+            match index.matrix(key).and_then(|m| m.row(ra).map(|r| (m, r))) {
+                Some((mat, row_a)) => chi_squared_lanes(
+                    self.cfg.kernel,
+                    row_a,
+                    mat.data(),
+                    gath_offs,
+                    &ones[..nm],
+                    gath_out,
+                ),
+                None => gath_out.iter_mut().for_each(|v| *v = 1.0),
+            }
+            for (mi, &bi) in miss_bi.iter().enumerate() {
+                scatter(i, mi, bi as usize, gath_out[mi]);
+            }
+        }
+    }
+
+    /// Line 8's penalty factor from a cached/computed Manhattan
+    /// distance, honoring the ablation flag.
+    #[inline]
+    fn penalty_of(&self, dmanh: u32) -> f64 {
+        if self.cfg.manhattan_penalty {
+            exp2i(dmanh as i32 - 1)
+        } else {
+            1.0
+        }
+    }
+
+    /// Line 13's denominator from a cached/computed physical distance,
+    /// honoring the ablation flag.
+    #[inline]
+    fn denom_of(&self, dphys: f64) -> f64 {
+        if self.cfg.physical_distance {
+            dphys
+        } else {
+            1.0
+        }
+    }
+
+    /// Lines 10-15 for one job: normalize (the division by the
+    /// per-signature maxima, exactly as the reference path performs it
+    /// inside its combine closure), weighted l2 combine, physical
     /// distance, sum over ROI — same operation order as `distances`.
     /// The per-pair `sq`/`t` phases are element-independent
     /// (vectorizable); only the final per-candidate sum is
@@ -457,21 +1052,55 @@ impl SbRecommender {
         scratch: &mut PredictScratch,
         out: &mut Vec<(TileId, f64)>,
     ) {
+        let nsig = self.cfg.weights.len();
         let d = scratch.descs[j];
         let nr = d.nr;
         out.reserve(d.nc);
         let weights = &self.cfg.weights;
+        let maxes = &scratch.maxes[j * nsig..(j + 1) * nsig];
+        if scratch.relaxed_combine {
+            // Fused reassociated combine over the ROI-major raw
+            // layout: hoist `cᵢ = wᵢ/mᵢ²` once, then per pair
+            // `√(pen²·Σᵢ cᵢ·rawᵢ²) / dphys` — multiplies where the
+            // exact path divides per element. Epsilon-bounded against
+            // the exact path ([`CHI2_RECIPROCAL_EPSILON`]); only
+            // reachable in [`Chi2Kernel::Reciprocal`] mode.
+            let mut c = [0.0f64; MAX_CACHED_SIGS];
+            for (ci, (&(_, w), &m)) in c.iter_mut().zip(weights.iter().zip(maxes)) {
+                *ci = w / (m * m);
+            }
+            for (ai, &a) in job.candidates.iter().enumerate() {
+                let base = (d.cand_off + ai) * stride;
+                let block = &scratch.pair[base..base + nr * nsig];
+                let pens = &scratch.penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let dens = &scratch.denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let mut total = 0.0f64;
+                for ((lanes, &p), &dn) in block.chunks_exact(nsig).zip(pens).zip(dens) {
+                    let mut sq = 0.0f64;
+                    for (&ci, &v) in c[..nsig].iter().zip(lanes) {
+                        sq += ci * (v * v);
+                    }
+                    total += (sq * (p * p)).sqrt() / dn;
+                }
+                out.push((a, total));
+            }
+            return;
+        }
         scratch.sq.clear();
         scratch.sq.resize(nr, 0.0);
         for (ai, &a) in job.candidates.iter().enumerate() {
             let base = (d.cand_off + ai) * stride;
-            // Phase a: sq[bi] = Σ_i w_i · d², accumulated sig-major so
-            // each addition matches the reference's i-order per pair.
+            // Phase a: sq[bi] = Σ_i w_i · (v/mᵢ)², accumulated
+            // sig-major so each addition matches the reference's
+            // i-order per pair.
             scratch.sq.iter_mut().for_each(|v| *v = 0.0);
             for (i, &(_, w)) in weights.iter().enumerate() {
                 let row = &scratch.pair[base + i * nr..base + (i + 1) * nr];
-                for (bi, sqv) in scratch.sq.iter_mut().enumerate() {
-                    let dv = row[bi];
+                let m = maxes[i];
+                // Zipped so the div-mul-mul-add chain vectorizes; the
+                // per-element operation order is unchanged.
+                for (sqv, &pv) in scratch.sq.iter_mut().zip(row) {
+                    let dv = pv / m;
                     *sqv += w * dv * dv;
                 }
             }
@@ -502,6 +1131,38 @@ impl SbRecommender {
         };
         let mut scored = std::mem::take(&mut scratch.scored);
         self.distances_indexed_into(index, ctx.candidates, refs, scratch, &mut scored);
+        sort_scored(&mut scored);
+        let ranked = scored.iter().map(|&(t, _)| t).collect();
+        scratch.scored = scored;
+        ranked
+    }
+
+    /// [`Self::rank_indexed`] through an epoch-stamped [`PairCache`] —
+    /// the steady-state request path. Ordering is identical to
+    /// [`Self::rank_indexed`] in [`Chi2Kernel::Exact`] mode (the
+    /// distances are bit-identical).
+    pub fn rank_indexed_cached(
+        &self,
+        ctx: &PredictionContext<'_>,
+        index: &SignatureIndex,
+        cache: &mut PairCache,
+        scratch: &mut PredictScratch,
+    ) -> Vec<TileId> {
+        let fallback = [ctx.request.tile];
+        let refs: &[TileId] = if ctx.roi.is_empty() {
+            &fallback
+        } else {
+            ctx.roi
+        };
+        let mut scored = std::mem::take(&mut scratch.scored);
+        self.distances_indexed_cached_into(
+            index,
+            ctx.candidates,
+            refs,
+            cache,
+            scratch,
+            &mut scored,
+        );
         sort_scored(&mut scored);
         let ranked = scored.iter().map(|&(t, _)| t).collect();
         scratch.scored = scored;
@@ -602,6 +1263,60 @@ pub fn chi_squared(a: &[f64], b: &[f64]) -> f64 {
     acc / 2.0
 }
 
+/// `dmanh` and the floored-Euclidean `dphysical` for one tile pair,
+/// from one shared level projection. Bitwise symmetric in `(a, b)`:
+/// `abs_diff` is symmetric and `(−d)·(−d)` is the same IEEE product as
+/// `d·d`, so the pair cache can store one value per unordered pair.
+#[inline]
+fn pair_geometry(a: TileId, b: TileId) -> (u32, f64) {
+    let level = a.level.max(b.level);
+    let pa = a.project_to(level);
+    let pb = b.project_to(level);
+    let dmanh = pa.y.abs_diff(pb.y) + pa.x.abs_diff(pb.x);
+    let dy = f64::from(pa.y) - f64::from(pb.y);
+    let dx = f64::from(pa.x) - f64::from(pb.x);
+    (dmanh, (dy * dy + dx * dx).sqrt().max(1.0))
+}
+
+/// Copies a slot's first `nsig` raw lanes to `lanes[at..]`, with a
+/// fixed-width fast path for the common full-width config (a
+/// runtime-length `copy_from_slice` lowers to a `memcpy` call).
+#[inline]
+fn copy_lanes(lanes: &mut [f64], at: usize, slot: &crate::paircache::Slot, nsig: usize) {
+    if nsig == MAX_CACHED_SIGS {
+        lanes[at..at + MAX_CACHED_SIGS].copy_from_slice(&slot.vals);
+    } else {
+        lanes[at..at + nsig].copy_from_slice(&slot.vals[..nsig]);
+    }
+}
+
+/// Division-free reciprocal: exponent-trick initial guess (subtracting
+/// the bit pattern from a magic constant negates the exponent and
+/// roughly inverts the mantissa) refined by three Newton–Raphson steps
+/// `y ← y·(2 − x·y)`, each squaring the relative error
+/// (~0.09 → 8e-3 → 6e-5 → 4e-9). Multiplies and subtractions only —
+/// the point is relieving the divider port, which bounds the exact
+/// kernel's throughput. Finite positive normal inputs only (the χ²
+/// guard `denom > 1e-12` filters zeros; signatures are finite).
+#[inline]
+fn fast_recip(x: f64) -> f64 {
+    let mut y = f64::from_bits(0x7FDE_6238_22FC_16E6u64.wrapping_sub(x.to_bits()));
+    y *= 2.0 - x * y;
+    y *= 2.0 - x * y;
+    y *= 2.0 - x * y;
+    y
+}
+
+/// One χ² bin division under the compile-time kernel choice.
+#[inline]
+fn lane_div<const RECIP: bool>(num: f64, denom: f64) -> f64 {
+    if RECIP {
+        num * fast_recip(denom)
+    } else {
+        num / denom
+    }
+}
+
 /// χ² over two equal-length contiguous rows — the hot-path form used
 /// against [`SignatureIndex`] matrices, whose rows are zero-padded to a
 /// common width. Zero-padded bins contribute exactly 0, as in
@@ -609,6 +1324,12 @@ pub fn chi_squared(a: &[f64], b: &[f64]) -> f64 {
 /// is non-negative, and adding +0.0 to a non-negative `f64` is exact).
 #[inline]
 pub fn chi_squared_rows(a: &[f64], b: &[f64]) -> f64 {
+    chi_squared_rows_k::<false>(a, b)
+}
+
+/// [`chi_squared_rows`] parameterized by the χ² kernel.
+#[inline]
+fn chi_squared_rows_k<const RECIP: bool>(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0f64;
     for (&x, &y) in a.iter().zip(b) {
@@ -616,7 +1337,11 @@ pub fn chi_squared_rows(a: &[f64], b: &[f64]) -> f64 {
         let num = (x - y) * (x - y);
         // Branchless select: the rejected-lane division may produce
         // inf/NaN, which is discarded, never accumulated.
-        acc += if denom > 1e-12 { num / denom } else { 0.0 };
+        acc += if denom > 1e-12 {
+            lane_div::<RECIP>(num, denom)
+        } else {
+            0.0
+        };
     }
     acc / 2.0
 }
@@ -631,8 +1356,30 @@ pub fn chi_squared_rows(a: &[f64], b: &[f64]) -> f64 {
 /// [`chi_squared_rows`] in the same order — lanes are independent
 /// sums, so the blocking adds instruction-level parallelism without
 /// reassociating any addition, and results stay bit-identical to the
-/// scalar loop.
-fn chi_squared_lanes(row_a: &[f64], data: &[f64], offs: &[usize], pen: &[f64], out: &mut [f64]) {
+/// scalar loop. The per-call `kernel` dispatch monomorphizes the bin
+/// loop, so the kernel branch never reaches the inner loop.
+fn chi_squared_lanes(
+    kernel: Chi2Kernel,
+    row_a: &[f64],
+    data: &[f64],
+    offs: &[usize],
+    pen: &[f64],
+    out: &mut [f64],
+) {
+    match kernel {
+        Chi2Kernel::Exact => chi_squared_lanes_k::<false>(row_a, data, offs, pen, out),
+        Chi2Kernel::Reciprocal => chi_squared_lanes_k::<true>(row_a, data, offs, pen, out),
+    }
+}
+
+/// [`chi_squared_lanes`] monomorphized over the kernel.
+fn chi_squared_lanes_k<const RECIP: bool>(
+    row_a: &[f64],
+    data: &[f64],
+    offs: &[usize],
+    pen: &[f64],
+    out: &mut [f64],
+) {
     let dim = row_a.len();
     let nr = offs.len();
     if dim == 0 {
@@ -655,7 +1402,11 @@ fn chi_squared_lanes(row_a: &[f64], data: &[f64], offs: &[usize], pen: &[f64], o
                 let mut lane = |k: usize, y: f64| {
                     let denom = x + y;
                     let num = (x - y) * (x - y);
-                    acc[k] += if denom > 1e-12 { num / denom } else { 0.0 };
+                    acc[k] += if denom > 1e-12 {
+                        lane_div::<RECIP>(num, denom)
+                    } else {
+                        0.0
+                    };
                 };
                 lane(0, b0[j]);
                 lane(1, b1[j]);
@@ -672,7 +1423,7 @@ fn chi_squared_lanes(row_a: &[f64], data: &[f64], offs: &[usize], pen: &[f64], o
         } else {
             let raw = match offs[bi] {
                 NO_ROW => 1.0,
-                o => chi_squared_rows(row_a, &data[o..][..dim]),
+                o => chi_squared_rows_k::<RECIP>(row_a, &data[o..][..dim]),
             };
             out[bi] = pen[bi] * raw;
             bi += 1;

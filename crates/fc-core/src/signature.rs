@@ -111,6 +111,31 @@ impl SignatureConfig {
     }
 }
 
+/// Sizing hint for the χ² pair cache ([`crate::paircache::PairCache`]):
+/// slots for `nsig` signatures over an `ntiles`-tile index.
+///
+/// An interactive request touches `|C| × |R|` pairs (≤ 64 × 16 = 1024
+/// at the acceptance shape) and a pan/zoom neighbourhood revisits a few
+/// multiples of that, so the working set scales with how much of the
+/// pyramid a session explores — not with the full pair count `ntiles²`.
+/// One slot covers **all** of a pair's signatures, so `nsig` barely
+/// matters; `32 × nsig × ntiles` keeps the load factor low enough
+/// (≲ 0.1 for serpentine exploration of a whole level) that the
+/// additive slot mapping's runs-of-`|R|` rarely overlap another
+/// candidate's probe window — overlaps turn into chronic
+/// evict-and-recompute churn. A sparse table is cheap: warm probes
+/// touch only the live runs, so the cache *footprint* scales with the
+/// working set, not the table. The result is clamped to `[2¹², 2¹⁸]`
+/// slots (256 KiB – 16 MiB of address space at 64-byte slots; engines
+/// allocate lazily and scheduler-batched sessions share one table).
+pub fn pair_cache_capacity_hint(nsig: usize, ntiles: usize) -> usize {
+    nsig.max(1)
+        .saturating_mul(ntiles.max(1))
+        .saturating_mul(32)
+        .next_power_of_two()
+        .clamp(1 << 12, 1 << 18)
+}
+
 /// Renders a tile to the grayscale image the vision signatures consume.
 pub fn tile_image(tile: &Tile, attr: &str, domain: (f64, f64)) -> GrayImage {
     let (h, w) = tile.shape();

@@ -1,0 +1,288 @@
+//! Golden regression tests for the epoch-stamped χ² pair cache: the
+//! cached steady-state path must be indistinguishable from the locked
+//! reference path — bit-identical distances, not just the same ranking
+//! — across cache **hits**, **misses**, and **epoch invalidations**,
+//! on a real pyramid with all four signatures attached. The relaxed
+//! [`Chi2Kernel::Reciprocal`] kernel is held to its documented epsilon
+//! instead.
+
+use fc_array::{DenseArray, Schema};
+use fc_core::paircache::PairCache;
+use fc_core::sb::CHI2_RECIPROCAL_EPSILON;
+use fc_core::sb::{Chi2Kernel, PredictScratch, SbBatchJob, SbConfig, SbRecommender};
+use fc_core::signature::{attach_signatures, SignatureConfig, SignatureKind};
+use fc_core::{BatchConfig, PredictScheduler};
+use fc_tiles::{Pyramid, PyramidBuilder, PyramidConfig, TileId};
+use std::sync::Arc;
+
+/// A deterministic 128×128 terrain with enough structure that the four
+/// signatures disagree between tiles (same seed as `golden_sb.rs`).
+fn seeded_pyramid() -> Arc<Pyramid> {
+    let side = 128;
+    let schema = Schema::grid2d("G", side, side, &["v"]).unwrap();
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| {
+            let y = (i / side) as f64;
+            let x = (i % side) as f64;
+            ((x * 0.17).sin() * (y * 0.11).cos()).abs() * 0.8 + (x + y) / (4.0 * side as f64)
+        })
+        .collect();
+    let base = DenseArray::from_vec(schema, data).unwrap();
+    let pyramid = Arc::new(
+        PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(3, 32, &["v"]))
+            .unwrap(),
+    );
+    let mut cfg = SignatureConfig::ndsi("v");
+    cfg.domain = (0.0, 1.0);
+    attach_signatures(&pyramid, &cfg);
+    pyramid
+}
+
+fn level2(cols: std::ops::Range<u32>) -> Vec<TileId> {
+    (0..4u32)
+        .flat_map(|y| cols.clone().map(move |x| TileId::new(2, y, x)))
+        .collect()
+}
+
+fn assert_bits(reference: &[(TileId, f64)], got: &[(TileId, f64)], what: &str) {
+    assert_eq!(reference.len(), got.len(), "{what}: length");
+    for (r, g) in reference.iter().zip(got) {
+        assert_eq!(r.0, g.0, "{what}: candidate order");
+        assert_eq!(
+            r.1.to_bits(),
+            g.1.to_bits(),
+            "{what}: {:?} {} vs {}",
+            r.0,
+            r.1,
+            g.1
+        );
+    }
+}
+
+#[test]
+fn cached_path_bit_identical_across_hits_misses_and_epochs() {
+    let pyramid = seeded_pyramid();
+    let store = pyramid.store();
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let index = store.signature_index().expect("signatures attached");
+    let mut cache = PairCache::for_index(&index);
+    let mut scratch = PredictScratch::default();
+    let mut out = Vec::new();
+
+    // Cold request: every pair misses; bits must match the reference.
+    let cands = level2(0..3);
+    let roi = [
+        TileId::new(2, 0, 0),
+        TileId::new(2, 3, 3),
+        TileId::new(1, 1, 1),
+    ];
+    let reference = sb.distances(store, &cands, &roi);
+    sb.distances_indexed_cached_into(&index, &cands, &roi, &mut cache, &mut scratch, &mut out);
+    assert_bits(&reference, &out, "cold fill");
+    let s0 = cache.stats();
+    assert_eq!(s0.hits, 0, "cold cache cannot hit");
+    assert_eq!(s0.misses, (cands.len() * roi.len()) as u64);
+
+    // Warm repeat: pure hits, identical bits.
+    sb.distances_indexed_cached_into(&index, &cands, &roi, &mut cache, &mut scratch, &mut out);
+    assert_bits(&reference, &out, "warm repeat");
+    let s1 = cache.stats();
+    assert_eq!(s1.misses, s0.misses, "repeat adds no misses");
+    assert_eq!(s1.hits, s0.misses, "repeat hits every pair");
+
+    // Pan step: partial overlap — mixed hits and misses, identical bits.
+    let panned = level2(1..4);
+    let reference_pan = sb.distances(store, &panned, &roi);
+    sb.distances_indexed_cached_into(&index, &panned, &roi, &mut cache, &mut scratch, &mut out);
+    assert_bits(&reference_pan, &out, "pan step");
+    let s2 = cache.stats();
+    assert!(s2.hits > s1.hits, "pan overlap must hit");
+    assert!(s2.misses > s1.misses, "pan frontier must miss");
+
+    // Epoch bump: rewrite one tile's histogram; the rebuilt index must
+    // invalidate the cache (generation stamp) and the next fill must
+    // match the *new* reference bit-for-bit.
+    store.put_meta(
+        TileId::new(2, 0, 0),
+        SignatureKind::Hist1D.meta_name(),
+        vec![0.5; 16],
+    );
+    let index2 = store.signature_index().expect("rebuilt");
+    let reference_new = sb.distances(store, &cands, &roi);
+    sb.distances_indexed_cached_into(&index2, &cands, &roi, &mut cache, &mut scratch, &mut out);
+    assert_bits(&reference_new, &out, "post-epoch fill");
+    let s3 = cache.stats();
+    assert_eq!(s3.invalidations, 1, "index rebuild bumps the generation");
+    assert_eq!(
+        s3.misses - s2.misses,
+        (cands.len() * roi.len()) as u64,
+        "everything misses after invalidation"
+    );
+
+    // And the generation survives: repeating under the new epoch hits.
+    sb.distances_indexed_cached_into(&index2, &cands, &roi, &mut cache, &mut scratch, &mut out);
+    assert_bits(&reference_new, &out, "post-epoch repeat");
+    assert!(cache.stats().hits > s3.hits);
+}
+
+#[test]
+fn batched_cached_jobs_match_solo_reference() {
+    let pyramid = seeded_pyramid();
+    let store = pyramid.store();
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let index = store.signature_index().unwrap();
+    let mut cache = PairCache::for_index(&index);
+    let mut scratch = PredictScratch::default();
+    let mut outs = Vec::new();
+
+    let c1 = level2(0..2);
+    let c2 = level2(1..4);
+    let c3 = vec![TileId::new(1, 0, 0), TileId::new(1, 1, 1)];
+    let r1 = [TileId::new(2, 1, 1)];
+    let r2 = [TileId::new(2, 1, 1), TileId::new(2, 2, 2)];
+    let r3 = [TileId::new(1, 0, 1)];
+    let jobs = [
+        SbBatchJob {
+            candidates: &c1,
+            roi: &r1,
+        },
+        SbBatchJob {
+            candidates: &c2,
+            roi: &r2,
+        },
+        SbBatchJob {
+            candidates: &c3,
+            roi: &r3,
+        },
+    ];
+    // Two ticks: the first fills (jobs overlap, so later jobs in the
+    // same tick may already hit pairs earlier jobs wrote), the second
+    // is all-hit. Both must be bit-identical to the solo reference.
+    for tick in 0..2 {
+        sb.distances_batched_cached_into(&index, &jobs, &mut cache, &mut scratch, &mut outs);
+        for (j, job) in jobs.iter().enumerate() {
+            let reference = sb.distances(store, job.candidates, job.roi);
+            assert_bits(&reference, &outs[j], &format!("tick {tick} job {j}"));
+        }
+    }
+    assert!(cache.stats().hits > 0);
+}
+
+#[test]
+fn scheduler_shares_pairs_across_sessions() {
+    let pyramid = seeded_pyramid();
+    let sched = PredictScheduler::new(
+        SbRecommender::new(SbConfig::all_equal()),
+        pyramid.clone(),
+        BatchConfig::default(),
+    );
+    sched.register();
+    let cands = level2(0..4);
+    let refs = [TileId::new(2, 2, 2)];
+    // "Session A" computes the pairs…
+    let a = sched.rank(&cands, &refs);
+    let after_a = sched.pair_cache_stats();
+    assert_eq!(after_a.hits, 0);
+    assert!(after_a.misses > 0);
+    // …and "session B" (a later tick over the same neighbourhood)
+    // rides them: all hits, same ranking as the solo fast path.
+    let b = sched.rank(&cands, &refs);
+    let after_b = sched.pair_cache_stats();
+    assert_eq!(after_b.misses, after_a.misses);
+    assert_eq!(after_b.hits, after_a.misses);
+    assert_eq!(a, b);
+    // Cross-check against the uncached indexed path.
+    let sb = SbRecommender::new(SbConfig::all_equal());
+    let ix = pyramid.store().signature_index().unwrap();
+    let mut scratch = PredictScratch::default();
+    let mut out = Vec::new();
+    sb.distances_indexed_into(&ix, &cands, &refs, &mut scratch, &mut out);
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let solo: Vec<TileId> = out.into_iter().map(|(t, _)| t).collect();
+    assert_eq!(a, solo);
+    sched.unregister();
+}
+
+#[test]
+fn reciprocal_kernel_is_epsilon_bounded_and_self_consistent() {
+    let pyramid = seeded_pyramid();
+    let store = pyramid.store();
+    let exact = SbRecommender::new(SbConfig::all_equal());
+    let relaxed = SbRecommender::new(SbConfig {
+        kernel: Chi2Kernel::Reciprocal,
+        ..SbConfig::all_equal()
+    });
+    let index = store.signature_index().unwrap();
+    let mut cache = PairCache::for_index(&index);
+    let mut scratch = PredictScratch::default();
+
+    let cands = level2(0..4);
+    let roi = [
+        TileId::new(2, 0, 0),
+        TileId::new(2, 3, 3),
+        TileId::new(1, 0, 0),
+    ];
+    let reference = exact.distances(store, &cands, &roi);
+
+    // Uncached relaxed fill: within the documented epsilon.
+    let mut plain = Vec::new();
+    relaxed.distances_indexed_into(&index, &cands, &roi, &mut scratch, &mut plain);
+    for (r, g) in reference.iter().zip(&plain) {
+        let tol = CHI2_RECIPROCAL_EPSILON * r.1.abs().max(1.0);
+        assert!(
+            (r.1 - g.1).abs() <= tol,
+            "{:?}: exact {} vs reciprocal {}",
+            r.0,
+            r.1,
+            g.1
+        );
+    }
+
+    // Cached relaxed fill (reciprocal misses + fused reassociated
+    // combine): within epsilon of the exact reference both cold and
+    // warm, and deterministic — the warm pass reproduces the cold
+    // pass bit-for-bit (same slot values, same arithmetic).
+    let mut cached = Vec::new();
+    let mut first_pass = Vec::new();
+    for pass in 0..2 {
+        relaxed.distances_indexed_cached_into(
+            &index,
+            &cands,
+            &roi,
+            &mut cache,
+            &mut scratch,
+            &mut cached,
+        );
+        for (r, g) in reference.iter().zip(&cached) {
+            let tol = CHI2_RECIPROCAL_EPSILON * r.1.abs().max(1.0);
+            assert!(
+                (r.1 - g.1).abs() <= tol,
+                "pass {pass} {:?}: exact {} vs relaxed-cached {}",
+                r.0,
+                r.1,
+                g.1
+            );
+        }
+        if pass == 0 {
+            first_pass = cached.clone();
+        } else {
+            assert_bits(&first_pass, &cached, "reciprocal warm determinism");
+        }
+    }
+
+    // Switching the kernel on the same cache invalidates (the kernel
+    // is part of the cache's validity domain): the exact fill through
+    // the shared cache must be bit-identical to the exact reference.
+    let mut exact_cached = Vec::new();
+    exact.distances_indexed_cached_into(
+        &index,
+        &cands,
+        &roi,
+        &mut cache,
+        &mut scratch,
+        &mut exact_cached,
+    );
+    assert_bits(&reference, &exact_cached, "kernel switch");
+    assert!(cache.stats().invalidations >= 1);
+}

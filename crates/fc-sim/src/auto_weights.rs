@@ -53,8 +53,7 @@ pub fn learn_weights(pyramid: Arc<Pyramid>, train: &[&Trace], k: usize) -> Learn
             .iter()
             .map(|&(kind, _, w)| (kind, w))
             .collect(),
-        manhattan_penalty: true,
-        physical_distance: true,
+        ..SbConfig::all_equal()
     };
     LearnedWeights {
         per_signature,

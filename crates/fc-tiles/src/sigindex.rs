@@ -41,6 +41,10 @@ use crate::geometry::Geometry;
 use crate::id::TileId;
 use crate::store::{MetaKey, TileMeta};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of process-unique [`SignatureIndex::build_id`] values.
+static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(0);
 
 /// One metadata key's signatures for every tile, as a dense row-major
 /// matrix: row `i` is the signature of the tile with dense index `i`.
@@ -88,7 +92,7 @@ impl SigMatrix {
 /// The frozen index: per-key dense matrices plus the dense tile-index
 /// mapping for the geometry it was built over. See the module docs for
 /// the concurrency model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SignatureIndex {
     geometry: Geometry,
     /// Per level: (tile columns, dense offset of that level's first tile).
@@ -97,6 +101,21 @@ pub struct SignatureIndex {
     /// Sorted by key id; parallel to `mats`.
     keys: Vec<MetaKey>,
     mats: Vec<SigMatrix>,
+    /// Process-unique identity of this build (see [`Self::build_id`]).
+    build_id: u64,
+}
+
+/// Structural equality: two indexes over the same geometry and matrices
+/// compare equal even though their [`SignatureIndex::build_id`]s differ
+/// (the build id is an identity, not part of the indexed data).
+impl PartialEq for SignatureIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.geometry == other.geometry
+            && self.level_dims == other.level_dims
+            && self.ntiles == other.ntiles
+            && self.keys == other.keys
+            && self.mats == other.mats
+    }
 }
 
 impl SignatureIndex {
@@ -141,6 +160,7 @@ impl SignatureIndex {
             ntiles,
             keys: Vec::new(),
             mats: Vec::new(),
+            build_id: NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed),
         };
         for (&id, m) in meta {
             let Some(dense) = index.dense_index(id) else {
@@ -163,6 +183,17 @@ impl SignatureIndex {
     /// The geometry the dense indexing is defined over.
     pub fn geometry(&self) -> Geometry {
         self.geometry
+    }
+
+    /// A process-unique identity for this build. Every
+    /// [`SignatureIndex::build`] — including rebuilds of the same store
+    /// after a metadata epoch bump — gets a fresh id, so derived caches
+    /// (e.g. the χ² pair cache in `fc-core`) can detect *any* index
+    /// change with one integer compare and invalidate in O(1), without
+    /// tracking `(store_id, meta_epoch)` pairs themselves.
+    #[inline]
+    pub fn build_id(&self) -> u64 {
+        self.build_id
     }
 
     /// Number of tiles (dense index domain size).
@@ -219,6 +250,18 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         assert_eq!(ix.ntiles(), g.total_tiles());
         assert!(ix.dense_index(TileId::new(7, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn build_ids_are_unique_but_equality_is_structural() {
+        let g = Geometry::new(2, 32, 32, 16, 16);
+        let map = meta_map(&[(TileId::ROOT, "hist", vec![0.25, 0.75])]);
+        let a = SignatureIndex::build(g, &map);
+        let b = SignatureIndex::build(g, &map);
+        assert_ne!(a.build_id(), b.build_id());
+        assert_eq!(a, b, "same data compares equal despite fresh ids");
+        // A clone keeps the identity: it is the same frozen build.
+        assert_eq!(a.clone().build_id(), a.build_id());
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl MetaKey {
     pub fn name(self) -> &'static str {
         interner().read().names[self.0 as usize]
     }
+
+    /// The raw interned id — stable for the lifetime of the process,
+    /// never stable across processes. Lets derived caches fingerprint a
+    /// key *set* with integer arithmetic instead of string hashing.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 /// Per-tile metadata: named signature vectors computed at build time.
