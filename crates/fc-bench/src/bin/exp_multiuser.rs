@@ -1,9 +1,11 @@
 //! Multi-user serving benchmark: sharded cache + cross-session predict
-//! batching vs. the retained single-mutex reference.
+//! batching vs. the retained single-mutex reference, plus the
+//! multi-dataset hotspot-model scenario.
 //!
-//! Runs the `fc-sim` multi-user replay driver (K concurrent simulated
-//! analysts, mixed pan/zoom workloads over one shared pyramid) at 1, 8,
-//! and 64 sessions against two serving configurations:
+//! **Part 1 — contention sweep.** Runs the `fc-sim` multi-user replay
+//! driver (K concurrent simulated analysts, mixed pan/zoom workloads
+//! over one shared pyramid) at 1, 8, and 64 sessions against two
+//! serving configurations:
 //!
 //! * `single_mutex` — the pre-sharding [`fc_core::SingleMutexTileCache`]
 //!   with per-session (uncoalesced) predicts: the seed multi-user path;
@@ -11,10 +13,20 @@
 //!   plus the [`fc_core::PredictScheduler`] coalescing concurrent
 //!   sessions' SB rankings into one batched sweep per tick.
 //!
+//! **Part 2 — multi-dataset hotspot model.** Two pyramids served from
+//! one process through a [`fc_core::DatasetRegistry`] (one cache
+//! namespace each, one global budget), with every session replaying an
+//! attractor-converging workload (`fc_sim::multiuser::hotspot_workload`).
+//! Measured twice — cross-session hotspot model **off** then **on**
+//! (`SharedHotspotModel` prior blended into candidate ranking) — and
+//! reported as per-namespace hit-rate and cross-session-hit deltas.
+//!
 //! Writes `BENCH_multiuser.json` with aggregate request (= predict)
 //! throughput and p50/p99 per-request predict latency per
-//! configuration, plus the 64-session throughput ratio the acceptance
-//! criterion tracks (≥ 4×). See `docs/BENCHMARKS.md` for field
+//! configuration, the 64-session throughput ratio the acceptance
+//! criterion tracks (≥ 4×), and the `multi_dataset` section. With
+//! `--smoke` (CI) it runs one short iteration of everything and does
+//! **not** overwrite the JSON. See `docs/BENCHMARKS.md` for field
 //! definitions and the single-CPU-container caveat: on one core the
 //! ratio measures lock-hold and eviction-scan costs, not parallelism —
 //! the batched rayon fan-out engages on multi-core hosts.
@@ -22,10 +34,14 @@
 use fc_core::engine::PhaseSource;
 use fc_core::signature::SignatureKind;
 use fc_core::{
-    AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, EngineConfig, HotspotBlend, HotspotConfig, PredictionEngine,
+    SbConfig, SbRecommender,
 };
-use fc_sim::multiuser::{run_multi_user, synthetic_workload, CacheImpl, MultiUserConfig};
-use fc_tiles::{Move, Pyramid, PyramidBuilder, PyramidConfig};
+use fc_sim::multiuser::{
+    hotspot_workload, run_multi_dataset, run_multi_user, synthetic_workload, CacheImpl,
+    MultiDatasetConfig, MultiUserConfig, NamespaceReport,
+};
+use fc_tiles::{Geometry, Move, Pyramid, PyramidBuilder, PyramidConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -45,14 +61,28 @@ const STEPS: usize = 384;
 /// Session counts swept.
 const SESSION_COUNTS: [usize; 3] = [1, 8, 64];
 
-fn pyramid() -> Arc<Pyramid> {
+/// Multi-dataset scenario shape (part 2).
+const MD_DATASETS: [&str; 2] = ["west", "east"];
+const MD_SESSIONS: usize = 8;
+const MD_STEPS: usize = 256;
+const MD_BUDGET: usize = 2048;
+const MD_ATTRACTORS: usize = 3;
+/// Prefetch budget for the multi-dataset scenario: deliberately below
+/// the deepest-level candidate count (~5), so the *ranking* decides
+/// what gets prefetched and the hotspot prior has room to matter.
+const MD_K: usize = 2;
+
+fn pyramid(seed: u64) -> Arc<Pyramid> {
     // 1024² base, 16-cell tiles, 6 levels → 5460 tiles: enough distinct
     // tiles that a CAPACITY-tile (4096) cache stays saturated at 64
     // sessions (the 64-session working set spans most of the pyramid).
     let side = 1024;
     let schema = fc_array::Schema::grid2d("MU", side, side, &["v"]).expect("schema");
     let data: Vec<f64> = (0..side * side)
-        .map(|i| ((i as f64 * 0.19).sin().abs() + (i % side) as f64 / side as f64) / 2.0)
+        .map(|i| {
+            (((i + seed as usize) as f64 * 0.19).sin().abs() + (i % side) as f64 / side as f64)
+                / 2.0
+        })
         .collect();
     let base = fc_array::DenseArray::from_vec(schema, data).expect("base");
     let p = Arc::new(
@@ -65,7 +95,7 @@ fn pyramid() -> Arc<Pyramid> {
     for id in p.geometry().all_tiles() {
         let mut h = [0.0f64; 8];
         h[(id.x as usize)
-            .wrapping_mul(7)
+            .wrapping_mul(7 + seed as usize)
             .wrapping_add(id.y as usize * 3)
             % 8] = 0.7;
         h[(id.level as usize + id.x as usize) % 8] += 0.3;
@@ -75,23 +105,25 @@ fn pyramid() -> Arc<Pyramid> {
     p
 }
 
+fn engine(g: Geometry) -> PredictionEngine {
+    let r = Move::PanRight.index() as u16;
+    let traces: Vec<Vec<u16>> = vec![vec![r; 50]];
+    let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+    PredictionEngine::new(
+        g,
+        AbRecommender::train(refs, 3),
+        SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+        PhaseSource::Heuristic,
+        EngineConfig {
+            strategy: AllocationStrategy::Updated,
+            ..EngineConfig::default()
+        },
+    )
+}
+
 fn engine_factory(p: &Arc<Pyramid>) -> impl Fn() -> PredictionEngine + Sync {
     let g = p.geometry();
-    move || {
-        let r = Move::PanRight.index() as u16;
-        let traces: Vec<Vec<u16>> = vec![vec![r; 50]];
-        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
-        PredictionEngine::new(
-            g,
-            AbRecommender::train(refs, 3),
-            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
-            PhaseSource::Heuristic,
-            EngineConfig {
-                strategy: AllocationStrategy::Updated,
-                ..EngineConfig::default()
-            },
-        )
-    }
+    move || engine(g)
 }
 
 struct Row {
@@ -108,14 +140,78 @@ struct Row {
     largest_batch: usize,
 }
 
+/// One namespace's off/on pair from the multi-dataset A/B.
+struct NamespaceDelta {
+    dataset: String,
+    capacity: usize,
+    off: NamespaceReport,
+    on: NamespaceReport,
+}
+
+/// Runs the multi-dataset scenario twice (hotspot model off, then on)
+/// over fresh pyramids each time, pairing the per-namespace reports.
+fn run_multi_dataset_ab(sessions: usize, steps: usize) -> Vec<NamespaceDelta> {
+    let run = |hotspots: bool| {
+        let datasets: Vec<(String, Arc<Pyramid>, Vec<fc_sim::trace::Trace>)> = MD_DATASETS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let p = pyramid(1 + i as u64 * 37);
+                let traces = hotspot_workload(p.geometry(), sessions, steps, MD_ATTRACTORS);
+                (name.to_string(), p, traces)
+            })
+            .collect();
+        let cfg = MultiDatasetConfig {
+            sessions_per_dataset: sessions,
+            steps_per_session: steps,
+            global_budget: MD_BUDGET,
+            shards: 0,
+            hotspots,
+            hotspot_cfg: HotspotConfig {
+                top_n: MD_ATTRACTORS,
+                refresh_every: 32,
+            },
+            blend: HotspotBlend {
+                radius: 8,
+                phases: [true, true, true],
+            },
+            k: MD_K,
+            ..MultiDatasetConfig::default()
+        };
+        run_multi_dataset(&datasets, |p| engine(p.geometry()), &cfg)
+    };
+    let off = run(false);
+    let on = run(true);
+    off.namespaces
+        .into_iter()
+        .zip(on.namespaces)
+        .map(|(off, on)| NamespaceDelta {
+            dataset: off.dataset.clone(),
+            capacity: off.capacity,
+            off,
+            on,
+        })
+        .collect()
+}
+
 fn main() {
-    let p = pyramid();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke mode (CI wiring check): one short iteration per layer, no
+    // JSON overwrite.
+    let (session_counts, steps, rounds, md_sessions, md_steps): (Vec<usize>, _, _, _, _) = if smoke
+    {
+        (vec![1, 4], 24, 1, 2, 32)
+    } else {
+        (SESSION_COUNTS.to_vec(), STEPS, 3, MD_SESSIONS, MD_STEPS)
+    };
+
+    let p = pyramid(0);
     let g = p.geometry();
     let factory = engine_factory(&p);
     // Zoom cadence 5: frequent §5.2.2 zoom-out/in excursions widen
     // each session's working set across levels, keeping the shared
     // cache under constant replacement pressure in steady state.
-    let traces = synthetic_workload(g, *SESSION_COUNTS.iter().max().unwrap(), STEPS, 5);
+    let traces = synthetic_workload(g, *session_counts.iter().max().unwrap(), steps, 5);
 
     let configs: [(&'static str, CacheImpl, bool); 3] = [
         ("single_mutex", CacheImpl::SingleMutex, false),
@@ -130,23 +226,22 @@ fn main() {
     // Interleaved rounds with a per-cell median (as in
     // exp_perf_baseline): slow container neighbours shift every
     // configuration of a round together instead of skewing one ratio.
-    const ROUNDS: usize = 3;
-    let mut cells: Vec<Vec<Row>> = (0..SESSION_COUNTS.len() * configs.len())
+    let mut cells: Vec<Vec<Row>> = (0..session_counts.len() * configs.len())
         .map(|_| Vec::new())
         .collect();
-    for round in 0..ROUNDS {
-        for (si, &sessions) in SESSION_COUNTS.iter().enumerate() {
+    for round in 0..rounds {
+        for (si, &sessions) in session_counts.iter().enumerate() {
             for (ci, (name, cache, batched)) in configs.iter().enumerate() {
                 let cfg = MultiUserConfig {
                     sessions,
-                    steps_per_session: STEPS,
+                    steps_per_session: steps,
                     cache_capacity: CAPACITY,
                     cache: *cache,
                     batch_predicts: *batched,
                     k: K,
                     ..MultiUserConfig::default()
                 };
-                if round == 0 {
+                if round == 0 && !smoke {
                     // Short warm-up (page caches, lazy index freeze).
                     let warm = MultiUserConfig {
                         steps_per_session: 32,
@@ -180,13 +275,18 @@ fn main() {
         })
         .collect();
 
+    let max_sessions = *session_counts.iter().max().unwrap();
     let tput = |cache: &str, sessions: usize| {
         rows.iter()
             .find(|r| r.cache == cache && r.sessions == sessions)
             .map(|r| r.throughput_rps)
             .unwrap_or(0.0)
     };
-    let speedup64 = tput("sharded_batched", 64) / tput("single_mutex", 64).max(1e-9);
+    let speedup64 =
+        tput("sharded_batched", max_sessions) / tput("single_mutex", max_sessions).max(1e-9);
+
+    // Part 2: the multi-dataset hotspot-model A/B.
+    let deltas = run_multi_dataset_ab(md_sessions, md_steps);
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"multiuser\",\n");
@@ -217,9 +317,33 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"speedup_64_sessions\": {speedup64:.2},\n  \"acceptance_threshold\": 4.0\n}}"
+        "  \"speedup_64_sessions\": {speedup64:.2},\n  \"acceptance_threshold\": 4.0,"
     );
-    std::fs::write("BENCH_multiuser.json", &json).expect("write BENCH_multiuser.json");
+    let _ = writeln!(
+        json,
+        "  \"multi_dataset\": {{\n    \"datasets\": {}, \"sessions_per_dataset\": {md_sessions}, \"steps_per_session\": {md_steps}, \"global_budget\": {MD_BUDGET}, \"attractors\": {MD_ATTRACTORS},",
+        MD_DATASETS.len()
+    );
+    json.push_str("    \"namespaces\": [\n");
+    for (i, d) in deltas.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"dataset\": \"{}\", \"capacity\": {}, \"hit_rate_model_off\": {:.3}, \"hit_rate_model_on\": {:.3}, \"hit_rate_delta\": {:.3}, \"cross_session_hits_model_off\": {}, \"cross_session_hits_model_on\": {}, \"hotspot_epochs\": {}}}",
+            d.dataset,
+            d.capacity,
+            d.off.hit_rate,
+            d.on.hit_rate,
+            d.on.hit_rate - d.off.hit_rate,
+            d.off.shared.cross_session_hits,
+            d.on.shared.cross_session_hits,
+            d.on.hotspot_epoch,
+        );
+        json.push_str(if i + 1 < deltas.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  }\n}\n");
+    if !smoke {
+        std::fs::write("BENCH_multiuser.json", &json).expect("write BENCH_multiuser.json");
+    }
 
     println!("# exp_multiuser — sharded + batched serving vs single-mutex reference");
     println!();
@@ -241,9 +365,32 @@ fn main() {
         );
     }
     println!();
-    println!("speedup at 64 sessions: {speedup64:.2}x (acceptance: >= 4x)");
-    println!("wrote BENCH_multiuser.json");
-    if speedup64 < 4.0 {
-        eprintln!("WARNING: speedup below the 4x acceptance threshold");
+    println!("speedup at {max_sessions} sessions: {speedup64:.2}x (acceptance: >= 4x)");
+    println!();
+    println!("# multi-dataset hotspot model (off -> on), one namespace per dataset");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>7} {:>12} {:>12}",
+        "dataset", "capacity", "hit-off", "hit-on", "delta", "cross-off", "cross-on"
+    );
+    for d in &deltas {
+        println!(
+            "{:<8} {:>9} {:>9.3} {:>9.3} {:>+7.3} {:>12} {:>12}",
+            d.dataset,
+            d.capacity,
+            d.off.hit_rate,
+            d.on.hit_rate,
+            d.on.hit_rate - d.off.hit_rate,
+            d.off.shared.cross_session_hits,
+            d.on.shared.cross_session_hits,
+        );
+    }
+    println!();
+    if smoke {
+        println!("smoke mode: BENCH_multiuser.json left untouched");
+    } else {
+        println!("wrote BENCH_multiuser.json");
+        if speedup64 < 4.0 {
+            eprintln!("WARNING: speedup below the 4x acceptance threshold");
+        }
     }
 }

@@ -11,8 +11,18 @@
 //!   4 predictions from the AB model (or less if k < 4), and then starts
 //!   fetching predictions from the SB model if k > 4."
 //! * AB-only / SB-only for the ablation benches.
+//!
+//! The module also hosts the **cross-session hotspot prior**
+//! ([`HotspotBlend`], [`boost_toward_hotspots`]): in multi-user mode
+//! the engine can re-rank each model's candidate list toward the
+//! communal hotspots the shared cache's popularity sketch discovered
+//! online — the same toward-hotspot boost the Doshi-et-al. Hotspot
+//! baseline applies (`baselines::HotspotRecommender::rank`), but
+//! trained from live traffic instead of offline traces. Opt-in and
+//! phase-gated, so single-user prediction stays bit-identical.
 
 use crate::phase::Phase;
+use fc_tiles::TileId;
 
 /// How the prefetch budget is split between the AB and SB recommenders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +71,73 @@ impl AllocationStrategy {
             AllocationStrategy::SbOnly => "sb-only",
         }
     }
+}
+
+/// How (and when) the cross-session hotspot prior blends into
+/// candidate ranking. Carried by `EngineConfig::hotspot`; `None` there
+/// (the default) keeps prediction bit-identical to the paper engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotBlend {
+    /// A hotspot is "nearby" within this projected Manhattan distance
+    /// of the current tile (the Doshi-et-al. radius).
+    pub radius: u32,
+    /// Per-phase gate, indexed by [`Phase::index`]: the prior applies
+    /// only in phases marked `true`. Default: Foraging and Navigation
+    /// (where the user is *seeking* regions of interest); Sensemaking
+    /// stays pure SB, as §5.4.3 allocates.
+    pub phases: [bool; 3],
+}
+
+impl Default for HotspotBlend {
+    fn default() -> Self {
+        Self {
+            radius: 4,
+            phases: [true, true, false],
+        }
+    }
+}
+
+impl HotspotBlend {
+    /// Whether the prior applies in `phase`.
+    pub fn applies_in(&self, phase: Phase) -> bool {
+        self.phases[phase.index()]
+    }
+}
+
+/// Re-ranks `list` toward the nearest communal hotspot, mirroring
+/// `HotspotRecommender::rank`: when a hotspot lies within `radius` of
+/// `current`, candidates strictly closer to it than `current` move to
+/// the front (stable — relative model order is preserved within both
+/// groups, so the boost only expresses the prior, never reshuffles the
+/// model's own ranking). No nearby hotspot → no change.
+///
+/// Hotspots *at* the current tile are skipped: the online sketch
+/// counts every request, so the tile being viewed is routinely among
+/// the top-N, and a zero-distance "nearest hotspot" would silence the
+/// pull of every real neighbour exactly when the user sits on a
+/// popular path.
+pub fn boost_toward_hotspots(
+    list: &mut [TileId],
+    current: TileId,
+    hotspots: &[(TileId, u64)],
+    radius: u32,
+) {
+    let Some(hs) = hotspots
+        .iter()
+        .map(|&(h, _)| (h, current.manhattan(&h)))
+        .filter(|&(_, d)| d > 0 && d <= radius)
+        .min_by_key(|&(h, d)| (d, h))
+        .map(|(h, _)| h)
+    else {
+        return;
+    };
+    let here = current.manhattan(&hs);
+    // Stable partition via a stable sort on the boost predicate:
+    // toward-hotspot candidates (key `false`) move to the front,
+    // relative order preserved within both groups, no allocation on
+    // the predict path (candidate lists are ≤ the 24-tile move
+    // neighbourhood, well inside the sort's insertion-run regime).
+    list.sort_by_key(|t| t.manhattan(&hs) >= here);
 }
 
 /// Merges two ranked lists under an allocation: take `ab_slots` from
@@ -165,5 +242,61 @@ mod tests {
         let sb = [tid(4), tid(5), tid(6)];
         assert_eq!(merge_allocated(&ab, &sb, 1, 1).len(), 2);
         assert_eq!(merge_allocated(&ab, &sb, 0, 0).len(), 0);
+    }
+
+    #[test]
+    fn boost_moves_toward_hotspot_candidates_to_the_front_stably() {
+        // Current tile at x=5; hotspot at x=8 (distance 3 ≤ radius 4).
+        let current = tid(5);
+        let hotspots = [(tid(8), 10u64)];
+        // tid(4) and tid(5) don't approach the hotspot; 6 and 7 do.
+        let mut list = vec![tid(4), tid(7), tid(6)];
+        boost_toward_hotspots(&mut list, current, &hotspots, 4);
+        // 7 and 6 move up preserving their relative (model) order.
+        assert_eq!(list, vec![tid(7), tid(6), tid(4)]);
+    }
+
+    #[test]
+    fn boost_is_a_no_op_without_a_nearby_hotspot() {
+        let current = tid(5);
+        let hotspots = [(tid(50), 99u64)];
+        let original = vec![tid(4), tid(6), tid(7)];
+        let mut list = original.clone();
+        boost_toward_hotspots(&mut list, current, &hotspots, 4);
+        assert_eq!(list, original, "far hotspot must not re-rank");
+        let mut list = original.clone();
+        boost_toward_hotspots(&mut list, current, &[], 4);
+        assert_eq!(list, original, "empty prior must not re-rank");
+    }
+
+    #[test]
+    fn boost_picks_the_nearest_hotspot_deterministically() {
+        let current = tid(5);
+        // Two hotspots in range; the nearer (tid 7, d=2) wins over
+        // tid(2) (d=3), so tid(6) boosts but tid(4) does not.
+        let hotspots = [(tid(2), 50u64), (tid(7), 10u64)];
+        let mut list = vec![tid(4), tid(6)];
+        boost_toward_hotspots(&mut list, current, &hotspots, 4);
+        assert_eq!(list, vec![tid(6), tid(4)]);
+    }
+
+    #[test]
+    fn boost_skips_the_current_tile_as_its_own_hotspot() {
+        // The current tile tops the (online) sketch; the real pull
+        // must come from the next-nearest hotspot, not be silenced by
+        // the zero-distance self entry.
+        let current = tid(5);
+        let hotspots = [(tid(5), 100u64), (tid(8), 10u64)];
+        let mut list = vec![tid(4), tid(6)];
+        boost_toward_hotspots(&mut list, current, &hotspots, 4);
+        assert_eq!(list, vec![tid(6), tid(4)]);
+    }
+
+    #[test]
+    fn default_blend_gates_sensemaking_off() {
+        let b = HotspotBlend::default();
+        assert!(b.applies_in(Phase::Foraging));
+        assert!(b.applies_in(Phase::Navigation));
+        assert!(!b.applies_in(Phase::Sensemaking));
     }
 }

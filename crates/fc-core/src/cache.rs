@@ -61,17 +61,31 @@ impl CacheManager {
 
     /// Looks up a tile, counting a hit or miss.
     pub fn lookup(&mut self, id: TileId) -> Option<Arc<Tile>> {
-        let found = self
-            .prefetch
+        let found = self.peek(id);
+        self.count_lookup(found.is_some());
+        found
+    }
+
+    /// Looks up a tile **without counting** — the shared-mode probe:
+    /// the middleware resolves the request against the shared cache
+    /// (and the backend) first, then records the outcome once with
+    /// [`CacheManager::count_lookup`], so a shared-cache hit is never
+    /// booked as a private miss and an unserved request books nothing.
+    pub fn peek(&self, id: TileId) -> Option<Arc<Tile>> {
+        self.prefetch
             .get(&id)
             .or_else(|| self.resident.get(&id))
-            .cloned();
-        if found.is_some() {
+            .cloned()
+    }
+
+    /// Records the outcome of a lookup resolved through
+    /// [`CacheManager::peek`] (see there).
+    pub fn count_lookup(&mut self, hit: bool) {
+        if hit {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
         }
-        found
     }
 
     /// Checks residency without touching the stats.

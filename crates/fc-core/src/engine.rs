@@ -7,7 +7,7 @@
 //! strategy for the predicted phase.
 
 use crate::ab::AbRecommender;
-use crate::alloc::{merge_allocated, AllocationStrategy};
+use crate::alloc::{boost_toward_hotspots, merge_allocated, AllocationStrategy, HotspotBlend};
 use crate::history::{Request, SessionHistory};
 use crate::paircache::{PairCache, PairCacheStats};
 use crate::phase::{Phase, PhaseClassifier};
@@ -29,6 +29,13 @@ pub struct EngineConfig {
     pub distance: usize,
     /// Cache allocation strategy.
     pub strategy: AllocationStrategy,
+    /// Cross-session hotspot blending (multi-user mode): when set, a
+    /// hotspot prior handed to [`PredictionEngine::predict_with_prior`]
+    /// re-ranks each model's candidate list toward nearby communal
+    /// hotspots, gated to the configured phases. `None` (the default)
+    /// — and every predict call without a prior — keeps prediction
+    /// bit-identical to the paper engine.
+    pub hotspot: Option<HotspotBlend>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +44,7 @@ impl Default for EngineConfig {
             history_len: 3,
             distance: 1,
             strategy: AllocationStrategy::Updated,
+            hotspot: None,
         }
     }
 }
@@ -139,6 +147,21 @@ impl PredictionEngine {
         self.predict_with_phase(store, self.current_phase(), k)
     }
 
+    /// Like [`Self::predict`], with a cross-session hotspot prior (the
+    /// current [`crate::multiuser::HotspotSnapshot`] entries of the
+    /// session's namespace). Applied only when
+    /// [`EngineConfig::hotspot`] is set *and* its phase gate admits the
+    /// inferred phase; an empty prior, a closed gate, or an unset
+    /// config all reduce to [`Self::predict`] exactly.
+    pub fn predict_with_prior(
+        &mut self,
+        store: &TileStore,
+        k: usize,
+        hotspots: &[(TileId, u64)],
+    ) -> Vec<TileId> {
+        self.predict_inner(store, self.current_phase(), k, None, hotspots)
+    }
+
     /// Refreshes the cached frozen signature index. Steady state (same
     /// store, no metadata writes since the last call) costs one atomic
     /// load and touches no store locks. The key carries the store's
@@ -180,7 +203,7 @@ impl PredictionEngine {
     /// Predicts with an externally supplied phase (used when evaluating
     /// the bottom level against hand-labeled phases, §5.4.2).
     pub fn predict_with_phase(&mut self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
-        self.predict_inner(store, phase, k, None)
+        self.predict_inner(store, phase, k, None, &[])
     }
 
     /// Like [`Self::predict`], but the SB ranking is computed through
@@ -196,7 +219,19 @@ impl PredictionEngine {
         store: &TileStore,
         k: usize,
     ) -> Vec<TileId> {
-        self.predict_inner(store, self.current_phase(), k, Some(scheduler))
+        self.predict_inner(store, self.current_phase(), k, Some(scheduler), &[])
+    }
+
+    /// [`Self::predict_batched`] with a cross-session hotspot prior
+    /// (see [`Self::predict_with_prior`] for the gating rules).
+    pub fn predict_batched_with_prior(
+        &mut self,
+        scheduler: &crate::batch::PredictScheduler,
+        store: &TileStore,
+        k: usize,
+        hotspots: &[(TileId, u64)],
+    ) -> Vec<TileId> {
+        self.predict_inner(store, self.current_phase(), k, Some(scheduler), hotspots)
     }
 
     /// [`Self::predict_with_phase`] through the shared scheduler.
@@ -207,7 +242,7 @@ impl PredictionEngine {
         phase: Phase,
         k: usize,
     ) -> Vec<TileId> {
-        self.predict_inner(store, phase, k, Some(scheduler))
+        self.predict_inner(store, phase, k, Some(scheduler), &[])
     }
 
     fn predict_inner(
@@ -216,6 +251,7 @@ impl PredictionEngine {
         phase: Phase,
         k: usize,
         scheduler: Option<&crate::batch::PredictScheduler>,
+        hotspots: &[(TileId, u64)],
     ) -> Vec<TileId> {
         let Some(last) = self.history.last() else {
             return Vec::new();
@@ -240,12 +276,12 @@ impl PredictionEngine {
             roi: self.roi.roi(),
         };
         let (ab_slots, sb_slots) = self.config.strategy.allocate(phase, k);
-        let ab_list = if ab_slots > 0 || sb_slots > 0 {
+        let mut ab_list = if ab_slots > 0 || sb_slots > 0 {
             self.ab.rank(&ctx)
         } else {
             Vec::new()
         };
-        let sb_list = match scheduler {
+        let mut sb_list = match scheduler {
             // Cross-session path: the scheduler owns index refresh and
             // scratch; we resolve the reference set (ROI, or the
             // current tile before any ROI commits) exactly as
@@ -271,7 +307,25 @@ impl PredictionEngine {
                 None => self.sb.rank(&ctx),
             },
         };
+        // Cross-session hotspot prior: re-rank each model's *full*
+        // candidate list toward nearby communal hotspots before the
+        // budget split, so the prior can change which tiles make the
+        // top-k (not just their order). Opt-in, phase-gated, and inert
+        // without a prior — the default path is bit-identical.
+        if let Some(blend) = self.config.hotspot {
+            if blend.applies_in(phase) && !hotspots.is_empty() {
+                boost_toward_hotspots(&mut ab_list, last.tile, hotspots, blend.radius);
+                boost_toward_hotspots(&mut sb_list, last.tile, hotspots, blend.radius);
+            }
+        }
         merge_allocated(&ab_list, &sb_list, ab_slots, sb_slots)
+    }
+
+    /// Enables (or disables) cross-session hotspot blending after
+    /// construction — how the multi-user drivers flip the model on for
+    /// an A/B measurement without rebuilding the engine.
+    pub fn set_hotspot_blend(&mut self, blend: Option<HotspotBlend>) {
+        self.config.hotspot = blend;
     }
 
     /// The engine's SB model (e.g. to clone into a
@@ -478,6 +532,52 @@ mod tests {
         // the (x % 3) signature class of the ROI fallback (current tile).
         let cur_class = 5 % 3;
         assert_eq!(p[0].x % 3, cur_class);
+    }
+
+    #[test]
+    fn hotspot_prior_is_inert_unless_opted_in_and_gated() {
+        let s = store(geometry());
+        // A hotspot up-and-right of the walk; radius wide enough.
+        let hotspots = [(TileId::new(2, 0, 4), 50u64)];
+        let observe = |e: &mut PredictionEngine| {
+            e.observe(Request::initial(TileId::new(2, 2, 1)));
+            e.observe(Request::new(TileId::new(2, 2, 2), Some(Move::PanRight)));
+        };
+        // Without EngineConfig::hotspot, a prior changes nothing.
+        let mut plain = engine(AllocationStrategy::AbOnly);
+        observe(&mut plain);
+        let baseline = plain.predict(&s, 4);
+        let mut ignored = engine(AllocationStrategy::AbOnly);
+        observe(&mut ignored);
+        assert_eq!(
+            ignored.predict_with_prior(&s, 4, &hotspots),
+            baseline,
+            "prior must be inert without the config opt-in"
+        );
+        // Opted in: the toward-hotspot candidate overtakes the AB
+        // continuation.
+        let mut blended = engine(AllocationStrategy::AbOnly);
+        blended.set_hotspot_blend(Some(HotspotBlend {
+            radius: 8,
+            phases: [true, true, true],
+        }));
+        observe(&mut blended);
+        let boosted = blended.predict_with_prior(&s, 4, &hotspots);
+        assert_ne!(boosted, baseline, "prior must re-rank when opted in");
+        assert!(
+            boosted[0].manhattan(&hotspots[0].0) < TileId::new(2, 2, 2).manhattan(&hotspots[0].0),
+            "top prediction approaches the hotspot: {boosted:?}"
+        );
+        // Same engine, empty prior → exactly the baseline again.
+        assert_eq!(blended.predict_with_prior(&s, 4, &[]), baseline);
+        // Phase gate closed for the inferred phase → baseline too.
+        let mut gated = engine(AllocationStrategy::AbOnly);
+        gated.set_hotspot_blend(Some(HotspotBlend {
+            radius: 8,
+            phases: [false, false, false],
+        }));
+        observe(&mut gated);
+        assert_eq!(gated.predict_with_prior(&s, 4, &hotspots), baseline);
     }
 
     #[test]

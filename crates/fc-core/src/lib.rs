@@ -23,7 +23,13 @@
 //!   prefetch budgets) next to the retained single-mutex golden
 //!   reference, and [`batch`] coalesces concurrent sessions' SB
 //!   predictions into one batched sweep per tick, bit-identical to
-//!   per-session prediction.
+//!   per-session prediction. A [`multiuser::DatasetRegistry`]
+//!   partitions one global tile budget across per-dataset cache
+//!   namespaces, and each namespace's eviction-surviving popularity
+//!   sketch feeds a [`multiuser::SharedHotspotModel`] — epoch-stamped
+//!   communal hotspot snapshots blended into candidate ranking
+//!   ([`alloc::boost_toward_hotspots`], opt-in via
+//!   [`engine::EngineConfig::hotspot`]).
 
 #![warn(missing_docs)]
 
@@ -46,7 +52,7 @@ pub mod sb;
 pub mod signature;
 
 pub use ab::AbRecommender;
-pub use alloc::AllocationStrategy;
+pub use alloc::{boost_toward_hotspots, AllocationStrategy, HotspotBlend};
 pub use baselines::{HotspotRecommender, MomentumRecommender};
 pub use batch::{BatchConfig, PredictScheduler, SchedulerStats};
 pub use cache::{CacheManager, CacheStats};
@@ -56,7 +62,9 @@ pub use history::{Request, SessionHistory};
 pub use latency::LatencyProfile;
 pub use middleware::{Middleware, MiddlewareStats, Response, SharedSessionHandle};
 pub use multiuser::{
-    MultiUserCache, SessionId, SharedCacheStats, SharedTileCache, SingleMutexTileCache,
+    DatasetNamespace, DatasetRegistry, HotspotConfig, HotspotSnapshot, HotspotView, MultiUserCache,
+    RegistryConfig, SessionId, SharedCacheStats, SharedHotspotModel, SharedTileCache,
+    SingleMutexTileCache,
 };
 pub use paircache::{PairCache, PairCacheStats};
 pub use phase::{Phase, PhaseClassifier};

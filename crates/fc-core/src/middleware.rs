@@ -13,7 +13,9 @@ use crate::cache::{CacheManager, CacheStats};
 use crate::engine::PredictionEngine;
 use crate::history::Request;
 use crate::latency::LatencyProfile;
-use crate::multiuser::{MultiUserCache, SessionId};
+use crate::multiuser::{
+    HotspotSnapshot, HotspotView, MultiUserCache, SessionId, SharedHotspotModel,
+};
 use crate::paircache::PairCacheStats;
 use crate::phase::Phase;
 use fc_tiles::{Pyramid, Tile, TileId};
@@ -62,6 +64,11 @@ pub struct SharedSessionHandle {
     cache: Arc<dyn MultiUserCache>,
     id: SessionId,
     scheduler: Option<Arc<PredictScheduler>>,
+    /// The namespace's cross-session hotspot model, when popularity
+    /// blending is on for this session.
+    hotspots: Option<Arc<SharedHotspotModel>>,
+    /// Epoch-cached snapshot view (steady state reads no lock).
+    view: HotspotView,
 }
 
 impl std::fmt::Debug for SharedSessionHandle {
@@ -69,6 +76,7 @@ impl std::fmt::Debug for SharedSessionHandle {
         f.debug_struct("SharedSessionHandle")
             .field("id", &self.id)
             .field("batched", &self.scheduler.is_some())
+            .field("hotspots", &self.hotspots.is_some())
             .finish()
     }
 }
@@ -85,7 +93,18 @@ impl SharedSessionHandle {
             cache,
             id,
             scheduler,
+            hotspots: None,
+            view: HotspotView::default(),
         }
+    }
+
+    /// Attaches the namespace's cross-session hotspot model: each
+    /// request ticks the model's refresh cadence and hands the current
+    /// snapshot to the engine as a ranking prior (the engine applies
+    /// it only when `EngineConfig::hotspot` opts in).
+    pub fn with_hotspots(mut self, model: Arc<SharedHotspotModel>) -> Self {
+        self.hotspots = Some(model);
+        self
     }
 
     /// The session's id within the shared cache.
@@ -96,6 +115,14 @@ impl SharedSessionHandle {
     /// The shared cache this session participates in.
     pub fn cache(&self) -> &Arc<dyn MultiUserCache> {
         &self.cache
+    }
+
+    /// Ticks the hotspot model's refresh cadence and returns the
+    /// current epoch snapshot (None when blending is off).
+    fn hotspot_prior(&mut self) -> Option<Arc<HotspotSnapshot>> {
+        let model = self.hotspots.as_ref()?;
+        model.observe(self.cache.as_ref());
+        Some(self.view.current(model).clone())
     }
 }
 
@@ -218,31 +245,43 @@ impl Middleware {
     ///
     /// Returns `None` when the tile does not exist in the pyramid.
     pub fn request(&mut self, id: TileId, mv: Option<fc_tiles::Move>) -> Option<Response> {
-        if !self.pyramid.geometry().contains(id) {
+        // Unservable ids — outside the geometry, or absent from the
+        // backend (both free metadata checks) — return before *any*
+        // side effect: no stats, no shared-cache probe, and in
+        // particular no popularity-sketch bump that could train the
+        // communal hotspot model toward a tile that cannot be served.
+        if !self.pyramid.geometry().contains(id) || !self.pyramid.store().contains(id) {
             return None;
         }
         // 1. Serve the tile: private cache, then the shared cache
         // (another session may have prefetched it — the §6.2 sharing
-        // benefit), then the backend.
-        let shared_probe = match self.cache.lookup(id) {
+        // benefit), then the backend. The private probe is uncounted:
+        // the hit/miss is booked once below, after the whole serve
+        // path resolves, so a shared-cache answer counts as a cache
+        // hit (not a private miss) and a request the backend cannot
+        // serve counts as nothing at all.
+        let cache_probe = match self.cache.peek(id) {
             Some(t) => Some(t),
             None => self
                 .shared
                 .as_ref()
                 .and_then(|sh| sh.cache.lookup(sh.id, id)),
         };
-        let (tile, latency, cache_hit) = match shared_probe {
+        let (tile, latency, cache_hit) = match cache_probe {
             Some(t) => {
                 self.pyramid.store().clock().advance(self.profile.hit);
                 (t, self.profile.hit, true)
             }
             None => {
                 // Backend query; the store charges its own (SciDB-like)
-                // latency on the shared clock.
+                // latency on the shared clock. A missing tile returns
+                // before the count below — the request was never
+                // served, so no counter moves.
                 let (t, cost) = self.pyramid.store().fetch_backend(id)?;
                 (t, cost, false)
             }
         };
+        self.cache.count_lookup(cache_hit);
 
         // 2. Record the request.
         let req = Request::new(id, mv);
@@ -251,17 +290,28 @@ impl Middleware {
         let phase = self.engine.current_phase();
 
         // 3. Re-evaluate allocations and prefetch for the next request.
+        // The cross-session hotspot prior (when the handle carries a
+        // model) is read through the epoch-cached view; the engine
+        // applies it only if its config opts in for this phase.
         let predict_start = Instant::now();
         let scheduler = self.shared.as_ref().and_then(|sh| sh.scheduler.clone());
+        let prior = self
+            .shared
+            .as_mut()
+            .and_then(SharedSessionHandle::hotspot_prior);
+        let prior: &[(TileId, u64)] = prior.as_ref().map_or(&[], |s| s.hotspots.as_slice());
         let pair_before = match &scheduler {
             Some(sched) => sched.pair_cache_stats(),
             None => self.engine.pair_cache_stats(),
         };
         let predictions = match &scheduler {
-            Some(sched) => self
+            Some(sched) => {
+                self.engine
+                    .predict_batched_with_prior(sched, self.pyramid.store(), self.k, prior)
+            }
+            None => self
                 .engine
-                .predict_batched(sched, self.pyramid.store(), self.k),
-            None => self.engine.predict(self.pyramid.store(), self.k),
+                .predict_with_prior(self.pyramid.store(), self.k, prior),
         };
         let predict_time = predict_start.elapsed();
         let pair_cache = match &scheduler {
@@ -368,10 +418,17 @@ impl Middleware {
         self.k = k;
     }
 
-    /// Resets the session (history, ROI, cache, stats).
+    /// Resets the session (history, ROI, cache, stats). In shared mode
+    /// this also releases the session's shared-cache holds (its last
+    /// prediction list): holds that outlive the session state would
+    /// pin stale tiles against eviction and shrink every other
+    /// session's effective capacity until the handle drops.
     pub fn reset_session(&mut self) {
         self.engine.reset_session();
         self.cache.clear();
+        if let Some(sh) = &self.shared {
+            sh.cache.retain_for(sh.id, &[]);
+        }
         self.stats = MiddlewareStats::default();
     }
 }
@@ -507,6 +564,184 @@ mod tests {
         assert!(mw.engine().history().is_empty());
         let r = mw.request(TileId::new(2, 2, 0), None).unwrap();
         assert!(!r.cache_hit, "cache cleared");
+    }
+
+    fn shared_middleware(p: Arc<Pyramid>, cache: Arc<dyn MultiUserCache>, k: usize) -> Middleware {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 12]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        let engine = PredictionEngine::new(
+            p.geometry(),
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::AbOnly,
+                ..EngineConfig::default()
+            },
+        );
+        let handle = SharedSessionHandle::open(cache, None);
+        Middleware::new_shared(engine, p, LatencyProfile::paper(), 3, k, handle)
+    }
+
+    /// Regression (reset-session hold leak): before the fix,
+    /// `reset_session` never touched the shared cache, so the
+    /// session's holds from its last prediction list pinned stale
+    /// tiles against eviction forever (until the handle dropped),
+    /// making *other* sessions' unheld tiles the preferred victims.
+    #[test]
+    fn reset_session_releases_shared_holds() {
+        use crate::multiuser::SharedTileCache;
+        let p = pyramid();
+        let cache: Arc<dyn MultiUserCache> = Arc::new(SharedTileCache::with_shards(2, 1));
+        let mut mw = shared_middleware(p.clone(), cache.clone(), 2);
+        mw.request(TileId::new(2, 2, 0), None).unwrap();
+        let stale: Vec<TileId> = cache.popular(usize::MAX).iter().map(|&(t, _)| t).collect();
+        assert_eq!(stale.len(), 2, "both prefetches installed and held");
+        mw.reset_session();
+        // Session B: install f1, release it, install f2. Eviction
+        // prefers unheld tiles — if A's reset leaked its holds, the
+        // just-released f1 is the only unheld resident and gets
+        // evicted in favour of A's stale tiles; with the fix the stale
+        // tiles are unheld and older, so they are the victims.
+        let b = cache.open_session();
+        let (f1, f2) = (TileId::new(2, 0, 0), TileId::new(2, 0, 1));
+        let store = p.store();
+        cache.install(b, vec![store.fetch_offline(f1).unwrap()]);
+        cache.retain_for(b, &[]);
+        cache.install(b, vec![store.fetch_offline(f2).unwrap()]);
+        assert!(
+            cache.contains(f1),
+            "f1 must survive: reset released A's holds, so A's stale tiles evict first"
+        );
+        assert!(cache.contains(f2));
+        for id in stale {
+            assert!(!cache.contains(id), "stale tile {id} must have evicted");
+        }
+    }
+
+    /// Regression (shared-hit accounting skew): a shared-cache hit
+    /// used to be booked as a *miss* in the private CacheManager, so
+    /// `cache_stats().hit_rate()` contradicted `stats().hit_rate()`.
+    #[test]
+    fn shared_hit_counts_once_and_consistently() {
+        use crate::multiuser::SharedTileCache;
+        let p = pyramid();
+        let cache: Arc<dyn MultiUserCache> = Arc::new(SharedTileCache::with_shards(64, 1));
+        // Session A walks right; its prefetches are communal.
+        let mut a = shared_middleware(p.clone(), cache.clone(), 4);
+        a.request(TileId::new(2, 2, 0), None).unwrap();
+        let ra = a
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert!(ra.cache_hit, "A rides its own prefetch");
+        // Session B requests a tile A prefetched: private miss, shared
+        // hit — one *hit* in both counters, zero misses.
+        let mut b = shared_middleware(p, cache.clone(), 4);
+        let rb = b.request(TileId::new(2, 2, 1), None).unwrap();
+        assert!(rb.cache_hit, "B rides A's communal prefetch");
+        let cs = b.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (1, 0), "shared hit booked as a hit");
+        assert!(
+            (b.cache_stats().hit_rate() - b.stats().hit_rate()).abs() < 1e-12,
+            "cache_stats {:?} must agree with stats {:?}",
+            b.cache_stats(),
+            b.stats()
+        );
+        assert!(cache.stats().cross_session_hits > 0);
+    }
+
+    /// Regression (dangling miss counter): a request the backend
+    /// cannot serve used to charge a private-cache miss before
+    /// returning `None`.
+    #[test]
+    fn unserved_request_counts_nothing() {
+        use fc_array::{IoMode, LatencyModel, SimClock};
+        use fc_tiles::{Geometry, TileStore};
+        // A store that covers the geometry only partially: the root
+        // exists, its children don't.
+        let g = Geometry::new(2, 32, 32, 16, 16);
+        let store = TileStore::new(g, LatencyModel::free(), IoMode::Simulated, SimClock::new());
+        let schema = Schema::grid2d("T", 16, 16, &["v"]).unwrap();
+        store.put_tile(fc_tiles::Tile::new(
+            TileId::ROOT,
+            DenseArray::filled(schema, 0.5),
+        ));
+        let p = Arc::new(Pyramid::from_parts(g, store));
+        let mut mw = middleware(p, 2);
+        assert!(mw.request(TileId::new(1, 0, 0), None).is_none());
+        let cs = mw.cache_stats();
+        assert_eq!(
+            (cs.hits, cs.misses),
+            (0, 0),
+            "unserved request must leave the counters untouched: {cs:?}"
+        );
+        assert_eq!(mw.stats().requests, 0);
+        // A servable tile still counts normally afterwards.
+        assert!(mw.request(TileId::ROOT, None).is_some());
+        assert_eq!(mw.cache_stats().misses, 1);
+    }
+
+    /// The hotspot prior flows handle → middleware → engine: with the
+    /// blend opted in, a popular off-path tile redirects the prefetch.
+    #[test]
+    fn hotspot_model_redirects_shared_prefetch() {
+        use crate::alloc::HotspotBlend;
+        use crate::multiuser::{HotspotConfig, SharedHotspotModel, SharedTileCache};
+        let p = pyramid();
+        let cache = Arc::new(SharedTileCache::with_shards(64, 1));
+        // top_n 1: only the genuinely hammered tile qualifies, so the
+        // walk's own install/lookup bumps can't dilute the prior.
+        let model = Arc::new(SharedHotspotModel::new(HotspotConfig {
+            top_n: 1,
+            refresh_every: 1,
+        }));
+        // Another session has hammered the tile *below* the walk.
+        let hot_tile = TileId::new(2, 3, 1);
+        let other = cache.open_session();
+        for _ in 0..50 {
+            let _ = MultiUserCache::lookup(cache.as_ref(), other, hot_tile);
+        }
+        let build = |blend: Option<HotspotBlend>| {
+            let r = Move::PanRight.index() as u16;
+            let traces: Vec<Vec<u16>> = vec![vec![r; 12]];
+            let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+            let mut engine = PredictionEngine::new(
+                p.geometry(),
+                AbRecommender::train(refs, 3),
+                SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+                PhaseSource::Heuristic,
+                EngineConfig {
+                    strategy: AllocationStrategy::AbOnly,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.set_hotspot_blend(blend);
+            let cache: Arc<dyn MultiUserCache> = cache.clone();
+            let handle = SharedSessionHandle::open(cache, None).with_hotspots(model.clone());
+            Middleware::new_shared(engine, p.clone(), LatencyProfile::paper(), 3, 1, handle)
+        };
+        // Blend off: k=1 prefetch follows the AB continuation (right).
+        let mut off = build(None);
+        let r_off = off
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r_off.prefetched, vec![TileId::new(2, 2, 2)]);
+        // Blend on: the communal hotspot pulls the single prefetch
+        // slot toward it instead.
+        let mut on = build(Some(HotspotBlend {
+            radius: 8,
+            phases: [true, true, true],
+        }));
+        let r_on = on
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r_on.prefetched.len(), 1);
+        let target = r_on.prefetched[0];
+        assert!(
+            target.manhattan(&hot_tile) < TileId::new(2, 2, 1).manhattan(&hot_tile),
+            "prefetch {target} must approach the hotspot {hot_tile}"
+        );
     }
 
     #[test]

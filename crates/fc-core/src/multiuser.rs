@@ -47,6 +47,26 @@
 //! Statistics are lock-free atomics on both implementations' shared
 //! paths (hits, misses, cross-session hits, evictions), so hot-path
 //! lookups never serialize on a stats lock.
+//!
+//! # Namespaces and the cross-session hotspot model
+//!
+//! One process serves several pyramids through a [`DatasetRegistry`]:
+//! each dataset gets its own [`SharedTileCache`] **namespace**, and one
+//! global tile budget is partitioned exactly across the attached
+//! namespaces (the same base-plus-remainder math the shard partition
+//! uses) — attaching or detaching a dataset repartitions every
+//! namespace's capacity via [`MultiUserCache::set_capacity`].
+//!
+//! Each namespace also trains a **cross-session popularity model**
+//! online. Residency-based [`MultiUserCache::popular`] forgets a tile
+//! the moment it is evicted — exactly the signal hotspots need — so
+//! every shard additionally keeps an eviction-surviving popularity
+//! sketch (a capped, periodically-halved count map) updated on every
+//! lookup and fresh install; [`MultiUserCache::hot`] ranks it. A [`SharedHotspotModel`]
+//! periodically snapshots the top-N into an epoch-stamped list that
+//! sessions read lock-free in steady state (see [`HotspotView`]) and
+//! blend into candidate ranking (`alloc::boost_toward_hotspots`,
+//! gated per phase by `EngineConfig::hotspot`).
 
 use fc_tiles::{Tile, TileId};
 use parking_lot::Mutex;
@@ -163,8 +183,30 @@ pub trait MultiUserCache: Send + Sync {
     /// Statistics snapshot.
     fn stats(&self) -> SharedCacheStats;
     /// The most popular resident tiles, best first (dataset hotspots in
-    /// the §5.2.3 sense, discovered online).
+    /// the §5.2.3 sense, discovered online). In the sharded cache this
+    /// is a **non-atomic snapshot**: shards are visited one at a time,
+    /// so concurrent installs/evictions may be half-reflected.
     fn popular(&self, n: usize) -> Vec<(TileId, u64)>;
+    /// The most-requested tiles per the eviction-surviving decayed
+    /// popularity sketch, best first — unlike
+    /// [`MultiUserCache::popular`], a tile keeps its standing after
+    /// eviction (the signal the cross-session hotspot model trains
+    /// on). Counts decay (halve) periodically, so the ranking tracks
+    /// current communal interest. Non-atomic snapshot in the sharded
+    /// cache, like `popular`; decay is also **per shard** there
+    /// (clocked by each shard's own update stream, like the per-shard
+    /// LRU clocks), so under heavily skewed traffic a busy shard's
+    /// counts are halved more often than a quiet shard's and the
+    /// cross-shard ranking is an approximation of the global one —
+    /// acceptable for a top-N prior, not for exact accounting.
+    fn hot(&self, n: usize) -> Vec<(TileId, u64)>;
+    /// Current global capacity in tiles.
+    fn capacity(&self) -> usize;
+    /// Re-partitions the cache to a new global capacity (the
+    /// [`DatasetRegistry`] calls this when datasets attach/detach),
+    /// evicting down per shard when shrinking. Sharded caches require
+    /// `capacity >=` their shard count.
+    fn set_capacity(&self, capacity: usize);
 }
 
 // ---------------------------------------------------------------------
@@ -175,11 +217,96 @@ pub trait MultiUserCache: Send + Sync {
 // χ² pair cache's slot hashing.
 use crate::paircache::splitmix64;
 
+/// The one ranking order every popularity surface uses: count
+/// descending, ties by ascending tile id. `PopularitySketch::top`,
+/// both `popular()` impls, and the sharded `hot()` merge must agree on
+/// this ordering — the per-shard-head merge in `hot()` is only correct
+/// because each shard's `top()` ranks identically.
+fn rank_by_count_desc(a: &(TileId, u64), b: &(TileId, u64)) -> std::cmp::Ordering {
+    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// The exact base-plus-remainder partition of `total` into `n` parts:
+/// part *i* gets `total / n`, plus one for the first `total % n`
+/// parts, so the parts sum to `total` exactly. Shared by the shard
+/// capacity split and the registry's per-namespace budget split.
+fn exact_partition(total: usize, n: usize) -> impl Iterator<Item = usize> {
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(move |i| base + usize::from(i < extra))
+}
+
 /// [`splitmix64`] over the packed tile coordinates — used for both
 /// tile→shard and session→hold-stripe assignment.
 #[inline]
 fn tile_hash(id: TileId) -> u64 {
     splitmix64((u64::from(id.level) << 58) ^ (u64::from(id.y) << 29) ^ u64::from(id.x))
+}
+
+/// Entry cap of one shard's popularity sketch: crossing it prunes the
+/// lowest-(count, id) quartile in one batch — bounding memory to the
+/// working set's head regardless of how many distinct tiles pass
+/// through the namespace, at amortized O(log CAP) per insert instead
+/// of a full min-scan under the shard lock on every new id.
+const SKETCH_CAP: usize = 1024;
+/// Entries surviving a cap prune (¾ of the cap): the slack between
+/// `SKETCH_KEEP` and [`SKETCH_CAP`] is what amortizes the prune.
+const SKETCH_KEEP: usize = SKETCH_CAP - SKETCH_CAP / 4;
+/// Updates between decay sweeps: every `SKETCH_DECAY_EVERY` sketch
+/// updates all counts halve (entries reaching zero drop out), so old
+/// traffic fades and the ranking tracks *current* communal interest.
+const SKETCH_DECAY_EVERY: u64 = 4096;
+
+/// An eviction-surviving, decayed popularity sketch (capped count
+/// map). [`MultiUserCache::popular`] ranks only *resident* tiles, so
+/// eviction erases exactly the signal a hotspot model needs; the
+/// sketch keeps counting a tile after its bytes are gone.
+#[derive(Debug, Default)]
+struct PopularitySketch {
+    counts: HashMap<TileId, u64>,
+    /// Updates since construction (drives the decay cadence).
+    updates: u64,
+}
+
+impl PopularitySketch {
+    /// Counts one request for `id`, decaying and capping per the
+    /// module constants. Deterministic: the same update sequence
+    /// always yields the same sketch (the golden tests rely on it).
+    fn bump(&mut self, id: TileId) {
+        self.updates += 1;
+        if self.updates.is_multiple_of(SKETCH_DECAY_EVERY) {
+            self.counts.retain(|_, c| {
+                *c >>= 1;
+                *c > 0
+            });
+        }
+        *self.counts.entry(id).or_insert(0) += 1;
+        if self.counts.len() > SKETCH_CAP {
+            // Batch prune: drop the smallest (count, id) entries down
+            // to SKETCH_KEEP in one pass — the per-insert min-scan
+            // alternative serializes every high-cardinality lookup on
+            // an O(CAP) sweep under the shard lock.
+            let mut v: Vec<(TileId, u64)> = self.counts.iter().map(|(&t, &c)| (t, c)).collect();
+            v.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+            for &(t, _) in &v[..v.len() - SKETCH_KEEP] {
+                self.counts.remove(&t);
+            }
+        }
+    }
+
+    /// The top-`n` entries, highest count first (ties by tile id).
+    /// Runs inline on the hotspot-refresh request path under the
+    /// shard lock, so only the n-sized head is ever sorted — the tail
+    /// is split off with a linear-time select, not a full sort.
+    fn top(&self, n: usize) -> Vec<(TileId, u64)> {
+        let mut v: Vec<(TileId, u64)> = self.counts.iter().map(|(&t, &c)| (t, c)).collect();
+        if n < v.len() {
+            v.select_nth_unstable_by(n, rank_by_count_desc);
+            v.truncate(n);
+        }
+        v.sort_by(rank_by_count_desc);
+        v
+    }
 }
 
 /// One residency map with its LRU clock — the whole cache for the
@@ -189,6 +316,8 @@ struct TileMap {
     tiles: HashMap<TileId, Resident>,
     /// Monotonic touch counter scoped to this map.
     touch: u64,
+    /// Eviction-surviving request counts for this map's id range.
+    sketch: PopularitySketch,
 }
 
 impl TileMap {
@@ -199,6 +328,9 @@ impl TileMap {
     fn lookup(&mut self, session: SessionId, id: TileId) -> Option<(Arc<Tile>, bool, bool)> {
         self.touch += 1;
         let touch = self.touch;
+        // Misses count too: a request for an evicted (or never-fetched)
+        // tile is demand the resident-only popularity can't see.
+        self.sketch.bump(id);
         let r = self.tiles.get_mut(&id)?;
         r.popularity += 1;
         r.last_touch = touch;
@@ -215,7 +347,8 @@ impl TileMap {
     fn install_one(&mut self, session: SessionId, tile: Arc<Tile>) -> (bool, bool) {
         self.touch += 1;
         let touch = self.touch;
-        match self.tiles.entry(tile.id) {
+        let id = tile.id;
+        match self.tiles.entry(id) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 let r = o.get_mut();
                 let added = !r.holders.contains(&session);
@@ -233,6 +366,9 @@ impl TileMap {
                     popularity: 1,
                     last_touch: touch,
                 });
+                // Fresh installs feed the sketch (predicted demand);
+                // re-installs of a resident tile don't double-count.
+                self.sketch.bump(id);
                 (true, true)
             }
         }
@@ -328,7 +464,9 @@ impl SessionRegistry {
 /// [`SharedTileCache`].
 pub struct SingleMutexTileCache {
     inner: Mutex<TileMap>,
-    capacity: usize,
+    /// Atomic so [`MultiUserCache::set_capacity`] repartitioning never
+    /// takes the map lock just to read the budget.
+    capacity: AtomicUsize,
     registry: SessionRegistry,
     stats: AtomicStats,
 }
@@ -339,7 +477,7 @@ impl std::fmt::Debug for SingleMutexTileCache {
     /// the map — debug logging can never deadlock against a holder.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut s = f.debug_struct("SingleMutexTileCache");
-        s.field("capacity", &self.capacity)
+        s.field("capacity", &self.capacity.load(Ordering::Relaxed))
             .field("sessions", &self.registry.count());
         match self.inner.try_lock() {
             Some(g) => s.field("resident", &g.tiles.len()),
@@ -358,7 +496,7 @@ impl SingleMutexTileCache {
         assert!(capacity > 0, "shared cache needs capacity");
         Self {
             inner: Mutex::new(TileMap::default()),
-            capacity,
+            capacity: AtomicUsize::new(capacity),
             registry: SessionRegistry::new(),
             stats: AtomicStats::default(),
         }
@@ -385,7 +523,7 @@ impl MultiUserCache for SingleMutexTileCache {
     }
 
     fn session_budget(&self) -> usize {
-        (self.capacity / self.registry.count().max(1)).max(1)
+        (self.capacity.load(Ordering::Relaxed) / self.registry.count().max(1)).max(1)
     }
 
     fn lookup(&self, session: SessionId, id: TileId) -> Option<Arc<Tile>> {
@@ -427,7 +565,7 @@ impl MultiUserCache for SingleMutexTileCache {
                 installed += 1;
             }
         }
-        let evicted = g.evict_to(self.capacity);
+        let evicted = g.evict_to(self.capacity.load(Ordering::Relaxed));
         drop(g);
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -456,9 +594,26 @@ impl MultiUserCache for SingleMutexTileCache {
         let g = self.inner.lock();
         let mut v: Vec<(TileId, u64)> = g.tiles.iter().map(|(&id, r)| (id, r.popularity)).collect();
         drop(g);
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.sort_by(rank_by_count_desc);
         v.truncate(n);
         v
+    }
+
+    fn hot(&self, n: usize) -> Vec<(TileId, u64)> {
+        self.inner.lock().sketch.top(n)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        assert!(capacity > 0, "shared cache needs capacity");
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let evicted = self.inner.lock().evict_to(capacity);
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 }
 
@@ -469,6 +624,19 @@ impl MultiUserCache for SingleMutexTileCache {
 /// Default shard count for [`SharedTileCache::new`] (clamped down to
 /// the largest power of two ≤ capacity so every shard owns ≥ 1 slot).
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// The shard count a dynamically-striped cache gets for `capacity`:
+/// the largest power of two ≤ min([`DEFAULT_SHARDS`], `capacity`).
+/// One definition shared by [`SharedTileCache::new`] and the
+/// registry's attach-time pre-validation — the validation is only
+/// sound while both use the same clamp.
+fn default_shard_count(capacity: usize) -> usize {
+    let mut shards = DEFAULT_SHARDS.min(capacity.max(1));
+    while !shards.is_power_of_two() {
+        shards -= 1;
+    }
+    shards
+}
 
 /// One hold-index stripe: each session hashed here maps to the tile
 /// ids it currently holds.
@@ -499,10 +667,13 @@ pub struct SharedTileCache {
     /// independent locks (same count as `shards`).
     holds: Box<[Mutex<HoldStripe>]>,
     /// Per-shard capacity, parallel to `shards`; sums to `capacity`.
-    shard_caps: Box<[usize]>,
+    /// Atomic so [`MultiUserCache::set_capacity`] repartitioning (the
+    /// registry's dataset attach/detach path) publishes new caps
+    /// without locking every shard at once.
+    shard_caps: Box<[AtomicUsize]>,
     /// `shards.len() - 1` — valid because the count is a power of two.
     mask: usize,
-    capacity: usize,
+    capacity: AtomicUsize,
     registry: SessionRegistry,
     stats: AtomicStats,
 }
@@ -522,7 +693,7 @@ impl std::fmt::Debug for SharedTileCache {
             }
         }
         let mut d = f.debug_struct("SharedTileCache");
-        d.field("capacity", &self.capacity)
+        d.field("capacity", &self.capacity.load(Ordering::Relaxed))
             .field("shards", &self.shards.len())
             .field("sessions", &self.registry.count());
         if blocked {
@@ -543,12 +714,7 @@ impl SharedTileCache {
     /// Panics when `capacity` is 0.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "shared cache needs capacity");
-        let mut shards = DEFAULT_SHARDS.min(capacity);
-        // Largest power of two ≤ min(DEFAULT_SHARDS, capacity).
-        while !shards.is_power_of_two() {
-            shards -= 1;
-        }
-        Self::with_shards(capacity, shards)
+        Self::with_shards(capacity, default_shard_count(capacity))
     }
 
     /// Creates a cache with an explicit shard count.
@@ -569,9 +735,9 @@ impl SharedTileCache {
         );
         // Exact partition: base slots everywhere, one extra for the
         // first `capacity mod shards` shards; Σ shard_caps == capacity.
-        let base = capacity / shards;
-        let extra = capacity % shards;
-        let shard_caps: Box<[usize]> = (0..shards).map(|i| base + usize::from(i < extra)).collect();
+        let shard_caps: Box<[AtomicUsize]> = exact_partition(capacity, shards)
+            .map(AtomicUsize::new)
+            .collect();
         Self {
             shards: (0..shards)
                 .map(|_| Mutex::new(TileMap::default()))
@@ -579,7 +745,7 @@ impl SharedTileCache {
             holds: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_caps,
             mask: shards - 1,
-            capacity,
+            capacity: AtomicUsize::new(capacity),
             registry: SessionRegistry::new(),
             stats: AtomicStats::default(),
         }
@@ -620,7 +786,7 @@ impl SharedTileCache {
 
     /// Total capacity in tiles.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
     }
 }
 
@@ -653,7 +819,7 @@ impl MultiUserCache for SharedTileCache {
     fn session_budget(&self) -> usize {
         // Global repartitioning: capacity and session count are global,
         // so shard layout never changes any session's allowance.
-        (self.capacity / self.registry.count().max(1)).max(1)
+        (self.capacity.load(Ordering::Relaxed) / self.registry.count().max(1)).max(1)
     }
 
     fn lookup(&self, session: SessionId, id: TileId) -> Option<Arc<Tile>> {
@@ -728,7 +894,7 @@ impl MultiUserCache for SharedTileCache {
                     held.push(id);
                 }
             }
-            evicted += g.evict_to(self.shard_caps[s]);
+            evicted += g.evict_to(self.shard_caps[s].load(Ordering::Relaxed));
         }
         // Hold pushes after every shard guard has dropped (lock order).
         self.push_holds(session, &held);
@@ -785,9 +951,414 @@ impl MultiUserCache for SharedTileCache {
             let g = shard.lock();
             v.extend(g.tiles.iter().map(|(&id, r)| (id, r.popularity)));
         }
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.sort_by(rank_by_count_desc);
         v.truncate(n);
         v
+    }
+
+    fn hot(&self, n: usize) -> Vec<(TileId, u64)> {
+        // Each id lives on exactly one shard's sketch, so the merge is
+        // a plain concatenation (non-atomic snapshot, like `popular`),
+        // and the global top-n is a subset of the union of per-shard
+        // top-n (same ordering) — so each shard only surrenders its
+        // own head, keeping the refresh-path merge at shards × n
+        // entries instead of every sketch in full.
+        let mut v: Vec<(TileId, u64)> = Vec::new();
+        for shard in self.shards.iter() {
+            v.extend(shard.lock().sketch.top(n));
+        }
+        v.sort_by(rank_by_count_desc);
+        v.truncate(n);
+        v
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        assert!(
+            capacity >= self.shards.len(),
+            "capacity {capacity} must cover all {} shards",
+            self.shards.len()
+        );
+        // Same exact partition as construction; each shard's new cap
+        // is published before that shard is evicted down, one shard at
+        // a time — installs racing a shrink are bounded by whichever
+        // cap they read, and the global invariant (Σ shard residents ≤
+        // capacity) holds once the sweep completes.
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut evicted = 0usize;
+        for (i, cap) in exact_partition(capacity, self.shards.len()).enumerate() {
+            self.shard_caps[i].store(cap, Ordering::Relaxed);
+            evicted += self.shards[i].lock().evict_to(cap);
+        }
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SharedHotspotModel — the cross-session popularity model
+// ---------------------------------------------------------------------
+
+/// Cadence and width of a namespace's [`SharedHotspotModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotConfig {
+    /// Hotspots kept per snapshot (the top-N of the sketch).
+    pub top_n: usize,
+    /// Requests between snapshot refreshes (each session's request
+    /// ticks the model once; see [`SharedHotspotModel::observe`]).
+    pub refresh_every: u64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        Self {
+            top_n: 16,
+            refresh_every: 64,
+        }
+    }
+}
+
+/// One epoch-stamped publication of a namespace's top hotspots, best
+/// first (tile, decayed request count). Sessions hold it through an
+/// `Arc`, so a snapshot stays valid however long a predict uses it —
+/// the model never mutates a published snapshot, it swaps in a new one
+/// under the next epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotspotSnapshot {
+    /// Monotonic publication stamp (0 = the empty pre-first snapshot).
+    pub epoch: u64,
+    /// The hotspots, most requested first.
+    pub hotspots: Vec<(TileId, u64)>,
+}
+
+/// The cross-session hotspot model of one cache namespace: it
+/// periodically snapshots the eviction-surviving popularity sketch
+/// ([`MultiUserCache::hot`]) into an epoch-stamped [`HotspotSnapshot`].
+///
+/// **Readers are lock-free in steady state**: a session keeps a
+/// [`HotspotView`] whose `current` does one atomic epoch load per
+/// predict and only touches the snapshot mutex when the model has
+/// published a new epoch (every [`HotspotConfig::refresh_every`]
+/// requests). Writers (refresh) swap the `Arc` under a mutex that is
+/// uncontended at that cadence. The model takes **no cache lock order
+/// obligations**: `refresh` calls `hot()`, which locks tile shards one
+/// at a time and never touches hold stripes.
+#[derive(Debug)]
+pub struct SharedHotspotModel {
+    cfg: HotspotConfig,
+    /// Requests observed (drives the refresh cadence).
+    ticks: AtomicU64,
+    /// Epoch of the current snapshot; readers compare against their
+    /// cached copy before taking the mutex.
+    epoch: AtomicU64,
+    snap: Mutex<Arc<HotspotSnapshot>>,
+}
+
+impl SharedHotspotModel {
+    /// Creates a model publishing `cfg.top_n` hotspots every
+    /// `cfg.refresh_every` observed requests.
+    ///
+    /// # Panics
+    /// Panics when `refresh_every` is 0.
+    pub fn new(cfg: HotspotConfig) -> Self {
+        assert!(cfg.refresh_every > 0, "hotspot refresh cadence must be > 0");
+        Self {
+            cfg,
+            ticks: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            snap: Mutex::new(Arc::new(HotspotSnapshot::default())),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> HotspotConfig {
+        self.cfg
+    }
+
+    /// Epoch of the current snapshot (one atomic load).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (cheap `Arc` clone under the snapshot
+    /// mutex; sessions should go through a [`HotspotView`] instead so
+    /// steady state skips the lock).
+    pub fn snapshot(&self) -> Arc<HotspotSnapshot> {
+        self.snap.lock().clone()
+    }
+
+    /// Counts one request against the refresh cadence; every
+    /// `refresh_every`-th call rebuilds the snapshot from `cache`'s
+    /// sketch. Call once per served request (any session).
+    pub fn observe(&self, cache: &dyn MultiUserCache) {
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        if t.is_multiple_of(self.cfg.refresh_every) {
+            self.refresh(cache);
+        }
+    }
+
+    /// Forces a snapshot rebuild from `cache`'s popularity sketch and
+    /// publishes it under the next epoch.
+    pub fn refresh(&self, cache: &dyn MultiUserCache) {
+        let hotspots = cache.hot(self.cfg.top_n);
+        let mut g = self.snap.lock();
+        // Epoch advances under the snapshot mutex so a view can never
+        // pair a new epoch with a stale snapshot.
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        *g = Arc::new(HotspotSnapshot { epoch, hotspots });
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+/// A session's cached read handle on a [`SharedHotspotModel`]: steady
+/// state costs one atomic epoch compare; the snapshot mutex is taken
+/// only on publication boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct HotspotView {
+    cached: Arc<HotspotSnapshot>,
+}
+
+impl HotspotView {
+    /// The freshest snapshot, refreshing the cached `Arc` only when
+    /// `model` has published a new epoch.
+    pub fn current(&mut self, model: &SharedHotspotModel) -> &Arc<HotspotSnapshot> {
+        if self.cached.epoch != model.epoch() {
+            self.cached = model.snapshot();
+        }
+        &self.cached
+    }
+}
+
+// ---------------------------------------------------------------------
+// DatasetRegistry — per-dataset cache namespaces under one budget
+// ---------------------------------------------------------------------
+
+/// Configuration of a [`DatasetRegistry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryConfig {
+    /// Global tile budget, partitioned exactly across attached
+    /// namespaces (attach order; first `budget % n` namespaces get one
+    /// extra slot — the shard partition math, one level up).
+    pub budget: usize,
+    /// Shard count per namespace cache (power of two; 0 picks the
+    /// default striping for the namespace's initial capacity).
+    pub shards: usize,
+    /// Hotspot-model cadence for every namespace.
+    pub hotspots: HotspotConfig,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            budget: 4096,
+            shards: 0,
+            hotspots: HotspotConfig::default(),
+        }
+    }
+}
+
+/// One dataset's slot in a [`DatasetRegistry`]: its cache namespace
+/// plus the hotspot model trained from that namespace's sketch.
+#[derive(Debug)]
+pub struct DatasetNamespace {
+    name: String,
+    cache: Arc<SharedTileCache>,
+    hotspots: Arc<SharedHotspotModel>,
+}
+
+impl DatasetNamespace {
+    /// The dataset name this namespace serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The namespace's tile cache (its capacity is managed by the
+    /// registry's repartitioning; don't `set_capacity` it directly).
+    pub fn cache(&self) -> &Arc<SharedTileCache> {
+        &self.cache
+    }
+
+    /// The namespace's cross-session hotspot model.
+    pub fn hotspots(&self) -> &Arc<SharedHotspotModel> {
+        &self.hotspots
+    }
+}
+
+/// Partitions one global tile budget across per-dataset
+/// [`SharedTileCache`] namespaces: attaching a dataset opens a
+/// namespace (shrinking every other namespace's capacity), detaching
+/// closes it (returning its slice to the survivors). The per-namespace
+/// split reuses the exact base-plus-remainder partition the shard
+/// split uses, keyed by attach order, so Σ namespace capacities ==
+/// `budget` at all times.
+///
+/// Sessions hold a namespace's cache through an `Arc`; detaching a
+/// dataset mid-session leaves those sessions on the (now
+/// unregistered) cache until their handles drop — the registry only
+/// governs the budget of *attached* namespaces.
+#[derive(Debug)]
+pub struct DatasetRegistry {
+    cfg: RegistryConfig,
+    /// Attached namespaces in attach order (the partition key).
+    namespaces: Mutex<Vec<Arc<DatasetNamespace>>>,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry with `cfg.budget` tiles to hand out.
+    ///
+    /// # Panics
+    /// Panics when the budget is 0.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        assert!(cfg.budget > 0, "dataset registry needs a tile budget");
+        Self {
+            cfg,
+            namespaces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The global tile budget.
+    pub fn budget(&self) -> usize {
+        self.cfg.budget
+    }
+
+    /// Number of attached namespaces.
+    pub fn len(&self) -> usize {
+        self.namespaces.lock().len()
+    }
+
+    /// Whether no dataset is attached.
+    pub fn is_empty(&self) -> bool {
+        self.namespaces.lock().is_empty()
+    }
+
+    /// Attached dataset names, in attach order.
+    pub fn names(&self) -> Vec<String> {
+        self.namespaces
+            .lock()
+            .iter()
+            .map(|ns| ns.name.clone())
+            .collect()
+    }
+
+    /// The namespace serving `name`, if attached.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetNamespace>> {
+        self.namespaces
+            .lock()
+            .iter()
+            .find(|ns| ns.name == name)
+            .cloned()
+    }
+
+    /// Opens (or returns the existing) namespace for `name`,
+    /// repartitioning every attached namespace's capacity over the
+    /// global budget. A namespace's shard count is fixed at attach
+    /// time (from its attach-time slice, for dynamic `shards: 0`
+    /// configurations): live caches cannot reshard, so a later attach
+    /// that would shrink any namespace below its shard count is
+    /// rejected *before* anything mutates.
+    ///
+    /// # Panics
+    /// Panics when the post-attach partition cannot cover every
+    /// namespace's shard count (attach fewer datasets, or grow the
+    /// budget). The registry is left exactly as it was — the
+    /// Σ-capacities-==-budget invariant holds across the unwind.
+    pub fn attach(&self, name: &str) -> Arc<DatasetNamespace> {
+        let mut g = self.namespaces.lock();
+        if let Some(ns) = g.iter().find(|ns| ns.name == name) {
+            return ns.clone();
+        }
+        // Validate the whole post-attach partition before touching
+        // anything: the new namespace takes the last attach-order
+        // slot.
+        let caps: Vec<usize> = exact_partition(self.cfg.budget, g.len() + 1).collect();
+        let new_cap = *caps.last().expect("at least one slot");
+        let new_shards = if self.cfg.shards == 0 {
+            default_shard_count(new_cap)
+        } else {
+            self.cfg.shards
+        };
+        for (i, ns) in g.iter().enumerate() {
+            assert!(
+                caps[i] >= ns.cache.shard_count(),
+                "budget {} over {} namespaces would leave '{}' with {} tiles \
+                 for {} shards — grow the budget or attach fewer datasets",
+                self.cfg.budget,
+                g.len() + 1,
+                ns.name,
+                caps[i],
+                ns.cache.shard_count()
+            );
+        }
+        assert!(
+            new_cap >= new_shards && new_cap > 0,
+            "budget {} over {} namespaces leaves only {new_cap} tiles for new \
+             namespace '{name}' ({new_shards} shards) — grow the budget or \
+             attach fewer datasets",
+            self.cfg.budget,
+            g.len() + 1,
+        );
+        let cache = Arc::new(if self.cfg.shards == 0 {
+            SharedTileCache::new(new_cap)
+        } else {
+            SharedTileCache::with_shards(new_cap, self.cfg.shards)
+        });
+        let ns = Arc::new(DatasetNamespace {
+            name: name.to_string(),
+            cache,
+            hotspots: Arc::new(SharedHotspotModel::new(self.cfg.hotspots)),
+        });
+        g.push(ns.clone());
+        Self::repartition(self.cfg.budget, &g);
+        ns
+    }
+
+    /// Detaches `name`, returning its budget slice to the surviving
+    /// namespaces. Returns whether the dataset was attached.
+    pub fn detach(&self, name: &str) -> bool {
+        let mut g = self.namespaces.lock();
+        let before = g.len();
+        g.retain(|ns| ns.name != name);
+        let removed = g.len() < before;
+        if removed {
+            Self::repartition(self.cfg.budget, &g);
+        }
+        removed
+    }
+
+    /// Per-namespace capacities after the last (re)partition, in
+    /// attach order.
+    pub fn capacities(&self) -> Vec<(String, usize)> {
+        self.namespaces
+            .lock()
+            .iter()
+            .map(|ns| (ns.name.clone(), ns.cache.capacity()))
+            .collect()
+    }
+
+    /// Applies the exact partition of `budget` over the attached
+    /// namespaces (attach order).
+    fn repartition(budget: usize, namespaces: &[Arc<DatasetNamespace>]) {
+        if namespaces.is_empty() {
+            return;
+        }
+        for (ns, cap) in namespaces
+            .iter()
+            .zip(exact_partition(budget, namespaces.len()))
+        {
+            assert!(
+                cap >= ns.cache.shard_count(),
+                "budget {budget} over {} namespaces leaves '{}' with {cap} tiles \
+                 for {} shards — grow the budget or attach fewer datasets",
+                namespaces.len(),
+                ns.name,
+                ns.cache.shard_count()
+            );
+            MultiUserCache::set_capacity(ns.cache.as_ref(), cap);
+        }
     }
 }
 
@@ -947,7 +1518,13 @@ mod tests {
     fn shard_partition_is_exact_and_masked() {
         let c = SharedTileCache::with_shards(13, 4);
         assert_eq!(c.shard_count(), 4);
-        assert_eq!(c.shard_caps.iter().sum::<usize>(), 13);
+        assert_eq!(
+            c.shard_caps
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum::<usize>(),
+            13
+        );
         // Hash-derived shard indexes stay in range and are stable.
         for x in 0..100 {
             let id = TileId::new(3, x % 7, x);
@@ -1005,5 +1582,188 @@ mod tests {
         assert!(s.contains("<locked>"), "{s}");
         drop(held);
         assert!(!format!("{r:?}").contains("<locked>"));
+    }
+
+    #[test]
+    fn hot_survives_eviction_unlike_popular() {
+        for c in caches(2) {
+            let a = c.open_session();
+            c.install(a, vec![tile(tid(1))]);
+            for _ in 0..4 {
+                c.lookup(a, tid(1));
+            }
+            // Release the hold, then displace tid(1) with two fresh
+            // tiles (capacity 2; eviction prefers the unheld tile).
+            c.retain_for(a, &[]);
+            c.install(a, vec![tile(tid(2)), tile(tid(3))]);
+            assert!(!c.contains(tid(1)), "tid(1) must have been evicted");
+            assert!(
+                !c.popular(10).iter().any(|&(t, _)| t == tid(1)),
+                "popular() forgets evicted tiles"
+            );
+            let hot = c.hot(10);
+            assert_eq!(hot[0].0, tid(1), "sketch remembers the evicted tile");
+            assert_eq!(hot[0].1, 5, "1 install + 4 lookups");
+            // Requests for non-resident tiles count as demand too.
+            c.lookup(a, tid(1));
+            assert_eq!(c.hot(1)[0].1, 6);
+        }
+    }
+
+    #[test]
+    fn sketch_ranking_is_sorted_and_truncated() {
+        for c in caches(8) {
+            let a = c.open_session();
+            c.install(a, (0..4).map(|x| tile(tid(x))).collect());
+            for x in 0..4u32 {
+                for _ in 0..x {
+                    c.lookup(a, tid(x));
+                }
+            }
+            let hot = c.hot(3);
+            assert_eq!(hot.len(), 3);
+            for w in hot.windows(2) {
+                assert!(w[0].1 >= w[1].1, "counts non-increasing: {hot:?}");
+            }
+            assert_eq!(hot[0].0, tid(3));
+        }
+    }
+
+    #[test]
+    fn set_capacity_repartitions_and_evicts() {
+        for c in caches(8) {
+            let a = c.open_session();
+            c.install(a, (0..8).map(|x| tile(tid(x))).collect());
+            assert_eq!(c.len(), 8);
+            c.retain_for(a, &[]);
+            c.set_capacity(4);
+            assert_eq!(c.capacity(), 4);
+            assert!(c.len() <= 4, "shrink evicts down: {}", c.len());
+            assert!(c.stats().evictions >= 4);
+            c.set_capacity(8);
+            assert_eq!(c.capacity(), 8);
+            assert_eq!(c.session_budget(), 8, "budget follows the new capacity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn set_capacity_below_shard_count_panics() {
+        let c = SharedTileCache::with_shards(16, 4);
+        MultiUserCache::set_capacity(&c, 2);
+    }
+
+    #[test]
+    fn registry_partitions_budget_exactly_across_namespaces() {
+        let r = DatasetRegistry::new(RegistryConfig {
+            budget: 10,
+            shards: 1,
+            hotspots: HotspotConfig::default(),
+        });
+        assert!(r.is_empty());
+        let a = r.attach("a");
+        assert_eq!(a.cache().capacity(), 10, "sole namespace owns the budget");
+        let b = r.attach("b");
+        assert_eq!(a.cache().capacity(), 5);
+        assert_eq!(b.cache().capacity(), 5);
+        let _c = r.attach("c");
+        let caps: Vec<usize> = r.capacities().iter().map(|&(_, c)| c).collect();
+        assert_eq!(caps, vec![4, 3, 3], "attach order gets the remainder");
+        assert_eq!(caps.iter().sum::<usize>(), 10, "exact partition");
+        // Attach is idempotent: same namespace back, no repartition.
+        assert!(Arc::ptr_eq(&a, &r.attach("a")));
+        assert_eq!(r.len(), 3);
+        // Detach returns the slice to the survivors.
+        assert!(r.detach("b"));
+        assert!(!r.detach("b"), "second detach is a no-op");
+        assert_eq!(r.names(), vec!["a", "c"]);
+        assert_eq!(
+            r.capacities().iter().map(|&(_, c)| c).sum::<usize>(),
+            10,
+            "budget conserved after detach"
+        );
+        assert!(r.get("b").is_none());
+        assert_eq!(r.get("a").unwrap().name(), "a");
+    }
+
+    #[test]
+    fn rejected_attach_leaves_the_registry_untouched() {
+        // budget 60 with dynamic shards: the first namespace is built
+        // for its 60-tile slice (16 shards), so a fourth attach (15
+        // tiles each) cannot cover it. The attach must panic *without*
+        // mutating: still 3 namespaces, capacities still summing to
+        // the budget.
+        let r = DatasetRegistry::new(RegistryConfig {
+            budget: 60,
+            shards: 0,
+            hotspots: HotspotConfig::default(),
+        });
+        for name in ["a", "b", "c"] {
+            r.attach(name);
+        }
+        assert_eq!(
+            r.capacities().iter().map(|&(_, c)| c).sum::<usize>(),
+            60,
+            "exact partition before the rejected attach"
+        );
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.attach("d"))).is_err();
+        assert!(panicked, "a slice below the shard count must be rejected");
+        assert_eq!(r.len(), 3, "rejected namespace must not be attached");
+        assert!(r.get("d").is_none());
+        assert_eq!(
+            r.capacities().iter().map(|&(_, c)| c).sum::<usize>(),
+            60,
+            "budget invariant survives the unwind"
+        );
+    }
+
+    #[test]
+    fn registry_shrink_evicts_down_attached_namespaces() {
+        let r = DatasetRegistry::new(RegistryConfig {
+            budget: 8,
+            shards: 1,
+            hotspots: HotspotConfig::default(),
+        });
+        let a = r.attach("a");
+        let s = a.cache().open_session();
+        a.cache().install(s, (0..8).map(|x| tile(tid(x))).collect());
+        a.cache().retain_for(s, &[]);
+        assert_eq!(a.cache().len(), 8);
+        // A second dataset halves a's slice; a evicts down to it.
+        let b = r.attach("b");
+        assert_eq!(a.cache().capacity(), 4);
+        assert!(a.cache().len() <= 4);
+        assert_eq!(b.cache().capacity(), 4);
+    }
+
+    #[test]
+    fn hotspot_model_publishes_epoch_stamped_sketch_snapshots() {
+        let c = SharedTileCache::with_shards(4, 1);
+        let m = SharedHotspotModel::new(HotspotConfig {
+            top_n: 2,
+            refresh_every: 3,
+        });
+        let s = c.open_session();
+        c.install(s, vec![tile(tid(1))]);
+        for _ in 0..5 {
+            c.lookup(s, tid(1));
+        }
+        let mut view = HotspotView::default();
+        assert_eq!(view.current(&m).epoch, 0);
+        assert!(view.current(&m).hotspots.is_empty(), "pre-first snapshot");
+        m.observe(&c);
+        m.observe(&c);
+        assert_eq!(m.epoch(), 0, "below the cadence: no publication yet");
+        m.observe(&c);
+        assert_eq!(m.epoch(), 1, "third observe publishes");
+        let snap = view.current(&m).clone();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.hotspots[0].0, tid(1));
+        // Same epoch → the view hands back its cached Arc (steady
+        // state takes no lock).
+        assert!(Arc::ptr_eq(&snap, view.current(&m)));
+        m.refresh(&c);
+        assert_eq!(view.current(&m).epoch, 2);
     }
 }

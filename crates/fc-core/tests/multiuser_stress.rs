@@ -12,6 +12,10 @@
 //! * Stress: under multi-threaded install/lookup/retain/open/close
 //!   churn, capacity is never exceeded and the atomic stats balance
 //!   with per-thread ground truth.
+//! * Popularity: `popular()` (resident ranking) and `hot()` (the
+//!   eviction-surviving sketch) keep their ordering invariants under
+//!   threaded churn, and their *orderings* — not just their sorted
+//!   contents — match the single-mutex reference at one shard.
 
 use fc_array::{DenseArray, Schema};
 use fc_core::{MultiUserCache, SharedTileCache, SingleMutexTileCache};
@@ -111,9 +115,28 @@ fn one_shard_matches_single_mutex_reference_step_by_step() {
         assert_eq!(len_a, len_b);
         assert_eq!(sharded.session_budget(), reference.session_budget());
         assert!(len_a <= capacity);
+        // Golden *ordering* checks (snapshot() sorts by id, hiding
+        // rank): the ranked lists themselves must agree, for both the
+        // resident ranking and the eviction-surviving sketch.
+        assert_eq!(
+            sharded.popular(5),
+            reference.popular(5),
+            "popular() ordering diverged at step {step}"
+        );
+        assert_eq!(
+            sharded.hot(8),
+            reference.hot(8),
+            "hot() ordering diverged at step {step}"
+        );
     }
     // The trace must actually have exercised eviction.
     assert!(sharded.stats().evictions > 0, "trace never evicted");
+    // The sketch kept counting through those evictions: every id that
+    // ever passed through is still ranked.
+    assert!(
+        sharded.hot(usize::MAX).len() >= sharded.len(),
+        "sketch must remember at least the residents"
+    );
 }
 
 #[test]
@@ -178,8 +201,100 @@ fn n_shards_decompose_into_per_shard_references() {
         );
         assert_eq!(len, ref_len);
         assert!(len <= capacity, "capacity exceeded at step {step}");
+        // The popularity sketch decomposes exactly like residency:
+        // the sharded hot() is the rank-merged union of the per-shard
+        // references' sketches.
+        let mut ref_hot: Vec<(TileId, u64)> =
+            minis.iter().flat_map(|m| m.hot(usize::MAX)).collect();
+        ref_hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        assert_eq!(
+            sharded.hot(usize::MAX),
+            ref_hot,
+            "sketch diverged at step {step}"
+        );
     }
     assert!(sharded.stats().evictions > 0, "trace never evicted");
+}
+
+/// Threaded install/evict/lookup churn over the popularity paths:
+/// `popular()` and `hot()` stay well-formed mid-churn (they are
+/// non-atomic snapshots, but each must still be a descending ranking),
+/// the sketch survives eviction, and the most-requested tile tops it.
+#[test]
+fn popularity_rankings_hold_under_threaded_churn() {
+    let capacity = 32;
+    let cache = Arc::new(SharedTileCache::with_shards(capacity, 8));
+    let threads = 8;
+    let steps = 500;
+    // Every thread hammers this tile ~every 4th op: it must end up the
+    // sketch's undisputed top entry.
+    let celebrity = tid(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                let mut state = 0x9e37_79b9_u64 + t as u64;
+                let session = cache.open_session();
+                for i in 0..steps {
+                    match rng(&mut state) % 4 {
+                        0 => {
+                            let n = 1 + rng(&mut state) % 4;
+                            let tiles: Vec<_> =
+                                (0..n).map(|_| tile(tid(rng(&mut state) % 100))).collect();
+                            cache.install(session, tiles);
+                        }
+                        1 | 2 => {
+                            let _ = cache.lookup(session, tid(rng(&mut state) % 100));
+                        }
+                        _ => {
+                            let _ = cache.lookup(session, celebrity);
+                        }
+                    }
+                    if i % 16 == 0 {
+                        // Mid-churn snapshots must be descending
+                        // rankings with the requested truncation.
+                        let pop = cache.popular(10);
+                        assert!(pop.len() <= 10);
+                        for w in pop.windows(2) {
+                            assert!(w[0].1 >= w[1].1, "popular unsorted mid-churn: {pop:?}");
+                        }
+                        let hot = cache.hot(10);
+                        assert!(hot.len() <= 10);
+                        for w in hot.windows(2) {
+                            assert!(w[0].1 >= w[1].1, "hot unsorted mid-churn: {hot:?}");
+                        }
+                    }
+                }
+                cache.close_session(session);
+            });
+        }
+    });
+
+    let hot = cache.hot(usize::MAX);
+    for w in hot.windows(2) {
+        assert!(
+            w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+            "hot tie-break must be deterministic: {:?} vs {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    assert_eq!(hot[0].0, celebrity, "most-requested tile tops the sketch");
+    let pop = cache.popular(usize::MAX);
+    for w in pop.windows(2) {
+        assert!(w[0].1 >= w[1].1, "popular must rank descending");
+    }
+    assert!(pop.len() <= capacity, "popular ranks residents only");
+    // Eviction happened, yet the sketch still ranks far more ids than
+    // fit in the cache — the signal `popular()` loses.
+    assert!(cache.stats().evictions > 0, "churn never evicted");
+    assert!(
+        hot.len() > cache.len(),
+        "sketch must remember evicted tiles: {} ranked vs {} resident",
+        hot.len(),
+        cache.len()
+    );
 }
 
 #[test]

@@ -40,14 +40,43 @@ pub struct SessionStats {
 
 impl Client {
     /// Connects and opens a session with prefetch budget `k` (0 = server
-    /// default).
+    /// default) on the server's default dataset.
     ///
     /// # Errors
     /// Socket errors, protocol violations, or a server-side error reply.
     pub fn connect<A: ToSocketAddrs>(addr: A, k: u32) -> io::Result<Client> {
+        Self::connect_dataset(addr, k, "")
+    }
+
+    /// Connects and opens a session on a named dataset — a server can
+    /// serve several pyramids, each under its own cache namespace
+    /// (empty name = the server's default dataset).
+    ///
+    /// # Errors
+    /// As [`Client::connect`]; additionally `InvalidInput` when the
+    /// name exceeds [`crate::protocol::MAX_DATASET_NAME`] bytes, or an
+    /// error reply when the server does not serve `dataset`.
+    pub fn connect_dataset<A: ToSocketAddrs>(addr: A, k: u32, dataset: &str) -> io::Result<Client> {
+        if dataset.len() > crate::protocol::MAX_DATASET_NAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "dataset name too long: {} bytes (max {})",
+                    dataset.len(),
+                    crate::protocol::MAX_DATASET_NAME
+                ),
+            ));
+        }
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        write_frame(&mut stream, &ClientMsg::Hello { prefetch_k: k }.encode())?;
+        write_frame(
+            &mut stream,
+            &ClientMsg::Hello {
+                prefetch_k: k,
+                dataset: dataset.to_string(),
+            }
+            .encode(),
+        )?;
         match ServerMsg::decode(read_frame(&mut stream)?)? {
             ServerMsg::Welcome {
                 levels,

@@ -30,4 +30,4 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
-pub use server::{EngineFactory, MultiUserServing, Server, ServerConfig};
+pub use server::{DatasetSpec, EngineFactory, MultiUserServing, Server, ServerConfig};

@@ -40,6 +40,12 @@ use std::io::{self, Read, Write};
 /// Maximum accepted frame size (guards against corrupt length prefixes).
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// Maximum dataset-name length accepted in a Hello. Wire strings carry
+/// a u16 length, so an unbounded name echoed into an Error reason
+/// (`"unknown dataset: …"`) could overflow the reply's own string
+/// field; both ends enforce this far smaller bound instead.
+pub const MAX_DATASET_NAME: usize = 256;
+
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
@@ -47,6 +53,10 @@ pub enum ClientMsg {
     Hello {
         /// Prefetch budget k requested for this session.
         prefetch_k: u32,
+        /// Dataset to browse: a server can serve several pyramids,
+        /// each under its own cache namespace. Empty selects the
+        /// server's default (first) dataset.
+        dataset: String,
     },
     /// Request a tile; `mv` is the interface move that produced the
     /// request (`None` for the first request).
@@ -243,7 +253,7 @@ impl ClientMsg {
     /// Exact encoded payload size (without the 4-byte length prefix).
     fn encoded_body_len(&self) -> usize {
         match self {
-            ClientMsg::Hello { .. } => 1 + 4,
+            ClientMsg::Hello { dataset, .. } => 1 + 4 + 2 + dataset.len(),
             ClientMsg::RequestTile { .. } => 1 + 9 + 1,
             ClientMsg::GetStats | ClientMsg::Bye => 1,
         }
@@ -255,9 +265,13 @@ impl ClientMsg {
     pub fn encode_into<'a>(&self, frame: &'a mut FrameBuf) -> &'a [u8] {
         let body = frame.start_frame(self.encoded_body_len());
         match self {
-            ClientMsg::Hello { prefetch_k } => {
+            ClientMsg::Hello {
+                prefetch_k,
+                dataset,
+            } => {
                 body.push(0);
                 body.extend_from_slice(&prefetch_k.to_le_bytes());
+                put_string(body, dataset);
             }
             ClientMsg::RequestTile { tile, mv } => {
                 body.push(1);
@@ -286,8 +300,11 @@ impl ClientMsg {
                 if body.remaining() < 4 {
                     return Err(bad("truncated Hello"));
                 }
+                let prefetch_k = body.get_u32_le();
+                let dataset = get_string(&mut body)?;
                 Ok(ClientMsg::Hello {
-                    prefetch_k: body.get_u32_le(),
+                    prefetch_k,
+                    dataset,
                 })
             }
             1 => {
@@ -518,7 +535,14 @@ mod tests {
     #[test]
     fn client_msgs_roundtrip() {
         let msgs = vec![
-            ClientMsg::Hello { prefetch_k: 5 },
+            ClientMsg::Hello {
+                prefetch_k: 5,
+                dataset: String::new(),
+            },
+            ClientMsg::Hello {
+                prefetch_k: 3,
+                dataset: "ndsi_west".into(),
+            },
             ClientMsg::RequestTile {
                 tile: TileId::new(3, 7, 9),
                 mv: Some(Move::ZoomIn(Quadrant::Se)),
@@ -637,7 +661,10 @@ mod tests {
 
     #[test]
     fn frame_stream_roundtrip() {
-        let m = ClientMsg::Hello { prefetch_k: 3 };
+        let m = ClientMsg::Hello {
+            prefetch_k: 3,
+            dataset: "d".into(),
+        };
         let mut buf = Vec::new();
         write_frame(&mut buf, &m.encode()).unwrap();
         write_frame(&mut buf, &ClientMsg::Bye.encode()).unwrap();

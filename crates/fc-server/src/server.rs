@@ -1,15 +1,21 @@
 //! The threaded middleware server: one TCP connection = one user session
-//! with its own prediction engine over the shared pyramid. In
-//! multi-user mode ([`ServerConfig::multi_user`]) sessions additionally
-//! share a lock-striped tile cache (prefetches are communal; the
-//! per-session budget re-partitions as sessions come and go) and a
-//! cross-session predict scheduler that coalesces concurrent sessions'
-//! SB rankings into one batched sweep per tick.
+//! with its own prediction engine over a served pyramid. One process
+//! serves one or many datasets ([`Server::bind_datasets`]): the Hello
+//! handshake names the dataset, and in multi-user mode
+//! ([`ServerConfig::multi_user`]) each dataset gets its own cache
+//! **namespace** from a [`fc_core::DatasetRegistry`] partitioning one
+//! global tile budget — sessions of a dataset share that namespace's
+//! lock-striped tile cache (prefetches are communal; the per-session
+//! budget re-partitions as sessions come and go), a cross-session
+//! predict scheduler that coalesces concurrent sessions' SB rankings
+//! into one batched sweep per tick, and (opt-in) the namespace's
+//! cross-session hotspot model.
 
 use crate::protocol::{read_frame, write_frame, ClientMsg, FrameBuf, ServerMsg, TilePayload};
 use fc_core::{
-    BatchConfig, LatencyProfile, Middleware, MultiUserCache, PredictScheduler, PredictionEngine,
-    SharedCacheStats, SharedSessionHandle, SharedTileCache,
+    BatchConfig, DatasetNamespace, DatasetRegistry, HotspotConfig, LatencyProfile, Middleware,
+    MultiUserCache, PredictScheduler, PredictionEngine, RegistryConfig, SharedCacheStats,
+    SharedSessionHandle,
 };
 use fc_tiles::{Pyramid, Tile};
 use std::io;
@@ -24,21 +30,51 @@ use std::time::Duration;
 /// cache and the predict batch — carries no per-session model state).
 pub type EngineFactory = Arc<dyn Fn() -> PredictionEngine + Send + Sync>;
 
+/// One dataset a server process serves: its pyramid plus the factory
+/// building each session's prediction engine over it.
+#[derive(Clone)]
+pub struct DatasetSpec {
+    /// Name clients select in the Hello handshake (must be unique per
+    /// server; the first spec is the default for an empty name).
+    pub name: String,
+    /// The served pyramid.
+    pub pyramid: Arc<Pyramid>,
+    /// Per-session engine factory for this pyramid.
+    pub engines: EngineFactory,
+}
+
+impl std::fmt::Debug for DatasetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetSpec")
+            .field("name", &self.name)
+            .field("geometry", &self.pyramid.geometry())
+            .finish()
+    }
+}
+
 /// Multi-user serving parameters (see `fc_core::multiuser` for the
 /// sharding invariants and `fc_core::batch` for the rendezvous).
 #[derive(Debug, Clone)]
 pub struct MultiUserServing {
-    /// Total shared-cache capacity in tiles, partitioned exactly
-    /// across shards and fairly across sessions.
+    /// **Global** tile budget: partitioned exactly across dataset
+    /// namespaces by the registry, then across shards within each
+    /// namespace, and fairly across a namespace's sessions.
     pub cache_capacity: usize,
-    /// Shard count (power of two); 0 picks the default striping.
+    /// Shard count per namespace (power of two); 0 picks the default
+    /// striping.
     pub shards: usize,
     /// Whether concurrent sessions' predicts coalesce into batched SB
-    /// sweeps.
+    /// sweeps (one scheduler per dataset).
     pub batch_predicts: bool,
     /// Extra fan-in time a batch leader waits for the other sessions;
     /// zero (default) is pure group commit — see `fc_core::batch`.
     pub batch_window: Duration,
+    /// Opt-in cross-session hotspot model: when set, every session's
+    /// handle carries its namespace's `SharedHotspotModel` at this
+    /// cadence. The prior only takes effect for engines whose
+    /// `EngineConfig::hotspot` also opts in — the factory controls
+    /// blending, the server only feeds the model.
+    pub hotspots: Option<HotspotConfig>,
 }
 
 impl Default for MultiUserServing {
@@ -48,6 +84,7 @@ impl Default for MultiUserServing {
             shards: 0,
             batch_predicts: true,
             batch_window: Duration::ZERO,
+            hotspots: None,
         }
     }
 }
@@ -77,10 +114,40 @@ impl Default for ServerConfig {
     }
 }
 
-/// The shared multi-user serving state: one per server.
-struct SharedServing {
-    cache: Arc<dyn MultiUserCache>,
+/// One dataset's serving state: spec + (in multi-user mode) its cache
+/// namespace and predict scheduler.
+struct ServedDataset {
+    spec: DatasetSpec,
+    shared: Option<DatasetShared>,
+}
+
+/// A dataset's slice of the multi-user serving core.
+struct DatasetShared {
+    namespace: Arc<DatasetNamespace>,
     scheduler: Option<Arc<PredictScheduler>>,
+    /// Whether sessions' handles carry the namespace's hotspot model.
+    hotspots_on: bool,
+}
+
+/// Everything the accept loop shares with session threads.
+struct ServedDatasets {
+    datasets: Vec<ServedDataset>,
+    /// The registry partitioning the global budget (multi-user mode).
+    /// Held so the namespaces stay attached for the server's lifetime.
+    #[allow(dead_code)]
+    registry: Option<Arc<DatasetRegistry>>,
+}
+
+impl ServedDatasets {
+    /// Resolves a Hello's dataset name: empty picks the default
+    /// (first) dataset.
+    fn resolve(&self, name: &str) -> Option<&ServedDataset> {
+        if name.is_empty() {
+            self.datasets.first()
+        } else {
+            self.datasets.iter().find(|d| d.spec.name == name)
+        }
+    }
 }
 
 /// A running ForeCache server.
@@ -89,12 +156,12 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     active_sessions: Arc<AtomicUsize>,
-    shared: Option<Arc<SharedServing>>,
+    served: Arc<ServedDatasets>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop on a background thread.
+    /// Binds to `addr` (use port 0 for an ephemeral port) serving one
+    /// dataset, and starts the accept loop on a background thread.
     ///
     /// # Errors
     /// Propagates socket errors.
@@ -104,46 +171,102 @@ impl Server {
         engines: EngineFactory,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Self::bind_datasets(
+            addr,
+            vec![DatasetSpec {
+                name: String::new(),
+                pyramid,
+                engines,
+            }],
+            config,
+        )
+    }
+
+    /// Binds to `addr` serving several datasets from one process: the
+    /// Hello handshake picks the dataset by name (empty = the first
+    /// spec). In multi-user mode a [`DatasetRegistry`] partitions
+    /// `cache_capacity` exactly across one cache namespace per
+    /// dataset.
+    ///
+    /// # Errors
+    /// Propagates socket errors; `InvalidInput` when `datasets` is
+    /// empty or contains duplicate names.
+    ///
+    /// # Panics
+    /// Panics (from the registry) when the per-namespace budget slice
+    /// cannot cover the configured shard count.
+    pub fn bind_datasets<A: ToSocketAddrs>(
+        addr: A,
+        datasets: Vec<DatasetSpec>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        if datasets.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server needs at least one dataset",
+            ));
+        }
+        for (i, d) in datasets.iter().enumerate() {
+            if datasets[..i].iter().any(|e| e.name == d.name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate dataset name: {:?}", d.name),
+                ));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active_sessions = Arc::new(AtomicUsize::new(0));
-        let shared = config.multi_user.as_ref().map(|mu| {
-            let cache: Arc<dyn MultiUserCache> = Arc::new(if mu.shards == 0 {
-                SharedTileCache::new(mu.cache_capacity)
-            } else {
-                SharedTileCache::with_shards(mu.cache_capacity, mu.shards)
-            });
-            // The scheduler's SB model must match the sessions': probe
-            // the factory once and clone its model.
-            let scheduler = if mu.batch_predicts {
-                let probe = engines();
-                Some(Arc::new(PredictScheduler::new(
-                    probe.sb_model().clone(),
-                    pyramid.clone(),
-                    BatchConfig {
-                        window: mu.batch_window,
-                        max_batch: 0,
-                    },
-                )))
-            } else {
-                None
-            };
-            Arc::new(SharedServing { cache, scheduler })
+        let registry = config.multi_user.as_ref().map(|mu| {
+            Arc::new(DatasetRegistry::new(RegistryConfig {
+                budget: mu.cache_capacity,
+                shards: mu.shards,
+                hotspots: mu.hotspots.unwrap_or_default(),
+            }))
         });
+        let datasets: Vec<ServedDataset> = datasets
+            .into_iter()
+            .map(|spec| {
+                let shared = config.multi_user.as_ref().map(|mu| {
+                    let registry = registry.as_ref().expect("registry exists in mu mode");
+                    let namespace = registry.attach(&spec.name);
+                    // The scheduler's SB model must match the
+                    // sessions': probe the factory once and clone its
+                    // model.
+                    let scheduler = mu.batch_predicts.then(|| {
+                        let probe = (spec.engines)();
+                        Arc::new(PredictScheduler::new(
+                            probe.sb_model().clone(),
+                            spec.pyramid.clone(),
+                            BatchConfig {
+                                window: mu.batch_window,
+                                max_batch: 0,
+                            },
+                        ))
+                    });
+                    DatasetShared {
+                        namespace,
+                        scheduler,
+                        hotspots_on: mu.hotspots.is_some(),
+                    }
+                });
+                ServedDataset { spec, shared }
+            })
+            .collect();
+        let served = Arc::new(ServedDatasets { datasets, registry });
         let accept_shutdown = shutdown.clone();
         let accept_sessions = active_sessions.clone();
-        let accept_shared = shared.clone();
+        let accept_served = served.clone();
+        let accept_config = config;
         let accept_thread = std::thread::spawn(move || {
             accept_loop(
                 listener,
-                pyramid,
-                engines,
-                config,
+                accept_served,
+                accept_config,
                 accept_shutdown,
                 accept_sessions,
-                accept_shared,
             );
         });
         Ok(Server {
@@ -151,20 +274,56 @@ impl Server {
             shutdown,
             accept_thread: Some(accept_thread),
             active_sessions,
-            shared,
+            served,
         })
     }
 
-    /// Shared-cache statistics (hits/misses/cross-session hits /
-    /// evictions) when running in multi-user mode.
+    /// Shared-cache statistics of the default dataset's namespace when
+    /// running in multi-user mode.
     pub fn shared_cache_stats(&self) -> Option<SharedCacheStats> {
-        self.shared.as_ref().map(|s| s.cache.stats())
+        self.served
+            .datasets
+            .first()
+            .and_then(|d| d.shared.as_ref())
+            .map(|s| s.namespace.cache().stats())
     }
 
-    /// Cross-session predict-scheduler statistics when batching is on.
+    /// Per-namespace shared-cache statistics, one entry per served
+    /// dataset (multi-user mode; empty otherwise).
+    pub fn namespace_stats(&self) -> Vec<(String, SharedCacheStats)> {
+        self.served
+            .datasets
+            .iter()
+            .filter_map(|d| {
+                d.shared
+                    .as_ref()
+                    .map(|s| (d.spec.name.clone(), s.namespace.cache().stats()))
+            })
+            .collect()
+    }
+
+    /// Per-namespace cache capacities after the registry's partition
+    /// (multi-user mode; empty otherwise) — Σ equals the configured
+    /// global `cache_capacity`.
+    pub fn namespace_capacities(&self) -> Vec<(String, usize)> {
+        self.served
+            .datasets
+            .iter()
+            .filter_map(|d| {
+                d.shared
+                    .as_ref()
+                    .map(|s| (d.spec.name.clone(), s.namespace.cache().capacity()))
+            })
+            .collect()
+    }
+
+    /// Cross-session predict-scheduler statistics of the default
+    /// dataset when batching is on.
     pub fn scheduler_stats(&self) -> Option<fc_core::SchedulerStats> {
-        self.shared
-            .as_ref()
+        self.served
+            .datasets
+            .first()
+            .and_then(|d| d.shared.as_ref())
             .and_then(|s| s.scheduler.as_ref())
             .map(|s| s.stats())
     }
@@ -197,24 +356,20 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: TcpListener,
-    pyramid: Arc<Pyramid>,
-    engines: EngineFactory,
+    served: Arc<ServedDatasets>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     sessions: Arc<AtomicUsize>,
-    shared: Option<Arc<SharedServing>>,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let pyramid = pyramid.clone();
-                let engines = engines.clone();
+                let served = served.clone();
                 let config = config.clone();
                 let sessions = sessions.clone();
-                let shared = shared.clone();
                 sessions.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || {
-                    let _ = serve_session(stream, pyramid, engines, config, shared);
+                    let _ = serve_session(stream, served, config);
                     sessions.fetch_sub(1, Ordering::Relaxed);
                 });
             }
@@ -228,15 +383,14 @@ fn accept_loop(
 
 fn serve_session(
     mut stream: TcpStream,
-    pyramid: Arc<Pyramid>,
-    engines: EngineFactory,
+    served: Arc<ServedDatasets>,
     config: ServerConfig,
-    shared: Option<Arc<SharedServing>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    // Dropping the middleware (on return, including error paths)
-    // closes its shared session: holds release and the prefetch budget
-    // repartitions across the surviving sessions.
+    // Dropping the middleware (on return, including error paths, or
+    // when a new Hello rebinds the session to another dataset) closes
+    // its shared session: holds release and the prefetch budget
+    // repartitions across the namespace's surviving sessions.
     let mut middleware: Option<Middleware> = None;
     // One reusable frame buffer per session: steady-state replies encode
     // with zero allocations (see protocol.rs, "FrameBuf reuse contract").
@@ -249,33 +403,66 @@ fn serve_session(
         };
         let msg = ClientMsg::decode(body)?;
         match msg {
-            ClientMsg::Hello { prefetch_k } => {
+            ClientMsg::Hello {
+                prefetch_k,
+                dataset,
+            } => {
                 let k = if prefetch_k == 0 {
                     config.default_k
                 } else {
                     prefetch_k as usize
                 };
-                middleware = Some(match &shared {
-                    Some(s) => Middleware::new_shared(
-                        engines(),
-                        pyramid.clone(),
-                        config.profile,
-                        config.history_cache,
-                        k,
-                        SharedSessionHandle::open(s.cache.clone(), s.scheduler.clone()),
-                    ),
-                    None => Middleware::new(
-                        engines(),
-                        pyramid.clone(),
-                        config.profile,
-                        config.history_cache,
-                        k,
-                    ),
-                });
-                let g = pyramid.geometry();
-                let reply = ServerMsg::Welcome {
-                    levels: g.levels,
-                    deepest_tiles: g.tiles_at(g.levels - 1),
+                // Bound the name before echoing it anywhere: wire
+                // strings are u16-length, so an unbounded (up to 64 KiB)
+                // name folded into an Error reason would overflow the
+                // reply's own string field and panic the session thread.
+                let resolved = if dataset.len() > crate::protocol::MAX_DATASET_NAME {
+                    Err(format!(
+                        "dataset name too long: {} bytes (max {})",
+                        dataset.len(),
+                        crate::protocol::MAX_DATASET_NAME
+                    ))
+                } else {
+                    served
+                        .resolve(&dataset)
+                        .ok_or_else(|| format!("unknown dataset: {dataset:?}"))
+                };
+                let reply = match resolved {
+                    Err(reason) => ServerMsg::Error { reason },
+                    Ok(d) => {
+                        let pyramid = d.spec.pyramid.clone();
+                        middleware = Some(match &d.shared {
+                            Some(s) => {
+                                let mut handle = SharedSessionHandle::open(
+                                    s.namespace.cache().clone() as Arc<dyn MultiUserCache>,
+                                    s.scheduler.clone(),
+                                );
+                                if s.hotspots_on {
+                                    handle = handle.with_hotspots(s.namespace.hotspots().clone());
+                                }
+                                Middleware::new_shared(
+                                    (d.spec.engines)(),
+                                    pyramid.clone(),
+                                    config.profile,
+                                    config.history_cache,
+                                    k,
+                                    handle,
+                                )
+                            }
+                            None => Middleware::new(
+                                (d.spec.engines)(),
+                                pyramid.clone(),
+                                config.profile,
+                                config.history_cache,
+                                k,
+                            ),
+                        });
+                        let g = pyramid.geometry();
+                        ServerMsg::Welcome {
+                            levels: g.levels,
+                            deepest_tiles: g.tiles_at(g.levels - 1),
+                        }
+                    }
                 };
                 write_frame(&mut stream, reply.encode_into(&mut frame))?;
             }

@@ -5,9 +5,9 @@ use fc_core::signature::SignatureKind;
 use fc_core::{
     AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, SbConfig, SbRecommender,
 };
-use fc_server::{Client, EngineFactory, MultiUserServing, Server, ServerConfig};
+use fc_server::{Client, DatasetSpec, EngineFactory, MultiUserServing, Server, ServerConfig};
 use fc_sim::dataset::{DatasetConfig, StudyDataset};
-use fc_tiles::{Move, Quadrant, TileId};
+use fc_tiles::{Move, Pyramid, Quadrant, TileId};
 use std::sync::Arc;
 
 fn start_server_with(config: ServerConfig) -> (Server, StudyDataset) {
@@ -151,6 +151,168 @@ fn multi_user_mode_shares_prefetched_tiles_across_sessions() {
     let sched = server.scheduler_stats().expect("batching on");
     assert!(sched.batches > 0 && sched.jobs >= sched.batches);
     first.expect("held client").bye().expect("bye");
+    server.shutdown();
+}
+
+fn engine_factory_for(pyramid: &Arc<Pyramid>) -> EngineFactory {
+    let g = pyramid.geometry();
+    Arc::new(move || {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 10]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        PredictionEngine::new(
+            g,
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::Updated,
+                ..EngineConfig::default()
+            },
+        )
+    })
+}
+
+/// Acceptance: one server process serves two pyramids, each under its
+/// own cache namespace carved from one global budget.
+#[test]
+fn one_process_serves_two_datasets_in_separate_namespaces() {
+    // Two different geometries so the Welcome tells them apart.
+    let west = StudyDataset::build(DatasetConfig::tiny()); // 3 levels
+    let east = {
+        let mut cfg = DatasetConfig::tiny();
+        cfg.levels = 4;
+        StudyDataset::build(cfg) // 4 levels
+    };
+    let specs = vec![
+        DatasetSpec {
+            name: "west".into(),
+            pyramid: west.pyramid.clone(),
+            engines: engine_factory_for(&west.pyramid),
+        },
+        DatasetSpec {
+            name: "east".into(),
+            pyramid: east.pyramid.clone(),
+            engines: engine_factory_for(&east.pyramid),
+        },
+    ];
+    let mut server = Server::bind_datasets(
+        "127.0.0.1:0",
+        specs,
+        ServerConfig {
+            multi_user: Some(MultiUserServing {
+                cache_capacity: 512,
+                hotspots: Some(fc_core::HotspotConfig::default()),
+                ..MultiUserServing::default()
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = server.addr();
+
+    // The global budget partitions exactly across the two namespaces.
+    let caps = server.namespace_capacities();
+    assert_eq!(caps.len(), 2);
+    assert_eq!(caps.iter().map(|&(_, c)| c).sum::<usize>(), 512);
+
+    // Unknown dataset → error reply, not a wedged connection.
+    assert!(Client::connect_dataset(addr, 2, "north").is_err());
+
+    // An empty name selects the default (first) dataset.
+    let default = Client::connect(addr, 2).expect("default dataset");
+    assert_eq!(default.levels(), west.pyramid.geometry().levels);
+    default.bye().expect("bye");
+
+    // Each namespace serves its own pyramid.
+    let walk = |dataset: &str, levels: u8| {
+        let mut c = Client::connect_dataset(addr, 5, dataset).expect("connect");
+        assert_eq!(c.levels(), levels, "{dataset}");
+        let deepest = levels - 1;
+        c.request_tile(TileId::new(deepest, 1, 0), None)
+            .expect("first");
+        let mut hits = 0;
+        for x in 1..4 {
+            let a = c
+                .request_tile(TileId::new(deepest, 1, x), Some(Move::PanRight))
+                .expect("pan");
+            if a.cache_hit {
+                hits += 1;
+            }
+        }
+        (c, hits)
+    };
+    let west_levels = west.pyramid.geometry().levels;
+    let east_levels = east.pyramid.geometry().levels;
+    // Two sessions on "west": the second rides the first's communal
+    // prefetches inside the west namespace.
+    let (w1, _) = walk("west", west_levels);
+    let (w2, w2_hits) = walk("west", west_levels);
+    assert!(w2_hits >= 2, "west session 2 rides shared prefetches");
+    // One session on "east" — its namespace is independent.
+    let (e1, _) = walk("east", east_levels);
+
+    let stats: std::collections::HashMap<String, fc_core::SharedCacheStats> =
+        server.namespace_stats().into_iter().collect();
+    let west_stats = stats["west"];
+    let east_stats = stats["east"];
+    assert!(
+        west_stats.cross_session_hits > 0,
+        "west sharing: {west_stats:?}"
+    );
+    assert_eq!(
+        east_stats.cross_session_hits, 0,
+        "east had one session: {east_stats:?}"
+    );
+    assert!(
+        west_stats.hits + west_stats.misses > 0 && east_stats.hits + east_stats.misses > 0,
+        "both namespaces saw traffic"
+    );
+
+    w1.bye().expect("bye");
+    w2.bye().expect("bye");
+    e1.bye().expect("bye");
+    server.shutdown();
+}
+
+/// Regression: a Hello whose dataset name approaches the u16 wire
+/// limit must get a bounded error reply — echoing the raw name into
+/// the Error reason used to overflow the reply's own string field and
+/// panic the session thread (leaking the active-session counter).
+#[test]
+fn oversized_dataset_name_is_rejected_not_fatal() {
+    use fc_server::protocol::{read_frame, write_frame, MAX_DATASET_NAME};
+    use fc_server::{ClientMsg, ServerMsg};
+    let (mut server, _ds) = start_server();
+    // Client-side guard: refuse before any bytes hit the wire.
+    let long = "x".repeat(MAX_DATASET_NAME + 1);
+    let err = Client::connect_dataset(server.addr(), 2, &long).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    // Raw-frame client: a near-u16-max name (encodable, but whose
+    // echoed Error reason would not be) must draw a bounded error.
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let hello = ClientMsg::Hello {
+        prefetch_k: 1,
+        dataset: "x".repeat(65_530),
+    };
+    write_frame(&mut stream, &hello.encode()).expect("send");
+    match ServerMsg::decode(read_frame(&mut stream).expect("alive")).expect("reply") {
+        ServerMsg::Error { reason } => {
+            assert!(reason.contains("too long"), "{reason}");
+            assert!(!reason.contains("xxx"), "name must not be echoed");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The connection survives: a proper Hello still opens a session.
+    let hello = ClientMsg::Hello {
+        prefetch_k: 1,
+        dataset: String::new(),
+    };
+    write_frame(&mut stream, &hello.encode()).expect("send");
+    match ServerMsg::decode(read_frame(&mut stream).expect("alive")).expect("reply") {
+        ServerMsg::Welcome { .. } => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
     server.shutdown();
 }
 

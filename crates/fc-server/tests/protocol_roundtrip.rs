@@ -65,10 +65,11 @@ proptest! {
         y in any::<u32>(),
         x in any::<u32>(),
         mv in 0usize..10,
+        dataset_len in 0usize..24,
     ) {
         let mv = if mv >= MOVES.len() { None } else { Some(Move::from_index(mv)) };
         let msgs = [
-            ClientMsg::Hello { prefetch_k: k },
+            ClientMsg::Hello { prefetch_k: k, dataset: "d".repeat(dataset_len) },
             ClientMsg::RequestTile { tile: TileId::new(level, y, x), mv },
             ClientMsg::GetStats,
             ClientMsg::Bye,
@@ -141,7 +142,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let client_msgs = [
-            ClientMsg::Hello { prefetch_k: 7 },
+            ClientMsg::Hello { prefetch_k: 7, dataset: "ndsi".into() },
             ClientMsg::RequestTile {
                 tile: TileId::new(2, 1, 3),
                 mv: Some(Move::from_index((seed % MOVES.len() as u64) as usize)),

@@ -20,9 +20,9 @@
 
 use crate::trace::{Trace, TraceStep};
 use fc_core::{
-    BatchConfig, LatencyProfile, Middleware, MultiUserCache, Phase, PredictScheduler,
-    PredictionEngine, SchedulerStats, SharedCacheStats, SharedSessionHandle, SharedTileCache,
-    SingleMutexTileCache,
+    BatchConfig, DatasetRegistry, HotspotBlend, HotspotConfig, LatencyProfile, Middleware,
+    MultiUserCache, Phase, PredictScheduler, PredictionEngine, RegistryConfig, SchedulerStats,
+    SharedCacheStats, SharedSessionHandle, SharedTileCache, SingleMutexTileCache,
 };
 use fc_tiles::{Geometry, Move, Pyramid, Quadrant, TileId};
 use std::sync::Arc;
@@ -172,6 +172,7 @@ where
                         predict_ns: Vec::with_capacity(cfg.steps_per_session),
                     };
                     'replay: loop {
+                        let before = out.requests;
                         for (j, step) in trace.steps.iter().enumerate() {
                             if out.requests >= cfg.steps_per_session {
                                 break 'replay;
@@ -190,7 +191,10 @@ where
                                 u64::try_from(resp.predict_time.as_nanos()).unwrap_or(u64::MAX),
                             );
                         }
-                        if trace.steps.is_empty() {
+                        // A full pass that served nothing (empty trace,
+                        // or every tile unservable) can never progress:
+                        // report what we have instead of spinning.
+                        if out.requests == before {
                             break;
                         }
                     }
@@ -329,6 +333,311 @@ pub fn synthetic_workload(
     traces
 }
 
+/// Builds `sessions` deterministic traces that converge on a shared
+/// set of `attractors` deepest-level tiles — the workload the
+/// cross-session hotspot model is built for. Each session walks
+/// Manhattan-style toward its current attractor (horizontal first,
+/// then vertical), dwells there for a four-step loop, then heads for
+/// the next attractor (rotated per session so approaches differ).
+/// Momentum-style prediction misses the *turns* of these walks; a
+/// popularity prior pulls the prefetch toward the attractor every
+/// session keeps revisiting.
+pub fn hotspot_workload(
+    geometry: Geometry,
+    sessions: usize,
+    steps: usize,
+    attractors: usize,
+) -> Vec<Trace> {
+    assert!(attractors > 0, "need at least one attractor");
+    let level = geometry.levels - 1;
+    let (rows, cols) = geometry.tiles_at(level);
+    assert!(
+        rows >= 3 && cols >= 3,
+        "hotspot workload needs an interior at the deepest level"
+    );
+    // Interior attractor tiles, deterministically spread.
+    let targets: Vec<TileId> = (0..attractors)
+        .map(|a| {
+            let y = 1 + ((a as u32 * 5 + 1) % (rows - 2));
+            let x = 1 + ((a as u32 * 7 + 2) % (cols - 2));
+            TileId::new(level, y, x)
+        })
+        .collect();
+    let dwell = [Move::PanRight, Move::PanLeft, Move::PanDown, Move::PanUp];
+    let mut traces = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let mut cur = TileId::new(level, (s as u32 * 3) % rows, (s as u32 * 11) % cols);
+        let mut steps_out = vec![TraceStep {
+            tile: cur,
+            mv: None,
+            phase: Phase::Foraging,
+        }];
+        let mut next_target = s; // rotated start: approaches differ
+        let mut dwell_i = 0usize;
+        let mut target = targets[next_target % targets.len()];
+        while steps_out.len() < steps {
+            let mv = if cur == target && dwell_i < dwell.len() {
+                // Dwell loop around the attractor (interior, so every
+                // move is legal); ends back on the attractor.
+                let pair = dwell[dwell_i];
+                dwell_i += 1;
+                pair
+            } else if cur == target {
+                // Dwell done: head for the next attractor.
+                dwell_i = 0;
+                next_target += 1;
+                target = targets[next_target % targets.len()];
+                continue;
+            } else if cur.x != target.x {
+                if cur.x < target.x {
+                    Move::PanRight
+                } else {
+                    Move::PanLeft
+                }
+            } else if cur.y < target.y {
+                Move::PanDown
+            } else {
+                Move::PanUp
+            };
+            cur = geometry.apply(cur, mv).expect("legal move");
+            steps_out.push(TraceStep {
+                tile: cur,
+                mv: Some(mv),
+                phase: Phase::Foraging,
+            });
+        }
+        traces.push(Trace {
+            user: s,
+            task: 0,
+            steps: steps_out,
+        });
+    }
+    traces
+}
+
+/// Configuration of the multi-dataset, hotspot-model scenario.
+#[derive(Debug, Clone)]
+pub struct MultiDatasetConfig {
+    /// Concurrent sessions (threads) per dataset.
+    pub sessions_per_dataset: usize,
+    /// Requests each session replays.
+    pub steps_per_session: usize,
+    /// Global tile budget, partitioned exactly across the dataset
+    /// namespaces by the [`DatasetRegistry`].
+    pub global_budget: usize,
+    /// Shards per namespace cache (0 = default striping).
+    pub shards: usize,
+    /// The A/B knob: whether sessions carry their namespace's
+    /// cross-session hotspot model and blend its prior.
+    pub hotspots: bool,
+    /// Model cadence (used when `hotspots` is on).
+    pub hotspot_cfg: HotspotConfig,
+    /// Engine-side blend (applied to every session's engine when
+    /// `hotspots` is on).
+    pub blend: HotspotBlend,
+    /// Per-session prefetch budget k.
+    pub k: usize,
+    /// Private last-n history cache per session.
+    pub history_cache: usize,
+    /// Latency profile for hit/miss accounting.
+    pub profile: LatencyProfile,
+}
+
+impl Default for MultiDatasetConfig {
+    fn default() -> Self {
+        Self {
+            sessions_per_dataset: 4,
+            steps_per_session: 96,
+            global_budget: 1024,
+            shards: 0,
+            hotspots: false,
+            hotspot_cfg: HotspotConfig::default(),
+            blend: HotspotBlend {
+                radius: 6,
+                phases: [true, true, true],
+            },
+            k: 4,
+            history_cache: 4,
+            profile: LatencyProfile::paper(),
+        }
+    }
+}
+
+/// Per-namespace outcome of a multi-dataset run.
+#[derive(Debug, Clone)]
+pub struct NamespaceReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// The namespace's capacity slice of the global budget.
+    pub capacity: usize,
+    /// Requests served by this dataset's sessions.
+    pub requests: usize,
+    /// Session-visible hit rate (private + shared combined).
+    pub hit_rate: f64,
+    /// Shared-cache counters of the namespace.
+    pub shared: SharedCacheStats,
+    /// Hotspot-model epoch at the end of the run (0 = model off or
+    /// never refreshed).
+    pub hotspot_epoch: u64,
+}
+
+/// Aggregate outcome of one multi-dataset run.
+#[derive(Debug, Clone)]
+pub struct MultiDatasetReport {
+    /// Wall-clock time of the concurrent phase.
+    pub wall: Duration,
+    /// Total requests across all namespaces.
+    pub requests: usize,
+    /// Aggregate served requests per second.
+    pub throughput_rps: f64,
+    /// One report per dataset, in input order.
+    pub namespaces: Vec<NamespaceReport>,
+}
+
+/// Runs `cfg.sessions_per_dataset` concurrent analysts on **each** of
+/// `datasets` — one [`DatasetRegistry`] namespace per dataset under
+/// one global budget, with the cross-session hotspot model on or off
+/// (`cfg.hotspots`). Session `i` of a dataset replays
+/// `traces[i % traces.len()]` from that dataset's trace set, cycling
+/// until `steps_per_session` requests have been served.
+pub fn run_multi_dataset<F>(
+    datasets: &[(String, Arc<Pyramid>, Vec<Trace>)],
+    engine_factory: F,
+    cfg: &MultiDatasetConfig,
+) -> MultiDatasetReport
+where
+    F: Fn(&Arc<Pyramid>) -> PredictionEngine + Sync,
+{
+    assert!(!datasets.is_empty(), "need at least one dataset");
+    assert!(cfg.sessions_per_dataset > 0, "need at least one session");
+    let registry = DatasetRegistry::new(RegistryConfig {
+        budget: cfg.global_budget,
+        shards: cfg.shards,
+        hotspots: cfg.hotspot_cfg,
+    });
+    let namespaces: Vec<_> = datasets
+        .iter()
+        .map(|(name, _, traces)| {
+            assert!(!traces.is_empty(), "dataset {name} needs traces");
+            registry.attach(name)
+        })
+        .collect();
+
+    struct SessionOutcome {
+        dataset: usize,
+        requests: usize,
+        hits: usize,
+    }
+
+    let start = Instant::now();
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (di, (_, pyramid, traces)) in datasets.iter().enumerate() {
+            let ns = &namespaces[di];
+            for si in 0..cfg.sessions_per_dataset {
+                let trace = &traces[si % traces.len()];
+                let pyramid = pyramid.clone();
+                let ns = ns.clone();
+                let engine_factory = &engine_factory;
+                handles.push(scope.spawn(move || {
+                    let mut engine = engine_factory(&pyramid);
+                    if cfg.hotspots {
+                        engine.set_hotspot_blend(Some(cfg.blend));
+                    }
+                    let cache: Arc<dyn MultiUserCache> = ns.cache().clone();
+                    let mut handle = SharedSessionHandle::open(cache, None);
+                    if cfg.hotspots {
+                        handle = handle.with_hotspots(ns.hotspots().clone());
+                    }
+                    let mut mw = Middleware::new_shared(
+                        engine,
+                        pyramid,
+                        cfg.profile,
+                        cfg.history_cache,
+                        cfg.k,
+                        handle,
+                    );
+                    let mut out = SessionOutcome {
+                        dataset: di,
+                        requests: 0,
+                        hits: 0,
+                    };
+                    'replay: loop {
+                        let before = out.requests;
+                        for (j, step) in trace.steps.iter().enumerate() {
+                            if out.requests >= cfg.steps_per_session {
+                                break 'replay;
+                            }
+                            let mv = if j == 0 { None } else { step.mv };
+                            let Some(resp) = mw.request(step.tile, mv) else {
+                                continue;
+                            };
+                            out.requests += 1;
+                            if resp.cache_hit {
+                                out.hits += 1;
+                            }
+                        }
+                        // A pass that served nothing can never
+                        // progress (empty trace or unservable tiles):
+                        // report what we have instead of spinning.
+                        if out.requests == before {
+                            break;
+                        }
+                    }
+                    out
+                }));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let namespaces: Vec<NamespaceReport> = datasets
+        .iter()
+        .enumerate()
+        .map(|(di, (name, _, _))| {
+            let requests: usize = outcomes
+                .iter()
+                .filter(|o| o.dataset == di)
+                .map(|o| o.requests)
+                .sum();
+            let hits: usize = outcomes
+                .iter()
+                .filter(|o| o.dataset == di)
+                .map(|o| o.hits)
+                .sum();
+            let ns = registry.get(name).expect("attached");
+            NamespaceReport {
+                dataset: name.clone(),
+                capacity: ns.cache().capacity(),
+                requests,
+                hit_rate: if requests == 0 {
+                    0.0
+                } else {
+                    hits as f64 / requests as f64
+                },
+                shared: ns.cache().stats(),
+                hotspot_epoch: ns.hotspots().epoch(),
+            }
+        })
+        .collect();
+    let requests: usize = namespaces.iter().map(|n| n.requests).sum();
+
+    MultiDatasetReport {
+        wall,
+        requests,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        namespaces,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +732,85 @@ mod tests {
             let sched = r.scheduler.expect("batching on");
             assert_eq!(sched.jobs, 4 * 30, "one predict per request");
             assert!(sched.batches >= 1 && sched.batches <= sched.jobs);
+        }
+    }
+
+    #[test]
+    fn hotspot_workload_converges_on_shared_attractors() {
+        let p = pyramid();
+        let g = p.geometry();
+        let a = hotspot_workload(g, 4, 60, 2);
+        let b = hotspot_workload(g, 4, 60, 2);
+        assert_eq!(a, b, "deterministic");
+        assert_eq!(a.len(), 4);
+        // Every session visits every attractor (the communal hotspots).
+        let level = g.levels - 1;
+        let (rows, cols) = g.tiles_at(level);
+        let targets: Vec<TileId> = (0..2)
+            .map(|i| {
+                TileId::new(
+                    level,
+                    1 + ((i * 5 + 1) % (rows - 2)),
+                    1 + ((i * 7 + 2) % (cols - 2)),
+                )
+            })
+            .collect();
+        for t in &a {
+            assert_eq!(t.steps.len(), 60);
+            assert!(t.steps[0].mv.is_none());
+            for s in &t.steps {
+                assert!(g.contains(s.tile), "in-geometry: {:?}", s.tile);
+            }
+            for target in &targets {
+                assert!(
+                    t.steps.iter().any(|s| s.tile == *target),
+                    "user {} never reached attractor {target}",
+                    t.user
+                );
+            }
+        }
+        // Approaches differ across sessions.
+        assert_ne!(a[0].steps, a[1].steps);
+    }
+
+    #[test]
+    fn multi_dataset_run_partitions_budget_and_reports_per_namespace() {
+        let p1 = pyramid();
+        let p2 = pyramid();
+        let g = p1.geometry();
+        let traces = hotspot_workload(g, 2, 40, 2);
+        let datasets = vec![
+            ("west".to_string(), p1.clone(), traces.clone()),
+            ("east".to_string(), p2, traces),
+        ];
+        for hotspots in [false, true] {
+            let cfg = MultiDatasetConfig {
+                sessions_per_dataset: 2,
+                steps_per_session: 40,
+                global_budget: 64,
+                shards: 1,
+                hotspots,
+                hotspot_cfg: HotspotConfig {
+                    top_n: 4,
+                    refresh_every: 8,
+                },
+                ..MultiDatasetConfig::default()
+            };
+            let r = run_multi_dataset(&datasets, |p| factory(p.geometry())(), &cfg);
+            assert_eq!(r.requests, 2 * 2 * 40, "hotspots={hotspots}");
+            assert_eq!(r.namespaces.len(), 2);
+            let caps: usize = r.namespaces.iter().map(|n| n.capacity).sum();
+            assert_eq!(caps, 64, "namespace capacities sum to the budget");
+            for n in &r.namespaces {
+                assert_eq!(n.requests, 2 * 40);
+                assert!((0.0..=1.0).contains(&n.hit_rate));
+                assert!(n.shared.hits + n.shared.misses > 0);
+                if hotspots {
+                    assert!(n.hotspot_epoch > 0, "model must have refreshed: {n:?}");
+                } else {
+                    assert_eq!(n.hotspot_epoch, 0, "model off ⇒ no epochs");
+                }
+            }
         }
     }
 

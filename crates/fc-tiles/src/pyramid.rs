@@ -93,6 +93,14 @@ pub struct Pyramid {
 }
 
 impl Pyramid {
+    /// Assembles a pyramid from an existing geometry and store —
+    /// serving-layer plumbing (e.g. a registry wrapping stores built
+    /// elsewhere) and tests that need partially-populated backends.
+    /// [`PyramidBuilder`] is the normal construction path.
+    pub fn from_parts(geometry: Geometry, store: TileStore) -> Self {
+        Self { geometry, store }
+    }
+
     /// The pyramid's geometry.
     pub fn geometry(&self) -> Geometry {
         self.geometry
