@@ -1,0 +1,126 @@
+//! Stable, diff-friendly writer for the flat `BENCH_*.json` files.
+//!
+//! Several experiment binaries contribute fields to the same file
+//! (`exp_perf_baseline` writes the baseline numbers, `exp_predict_steady`
+//! merges the steady-state fields next to them). This module gives them
+//! one write discipline:
+//!
+//! * the `"bench"` tag always comes first, every other key is sorted
+//!   alphabetically — so re-running any contributor produces the same
+//!   line order and the files diff cleanly across PRs;
+//! * a contributor replaces only the keys it owns; fields written by
+//!   other binaries survive the merge untouched;
+//! * values are pre-rendered strings (the files are line-per-field flat
+//!   JSON by construction, which keeps us free of a JSON dependency the
+//!   container doesn't ship).
+//!
+//! [`summary_line`] renders the matching one-line human summary
+//! (`old µs -> new µs (speedup)`) the binaries print next to the write.
+
+use std::fmt::Write as _;
+
+/// Merges `fields` into the flat one-level JSON object at `path` and
+/// rewrites it in stable order: `"bench": "<bench>"` first, then all
+/// keys alphabetically. Keys in `fields` replace existing entries;
+/// unknown existing keys are preserved.
+///
+/// # Panics
+/// Panics when the file cannot be written.
+pub fn merge_bench_json(path: &str, bench: &str, fields: &[(&str, String)]) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for line in existing.lines() {
+        let t = line.trim();
+        let t = t.strip_suffix(',').unwrap_or(t);
+        if t == "{" || t == "}" || t.is_empty() {
+            continue;
+        }
+        let Some(rest) = t.strip_prefix('"') else {
+            continue;
+        };
+        let Some(qi) = rest.find('"') else { continue };
+        let key = &rest[..qi];
+        let Some(val) = rest[qi + 1..].trim_start().strip_prefix(':') else {
+            continue;
+        };
+        entries.push((key.to_string(), val.trim().to_string()));
+    }
+    entries.retain(|(k, _)| k != "bench" && !fields.iter().any(|(fk, _)| fk == k));
+    for (k, v) in fields {
+        entries.push(((*k).to_string(), v.clone()));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// One-line human summary of an old-vs-new measurement:
+/// `label : old µs -> new µs (speedup x)`.
+pub fn summary_line(label: &str, old_ns: f64, new_ns: f64) -> String {
+    format!(
+        "{label:<24}: {:>10.1} µs -> {:>9.1} µs  ({:.2}x)",
+        old_ns / 1e3,
+        new_ns / 1e3,
+        old_ns / new_ns
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_keys_and_preserves_foreign_fields() {
+        let dir = std::env::temp_dir().join(format!("fc_benchjson_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let path = path.to_str().unwrap();
+
+        merge_bench_json(
+            path,
+            "demo",
+            &[("zeta_ns", "2.0".into()), ("alpha_ns", "1.0".into())],
+        );
+        let first = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            first,
+            "{\n  \"bench\": \"demo\",\n  \"alpha_ns\": 1.0,\n  \"zeta_ns\": 2.0\n}\n"
+        );
+
+        // A second contributor replaces its own key, keeps the rest,
+        // and the result is still fully sorted.
+        merge_bench_json(
+            path,
+            "demo",
+            &[
+                ("mid_shape", "{\"k\": 5}".into()),
+                ("zeta_ns", "3.5".into()),
+            ],
+        );
+        let second = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            second,
+            "{\n  \"bench\": \"demo\",\n  \"alpha_ns\": 1.0,\n  \"mid_shape\": {\"k\": 5},\n  \"zeta_ns\": 3.5\n}\n"
+        );
+
+        // Idempotent: merging the same fields again changes nothing.
+        merge_bench_json(path, "demo", &[("zeta_ns", "3.5".into())]);
+        assert_eq!(std::fs::read_to_string(path).unwrap(), second);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn summary_line_reports_speedup() {
+        let s = summary_line("attach", 2_000_000.0, 500_000.0);
+        assert!(s.contains("2000.0"), "{s}");
+        assert!(s.contains("500.0"), "{s}");
+        assert!(s.contains("4.00x"), "{s}");
+    }
+}

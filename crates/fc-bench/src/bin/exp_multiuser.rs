@@ -365,6 +365,19 @@ fn main() {
         );
     }
     println!();
+    let p50_at = |cache: &str| {
+        rows.iter()
+            .find(|r| r.cache == cache && r.sessions == max_sessions)
+            .map(|r| r.predict_p50_us * 1e3)
+    };
+    if let (Some(mutex_p50), Some(sharded_p50)) =
+        (p50_at("single_mutex"), p50_at("sharded_batched"))
+    {
+        println!(
+            "{}  (p50 at {max_sessions} sessions)",
+            fc_bench::benchjson::summary_line("mutex -> sharded+batch", mutex_p50, sharded_p50)
+        );
+    }
     println!("speedup at {max_sessions} sessions: {speedup64:.2}x (acceptance: >= 4x)");
     println!();
     println!("# multi-dataset hotspot model (off -> on), one namespace per dataset");

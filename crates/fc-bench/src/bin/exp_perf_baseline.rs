@@ -27,6 +27,7 @@
 //! hot-path plumbing breaks, without overwriting recorded numbers.
 
 use fc_array::{regrid_with, AggFn, DenseArray, Schema};
+use fc_bench::benchjson::{merge_bench_json, summary_line};
 use fc_bench::seed_baseline::{
     sb_distances_seed, seed_attach_signatures, seed_build_pyramid, seed_decode_server_msg,
     seed_encode_server_msg, seed_regrid_with, SeedMetaStore,
@@ -284,40 +285,39 @@ fn main() {
         }));
     }
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"predict_hot_path\",\n",
-            "  \"shape\": {{\"signatures\": 4, \"candidates\": 64, \"roi\": 16}},\n",
-            "  \"sb_distances_seed_ns\": {seed:.1},\n",
-            "  \"sb_distances_reference_ns\": {reference:.1},\n",
-            "  \"sb_distances_indexed_ns\": {indexed:.1},\n",
-            "  \"sb_speedup_vs_seed\": {speedup:.2},\n",
-            "  \"engine_predict_ns\": {predict:.1},\n",
-            "  \"engine_predict_per_s\": {predict_rate:.0},\n",
-            "  \"middleware_request_ns\": {request:.1},\n",
-            "  \"middleware_requests_per_s\": {request_rate:.0}\n",
-            "}}\n"
-        ),
-        seed = seed,
-        reference = reference,
-        indexed = indexed,
-        speedup = seed / indexed,
-        predict = predict_ns,
-        predict_rate = 1e9 / predict_ns,
-        request = request_ns,
-        request_rate = 1e9 / request_ns,
-    );
+    let simd = fc_simd::active_level();
     if !smoke {
-        std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+        merge_bench_json(
+            "BENCH_predict.json",
+            "predict_hot_path",
+            &[
+                (
+                    "shape",
+                    "{\"signatures\": 4, \"candidates\": 64, \"roi\": 16}".to_string(),
+                ),
+                ("simd_level", format!("\"{}\"", simd.name())),
+                ("sb_distances_seed_ns", format!("{seed:.1}")),
+                ("sb_distances_reference_ns", format!("{reference:.1}")),
+                ("sb_distances_indexed_ns", format!("{indexed:.1}")),
+                ("sb_speedup_vs_seed", format!("{:.2}", seed / indexed)),
+                ("engine_predict_ns", format!("{predict_ns:.1}")),
+                ("engine_predict_per_s", format!("{:.0}", 1e9 / predict_ns)),
+                ("middleware_request_ns", format!("{request_ns:.1}")),
+                (
+                    "middleware_requests_per_s",
+                    format!("{:.0}", 1e9 / request_ns),
+                ),
+            ],
+        );
     }
-    println!("# exp_perf_baseline — prediction hot path");
+    println!(
+        "# exp_perf_baseline — prediction hot path (simd: {})",
+        simd.name()
+    );
     println!();
     println!("SB distances (4 sigs x 64 cand x 16 roi):");
-    println!("  seed implementation : {:>10.0} ns", seed);
-    println!("  meta_vec reference  : {:>10.0} ns", reference);
-    println!("  frozen index        : {:>10.0} ns", indexed);
-    println!("  speedup vs seed     : {:>10.2} x", seed / indexed);
+    println!("{}", summary_line("  seed -> reference", seed, reference));
+    println!("{}", summary_line("  seed -> frozen index", seed, indexed));
     println!();
     println!(
         "engine predict k=5    : {:>10.0} ns  ({:.0}/s)",
@@ -335,68 +335,74 @@ fn main() {
     let (attach_seed, attach_now) = (median(&mut attach_seed_ns), median(&mut attach_ns));
     let (enc_seed, enc_now) = (median(&mut enc_seed_ns), median(&mut enc_ns));
     let (dec_seed, dec_now) = (median(&mut dec_seed_ns), median(&mut dec_ns));
-    let datapath = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"datapath\",\n",
-            "  \"shapes\": {{\"regrid\": \"256x256 window 4 avg\", ",
-            "\"pyramid\": \"256x256, 4 levels, 32x32 tiles\", ",
-            "\"attach_signatures\": \"85-tile pyramid, 4 signatures\", ",
-            "\"tile_codec\": \"32x32 tile, 1 attribute\"}},\n",
-            "  \"regrid_seed_ns\": {regrid_seed:.1},\n",
-            "  \"regrid_blocked_ns\": {regrid_now:.1},\n",
-            "  \"regrid_speedup_vs_seed\": {regrid_x:.2},\n",
-            "  \"pyramid_build_seed_ns\": {pyr_seed:.1},\n",
-            "  \"pyramid_build_ns\": {pyr_now:.1},\n",
-            "  \"pyramid_build_speedup_vs_seed\": {pyr_x:.2},\n",
-            "  \"attach_signatures_seed_ns\": {attach_seed:.1},\n",
-            "  \"attach_signatures_ns\": {attach_now:.1},\n",
-            "  \"attach_signatures_speedup_vs_seed\": {attach_x:.2},\n",
-            "  \"tile_encode_seed_ns\": {enc_seed:.1},\n",
-            "  \"tile_encode_ns\": {enc_now:.1},\n",
-            "  \"tile_encode_speedup_vs_seed\": {enc_x:.2},\n",
-            "  \"tile_decode_seed_ns\": {dec_seed:.1},\n",
-            "  \"tile_decode_ns\": {dec_now:.1},\n",
-            "  \"tile_decode_speedup_vs_seed\": {dec_x:.2},\n",
-            "  \"middleware_request_ns\": {request:.1},\n",
-            "  \"middleware_requests_per_s\": {request_rate:.0}\n",
-            "}}\n"
-        ),
-        regrid_seed = regrid_seed,
-        regrid_now = regrid_now,
-        regrid_x = regrid_seed / regrid_now,
-        pyr_seed = pyr_seed,
-        pyr_now = pyr_now,
-        pyr_x = pyr_seed / pyr_now,
-        attach_seed = attach_seed,
-        attach_now = attach_now,
-        attach_x = attach_seed / attach_now,
-        enc_seed = enc_seed,
-        enc_now = enc_now,
-        enc_x = enc_seed / enc_now,
-        dec_seed = dec_seed,
-        dec_now = dec_now,
-        dec_x = dec_seed / dec_now,
-        request = request_ns,
-        request_rate = 1e9 / request_ns,
-    );
     if !smoke {
-        std::fs::write("BENCH_datapath.json", &datapath).expect("write BENCH_datapath.json");
+        merge_bench_json(
+            "BENCH_datapath.json",
+            "datapath",
+            &[
+                (
+                    "shapes",
+                    concat!(
+                        "{\"regrid\": \"256x256 window 4 avg\", ",
+                        "\"pyramid\": \"256x256, 4 levels, 32x32 tiles\", ",
+                        "\"attach_signatures\": \"85-tile pyramid, 4 signatures\", ",
+                        "\"tile_codec\": \"32x32 tile, 1 attribute\"}"
+                    )
+                    .to_string(),
+                ),
+                ("simd_level", format!("\"{}\"", simd.name())),
+                ("regrid_seed_ns", format!("{regrid_seed:.1}")),
+                ("regrid_blocked_ns", format!("{regrid_now:.1}")),
+                (
+                    "regrid_speedup_vs_seed",
+                    format!("{:.2}", regrid_seed / regrid_now),
+                ),
+                ("pyramid_build_seed_ns", format!("{pyr_seed:.1}")),
+                ("pyramid_build_ns", format!("{pyr_now:.1}")),
+                (
+                    "pyramid_build_speedup_vs_seed",
+                    format!("{:.2}", pyr_seed / pyr_now),
+                ),
+                ("attach_signatures_seed_ns", format!("{attach_seed:.1}")),
+                ("attach_signatures_ns", format!("{attach_now:.1}")),
+                (
+                    "attach_signatures_speedup_vs_seed",
+                    format!("{:.2}", attach_seed / attach_now),
+                ),
+                ("tile_encode_seed_ns", format!("{enc_seed:.1}")),
+                ("tile_encode_ns", format!("{enc_now:.1}")),
+                (
+                    "tile_encode_speedup_vs_seed",
+                    format!("{:.2}", enc_seed / enc_now),
+                ),
+                ("tile_decode_seed_ns", format!("{dec_seed:.1}")),
+                ("tile_decode_ns", format!("{dec_now:.1}")),
+                (
+                    "tile_decode_speedup_vs_seed",
+                    format!("{:.2}", dec_seed / dec_now),
+                ),
+                ("middleware_request_ns", format!("{request_ns:.1}")),
+                (
+                    "middleware_requests_per_s",
+                    format!("{:.0}", 1e9 / request_ns),
+                ),
+            ],
+        );
     }
     println!();
     println!("# data path vs seed implementations");
     println!();
-    let row = |name: &str, seed: f64, now: f64| {
-        println!(
-            "{name:<22}: {seed:>12.0} ns -> {now:>10.0} ns   ({:.2}x)",
-            seed / now
-        );
-    };
-    row("regrid 256^2 w4 avg", regrid_seed, regrid_now);
-    row("pyramid build 4 lvl", pyr_seed, pyr_now);
-    row("attach_signatures", attach_seed, attach_now);
-    row("tile encode 32x32", enc_seed, enc_now);
-    row("tile decode 32x32", dec_seed, dec_now);
+    println!(
+        "{}",
+        summary_line("regrid 256^2 w4 avg", regrid_seed, regrid_now)
+    );
+    println!("{}", summary_line("pyramid build 4 lvl", pyr_seed, pyr_now));
+    println!(
+        "{}",
+        summary_line("attach_signatures", attach_seed, attach_now)
+    );
+    println!("{}", summary_line("tile encode 32x32", enc_seed, enc_now));
+    println!("{}", summary_line("tile decode 32x32", dec_seed, dec_now));
     println!();
     if smoke {
         println!("--smoke: skipped BENCH_predict.json / BENCH_datapath.json writes");

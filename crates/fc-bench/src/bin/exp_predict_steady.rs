@@ -23,18 +23,24 @@
 //!   `sb_cold_uncached_ns` (same single-shot measurement style), not
 //!   the warm-loop `sb_distances_indexed_ns`;
 //! * `*_recip_*` — the same with the opt-in
-//!   [`Chi2Kernel::Reciprocal`] division-free kernel on the miss path.
+//!   [`Chi2Kernel::Reciprocal`] division-free kernel on the miss path;
+//! * `sb_steady_cached_scalar_ns` — the exact cached path pinned to
+//!   [`SimdLevel::Scalar`] dispatch (own cache, own warm lap), so the
+//!   JSON records what the SIMD kernels buy on this host.
 //!
 //! Results merge into `BENCH_predict.json` next to the baseline
 //! fields. `--smoke` runs one short iteration of everything and skips
 //! the JSON write (CI wiring check).
 //!
 //! [`Chi2Kernel::Reciprocal`]: fc_core::sb::Chi2Kernel
+//! [`SimdLevel::Scalar`]: fc_core::SimdLevel
 
 use fc_array::{IoMode, LatencyModel, SimClock};
+use fc_bench::benchjson::{merge_bench_json, summary_line};
 use fc_core::paircache::PairCache;
 use fc_core::sb::{Chi2Kernel, PredictScratch, SbConfig, SbRecommender};
 use fc_core::signature::SignatureKind;
+use fc_core::SimdLevel;
 use fc_tiles::{Geometry, SignatureIndex, TileId, TileStore};
 use std::time::Instant;
 
@@ -197,43 +203,6 @@ fn lap_cached(
     t.elapsed().as_nanos() as f64 / walk.len() as f64
 }
 
-/// Merges `fields` into the flat one-level JSON at `path`: existing
-/// lines survive, lines whose key we own are replaced, field order is
-/// append-at-end. (The BENCH files are line-per-field by construction;
-/// this avoids a JSON dependency the container doesn't have.)
-fn merge_bench_json(path: &str, fields: &[(&str, String)]) {
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let mut lines: Vec<String> = Vec::new();
-    for line in existing.lines() {
-        let t = line.trim().trim_end_matches(',');
-        if t == "{" || t == "}" || t.is_empty() {
-            continue;
-        }
-        if fields
-            .iter()
-            .any(|(k, _)| t.starts_with(&format!("\"{k}\"")))
-        {
-            continue;
-        }
-        lines.push(t.to_string());
-    }
-    for (k, v) in fields {
-        lines.push(format!("\"{k}\": {v}"));
-    }
-    let mut out = String::from("{\n");
-    for (i, l) in lines.iter().enumerate() {
-        out.push_str("  ");
-        out.push_str(l);
-        if i + 1 < lines.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push('}');
-    out.push('\n');
-    std::fs::write(path, out).expect("write BENCH_predict.json");
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (walk_len, rounds) = if smoke { (24, 1) } else { (96, 9) };
@@ -244,21 +213,26 @@ fn main() {
     let walk = build_walk(g, walk_len);
     let overlap = mean_pair_overlap(&walk);
 
+    let simd = fc_simd::active_level();
     let exact = SbRecommender::new(SbConfig::all_equal());
     let relaxed = SbRecommender::new(SbConfig {
         kernel: Chi2Kernel::Reciprocal,
         ..SbConfig::all_equal()
     });
+    // Scalar-pinned twin of `exact`: same walk, own cache, so the
+    // steady-state delta is exactly what the SIMD dispatch buys.
+    let scalar = SbRecommender::with_simd_level(SbConfig::all_equal(), SimdLevel::Scalar);
 
     let mut scratch = PredictScratch::default();
     let mut out = Vec::new();
     let mut cache = PairCache::for_index(&index);
     let mut cache_recip = PairCache::for_index(&index);
+    let mut cache_scalar = PairCache::for_index(&index);
 
-    // Interleaved rounds (uncached vs cached vs reciprocal per round,
-    // per-path median across rounds) so slow container neighbours
-    // shift every path together. Warm the cached paths once before
-    // the measured laps.
+    // Interleaved rounds (uncached vs cached vs reciprocal vs scalar
+    // per round, per-path median across rounds) so slow container
+    // neighbours shift every path together. Warm the cached paths once
+    // before the measured laps.
     lap_cached(&exact, &index, &walk, &mut cache, &mut scratch, &mut out);
     lap_cached(
         &relaxed,
@@ -268,9 +242,18 @@ fn main() {
         &mut scratch,
         &mut out,
     );
+    lap_cached(
+        &scalar,
+        &index,
+        &walk,
+        &mut cache_scalar,
+        &mut scratch,
+        &mut out,
+    );
     let mut uncached_ns = Vec::new();
     let mut cached_ns = Vec::new();
     let mut cached_recip_ns = Vec::new();
+    let mut cached_scalar_ns = Vec::new();
     let mut repeat_ns = Vec::new();
     let mut hit_rates = Vec::new();
     let dwell = std::slice::from_ref(&walk[walk.len() / 2]);
@@ -298,6 +281,14 @@ fn main() {
             &index,
             &walk,
             &mut cache_recip,
+            &mut scratch,
+            &mut out,
+        ));
+        cached_scalar_ns.push(lap_cached(
+            &scalar,
+            &index,
+            &walk,
+            &mut cache_scalar,
             &mut scratch,
             &mut out,
         ));
@@ -350,6 +341,7 @@ fn main() {
     let uncached = median(uncached_ns);
     let cached = median(cached_ns);
     let cached_recip = median(cached_recip_ns);
+    let cached_scalar = median(cached_scalar_ns);
     let repeat = median(repeat_ns);
     let hit_rate = median(hit_rates);
     let (cu, cc, cr) = (
@@ -358,7 +350,10 @@ fn main() {
         median(cold_recip),
     );
 
-    println!("# exp_predict_steady — pair-cached SB prediction (pan/zoom replay)");
+    println!(
+        "# exp_predict_steady — pair-cached SB prediction (pan/zoom replay, simd: {})",
+        simd.name()
+    );
     println!();
     println!(
         "shape: 4 sigs x 64 cand x 16 roi, walk {} steps, pair overlap {:.1}%",
@@ -366,20 +361,26 @@ fn main() {
         overlap * 100.0
     );
     println!("steady-state per request:");
-    println!("  uncached (frozen index) : {uncached:>10.0} ns");
     println!(
-        "  pair cache (exact)      : {cached:>10.0} ns  ({:.2}x, hit rate {:.1}%)",
-        uncached / cached,
+        "{}  (hit rate {:.1}%)",
+        summary_line("  uncached -> cache", uncached, cached),
         hit_rate * 100.0
     );
     println!(
-        "  pair cache (reciprocal) : {cached_recip:>10.0} ns  ({:.2}x)",
-        uncached / cached_recip
+        "{}",
+        summary_line("  uncached -> recip", uncached, cached_recip)
     );
     println!(
-        "  dwell (repeat request)  : {repeat:>10.0} ns  ({:.2}x)",
-        uncached / repeat
+        "{}",
+        summary_line("  scalar -> simd", cached_scalar, cached)
     );
+    println!("{}", summary_line("  uncached -> dwell", uncached, repeat));
+    if cached_recip > cached {
+        println!(
+            "note: Chi2Kernel::Reciprocal is slower than Exact on this host \
+             (pipelined hardware dividers); see the Chi2Kernel docs before opting in"
+        );
+    }
     println!("cold first request:");
     println!("  uncached                : {cu:>10.0} ns");
     println!(
@@ -398,6 +399,7 @@ fn main() {
     }
     merge_bench_json(
         "BENCH_predict.json",
+        "predict_hot_path",
         &[
             (
                 "steady_shape",
@@ -407,11 +409,17 @@ fn main() {
                     overlap
                 ),
             ),
+            ("simd_level", format!("\"{}\"", simd.name())),
             ("sb_steady_uncached_ns", format!("{uncached:.1}")),
             ("sb_steady_cached_ns", format!("{cached:.1}")),
             ("sb_steady_speedup", format!("{:.2}", uncached / cached)),
             ("sb_steady_hit_rate", format!("{hit_rate:.4}")),
             ("sb_steady_cached_recip_ns", format!("{cached_recip:.1}")),
+            ("sb_steady_cached_scalar_ns", format!("{cached_scalar:.1}")),
+            (
+                "sb_steady_simd_speedup",
+                format!("{:.2}", cached_scalar / cached),
+            ),
             ("sb_cold_uncached_ns", format!("{cu:.1}")),
             ("sb_cold_cached_ns", format!("{cc:.1}")),
             ("sb_cold_cached_recip_ns", format!("{cr:.1}")),

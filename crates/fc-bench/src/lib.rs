@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod context;
 pub mod experiments;
 pub mod fmt;

@@ -17,8 +17,14 @@
 //!   ([`seed_build_pyramid`]); the rebuilt path cuts padded tiles with
 //!   contiguous row copies.
 //! * **signature attachment** — the seed ran both offline passes on one
-//!   thread ([`seed_attach_signatures`]); `attach_signatures` now fans
-//!   tiles out across workers.
+//!   thread ([`seed_attach_signatures`]) over the seed's scalar vision
+//!   stack: nested-loop Gaussian blur and gradients, per-patch
+//!   `sqrt`/`atan2`/`exp` descriptor pooling recomputed for SIFT and
+//!   denseSIFT separately, and a scalar-`nearest` k-means
+//!   ([`SeedKMeans`]). All of it is pinned here verbatim so the baseline
+//!   keeps the seed's cost even though the live pipeline now runs on the
+//!   `fc-simd` kernel layer with a shared per-tile gradient field;
+//!   `attach_signatures` also fans tiles out across workers.
 //! * **tile wire codec** — the seed encoded/decoded every `f64` through
 //!   per-value `put_f64_le`/`get_f64_le` calls and framed bodies with
 //!   an extra copy ([`seed_encode_server_msg`] /
@@ -28,15 +34,16 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fc_core::sb::{chi_squared, physical_distance, SbConfig};
 use fc_core::signature::{
-    sift_descriptors, tile_image, SignatureComputer, SignatureConfig, SignatureKind,
+    hist_signature, normal_signature, tile_image, SignatureConfig, SignatureKind,
 };
 use fc_server::{ServerMsg, TilePayload};
 use fc_tiles::{Geometry, Tile, TileId, TileStore};
-use fc_vision::{dense_descriptors, Vocabulary};
+use fc_vision::{DetectorParams, GrayImage, Keypoint};
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
-use std::sync::Arc;
 
 /// The seed's metadata map shape: string-keyed entry lists per tile.
 pub type SeedMetaMap = HashMap<TileId, Vec<(String, Vec<f64>)>>;
@@ -384,53 +391,463 @@ pub fn seed_build_pyramid(
 }
 
 // ---------------------------------------------------------------------
+// Seed vision stack (fc-vision at the seed commit), pinned verbatim:
+// nested-loop separable blur, per-pixel gradients, and per-patch
+// descriptor pooling that recomputes sqrt/atan2/exp for every
+// overlapping patch. The live pipeline replaced these with fc-simd
+// kernels and a shared per-tile gradient field — bit-identically, which
+// is exactly why the baseline must keep its own copies to keep costing
+// what the seed cost.
+// ---------------------------------------------------------------------
+
+const SEED_GRID: usize = 4;
+const SEED_ORI_BINS: usize = 8;
+const SEED_DESCRIPTOR_DIM: usize = SEED_GRID * SEED_GRID * SEED_ORI_BINS;
+
+/// The seed's `gaussian_kernel`, verbatim.
+fn seed_gaussian_kernel(sigma: f64) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as usize;
+    let mut k = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in 0..=(2 * radius) {
+        let d = i as f64 - radius as f64;
+        k.push((-d * d / denom).exp());
+    }
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// The seed's `gaussian_blur`, verbatim (per-pixel clamped taps).
+fn seed_gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
+    let kernel = seed_gaussian_kernel(sigma);
+    let radius = kernel.len() / 2;
+    let (w, h) = (img.width(), img.height());
+    let mut tmp = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                let xi = x as isize + i as isize - radius as isize;
+                acc += kv * img.get_clamped(xi, y as isize);
+            }
+            tmp[y * w + x] = acc;
+        }
+    }
+    let tmp_img = GrayImage::new(w, h, tmp);
+    let mut out = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                let yi = y as isize + i as isize - radius as isize;
+                acc += kv * tmp_img.get_clamped(x as isize, yi);
+            }
+            out[y * w + x] = acc;
+        }
+    }
+    GrayImage::new(w, h, out)
+}
+
+/// The seed's `gradients`, verbatim.
+fn seed_gradients(img: &GrayImage) -> (GrayImage, GrayImage) {
+    let (w, h) = (img.width(), img.height());
+    let mut dx = vec![0.0f64; w * h];
+    let mut dy = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let (xi, yi) = (x as isize, y as isize);
+            dx[y * w + x] = (img.get_clamped(xi + 1, yi) - img.get_clamped(xi - 1, yi)) / 2.0;
+            dy[y * w + x] = (img.get_clamped(xi, yi + 1) - img.get_clamped(xi, yi - 1)) / 2.0;
+        }
+    }
+    (GrayImage::new(w, h, dx), GrayImage::new(w, h, dy))
+}
+
+/// The seed's `detect_keypoints`, verbatim (on the seed's blur).
+fn seed_detect_keypoints(img: &GrayImage, p: &DetectorParams) -> Vec<Keypoint> {
+    let mut keypoints = Vec::new();
+    let mut octave_img = img.clone();
+    let mut octave_factor = 1.0f64;
+
+    for _octave in 0..p.octaves {
+        if octave_img.width() < 8 || octave_img.height() < 8 {
+            break;
+        }
+        let k = 2f64.powf(1.0 / p.scales_per_octave as f64);
+        let mut blurred = Vec::with_capacity(p.scales_per_octave + 1);
+        for s in 0..=p.scales_per_octave {
+            let sigma = p.sigma * k.powi(s as i32);
+            blurred.push(seed_gaussian_blur(&octave_img, sigma));
+        }
+        let dog: Vec<GrayImage> = blurred.windows(2).map(|w| w[1].diff(&w[0])).collect();
+
+        for li in 1..dog.len().saturating_sub(1) {
+            let (w, h) = (dog[li].width(), dog[li].height());
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let v = dog[li].get(x, y);
+                    if v.abs() < p.contrast_threshold {
+                        continue;
+                    }
+                    if seed_is_extremum(&dog[li - 1..=li + 1], x, y, v) {
+                        let sigma = p.sigma * k.powi(li as i32) * octave_factor;
+                        keypoints.push(Keypoint {
+                            x: x as f64 * octave_factor,
+                            y: y as f64 * octave_factor,
+                            scale: sigma,
+                            response: v,
+                        });
+                    }
+                }
+            }
+        }
+
+        octave_img = blurred
+            .last()
+            .expect("at least one blur level")
+            .downsample2();
+        octave_factor *= 2.0;
+    }
+
+    keypoints.sort_by(|a, b| {
+        b.response
+            .abs()
+            .partial_cmp(&a.response.abs())
+            .expect("finite responses")
+            .then(a.y.partial_cmp(&b.y).expect("finite"))
+            .then(a.x.partial_cmp(&b.x).expect("finite"))
+    });
+    keypoints
+}
+
+/// The seed's `is_extremum`, verbatim.
+fn seed_is_extremum(layers: &[GrayImage], x: usize, y: usize, v: f64) -> bool {
+    let mut is_max = true;
+    let mut is_min = true;
+    for layer in layers {
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                let n = layer.get_clamped(x as isize + dx, y as isize + dy);
+                if std::ptr::eq(layer, &layers[1]) && dx == 0 && dy == 0 {
+                    continue;
+                }
+                if n >= v {
+                    is_max = false;
+                }
+                if n <= v {
+                    is_min = false;
+                }
+                if !is_max && !is_min {
+                    return false;
+                }
+            }
+        }
+    }
+    is_max || is_min
+}
+
+/// The seed's `describe_patch`, verbatim (per-pixel sqrt/atan2/exp).
+fn seed_describe_patch(
+    dx: &GrayImage,
+    dy: &GrayImage,
+    cx: f64,
+    cy: f64,
+    radius: f64,
+) -> Option<Vec<f64>> {
+    let mut hist = vec![0.0f64; SEED_DESCRIPTOR_DIM];
+    let r = radius.max(2.0);
+    let lo_x = (cx - r).floor() as isize;
+    let hi_x = (cx + r).ceil() as isize;
+    let lo_y = (cy - r).floor() as isize;
+    let hi_y = (cy + r).ceil() as isize;
+    let cell = 2.0 * r / SEED_GRID as f64;
+
+    for py in lo_y..=hi_y {
+        for px in lo_x..=hi_x {
+            let gx = dx.get_clamped(px, py);
+            let gy = dy.get_clamped(px, py);
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag <= 0.0 {
+                continue;
+            }
+            let u = ((px as f64 - (cx - r)) / cell).floor();
+            let v = ((py as f64 - (cy - r)) / cell).floor();
+            if u < 0.0 || v < 0.0 {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            if u >= SEED_GRID || v >= SEED_GRID {
+                continue;
+            }
+            let theta = gy.atan2(gx).rem_euclid(std::f64::consts::TAU);
+            let bin = ((theta / std::f64::consts::TAU) * SEED_ORI_BINS as f64).floor() as usize
+                % SEED_ORI_BINS;
+            let d2 = ((px as f64 - cx).powi(2) + (py as f64 - cy).powi(2)) / (r * r);
+            let weight = (-d2).exp();
+            hist[(v * SEED_GRID + u) * SEED_ORI_BINS + bin] += mag * weight;
+        }
+    }
+
+    seed_normalize_sift(&mut hist).then_some(hist)
+}
+
+/// The seed's `normalize_sift`, verbatim.
+fn seed_normalize_sift(h: &mut [f64]) -> bool {
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let n = norm(h);
+    if n <= 1e-12 {
+        return false;
+    }
+    for v in h.iter_mut() {
+        *v = (*v / n).min(0.2);
+    }
+    let n2 = norm(h);
+    if n2 <= 1e-12 {
+        return false;
+    }
+    for v in h.iter_mut() {
+        *v /= n2;
+    }
+    true
+}
+
+/// The seed's `describe_keypoints`, verbatim (fresh gradient pass).
+fn seed_describe_keypoints(img: &GrayImage, keypoints: &[Keypoint]) -> Vec<Vec<f64>> {
+    let (dx, dy) = seed_gradients(img);
+    keypoints
+        .iter()
+        .filter_map(|kp| seed_describe_patch(&dx, &dy, kp.x, kp.y, 3.0 * kp.scale))
+        .collect()
+}
+
+/// The seed's `dense_descriptors`, verbatim (its own gradient pass).
+fn seed_dense_descriptors(img: &GrayImage, step: usize, radius: f64) -> Vec<Vec<f64>> {
+    assert!(step >= 1, "grid step must be >= 1");
+    let (dx, dy) = seed_gradients(img);
+    let mut out = Vec::new();
+    let mut y = step / 2;
+    while y < img.height() {
+        let mut x = step / 2;
+        while x < img.width() {
+            if let Some(d) = seed_describe_patch(&dx, &dy, x as f64, y as f64, radius) {
+                out.push(d);
+            }
+            x += step;
+        }
+        y += step;
+    }
+    out
+}
+
+/// The seed's `sift_descriptors`, verbatim.
+fn seed_sift_descriptors(img: &GrayImage, cfg: &SignatureConfig) -> Vec<Vec<f64>> {
+    let mut kps = seed_detect_keypoints(img, &cfg.detector);
+    kps.truncate(cfg.max_keypoints);
+    seed_describe_keypoints(img, &kps)
+}
+
+/// The seed's k-means (fc-ml at the seed commit), verbatim: scalar
+/// `nearest` in both the Lloyd assignment and histogram quantization.
+pub struct SeedKMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl SeedKMeans {
+    /// The seed's `KMeans::fit`, verbatim.
+    pub fn fit(data: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "k-means needs data");
+        assert!(k > 0, "k must be positive");
+        let dim = data[0].len();
+        let k = k.min(data.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        let mut d2: Vec<f64> = data
+            .iter()
+            .map(|p| seed_sq_dist(p, &centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= f64::EPSILON {
+                rng.gen_range(0..data.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut idx = 0;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                    idx = i;
+                }
+                idx
+            };
+            centroids.push(data[next].clone());
+            for (i, p) in data.iter().enumerate() {
+                d2[i] = d2[i].min(seed_sq_dist(p, centroids.last().expect("just pushed")));
+            }
+        }
+
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let best = seed_nearest(&centroids, p).0;
+                if best != assignment[i] {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cv, &sv) in c.iter_mut().zip(sum) {
+                        *cv = sv / count as f64;
+                    }
+                }
+            }
+        }
+        Self { centroids }
+    }
+
+    /// The seed's `KMeans::histogram`, verbatim.
+    pub fn histogram(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        let mut h = vec![0.0f64; self.centroids.len()];
+        for p in points {
+            h[seed_nearest(&self.centroids, p).0] += 1.0;
+        }
+        let total: f64 = h.iter().sum();
+        if total > 0.0 {
+            for v in &mut h {
+                *v /= total;
+            }
+        }
+        h
+    }
+}
+
+fn seed_sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn seed_nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = seed_sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// The seed's `Vocabulary`, verbatim (over [`SeedKMeans`]).
+pub struct SeedVocabulary {
+    codebook: SeedKMeans,
+}
+
+impl SeedVocabulary {
+    /// The seed's `Vocabulary::train`, verbatim.
+    pub fn train(corpus: &[Vec<f64>], k: usize, seed: u64) -> Self {
+        assert!(
+            !corpus.is_empty(),
+            "cannot train a vocabulary on no descriptors"
+        );
+        Self {
+            codebook: SeedKMeans::fit(corpus, k, 30, seed),
+        }
+    }
+
+    /// The seed's `Vocabulary::histogram`, verbatim.
+    pub fn histogram(&self, descriptors: &[Vec<f64>]) -> Vec<f64> {
+        self.codebook.histogram(descriptors)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Seed signature attachment: both offline passes on one thread
-// (fc-core/src/signature.rs at the seed commit).
+// (fc-core/src/signature.rs at the seed commit), over the pinned seed
+// vision stack above.
 // ---------------------------------------------------------------------
 
 /// The seed's `attach_signatures`, verbatim: sequential descriptor
-/// harvest, vocabulary training, then sequential per-tile computation
-/// through the `MetadataComputer` objects.
+/// harvest, vocabulary training, then sequential per-tile computation —
+/// each vision signature re-rendering the tile and re-running the full
+/// detector/descriptor pipeline, exactly as the seed's
+/// `MetadataComputer` objects did.
 pub fn seed_attach_signatures(
     geometry: Geometry,
     store: &TileStore,
     cfg: &SignatureConfig,
-) -> (Arc<Vocabulary>, Arc<Vocabulary>) {
-    use fc_tiles::MetadataComputer;
-
+) -> (SeedVocabulary, SeedVocabulary) {
     let mut sift_corpus = Vec::new();
     let mut dense_corpus = Vec::new();
     for id in geometry.all_tiles() {
         if let Some(tile) = store.fetch_offline(id) {
             let img = tile_image(&tile, &cfg.attr, cfg.domain);
-            sift_corpus.extend(sift_descriptors(&img, cfg));
-            dense_corpus.extend(dense_descriptors(&img, cfg.dense_step, cfg.dense_radius));
+            sift_corpus.extend(seed_sift_descriptors(&img, cfg));
+            dense_corpus.extend(seed_dense_descriptors(
+                &img,
+                cfg.dense_step,
+                cfg.dense_radius,
+            ));
         }
     }
     if sift_corpus.is_empty() {
-        sift_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+        sift_corpus.push(vec![0.0; SEED_DESCRIPTOR_DIM]);
     }
     if dense_corpus.is_empty() {
-        dense_corpus.push(vec![0.0; fc_vision::DESCRIPTOR_DIM]);
+        dense_corpus.push(vec![0.0; SEED_DESCRIPTOR_DIM]);
     }
-    let sift_vocab = Arc::new(Vocabulary::train(&sift_corpus, cfg.vocab_size, cfg.seed));
-    let dense_vocab = Arc::new(Vocabulary::train(
-        &dense_corpus,
-        cfg.vocab_size,
-        cfg.seed ^ 0xD5,
-    ));
+    let sift_vocab = SeedVocabulary::train(&sift_corpus, cfg.vocab_size, cfg.seed);
+    let dense_vocab = SeedVocabulary::train(&dense_corpus, cfg.vocab_size, cfg.seed ^ 0xD5);
 
-    let computers: Vec<SignatureComputer> = vec![
-        SignatureComputer::stats(SignatureKind::NormalDist, cfg.clone()),
-        SignatureComputer::stats(SignatureKind::Hist1D, cfg.clone()),
-        SignatureComputer::vision(SignatureKind::Sift, cfg.clone(), sift_vocab.clone()),
-        SignatureComputer::vision(SignatureKind::DenseSift, cfg.clone(), dense_vocab.clone()),
-    ];
     for id in geometry.all_tiles() {
         if let Some(tile) = store.fetch_offline(id) {
-            for c in &computers {
-                store.put_meta(id, c.name(), c.compute(&tile));
-            }
+            store.put_meta(
+                id,
+                SignatureKind::NormalDist.meta_name(),
+                normal_signature(&tile, &cfg.attr),
+            );
+            store.put_meta(
+                id,
+                SignatureKind::Hist1D.meta_name(),
+                hist_signature(&tile, &cfg.attr, cfg.domain, cfg.hist_bins),
+            );
+            // The seed's vision computers each rendered the tile and ran
+            // the whole detector/descriptor pipeline again.
+            let img = tile_image(&tile, &cfg.attr, cfg.domain);
+            store.put_meta(
+                id,
+                SignatureKind::Sift.meta_name(),
+                sift_vocab.histogram(&seed_sift_descriptors(&img, cfg)),
+            );
+            let img = tile_image(&tile, &cfg.attr, cfg.domain);
+            store.put_meta(
+                id,
+                SignatureKind::DenseSift.meta_name(),
+                dense_vocab.histogram(&seed_dense_descriptors(
+                    &img,
+                    cfg.dense_step,
+                    cfg.dense_radius,
+                )),
+            );
         }
     }
     store.signature_index();

@@ -188,6 +188,11 @@ impl PredictScheduler {
         self.registered.load(Ordering::Relaxed)
     }
 
+    /// The SIMD dispatch level the scheduler's shared SB model runs at.
+    pub fn simd_level(&self) -> fc_simd::SimdLevel {
+        self.sb.simd_level()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {

@@ -335,6 +335,13 @@ impl PredictionEngine {
         &self.sb
     }
 
+    /// The SIMD dispatch level the engine's SB hot paths run at
+    /// (resolved at model construction; surfaced so benches and
+    /// diagnostics can report which kernels actually executed).
+    pub fn simd_level(&self) -> fc_simd::SimdLevel {
+        self.sb.simd_level()
+    }
+
     /// The session history (read-only).
     pub fn history(&self) -> &SessionHistory {
         &self.history

@@ -57,6 +57,7 @@ pub use baselines::{HotspotRecommender, MomentumRecommender};
 pub use batch::{BatchConfig, PredictScheduler, SchedulerStats};
 pub use cache::{CacheManager, CacheStats};
 pub use engine::{EngineConfig, PredictionEngine};
+pub use fc_simd::SimdLevel;
 pub use features::{phase_features, FEATURE_NAMES, NUM_FEATURES};
 pub use history::{Request, SessionHistory};
 pub use latency::LatencyProfile;

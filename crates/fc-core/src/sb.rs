@@ -40,6 +40,7 @@
 use crate::paircache::{pair_key, pair_key_ordered, slot_base, PairCache, MAX_CACHED_SIGS};
 use crate::recommender::{PredictionContext, Recommender};
 use crate::signature::SignatureKind;
+use fc_simd::{fast_recip, SimdLevel};
 use fc_tiles::{MetaKey, SignatureIndex, TileId, TileStore};
 use rayon::prelude::*;
 
@@ -72,6 +73,16 @@ pub enum Chi2Kernel {
     /// the exact path (golden + property tested); near-tie ranks can
     /// flip within that bound. Trades bit-exactness for divider-port
     /// relief and fewer passes.
+    ///
+    /// **Hardware caveat:** whether this wins is CPU-dependent. On
+    /// cores with a fast pipelined double divider (e.g. recent x86-64,
+    /// where `vdivpd` approaches one result per few cycles amortized),
+    /// the three Newton–Raphson multiply chains can *lose* to the
+    /// exact division — PR 4 measured exactly that on this project's
+    /// reference container, and the SIMD exact path widens the gap.
+    /// `exp_predict_steady` measures both on the current host and
+    /// prints a one-line warning when `Reciprocal` is slower; treat it
+    /// as an opt-in for divider-starved cores, not a default.
     Reciprocal,
 }
 
@@ -176,19 +187,12 @@ pub struct PredictScratch {
     /// All-ones penalty slice handed to the fused χ² lanes when the
     /// cached fill wants raw values (`1.0 · x` is exact).
     ones: Vec<f64>,
-    /// Raw per-signature values of the current candidate's resolved
-    /// (hit / tile-missing) pairs, ROI-major (`MAX_CACHED_SIGS` lanes
-    /// per pair) — transposed into the pair matrix in one pass.
-    hit_vals: Vec<f64>,
-    /// Raw per-signature values of the current candidate's misses,
-    /// stashed for the cache write-back (the pair matrix itself holds
-    /// *penalized* values by then).
-    miss_vals: Vec<f64>,
-    /// Whether the last fill used the relaxed cached layout: `pair`
+    /// Whether the last fill used the cached ROI-major layout: `pair`
     /// holds **raw** values ROI-major (`nsig` lanes per pair) and
-    /// `combine_job` must run its fused reassociated pass. Set by
-    /// `batch_fill`, consumed by `combine_job`.
-    relaxed_combine: bool,
+    /// `combine_job` must run the matching streaming pass (exact or
+    /// fused-reciprocal by kernel). Set by `batch_fill`, consumed by
+    /// `combine_job`.
+    roi_major: bool,
 }
 
 /// One session's slice of a cross-session predict batch: its candidate
@@ -236,12 +240,24 @@ pub struct SbRecommender {
     /// Interned metadata keys, parallel to `cfg.weights` — resolved
     /// once at construction so the hot path never touches strings.
     keys: Vec<MetaKey>,
+    /// SIMD dispatch level for the hot-path kernels, resolved once at
+    /// construction (runtime CPU detection, `FC_FORCE_SCALAR` /
+    /// `FC_SIMD` overrides). Every level is bit-identical on the exact
+    /// paths, so it is *not* part of the pair cache's validity domain.
+    simd: SimdLevel,
     name: String,
 }
 
 impl SbRecommender {
     /// Creates a recommender with the given signature weights.
     pub fn new(cfg: SbConfig) -> Self {
+        Self::with_simd_level(cfg, fc_simd::active_level())
+    }
+
+    /// [`Self::new`] with an explicit SIMD dispatch level (clamped to
+    /// what the CPU supports), ignoring the environment knobs — used by
+    /// the per-level golden tests and the scalar-baseline benches.
+    pub fn with_simd_level(cfg: SbConfig, level: SimdLevel) -> Self {
         let name = if cfg.weights.len() == 1 {
             format!("SB:{}", cfg.weights[0].0.display_name())
         } else {
@@ -252,7 +268,17 @@ impl SbRecommender {
             .iter()
             .map(|&(kind, _)| MetaKey::intern(kind.meta_name()))
             .collect();
-        Self { cfg, keys, name }
+        Self {
+            cfg,
+            keys,
+            simd: fc_simd::clamp_level(level),
+            name,
+        }
+    }
+
+    /// The SIMD dispatch level the hot paths run at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// Computes Algorithm 3's distance values for `candidates` against
@@ -535,20 +561,16 @@ impl SbRecommender {
             scratch.pair.resize(need, 0.0);
         }
 
-        // Line 2: d_i,MAX ← 1, per (job, signature). The relaxed
-        // cached fill accumulates these on the fly; the exact paths
-        // scan after the fill (gated below).
+        // Line 2: d_i,MAX ← 1, per (job, signature). The cached
+        // ROI-major fill accumulates these on the fly; the uncached
+        // path scans after the fill (gated below).
         scratch.maxes.clear();
         scratch.maxes.resize(jobs.len() * nsig, 1.0);
-        scratch.relaxed_combine = cached && self.cfg.kernel == Chi2Kernel::Reciprocal && stride > 0;
+        scratch.roi_major = cached && stride > 0;
 
         if let Some(cache) = cache {
             if stride > 0 {
-                if self.cfg.kernel == Chi2Kernel::Reciprocal {
-                    self.fill_cached_relaxed(index, jobs, stride, scratch, cache);
-                } else {
-                    self.fill_cached(index, jobs, stride, scratch, cache);
-                }
+                self.fill_cached(index, jobs, stride, scratch, cache);
             }
         } else {
             // Fill the penalized χ² block of every candidate. Blocks
@@ -557,6 +579,7 @@ impl SbRecommender {
             // are bit-identical to the sequential fill because each
             // block's arithmetic is self-contained.
             let kernel = self.cfg.kernel;
+            let simd = self.simd;
             let roi_offsets = &scratch.roi_offsets;
             let penalties = &scratch.penalties;
             let cand_rows = &scratch.cand_rows;
@@ -580,7 +603,7 @@ impl SbRecommender {
                     });
                     match mat_row {
                         Some((mat, row_a)) => {
-                            chi_squared_lanes(kernel, row_a, mat.data(), offs, pen, out_row);
+                            chi_squared_lanes(kernel, simd, row_a, mat.data(), offs, pen, out_row);
                         }
                         // Candidate (or whole key) missing: every pair is
                         // maximally distant (raw = 1) times its penalty.
@@ -606,21 +629,17 @@ impl SbRecommender {
         }
 
         // Line 2 **per job**: per-signature maxima over the job's pair
-        // blocks (`f64::max` selects one argument and is insensitive
-        // to accumulation order, so neither the parallel fill nor the
-        // blocked scan below can change the result). The line-10-11
-        // normalization division itself is fused into `combine_job` —
-        // the identical per-element `v / max`, without a full
-        // rewrite-and-reread sweep of the pair matrix. Jobs never
-        // share maxima: batching cannot change any session's
-        // normalization. (The relaxed cached fill already accumulated
-        // its maxima — and uses a ROI-major layout this scan cannot
+        // blocks ([`fc_simd::max_num`] selects one argument and is
+        // insensitive to accumulation order, so neither the parallel
+        // fill nor the blocked/vector scan can change the result). The
+        // line-10-11 normalization division itself is fused into
+        // `combine_job` — the identical per-element `v / max`, without
+        // a full rewrite-and-reread sweep of the pair matrix. Jobs
+        // never share maxima: batching cannot change any session's
+        // normalization. (The cached ROI-major fill already
+        // accumulated its maxima — and uses a layout this scan cannot
         // read — so it skips the scan.)
-        let scan_jobs = if scratch.relaxed_combine {
-            0
-        } else {
-            jobs.len()
-        };
+        let scan_jobs = if scratch.roi_major { 0 } else { jobs.len() };
         for j in 0..scan_jobs {
             let d = scratch.descs[j];
             if d.nr == 0 || d.nc == 0 {
@@ -631,170 +650,31 @@ impl SbRecommender {
                 let chunk = &scratch.pair[(d.cand_off + ai) * stride..];
                 for (i, mx) in maxes.iter_mut().enumerate() {
                     let row = &chunk[i * d.nr..(i + 1) * d.nr];
-                    // Blocked max: four partial maxima combined at the
-                    // end equal the sequential scan bit-for-bit while
-                    // letting the reduction vectorize.
-                    let quads = row.chunks_exact(4);
-                    let rest = quads.remainder();
-                    let mut m4 = [f64::NEG_INFINITY; 4];
-                    for q in quads {
-                        m4[0] = m4[0].max(q[0]);
-                        m4[1] = m4[1].max(q[1]);
-                        m4[2] = m4[2].max(q[2]);
-                        m4[3] = m4[3].max(q[3]);
-                    }
-                    let mut m = m4[0].max(m4[1]).max(m4[2].max(m4[3]));
-                    for &v in rest {
-                        m = m.max(v);
-                    }
-                    *mx = mx.max(m);
+                    let m = fc_simd::max_scan(self.simd, row);
+                    *mx = fc_simd::max_num(*mx, m);
                 }
             }
         }
         stride
     }
 
-    /// The cache-aware fill: per candidate, probe the [`PairCache`]
-    /// for every ROI pair, collect the miss frontier, run the χ²
-    /// kernel over the gathered misses only, write them back, and
-    /// apply the Manhattan penalty outside the cached values.
-    ///
-    /// Exactness: a hit returns the bits a fresh kernel run would
-    /// produce (the cache stores raw kernel outputs for the same index
-    /// rows, and χ² is bitwise symmetric, so the shared `{a, b}` slot
-    /// serves both orientations); `raw · pen` equals the fused
-    /// `pen · raw` of the uncached fill (IEEE multiplication is
-    /// commutative); and gathering misses cannot change any value —
-    /// the 4-lane kernel keeps one independent accumulator per pair
-    /// regardless of grouping. Geometry read from a slot is the stored
-    /// result of the identical `pair_geometry` computation.
+    /// The cache-aware fill, shared by both kernels: per candidate,
+    /// probe the [`PairCache`] for every ROI pair, resolve hits (and
+    /// missing tiles) **straight into the pair matrix ROI-major** —
+    /// `nsig` raw lanes per pair, no staging buffer, no transpose —
+    /// run the χ² kernel over the gathered miss frontier only, write
+    /// misses back, and accumulate the per-signature maxima on the fly
+    /// from the same `pen · raw` products the uncached path scans
+    /// ([`fc_simd::max_num`] is order-insensitive, so the maxima equal
+    /// that scan's bit-for-bit). [`Self::combine_job`] consumes the
+    /// layout with one streaming pass per kernel: the exact pass
+    /// performs the reference's normalize/combine operations in the
+    /// reference order (bit-identical — `raw · pen` is the same IEEE
+    /// product as the uncached fill's `pen · raw`, and gathering
+    /// misses never regroups any accumulation), the Reciprocal pass
+    /// the fused reassociated variant (within
+    /// [`CHI2_RECIPROCAL_EPSILON`] relative).
     fn fill_cached(
-        &self,
-        index: &SignatureIndex,
-        jobs: &[SbBatchJob<'_>],
-        stride: usize,
-        scratch: &mut PredictScratch,
-        cache: &mut PairCache,
-    ) {
-        const NL: usize = MAX_CACHED_SIGS;
-        let nsig = self.keys.len();
-        let (mut hits, mut misses) = (0u64, 0u64);
-        let nr_max = stride / nsig.max(1);
-        if scratch.ones.len() < nr_max {
-            scratch.ones.resize(nr_max, 1.0);
-        }
-        if scratch.hit_vals.len() < nr_max * NL {
-            scratch.hit_vals.resize(nr_max * NL, 0.0);
-        }
-        // Disjoint field borrows so the per-candidate loop can write
-        // `pair`/`penalties`/`denoms` while reading the hoist tables.
-        let s = &mut *scratch;
-        let pair = &mut s.pair;
-        let penalties = &mut s.penalties;
-        let denoms = &mut s.denoms;
-        let miss_bi = &mut s.miss_bi;
-        let miss_geo = &mut s.miss_geo;
-        let miss_vals = &mut s.miss_vals;
-        let gath_offs = &mut s.gath_offs;
-        let gath_out = &mut s.gath_out;
-        let hit_vals = &mut s.hit_vals;
-        let ones = &s.ones;
-        for (j, job) in jobs.iter().enumerate() {
-            let d = s.descs[j];
-            let nr = d.nr;
-            if nr == 0 {
-                continue;
-            }
-            let rd = &s.roi_dense[d.rd_off..d.rd_off + nr];
-            // When every ROI dense index is valid and below every
-            // candidate's (the steady state: ROI tiles live at coarser
-            // levels, which have smaller dense indices), the candidate
-            // is the `hi` half of every pair key — one hash per
-            // candidate, consecutive slots per ROI. `NO_ROW` is
-            // `usize::MAX`, so any out-of-geometry ROI tile disables
-            // the fast path by dominating the max.
-            let rd_max = rd.iter().copied().max().unwrap_or(NO_ROW);
-            for ai in 0..d.nc {
-                let fi = d.cand_off + ai;
-                let ra = s.cand_rows[fi];
-                let chunk = &mut pair[fi * stride..(fi + 1) * stride];
-                let pen = &mut penalties[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
-                let den = &mut denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
-                let a = job.candidates[ai];
-                // Resolve every pair: geometry + raw χ² lanes into
-                // `hit_vals` (ROI-major), misses deferred.
-                let (h, m) = self.resolve_pairs(
-                    cache, a, job.roi, ra, rd, rd_max, hit_vals, NL, pen, den, miss_bi, miss_geo,
-                );
-                hits += h;
-                misses += m;
-                // Transpose the resolved raw values into the pair
-                // matrix with the penalty fused (`raw · pen` is the
-                // same IEEE product as the uncached fill's
-                // `pen · raw`). Miss positions hold stale lanes here
-                // and are overwritten by the frontier scatter below,
-                // never read.
-                for i in 0..nsig {
-                    let row = &mut chunk[i * nr..(i + 1) * nr];
-                    for ((v, t), &p) in row
-                        .iter_mut()
-                        .zip(hit_vals.chunks_exact(NL))
-                        .zip(pen.iter())
-                    {
-                        *v = t[i] * p;
-                    }
-                }
-                if !miss_bi.is_empty() {
-                    // Miss frontier: scattered back penalized, stashed
-                    // raw for the write-back.
-                    miss_vals.clear();
-                    miss_vals.resize(miss_bi.len() * nsig, 0.0);
-                    self.miss_frontier(
-                        index,
-                        ra,
-                        nr,
-                        d.roioff_off,
-                        &s.roi_offsets,
-                        miss_bi,
-                        gath_offs,
-                        gath_out,
-                        ones,
-                        |i, mi, bi, raw| {
-                            miss_vals[mi * nsig + i] = raw;
-                            chunk[i * nr + bi] = raw * pen[bi];
-                        },
-                    );
-                    // Write-back: the slot gets the pair's raw χ² per
-                    // signature plus its geometry.
-                    for (mi, &bi) in miss_bi.iter().enumerate() {
-                        let (dmanh, dphys) = miss_geo[mi];
-                        let rb = rd[bi as usize];
-                        cache.insert(
-                            pair_key(ra, rb),
-                            &miss_vals[mi * nsig..(mi + 1) * nsig],
-                            dmanh,
-                            dphys,
-                        );
-                    }
-                }
-            }
-        }
-        cache.record(hits, misses);
-    }
-
-    /// The **relaxed** cache-aware fill ([`Chi2Kernel::Reciprocal`]):
-    /// raw slot values land ROI-major (`nsig` lanes per pair, no
-    /// transpose), and the per-signature maxima accumulate on the fly
-    /// from the same `pen · raw` products the exact path scans
-    /// (`f64::max` is order-insensitive, so the maxima equal the
-    /// exact path's bit-for-bit). [`Self::combine_job`] finishes with
-    /// a fused reassociated pass — see the `relaxed_combine` branch —
-    /// replacing the 4 096 per-request normalization divisions with
-    /// multiplies. Covered by the same [`CHI2_RECIPROCAL_EPSILON`]
-    /// bound as the kernel itself (reassociating the non-negative
-    /// weighted sum and hoisting `1/m²` cost a few ulp, far under the
-    /// documented 1e-6).
-    fn fill_cached_relaxed(
         &self,
         index: &SignatureIndex,
         jobs: &[SbBatchJob<'_>],
@@ -868,12 +748,20 @@ impl SbRecommender {
                     }
                 }
                 // Line 2 on the fly: the same `pen · raw` products the
-                // exact scan maximizes over, in a different order —
-                // `f64::max` doesn't care.
-                for (bi, &p) in pen.iter().enumerate() {
-                    let lanes = &chunk[bi * nsig..(bi + 1) * nsig];
-                    for (mx, &v) in jmax.iter_mut().zip(lanes) {
-                        *mx = mx.max(p * v);
+                // uncached scan maximizes over, in a different order —
+                // `max_num` doesn't care. Full-width configs take the
+                // vector kernel (one `max_num` lane per signature).
+                if nsig == MAX_CACHED_SIGS {
+                    let jm: &mut [f64; MAX_CACHED_SIGS] = (&mut jmax[..MAX_CACHED_SIGS])
+                        .try_into()
+                        .expect("nsig == 4");
+                    fc_simd::max_pen_accum4(self.simd, &chunk[..nr * nsig], pen, jm);
+                } else {
+                    for (bi, &p) in pen.iter().enumerate() {
+                        let lanes = &chunk[bi * nsig..(bi + 1) * nsig];
+                        for (mx, &v) in jmax.iter_mut().zip(lanes) {
+                            *mx = fc_simd::max_num(*mx, p * v);
+                        }
                     }
                 }
             }
@@ -1000,6 +888,7 @@ impl SbRecommender {
             match index.matrix(key).and_then(|m| m.row(ra).map(|r| (m, r))) {
                 Some((mat, row_a)) => chi_squared_lanes(
                     self.cfg.kernel,
+                    self.simd,
                     row_a,
                     mat.data(),
                     gath_offs,
@@ -1058,7 +947,7 @@ impl SbRecommender {
         out.reserve(d.nc);
         let weights = &self.cfg.weights;
         let maxes = &scratch.maxes[j * nsig..(j + 1) * nsig];
-        if scratch.relaxed_combine {
+        if scratch.roi_major && self.cfg.kernel == Chi2Kernel::Reciprocal {
             // Fused reassociated combine over the ROI-major raw
             // layout: hoist `cᵢ = wᵢ/mᵢ²` once, then per pair
             // `√(pen²·Σᵢ cᵢ·rawᵢ²) / dphys` — multiplies where the
@@ -1086,6 +975,47 @@ impl SbRecommender {
             }
             return;
         }
+        if scratch.roi_major {
+            // Exact streaming combine over the ROI-major raw layout —
+            // Algorithm 3 lines 10-15 with the reference's exact
+            // operations and order per pair: `dv = (raw·pen)/mᵢ` (the
+            // same IEEE product as the fill's `pen·raw`), `sq += wᵢ
+            // ·dv·dv` in signature order, `total += √sq/dphys` in ROI
+            // order. Bit-identical to the sig-major path below (and
+            // therefore to the reference); the full-width config takes
+            // the vector kernel, which transposes in registers while
+            // preserving exactly this order per lane.
+            let pens_all = &scratch.penalties;
+            let dens_all = &scratch.denoms;
+            let mut w4 = [0.0f64; MAX_CACHED_SIGS];
+            let mut m4 = [1.0f64; MAX_CACHED_SIGS];
+            for (i, (&(_, w), &m)) in weights.iter().zip(maxes).enumerate().take(MAX_CACHED_SIGS) {
+                w4[i] = w;
+                m4[i] = m;
+            }
+            for (ai, &a) in job.candidates.iter().enumerate() {
+                let base = (d.cand_off + ai) * stride;
+                let block = &scratch.pair[base..base + nr * nsig];
+                let pens = &pens_all[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let dens = &dens_all[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
+                let total = if nsig == MAX_CACHED_SIGS {
+                    fc_simd::combine_exact4(self.simd, block, pens, dens, &w4, &m4)
+                } else {
+                    let mut total = 0.0f64;
+                    for ((lanes, &p), &dn) in block.chunks_exact(nsig).zip(pens).zip(dens) {
+                        let mut sq = 0.0f64;
+                        for (i, &(_, w)) in weights.iter().enumerate() {
+                            let dv = (lanes[i] * p) / maxes[i];
+                            sq += w * dv * dv;
+                        }
+                        total += sq.sqrt() / dn;
+                    }
+                    total
+                };
+                out.push((a, total));
+            }
+            return;
+        }
         scratch.sq.clear();
         scratch.sq.resize(nr, 0.0);
         for (ai, &a) in job.candidates.iter().enumerate() {
@@ -1096,20 +1026,13 @@ impl SbRecommender {
             scratch.sq.iter_mut().for_each(|v| *v = 0.0);
             for (i, &(_, w)) in weights.iter().enumerate() {
                 let row = &scratch.pair[base + i * nr..base + (i + 1) * nr];
-                let m = maxes[i];
-                // Zipped so the div-mul-mul-add chain vectorizes; the
-                // per-element operation order is unchanged.
-                for (sqv, &pv) in scratch.sq.iter_mut().zip(row) {
-                    let dv = pv / m;
-                    *sqv += w * dv * dv;
-                }
+                // Vector div-mul-mul-add lanes; the per-element
+                // operation order is unchanged.
+                fc_simd::norm_sq_accum(self.simd, row, maxes[i], w, &mut scratch.sq);
             }
             // Phase b+c: t = √sq / dphysical, summed in ROI order.
             let denoms = &scratch.denoms[d.pen_off + ai * nr..d.pen_off + (ai + 1) * nr];
-            let mut total = 0.0f64;
-            for (sqv, dn) in scratch.sq.iter().zip(denoms) {
-                total += sqv.sqrt() / dn;
-            }
+            let total = fc_simd::sqrt_div_sum(self.simd, &scratch.sq, denoms);
             out.push((a, total));
         }
     }
@@ -1290,24 +1213,10 @@ fn copy_lanes(lanes: &mut [f64], at: usize, slot: &crate::paircache::Slot, nsig:
     }
 }
 
-/// Division-free reciprocal: exponent-trick initial guess (subtracting
-/// the bit pattern from a magic constant negates the exponent and
-/// roughly inverts the mantissa) refined by three Newton–Raphson steps
-/// `y ← y·(2 − x·y)`, each squaring the relative error
-/// (~0.09 → 8e-3 → 6e-5 → 4e-9). Multiplies and subtractions only —
-/// the point is relieving the divider port, which bounds the exact
-/// kernel's throughput. Finite positive normal inputs only (the χ²
-/// guard `denom > 1e-12` filters zeros; signatures are finite).
-#[inline]
-fn fast_recip(x: f64) -> f64 {
-    let mut y = f64::from_bits(0x7FDE_6238_22FC_16E6u64.wrapping_sub(x.to_bits()));
-    y *= 2.0 - x * y;
-    y *= 2.0 - x * y;
-    y *= 2.0 - x * y;
-    y
-}
-
-/// One χ² bin division under the compile-time kernel choice.
+/// One χ² bin division under the compile-time kernel choice. The
+/// division-free arm is [`fc_simd::fast_recip`] — shared with the
+/// vector kernels so every dispatch level performs the identical
+/// Newton–Raphson chain.
 #[inline]
 fn lane_div<const RECIP: bool>(num: f64, denom: f64) -> f64 {
     if RECIP {
@@ -1351,15 +1260,18 @@ fn chi_squared_rows_k<const RECIP: bool>(a: &[f64], b: &[f64]) -> f64 {
 /// χ²(row_a, row(offs[bi]))`, with `offs[bi] == NO_ROW` meaning the ROI
 /// tile lacks this signature (raw distance 1).
 ///
-/// Present lanes are processed four at a time with one independent
-/// accumulator per lane. Each lane performs exactly the operations of
-/// [`chi_squared_rows`] in the same order — lanes are independent
-/// sums, so the blocking adds instruction-level parallelism without
-/// reassociating any addition, and results stay bit-identical to the
-/// scalar loop. The per-call `kernel` dispatch monomorphizes the bin
-/// loop, so the kernel branch never reaches the inner loop.
+/// Present lanes are processed four at a time through
+/// [`fc_simd::chi2_acc4`] with one independent accumulator per lane.
+/// Each lane performs exactly the operations of [`chi_squared_rows`]
+/// in the same order — lanes are independent sums, so the blocking
+/// adds data parallelism without reassociating any addition, and
+/// results stay bit-identical to the scalar loop at every dispatch
+/// level (the vector guard adds `+0.0` for rejected bins, exactly the
+/// scalar's `else` arm). The per-call `kernel` dispatch monomorphizes
+/// the bin loop, so the kernel branch never reaches the inner loop.
 fn chi_squared_lanes(
     kernel: Chi2Kernel,
+    simd: SimdLevel,
     row_a: &[f64],
     data: &[f64],
     offs: &[usize],
@@ -1367,13 +1279,14 @@ fn chi_squared_lanes(
     out: &mut [f64],
 ) {
     match kernel {
-        Chi2Kernel::Exact => chi_squared_lanes_k::<false>(row_a, data, offs, pen, out),
-        Chi2Kernel::Reciprocal => chi_squared_lanes_k::<true>(row_a, data, offs, pen, out),
+        Chi2Kernel::Exact => chi_squared_lanes_k::<false>(simd, row_a, data, offs, pen, out),
+        Chi2Kernel::Reciprocal => chi_squared_lanes_k::<true>(simd, row_a, data, offs, pen, out),
     }
 }
 
 /// [`chi_squared_lanes`] monomorphized over the kernel.
 fn chi_squared_lanes_k<const RECIP: bool>(
+    simd: SimdLevel,
     row_a: &[f64],
     data: &[f64],
     offs: &[usize],
@@ -1396,26 +1309,7 @@ fn chi_squared_lanes_k<const RECIP: bool>(
             let b1 = &data[offs[bi + 1]..][..dim];
             let b2 = &data[offs[bi + 2]..][..dim];
             let b3 = &data[offs[bi + 3]..][..dim];
-            let mut acc = [0.0f64; 4];
-            let step = |j: usize, acc: &mut [f64; 4]| {
-                let x = row_a[j];
-                let mut lane = |k: usize, y: f64| {
-                    let denom = x + y;
-                    let num = (x - y) * (x - y);
-                    acc[k] += if denom > 1e-12 {
-                        lane_div::<RECIP>(num, denom)
-                    } else {
-                        0.0
-                    };
-                };
-                lane(0, b0[j]);
-                lane(1, b1[j]);
-                lane(2, b2[j]);
-                lane(3, b3[j]);
-            };
-            for j in 0..dim {
-                step(j, &mut acc);
-            }
+            let acc = fc_simd::chi2_acc4::<RECIP>(simd, row_a, b0, b1, b2, b3);
             for k in 0..4 {
                 out[bi + k] = pen[bi + k] * (acc[k] / 2.0);
             }

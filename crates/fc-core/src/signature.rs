@@ -16,7 +16,8 @@
 
 use fc_tiles::{MetadataComputer, Pyramid, Tile};
 use fc_vision::{
-    dense_descriptors, describe_keypoints, detect_keypoints, DetectorParams, GrayImage, Vocabulary,
+    dense_descriptors, dense_descriptors_on, describe_keypoints, describe_keypoints_on,
+    detect_keypoints, DetectorParams, GradientField, GrayImage, Vocabulary,
 };
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -189,6 +190,20 @@ pub fn sift_descriptors(img: &GrayImage, cfg: &SignatureConfig) -> Vec<Vec<f64>>
     describe_keypoints(img, &kps)
 }
 
+/// [`sift_descriptors`] over a prebuilt [`GradientField`] for `img`, so
+/// the SIFT and denseSIFT harvests of one tile share a single gradient
+/// pass (detection still runs on the image — the DoG pyramid needs the
+/// raw pixels, not gradients).
+fn sift_descriptors_on(
+    img: &GrayImage,
+    field: &GradientField,
+    cfg: &SignatureConfig,
+) -> Vec<Vec<f64>> {
+    let mut kps = detect_keypoints(img, &cfg.detector);
+    kps.truncate(cfg.max_keypoints);
+    describe_keypoints_on(field, &kps)
+}
+
 /// A [`MetadataComputer`] producing one signature kind per tile.
 pub struct SignatureComputer {
     kind: SignatureKind,
@@ -317,12 +332,16 @@ pub fn attach_signatures(
                         vals.clear();
                     }
                     let img = tile_image(&tile, &cfg.attr, cfg.domain);
+                    // One gradient field per tile, shared by both vision
+                    // signatures (the seed ran the gradient pass — and the
+                    // per-pixel sqrt/atan2 behind it — twice per tile).
+                    let field = GradientField::new(&img);
                     out.push(TileHarvest {
                         id,
                         normal: normal_signature_from(&vals),
                         hist: hist_signature_from(&vals, cfg.domain, cfg.hist_bins),
-                        sift: sift_descriptors(&img, cfg),
-                        dense: dense_descriptors(&img, cfg.dense_step, cfg.dense_radius),
+                        sift: sift_descriptors_on(&img, &field, cfg),
+                        dense: dense_descriptors_on(&field, cfg.dense_step, cfg.dense_radius),
                     });
                 }
             }

@@ -4,6 +4,16 @@
 //! are clustered into visual words, and each tile's signature is the
 //! histogram of its descriptors over those words ("SIFT: histogram built
 //! from clustered SIFT descriptors", paper Table 2).
+//!
+//! The two nearest-centroid hot loops — Lloyd assignment inside
+//! [`KMeans::fit`] and the per-point quantization behind
+//! [`KMeans::histogram`] — run on [`fc_simd::nearest_groups4`] over a
+//! group-major transposed copy of the centroids (4 centroids per SIMD
+//! group). The kernel preserves the scalar accumulation order per
+//! centroid and the strict first-minimum-wins tie rule, so fitted models
+//! and assignments are **bit-identical** to the scalar path at every
+//! dispatch level. The k-means++ seeding pass stays scalar (it mixes
+//! distance updates with RNG draws and runs once).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,12 +70,16 @@ impl KMeans {
             }
         }
 
-        // Lloyd iterations.
+        // Lloyd iterations. Centroids only move between iterations, so
+        // each iteration transposes them once and streams every point
+        // through the SIMD nearest-centroid kernel.
+        let level = fc_simd::active_level();
         let mut assignment = vec![0usize; data.len()];
         for _ in 0..max_iters {
+            let tposed = transpose_groups(&centroids, dim);
             let mut changed = false;
             for (i, p) in data.iter().enumerate() {
-                let best = nearest(&centroids, p).0;
+                let best = fc_simd::nearest_groups4(level, p, &tposed, centroids.len()).0;
                 if best != assignment[i] {
                     assignment[i] = best;
                     changed = true;
@@ -119,8 +133,21 @@ impl KMeans {
     /// bag.
     pub fn histogram(&self, points: &[Vec<f64>]) -> Vec<f64> {
         let mut h = vec![0.0f64; self.k()];
+        if points.is_empty() {
+            return h;
+        }
+        let level = fc_simd::active_level();
+        let dim = self.centroids[0].len();
+        let tposed = transpose_groups(&self.centroids, dim);
         for p in points {
-            h[self.assign(p)] += 1.0;
+            // Arity-mismatched points keep the scalar path so the
+            // truncating-zip semantics of `sq_dist` are preserved.
+            let best = if p.len() == dim {
+                fc_simd::nearest_groups4(level, p, &tposed, self.k()).0
+            } else {
+                nearest(&self.centroids, p).0
+            };
+            h[best] += 1.0;
         }
         let total: f64 = h.iter().sum();
         if total > 0.0 {
@@ -130,6 +157,22 @@ impl KMeans {
         }
         h
     }
+}
+
+/// Packs centroids into the group-major layout of
+/// [`fc_simd::nearest_groups4`]: `tposed[(g*dim + j)*4 + lane]` holds
+/// coordinate `j` of centroid `4g + lane`, zero-padded in the last
+/// group.
+fn transpose_groups(centroids: &[Vec<f64>], dim: usize) -> Vec<f64> {
+    let ngroups = centroids.len().div_ceil(4);
+    let mut t = vec![0.0f64; ngroups * dim * 4];
+    for (ci, c) in centroids.iter().enumerate() {
+        let (g, lane) = (ci / 4, ci % 4);
+        for (j, &v) in c.iter().enumerate() {
+            t[(g * dim + j) * 4 + lane] = v;
+        }
+    }
+    t
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -213,5 +256,101 @@ mod tests {
         let data = vec![vec![1.0, 1.0]; 20];
         let km = KMeans::fit(&data, 4, 10, 9);
         assert_eq!(km.assign(&[1.0, 1.0]), km.assign(&[1.0, 1.0]));
+    }
+
+    /// The seed's fully-scalar fit, kept verbatim as the bit-identity
+    /// oracle for the SIMD Lloyd assignment.
+    fn reference_fit(data: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec<Vec<f64>> {
+        let dim = data[0].len();
+        let k = k.min(data.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= f64::EPSILON {
+                rng.gen_range(0..data.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut idx = 0;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                    idx = i;
+                }
+                idx
+            };
+            centroids.push(data[next].clone());
+            for (i, p) in data.iter().enumerate() {
+                d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+            }
+        }
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let best = nearest(&centroids, p).0;
+                if best != assignment[i] {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cv, &sv) in c.iter_mut().zip(sum) {
+                        *cv = sv / count as f64;
+                    }
+                }
+            }
+        }
+        centroids
+    }
+
+    #[test]
+    fn simd_fit_and_histogram_match_scalar_reference() {
+        // Odd dimensionality (not a multiple of the 4-lane groups) and a
+        // centroid count with a ragged last group.
+        let dim = 7;
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * dim + j) as f64 * 0.61).sin() + (i % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        for k in [1, 3, 5] {
+            let km = KMeans::fit(&data, k, 30, 11);
+            let want = reference_fit(&data, k, 30, 11);
+            assert_eq!(km.centroids(), &want[..], "fit differs for k={k}");
+            // Histogram quantization agrees with scalar nearest exactly.
+            let mut href = vec![0.0f64; km.k()];
+            for p in &data {
+                href[nearest(&want, p).0] += 1.0;
+            }
+            let total: f64 = href.iter().sum();
+            for v in &mut href {
+                *v /= total;
+            }
+            assert_eq!(km.histogram(&data), href, "histogram differs for k={k}");
+        }
+        // Arity-mismatched points fall back to the truncating scalar path.
+        let km = KMeans::fit(&data, 3, 30, 11);
+        let short = vec![vec![0.5; 3]];
+        assert_eq!(km.histogram(&short).len(), km.k());
     }
 }

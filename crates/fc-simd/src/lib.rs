@@ -1,0 +1,899 @@
+//! Runtime-dispatched explicit-SIMD kernels for the ForeCache hot paths.
+//!
+//! Every kernel in this crate exists in three variants — portable
+//! scalar, x86-64 SSE2, and AVX2 — selected at runtime by a
+//! [`SimdLevel`] argument. The contract that makes the dispatch safe to
+//! use on golden-tested paths is **lane-for-lane bit-identity**: each
+//! vector variant performs exactly the floating-point operations of the
+//! scalar variant, on the same operands, in the same per-lane order, so
+//! all three produce bit-identical results (including NaN/±inf
+//! propagation from degenerate inputs). Where an operation's result is
+//! order-insensitive by construction (the [`max_num`] reductions), the
+//! variants may partition work differently, but the returned value is
+//! still bitwise equal.
+//!
+//! # Dispatch rules
+//!
+//! * [`active_level`] resolves the process-wide default once: the best
+//!   level the CPU supports, overridden by `FC_FORCE_SCALAR` (any
+//!   non-empty value other than `"0"`) or `FC_SIMD=scalar|sse2|avx2`
+//!   (clamped to what the CPU supports).
+//! * Callers thread an explicit [`SimdLevel`] through to the kernels
+//!   (e.g. `SbRecommender` resolves it at construction), so tests can
+//!   pin any level via [`available_levels`].
+//! * Every kernel re-clamps its `level` argument to the detected CPU
+//!   features, so a stale or hostile level value degrades to a slower
+//!   correct path instead of executing unsupported instructions.
+//! * On non-x86-64 targets everything runs the scalar variant.
+//!
+//! # Adding a kernel
+//!
+//! 1. Write the scalar reference in this file — it *is* the
+//!    specification; keep every operation and its order explicit.
+//! 2. Mirror it in the private `x86` module with SSE2 (`__m128d`) and AVX2 (`__m256d`)
+//!    lanes, preserving per-lane operation order. Reductions that are
+//!    order-sensitive (running sums) must extract lanes and fold in the
+//!    scalar order.
+//! 3. Dispatch through a `match clamp_level(level)` and add a
+//!    levels-agree bitwise test (plus a proptest) at the bottom.
+
+#![warn(missing_docs)]
+
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::sync::OnceLock;
+
+/// A SIMD dispatch level, ordered from portable to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar reference path (any target).
+    Scalar,
+    /// x86-64 SSE2 (128-bit lanes; baseline on every x86-64 CPU).
+    Sse2,
+    /// x86-64 AVX2 (256-bit lanes; runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Lower-case display name (`"scalar"`, `"sse2"`, `"avx2"`) — the
+    /// same spelling `FC_SIMD` accepts and the bench JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The widest level this CPU supports (cached after first probe).
+fn detected_max() -> SimdLevel {
+    static MAX: OnceLock<SimdLevel> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// Clamps a requested level to what the CPU actually supports. Every
+/// kernel applies this to its `level` argument, which is what keeps the
+/// public API safe: an unsupported request degrades to the best
+/// supported level below it instead of executing illegal instructions.
+pub fn clamp_level(level: SimdLevel) -> SimdLevel {
+    level.min(detected_max())
+}
+
+/// All levels this CPU can run, ascending (always starts with
+/// [`SimdLevel::Scalar`]). Test suites iterate this to assert bitwise
+/// agreement on every dispatchable path.
+pub fn available_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| l <= detected_max())
+        .collect()
+}
+
+/// Resolves the process default from the environment knobs — pure so
+/// the precedence rules are unit-testable without mutating the
+/// process environment. `force` is `FC_FORCE_SCALAR`, `req` is
+/// `FC_SIMD`, `detected` the CPU's widest level.
+fn resolve_level(force: Option<&str>, req: Option<&str>, detected: SimdLevel) -> SimdLevel {
+    if let Some(f) = force {
+        if !f.is_empty() && f != "0" {
+            return SimdLevel::Scalar;
+        }
+    }
+    match req {
+        Some(r) => {
+            let want = match r.to_ascii_lowercase().as_str() {
+                "scalar" => SimdLevel::Scalar,
+                "sse2" => SimdLevel::Sse2,
+                "avx2" => SimdLevel::Avx2,
+                // Unknown spellings fall back to auto-detection.
+                _ => detected,
+            };
+            want.min(detected)
+        }
+        None => detected,
+    }
+}
+
+/// The process-wide default dispatch level: the widest the CPU
+/// supports, unless `FC_FORCE_SCALAR` (any non-empty value other than
+/// `"0"`) forces the scalar path or `FC_SIMD=scalar|sse2|avx2` pins a
+/// specific level (clamped to detection). Resolved once and cached —
+/// set the variables before the first predict path runs.
+pub fn active_level() -> SimdLevel {
+    static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let force = std::env::var("FC_FORCE_SCALAR").ok();
+        let req = std::env::var("FC_SIMD").ok();
+        resolve_level(force.as_deref(), req.as_deref(), detected_max())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scalar building blocks (the bit-level specification).
+// ---------------------------------------------------------------------------
+
+/// IEEE `maxNum`: the larger argument, treating NaN as missing
+/// (`max_num(a, NaN) == a`, `max_num(NaN, b) == b`). Fully specified —
+/// on a `+0.0`/`−0.0` tie it returns `b` — which is what lets the
+/// vector reductions emulate it exactly (`max_pd` + an unordered-`b`
+/// blend). Associative and commutative over any multiset of values
+/// with at most one distinct NaN payload, so reductions built on it
+/// are partition-order insensitive.
+#[inline]
+pub fn max_num(a: f64, b: f64) -> f64 {
+    if b.is_nan() || a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Division-free reciprocal: exponent-trick initial guess (subtracting
+/// the bit pattern from a magic constant negates the exponent and
+/// roughly inverts the mantissa) refined by three Newton–Raphson steps
+/// `y ← y·(2 − x·y)`, each squaring the relative error
+/// (~0.09 → 8e-3 → 6e-5 → 4e-9). Multiplies and subtractions only —
+/// the point is relieving the divider port. Finite positive normal
+/// inputs only (callers guard with `denom > 1e-12`; signatures are
+/// finite).
+#[inline]
+pub fn fast_recip(x: f64) -> f64 {
+    let mut y = f64::from_bits(0x7FDE_6238_22FC_16E6u64.wrapping_sub(x.to_bits()));
+    y *= 2.0 - x * y;
+    y *= 2.0 - x * y;
+    y *= 2.0 - x * y;
+    y
+}
+
+/// One χ² bin folded into a lane accumulator — the per-lane operation
+/// all `chi2_acc4` variants perform verbatim: `denom = x + y`,
+/// `num = (x − y)²`, accumulate `num/denom` (or
+/// `num · fast_recip(denom)` under `RECIP`) when `denom > 1e-12`, else
+/// `+0.0` (the rejected-lane division is never evaluated's worth of
+/// bits — adding `+0.0` to a non-negative accumulator is exact).
+#[inline]
+fn chi2_lane<const RECIP: bool>(acc: &mut f64, x: f64, y: f64) {
+    let denom = x + y;
+    let num = (x - y) * (x - y);
+    *acc += if denom > 1e-12 {
+        if RECIP {
+            num * fast_recip(denom)
+        } else {
+            num / denom
+        }
+    } else {
+        0.0
+    };
+}
+
+fn chi2_acc4_scalar<const RECIP: bool>(
+    a: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) -> [f64; 4] {
+    let mut acc = [0.0f64; 4];
+    for (j, &x) in a.iter().enumerate() {
+        chi2_lane::<RECIP>(&mut acc[0], x, b0[j]);
+        chi2_lane::<RECIP>(&mut acc[1], x, b1[j]);
+        chi2_lane::<RECIP>(&mut acc[2], x, b2[j]);
+        chi2_lane::<RECIP>(&mut acc[3], x, b3[j]);
+    }
+    acc
+}
+
+fn max_scan_scalar(row: &[f64]) -> f64 {
+    let quads = row.chunks_exact(4);
+    let rest = quads.remainder();
+    let mut m4 = [f64::NEG_INFINITY; 4];
+    for q in quads {
+        m4[0] = max_num(m4[0], q[0]);
+        m4[1] = max_num(m4[1], q[1]);
+        m4[2] = max_num(m4[2], q[2]);
+        m4[3] = max_num(m4[3], q[3]);
+    }
+    let mut m = max_num(max_num(m4[0], m4[1]), max_num(m4[2], m4[3]));
+    for &v in rest {
+        m = max_num(m, v);
+    }
+    m
+}
+
+fn max_pen_accum4_scalar(block: &[f64], pen: &[f64], mx: &mut [f64; 4]) {
+    for (bi, &p) in pen.iter().enumerate() {
+        let lanes = &block[bi * 4..bi * 4 + 4];
+        for (m, &v) in mx.iter_mut().zip(lanes) {
+            *m = max_num(*m, p * v);
+        }
+    }
+}
+
+fn combine_exact4_scalar(
+    block: &[f64],
+    pen: &[f64],
+    den: &[f64],
+    w: &[f64; 4],
+    m: &[f64; 4],
+) -> f64 {
+    let mut total = 0.0f64;
+    for (bi, lanes) in block.chunks_exact(4).enumerate() {
+        let p = pen[bi];
+        let mut sq = 0.0f64;
+        for i in 0..4 {
+            let dv = (lanes[i] * p) / m[i];
+            sq += w[i] * dv * dv;
+        }
+        total += sq.sqrt() / den[bi];
+    }
+    total
+}
+
+fn norm_sq_accum_scalar(row: &[f64], m: f64, w: f64, sq: &mut [f64]) {
+    for (sqv, &pv) in sq.iter_mut().zip(row) {
+        let dv = pv / m;
+        *sqv += w * dv * dv;
+    }
+}
+
+fn sqrt_div_sum_scalar(sq: &[f64], den: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for (&s, &dn) in sq.iter().zip(den) {
+        total += s.sqrt() / dn;
+    }
+    total
+}
+
+fn conv_valid_scalar(padded: &[f64], taps: &[f64], out: &mut [f64]) {
+    for (x, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        for (i, &t) in taps.iter().enumerate() {
+            acc += t * padded[x + i];
+        }
+        *o = acc;
+    }
+}
+
+fn axpy_scalar(a: f64, x: &[f64], y: &mut [f64]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+fn halved_diff_scalar(plus: &[f64], minus: &[f64], out: &mut [f64]) {
+    for ((o, &p), &m) in out.iter_mut().zip(plus).zip(minus) {
+        *o = (p - m) / 2.0;
+    }
+}
+
+fn magnitude_scalar(gx: &[f64], gy: &[f64], out: &mut [f64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(gx).zip(gy) {
+        *o = (x * x + y * y).sqrt();
+    }
+}
+
+fn nearest_groups4_scalar(p: &[f64], tposed: &[f64], k: usize) -> (usize, f64) {
+    let dim = p.len();
+    let ngroups = k.div_ceil(4);
+    let mut best = (0usize, f64::INFINITY);
+    for g in 0..ngroups {
+        let base = g * dim * 4;
+        let mut acc = [0.0f64; 4];
+        for (j, &x) in p.iter().enumerate() {
+            let ys = &tposed[base + j * 4..base + j * 4 + 4];
+            for (a, &y) in acc.iter_mut().zip(ys) {
+                let d = x - y;
+                *a += d * d;
+            }
+        }
+        for (lane, &dd) in acc.iter().enumerate() {
+            let ci = g * 4 + lane;
+            if ci < k && dd < best.1 {
+                best = (ci, dd);
+            }
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels.
+// ---------------------------------------------------------------------------
+
+/// χ² accumulators of one row `a` against four rows `b0..b3` of equal
+/// length — the SB miss-frontier kernel. Returns the four raw
+/// accumulators (callers finish with `pen · (acc/2)`), each lane
+/// performing exactly the scalar per-bin sequence in `j` order:
+/// `denom = x + y`, `num = (x − y)²`, accumulate `num/denom` when
+/// `denom > 1e-12`, else `+0.0`. `RECIP` switches the division to
+/// `num · fast_recip(denom)` (the [`fast_recip`] bit-trick). All
+/// levels are bit-identical, including NaN/±inf propagation from
+/// degenerate bins (a NaN bin's `denom` fails the ordered `>` guard
+/// identically everywhere).
+///
+/// # Panics
+/// Panics when any of `b0..b3` is shorter than `a`.
+pub fn chi2_acc4<const RECIP: bool>(
+    level: SimdLevel,
+    a: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) -> [f64; 4] {
+    let dim = a.len();
+    assert!(
+        b0.len() >= dim && b1.len() >= dim && b2.len() >= dim && b3.len() >= dim,
+        "chi2_acc4: rows shorter than a"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::chi2_acc4_sse2::<RECIP>(a, b0, b1, b2, b3) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::chi2_acc4_avx2::<RECIP>(a, b0, b1, b2, b3) },
+        _ => chi2_acc4_scalar::<RECIP>(a, b0, b1, b2, b3),
+    }
+}
+
+/// Blocked [`max_num`] reduction over a row, folded from
+/// `f64::NEG_INFINITY` (the NaN-skipping maximum; an all-NaN or empty
+/// row returns `−∞`). `max_num` is partition-insensitive, so every
+/// level returns bitwise-identical results regardless of lane count.
+pub fn max_scan(level: SimdLevel, row: &[f64]) -> f64 {
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::max_scan_sse2(row) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::max_scan_avx2(row) },
+        _ => max_scan_scalar(row),
+    }
+}
+
+/// Per-signature maxima accumulation over an ROI-major 4-lane block:
+/// for each pair `bi`, `mx[i] = max_num(mx[i], pen[bi] · block[bi·4 + i])`.
+/// This is Algorithm 3 line 2 accumulated on the fly during a cached
+/// fill — the same `pen · raw` products the post-fill scan would
+/// maximize over, so the result is bit-identical to scanning.
+///
+/// # Panics
+/// Panics when `block.len() < pen.len() · 4`.
+pub fn max_pen_accum4(level: SimdLevel, block: &[f64], pen: &[f64], mx: &mut [f64; 4]) {
+    assert!(
+        block.len() >= pen.len() * 4,
+        "max_pen_accum4: block shorter than pen·4"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::max_pen_accum4_sse2(block, pen, mx) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::max_pen_accum4_avx2(block, pen, mx) },
+        _ => max_pen_accum4_scalar(block, pen, mx),
+    }
+}
+
+/// Algorithm 3 lines 10–15 for one candidate over an ROI-major raw
+/// 4-signature block: per pair `bi` (in order), per signature `i` (in
+/// order) `dv = (block[bi·4+i] · pen[bi]) / m[i]`,
+/// `sq += w[i] · dv · dv`, then `total += √sq / den[bi]`. The
+/// vector variants process pairs in groups (a 4×4 in-register
+/// transpose on AVX2) but keep the per-pair `i` order per lane and
+/// extract the group's `√sq/den` lanes sequentially in `bi` order, so
+/// the order-sensitive running sum matches the scalar reference
+/// bit-for-bit.
+///
+/// # Panics
+/// Panics when `block.len() < pen.len()·4` or `den.len() < pen.len()`.
+pub fn combine_exact4(
+    level: SimdLevel,
+    block: &[f64],
+    pen: &[f64],
+    den: &[f64],
+    w: &[f64; 4],
+    m: &[f64; 4],
+) -> f64 {
+    assert!(
+        block.len() >= pen.len() * 4 && den.len() >= pen.len(),
+        "combine_exact4: inconsistent slice lengths"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::combine_exact4_sse2(block, pen, den, w, m) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::combine_exact4_avx2(block, pen, den, w, m) },
+        _ => combine_exact4_scalar(block, pen, den, w, m),
+    }
+}
+
+/// One signature's normalize-and-accumulate pass of the sig-major
+/// combine: `sq[bi] += w · (row[bi]/m)²` (evaluated as
+/// `dv = row[bi]/m; sq[bi] += w·dv·dv`). Element-independent, so the
+/// vector variants are trivially lane-for-lane identical.
+pub fn norm_sq_accum(level: SimdLevel, row: &[f64], m: f64, w: f64, sq: &mut [f64]) {
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::norm_sq_accum_sse2(row, m, w, sq) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::norm_sq_accum_avx2(row, m, w, sq) },
+        _ => norm_sq_accum_scalar(row, m, w, sq),
+    }
+}
+
+/// The combine tail `Σ_bi √(sq[bi]) / den[bi]`, summed in `bi` order
+/// (the order-sensitive reduction of Algorithm 3 line 15). Vector
+/// variants compute `√·/·` in lanes but extract and add sequentially.
+pub fn sqrt_div_sum(level: SimdLevel, sq: &[f64], den: &[f64]) -> f64 {
+    let n = sq.len().min(den.len());
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::sqrt_div_sum_sse2(&sq[..n], &den[..n]) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::sqrt_div_sum_avx2(&sq[..n], &den[..n]) },
+        _ => sqrt_div_sum_scalar(&sq[..n], &den[..n]),
+    }
+}
+
+/// Valid-range 1-D convolution against an edge-padded row:
+/// `out[x] = Σ_i taps[i] · padded[x + i]`, accumulated in tap order —
+/// the separable Gaussian's horizontal pass. Lane-for-lane identical
+/// across levels.
+///
+/// # Panics
+/// Panics when `padded.len() + 1 < out.len() + taps.len()`.
+pub fn conv_valid(level: SimdLevel, padded: &[f64], taps: &[f64], out: &mut [f64]) {
+    assert!(
+        padded.len() + 1 >= out.len() + taps.len(),
+        "conv_valid: padded row too short"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::conv_valid_sse2(padded, taps, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::conv_valid_avx2(padded, taps, out) },
+        _ => conv_valid_scalar(padded, taps, out),
+    }
+}
+
+/// `y[i] += a · x[i]` over `min(x.len(), y.len())` elements — the
+/// vertical Gaussian pass accumulates one scaled source row at a time
+/// with this, preserving the tap-order accumulation of the scalar
+/// reference.
+pub fn axpy(level: SimdLevel, a: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::axpy_sse2(a, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::axpy_avx2(a, x, y) },
+        _ => axpy_scalar(a, x, y),
+    }
+}
+
+/// Central-difference helper: `out[i] = (plus[i] − minus[i]) / 2.0`
+/// over `out.len()` elements (the image-gradient inner loop).
+///
+/// # Panics
+/// Panics when `plus` or `minus` is shorter than `out`.
+pub fn halved_diff(level: SimdLevel, plus: &[f64], minus: &[f64], out: &mut [f64]) {
+    assert!(
+        plus.len() >= out.len() && minus.len() >= out.len(),
+        "halved_diff: inputs shorter than out"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::halved_diff_sse2(plus, minus, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::halved_diff_avx2(plus, minus, out) },
+        _ => halved_diff_scalar(plus, minus, out),
+    }
+}
+
+/// Gradient magnitude `out[i] = √(gx[i]² + gy[i]²)` over `out.len()`
+/// elements (evaluated as `(gx·gx + gy·gy).sqrt()` — the descriptor
+/// pipeline's per-pixel magnitude).
+///
+/// # Panics
+/// Panics when `gx` or `gy` is shorter than `out`.
+pub fn magnitude(level: SimdLevel, gx: &[f64], gy: &[f64], out: &mut [f64]) {
+    assert!(
+        gx.len() >= out.len() && gy.len() >= out.len(),
+        "magnitude: inputs shorter than out"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::magnitude_sse2(gx, gy, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::magnitude_avx2(gx, gy, out) },
+        _ => magnitude_scalar(gx, gy, out),
+    }
+}
+
+/// Nearest centroid over a group-major transposed codebook — the
+/// k-means assignment kernel. `tposed` holds `⌈k/4⌉` groups of four
+/// centroids each, laid out `[group][dimension][lane]` with padded
+/// lanes zero-filled; `p` must have the codebook dimensionality.
+/// Returns `(index, squared distance)` with the scalar tie-break:
+/// strictly smaller distance wins, first index on ties. Per-centroid
+/// accumulation runs in dimension order, so distances are bit-identical
+/// to the scalar `Σ (x−y)²` fold. Finite inputs only (a NaN distance
+/// never wins a comparison and is skipped).
+///
+/// # Panics
+/// Panics when `tposed.len() < ⌈k/4⌉ · p.len() · 4` or `k == 0`.
+pub fn nearest_groups4(level: SimdLevel, p: &[f64], tposed: &[f64], k: usize) -> (usize, f64) {
+    assert!(k > 0, "nearest_groups4: empty codebook");
+    assert!(
+        tposed.len() >= k.div_ceil(4) * p.len() * 4,
+        "nearest_groups4: tposed too short"
+    );
+    match clamp_level(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::nearest_groups4_sse2(p, tposed, k) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::nearest_groups4_avx2(p, tposed, k) },
+        _ => nearest_groups4_scalar(p, tposed, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    /// Deterministic pseudo-random vector with optional special values
+    /// spliced in.
+    fn vec_with(seed: u64, n: usize, specials: &[(usize, f64)]) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut v: Vec<f64> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 10_000) as f64 / 9_999.0
+            })
+            .collect();
+        for &(i, x) in specials {
+            if i < n {
+                v[i] = x;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn level_resolution_rules() {
+        let det = SimdLevel::Avx2;
+        assert_eq!(resolve_level(None, None, det), SimdLevel::Avx2);
+        assert_eq!(resolve_level(Some("1"), None, det), SimdLevel::Scalar);
+        assert_eq!(resolve_level(Some("0"), None, det), SimdLevel::Avx2);
+        assert_eq!(resolve_level(Some(""), None, det), SimdLevel::Avx2);
+        assert_eq!(resolve_level(None, Some("sse2"), det), SimdLevel::Sse2);
+        assert_eq!(resolve_level(None, Some("SCALAR"), det), SimdLevel::Scalar);
+        // Requests above detection clamp down; unknown values fall back.
+        assert_eq!(
+            resolve_level(None, Some("avx2"), SimdLevel::Sse2),
+            SimdLevel::Sse2
+        );
+        assert_eq!(resolve_level(None, Some("wat"), det), det);
+        // Force-scalar wins over FC_SIMD.
+        assert_eq!(
+            resolve_level(Some("yes"), Some("avx2"), det),
+            SimdLevel::Scalar
+        );
+    }
+
+    #[test]
+    fn available_levels_start_with_scalar() {
+        let levels = available_levels();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        assert!(levels.contains(&active_level()));
+        for w in levels.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn fast_recip_accuracy() {
+        for &x in &[1e-12, 0.3, 1.0, 7.5, 1e6, 1e300] {
+            let r = fast_recip(x);
+            assert!(((r * x) - 1.0).abs() < 1e-8, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn chi2_acc4_levels_agree_bitwise() {
+        // Includes NaN bins, ±inf bins, zeros (denominator guard), and
+        // odd lengths.
+        for n in [0usize, 1, 3, 4, 7, 16, 33] {
+            let a = vec_with(1, n, &[(0, 0.0), (2, f64::NAN), (5, f64::INFINITY)]);
+            let b0 = vec_with(2, n, &[(2, f64::NAN)]);
+            let b1 = vec_with(3, n, &[(5, f64::INFINITY)]);
+            let b2 = vec_with(4, n, &[(1, f64::NEG_INFINITY)]);
+            let b3 = vec_with(5, n, &[(0, 0.0)]);
+            let reference = chi2_acc4::<false>(SimdLevel::Scalar, &a, &b0, &b1, &b2, &b3);
+            let reference_r = chi2_acc4::<true>(SimdLevel::Scalar, &a, &b0, &b1, &b2, &b3);
+            for level in available_levels() {
+                let got = chi2_acc4::<false>(level, &a, &b0, &b1, &b2, &b3);
+                let got_r = chi2_acc4::<true>(level, &a, &b0, &b1, &b2, &b3);
+                for k in 0..4 {
+                    assert_eq!(bits(got[k]), bits(reference[k]), "{level:?} n={n} k={k}");
+                    assert_eq!(
+                        bits(got_r[k]),
+                        bits(reference_r[k]),
+                        "recip {level:?} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_scan_levels_agree_bitwise() {
+        for n in [0usize, 1, 2, 3, 4, 5, 8, 13, 64] {
+            let row = vec_with(7, n, &[(1, f64::NAN), (3, f64::INFINITY), (6, 0.0)]);
+            let reference = max_scan(SimdLevel::Scalar, &row);
+            for level in available_levels() {
+                assert_eq!(
+                    bits(max_scan(level, &row)),
+                    bits(reference),
+                    "{level:?} n={n}"
+                );
+            }
+        }
+        // All-NaN and empty rows fold to −∞.
+        assert_eq!(max_scan(SimdLevel::Scalar, &[]), f64::NEG_INFINITY);
+        for level in available_levels() {
+            assert_eq!(
+                bits(max_scan(
+                    level,
+                    &[f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]
+                )),
+                bits(f64::NEG_INFINITY)
+            );
+        }
+    }
+
+    #[test]
+    fn max_pen_accum4_levels_agree_bitwise() {
+        for nr in [0usize, 1, 2, 5, 16] {
+            let block = vec_with(11, nr * 4, &[(2, f64::NAN), (7, f64::INFINITY)]);
+            let pen = vec_with(12, nr, &[]);
+            let mut reference = [1.0f64; 4];
+            max_pen_accum4(SimdLevel::Scalar, &block, &pen, &mut reference);
+            for level in available_levels() {
+                let mut mx = [1.0f64; 4];
+                max_pen_accum4(level, &block, &pen, &mut mx);
+                for k in 0..4 {
+                    assert_eq!(bits(mx[k]), bits(reference[k]), "{level:?} nr={nr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_exact4_levels_agree_bitwise() {
+        let w = [1.0, 0.5, 2.0, 1.25];
+        let m = [1.0, 3.5, 2.0, 1.5];
+        for nr in [0usize, 1, 2, 3, 4, 5, 7, 16, 19] {
+            let block = vec_with(21, nr * 4, &[]);
+            let pen = vec_with(22, nr, &[]);
+            let den: Vec<f64> = vec_with(23, nr, &[]).iter().map(|v| v + 1.0).collect();
+            let reference = combine_exact4(SimdLevel::Scalar, &block, &pen, &den, &w, &m);
+            for level in available_levels() {
+                let got = combine_exact4(level, &block, &pen, &den, &w, &m);
+                assert_eq!(bits(got), bits(reference), "{level:?} nr={nr}");
+            }
+        }
+    }
+
+    #[test]
+    fn norm_sq_and_sqrt_div_levels_agree_bitwise() {
+        for n in [0usize, 1, 3, 4, 6, 17] {
+            let row = vec_with(31, n, &[]);
+            let den: Vec<f64> = vec_with(32, n, &[]).iter().map(|v| v + 1.0).collect();
+            let mut reference = vec_with(33, n, &[]);
+            norm_sq_accum(SimdLevel::Scalar, &row, 1.7, 0.9, &mut reference);
+            let ref_sum = sqrt_div_sum(SimdLevel::Scalar, &reference, &den);
+            for level in available_levels() {
+                let mut sq = vec_with(33, n, &[]);
+                norm_sq_accum(level, &row, 1.7, 0.9, &mut sq);
+                for (a, b) in sq.iter().zip(&reference) {
+                    assert_eq!(bits(*a), bits(*b), "{level:?} n={n}");
+                }
+                assert_eq!(bits(sqrt_div_sum(level, &sq, &den)), bits(ref_sum));
+            }
+        }
+    }
+
+    #[test]
+    fn conv_axpy_diff_magnitude_levels_agree_bitwise() {
+        for n in [1usize, 2, 3, 4, 5, 9, 31, 64] {
+            for taps_n in [1usize, 3, 7, 11] {
+                let padded = vec_with(41, n + taps_n - 1, &[]);
+                let taps = vec_with(42, taps_n, &[]);
+                let mut reference = vec![0.0; n];
+                conv_valid(SimdLevel::Scalar, &padded, &taps, &mut reference);
+                for level in available_levels() {
+                    let mut out = vec![0.0; n];
+                    conv_valid(level, &padded, &taps, &mut out);
+                    for (a, b) in out.iter().zip(&reference) {
+                        assert_eq!(bits(*a), bits(*b), "conv {level:?} n={n} taps={taps_n}");
+                    }
+                }
+            }
+            let x = vec_with(43, n, &[]);
+            let y0 = vec_with(44, n, &[]);
+            let gx = vec_with(45, n, &[(0, -0.25)]);
+            let mut ref_y = y0.clone();
+            axpy(SimdLevel::Scalar, 0.37, &x, &mut ref_y);
+            let mut ref_d = vec![0.0; n];
+            halved_diff(SimdLevel::Scalar, &x, &gx, &mut ref_d);
+            let mut ref_m = vec![0.0; n];
+            magnitude(SimdLevel::Scalar, &gx, &x, &mut ref_m);
+            for level in available_levels() {
+                let mut y = y0.clone();
+                axpy(level, 0.37, &x, &mut y);
+                let mut d = vec![0.0; n];
+                halved_diff(level, &x, &gx, &mut d);
+                let mut mg = vec![0.0; n];
+                magnitude(level, &gx, &x, &mut mg);
+                for i in 0..n {
+                    assert_eq!(bits(y[i]), bits(ref_y[i]), "axpy {level:?}");
+                    assert_eq!(bits(d[i]), bits(ref_d[i]), "diff {level:?}");
+                    assert_eq!(bits(mg[i]), bits(ref_m[i]), "mag {level:?}");
+                }
+            }
+        }
+    }
+
+    /// Packs `k` centroids of dimension `dim` into the group-major
+    /// transposed layout (zero-padded lanes).
+    fn transpose_groups(cents: &[Vec<f64>], dim: usize) -> Vec<f64> {
+        let k = cents.len();
+        let ngroups = k.div_ceil(4);
+        let mut t = vec![0.0f64; ngroups * dim * 4];
+        for (ci, c) in cents.iter().enumerate() {
+            let (g, lane) = (ci / 4, ci % 4);
+            for j in 0..dim {
+                t[g * dim * 4 + j * 4 + lane] = c[j];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn nearest_groups4_matches_naive_and_ties_first() {
+        for (k, dim) in [(1usize, 3usize), (3, 8), (4, 16), (5, 1), (9, 7), (16, 128)] {
+            let cents: Vec<Vec<f64>> = (0..k).map(|c| vec_with(50 + c as u64, dim, &[])).collect();
+            let t = transpose_groups(&cents, dim);
+            let p = vec_with(99, dim, &[]);
+            // Naive scalar reference with the first-wins tie-break.
+            let naive = cents
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| {
+                    let d: f64 = c.iter().zip(&p).map(|(y, x)| (x - y) * (x - y)).sum();
+                    (ci, d)
+                })
+                .fold((0usize, f64::INFINITY), |best, (ci, d)| {
+                    if d < best.1 {
+                        (ci, d)
+                    } else {
+                        best
+                    }
+                });
+            for level in available_levels() {
+                let got = nearest_groups4(level, &p, &t, k);
+                assert_eq!(got.0, naive.0, "{level:?} k={k} dim={dim}");
+                assert_eq!(bits(got.1), bits(naive.1), "{level:?} k={k} dim={dim}");
+            }
+        }
+        // Exact ties: duplicate centroids — the first index must win at
+        // every level.
+        let cents = vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![0.9, 0.1]];
+        let t = transpose_groups(&cents, 2);
+        for level in available_levels() {
+            assert_eq!(nearest_groups4(level, &[0.5, 0.5], &t, 3).0, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_chi2_acc4_bitwise(
+            n in 0usize..40,
+            seed in 0u64..1_000_000,
+            zero_at in 0usize..40,
+        ) {
+            let a = vec_with(seed, n, &[(zero_at, 0.0)]);
+            let b0 = vec_with(seed ^ 1, n, &[(zero_at, 0.0)]);
+            let b1 = vec_with(seed ^ 2, n, &[]);
+            let b2 = vec_with(seed ^ 3, n, &[]);
+            let b3 = vec_with(seed ^ 4, n, &[]);
+            let reference = chi2_acc4::<false>(SimdLevel::Scalar, &a, &b0, &b1, &b2, &b3);
+            for level in available_levels() {
+                let got = chi2_acc4::<false>(level, &a, &b0, &b1, &b2, &b3);
+                for k in 0..4 {
+                    prop_assert_eq!(bits(got[k]), bits(reference[k]));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_combine_exact4_bitwise(nr in 0usize..24, seed in 0u64..1_000_000) {
+            let block = vec_with(seed, nr * 4, &[]);
+            let pen = vec_with(seed ^ 5, nr, &[]);
+            let den: Vec<f64> = vec_with(seed ^ 6, nr, &[]).iter().map(|v| v + 1.0).collect();
+            let w = [1.0, 2.0, 0.5, 1.5];
+            let m = [1.0, 1.25, 2.0, 4.0];
+            let reference = combine_exact4(SimdLevel::Scalar, &block, &pen, &den, &w, &m);
+            for level in available_levels() {
+                prop_assert_eq!(bits(combine_exact4(level, &block, &pen, &den, &w, &m)), bits(reference));
+            }
+        }
+
+        #[test]
+        fn prop_max_scan_bitwise(n in 0usize..50, seed in 0u64..1_000_000, nan_at in 0usize..50) {
+            let row = vec_with(seed, n, &[(nan_at, f64::NAN)]);
+            let reference = max_scan(SimdLevel::Scalar, &row);
+            for level in available_levels() {
+                prop_assert_eq!(bits(max_scan(level, &row)), bits(reference));
+            }
+        }
+
+        #[test]
+        fn prop_conv_valid_bitwise(n in 1usize..48, taps_n in 1usize..13, seed in 0u64..1_000_000) {
+            let padded = vec_with(seed, n + taps_n - 1, &[]);
+            let taps = vec_with(seed ^ 7, taps_n, &[]);
+            let mut reference = vec![0.0; n];
+            conv_valid(SimdLevel::Scalar, &padded, &taps, &mut reference);
+            for level in available_levels() {
+                let mut out = vec![0.0; n];
+                conv_valid(level, &padded, &taps, &mut out);
+                for i in 0..n {
+                    prop_assert_eq!(bits(out[i]), bits(reference[i]));
+                }
+            }
+        }
+    }
+}

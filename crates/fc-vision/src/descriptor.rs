@@ -1,8 +1,22 @@
 //! SIFT-style 128-d gradient-orientation descriptors.
+//!
+//! The hot path is [`GradientField`]: gradient magnitudes and
+//! orientation bins are computed once per image (magnitude through the
+//! [`fc_simd`] kernel layer, orientation with the same scalar
+//! `atan2`/binning formula as the per-patch code), and the Gaussian
+//! spatial weight is looked up from a per-radius table whenever the
+//! patch center has integer coordinates — which covers every detected
+//! keypoint and every dense grid site. Both shortcuts are exact, so
+//! descriptors stay **bit-identical** to the naive
+//! [`describe_patch`] at every SIMD dispatch level.
 
-use crate::filters::gradients;
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+use crate::filters::gradients_with;
 use crate::image::GrayImage;
 use crate::keypoints::Keypoint;
+use fc_simd::SimdLevel;
 
 /// Spatial grid side (4×4 cells).
 const GRID: usize = 4;
@@ -13,6 +27,105 @@ pub const DESCRIPTOR_DIM: usize = GRID * GRID * ORI_BINS;
 
 /// A dense descriptor vector (L2-normalized, SIFT clip at 0.2).
 pub type Descriptor = Vec<f64>;
+
+/// Precomputed gradient magnitudes and orientation bins for one image.
+///
+/// Every descriptor drawn from the same image shares this field, so the
+/// per-pixel `sqrt`/`atan2` work is paid once instead of once per
+/// overlapping patch. Magnitudes are `(gx² + gy²).sqrt()` evaluated by
+/// [`fc_simd::magnitude`] (bit-identical at every dispatch level);
+/// orientation bins use the exact binning expression of
+/// [`describe_patch`] and are only evaluated where the magnitude does
+/// not rule the pixel out.
+#[derive(Debug, Clone)]
+pub struct GradientField {
+    width: usize,
+    height: usize,
+    mag: Vec<f64>,
+    bin: Vec<u8>,
+}
+
+impl GradientField {
+    /// Builds the field at the process-wide SIMD dispatch level.
+    pub fn new(img: &GrayImage) -> Self {
+        Self::with_level(img, fc_simd::active_level())
+    }
+
+    /// Builds the field at an explicit dispatch level (bit-identical
+    /// across levels; exposed for the golden dispatch tests).
+    pub fn with_level(img: &GrayImage, level: SimdLevel) -> Self {
+        let (dx, dy) = gradients_with(img, level);
+        let (gx, gy) = (dx.pixels(), dy.pixels());
+        let mut mag = vec![0.0f64; gx.len()];
+        fc_simd::magnitude(level, gx, gy, &mut mag);
+        let mut bin = vec![0u8; gx.len()];
+        for (i, b) in bin.iter_mut().enumerate() {
+            // Pixels with mag <= 0.0 are skipped by every descriptor, so
+            // their bin is never read; `!(<= 0.0)` (not `> 0.0`) keeps a
+            // NaN magnitude on the same path as the per-patch code.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(mag[i] <= 0.0) {
+                let theta = gy[i].atan2(gx[i]).rem_euclid(TAU);
+                *b = (((theta / TAU) * ORI_BINS as f64).floor() as usize % ORI_BINS) as u8;
+            }
+        }
+        Self {
+            width: img.width(),
+            height: img.height(),
+            mag,
+            bin,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(magnitude, orientation bin)` with clamp-to-edge semantics,
+    /// matching [`GrayImage::get_clamped`] on the gradient images.
+    #[inline]
+    fn at(&self, x: isize, y: isize) -> (f64, u8) {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        let idx = yi * self.width + xi;
+        (self.mag[idx], self.bin[idx])
+    }
+}
+
+/// Per-radius Gaussian spatial-weight tables for integer-centred
+/// patches.
+///
+/// For an integer center, `(px - cx)² + (py - cy)²` is an exact small
+/// integer `k`, so `exp(-(k / r²))` can be tabulated per distinct
+/// radius without changing a single bit of the weight. Reuse one value
+/// across the descriptor calls of a batch ([`describe_keypoints_on`],
+/// [`crate::dense_descriptors_on`]) to amortize the `exp` calls.
+#[derive(Debug, Default)]
+pub struct WeightTables {
+    tables: HashMap<u64, Vec<f64>>,
+}
+
+impl WeightTables {
+    /// The weight table for clamped patch radius `r`, indexed by the
+    /// integer squared pixel distance `k`: `table[k] = exp(-(k / r²))`.
+    fn get(&mut self, r: f64) -> &[f64] {
+        self.tables.entry(r.to_bits()).or_insert_with(|| {
+            // |px - cx| <= ceil(r) inside the patch window, so k is at
+            // most 2·ceil(r)².
+            let reach = r.ceil() as usize + 1;
+            let kmax = 2 * reach * reach;
+            (0..=kmax)
+                .map(|k| (-((k as f64) / (r * r))).exp())
+                .collect()
+        })
+    }
+}
 
 /// Computes a descriptor for the square patch of half-width `radius`
 /// centred at `(cx, cy)`: gradients are pooled into a 4×4 spatial grid of
@@ -53,13 +166,70 @@ pub fn describe_patch(
                 continue;
             }
             // Orientation bin in [0, 2π).
-            let theta = gy.atan2(gx).rem_euclid(std::f64::consts::TAU);
-            let bin =
-                ((theta / std::f64::consts::TAU) * ORI_BINS as f64).floor() as usize % ORI_BINS;
+            let theta = gy.atan2(gx).rem_euclid(TAU);
+            let bin = ((theta / TAU) * ORI_BINS as f64).floor() as usize % ORI_BINS;
             // Gaussian spatial weighting centred on the keypoint.
             let d2 = ((px as f64 - cx).powi(2) + (py as f64 - cy).powi(2)) / (r * r);
             let weight = (-d2).exp();
             hist[(v * GRID + u) * ORI_BINS + bin] += mag * weight;
+        }
+    }
+
+    normalize_sift(&mut hist).then_some(hist)
+}
+
+/// [`describe_patch`] over a shared [`GradientField`], reusing the
+/// spatial-weight `tables` across calls. Bit-identical to the naive
+/// per-patch path for every center (integer centers hit the weight
+/// table; others recompute the weight exactly as [`describe_patch`]
+/// does).
+pub fn describe_patch_on(
+    field: &GradientField,
+    cx: f64,
+    cy: f64,
+    radius: f64,
+    tables: &mut WeightTables,
+) -> Option<Descriptor> {
+    let mut hist = vec![0.0f64; DESCRIPTOR_DIM];
+    let r = radius.max(2.0);
+    let lo_x = (cx - r).floor() as isize;
+    let hi_x = (cx + r).ceil() as isize;
+    let lo_y = (cy - r).floor() as isize;
+    let hi_y = (cy + r).ceil() as isize;
+    let cell = 2.0 * r / GRID as f64;
+
+    // Integer centers make (px-cx)² + (py-cy)² an exact integer table
+    // index; the magnitude guard keeps the cast to isize in range.
+    let integer_center = cx.fract() == 0.0 && cy.fract() == 0.0 && cx.abs() < 2e9 && cy.abs() < 2e9;
+    let table: Option<(&[f64], isize, isize)> =
+        integer_center.then(|| (tables.get(r), cx as isize, cy as isize));
+
+    for py in lo_y..=hi_y {
+        for px in lo_x..=hi_x {
+            let (mag, bin) = field.at(px, py);
+            if mag <= 0.0 {
+                continue;
+            }
+            let u = ((px as f64 - (cx - r)) / cell).floor();
+            let v = ((py as f64 - (cy - r)) / cell).floor();
+            if u < 0.0 || v < 0.0 {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            if u >= GRID || v >= GRID {
+                continue;
+            }
+            let weight = match table {
+                Some((t, cxi, cyi)) => {
+                    let (di, dj) = (px - cxi, py - cyi);
+                    t[(di * di + dj * dj) as usize]
+                }
+                None => {
+                    let d2 = ((px as f64 - cx).powi(2) + (py as f64 - cy).powi(2)) / (r * r);
+                    (-d2).exp()
+                }
+            };
+            hist[(v * GRID + u) * ORI_BINS + bin as usize] += mag * weight;
         }
     }
 
@@ -89,16 +259,24 @@ fn normalize_sift(h: &mut [f64]) -> bool {
 /// Describes a set of detected keypoints over `img`. The patch radius is
 /// `3 × scale` (descriptor window grows with keypoint scale, as in SIFT).
 pub fn describe_keypoints(img: &GrayImage, keypoints: &[Keypoint]) -> Vec<Descriptor> {
-    let (dx, dy) = gradients(img);
+    describe_keypoints_on(&GradientField::new(img), keypoints)
+}
+
+/// [`describe_keypoints`] over a prebuilt [`GradientField`], so callers
+/// that also extract dense descriptors from the same image share one
+/// gradient pass.
+pub fn describe_keypoints_on(field: &GradientField, keypoints: &[Keypoint]) -> Vec<Descriptor> {
+    let mut tables = WeightTables::default();
     keypoints
         .iter()
-        .filter_map(|kp| describe_patch(&dx, &dy, kp.x, kp.y, 3.0 * kp.scale))
+        .filter_map(|kp| describe_patch_on(field, kp.x, kp.y, 3.0 * kp.scale, &mut tables))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filters::gradients;
     use crate::keypoints::{detect_keypoints, DetectorParams};
 
     fn blob(w: usize, h: usize, cx: f64, cy: f64) -> GrayImage {
@@ -130,6 +308,9 @@ mod tests {
         let img = GrayImage::filled(32, 32, 0.3);
         let (dx, dy) = gradients(&img);
         assert!(describe_patch(&dx, &dy, 16.0, 16.0, 6.0).is_none());
+        let field = GradientField::new(&img);
+        let mut tables = WeightTables::default();
+        assert!(describe_patch_on(&field, 16.0, 16.0, 6.0, &mut tables).is_none());
     }
 
     #[test]
@@ -167,5 +348,58 @@ mod tests {
         let descs = describe_keypoints(&img, &kps);
         assert!(!descs.is_empty());
         assert!(descs.iter().all(|d| d.len() == DESCRIPTOR_DIM));
+    }
+
+    #[test]
+    fn field_path_is_bit_identical_to_patch_path_at_every_level() {
+        let img = blob(40, 36, 19.0, 17.0);
+        let (dx, dy) = gradients(&img);
+        // Integer, fractional, off-edge, and sub-minimum-radius centers.
+        let cases = [
+            (20.0, 18.0, 6.0),
+            (20.0, 18.0, 4.5),
+            (19.25, 17.75, 6.0),
+            (2.0, 2.0, 6.0),
+            (38.0, 34.0, 6.0),
+            (10.0, 10.0, 1.0),
+        ];
+        for level in fc_simd::available_levels() {
+            let field = GradientField::with_level(&img, level);
+            let mut tables = WeightTables::default();
+            for &(cx, cy, r) in &cases {
+                let want = describe_patch(&dx, &dy, cx, cy, r);
+                let got = describe_patch_on(&field, cx, cy, r, &mut tables);
+                match (&want, &got) {
+                    (Some(a), Some(b)) => {
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "patch ({cx},{cy},{r}) differs at {level:?}"
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    _ => panic!("patch ({cx},{cy},{r}) presence differs at {level:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_keypoints_on_matches_describe_keypoints() {
+        let img = blob(48, 48, 24.0, 24.0);
+        let kps = detect_keypoints(&img, &DetectorParams::default());
+        let want = describe_keypoints(&img, &kps);
+        for level in fc_simd::available_levels() {
+            let field = GradientField::with_level(&img, level);
+            let got = describe_keypoints_on(&field, &kps);
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "keypoint descriptors differ");
+                }
+            }
+        }
     }
 }
