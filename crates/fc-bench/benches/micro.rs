@@ -220,6 +220,7 @@ fn bench_protocol(c: &mut Criterion) {
         latency_ns: 19_500_000,
         cache_hit: true,
         phase: 1,
+        degraded: false,
     };
     c.bench_function("protocol encode 32x32 tile (seed impl)", |b| {
         b.iter(|| seed_encode_server_msg(black_box(&msg)))

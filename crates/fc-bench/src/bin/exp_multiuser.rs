@@ -21,10 +21,18 @@
 //! (`SharedHotspotModel` prior blended into candidate ranking) — and
 //! reported as per-namespace hit-rate and cross-session-hit deltas.
 //!
+//! **Part 3 — fault A/B.** The same synthetic workload replayed twice
+//! through the fallible fetch path (`fc_sim::run_chaos`): once under a
+//! quiet [`fc_core::FaultPlan`] and once under a backend brownout
+//! covering the middle half of the run. Reported as degraded-reply and
+//! failure rates, in-window and post-window hit rates, and p50/p99
+//! user-visible latency — the `fault_ab` JSON section.
+//!
 //! Writes `BENCH_multiuser.json` with aggregate request (= predict)
 //! throughput and p50/p99 per-request predict latency per
 //! configuration, the 64-session throughput ratio the acceptance
-//! criterion tracks (≥ 4×), and the `multi_dataset` section. With
+//! criterion tracks (≥ 4×), the `multi_dataset` section, and the
+//! `fault_ab` section. With
 //! `--smoke` (CI) it runs one short iteration of everything and does
 //! **not** overwrite the JSON. See `docs/BENCHMARKS.md` for field
 //! definitions and the single-CPU-container caveat: on one core the
@@ -34,13 +42,14 @@
 use fc_core::engine::PhaseSource;
 use fc_core::signature::SignatureKind;
 use fc_core::{
-    AbRecommender, AllocationStrategy, EngineConfig, HotspotBlend, HotspotConfig, PredictionEngine,
-    SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, EngineConfig, FaultPlan, HotspotBlend, HotspotConfig,
+    PredictionEngine, RetryPolicy, SbConfig, SbRecommender,
 };
 use fc_sim::multiuser::{
     hotspot_workload, run_multi_dataset, run_multi_user, synthetic_workload, CacheImpl,
     MultiDatasetConfig, MultiUserConfig, NamespaceReport,
 };
+use fc_sim::{assert_invariants, run_chaos, ChaosConfig, ChaosReport};
 use fc_tiles::{Geometry, Move, Pyramid, PyramidBuilder, PyramidConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -194,6 +203,61 @@ fn run_multi_dataset_ab(sessions: usize, steps: usize) -> Vec<NamespaceDelta> {
         .collect()
 }
 
+/// Fault A/B shape (part 3): the same workload replayed under a quiet
+/// plan and under a mid-run backend brownout.
+const FAULT_SESSIONS: usize = 8;
+const FAULT_STEPS: usize = 256;
+const FAULT_SEED: u64 = 7;
+
+/// Replays `sessions × steps` of the synthetic workload under `plan`
+/// through the fallible fetch path, window `[from, until)`.
+fn run_fault_arm(
+    p: &Arc<Pyramid>,
+    factory: impl Fn() -> PredictionEngine + Sync,
+    sessions: usize,
+    steps: usize,
+    plan: FaultPlan,
+    window: (u64, u64),
+) -> ChaosReport {
+    let traces = synthetic_workload(p.geometry(), sessions, steps, 5);
+    let cfg = ChaosConfig {
+        base: MultiUserConfig {
+            sessions,
+            steps_per_session: steps,
+            cache_capacity: CAPACITY,
+            cache: CacheImpl::Sharded { shards: SHARDS },
+            batch_predicts: true,
+            k: K,
+            ..MultiUserConfig::default()
+        },
+        plan: Arc::new(plan),
+        retry: RetryPolicy::default(),
+        fault_window: window,
+    };
+    let r = run_chaos(p, factory, &traces, &cfg);
+    assert_invariants(&r);
+    r
+}
+
+/// One arm's JSON fields (rates over the whole run; the `during` /
+/// `after` splits let the report show recovery once the window shuts).
+fn fault_arm_json(r: &ChaosReport) -> String {
+    let rate = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    format!(
+        "{{\"attempts\": {}, \"served\": {}, \"degraded_rate\": {:.4}, \"failure_rate\": {:.4}, \"hit_rate_during\": {:.3}, \"hit_rate_after\": {:.3}, \"retries\": {}, \"latency_p50_us\": {:.1}, \"latency_p99_us\": {:.1}, \"scheduler_rescues\": {}}}",
+        r.attempts,
+        r.served,
+        rate(r.degraded, r.served),
+        rate(r.failures, r.attempts),
+        r.during.hit_rate(),
+        r.after.hit_rate(),
+        r.retries,
+        r.latency_p50.as_nanos() as f64 / 1e3,
+        r.latency_p99.as_nanos() as f64 / 1e3,
+        r.scheduler.as_ref().map_or(0, |s| s.rescues),
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // Smoke mode (CI wiring check): one short iteration per layer, no
@@ -288,6 +352,31 @@ fn main() {
     // Part 2: the multi-dataset hotspot-model A/B.
     let deltas = run_multi_dataset_ab(md_sessions, md_steps);
 
+    // Part 3: fault A/B — the same workload under a quiet plan and
+    // under a mid-run backend brownout (middle half of the run).
+    let (fault_sessions, fault_steps) = if smoke {
+        (2, 24)
+    } else {
+        (FAULT_SESSIONS, FAULT_STEPS)
+    };
+    let window = (fault_steps as u64 / 4, 3 * fault_steps as u64 / 4);
+    let quiet = run_fault_arm(
+        &p,
+        &factory,
+        fault_sessions,
+        fault_steps,
+        FaultPlan::quiet(FAULT_SEED),
+        window,
+    );
+    let brownout = run_fault_arm(
+        &p,
+        &factory,
+        fault_sessions,
+        fault_steps,
+        FaultPlan::brownout(FAULT_SEED, window.0, window.1),
+        window,
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"multiuser\",\n");
     let _ = writeln!(
@@ -340,7 +429,15 @@ fn main() {
         );
         json.push_str(if i + 1 < deltas.len() { ",\n" } else { "\n" });
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"fault_ab\": {{\n    \"sessions\": {fault_sessions}, \"steps_per_session\": {fault_steps}, \"window\": [{}, {}],",
+        window.0, window.1
+    );
+    let _ = writeln!(json, "    \"quiet\": {},", fault_arm_json(&quiet));
+    let _ = writeln!(json, "    \"brownout\": {}", fault_arm_json(&brownout));
+    json.push_str("  }\n}\n");
     if !smoke {
         std::fs::write("BENCH_multiuser.json", &json).expect("write BENCH_multiuser.json");
     }
@@ -395,6 +492,37 @@ fn main() {
             d.on.hit_rate - d.off.hit_rate,
             d.off.shared.cross_session_hits,
             d.on.shared.cross_session_hits,
+        );
+    }
+    println!();
+    println!(
+        "# fault A/B — quiet vs backend brownout (window [{}, {}) of {fault_steps} steps)",
+        window.0, window.1
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9} {:>12} {:>12}",
+        "plan",
+        "attempts",
+        "served",
+        "degraded",
+        "failures",
+        "hit-in",
+        "hit-after",
+        "p50 µs",
+        "p99 µs"
+    );
+    for (name, r) in [("quiet", &quiet), ("brownout", &brownout)] {
+        println!(
+            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>9.3} {:>9.3} {:>12.1} {:>12.1}",
+            name,
+            r.attempts,
+            r.served,
+            r.degraded,
+            r.failures,
+            r.during.hit_rate(),
+            r.after.hit_rate(),
+            r.latency_p50.as_nanos() as f64 / 1e3,
+            r.latency_p99.as_nanos() as f64 / 1e3,
         );
     }
     println!();

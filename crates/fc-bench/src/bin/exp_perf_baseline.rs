@@ -258,6 +258,7 @@ fn main() {
         latency_ns: 19_500_000,
         cache_hit: true,
         phase: 1,
+        degraded: false,
     };
     let encoded = wire_msg.encode();
     let mut frame = fc_server::FrameBuf::new();

@@ -888,8 +888,11 @@ fn seed_frame(body: BytesMut) -> Bytes {
     out.freeze()
 }
 
-/// The seed's `ServerMsg::encode`, verbatim (per-value `put_f64_le`,
-/// body built in one buffer then copied into the frame).
+/// The seed's `ServerMsg::encode` style, per-value `put_f64_le` with
+/// the body built in one buffer then copied into the frame. The field
+/// set tracks the live protocol (e.g. the degraded flag and error
+/// code) so the golden byte-equivalence suite keeps comparing encoding
+/// *strategies*, not stale formats.
 pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
     let mut body = BytesMut::new();
     match msg {
@@ -907,6 +910,7 @@ pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
             latency_ns,
             cache_hit,
             phase,
+            degraded,
         } => {
             body.put_u8(1);
             body.put_u8(payload.tile.level);
@@ -917,6 +921,7 @@ pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
             body.put_u64_le(*latency_ns);
             body.put_u8(u8::from(*cache_hit));
             body.put_u8(*phase);
+            body.put_u8(u8::from(*degraded));
             body.put_u16_le(u16::try_from(payload.attrs.len()).expect("attr count"));
             for (name, values) in payload.attrs.iter().zip(&payload.data) {
                 seed_put_string(&mut body, name);
@@ -936,8 +941,9 @@ pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
             body.put_u64_le(*hits);
             body.put_u64_le(*avg_latency_ns);
         }
-        ServerMsg::Error { reason } => {
+        ServerMsg::Error { code, reason } => {
             body.put_u8(3);
+            body.put_u8(*code as u8);
             seed_put_string(&mut body, reason);
         }
     }
@@ -967,7 +973,7 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
                 return Err(seed_bad("truncated tile id"));
             }
             let tile = TileId::new(body.get_u8(), body.get_u32_le(), body.get_u32_le());
-            if body.remaining() < 4 + 4 + 8 + 1 + 1 + 2 {
+            if body.remaining() < 4 + 4 + 8 + 1 + 1 + 1 + 2 {
                 return Err(seed_bad("truncated Tile header"));
             }
             let h = body.get_u32_le();
@@ -975,6 +981,7 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
             let latency_ns = body.get_u64_le();
             let cache_hit = body.get_u8() != 0;
             let phase = body.get_u8();
+            let degraded = body.get_u8() != 0;
             let nattrs = body.get_u16_le() as usize;
             let ncells = (h as usize) * (w as usize);
             let mut attrs = Vec::with_capacity(nattrs);
@@ -1007,6 +1014,7 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
                 latency_ns,
                 cache_hit,
                 phase,
+                degraded,
             })
         }
         2 => {
@@ -1019,9 +1027,16 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
                 avg_latency_ns: body.get_u64_le(),
             })
         }
-        3 => Ok(ServerMsg::Error {
-            reason: seed_get_string(&mut body)?,
-        }),
+        3 => {
+            if body.remaining() < 1 {
+                return Err(seed_bad("truncated Error"));
+            }
+            let code = fc_server::ErrorCode::from_u8(body.get_u8());
+            Ok(ServerMsg::Error {
+                code,
+                reason: seed_get_string(&mut body)?,
+            })
+        }
         t => Err(seed_bad(&format!("unknown server tag {t}"))),
     }
 }

@@ -23,15 +23,17 @@ fn assert_msg_bits_equal(a: &ServerMsg, b: &ServerMsg) {
                 latency_ns: la,
                 cache_hit: ca,
                 phase: ha,
+                degraded: da,
             },
             ServerMsg::Tile {
                 payload: pb,
                 latency_ns: lb,
                 cache_hit: cb,
                 phase: hb,
+                degraded: db,
             },
         ) => {
-            assert_eq!((la, ca, ha), (lb, cb, hb));
+            assert_eq!((la, ca, ha, da), (lb, cb, hb, db));
             assert_eq!(pa.tile, pb.tile);
             assert_eq!((pa.h, pa.w), (pb.h, pb.w));
             assert_eq!(pa.attrs, pb.attrs);
@@ -91,12 +93,14 @@ fn sample_messages() -> Vec<ServerMsg> {
             latency_ns: 19_500_000,
             cache_hit: true,
             phase: 2,
+            degraded: false,
         },
         ServerMsg::Tile {
             payload: empty_attr_payload,
             latency_ns: 1,
             cache_hit: false,
             phase: 0,
+            degraded: true,
         },
         ServerMsg::Stats {
             requests: u64::MAX,
@@ -104,6 +108,7 @@ fn sample_messages() -> Vec<ServerMsg> {
             avg_latency_ns: 123,
         },
         ServerMsg::Error {
+            code: fc_server::ErrorCode::NoSuchTile,
             reason: "no such tile: L9 (1, 2)".into(),
         },
     ]

@@ -25,7 +25,10 @@
 //! up to that long for every registered session to join — a fan-in
 //! hint for multi-core hosts chasing maximal batch width. Followers
 //! just enqueue and sleep on the condvar until the leader deposits
-//! their results.
+//! their results — bounded by [`BatchConfig::follower_timeout`], after
+//! which a follower assumes its leader died uncleanly and rescues
+//! itself with a bit-identical solo recompute (counted in
+//! [`SchedulerStats::rescues`]).
 //!
 //! # Allocation discipline
 //!
@@ -59,7 +62,19 @@ pub struct BatchConfig {
     /// Upper bound on jobs folded into one tick (0 = no bound beyond
     /// the registered-session count).
     pub max_batch: usize,
+    /// How long a follower sleeps on the leader's deposit before
+    /// rescuing itself with a bit-identical solo computation (zero =
+    /// [`DEFAULT_FOLLOWER_TIMEOUT`]). The leader's `catch_unwind`
+    /// already unwedges followers on a clean panic; this bound covers
+    /// the unclean cases — a leader thread killed by stack overflow or
+    /// an abort-in-destructor — so a follower can never block forever.
+    pub follower_timeout: Duration,
 }
+
+/// Follower rescue bound used when [`BatchConfig::follower_timeout`]
+/// is zero. Generous on purpose: a rescue duplicates work, so it must
+/// only fire when the leader is genuinely gone, not merely slow.
+pub const DEFAULT_FOLLOWER_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Counters describing scheduler behaviour (monotonic, lock-free).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,6 +88,9 @@ pub struct SchedulerStats {
     /// Candidates scored across all ticks (the quantity the rayon
     /// threshold sees).
     pub batched_candidates: u64,
+    /// Followers that timed out waiting for a dead leader and
+    /// recomputed solo. Zero in healthy operation.
+    pub rescues: u64,
 }
 
 /// One queued predict job: the submitting session's candidate set and
@@ -141,6 +159,7 @@ pub struct PredictScheduler {
     jobs_total: AtomicU64,
     largest: AtomicUsize,
     cands_total: AtomicU64,
+    rescues: AtomicU64,
 }
 
 impl std::fmt::Debug for PredictScheduler {
@@ -168,6 +187,7 @@ impl PredictScheduler {
             jobs_total: AtomicU64::new(0),
             largest: AtomicUsize::new(0),
             cands_total: AtomicU64::new(0),
+            rescues: AtomicU64::new(0),
         }
     }
 
@@ -200,6 +220,7 @@ impl PredictScheduler {
             jobs: self.jobs_total.load(Ordering::Relaxed),
             largest_batch: self.largest.load(Ordering::Relaxed),
             batched_candidates: self.cands_total.load(Ordering::Relaxed),
+            rescues: self.rescues.load(Ordering::Relaxed),
         }
     }
 
@@ -233,7 +254,7 @@ impl PredictScheduler {
         if leading {
             self.lead(ticket)
         } else {
-            self.follow(ticket)
+            self.follow(ticket, candidates, refs)
         }
     }
 
@@ -383,14 +404,71 @@ impl PredictScheduler {
         }
     }
 
-    /// Follower path: sleep until the tick leader deposits our result.
-    fn follow(&self, ticket: u64) -> Vec<TileId> {
+    /// Follower path: sleep until the tick leader deposits our result,
+    /// bounded by [`BatchConfig::follower_timeout`]. A leader that
+    /// panics cleanly unwedges us through its `catch_unwind` deposit;
+    /// if the leader thread dies *without* unwinding (stack overflow,
+    /// abort) the timeout fires and we rescue ourselves with a
+    /// bit-identical solo recompute of our own job.
+    fn follow(&self, ticket: u64, candidates: &[TileId], refs: &[TileId]) -> Vec<TileId> {
+        let timeout = if self.cfg.follower_timeout.is_zero() {
+            DEFAULT_FOLLOWER_TIMEOUT
+        } else {
+            self.cfg.follower_timeout
+        };
+        let deadline = Instant::now() + timeout;
         let mut g = self.state.lock();
         loop {
             if let Some(r) = g.results.remove(&ticket) {
                 return r;
             }
-            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g2, _timeout) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = g2;
+        }
+        // Rescue. If our job is still queued the leader died before
+        // even collecting the tick: withdraw the job and clear the
+        // ghost leader flag so the next submitter can lead again. (If
+        // a merely-slow leader races this, the worst case is a benign
+        // second concurrent tick — `lead` takes state buffers by
+        // `mem::take`, so a concurrent tick just runs on fresh ones —
+        // plus one orphaned `results` entry for the rescued ticket.)
+        if let Some(pos) = g.pending.iter().position(|j| j.ticket == ticket) {
+            let job = g.pending.remove(pos);
+            g.job_pool.push(job);
+            g.leader_active = false;
+        }
+        drop(g);
+        self.rescues.fetch_add(1, Ordering::Relaxed);
+        self.rank_solo(candidates, refs)
+    }
+
+    /// The unbatched computation for a single job — exactly what
+    /// [`Self::rank`] is specified to equal. Used by the follower
+    /// rescue path; runs on fresh scratch so it never touches buffers
+    /// a dead leader may still own.
+    fn rank_solo(&self, candidates: &[TileId], refs: &[TileId]) -> Vec<TileId> {
+        let store = self.pyramid.store();
+        match store.signature_index() {
+            Some(index) => {
+                let mut scratch = PredictScratch::default();
+                let mut out = Vec::new();
+                self.sb
+                    .distances_indexed_into(&index, candidates, refs, &mut scratch, &mut out);
+                sort_scored(&mut out);
+                out.into_iter().map(|(t, _)| t).collect()
+            }
+            None => {
+                let mut scored = self.sb.distances(store, candidates, refs);
+                sort_scored(&mut scored);
+                scored.into_iter().map(|(t, _)| t).collect()
+            }
         }
     }
 }
@@ -525,6 +603,91 @@ mod tests {
         }
         let ranked = s.rank(&cands, &refs);
         assert_eq!(ranked.len(), 2);
+        s.unregister();
+    }
+
+    /// Solo ranking for comparison in the rescue tests.
+    fn solo(p: &Arc<Pyramid>, cands: &[TileId], refs: &[TileId]) -> Vec<TileId> {
+        let sb = SbRecommender::new(SbConfig::single(SignatureKind::Hist1D));
+        let ix = p.store().signature_index().unwrap();
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::new();
+        sb.distances_indexed_into(&ix, cands, refs, &mut scratch, &mut out);
+        sort_scored(&mut out);
+        out.into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn follower_of_a_dead_leader_rescues_itself() {
+        let p = pyramid(true);
+        let s = PredictScheduler::new(
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            p.clone(),
+            BatchConfig {
+                follower_timeout: Duration::from_millis(40),
+                ..BatchConfig::default()
+            },
+        );
+        s.register();
+        // Forge a leader that died uncleanly (no unwind, no deposit)
+        // before even collecting its tick.
+        s.state.lock().leader_active = true;
+        let g = p.geometry();
+        let cands = g.candidates(TileId::new(2, 2, 2), 1);
+        let refs = [TileId::new(2, 2, 2)];
+        let t0 = Instant::now();
+        let ranked = s.rank(&cands, &refs);
+        assert!(t0.elapsed() >= Duration::from_millis(40), "must time out");
+        assert_eq!(ranked, solo(&p, &cands, &refs), "rescue is bit-identical");
+        assert_eq!(s.stats().rescues, 1);
+        assert_eq!(s.stats().batches, 0, "no tick ever completed");
+        // The ghost leader flag was cleared: the next rank leads a
+        // fresh tick immediately instead of waiting out the timeout.
+        let t1 = Instant::now();
+        let again = s.rank(&cands, &refs);
+        assert!(t1.elapsed() < Duration::from_millis(40));
+        assert_eq!(again, ranked);
+        assert_eq!(s.stats().batches, 1);
+        assert_eq!(s.stats().rescues, 1);
+        s.unregister();
+    }
+
+    #[test]
+    fn follower_rescues_even_after_its_job_was_collected() {
+        let p = pyramid(true);
+        let s = PredictScheduler::new(
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            p.clone(),
+            BatchConfig {
+                follower_timeout: Duration::from_millis(40),
+                ..BatchConfig::default()
+            },
+        );
+        s.register();
+        s.state.lock().leader_active = true;
+        let g = p.geometry();
+        let cands = g.candidates(TileId::new(2, 1, 1), 1);
+        let refs = [TileId::new(2, 1, 1)];
+        let ranked = std::thread::scope(|scope| {
+            let follower = scope.spawn(|| s.rank(&cands, &refs));
+            // Play the leader dying *after* it collected the tick:
+            // steal the pending job so the follower cannot withdraw it.
+            loop {
+                let mut st = s.state.lock();
+                if !st.pending.is_empty() {
+                    st.pending.clear();
+                    break;
+                }
+                drop(st);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            follower.join().unwrap()
+        });
+        assert_eq!(ranked, solo(&p, &cands, &refs));
+        assert_eq!(s.stats().rescues, 1);
+        // The forged leader never cleared its flag (the follower must
+        // not: a live leader may still own the tick). Clean up.
+        s.state.lock().leader_active = false;
         s.unregister();
     }
 

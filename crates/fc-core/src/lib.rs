@@ -39,6 +39,7 @@ pub mod baselines;
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod features;
 pub mod history;
 pub mod latency;
@@ -57,6 +58,9 @@ pub use baselines::{HotspotRecommender, MomentumRecommender};
 pub use batch::{BatchConfig, PredictScheduler, SchedulerStats};
 pub use cache::{CacheManager, CacheStats};
 pub use engine::{EngineConfig, PredictionEngine};
+pub use fault::{
+    FaultKind, FaultPlan, FaultRates, FaultStats, FaultWindow, FetchError, RetryPolicy,
+};
 pub use fc_simd::SimdLevel;
 pub use features::{phase_features, FEATURE_NAMES, NUM_FEATURES};
 pub use history::{Request, SessionHistory};

@@ -11,6 +11,7 @@
 use crate::batch::PredictScheduler;
 use crate::cache::{CacheManager, CacheStats};
 use crate::engine::PredictionEngine;
+use crate::fault::{FaultKind, FaultPlan, FetchError, RetryPolicy};
 use crate::history::Request;
 use crate::latency::LatencyProfile;
 use crate::multiuser::{
@@ -18,7 +19,7 @@ use crate::multiuser::{
 };
 use crate::paircache::PairCacheStats;
 use crate::phase::Phase;
-use fc_tiles::{Pyramid, Tile, TileId};
+use fc_tiles::{Pyramid, Tile, TileId, TileStore};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,6 +54,14 @@ pub struct Response {
     /// coalesced sessions probed in the same tick; treat it as
     /// approximate under concurrency).
     pub pair_cache: PairCacheStats,
+    /// Whether this is a **degraded** reply: the requested tile's fetch
+    /// failed within its deadline budget, so the middleware served the
+    /// nearest resident ancestor instead (and skipped prediction +
+    /// prefetch). Always `false` when no fault plan is attached.
+    pub degraded: bool,
+    /// Backend retries the primary fetch needed (0 on the fault-free
+    /// path and on cache hits).
+    pub fetch_retries: u32,
 }
 
 /// A session's membership in the multi-user serving layer: its slot in
@@ -146,6 +155,12 @@ pub struct MiddlewareStats {
     pub total_latency: Duration,
     /// Requests per phase, indexed by [`Phase::index`].
     pub per_phase: [usize; 3],
+    /// Degraded replies served (ancestor fallback after a failed
+    /// fetch); these also count in `requests`.
+    pub degraded: usize,
+    /// Requests that failed outright — fetch error with no resident
+    /// ancestor to degrade to. **Not** counted in `requests`.
+    pub fetch_failures: usize,
 }
 
 impl MiddlewareStats {
@@ -181,6 +196,28 @@ pub struct Middleware {
     /// the session's fair budget slice) instead of the private
     /// prefetch set, and predictions may coalesce with other sessions.
     shared: Option<SharedSessionHandle>,
+    /// Fault injection (chaos runs only): `None` keeps the fetch path
+    /// byte-for-byte the fault-free code.
+    faults: Option<FaultInjector>,
+}
+
+/// The session's attachment to a fault plan: the shared plan, the
+/// retry policy the guarded fetch runs under, and the per-session
+/// request counter fault decisions are keyed by.
+struct FaultInjector {
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+    /// Serviceable requests seen so far — the `request_index` in the
+    /// plan's `(tile, request index, attempt)` decision key, and the
+    /// coordinate fault windows are expressed in.
+    request_index: u64,
+}
+
+/// A guarded fetch that gave up, with the simulated time it burned
+/// (already charged to the clock) for latency accounting.
+struct FailedFetch {
+    error: FetchError,
+    waited: Duration,
 }
 
 impl std::fmt::Debug for Middleware {
@@ -212,7 +249,35 @@ impl Middleware {
             k,
             stats: MiddlewareStats::default(),
             shared: None,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan: primary fetches run under `retry`
+    /// (bounded retries with backoff and a deadline budget, all
+    /// charged to the simulated clock) and failures degrade to the
+    /// nearest resident ancestor or surface as [`FetchError`] from
+    /// [`Middleware::try_request`]. Sessions of one chaos run share
+    /// the plan (`Arc`); decisions stay deterministic because they key
+    /// on this session's own request counter, not on global state.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>, retry: RetryPolicy) {
+        self.faults = Some(FaultInjector {
+            plan,
+            retry,
+            request_index: 0,
+        });
+    }
+
+    /// Detaches the fault plan (the fetch path reverts to infallible).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Serviceable requests seen so far under the attached fault plan
+    /// — the request-index coordinate fault windows are expressed in.
+    /// Zero when no plan is attached.
+    pub fn fault_request_index(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.request_index)
     }
 
     /// Creates a middleware session in multi-user mode: lookups fall
@@ -244,15 +309,44 @@ impl Middleware {
     /// produced it (`None` for the session's first request).
     ///
     /// Returns `None` when the tile does not exist in the pyramid.
+    /// When a fault plan is attached, a fetch failure with no resident
+    /// ancestor also maps to `None` here — callers that need to tell
+    /// the two apart use [`Middleware::try_request`].
     pub fn request(&mut self, id: TileId, mv: Option<fc_tiles::Move>) -> Option<Response> {
+        self.try_request(id, mv).unwrap_or(None)
+    }
+
+    /// Serves one tile request, surfacing fetch failures.
+    ///
+    /// `Ok(None)` means the tile does not exist in the pyramid (no
+    /// side effects); `Err` means the backend fetch failed within its
+    /// retry/deadline budget *and* no resident ancestor was available
+    /// to degrade to. Without an attached fault plan this never
+    /// returns `Err` and behaves exactly like [`Middleware::request`].
+    ///
+    /// # Errors
+    /// [`FetchError`] as above (fault plans only).
+    pub fn try_request(
+        &mut self,
+        id: TileId,
+        mv: Option<fc_tiles::Move>,
+    ) -> Result<Option<Response>, FetchError> {
         // Unservable ids — outside the geometry, or absent from the
         // backend (both free metadata checks) — return before *any*
         // side effect: no stats, no shared-cache probe, and in
         // particular no popularity-sketch bump that could train the
         // communal hotspot model toward a tile that cannot be served.
         if !self.pyramid.geometry().contains(id) || !self.pyramid.store().contains(id) {
-            return None;
+            return Ok(None);
         }
+        // Under a fault plan every serviceable request ticks the
+        // session's request index — the coordinate fault windows are
+        // keyed by — whether it ends in a hit, a miss, or a failure.
+        let fault_ctx: Option<(Arc<FaultPlan>, RetryPolicy, u64)> = self.faults.as_mut().map(|f| {
+            let idx = f.request_index;
+            f.request_index += 1;
+            (f.plan.clone(), f.retry, idx)
+        });
         // 1. Serve the tile: private cache, then the shared cache
         // (another session may have prefetched it — the §6.2 sharing
         // benefit), then the backend. The private probe is uncounted:
@@ -267,19 +361,49 @@ impl Middleware {
                 .as_ref()
                 .and_then(|sh| sh.cache.lookup(sh.id, id)),
         };
+        let mut fetch_retries = 0u32;
         let (tile, latency, cache_hit) = match cache_probe {
             Some(t) => {
                 self.pyramid.store().clock().advance(self.profile.hit);
                 (t, self.profile.hit, true)
             }
-            None => {
-                // Backend query; the store charges its own (SciDB-like)
-                // latency on the shared clock. A missing tile returns
-                // before the count below — the request was never
-                // served, so no counter moves.
-                let (t, cost) = self.pyramid.store().fetch_backend(id)?;
-                (t, cost, false)
-            }
+            None => match &fault_ctx {
+                None => {
+                    // Backend query; the store charges its own
+                    // (SciDB-like) latency on the shared clock. A
+                    // missing tile returns before the count below —
+                    // the request was never served, so no counter
+                    // moves.
+                    let Some((t, cost)) = self.pyramid.store().fetch_backend(id) else {
+                        return Ok(None);
+                    };
+                    (t, cost, false)
+                }
+                Some((plan, retry, idx)) => {
+                    match fetch_guarded(self.pyramid.store(), plan, retry, id, *idx) {
+                        Ok((t, cost, retries)) => {
+                            fetch_retries = retries;
+                            (t, cost, false)
+                        }
+                        Err(fail) => {
+                            // Degradation ladder: the fetch budget is
+                            // spent, so serve the nearest resident
+                            // ancestor as a flagged degraded reply
+                            // (prediction and prefetch skipped — the
+                            // backend is in no state for speculative
+                            // I/O); with nothing resident, fail the
+                            // request cleanly.
+                            return match self.resident_ancestor(id) {
+                                Some(anc) => Ok(Some(self.serve_degraded(id, mv, anc, &fail))),
+                                None => {
+                                    self.stats.fetch_failures += 1;
+                                    Err(fail.error)
+                                }
+                            };
+                        }
+                    }
+                }
+            },
         };
         self.cache.count_lookup(cache_hit);
 
@@ -347,8 +471,22 @@ impl Middleware {
             .par_iter()
             .with_min_len(PREFETCH_PAR_MIN_LEN)
             .map(|p| {
+                // Prefetches are best-effort under a fault plan: a
+                // failed speculative fetch skips the tile (no retries
+                // — the budget belongs to foreground requests), a
+                // spike only raises its background cost. Decisions
+                // key on (tile, request index), so the outcome is
+                // deterministic under any worker interleaving.
+                let mut extra = Duration::ZERO;
+                if let Some((plan, _, idx)) = &fault_ctx {
+                    match plan.decide_prefetch(*p, *idx) {
+                        Some(FaultKind::Transient | FaultKind::Stuck) => return None,
+                        Some(FaultKind::LatencySpike(d)) => extra = d,
+                        None => {}
+                    }
+                }
                 store.fetch_offline(*p).map(|t| {
-                    let cost = model.cost(t.array.nbytes());
+                    let cost = model.cost(t.array.nbytes()) + extra;
                     (t, cost)
                 })
             })
@@ -382,7 +520,7 @@ impl Middleware {
         self.stats.total_latency += latency;
         self.stats.per_phase[phase.index()] += 1;
 
-        Some(Response {
+        Ok(Some(Response {
             tile,
             latency,
             cache_hit,
@@ -390,7 +528,66 @@ impl Middleware {
             prefetched: prefetched_ids,
             predict_time,
             pair_cache,
-        })
+            degraded: false,
+            fetch_retries,
+        }))
+    }
+
+    /// The nearest ancestor of `id` resident in the private or shared
+    /// cache — the stale-but-served answer of the degradation ladder.
+    fn resident_ancestor(&self, id: TileId) -> Option<Arc<Tile>> {
+        let mut cur = id.parent();
+        while let Some(a) = cur {
+            if let Some(t) = self.cache.peek(a) {
+                return Some(t);
+            }
+            if let Some(sh) = &self.shared {
+                if let Some(t) = sh.cache.lookup(sh.id, a) {
+                    return Some(t);
+                }
+            }
+            cur = a.parent();
+        }
+        None
+    }
+
+    /// Books and builds a degraded reply: the user waited out the
+    /// failed fetch (`fail.waited`, already on the clock), then the
+    /// resident `ancestor` answered at cache-hit cost. Booked as a
+    /// miss for the requested tile; prediction and prefetch skipped.
+    fn serve_degraded(
+        &mut self,
+        id: TileId,
+        mv: Option<fc_tiles::Move>,
+        ancestor: Arc<Tile>,
+        fail: &FailedFetch,
+    ) -> Response {
+        self.pyramid.store().clock().advance(self.profile.hit);
+        let latency = fail.waited + self.profile.hit;
+        self.cache.count_lookup(false);
+        self.engine.observe(Request::new(id, mv));
+        self.cache.note_request(ancestor.clone());
+        let phase = self.engine.current_phase();
+        self.stats.requests += 1;
+        self.stats.degraded += 1;
+        self.stats.total_latency += latency;
+        self.stats.per_phase[phase.index()] += 1;
+        let attempts = match fail.error {
+            FetchError::Unavailable { attempts } | FetchError::DeadlineExceeded { attempts } => {
+                attempts
+            }
+        };
+        Response {
+            tile: ancestor,
+            latency,
+            cache_hit: false,
+            phase,
+            prefetched: Vec::new(),
+            predict_time: Duration::ZERO,
+            pair_cache: PairCacheStats::default(),
+            degraded: true,
+            fetch_retries: attempts.saturating_sub(1),
+        }
     }
 
     /// Aggregate statistics so far.
@@ -430,6 +627,83 @@ impl Middleware {
             sh.cache.retain_for(sh.id, &[]);
         }
         self.stats = MiddlewareStats::default();
+    }
+}
+
+/// The guarded primary fetch: bounded retries with exponential
+/// backoff and deterministic jitter, under a per-request deadline
+/// budget. Every wait is simulated — charged to the store's shared
+/// clock — so chaos runs replay at full speed. Returns the tile, the
+/// user-visible cost (backoffs + backend latency + any spike), and
+/// the retry count.
+fn fetch_guarded(
+    store: &TileStore,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    id: TileId,
+    request_index: u64,
+) -> Result<(Arc<Tile>, Duration, u32), FailedFetch> {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut consumed = Duration::ZERO;
+    let mut attempt = 0u32;
+    loop {
+        match plan.decide(id, request_index, attempt) {
+            None => {
+                let Some((t, cost)) = store.fetch_backend(id) else {
+                    return Err(FailedFetch {
+                        error: FetchError::Unavailable {
+                            attempts: attempt + 1,
+                        },
+                        waited: consumed,
+                    });
+                };
+                return Ok((t, consumed + cost, attempt));
+            }
+            Some(FaultKind::LatencySpike(extra)) => {
+                let Some((t, cost)) = store.fetch_backend(id) else {
+                    return Err(FailedFetch {
+                        error: FetchError::Unavailable {
+                            attempts: attempt + 1,
+                        },
+                        waited: consumed,
+                    });
+                };
+                store.clock().advance(extra);
+                return Ok((t, consumed + cost + extra, attempt));
+            }
+            Some(FaultKind::Stuck) => {
+                // A wedged fetch never returns; the deadline reaps it,
+                // consuming whatever budget was left.
+                let rem = retry.deadline.saturating_sub(consumed);
+                store.clock().advance(rem);
+                return Err(FailedFetch {
+                    error: FetchError::DeadlineExceeded {
+                        attempts: attempt + 1,
+                    },
+                    waited: retry.deadline,
+                });
+            }
+            Some(FaultKind::Transient) => {
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return Err(FailedFetch {
+                        error: FetchError::Unavailable { attempts: attempt },
+                        waited: consumed,
+                    });
+                }
+                let backoff = retry.backoff(plan, id, request_index, attempt);
+                if consumed + backoff >= retry.deadline {
+                    let rem = retry.deadline.saturating_sub(consumed);
+                    store.clock().advance(rem);
+                    return Err(FailedFetch {
+                        error: FetchError::DeadlineExceeded { attempts: attempt },
+                        waited: retry.deadline,
+                    });
+                }
+                store.clock().advance(backoff);
+                consumed += backoff;
+            }
+        }
     }
 }
 

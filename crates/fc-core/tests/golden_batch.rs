@@ -220,7 +220,7 @@ fn concurrent_scheduler_fan_in_matches_solo_predictions() {
             // A real fan-in window so this test exercises leader waits
             // and multi-job ticks, not just width-1 group commit.
             window: std::time::Duration::from_millis(5),
-            max_batch: 0,
+            ..BatchConfig::default()
         },
     ));
     const N: usize = 6;

@@ -1,6 +1,6 @@
 //! A blocking ForeCache client.
 
-use crate::protocol::{read_frame, write_frame, ClientMsg, ServerMsg, TilePayload};
+use crate::protocol::{read_frame, write_frame, ClientMsg, ErrorCode, ServerMsg, TilePayload};
 use fc_tiles::{Move, TileId};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,6 +14,37 @@ pub struct Client {
     deepest_tiles: (u32, u32),
 }
 
+/// A structured server-side error reply, carried as the source of the
+/// `io::Error` the client methods return. `Display` prints the bare
+/// reason (so existing message-matching callers are unaffected);
+/// callers that branch on the category downcast:
+///
+/// ```ignore
+/// match err.get_ref().and_then(|e| e.downcast_ref::<ServerError>()) {
+///     Some(e) if e.code == ErrorCode::Overloaded => retry_elsewhere(),
+///     _ => fail(err),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+fn server_err(code: ErrorCode, reason: String) -> io::Error {
+    io::Error::other(ServerError { code, reason })
+}
+
 /// A tile answer as seen by the client.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileAnswer {
@@ -25,6 +56,10 @@ pub struct TileAnswer {
     pub cache_hit: bool,
     /// The engine's phase estimate (`Phase::index`).
     pub phase: u8,
+    /// Whether this is a degraded reply: the requested tile was
+    /// unavailable within its deadline and `payload.tile` names the
+    /// resident ancestor served in its place.
+    pub degraded: bool,
 }
 
 /// Session statistics as seen by the client.
@@ -86,7 +121,7 @@ impl Client {
                 levels,
                 deepest_tiles,
             }),
-            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            ServerMsg::Error { code, reason } => Err(server_err(code, reason)),
             other => Err(io::Error::other(format!(
                 "unexpected reply to Hello: {other:?}"
             ))),
@@ -119,13 +154,15 @@ impl Client {
                 latency_ns,
                 cache_hit,
                 phase,
+                degraded,
             } => Ok(TileAnswer {
                 payload,
                 latency: Duration::from_nanos(latency_ns),
                 cache_hit,
                 phase,
+                degraded,
             }),
-            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            ServerMsg::Error { code, reason } => Err(server_err(code, reason)),
             other => Err(io::Error::other(format!(
                 "unexpected reply to RequestTile: {other:?}"
             ))),
@@ -148,7 +185,7 @@ impl Client {
                 hits,
                 avg_latency: Duration::from_nanos(avg_latency_ns),
             }),
-            ServerMsg::Error { reason } => Err(io::Error::other(reason)),
+            ServerMsg::Error { code, reason } => Err(server_err(code, reason)),
             other => Err(io::Error::other(format!(
                 "unexpected reply to GetStats: {other:?}"
             ))),

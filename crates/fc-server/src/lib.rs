@@ -28,6 +28,8 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
-pub use protocol::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
-pub use server::{DatasetSpec, EngineFactory, MultiUserServing, Server, ServerConfig};
+pub use client::{Client, ServerError};
+pub use protocol::{ClientMsg, ErrorCode, FrameBuf, ServerMsg, TilePayload};
+pub use server::{
+    DatasetSpec, EngineFactory, FaultSetup, MultiUserServing, Server, ServerConfig, SessionLimits,
+};

@@ -89,6 +89,61 @@ pub struct TilePayload {
     pub present: Vec<u8>,
 }
 
+/// Structured category carried by [`ServerMsg::Error`]. The u8 wire
+/// value is stable; unknown values decode as [`ErrorCode::General`], so
+/// an older client keeps working when the server grows new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Unclassified failure.
+    General = 0,
+    /// The client's message could not be decoded.
+    Malformed = 1,
+    /// The Hello named a dataset this server does not serve.
+    UnknownDataset = 2,
+    /// The requested tile is outside the dataset's geometry.
+    NoSuchTile = 3,
+    /// Admission control shed the session; retry against another
+    /// server (or later) rather than immediately.
+    Overloaded = 4,
+    /// The backend could not produce the tile within the retry and
+    /// deadline budget, and nothing was resident to degrade to.
+    Unavailable = 5,
+    /// An internal failure (e.g. a panic) was contained; the server
+    /// closes the session after sending this.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte (total: unknown values map to `General`).
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownDataset,
+            3 => ErrorCode::NoSuchTile,
+            4 => ErrorCode::Overloaded,
+            5 => ErrorCode::Unavailable,
+            6 => ErrorCode::Internal,
+            _ => ErrorCode::General,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::General => "general",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownDataset => "unknown-dataset",
+            ErrorCode::NoSuchTile => "no-such-tile",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
@@ -109,6 +164,10 @@ pub enum ServerMsg {
         cache_hit: bool,
         /// The engine's phase estimate (by `Phase::index`).
         phase: u8,
+        /// Whether this is a degraded reply: the requested tile's fetch
+        /// exhausted its retry/deadline budget and a resident ancestor
+        /// answered in its place (`payload.tile` names the ancestor).
+        degraded: bool,
     },
     /// Session statistics.
     Stats {
@@ -121,6 +180,8 @@ pub enum ServerMsg {
     },
     /// The request failed.
     Error {
+        /// Machine-readable category (drives client retry/shed logic).
+        code: ErrorCode,
         /// Human-readable reason.
         reason: String,
     },
@@ -172,9 +233,26 @@ impl FrameBuf {
     }
 }
 
+/// Clamps a string to the u16 wire-length limit on a char boundary.
+/// Error reasons can embed backend messages of arbitrary length; an
+/// oversized one must truncate on the wire, not panic the encoder
+/// mid-session (used by both `put_string` and the exact-size
+/// `encoded_body_len` computations so the two always agree).
+fn wire_str(s: &str) -> &str {
+    const MAX: usize = u16::MAX as usize;
+    if s.len() <= MAX {
+        return s;
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
 fn put_string(buf: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    let len = u16::try_from(bytes.len()).expect("string fits u16");
+    let bytes = wire_str(s).as_bytes();
+    let len = bytes.len() as u16;
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(bytes);
 }
@@ -253,7 +331,7 @@ impl ClientMsg {
     /// Exact encoded payload size (without the 4-byte length prefix).
     fn encoded_body_len(&self) -> usize {
         match self {
-            ClientMsg::Hello { dataset, .. } => 1 + 4 + 2 + dataset.len(),
+            ClientMsg::Hello { dataset, .. } => 1 + 4 + 2 + wire_str(dataset).len(),
             ClientMsg::RequestTile { .. } => 1 + 9 + 1,
             ClientMsg::GetStats | ClientMsg::Bye => 1,
         }
@@ -346,12 +424,12 @@ impl ServerMsg {
                 let columns: usize = payload
                     .attrs
                     .iter()
-                    .map(|name| 2 + name.len() + ncells * 8)
+                    .map(|name| 2 + wire_str(name).len() + ncells * 8)
                     .sum();
-                1 + 9 + 4 + 4 + 8 + 1 + 1 + 2 + columns + payload.present.len()
+                1 + 9 + 4 + 4 + 8 + 1 + 1 + 1 + 2 + columns + payload.present.len()
             }
             ServerMsg::Stats { .. } => 1 + 8 + 8 + 8,
-            ServerMsg::Error { reason } => 1 + 2 + reason.len(),
+            ServerMsg::Error { reason, .. } => 1 + 1 + 2 + wire_str(reason).len(),
         }
     }
 
@@ -376,6 +454,7 @@ impl ServerMsg {
                 latency_ns,
                 cache_hit,
                 phase,
+                degraded,
             } => {
                 body.push(1);
                 put_tile_id(body, payload.tile);
@@ -384,6 +463,7 @@ impl ServerMsg {
                 body.extend_from_slice(&latency_ns.to_le_bytes());
                 body.push(u8::from(*cache_hit));
                 body.push(*phase);
+                body.push(u8::from(*degraded));
                 let nattrs = u16::try_from(payload.attrs.len()).expect("attr count");
                 body.extend_from_slice(&nattrs.to_le_bytes());
                 for (name, values) in payload.attrs.iter().zip(&payload.data) {
@@ -402,8 +482,9 @@ impl ServerMsg {
                 body.extend_from_slice(&hits.to_le_bytes());
                 body.extend_from_slice(&avg_latency_ns.to_le_bytes());
             }
-            ServerMsg::Error { reason } => {
+            ServerMsg::Error { code, reason } => {
                 body.push(3);
+                body.push(*code as u8);
                 put_string(body, reason);
             }
         }
@@ -430,7 +511,7 @@ impl ServerMsg {
             }
             1 => {
                 let tile = get_tile_id(&mut body)?;
-                if body.remaining() < 4 + 4 + 8 + 1 + 1 + 2 {
+                if body.remaining() < 4 + 4 + 8 + 1 + 1 + 1 + 2 {
                     return Err(bad("truncated Tile header"));
                 }
                 let h = body.get_u32_le();
@@ -438,6 +519,7 @@ impl ServerMsg {
                 let latency_ns = body.get_u64_le();
                 let cache_hit = body.get_u8() != 0;
                 let phase = body.get_u8();
+                let degraded = body.get_u8() != 0;
                 let nattrs = body.get_u16_le() as usize;
                 // Bound the cell count before any size arithmetic: a
                 // crafted h×w near usize::MAX would wrap `ncells * 8`
@@ -473,6 +555,7 @@ impl ServerMsg {
                     latency_ns,
                     cache_hit,
                     phase,
+                    degraded,
                 })
             }
             2 => {
@@ -485,9 +568,16 @@ impl ServerMsg {
                     avg_latency_ns: body.get_u64_le(),
                 })
             }
-            3 => Ok(ServerMsg::Error {
-                reason: get_string(&mut body)?,
-            }),
+            3 => {
+                if body.remaining() < 1 {
+                    return Err(bad("truncated Error"));
+                }
+                let code = ErrorCode::from_u8(body.get_u8());
+                Ok(ServerMsg::Error {
+                    code,
+                    reason: get_string(&mut body)?,
+                })
+            }
             t => Err(bad(&format!("unknown server tag {t}"))),
         }
     }
@@ -577,10 +667,18 @@ mod tests {
                 deepest_tiles: (32, 32),
             },
             ServerMsg::Tile {
-                payload,
+                payload: payload.clone(),
                 latency_ns: 19_500_000,
                 cache_hit: true,
                 phase: 2,
+                degraded: false,
+            },
+            ServerMsg::Tile {
+                payload,
+                latency_ns: 984_000_000,
+                cache_hit: false,
+                phase: 0,
+                degraded: true,
             },
             ServerMsg::Stats {
                 requests: 10,
@@ -588,13 +686,58 @@ mod tests {
                 avg_latency_ns: 123,
             },
             ServerMsg::Error {
+                code: ErrorCode::NoSuchTile,
                 reason: "no such tile".into(),
+            },
+            ServerMsg::Error {
+                code: ErrorCode::Overloaded,
+                reason: String::new(),
             },
         ];
         for m in msgs {
             let enc = m.encode();
             let dec = ServerMsg::decode(unframe(&enc)).unwrap();
             assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn unknown_error_code_decodes_as_general() {
+        let mut b = BytesMut::new();
+        b.put_u8(3); // Error tag
+        b.put_u8(200); // unassigned code
+        b.put_u16_le(2);
+        b.put_slice(b"hm");
+        let dec = ServerMsg::decode(b.freeze()).unwrap();
+        assert_eq!(
+            dec,
+            ServerMsg::Error {
+                code: ErrorCode::General,
+                reason: "hm".into()
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_reason_truncates_on_a_char_boundary() {
+        // 'é' is two bytes; an odd cap would split it. The encoder must
+        // clamp to the u16 limit without panicking or emitting invalid
+        // UTF-8, and the frame prefix must match the truncated body.
+        let reason = "é".repeat(40_000); // 80 000 bytes
+        let msg = ServerMsg::Error {
+            code: ErrorCode::Internal,
+            reason,
+        };
+        let framed = msg.encode();
+        let prefix = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;
+        assert_eq!(prefix, framed.len() - 4);
+        match ServerMsg::decode(unframe(&framed)).unwrap() {
+            ServerMsg::Error { code, reason } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(reason.len(), u16::MAX as usize - 1, "65534 = 32767 'é'");
+                assert!(reason.chars().all(|c| c == 'é'));
+            }
+            other => panic!("{other:?}"),
         }
     }
 
@@ -628,6 +771,7 @@ mod tests {
         b.put_u64_le(0); // latency
         b.put_u8(0); // cache_hit
         b.put_u8(0); // phase
+        b.put_u8(0); // degraded
         b.put_u16_le(1); // nattrs
         b.put_u16_le(1); // attr name len
         b.put_u8(b'v');
@@ -652,6 +796,7 @@ mod tests {
             latency_ns: 1,
             cache_hit: false,
             phase: 0,
+            degraded: false,
         };
         let framed = msg.encode();
         let prefix = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;

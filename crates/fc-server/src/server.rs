@@ -11,11 +11,13 @@
 //! into one batched sweep per tick, and (opt-in) the namespace's
 //! cross-session hotspot model.
 
-use crate::protocol::{read_frame, write_frame, ClientMsg, FrameBuf, ServerMsg, TilePayload};
+use crate::protocol::{
+    read_frame, write_frame, ClientMsg, ErrorCode, FrameBuf, ServerMsg, TilePayload,
+};
 use fc_core::{
-    BatchConfig, DatasetNamespace, DatasetRegistry, HotspotConfig, LatencyProfile, Middleware,
-    MultiUserCache, PredictScheduler, PredictionEngine, RegistryConfig, SharedCacheStats,
-    SharedSessionHandle,
+    BatchConfig, DatasetNamespace, DatasetRegistry, FaultPlan, HotspotConfig, LatencyProfile,
+    Middleware, MultiUserCache, PredictScheduler, PredictionEngine, RegistryConfig, RetryPolicy,
+    SharedCacheStats, SharedSessionHandle,
 };
 use fc_tiles::{Pyramid, Tile};
 use std::io;
@@ -89,6 +91,40 @@ impl Default for MultiUserServing {
     }
 }
 
+/// Session admission and socket-liveness limits. The all-off
+/// [`Default`] keeps the server's historical accept-everything,
+/// block-forever behaviour; production configs should set all four.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionLimits {
+    /// Maximum concurrently active sessions; connections beyond it are
+    /// shed at accept time with [`ErrorCode::Overloaded`] instead of
+    /// accepted-then-wedged (0 = unlimited).
+    pub max_sessions: usize,
+    /// Overload watermark on shared-cache pressure (multi-user mode):
+    /// a Hello is shed with [`ErrorCode::Overloaded`] when admitting
+    /// it would drop its namespace's fair per-session tile budget
+    /// below this floor (0 = no watermark).
+    pub min_session_budget: usize,
+    /// Per-session socket read timeout: a client idle past it (a
+    /// slow-client or dead peer) gets a clean server-side teardown
+    /// instead of pinning a session thread forever (`None` = block).
+    pub read_timeout: Option<Duration>,
+    /// Per-session socket write timeout (`None` = block).
+    pub write_timeout: Option<Duration>,
+}
+
+/// Deterministic backend fault injection applied to every session's
+/// middleware (chaos testing; see `fc_core::fault`). The plan is
+/// shared, but fault decisions key on (tile, per-session request
+/// index), so each session draws its own reproducible fault stream.
+#[derive(Debug, Clone)]
+pub struct FaultSetup {
+    /// The seeded fault plan.
+    pub plan: Arc<FaultPlan>,
+    /// Retry/backoff/deadline budget for faulted fetches.
+    pub retry: RetryPolicy,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -101,6 +137,11 @@ pub struct ServerConfig {
     /// Multi-user serving core; `None` keeps the fully-isolated
     /// per-session caches of the paper's single-analyst architecture.
     pub multi_user: Option<MultiUserServing>,
+    /// Admission control and socket timeouts (default: all off).
+    pub limits: SessionLimits,
+    /// Backend fault injection (default: none — the fault layer is
+    /// zero-cost when absent).
+    pub faults: Option<FaultSetup>,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +151,8 @@ impl Default for ServerConfig {
             history_cache: 4,
             default_k: 5,
             multi_user: None,
+            limits: SessionLimits::default(),
+            faults: None,
         }
     }
 }
@@ -242,7 +285,7 @@ impl Server {
                             spec.pyramid.clone(),
                             BatchConfig {
                                 window: mu.batch_window,
-                                max_batch: 0,
+                                ..BatchConfig::default()
                             },
                         ))
                     });
@@ -363,14 +406,36 @@ fn accept_loop(
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
+                // Admission control: shed with a structured error at
+                // accept time rather than accept-then-wedge. The reply
+                // is best-effort — a peer that already hung up just
+                // loses the courtesy note.
+                let max = config.limits.max_sessions;
+                if max > 0 && sessions.load(Ordering::Relaxed) >= max {
+                    let reply = ServerMsg::Error {
+                        code: ErrorCode::Overloaded,
+                        reason: format!("server at capacity ({max} sessions)"),
+                    };
+                    let _ = stream.set_nodelay(true);
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    continue;
+                }
                 let served = served.clone();
                 let config = config.clone();
                 let sessions = sessions.clone();
                 sessions.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || {
-                    let _ = serve_session(stream, served, config);
+                    // Last-resort containment: `serve_session` already
+                    // converts per-message panics into error replies,
+                    // but whatever escapes (I/O layer, teardown) must
+                    // still decrement the session count, or admission
+                    // control would leak capacity on every incident.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_session(stream, served, config)
+                    }));
                     sessions.fetch_sub(1, Ordering::Relaxed);
+                    drop(outcome); // contained; the session is gone either way
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -381,16 +446,29 @@ fn accept_loop(
     }
 }
 
+/// What the session loop does after handling one message.
+enum Flow {
+    /// Send the reply, keep serving.
+    Reply(ServerMsg),
+    /// Send the reply (best-effort), then tear the session down.
+    ReplyClose(ServerMsg),
+    /// Tear the session down silently (client said Bye).
+    Close,
+}
+
 fn serve_session(
     mut stream: TcpStream,
     served: Arc<ServedDatasets>,
     config: ServerConfig,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    // Dropping the middleware (on return, including error paths, or
-    // when a new Hello rebinds the session to another dataset) closes
-    // its shared session: holds release and the prefetch budget
-    // repartitions across the namespace's surviving sessions.
+    stream.set_read_timeout(config.limits.read_timeout)?;
+    stream.set_write_timeout(config.limits.write_timeout)?;
+    // Dropping the middleware (on return, including error and panic
+    // paths, or when a new Hello rebinds the session to another
+    // dataset) closes its shared session: holds release and the
+    // prefetch budget repartitions across the namespace's surviving
+    // sessions.
     let mut middleware: Option<Middleware> = None;
     // One reusable frame buffer per session: steady-state replies encode
     // with zero allocations (see protocol.rs, "FrameBuf reuse contract").
@@ -399,111 +477,201 @@ fn serve_session(
         let body = match read_frame(&mut stream) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            // A read timeout is a slow or dead client, not a server
+            // fault: tear down cleanly so the thread and any shared
+            // holds are reclaimed.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(())
+            }
             Err(e) => return Err(e),
         };
-        let msg = ClientMsg::decode(body)?;
-        match msg {
-            ClientMsg::Hello {
-                prefetch_k,
-                dataset,
-            } => {
-                let k = if prefetch_k == 0 {
-                    config.default_k
-                } else {
-                    prefetch_k as usize
+        let msg = match ClientMsg::decode(body) {
+            Ok(m) => m,
+            // Tell the client why before hanging up — a silent close
+            // is indistinguishable from a server crash.
+            Err(e) => {
+                let reply = ServerMsg::Error {
+                    code: ErrorCode::Malformed,
+                    reason: format!("malformed message: {e}"),
                 };
-                // Bound the name before echoing it anywhere: wire
-                // strings are u16-length, so an unbounded (up to 64 KiB)
-                // name folded into an Error reason would overflow the
-                // reply's own string field and panic the session thread.
-                let resolved = if dataset.len() > crate::protocol::MAX_DATASET_NAME {
-                    Err(format!(
+                let _ = write_frame(&mut stream, reply.encode_into(&mut frame));
+                return Err(e);
+            }
+        };
+        // Contain per-message panics (middleware bugs, poisoned tile
+        // data): the client gets a structured Internal error and the
+        // session tears down cleanly — dropping `middleware` releases
+        // its shared holds — instead of the thread evaporating with
+        // the socket left dangling.
+        let flow = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_msg(msg, &mut middleware, &served, &config)
+        }))
+        .unwrap_or_else(|_panic| {
+            middleware = None;
+            Flow::ReplyClose(ServerMsg::Error {
+                code: ErrorCode::Internal,
+                reason: "internal error; closing session".into(),
+            })
+        });
+        match flow {
+            Flow::Reply(reply) => write_frame(&mut stream, reply.encode_into(&mut frame))?,
+            Flow::ReplyClose(reply) => {
+                let _ = write_frame(&mut stream, reply.encode_into(&mut frame));
+                return Ok(());
+            }
+            Flow::Close => return Ok(()),
+        }
+    }
+}
+
+/// Handles one decoded client message. Runs under the session loop's
+/// `catch_unwind`; must not write to the socket (the loop owns it).
+fn handle_msg(
+    msg: ClientMsg,
+    middleware: &mut Option<Middleware>,
+    served: &ServedDatasets,
+    config: &ServerConfig,
+) -> Flow {
+    match msg {
+        ClientMsg::Hello {
+            prefetch_k,
+            dataset,
+        } => {
+            let k = if prefetch_k == 0 {
+                config.default_k
+            } else {
+                prefetch_k as usize
+            };
+            // Bound the name before echoing it anywhere: wire strings
+            // are u16-length, so an unbounded (up to 64 KiB) name
+            // folded into an Error reason would otherwise dominate the
+            // reply (the codec truncates oversized strings).
+            let resolved = if dataset.len() > crate::protocol::MAX_DATASET_NAME {
+                Err((
+                    ErrorCode::Malformed,
+                    format!(
                         "dataset name too long: {} bytes (max {})",
                         dataset.len(),
                         crate::protocol::MAX_DATASET_NAME
-                    ))
-                } else {
-                    served
-                        .resolve(&dataset)
-                        .ok_or_else(|| format!("unknown dataset: {dataset:?}"))
-                };
-                let reply = match resolved {
-                    Err(reason) => ServerMsg::Error { reason },
-                    Ok(d) => {
-                        let pyramid = d.spec.pyramid.clone();
-                        middleware = Some(match &d.shared {
-                            Some(s) => {
-                                let mut handle = SharedSessionHandle::open(
-                                    s.namespace.cache().clone() as Arc<dyn MultiUserCache>,
-                                    s.scheduler.clone(),
-                                );
-                                if s.hotspots_on {
-                                    handle = handle.with_hotspots(s.namespace.hotspots().clone());
-                                }
-                                Middleware::new_shared(
-                                    (d.spec.engines)(),
-                                    pyramid.clone(),
-                                    config.profile,
-                                    config.history_cache,
-                                    k,
-                                    handle,
-                                )
+                    ),
+                ))
+            } else {
+                served.resolve(&dataset).ok_or((
+                    ErrorCode::UnknownDataset,
+                    format!("unknown dataset: {dataset:?}"),
+                ))
+            };
+            let reply = match resolved {
+                Err((code, reason)) => ServerMsg::Error { code, reason },
+                Ok(d) => {
+                    // Overload watermark: admitting another session
+                    // into this namespace must not starve everyone's
+                    // fair tile budget below the configured floor.
+                    let floor = config.limits.min_session_budget;
+                    if let (true, Some(s)) = (floor > 0, &d.shared) {
+                        let cache = s.namespace.cache();
+                        let budget_after = cache.capacity() / (cache.session_count() + 1);
+                        if budget_after < floor {
+                            return Flow::ReplyClose(ServerMsg::Error {
+                                code: ErrorCode::Overloaded,
+                                reason: format!(
+                                    "namespace under pressure: per-session budget \
+                                     {budget_after} would fall below {floor}"
+                                ),
+                            });
+                        }
+                    }
+                    let pyramid = d.spec.pyramid.clone();
+                    let mut mw = match &d.shared {
+                        Some(s) => {
+                            let mut handle = SharedSessionHandle::open(
+                                s.namespace.cache().clone() as Arc<dyn MultiUserCache>,
+                                s.scheduler.clone(),
+                            );
+                            if s.hotspots_on {
+                                handle = handle.with_hotspots(s.namespace.hotspots().clone());
                             }
-                            None => Middleware::new(
+                            Middleware::new_shared(
                                 (d.spec.engines)(),
                                 pyramid.clone(),
                                 config.profile,
                                 config.history_cache,
                                 k,
-                            ),
-                        });
-                        let g = pyramid.geometry();
-                        ServerMsg::Welcome {
-                            levels: g.levels,
-                            deepest_tiles: g.tiles_at(g.levels - 1),
+                                handle,
+                            )
                         }
+                        None => Middleware::new(
+                            (d.spec.engines)(),
+                            pyramid.clone(),
+                            config.profile,
+                            config.history_cache,
+                            k,
+                        ),
+                    };
+                    if let Some(fs) = &config.faults {
+                        mw.set_faults(fs.plan.clone(), fs.retry);
                     }
-                };
-                write_frame(&mut stream, reply.encode_into(&mut frame))?;
-            }
-            ClientMsg::RequestTile { tile, mv } => {
-                let reply = match middleware.as_mut() {
-                    None => ServerMsg::Error {
-                        reason: "session not opened: send Hello first".into(),
-                    },
-                    Some(mw) => match mw.request(tile, mv) {
-                        Some(resp) => ServerMsg::Tile {
-                            payload: tile_payload(&resp.tile),
-                            latency_ns: u64::try_from(resp.latency.as_nanos()).unwrap_or(u64::MAX),
-                            cache_hit: resp.cache_hit,
-                            phase: u8::try_from(resp.phase.index()).expect("phase id"),
-                        },
-                        None => ServerMsg::Error {
-                            reason: format!("no such tile: {tile}"),
-                        },
-                    },
-                };
-                write_frame(&mut stream, reply.encode_into(&mut frame))?;
-            }
-            ClientMsg::GetStats => {
-                let reply = match middleware.as_ref() {
-                    None => ServerMsg::Error {
-                        reason: "session not opened".into(),
-                    },
-                    Some(mw) => {
-                        let s = mw.stats();
-                        ServerMsg::Stats {
-                            requests: s.requests as u64,
-                            hits: s.hits as u64,
-                            avg_latency_ns: u64::try_from(s.avg_latency().as_nanos())
-                                .unwrap_or(u64::MAX),
-                        }
+                    *middleware = Some(mw);
+                    let g = pyramid.geometry();
+                    ServerMsg::Welcome {
+                        levels: g.levels,
+                        deepest_tiles: g.tiles_at(g.levels - 1),
                     }
-                };
-                write_frame(&mut stream, reply.encode_into(&mut frame))?;
-            }
-            ClientMsg::Bye => return Ok(()),
+                }
+            };
+            Flow::Reply(reply)
         }
+        ClientMsg::RequestTile { tile, mv } => {
+            let reply = match middleware.as_mut() {
+                None => ServerMsg::Error {
+                    code: ErrorCode::General,
+                    reason: "session not opened: send Hello first".into(),
+                },
+                Some(mw) => match mw.try_request(tile, mv) {
+                    Ok(Some(resp)) => ServerMsg::Tile {
+                        payload: tile_payload(&resp.tile),
+                        latency_ns: u64::try_from(resp.latency.as_nanos()).unwrap_or(u64::MAX),
+                        cache_hit: resp.cache_hit,
+                        phase: u8::try_from(resp.phase.index()).expect("phase id"),
+                        degraded: resp.degraded,
+                    },
+                    Ok(None) => ServerMsg::Error {
+                        code: ErrorCode::NoSuchTile,
+                        reason: format!("no such tile: {tile}"),
+                    },
+                    // The fetch exhausted its retry/deadline budget
+                    // with nothing resident to degrade to. The session
+                    // stays up: the fault may be transient and the
+                    // client decides whether to retry or re-navigate.
+                    Err(e) => ServerMsg::Error {
+                        code: ErrorCode::Unavailable,
+                        reason: format!("tile {tile} unavailable: {e}"),
+                    },
+                },
+            };
+            Flow::Reply(reply)
+        }
+        ClientMsg::GetStats => {
+            let reply = match middleware.as_ref() {
+                None => ServerMsg::Error {
+                    code: ErrorCode::General,
+                    reason: "session not opened".into(),
+                },
+                Some(mw) => {
+                    let s = mw.stats();
+                    ServerMsg::Stats {
+                        requests: s.requests as u64,
+                        hits: s.hits as u64,
+                        avg_latency_ns: u64::try_from(s.avg_latency().as_nanos())
+                            .unwrap_or(u64::MAX),
+                    }
+                }
+            };
+            Flow::Reply(reply)
+        }
+        ClientMsg::Bye => Flow::Close,
     }
 }
 

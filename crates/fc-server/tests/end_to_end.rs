@@ -297,7 +297,8 @@ fn oversized_dataset_name_is_rejected_not_fatal() {
     };
     write_frame(&mut stream, &hello.encode()).expect("send");
     match ServerMsg::decode(read_frame(&mut stream).expect("alive")).expect("reply") {
-        ServerMsg::Error { reason } => {
+        ServerMsg::Error { code, reason } => {
+            assert_eq!(code, fc_server::ErrorCode::Malformed);
             assert!(reason.contains("too long"), "{reason}");
             assert!(!reason.contains("xxx"), "name must not be echoed");
         }

@@ -32,6 +32,7 @@ proptest! {
             latency_ns: 5,
             cache_hit: false,
             phase: 0,
+            degraded: false,
         };
         let full = unframe(&msg.encode());
         prop_assume!(cut < full.len());

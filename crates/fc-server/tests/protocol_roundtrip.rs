@@ -6,9 +6,20 @@
 
 use bytes::Bytes;
 use fc_server::protocol::unframe;
-use fc_server::{ClientMsg, FrameBuf, ServerMsg, TilePayload};
+use fc_server::{ClientMsg, ErrorCode, FrameBuf, ServerMsg, TilePayload};
 use fc_tiles::{Move, TileId, MOVES};
 use proptest::prelude::*;
+
+/// All assigned error codes plus the catch-all, for exhaustive cycling.
+const CODES: [ErrorCode; 7] = [
+    ErrorCode::General,
+    ErrorCode::Malformed,
+    ErrorCode::UnknownDataset,
+    ErrorCode::NoSuchTile,
+    ErrorCode::Overloaded,
+    ErrorCode::Unavailable,
+    ErrorCode::Internal,
+];
 
 /// Deterministic value stream mixing finite values with NaN, ±∞ and -0.
 fn payload_values(seed: u64, n: usize) -> Vec<f64> {
@@ -45,6 +56,7 @@ fn tile_msg(level: u8, y: u32, x: u32, h: u32, w: u32, nattrs: usize, seed: u64)
         latency_ns: seed,
         cache_hit: seed.is_multiple_of(2),
         phase: (seed % 4) as u8,
+        degraded: seed & 4 != 0,
     }
 }
 
@@ -91,16 +103,42 @@ proptest! {
         hits in any::<u64>(),
         avg in any::<u64>(),
         reason_len in 0usize..64,
+        code_ix in 0usize..CODES.len(),
     ) {
         let msgs = [
             ServerMsg::Welcome { levels, deepest_tiles: (ty, tx) },
             ServerMsg::Stats { requests, hits, avg_latency_ns: avg },
-            ServerMsg::Error { reason: "e".repeat(reason_len) },
+            ServerMsg::Error { code: CODES[code_ix], reason: "e".repeat(reason_len) },
         ];
         for m in msgs {
             let dec = ServerMsg::decode(unframe(&m.encode()))
                 .expect("valid frame decodes");
             prop_assert_eq!(dec, m);
+        }
+    }
+
+    /// An Error reason beyond the u16 wire limit — e.g. a backend
+    /// message echoed verbatim — truncates on a char boundary instead
+    /// of panicking the encoder, and the frame stays self-consistent.
+    #[test]
+    fn oversized_reasons_truncate_not_panic(
+        extra in 0usize..200,
+        code_ix in 0usize..CODES.len(),
+        wide in any::<bool>(),
+    ) {
+        let unit = if wide { "é" } else { "e" };
+        let n = (u16::MAX as usize + extra) / unit.len();
+        let msg = ServerMsg::Error { code: CODES[code_ix], reason: unit.repeat(n) };
+        let framed = msg.encode();
+        let prefix = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;
+        prop_assert_eq!(prefix, framed.len() - 4, "prefix matches body");
+        match ServerMsg::decode(unframe(&framed)).expect("valid frame decodes") {
+            ServerMsg::Error { code, reason } => {
+                prop_assert_eq!(code, CODES[code_ix]);
+                prop_assert!(reason.len() <= u16::MAX as usize);
+                prop_assert!(reason.chars().all(|c| c == unit.chars().next().unwrap()));
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
         }
     }
 
@@ -160,7 +198,7 @@ proptest! {
             ServerMsg::Welcome { levels: 4, deepest_tiles: (8, 8) },
             tile_msg(3, 1, 2, 3, 3, 2, seed),
             ServerMsg::Stats { requests: 10, hits: 8, avg_latency_ns: 5 },
-            ServerMsg::Error { reason: "broken pipe".into() },
+            ServerMsg::Error { code: ErrorCode::Internal, reason: "broken pipe".into() },
         ];
         for m in server_msgs {
             let body = unframe(&m.encode());

@@ -1,0 +1,346 @@
+//! Chaos harness: multi-user replay under a deterministic fault
+//! schedule, with invariant checks over the whole serving stack.
+//!
+//! [`run_chaos`] is [`crate::multiuser::run_multi_user`] with a
+//! [`FaultPlan`] attached to every session's middleware. Each session
+//! replays its trace through the *fallible* fetch path
+//! ([`Middleware::try_request`]), so a scheduled backend brownout or
+//! error burst produces the full degradation ladder: retried fetches,
+//! degraded ancestor replies, and clean [`fc_core::FetchError`]s. The
+//! report buckets every attempt into before/during/after the fault
+//! window (by the per-session request index the plan itself keys on),
+//! which is what lets a test assert "the hit rate recovers once the
+//! fault clears" instead of eyeballing aggregate counters.
+//!
+//! [`assert_invariants`] checks the properties every schedule must
+//! preserve, no matter how hostile:
+//!
+//! - **no panic escapes a session** — each session body runs under
+//!   `catch_unwind`; an unwound session is counted, never propagated;
+//! - **the shared cache never exceeds capacity** — resident count is
+//!   sampled after every request and the high-water mark reported;
+//! - **accounting balances** — every serviceable attempt is served
+//!   (possibly degraded) or failed, and every attempt lands in exactly
+//!   one phase bucket;
+//! - **the run drains** — `run_chaos` returning at all means no
+//!   scheduler follower wedged waiting on a dead leader (the
+//!   follower-timeout rescue is the backstop; its trips are reported
+//!   in [`fc_core::SchedulerStats::rescues`]).
+
+use crate::multiuser::{build_cache, MultiUserConfig};
+use crate::trace::Trace;
+use fc_core::{
+    BatchConfig, FaultPlan, Middleware, PredictScheduler, PredictionEngine, RetryPolicy,
+    SchedulerStats, SharedCacheStats, SharedSessionHandle,
+};
+use fc_tiles::Pyramid;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A chaos scenario: the multi-user workload shape plus the fault
+/// schedule every session runs under.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workload shape (sessions, steps, cache, batching, k, …).
+    pub base: MultiUserConfig,
+    /// The fault schedule, shared by all sessions; decisions stay
+    /// deterministic because the plan keys on each session's own
+    /// request index.
+    pub plan: Arc<FaultPlan>,
+    /// Retry/backoff/deadline budget for faulted fetches.
+    pub retry: RetryPolicy,
+    /// `[from, until)` request-index window the schedule's faults
+    /// cover, used to bucket the report's phase statistics. Use
+    /// `(0, u64::MAX)` for an unwindowed (always-on) schedule.
+    pub fault_window: (u64, u64),
+}
+
+/// Outcome counters for one phase (before/during/after the window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Serviceable requests attempted.
+    pub attempts: usize,
+    /// Replies produced (clean or degraded).
+    pub served: usize,
+    /// Cache hits among the served.
+    pub hits: usize,
+    /// Degraded (ancestor-fallback) replies among the served.
+    pub degraded: usize,
+    /// Attempts that failed outright (no resident ancestor).
+    pub failures: usize,
+}
+
+impl PhaseStats {
+    /// Hit rate over served replies; zero when nothing was served.
+    pub fn hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.served as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &PhaseStats) {
+        self.attempts += o.attempts;
+        self.served += o.served;
+        self.hits += o.hits;
+        self.degraded += o.degraded;
+        self.failures += o.failures;
+    }
+}
+
+/// Aggregate outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Sessions run.
+    pub sessions: usize,
+    /// Serviceable attempts across sessions (the sum of the
+    /// per-session fault request indices).
+    pub attempts: usize,
+    /// Replies produced (clean + degraded).
+    pub served: usize,
+    /// Degraded replies among them.
+    pub degraded: usize,
+    /// Outright failures.
+    pub failures: usize,
+    /// Backend retries spent on primary fetches.
+    pub retries: u64,
+    /// Sessions whose body panicked (must be zero — see
+    /// [`assert_invariants`]).
+    pub panics: usize,
+    /// Attempts before the fault window opened.
+    pub before: PhaseStats,
+    /// Attempts inside the window.
+    pub during: PhaseStats,
+    /// Attempts after the window closed.
+    pub after: PhaseStats,
+    /// Shared-cache capacity the run was configured with.
+    pub cache_capacity: usize,
+    /// High-water mark of resident tiles, sampled after every request.
+    pub max_resident: usize,
+    /// Shared-cache counters.
+    pub shared: SharedCacheStats,
+    /// Scheduler counters when batching was on (`rescues` counts
+    /// follower-timeout self-rescues).
+    pub scheduler: Option<SchedulerStats>,
+    /// Median user-visible latency over served replies (includes
+    /// spike charges and retry backoff on the simulated clock).
+    pub latency_p50: std::time::Duration,
+    /// 99th-percentile user-visible latency over served replies.
+    pub latency_p99: std::time::Duration,
+}
+
+/// Runs `cfg.base.sessions` concurrent analysts under `cfg.plan`.
+/// Session `i` replays `traces[i % traces.len()]`, cycling it until
+/// `steps_per_session` serviceable requests have been *attempted*
+/// (attempts, not replies — a failed fetch still advances the fault
+/// window, exactly as it advances the plan's request index).
+pub fn run_chaos<F>(
+    pyramid: &Arc<Pyramid>,
+    engine_factory: F,
+    traces: &[Trace],
+    cfg: &ChaosConfig,
+) -> ChaosReport
+where
+    F: Fn() -> PredictionEngine + Sync,
+{
+    assert!(cfg.base.sessions > 0, "need at least one session");
+    assert!(!traces.is_empty(), "need at least one trace");
+    let cache = build_cache(&cfg.base);
+    let scheduler = cfg.base.batch_predicts.then(|| {
+        Arc::new(PredictScheduler::new(
+            engine_factory().sb_model().clone(),
+            pyramid.clone(),
+            BatchConfig {
+                window: cfg.base.batch_window,
+                ..BatchConfig::default()
+            },
+        ))
+    });
+
+    #[derive(Default)]
+    struct SessionOutcome {
+        before: PhaseStats,
+        during: PhaseStats,
+        after: PhaseStats,
+        retries: u64,
+        max_resident: usize,
+        panicked: bool,
+        latency_ns: Vec<u64>,
+    }
+
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.base.sessions)
+            .map(|i| {
+                let trace = &traces[i % traces.len()];
+                let cache = cache.clone();
+                let scheduler = scheduler.clone();
+                let engine = engine_factory();
+                let pyramid = pyramid.clone();
+                scope.spawn(move || {
+                    let mut out = SessionOutcome::default();
+                    // The session body must never unwind past this
+                    // frame: a panic is an invariant violation to
+                    // *report*, not to propagate into the scope (which
+                    // would abort the whole harness).
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let handle = SharedSessionHandle::open(cache.clone(), scheduler);
+                        let mut mw = Middleware::new_shared(
+                            engine,
+                            pyramid,
+                            cfg.base.profile,
+                            cfg.base.history_cache,
+                            cfg.base.k,
+                            handle,
+                        );
+                        mw.set_faults(cfg.plan.clone(), cfg.retry);
+                        let mut out = SessionOutcome::default();
+                        let (from, until) = cfg.fault_window;
+                        'replay: loop {
+                            let before = mw.fault_request_index();
+                            for (j, step) in trace.steps.iter().enumerate() {
+                                let idx = mw.fault_request_index();
+                                if idx >= cfg.base.steps_per_session as u64 {
+                                    break 'replay;
+                                }
+                                let mv = if j == 0 { None } else { step.mv };
+                                let result = mw.try_request(step.tile, mv);
+                                let bucket = if idx < from {
+                                    &mut out.before
+                                } else if idx < until {
+                                    &mut out.during
+                                } else {
+                                    &mut out.after
+                                };
+                                match result {
+                                    // Unservable tile: no attempt, no
+                                    // index tick — nothing to book.
+                                    Ok(None) => continue,
+                                    Ok(Some(resp)) => {
+                                        bucket.attempts += 1;
+                                        bucket.served += 1;
+                                        bucket.hits += usize::from(resp.cache_hit);
+                                        bucket.degraded += usize::from(resp.degraded);
+                                        out.retries += u64::from(resp.fetch_retries);
+                                        out.latency_ns.push(
+                                            u64::try_from(resp.latency.as_nanos())
+                                                .unwrap_or(u64::MAX),
+                                        );
+                                    }
+                                    Err(_) => {
+                                        bucket.attempts += 1;
+                                        bucket.failures += 1;
+                                    }
+                                }
+                                out.max_resident = out.max_resident.max(cache.len());
+                            }
+                            // A full pass that attempted nothing can
+                            // never progress: stop instead of spinning.
+                            if mw.fault_request_index() == before {
+                                break;
+                            }
+                        }
+                        out
+                    }));
+                    match body {
+                        Ok(done) => out = done,
+                        Err(_) => out.panicked = true,
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+
+    let mut before = PhaseStats::default();
+    let mut during = PhaseStats::default();
+    let mut after = PhaseStats::default();
+    let mut retries = 0u64;
+    let mut max_resident = 0usize;
+    let mut panics = 0usize;
+    let mut all_ns: Vec<u64> = Vec::new();
+    for o in &outcomes {
+        before.absorb(&o.before);
+        during.absorb(&o.during);
+        after.absorb(&o.after);
+        retries += o.retries;
+        max_resident = max_resident.max(o.max_resident);
+        panics += usize::from(o.panicked);
+        all_ns.extend_from_slice(&o.latency_ns);
+    }
+    all_ns.sort_unstable();
+    let pct = |p: f64| -> std::time::Duration {
+        if all_ns.is_empty() {
+            return std::time::Duration::ZERO;
+        }
+        let idx = ((all_ns.len() as f64 - 1.0) * p).round() as usize;
+        std::time::Duration::from_nanos(all_ns[idx.min(all_ns.len() - 1)])
+    };
+    let (latency_p50, latency_p99) = (pct(0.50), pct(0.99));
+
+    ChaosReport {
+        sessions: cfg.base.sessions,
+        attempts: before.attempts + during.attempts + after.attempts,
+        served: before.served + during.served + after.served,
+        degraded: before.degraded + during.degraded + after.degraded,
+        failures: before.failures + during.failures + after.failures,
+        retries,
+        panics,
+        before,
+        during,
+        after,
+        cache_capacity: cfg.base.cache_capacity,
+        max_resident,
+        shared: cache.stats(),
+        scheduler: scheduler.map(|s| s.stats()),
+        latency_p50,
+        latency_p99,
+    }
+}
+
+/// Asserts the schedule-independent invariants of a chaos run. Panics
+/// (with the offending counters) when one is violated.
+pub fn assert_invariants(r: &ChaosReport) {
+    assert_eq!(r.panics, 0, "a panic escaped a session body: {r:?}");
+    assert!(
+        r.max_resident <= r.cache_capacity,
+        "shared cache exceeded capacity: {} resident > {} capacity",
+        r.max_resident,
+        r.cache_capacity
+    );
+    assert_eq!(
+        r.served + r.failures,
+        r.attempts,
+        "every attempt is served or failed: {r:?}"
+    );
+    assert!(
+        r.degraded <= r.served,
+        "degraded replies are a subset of served: {r:?}"
+    );
+    for (name, p) in [
+        ("before", &r.before),
+        ("during", &r.during),
+        ("after", &r.after),
+    ] {
+        assert_eq!(
+            p.served + p.failures,
+            p.attempts,
+            "{name} bucket balances: {p:?}"
+        );
+        assert!(p.hits <= p.served, "{name}: hits within served: {p:?}");
+        assert!(
+            p.degraded <= p.served,
+            "{name}: degraded within served: {p:?}"
+        );
+    }
+    if let Some(s) = &r.scheduler {
+        assert!(
+            s.jobs >= s.batches,
+            "scheduler batches cannot outnumber jobs: {s:?}"
+        );
+    }
+}

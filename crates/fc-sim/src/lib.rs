@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod auto_weights;
+pub mod chaos;
 pub mod dataset;
 pub mod multiuser;
 pub mod replay;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod user;
 
 pub use auto_weights::{learn_weights, LearnedWeights};
+pub use chaos::{assert_invariants, run_chaos, ChaosConfig, ChaosReport, PhaseStats};
 pub use dataset::{DatasetConfig, StudyDataset};
 pub use multiuser::{
     run_multi_user, synthetic_workload, CacheImpl, MultiUserConfig, MultiUserReport,

@@ -136,7 +136,7 @@ where
             pyramid.clone(),
             BatchConfig {
                 window: cfg.batch_window,
-                max_batch: 0,
+                ..BatchConfig::default()
             },
         ))
     });
