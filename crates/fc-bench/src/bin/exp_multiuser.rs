@@ -28,11 +28,19 @@
 //! failure rates, in-window and post-window hit rates, and p50/p99
 //! user-visible latency — the `fault_ab` JSON section.
 //!
+//! **Part 4 — workload-zoo scheduler A/B.** Every named zoo workload
+//! (`fc_sim::zoo::ZOO_NAMES`) replayed through the deterministic
+//! lockstep harness (`fc_sim::zoo::run_zoo_shared`) twice — burst
+//! scheduler off (uniform per-request budget) and on
+//! ([`fc_core::BurstConfig::default`]) — over a tight communal cache,
+//! recording per-workload hit rate, useful-prefetch ratio, prefetch
+//! volume, and time-in-phase occupancy as the `workload_zoo` section.
+//!
 //! Writes `BENCH_multiuser.json` with aggregate request (= predict)
 //! throughput and p50/p99 per-request predict latency per
 //! configuration, the 64-session throughput ratio the acceptance
-//! criterion tracks (≥ 4×), the `multi_dataset` section, and the
-//! `fault_ab` section. With
+//! criterion tracks (≥ 4×), the `multi_dataset` section, the
+//! `fault_ab` section, and the `workload_zoo` section. With
 //! `--smoke` (CI) it runs one short iteration of everything and does
 //! **not** overwrite the JSON. See `docs/BENCHMARKS.md` for field
 //! definitions and the single-CPU-container caveat: on one core the
@@ -42,13 +50,14 @@
 use fc_core::engine::PhaseSource;
 use fc_core::signature::SignatureKind;
 use fc_core::{
-    AbRecommender, AllocationStrategy, EngineConfig, FaultPlan, HotspotBlend, HotspotConfig,
-    PredictionEngine, RetryPolicy, SbConfig, SbRecommender,
+    AbRecommender, AllocationStrategy, BurstConfig, EngineConfig, FaultPlan, HotspotBlend,
+    HotspotConfig, PredictionEngine, RetryPolicy, SbConfig, SbRecommender,
 };
 use fc_sim::multiuser::{
     hotspot_workload, run_multi_dataset, run_multi_user, synthetic_workload, CacheImpl,
     MultiDatasetConfig, MultiUserConfig, NamespaceReport,
 };
+use fc_sim::zoo::{self, run_zoo_shared, ZooAbConfig, ZooReport, ZOO_NAMES};
 use fc_sim::{assert_invariants, run_chaos, ChaosConfig, ChaosReport};
 use fc_tiles::{Geometry, Move, Pyramid, PyramidBuilder, PyramidConfig};
 use std::fmt::Write as _;
@@ -209,6 +218,80 @@ const FAULT_SESSIONS: usize = 8;
 const FAULT_STEPS: usize = 256;
 const FAULT_SEED: u64 = 7;
 
+/// Workload-zoo A/B shape (part 4). The cache is deliberately tight —
+/// 16 tiles of communal capacity per session against a 341-tile
+/// pyramid — because the scheduler's whole effect is *residency under
+/// churn*: with a roomy cache both legs trivially hit and the A/B
+/// measures nothing.
+const ZOO_SESSIONS: usize = 4;
+const ZOO_STEPS: usize = 256;
+const ZOO_CAPACITY: usize = 64;
+const ZOO_SHARDS: usize = 4;
+const ZOO_K: usize = 4;
+const ZOO_SEED: u64 = 77;
+
+/// One zoo workload's off/on pair.
+struct ZooDelta {
+    name: &'static str,
+    off: ZooReport,
+    on: ZooReport,
+}
+
+/// A small pyramid for the zoo A/B (the part-1 pyramid's 5460 tiles
+/// would need thousands of tiles of cache to reach the same pressure).
+fn zoo_pyramid() -> Arc<Pyramid> {
+    let side = 256;
+    let schema = fc_array::Schema::grid2d("ZOO", side, side, &["v"]).expect("schema");
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i as f64 * 0.13).sin().abs() + (i % side) as f64 / side as f64) / 2.0)
+        .collect();
+    let base = fc_array::DenseArray::from_vec(schema, data).expect("base");
+    let p = Arc::new(
+        PyramidBuilder::new()
+            .build(&base, &PyramidConfig::simple(4, 16, &["v"]))
+            .expect("pyramid"),
+    );
+    for id in p.geometry().all_tiles() {
+        let mut h = [0.0f64; 8];
+        h[(id.x as usize)
+            .wrapping_mul(7)
+            .wrapping_add(id.y as usize * 3)
+            % 8] = 0.7;
+        h[(id.level as usize + id.x as usize) % 8] += 0.3;
+        p.store()
+            .put_meta(id, SignatureKind::Hist1D.meta_name(), h.to_vec());
+    }
+    p
+}
+
+/// Runs every named zoo workload through the deterministic lockstep
+/// harness with the burst scheduler off, then on.
+fn run_zoo_ab(steps: usize) -> Vec<ZooDelta> {
+    let p = zoo_pyramid();
+    let g = p.geometry();
+    ZOO_NAMES
+        .iter()
+        .map(|&name| {
+            let workloads = zoo::crowd(name, g, steps, ZOO_SESSIONS, ZOO_SEED);
+            let mk = |burst| ZooAbConfig {
+                cache_capacity: ZOO_CAPACITY,
+                shards: ZOO_SHARDS,
+                k: ZOO_K,
+                burst,
+                ..ZooAbConfig::default()
+            };
+            let off = run_zoo_shared(&p, || engine(g), &workloads, &mk(None));
+            let on = run_zoo_shared(
+                &p,
+                || engine(g),
+                &workloads,
+                &mk(Some(BurstConfig::default())),
+            );
+            ZooDelta { name, off, on }
+        })
+        .collect()
+}
+
 /// Replays `sessions × steps` of the synthetic workload under `plan`
 /// through the fallible fetch path, window `[from, until)`.
 fn run_fault_arm(
@@ -233,6 +316,8 @@ fn run_fault_arm(
         plan: Arc::new(plan),
         retry: RetryPolicy::default(),
         fault_window: window,
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(p, factory, &traces, &cfg);
     assert_invariants(&r);
@@ -377,6 +462,10 @@ fn main() {
         window,
     );
 
+    // Part 4: the workload-zoo scheduler A/B.
+    let zoo_steps = if smoke { 32 } else { ZOO_STEPS };
+    let zoo_deltas = run_zoo_ab(zoo_steps);
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"multiuser\",\n");
     let _ = writeln!(
@@ -437,7 +526,37 @@ fn main() {
     );
     let _ = writeln!(json, "    \"quiet\": {},", fault_arm_json(&quiet));
     let _ = writeln!(json, "    \"brownout\": {}", fault_arm_json(&brownout));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"workload_zoo\": {{\n    \"sessions\": {ZOO_SESSIONS}, \"steps_per_session\": {zoo_steps}, \"capacity\": {ZOO_CAPACITY}, \"shards\": {ZOO_SHARDS}, \"k\": {ZOO_K}, \"seed\": {ZOO_SEED},",
+    );
+    json.push_str("    \"workloads\": [\n");
+    for (i, d) in zoo_deltas.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workload\": \"{}\", \"hit_rate_off\": {:.3}, \"hit_rate_on\": {:.3}, \"hit_rate_delta\": {:.3}, \"prefetch_efficiency_off\": {:.3}, \"prefetch_efficiency_on\": {:.3}, \"prefetch_issued_off\": {}, \"prefetch_issued_on\": {}, \"prefetch_used_off\": {}, \"prefetch_used_on\": {}, \"phase_occupancy_on\": [{}, {}, {}]}}",
+            d.name,
+            d.off.hit_rate,
+            d.on.hit_rate,
+            d.on.hit_rate - d.off.hit_rate,
+            d.off.prefetch_efficiency,
+            d.on.prefetch_efficiency,
+            d.off.prefetch_issued,
+            d.on.prefetch_issued,
+            d.off.prefetch_used,
+            d.on.prefetch_used,
+            d.on.per_traffic[0],
+            d.on.per_traffic[1],
+            d.on.per_traffic[2],
+        );
+        json.push_str(if i + 1 < zoo_deltas.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
     if !smoke {
         std::fs::write("BENCH_multiuser.json", &json).expect("write BENCH_multiuser.json");
     }
@@ -523,6 +642,36 @@ fn main() {
             r.after.hit_rate(),
             r.latency_p50.as_nanos() as f64 / 1e3,
             r.latency_p99.as_nanos() as f64 / 1e3,
+        );
+    }
+    println!();
+    println!("# workload zoo — burst scheduler off -> on ({ZOO_SESSIONS} sessions, {zoo_steps} steps, capacity {ZOO_CAPACITY})");
+    println!(
+        "{:<18} {:>8} {:>8} {:>7} {:>8} {:>8} {:>10} {:>10} {:>22}",
+        "workload",
+        "hit-off",
+        "hit-on",
+        "delta",
+        "eff-off",
+        "eff-on",
+        "issue-off",
+        "issue-on",
+        "phase burst/dwell/idle"
+    );
+    for d in &zoo_deltas {
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>+7.3} {:>8.3} {:>8.3} {:>10} {:>10} {:>10}/{}/{}",
+            d.name,
+            d.off.hit_rate,
+            d.on.hit_rate,
+            d.on.hit_rate - d.off.hit_rate,
+            d.off.prefetch_efficiency,
+            d.on.prefetch_efficiency,
+            d.off.prefetch_issued,
+            d.on.prefetch_issued,
+            d.on.per_traffic[0],
+            d.on.per_traffic[1],
+            d.on.per_traffic[2],
         );
     }
     println!();

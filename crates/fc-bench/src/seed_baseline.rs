@@ -935,11 +935,15 @@ pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
             requests,
             hits,
             avg_latency_ns,
+            prefetch_issued,
+            prefetch_used,
         } => {
             body.put_u8(2);
             body.put_u64_le(*requests);
             body.put_u64_le(*hits);
             body.put_u64_le(*avg_latency_ns);
+            body.put_u64_le(*prefetch_issued);
+            body.put_u64_le(*prefetch_used);
         }
         ServerMsg::Error { code, reason } => {
             body.put_u8(3);
@@ -1018,13 +1022,15 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
             })
         }
         2 => {
-            if body.remaining() < 24 {
+            if body.remaining() < 40 {
                 return Err(seed_bad("truncated Stats"));
             }
             Ok(ServerMsg::Stats {
                 requests: body.get_u64_le(),
                 hits: body.get_u64_le(),
                 avg_latency_ns: body.get_u64_le(),
+                prefetch_issued: body.get_u64_le(),
+                prefetch_used: body.get_u64_le(),
             })
         }
         3 => {

@@ -106,6 +106,8 @@ fn sample_messages() -> Vec<ServerMsg> {
             requests: u64::MAX,
             hits: 0,
             avg_latency_ns: 123,
+            prefetch_issued: 17,
+            prefetch_used: 9,
         },
         ServerMsg::Error {
             code: fc_server::ErrorCode::NoSuchTile,

@@ -1,0 +1,357 @@
+//! Burst-aware traffic-phase classification and the counter-cyclical
+//! prefetch budget policy.
+//!
+//! Real exploration traffic does not arrive at the uniform cadence the
+//! paper's replay harness uses: requests come in **bursts** (a pan
+//! sprint, a zoom dive) separated by **dwell** (the analyst studies
+//! what just rendered) and, eventually, **idle** (they walked away).
+//! The xearthlayer tile-prefetch design doc makes the same observation
+//! for flight-simulator scenery — "loading occurs in bursts, followed
+//! by quiet periods" — and prescribes the counter-cyclical policy this
+//! module implements: stay out of the way while the user is actively
+//! loading, and spend the speculative budget in the quiet windows.
+//!
+//! [`BurstTracker`] is a three-state Schmitt trigger over the
+//! inter-request gaps of one session's timeline. Each boundary has two
+//! thresholds (an *enter* and an *exit* gap), so a gap inside the
+//! hysteresis band keeps the current phase: a single hesitation
+//! mid-sprint cannot flap burst→dwell→burst, and a single quick
+//! double-request during analysis cannot flap the other way. The
+//! classification is a pure function of the gap sequence — same trace,
+//! same phases, on any host and at any SIMD dispatch level.
+//!
+//! [`BurstConfig`] carries the thresholds plus the budget policy the
+//! middleware applies per phase:
+//!
+//! * **burst** — reactive-only: at most [`BurstConfig::burst_budget`]
+//!   speculative tiles (default 0), so prefetch I/O never competes
+//!   with the user's own misses for backend budget;
+//! * **dwell** — deep speculative run: the per-request budget `k` is
+//!   multiplied by [`BurstConfig::dwell_boost`], the engine's
+//!   candidate horizon widens to [`BurstConfig::dwell_distance`], the
+//!   current pan run is extrapolated [`BurstConfig::dwell_depth`]
+//!   steps ahead, and up to [`BurstConfig::dwell_hotspots`] communal
+//!   hotspot tiles ride along;
+//! * **idle** — a bounded keep-warm trickle of
+//!   [`BurstConfig::idle_trickle`] tiles per request.
+//!
+//! Everything is gated behind `EngineConfig::burst: Option<BurstConfig>`
+//! defaulting to `None`, which keeps the middleware byte-for-byte the
+//! pre-scheduler code (golden-pinned in `fc-sim/tests/golden_burst.rs`).
+
+use std::time::Duration;
+
+/// One session's traffic phase, classified from inter-request gaps.
+///
+/// Distinct from the *analysis* phase ([`crate::Phase`]): that one
+/// describes what the analyst is doing with the data (foraging /
+/// navigation / sensemaking); this one describes how their requests
+/// arrive in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficPhase {
+    /// Requests arriving back-to-back (a pan sprint, a zoom dive).
+    Burst,
+    /// The analyst is studying the current view; the next burst is
+    /// seconds away — the window deep speculation pays off in.
+    Dwell,
+    /// The session has gone quiet for a long stretch.
+    Idle,
+}
+
+impl TrafficPhase {
+    /// Stable index (0, 1, 2) for stats arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficPhase::Burst => 0,
+            TrafficPhase::Dwell => 1,
+            TrafficPhase::Idle => 2,
+        }
+    }
+
+    /// Inverse of [`TrafficPhase::index`].
+    pub fn from_index(i: usize) -> Option<TrafficPhase> {
+        match i {
+            0 => Some(TrafficPhase::Burst),
+            1 => Some(TrafficPhase::Dwell),
+            2 => Some(TrafficPhase::Idle),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name (bench JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficPhase::Burst => "burst",
+            TrafficPhase::Dwell => "dwell",
+            TrafficPhase::Idle => "idle",
+        }
+    }
+
+    /// All phases, in [`TrafficPhase::index`] order.
+    pub const ALL: [TrafficPhase; 3] =
+        [TrafficPhase::Burst, TrafficPhase::Dwell, TrafficPhase::Idle];
+}
+
+/// Thresholds of the phase state machine plus the counter-cyclical
+/// budget policy. See the module docs for the semantics of each knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstConfig {
+    /// A gap at or below this (re-)enters **burst** from any phase.
+    pub burst_enter: Duration,
+    /// A gap above this leaves **burst**; gaps in
+    /// `(burst_enter, burst_exit]` are the hysteresis band and keep
+    /// the current phase.
+    pub burst_exit: Duration,
+    /// A gap below this leaves **idle**; gaps in
+    /// `[idle_exit, idle_enter)` keep the current phase.
+    pub idle_exit: Duration,
+    /// A gap at or above this enters **idle** from any phase.
+    pub idle_enter: Duration,
+    /// Speculative budget while bursting (default 0: reactive-only).
+    pub burst_budget: usize,
+    /// Multiplier on the per-request budget `k` during dwell.
+    pub dwell_boost: usize,
+    /// Engine candidate horizon (prediction distance) during dwell.
+    pub dwell_distance: usize,
+    /// Steps the current pan run is extrapolated ahead during dwell.
+    pub dwell_depth: usize,
+    /// Communal hotspot tiles appended to a dwell run (shared mode
+    /// with a hotspot model only).
+    pub dwell_hotspots: usize,
+    /// Recent distinct tiles re-pinned (and re-fetched if evicted)
+    /// during dwell — the keep-warm half of the dwell plan. It leads
+    /// the plan unless the dwell move repeats the previous one (only
+    /// a same-direction pan run has confirmed momentum; any turn,
+    /// reversal, or zoom is a pivot whose retrace path *is* the
+    /// recent set); behind a live run it rides second.
+    pub dwell_keep_warm: usize,
+    /// Keep-warm budget per request while idle.
+    pub idle_trickle: usize,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            burst_enter: Duration::from_millis(200),
+            burst_exit: Duration::from_millis(500),
+            idle_exit: Duration::from_secs(10),
+            idle_enter: Duration::from_secs(30),
+            burst_budget: 0,
+            dwell_boost: 2,
+            dwell_distance: 2,
+            dwell_depth: 8,
+            dwell_hotspots: 2,
+            dwell_keep_warm: 8,
+            idle_trickle: 1,
+        }
+    }
+}
+
+impl BurstConfig {
+    /// Whether the four thresholds are consistently ordered
+    /// (`burst_enter ≤ burst_exit ≤ idle_exit ≤ idle_enter`). The
+    /// tracker asserts this at construction: a crossed band would make
+    /// one gap qualify for two phases at once.
+    pub fn thresholds_ordered(&self) -> bool {
+        self.burst_enter <= self.burst_exit
+            && self.burst_exit <= self.idle_exit
+            && self.idle_exit <= self.idle_enter
+    }
+
+    /// The speculative prefetch budget for one request: the
+    /// counter-cyclical schedule applied to the session's configured
+    /// budget `k`.
+    pub fn speculative_budget(&self, phase: TrafficPhase, k: usize) -> usize {
+        match phase {
+            TrafficPhase::Burst => self.burst_budget.min(k),
+            TrafficPhase::Dwell => k.saturating_mul(self.dwell_boost.max(1)),
+            TrafficPhase::Idle => self.idle_trickle.min(k),
+        }
+    }
+}
+
+/// The deterministic three-state hysteresis classifier. Feed it each
+/// request's gap since the previous request ([`BurstTracker::observe`])
+/// and read the phase it settles on.
+#[derive(Debug, Clone)]
+pub struct BurstTracker {
+    cfg: BurstConfig,
+    phase: TrafficPhase,
+    observed: u64,
+    transitions: u64,
+}
+
+impl BurstTracker {
+    /// A tracker in its initial state. A session's first request opens
+    /// a loading burst (there is no gap to classify yet), so the
+    /// tracker starts in [`TrafficPhase::Burst`].
+    ///
+    /// # Panics
+    /// If the config's thresholds are not ordered
+    /// ([`BurstConfig::thresholds_ordered`]).
+    pub fn new(cfg: BurstConfig) -> Self {
+        assert!(
+            cfg.thresholds_ordered(),
+            "burst thresholds must be ordered: {cfg:?}"
+        );
+        Self {
+            cfg,
+            phase: TrafficPhase::Burst,
+            observed: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Classifies one request. `gap` is the time since the previous
+    /// request on this session's timeline (`None` for the first
+    /// request, which keeps the initial phase). Returns the phase the
+    /// request is served under.
+    pub fn observe(&mut self, gap: Option<Duration>) -> TrafficPhase {
+        self.observed += 1;
+        let Some(gap) = gap else {
+            return self.phase;
+        };
+        let cfg = &self.cfg;
+        let next = match self.phase {
+            TrafficPhase::Burst => {
+                if gap <= cfg.burst_exit {
+                    TrafficPhase::Burst
+                } else if gap >= cfg.idle_enter {
+                    TrafficPhase::Idle
+                } else {
+                    TrafficPhase::Dwell
+                }
+            }
+            TrafficPhase::Dwell => {
+                if gap <= cfg.burst_enter {
+                    TrafficPhase::Burst
+                } else if gap >= cfg.idle_enter {
+                    TrafficPhase::Idle
+                } else {
+                    TrafficPhase::Dwell
+                }
+            }
+            TrafficPhase::Idle => {
+                if gap >= cfg.idle_exit {
+                    TrafficPhase::Idle
+                } else if gap <= cfg.burst_enter {
+                    TrafficPhase::Burst
+                } else {
+                    TrafficPhase::Dwell
+                }
+            }
+        };
+        if next != self.phase {
+            self.transitions += 1;
+            self.phase = next;
+        }
+        self.phase
+    }
+
+    /// The current phase (the last [`BurstTracker::observe`] verdict).
+    pub fn phase(&self) -> TrafficPhase {
+        self.phase
+    }
+
+    /// Requests observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Phase transitions so far (a flapping classifier shows here).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The thresholds and policy this tracker runs under.
+    pub fn config(&self) -> &BurstConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn starts_in_burst_and_first_request_keeps_it() {
+        let mut t = BurstTracker::new(BurstConfig::default());
+        assert_eq!(t.phase(), TrafficPhase::Burst);
+        assert_eq!(t.observe(None), TrafficPhase::Burst);
+        assert_eq!(t.transitions(), 0);
+    }
+
+    #[test]
+    fn classifies_the_three_regimes() {
+        let mut t = BurstTracker::new(BurstConfig::default());
+        t.observe(None);
+        assert_eq!(t.observe(Some(ms(50))), TrafficPhase::Burst);
+        assert_eq!(t.observe(Some(ms(2_000))), TrafficPhase::Dwell);
+        assert_eq!(t.observe(Some(ms(60_000))), TrafficPhase::Idle);
+        assert_eq!(t.observe(Some(ms(50))), TrafficPhase::Burst);
+        assert_eq!(t.transitions(), 3);
+    }
+
+    #[test]
+    fn hysteresis_band_never_flaps() {
+        let cfg = BurstConfig::default();
+        // Gaps inside (burst_enter, burst_exit]: from Burst they stay
+        // Burst, and once in Dwell they stay Dwell.
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        assert_eq!(t.observe(Some(ms(300))), TrafficPhase::Burst);
+        assert_eq!(t.observe(Some(ms(450))), TrafficPhase::Burst);
+        assert_eq!(t.observe(Some(ms(2_000))), TrafficPhase::Dwell);
+        assert_eq!(t.observe(Some(ms(300))), TrafficPhase::Dwell);
+        assert_eq!(t.observe(Some(ms(450))), TrafficPhase::Dwell);
+        assert_eq!(t.transitions(), 1, "band gaps caused no transitions");
+    }
+
+    #[test]
+    fn idle_band_holds_both_ways() {
+        let cfg = BurstConfig::default();
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        t.observe(Some(ms(2_000))); // Dwell
+        assert_eq!(t.observe(Some(ms(15_000))), TrafficPhase::Dwell);
+        assert_eq!(t.observe(Some(ms(40_000))), TrafficPhase::Idle);
+        assert_eq!(t.observe(Some(ms(15_000))), TrafficPhase::Idle);
+        assert_eq!(t.observe(Some(ms(2_000))), TrafficPhase::Dwell);
+    }
+
+    #[test]
+    fn budget_schedule_is_counter_cyclical() {
+        let cfg = BurstConfig::default();
+        assert_eq!(cfg.speculative_budget(TrafficPhase::Burst, 4), 0);
+        assert_eq!(cfg.speculative_budget(TrafficPhase::Dwell, 4), 8);
+        assert_eq!(cfg.speculative_budget(TrafficPhase::Idle, 4), 1);
+        // Zero k stays zero everywhere.
+        for p in TrafficPhase::ALL {
+            assert_eq!(cfg.speculative_budget(p, 0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn crossed_thresholds_are_rejected() {
+        let cfg = BurstConfig {
+            burst_enter: ms(500),
+            burst_exit: ms(200),
+            ..BurstConfig::default()
+        };
+        let _ = BurstTracker::new(cfg);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for p in TrafficPhase::ALL {
+            assert_eq!(TrafficPhase::from_index(p.index()), Some(p));
+            assert!(!p.name().is_empty());
+        }
+        assert_eq!(TrafficPhase::from_index(3), None);
+    }
+}

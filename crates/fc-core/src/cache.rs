@@ -130,6 +130,24 @@ impl CacheManager {
         }
     }
 
+    /// Like [`CacheManager::install_prefetch`], but tiles named in
+    /// `keep` that are already in the old prefetch set survive the
+    /// replacement (without being re-counted as new installs). The
+    /// burst scheduler's dwell-time deep runs install through this so
+    /// a still-predicted tile fetched on an earlier cycle stays
+    /// resident until the burst that wants it arrives — the
+    /// private-mode analog of the shared cache's hold set.
+    pub fn install_prefetch_keeping(&mut self, tiles: Vec<Arc<Tile>>, keep: &[TileId]) {
+        let kept: Vec<Arc<Tile>> = keep
+            .iter()
+            .filter_map(|id| self.prefetch.get(id).cloned())
+            .collect();
+        self.install_prefetch(tiles);
+        for t in kept {
+            self.prefetch.entry(t.id).or_insert(t);
+        }
+    }
+
     /// Tile count currently resident (history + prefetch, counting
     /// overlaps once).
     pub fn len(&self) -> usize {

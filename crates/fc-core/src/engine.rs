@@ -36,6 +36,12 @@ pub struct EngineConfig {
     /// — and every predict call without a prior — keeps prediction
     /// bit-identical to the paper engine.
     pub hotspot: Option<HotspotBlend>,
+    /// Burst-aware prefetch scheduling: when set, the middleware
+    /// classifies the session's traffic phase (burst / dwell / idle)
+    /// from inter-request gaps and spends the prefetch budget
+    /// counter-cyclically (see [`crate::burst`]). `None` (the default)
+    /// keeps the middleware byte-for-byte the uniform-budget code.
+    pub burst: Option<crate::burst::BurstConfig>,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +51,7 @@ impl Default for EngineConfig {
             distance: 1,
             strategy: AllocationStrategy::Updated,
             hotspot: None,
+            burst: None,
         }
     }
 }
@@ -159,7 +166,25 @@ impl PredictionEngine {
         k: usize,
         hotspots: &[(TileId, u64)],
     ) -> Vec<TileId> {
-        self.predict_inner(store, self.current_phase(), k, None, hotspots)
+        let d = self.config.distance;
+        self.predict_inner(store, self.current_phase(), k, None, hotspots, d)
+    }
+
+    /// [`Self::predict_with_prior`] with a widened candidate horizon:
+    /// candidates come from `distance` moves ahead instead of the
+    /// configured [`EngineConfig::distance`]. The burst scheduler's
+    /// dwell-time deep runs use this — the analyst is studying the
+    /// current view, so there is time to rank (and prefetch) a larger
+    /// neighbourhood. `distance` equal to the configured one reduces
+    /// to [`Self::predict_with_prior`] exactly.
+    pub fn predict_deep_with_prior(
+        &mut self,
+        store: &TileStore,
+        k: usize,
+        hotspots: &[(TileId, u64)],
+        distance: usize,
+    ) -> Vec<TileId> {
+        self.predict_inner(store, self.current_phase(), k, None, hotspots, distance)
     }
 
     /// Refreshes the cached frozen signature index. Steady state (same
@@ -203,7 +228,8 @@ impl PredictionEngine {
     /// Predicts with an externally supplied phase (used when evaluating
     /// the bottom level against hand-labeled phases, §5.4.2).
     pub fn predict_with_phase(&mut self, store: &TileStore, phase: Phase, k: usize) -> Vec<TileId> {
-        self.predict_inner(store, phase, k, None, &[])
+        let d = self.config.distance;
+        self.predict_inner(store, phase, k, None, &[], d)
     }
 
     /// Like [`Self::predict`], but the SB ranking is computed through
@@ -219,7 +245,8 @@ impl PredictionEngine {
         store: &TileStore,
         k: usize,
     ) -> Vec<TileId> {
-        self.predict_inner(store, self.current_phase(), k, Some(scheduler), &[])
+        let d = self.config.distance;
+        self.predict_inner(store, self.current_phase(), k, Some(scheduler), &[], d)
     }
 
     /// [`Self::predict_batched`] with a cross-session hotspot prior
@@ -231,7 +258,28 @@ impl PredictionEngine {
         k: usize,
         hotspots: &[(TileId, u64)],
     ) -> Vec<TileId> {
-        self.predict_inner(store, self.current_phase(), k, Some(scheduler), hotspots)
+        let d = self.config.distance;
+        self.predict_inner(store, self.current_phase(), k, Some(scheduler), hotspots, d)
+    }
+
+    /// [`Self::predict_batched_with_prior`] with a widened candidate
+    /// horizon (see [`Self::predict_deep_with_prior`]).
+    pub fn predict_batched_deep_with_prior(
+        &mut self,
+        scheduler: &crate::batch::PredictScheduler,
+        store: &TileStore,
+        k: usize,
+        hotspots: &[(TileId, u64)],
+        distance: usize,
+    ) -> Vec<TileId> {
+        self.predict_inner(
+            store,
+            self.current_phase(),
+            k,
+            Some(scheduler),
+            hotspots,
+            distance,
+        )
     }
 
     /// [`Self::predict_with_phase`] through the shared scheduler.
@@ -242,7 +290,8 @@ impl PredictionEngine {
         phase: Phase,
         k: usize,
     ) -> Vec<TileId> {
-        self.predict_inner(store, phase, k, Some(scheduler), &[])
+        let d = self.config.distance;
+        self.predict_inner(store, phase, k, Some(scheduler), &[], d)
     }
 
     fn predict_inner(
@@ -252,6 +301,7 @@ impl PredictionEngine {
         k: usize,
         scheduler: Option<&crate::batch::PredictScheduler>,
         hotspots: &[(TileId, u64)],
+        distance: usize,
     ) -> Vec<TileId> {
         let Some(last) = self.history.last() else {
             return Vec::new();
@@ -266,7 +316,7 @@ impl PredictionEngine {
                 self.ensure_pair_cache(ix);
             }
         }
-        let candidates = self.geometry.candidates(last.tile, self.config.distance);
+        let candidates = self.geometry.candidates(last.tile, distance);
         let ctx = PredictionContext {
             request: last,
             history: &self.history,

@@ -37,6 +37,7 @@ pub mod ab;
 pub mod alloc;
 pub mod baselines;
 pub mod batch;
+pub mod burst;
 pub mod cache;
 pub mod engine;
 pub mod fault;
@@ -56,6 +57,7 @@ pub use ab::AbRecommender;
 pub use alloc::{boost_toward_hotspots, AllocationStrategy, HotspotBlend};
 pub use baselines::{HotspotRecommender, MomentumRecommender};
 pub use batch::{BatchConfig, PredictScheduler, SchedulerStats};
+pub use burst::{BurstConfig, BurstTracker, TrafficPhase};
 pub use cache::{CacheManager, CacheStats};
 pub use engine::{EngineConfig, PredictionEngine};
 pub use fault::{

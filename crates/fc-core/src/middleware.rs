@@ -9,6 +9,7 @@
 //!    top-k tiles into the cache for the *next* request.
 
 use crate::batch::PredictScheduler;
+use crate::burst::{BurstConfig, BurstTracker, TrafficPhase};
 use crate::cache::{CacheManager, CacheStats};
 use crate::engine::PredictionEngine;
 use crate::fault::{FaultKind, FaultPlan, FetchError, RetryPolicy};
@@ -21,6 +22,7 @@ use crate::paircache::PairCacheStats;
 use crate::phase::Phase;
 use fc_tiles::{Pyramid, Tile, TileId, TileStore};
 use rayon::prelude::*;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,11 @@ pub struct Response {
     /// Backend retries the primary fetch needed (0 on the fault-free
     /// path and on cache hits).
     pub fetch_retries: u32,
+    /// The traffic phase this request was served under (burst / dwell
+    /// / idle), classified from the session's inter-request gap.
+    /// `None` unless burst-aware scheduling is on
+    /// ([`crate::burst::BurstConfig`]).
+    pub traffic: Option<TrafficPhase>,
 }
 
 /// A session's membership in the multi-user serving layer: its slot in
@@ -161,6 +168,18 @@ pub struct MiddlewareStats {
     /// Requests that failed outright — fetch error with no resident
     /// ancestor to degrade to. **Not** counted in `requests`.
     pub fetch_failures: usize,
+    /// Requests per traffic phase, indexed by
+    /// [`TrafficPhase::index`]. All zero unless burst-aware
+    /// scheduling is on.
+    pub per_traffic: [usize; 3],
+    /// Speculative (prefetch) tiles this session fetched from the
+    /// backend, over the session. Tracked whether or not burst-aware
+    /// scheduling is on — it is the denominator of the
+    /// prefetch-efficiency A/B.
+    pub prefetch_issued: usize,
+    /// Prefetched tiles later served to this session as cache hits —
+    /// the *useful* prefetches.
+    pub prefetch_used: usize,
 }
 
 impl MiddlewareStats {
@@ -181,6 +200,17 @@ impl MiddlewareStats {
             self.hits as f64 / self.requests as f64
         }
     }
+
+    /// Useful-prefetch ratio in `[0, 1]`: the fraction of speculative
+    /// fetches this session later consumed as cache hits. Zero when
+    /// nothing was prefetched.
+    pub fn prefetch_efficiency(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_used as f64 / self.prefetch_issued as f64
+        }
+    }
 }
 
 /// The middleware layer for one user session.
@@ -199,6 +229,76 @@ pub struct Middleware {
     /// Fault injection (chaos runs only): `None` keeps the fetch path
     /// byte-for-byte the fault-free code.
     faults: Option<FaultInjector>,
+    /// Burst-aware prefetch scheduling: `None` (the default) keeps
+    /// the predict/prefetch path byte-for-byte the uniform-budget
+    /// code.
+    burst: Option<BurstState>,
+    /// Tiles this session prefetched that have not been requested
+    /// yet — the outstanding speculation `prefetch_used` is settled
+    /// against. Tracked unconditionally (it never changes behavior).
+    speculative: HashSet<TileId>,
+    /// The last dwell plan (burst-on, shared mode): the hold set the
+    /// session keeps pinned while it rides a burst reactively. Kept
+    /// to the session's fair budget slice so four planning sessions
+    /// can never pin more than the communal capacity between them.
+    dwell_plan: Vec<TileId>,
+    /// The previous request's interface move — the momentum signal
+    /// the dwell planner checks: a dwell move that repeats it (same
+    /// pan, same direction) is a live run, anything else is a pivot.
+    /// Tracked unconditionally; read only when burst-aware scheduling
+    /// is on.
+    last_move: Option<fc_tiles::Move>,
+    /// The session's recent distinct requests, most recent first —
+    /// the keep-warm candidate set the dwell planner re-pins (and
+    /// re-fetches if evicted). Tracked unconditionally; read only
+    /// when burst-aware scheduling is on.
+    recent: VecDeque<TileId>,
+}
+
+/// Cap on the [`Middleware::recent`] ring. Bounds the bookkeeping,
+/// not the plan: the per-plan keep-warm budget is
+/// [`BurstConfig::dwell_keep_warm`].
+const RECENT_RING: usize = 32;
+
+/// The session's burst-scheduling state: the phase tracker plus the
+/// session-local timeline its gaps are measured on.
+///
+/// The timeline advances by each served request's user-visible latency
+/// and by explicit [`Middleware::note_idle`] charges (the replay
+/// harness's think time) — the same nanoseconds the shared `SimClock`
+/// accounts, but private to the session, so a co-resident session's
+/// backend charges can never bleed into this session's gap
+/// classification and multi-session replays stay deterministic.
+struct BurstState {
+    cfg: BurstConfig,
+    tracker: BurstTracker,
+    /// Session-local timeline reading.
+    now: Duration,
+    /// Timeline reading when the previous request finished.
+    last_done: Option<Duration>,
+}
+
+impl BurstState {
+    fn new(cfg: BurstConfig) -> Self {
+        Self {
+            cfg,
+            tracker: BurstTracker::new(cfg),
+            now: Duration::ZERO,
+            last_done: None,
+        }
+    }
+
+    /// Classifies the request arriving now.
+    fn classify(&mut self) -> TrafficPhase {
+        let gap = self.last_done.map(|at| self.now.saturating_sub(at));
+        self.tracker.observe(gap)
+    }
+
+    /// Books a finished request that took `latency`.
+    fn finish(&mut self, latency: Duration) {
+        self.now += latency;
+        self.last_done = Some(self.now);
+    }
 }
 
 /// The session's attachment to a fault plan: the shared plan, the
@@ -241,6 +341,7 @@ impl Middleware {
         history_cache: usize,
         k: usize,
     ) -> Self {
+        let burst = engine.config().burst.map(BurstState::new);
         Self {
             engine,
             cache: CacheManager::new(history_cache),
@@ -250,6 +351,35 @@ impl Middleware {
             stats: MiddlewareStats::default(),
             shared: None,
             faults: None,
+            burst,
+            speculative: HashSet::new(),
+            dwell_plan: Vec::new(),
+            last_move: None,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Attaches (or detaches) burst-aware prefetch scheduling after
+    /// construction — how the drivers flip the scheduler on for an A/B
+    /// measurement. Resets the phase tracker and the session timeline.
+    pub fn set_burst(&mut self, cfg: Option<BurstConfig>) {
+        self.burst = cfg.map(BurstState::new);
+        self.dwell_plan.clear();
+    }
+
+    /// The session's current traffic phase (`None` when burst-aware
+    /// scheduling is off).
+    pub fn traffic_phase(&self) -> Option<TrafficPhase> {
+        self.burst.as_ref().map(|b| b.tracker.phase())
+    }
+
+    /// Advances the session's burst timeline by `d` of user think
+    /// time: the replay harness's way of saying "the analyst sat on
+    /// the current view for `d` before the next request". A no-op
+    /// when burst-aware scheduling is off.
+    pub fn note_idle(&mut self, d: Duration) {
+        if let Some(b) = self.burst.as_mut() {
+            b.now += d;
         }
     }
 
@@ -347,6 +477,14 @@ impl Middleware {
             f.request_index += 1;
             (f.plan.clone(), f.retry, idx)
         });
+        // Burst scheduling: classify this request's traffic phase from
+        // the gap on the session's timeline since the last request
+        // finished (None with the scheduler off).
+        let traffic = self.burst.as_mut().map(BurstState::classify);
+        // Settle outstanding speculation: if this tile was one of our
+        // prefetches, the request decides whether it was useful (it
+        // must still be resident to count).
+        let was_speculative = self.speculative.remove(&id);
         // 1. Serve the tile: private cache, then the shared cache
         // (another session may have prefetched it — the §6.2 sharing
         // benefit), then the backend. The private probe is uncounted:
@@ -394,9 +532,17 @@ impl Middleware {
                             // I/O); with nothing resident, fail the
                             // request cleanly.
                             return match self.resident_ancestor(id) {
-                                Some(anc) => Ok(Some(self.serve_degraded(id, mv, anc, &fail))),
+                                Some(anc) => {
+                                    Ok(Some(self.serve_degraded(id, mv, anc, &fail, traffic)))
+                                }
                                 None => {
                                     self.stats.fetch_failures += 1;
+                                    // The user still waited out the
+                                    // failed fetch on the session
+                                    // timeline.
+                                    if let Some(b) = self.burst.as_mut() {
+                                        b.finish(fail.waited);
+                                    }
                                     Err(fail.error)
                                 }
                             };
@@ -417,6 +563,28 @@ impl Middleware {
         // The cross-session hotspot prior (when the handle carries a
         // model) is read through the epoch-cached view; the engine
         // applies it only if its config opts in for this phase.
+        // Burst scheduling spends the budget counter-cyclically:
+        // reactive-only during bursts (the speculative budget drops to
+        // `burst_budget`, default 0 — prefetch I/O must not compete
+        // with the user's own misses), a deep speculative run during
+        // dwell (boosted budget, widened candidate horizon, multi-step
+        // run extrapolation, hotspot riders), and a keep-warm trickle
+        // when idle. With the scheduler off (`traffic` None) every
+        // value below reduces to today's uniform budget.
+        let (eff_k, dwell) = match (traffic, self.burst.as_ref()) {
+            (Some(tp), Some(b)) => (
+                b.cfg.speculative_budget(tp, self.k),
+                (tp == TrafficPhase::Dwell).then_some(b.cfg),
+            ),
+            _ => (self.k, None),
+        };
+        let reactive_only = matches!(traffic, Some(TrafficPhase::Burst)) && eff_k == 0;
+        // Idle keep-warm: the trickle maintains the analyst's working
+        // set, it does not speculate — the plan is the recent ring,
+        // the engine stays off the idle path entirely.
+        let idle_warm = matches!(traffic, Some(TrafficPhase::Idle))
+            .then(|| self.burst.as_ref().map(|b| b.cfg))
+            .flatten();
         let predict_start = Instant::now();
         let scheduler = self.shared.as_ref().and_then(|sh| sh.scheduler.clone());
         let prior = self
@@ -428,15 +596,143 @@ impl Middleware {
             Some(sched) => sched.pair_cache_stats(),
             None => self.engine.pair_cache_stats(),
         };
-        let predictions = match &scheduler {
-            Some(sched) => {
-                self.engine
-                    .predict_batched_with_prior(sched, self.pyramid.store(), self.k, prior)
+        let mut predictions = if reactive_only {
+            // Reactive-only: no speculation at all this cycle — the
+            // prediction engine is not even consulted, so its cost
+            // (and any batch rendezvous) stays off the burst path.
+            Vec::new()
+        } else if let Some(cfg) = idle_warm {
+            // Keep-warm plan: the recent distinct tiles, most recent
+            // first. Resident ones stay pinned; at most `idle_trickle`
+            // evicted ones are re-fetched per request (the fetch cap
+            // below), so an idle session trickles its working set back
+            // in instead of campaigning the engine's speculation.
+            self.recent
+                .iter()
+                .copied()
+                .filter(|&t| t != id)
+                .take(cfg.dwell_keep_warm)
+                .collect()
+        } else {
+            match (&scheduler, dwell) {
+                (Some(sched), Some(cfg)) => self.engine.predict_batched_deep_with_prior(
+                    sched,
+                    self.pyramid.store(),
+                    eff_k,
+                    prior,
+                    cfg.dwell_distance.max(1),
+                ),
+                (Some(sched), None) => self.engine.predict_batched_with_prior(
+                    sched,
+                    self.pyramid.store(),
+                    eff_k,
+                    prior,
+                ),
+                (None, Some(cfg)) => self.engine.predict_deep_with_prior(
+                    self.pyramid.store(),
+                    eff_k,
+                    prior,
+                    cfg.dwell_distance.max(1),
+                ),
+                (None, None) => self
+                    .engine
+                    .predict_with_prior(self.pyramid.store(), eff_k, prior),
             }
-            None => self
-                .engine
-                .predict_with_prior(self.pyramid.store(), self.k, prior),
         };
+        // How many leading entries of `predictions` are deliberate
+        // scheduler signals (pinnable); the rest is opportunistic.
+        let mut deliberate = predictions.len();
+        if let Some(cfg) = dwell {
+            // The dwell plan leads with the scheduler's own signals,
+            // ahead of the models' ranked list: shared mode truncates
+            // the fetch set to the session's fair budget slice, and
+            // tiles past that cap are silently dropped — tail
+            // position would starve the plan of exactly the tiles it
+            // exists to stage. Two signals, ordered by whether the
+            // run that led here is still alive:
+            //
+            //  * **run extrapolation** — walk the current pan move
+            //    forward `dwell_depth` steps; the one candidate set
+            //    the per-step models cannot rank (they score
+            //    similarity and transition history, not momentum);
+            //  * **keep-warm** — the session's recent distinct tiles,
+            //    re-pinned (and re-fetched if evicted): the analyst
+            //    who paused mid-loop comes back over this set.
+            //
+            // A run is *live* only when this move repeats the
+            // previous one (a pan continuing in the same direction) —
+            // that is the one case where momentum is established and
+            // extrapolation leads, pinned as a deliberate signal.
+            // Anything else — a reversal, a turn, a zoom — is a
+            // *pivot*: extrapolating a single unconfirmed move would
+            // pin tiles nobody may touch, and worse, its fetches
+            // would outrank re-fetching evicted keep-warm tiles
+            // (hold() only pins residents, so a keep-warm tile that
+            // loses its fetch slot silently loses its pin too). On a
+            // pivot, keep-warm takes the budget and the speculative
+            // extrapolation rides behind, unpinned.
+            let mut plan: Vec<TileId> = Vec::new();
+            let push = |plan: &mut Vec<TileId>, t: TileId| {
+                if t != id && !plan.contains(&t) {
+                    plan.push(t);
+                }
+            };
+            let extrapolate = |plan: &mut Vec<TileId>| {
+                if let Some(m) = mv.filter(|m| m.is_pan()) {
+                    let geometry = self.pyramid.geometry();
+                    let mut cur = id;
+                    for _ in 0..cfg.dwell_depth {
+                        let Some(next) = geometry.apply(cur, m) else {
+                            break;
+                        };
+                        if !plan.contains(&next) {
+                            plan.push(next);
+                        }
+                        cur = next;
+                    }
+                }
+            };
+            let pivot = match (self.last_move, mv) {
+                (Some(prev), Some(cur)) => !(cur.is_pan() && prev == cur),
+                _ => true,
+            };
+            if !pivot {
+                extrapolate(&mut plan);
+            }
+            for &t in self.recent.iter().take(cfg.dwell_keep_warm) {
+                push(&mut plan, t);
+            }
+            // Hotspot riders: the communal model's top tiles join the
+            // dwell plan directly (the blend only re-ranks candidates
+            // near the session's own position; this reaches across the
+            // dataset to where the crowd actually is).
+            let mut added = 0usize;
+            for &(t, _) in prior {
+                if added >= cfg.dwell_hotspots {
+                    break;
+                }
+                if !plan.contains(&t) {
+                    plan.push(t);
+                    added += 1;
+                }
+            }
+            // Everything up to here is deliberate — the pinnable core
+            // of the plan. A pivot's dead-run extrapolation rides
+            // behind it, fetched opportunistically but never pinned.
+            // The per-step models' ranked list is dropped outright:
+            // it scores the *next single move* from transition
+            // history, which a pause step contradicts by definition —
+            // during dwell the scheduler's own retrace + momentum
+            // signals are strictly better, and fetching the model's
+            // candidates anyway is what turns a deep dwell budget
+            // into junk I/O that dilutes the useful-prefetch ratio.
+            deliberate = plan.len();
+            if pivot {
+                extrapolate(&mut plan);
+            }
+            predictions = plan;
+        }
+        let predictions = predictions;
         let predict_time = predict_start.elapsed();
         let pair_cache = match &scheduler {
             Some(sched) => sched.pair_cache_stats(),
@@ -452,6 +748,14 @@ impl Middleware {
                     && self.shared.as_ref().is_none_or(|sh| !sh.cache.contains(*p))
             })
             .collect();
+        // The speculative *fetch* budget is `eff_k` in every phase —
+        // the idle trickle, the boosted dwell run, the uniform k. A
+        // dwell plan may list more than that (pinned keep-warm tiles
+        // plus the opportunistic tail), but the list's extra entries
+        // are for `hold`; fetch I/O stays within the phase budget.
+        // Burst-off predictions never exceed `eff_k`, so this is
+        // byte-for-byte inert without a scheduler.
+        to_fetch.truncate(eff_k);
         // Shared mode: install() keeps at most the session's fair
         // budget slice, so fetching past it would charge backend I/O
         // for tiles the cache immediately discards. Predictions are
@@ -507,9 +811,64 @@ impl Middleware {
             // hold set to the new list.
             Some(sh) => {
                 sh.cache.install(sh.id, fetched_tiles);
-                sh.cache.hold(sh.id, &predictions);
-                sh.cache.retain_for(sh.id, &predictions);
+                if reactive_only {
+                    // Mid-burst, holds are left exactly as they are.
+                    // The dwell plan's pins keep protecting the run
+                    // the burst is consuming, and the holder
+                    // registrations each hit adds accumulate into a
+                    // keep-warm pin over the session's working set —
+                    // the protection a revisit pattern needs. Both
+                    // kinds release at the next planning step's
+                    // `retain_for`; until then eviction pressure
+                    // resolves against popularity, so an unconsumed
+                    // plan dies before a working set ever does.
+                } else if dwell.is_some() || idle_warm.is_some() {
+                    // A dwell (or idle keep-warm) plan pins only the
+                    // scheduler's own deliberate signals — live run,
+                    // keep-warm, riders — capped at the session's
+                    // fair slice. The opportunistic tail (a pivot's
+                    // dead-run extrapolation, the boosted model
+                    // candidates) is fetched but left unpinned:
+                    // holding it would put every session at its full
+                    // slice and leave the communal LRU no slack, so
+                    // plans would evict each other on every
+                    // foreground miss.
+                    let cap = deliberate.min(sh.cache.session_budget());
+                    let plan = &predictions[..cap];
+                    // Promote local copies first: a just-visited tile
+                    // lives only in this session's private LRU
+                    // (foreground misses never install communally),
+                    // so it is skipped by the fetch set as already
+                    // resident — and then skipped by `hold`, which
+                    // pins communal residents only. Without promotion
+                    // the plan silently loses exactly the tiles the
+                    // analyst just walked, and they die with the tiny
+                    // private LRU a few requests later. The `Arc` is
+                    // already in hand; this is a map insert, not
+                    // backend I/O.
+                    let promoted: Vec<Arc<Tile>> = plan
+                        .iter()
+                        .filter(|&&t| !sh.cache.contains(t))
+                        .filter_map(|&t| self.cache.peek(t))
+                        .collect();
+                    sh.cache.install(sh.id, promoted);
+                    sh.cache.hold(sh.id, plan);
+                    sh.cache.retain_for(sh.id, plan);
+                    self.dwell_plan = plan.to_vec();
+                } else {
+                    sh.cache.hold(sh.id, &predictions);
+                    sh.cache.retain_for(sh.id, &predictions);
+                    self.dwell_plan.clear();
+                }
             }
+            None if reactive_only => {
+                // Private mode, mid-burst: leave the prefetch set
+                // alone — install's replace semantics would drop the
+                // dwell plan the burst is consuming.
+            }
+            None if dwell.is_some() || idle_warm.is_some() => self
+                .cache
+                .install_prefetch_keeping(fetched_tiles, &predictions),
             None => self.cache.install_prefetch(fetched_tiles),
         }
 
@@ -519,6 +878,18 @@ impl Middleware {
         }
         self.stats.total_latency += latency;
         self.stats.per_phase[phase.index()] += 1;
+        if let Some(tp) = traffic {
+            self.stats.per_traffic[tp.index()] += 1;
+        }
+        if was_speculative && cache_hit {
+            self.stats.prefetch_used += 1;
+        }
+        self.stats.prefetch_issued += prefetched_ids.len();
+        self.speculative.extend(prefetched_ids.iter().copied());
+        self.note_recent(id, mv);
+        if let Some(b) = self.burst.as_mut() {
+            b.finish(latency);
+        }
 
         Ok(Some(Response {
             tile,
@@ -530,7 +901,20 @@ impl Middleware {
             pair_cache,
             degraded: false,
             fetch_retries,
+            traffic,
         }))
+    }
+
+    /// Books `id`/`mv` into the momentum and keep-warm trackers the
+    /// dwell planner reads. Pure bookkeeping: tracked on every served
+    /// request (clean or degraded) regardless of scheduler state.
+    fn note_recent(&mut self, id: TileId, mv: Option<fc_tiles::Move>) {
+        self.last_move = mv;
+        if let Some(pos) = self.recent.iter().position(|&t| t == id) {
+            self.recent.remove(pos);
+        }
+        self.recent.push_front(id);
+        self.recent.truncate(RECENT_RING);
     }
 
     /// The nearest ancestor of `id` resident in the private or shared
@@ -561,6 +945,7 @@ impl Middleware {
         mv: Option<fc_tiles::Move>,
         ancestor: Arc<Tile>,
         fail: &FailedFetch,
+        traffic: Option<TrafficPhase>,
     ) -> Response {
         self.pyramid.store().clock().advance(self.profile.hit);
         let latency = fail.waited + self.profile.hit;
@@ -572,6 +957,13 @@ impl Middleware {
         self.stats.degraded += 1;
         self.stats.total_latency += latency;
         self.stats.per_phase[phase.index()] += 1;
+        if let Some(tp) = traffic {
+            self.stats.per_traffic[tp.index()] += 1;
+        }
+        self.note_recent(id, mv);
+        if let Some(b) = self.burst.as_mut() {
+            b.finish(latency);
+        }
         let attempts = match fail.error {
             FetchError::Unavailable { attempts } | FetchError::DeadlineExceeded { attempts } => {
                 attempts
@@ -587,6 +979,7 @@ impl Middleware {
             pair_cache: PairCacheStats::default(),
             degraded: true,
             fetch_retries: attempts.saturating_sub(1),
+            traffic,
         }
     }
 
@@ -627,6 +1020,13 @@ impl Middleware {
             sh.cache.retain_for(sh.id, &[]);
         }
         self.stats = MiddlewareStats::default();
+        self.speculative.clear();
+        self.dwell_plan.clear();
+        self.last_move = None;
+        self.recent.clear();
+        if let Some(b) = self.burst.as_mut() {
+            *b = BurstState::new(b.cfg);
+        }
     }
 }
 
@@ -1029,5 +1429,94 @@ mod tests {
             .unwrap();
         let total: usize = mw.stats().per_phase.iter().sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn burst_scheduler_spends_counter_cyclically() {
+        use crate::burst::{BurstConfig, TrafficPhase};
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.set_burst(Some(BurstConfig::default()));
+        assert_eq!(mw.traffic_phase(), Some(TrafficPhase::Burst));
+
+        // Back-to-back requests land inside the burst-enter threshold:
+        // reactive-only, no speculation (default burst budget is 0).
+        let r1 = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        let r2 = mw
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r1.traffic, Some(TrafficPhase::Burst));
+        assert_eq!(r2.traffic, Some(TrafficPhase::Burst));
+        assert!(r1.prefetched.is_empty() && r2.prefetched.is_empty());
+
+        // A one-second pause exits the burst; the dwell deep run
+        // speculates along the pan direction.
+        mw.note_idle(Duration::from_secs(1));
+        let r3 = mw
+            .request(TileId::new(2, 2, 2), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r3.traffic, Some(TrafficPhase::Dwell));
+        assert!(
+            !r3.prefetched.is_empty(),
+            "dwell must spend speculative budget"
+        );
+
+        // A 40 s pause goes idle: keep-warm trickle caps speculation.
+        mw.note_idle(Duration::from_secs(40));
+        let r4 = mw
+            .request(TileId::new(2, 2, 3), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r4.traffic, Some(TrafficPhase::Idle));
+        assert!(
+            r4.prefetched.len() <= BurstConfig::default().idle_trickle,
+            "idle trickle exceeded: {:?}",
+            r4.prefetched
+        );
+        // The dwell run predicted the pan continuation, so the request
+        // after the pause is a useful prefetch.
+        assert!(r4.cache_hit, "dwell deep run should cover the pan run");
+
+        let s = mw.stats();
+        assert_eq!(s.per_traffic, [2, 1, 1]);
+        assert_eq!(s.per_traffic.iter().sum::<usize>(), s.requests);
+        assert!(s.prefetch_issued >= r3.prefetched.len());
+        assert!(s.prefetch_used >= 1);
+        let eff = s.prefetch_efficiency();
+        assert!(eff > 0.0 && eff <= 1.0, "{eff}");
+    }
+
+    #[test]
+    fn burst_off_tracks_efficiency_but_not_traffic() {
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        let r1 = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        assert!(r1.traffic.is_none());
+        mw.request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        let s = mw.stats();
+        assert_eq!(s.per_traffic, [0, 0, 0]);
+        // Prefetch-efficiency accounting runs unconditionally — it is
+        // the denominator of the scheduler on/off A/B.
+        assert!(s.prefetch_issued > 0);
+    }
+
+    #[test]
+    fn burst_reset_session_restarts_the_tracker() {
+        use crate::burst::{BurstConfig, TrafficPhase};
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.set_burst(Some(BurstConfig::default()));
+        mw.request(TileId::new(2, 2, 0), None).unwrap();
+        mw.note_idle(Duration::from_secs(40));
+        mw.request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(mw.traffic_phase(), Some(TrafficPhase::Idle));
+        mw.reset_session();
+        // Fresh session: tracker back to its initial phase, no stale
+        // speculative bookkeeping.
+        assert_eq!(mw.traffic_phase(), Some(TrafficPhase::Burst));
+        assert_eq!(mw.stats().prefetch_issued, 0);
+        let r = mw.request(TileId::new(2, 2, 0), None).unwrap();
+        assert_eq!(r.traffic, Some(TrafficPhase::Burst));
     }
 }

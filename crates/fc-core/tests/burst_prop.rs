@@ -1,0 +1,135 @@
+//! Property tests for the burst/dwell/idle traffic classifier
+//! ([`fc_core::BurstTracker`]): determinism, Schmitt-trigger
+//! hysteresis (transitions only ever fire on *outer* threshold
+//! crossings, so gaps inside a guard band can never flap the phase),
+//! and convergence under steady traffic.
+
+use fc_core::{BurstConfig, BurstTracker, TrafficPhase};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Builds an ordered config from four arbitrary millisecond values
+/// (sorted, so `BurstTracker::new` never panics).
+fn config_from(raw: (u64, u64, u64, u64)) -> BurstConfig {
+    let mut ms = [raw.0, raw.1, raw.2, raw.3];
+    ms.sort_unstable();
+    BurstConfig {
+        burst_enter: Duration::from_millis(ms[0]),
+        burst_exit: Duration::from_millis(ms[1]),
+        idle_exit: Duration::from_millis(ms[2]),
+        idle_enter: Duration::from_millis(ms[3]),
+        ..BurstConfig::default()
+    }
+}
+
+/// Replays a gap sequence, returning the classified phase per step.
+fn classify(cfg: BurstConfig, gaps: &[Option<u64>]) -> Vec<TrafficPhase> {
+    let mut t = BurstTracker::new(cfg);
+    gaps.iter()
+        .map(|g| t.observe(g.map(Duration::from_millis)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+    /// Same trace, same config ⇒ same phase sequence, every time.
+    /// The classifier is a pure function of its gap inputs — nothing
+    /// about wall clocks or shared state leaks in.
+    #[test]
+    fn classification_is_deterministic(
+        raw in (1u64..60_000, 1u64..60_000, 1u64..60_000, 1u64..60_000),
+        raw_gaps in proptest::collection::vec(0u64..126_000, 1..200),
+    ) {
+        // Values past the classifiable range stand in for `None`
+        // (first-request gaps) — the shim has no `option::of`.
+        let gaps: Vec<Option<u64>> = raw_gaps
+            .iter()
+            .map(|&g| (g < 120_000).then_some(g))
+            .collect();
+        let cfg = config_from(raw);
+        let a = classify(cfg, &gaps);
+        let b = classify(cfg, &gaps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Schmitt hysteresis: a phase transition only fires when the gap
+    /// crosses the *outer* threshold of the band — entering Burst
+    /// needs `gap ≤ burst_enter`, leaving it needs `gap > burst_exit`,
+    /// entering Idle needs `gap ≥ idle_enter`, leaving it needs
+    /// `gap < idle_exit`. A gap strictly inside either guard band
+    /// therefore can never flap the phase back and forth.
+    #[test]
+    fn transitions_only_on_outer_threshold_crossings(
+        raw in (1u64..60_000, 1u64..60_000, 1u64..60_000, 1u64..60_000),
+        gaps in proptest::collection::vec(0u64..120_000, 1..300),
+    ) {
+        let cfg = config_from(raw);
+        let mut t = BurstTracker::new(cfg);
+        let mut prev = t.phase();
+        for &ms in &gaps {
+            let gap = Duration::from_millis(ms);
+            let next = t.observe(Some(gap));
+            if next != prev {
+                match (prev, next) {
+                    (_, TrafficPhase::Burst) => {
+                        prop_assert!(gap <= cfg.burst_enter,
+                            "entered Burst on {gap:?} > {:?}", cfg.burst_enter);
+                    }
+                    (TrafficPhase::Burst, _) => {
+                        prop_assert!(gap > cfg.burst_exit,
+                            "left Burst on {gap:?} <= {:?}", cfg.burst_exit);
+                    }
+                    _ => {}
+                }
+                match (prev, next) {
+                    (_, TrafficPhase::Idle) => {
+                        prop_assert!(gap >= cfg.idle_enter,
+                            "entered Idle on {gap:?} < {:?}", cfg.idle_enter);
+                    }
+                    (TrafficPhase::Idle, _) => {
+                        prop_assert!(gap < cfg.idle_exit,
+                            "left Idle on {gap:?} >= {:?}", cfg.idle_exit);
+                    }
+                    _ => {}
+                }
+            }
+            prev = next;
+        }
+    }
+
+    /// Steady traffic converges: a constant gap can change the phase
+    /// at most once, after which the classifier holds it forever (the
+    /// formal "no flapping within the guard interval" guarantee).
+    #[test]
+    fn constant_gap_settles_after_one_transition(
+        raw in (1u64..60_000, 1u64..60_000, 1u64..60_000, 1u64..60_000),
+        gap_ms in 0u64..120_000,
+        reps in 2usize..50,
+    ) {
+        let cfg = config_from(raw);
+        let mut t = BurstTracker::new(cfg);
+        let gap = Some(Duration::from_millis(gap_ms));
+        let settled = t.observe(gap);
+        for _ in 1..reps {
+            prop_assert_eq!(t.observe(gap), settled);
+        }
+    }
+
+    /// A missing gap (the session's first request) never moves the
+    /// phase, whatever state the tracker is in.
+    #[test]
+    fn none_gap_is_a_no_op(
+        raw in (1u64..60_000, 1u64..60_000, 1u64..60_000, 1u64..60_000),
+        warmup in proptest::collection::vec(0u64..120_000, 0..50),
+    ) {
+        let cfg = config_from(raw);
+        let mut t = BurstTracker::new(cfg);
+        for &ms in &warmup {
+            t.observe(Some(Duration::from_millis(ms)));
+        }
+        let before = t.phase();
+        prop_assert_eq!(t.observe(None), before);
+        prop_assert_eq!(t.phase(), before);
+    }
+}

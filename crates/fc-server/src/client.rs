@@ -71,6 +71,10 @@ pub struct SessionStats {
     pub hits: u64,
     /// Average latency.
     pub avg_latency: Duration,
+    /// Speculative tiles fetched on this session's behalf.
+    pub prefetch_issued: u64,
+    /// Speculative tiles later served as cache hits.
+    pub prefetch_used: u64,
 }
 
 impl Client {
@@ -180,10 +184,14 @@ impl Client {
                 requests,
                 hits,
                 avg_latency_ns,
+                prefetch_issued,
+                prefetch_used,
             } => Ok(SessionStats {
                 requests,
                 hits,
                 avg_latency: Duration::from_nanos(avg_latency_ns),
+                prefetch_issued,
+                prefetch_used,
             }),
             ServerMsg::Error { code, reason } => Err(server_err(code, reason)),
             other => Err(io::Error::other(format!(

@@ -177,6 +177,10 @@ pub enum ServerMsg {
         hits: u64,
         /// Average latency, nanoseconds.
         avg_latency_ns: u64,
+        /// Speculative tiles fetched on this session's behalf.
+        prefetch_issued: u64,
+        /// Speculative tiles later served as cache hits.
+        prefetch_used: u64,
     },
     /// The request failed.
     Error {
@@ -428,7 +432,7 @@ impl ServerMsg {
                     .sum();
                 1 + 9 + 4 + 4 + 8 + 1 + 1 + 1 + 2 + columns + payload.present.len()
             }
-            ServerMsg::Stats { .. } => 1 + 8 + 8 + 8,
+            ServerMsg::Stats { .. } => 1 + 8 + 8 + 8 + 8 + 8,
             ServerMsg::Error { reason, .. } => 1 + 1 + 2 + wire_str(reason).len(),
         }
     }
@@ -476,11 +480,15 @@ impl ServerMsg {
                 requests,
                 hits,
                 avg_latency_ns,
+                prefetch_issued,
+                prefetch_used,
             } => {
                 body.push(2);
                 body.extend_from_slice(&requests.to_le_bytes());
                 body.extend_from_slice(&hits.to_le_bytes());
                 body.extend_from_slice(&avg_latency_ns.to_le_bytes());
+                body.extend_from_slice(&prefetch_issued.to_le_bytes());
+                body.extend_from_slice(&prefetch_used.to_le_bytes());
             }
             ServerMsg::Error { code, reason } => {
                 body.push(3);
@@ -559,13 +567,15 @@ impl ServerMsg {
                 })
             }
             2 => {
-                if body.remaining() < 24 {
+                if body.remaining() < 40 {
                     return Err(bad("truncated Stats"));
                 }
                 Ok(ServerMsg::Stats {
                     requests: body.get_u64_le(),
                     hits: body.get_u64_le(),
                     avg_latency_ns: body.get_u64_le(),
+                    prefetch_issued: body.get_u64_le(),
+                    prefetch_used: body.get_u64_le(),
                 })
             }
             3 => {
@@ -684,6 +694,8 @@ mod tests {
                 requests: 10,
                 hits: 8,
                 avg_latency_ns: 123,
+                prefetch_issued: 6,
+                prefetch_used: 4,
             },
             ServerMsg::Error {
                 code: ErrorCode::NoSuchTile,

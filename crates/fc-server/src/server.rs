@@ -142,6 +142,10 @@ pub struct ServerConfig {
     /// Backend fault injection (default: none — the fault layer is
     /// zero-cost when absent).
     pub faults: Option<FaultSetup>,
+    /// Burst-aware prefetch scheduling applied to every session's
+    /// middleware (default: `None` — the uniform per-request budget,
+    /// bit-identical to the unscheduled server).
+    pub burst: Option<fc_core::BurstConfig>,
 }
 
 impl Default for ServerConfig {
@@ -153,6 +157,7 @@ impl Default for ServerConfig {
             multi_user: None,
             limits: SessionLimits::default(),
             faults: None,
+            burst: None,
         }
     }
 }
@@ -613,6 +618,7 @@ fn handle_msg(
                     if let Some(fs) = &config.faults {
                         mw.set_faults(fs.plan.clone(), fs.retry);
                     }
+                    mw.set_burst(config.burst);
                     *middleware = Some(mw);
                     let g = pyramid.geometry();
                     ServerMsg::Welcome {
@@ -666,6 +672,8 @@ fn handle_msg(
                         hits: s.hits as u64,
                         avg_latency_ns: u64::try_from(s.avg_latency().as_nanos())
                             .unwrap_or(u64::MAX),
+                        prefetch_issued: s.prefetch_issued as u64,
+                        prefetch_used: s.prefetch_used as u64,
                     }
                 }
             };

@@ -342,3 +342,49 @@ fn prefetching_speeds_up_predictable_walks() {
     client.bye().unwrap();
     server.shutdown();
 }
+
+#[test]
+fn burst_scheduler_wired_through_server_config() {
+    // Burst-scheduled server: a pan run at wire speed never leaves the
+    // Burst phase (every inter-request gap is far below `burst_enter`),
+    // so the scheduler stays reactive — zero speculative fetches — and
+    // the wire carries the prefetch counters to prove it.
+    let (mut server, ds) = start_server_with(ServerConfig {
+        burst: Some(fc_core::BurstConfig::default()),
+        ..ServerConfig::default()
+    });
+    let deepest = ds.pyramid.geometry().levels - 1;
+    let walk = |server: &Server| {
+        let mut client = Client::connect(server.addr(), 4).expect("client connects");
+        client
+            .request_tile(TileId::new(deepest, 0, 0), None)
+            .expect("first tile");
+        for x in 1..4 {
+            client
+                .request_tile(TileId::new(deepest, 0, x), Some(Move::PanRight))
+                .expect("pan tile");
+        }
+        let stats = client.stats().expect("stats");
+        client.bye().expect("clean close");
+        stats
+    };
+    let on = walk(&server);
+    server.shutdown();
+    assert_eq!(on.requests, 4);
+    assert_eq!(
+        on.prefetch_issued, 0,
+        "wire-speed traffic is a burst: the scheduler must stay reactive"
+    );
+
+    // The same walk against a default (uniform-budget) server issues
+    // speculative fetches every request.
+    let (mut server, _ds) = start_server();
+    let off = walk(&server);
+    server.shutdown();
+    assert_eq!(off.requests, 4);
+    assert!(
+        off.prefetch_issued > 0,
+        "uniform budget prefetches per request: {off:?}"
+    );
+    assert!(off.prefetch_used <= off.prefetch_issued);
+}

@@ -107,7 +107,7 @@ proptest! {
     ) {
         let msgs = [
             ServerMsg::Welcome { levels, deepest_tiles: (ty, tx) },
-            ServerMsg::Stats { requests, hits, avg_latency_ns: avg },
+            ServerMsg::Stats { requests, hits, avg_latency_ns: avg, prefetch_issued: requests / 2, prefetch_used: hits / 2 },
             ServerMsg::Error { code: CODES[code_ix], reason: "e".repeat(reason_len) },
         ];
         for m in msgs {
@@ -197,7 +197,7 @@ proptest! {
         let server_msgs = [
             ServerMsg::Welcome { levels: 4, deepest_tiles: (8, 8) },
             tile_msg(3, 1, 2, 3, 3, 2, seed),
-            ServerMsg::Stats { requests: 10, hits: 8, avg_latency_ns: 5 },
+            ServerMsg::Stats { requests: 10, hits: 8, avg_latency_ns: 5, prefetch_issued: 6, prefetch_used: 4 },
             ServerMsg::Error { code: ErrorCode::Internal, reason: "broken pipe".into() },
         ];
         for m in server_msgs {

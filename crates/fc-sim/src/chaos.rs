@@ -30,8 +30,8 @@
 use crate::multiuser::{build_cache, MultiUserConfig};
 use crate::trace::Trace;
 use fc_core::{
-    BatchConfig, FaultPlan, Middleware, PredictScheduler, PredictionEngine, RetryPolicy,
-    SchedulerStats, SharedCacheStats, SharedSessionHandle,
+    BatchConfig, BurstConfig, FaultPlan, Middleware, PredictScheduler, PredictionEngine,
+    RetryPolicy, SchedulerStats, SharedCacheStats, SharedSessionHandle,
 };
 use fc_tiles::Pyramid;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,6 +53,15 @@ pub struct ChaosConfig {
     /// cover, used to bucket the report's phase statistics. Use
     /// `(0, u64::MAX)` for an unwindowed (always-on) schedule.
     pub fault_window: (u64, u64),
+    /// Burst-aware prefetch scheduling, applied to every session's
+    /// middleware (`None` keeps the uniform per-request budget — the
+    /// bit-identical default).
+    pub burst: Option<BurstConfig>,
+    /// Per-trace think-time schedules, parallel to `traces`: session
+    /// `i` charges `think[i % think.len()][j]` to its timeline before
+    /// step `j` of each pass (the gap stream the burst classifier
+    /// sees). Empty = no think time, back-to-back replay.
+    pub think: Vec<Vec<std::time::Duration>>,
 }
 
 /// Outcome counters for one phase (before/during/after the window).
@@ -128,6 +137,15 @@ pub struct ChaosReport {
     pub latency_p50: std::time::Duration,
     /// 99th-percentile user-visible latency over served replies.
     pub latency_p99: std::time::Duration,
+    /// Served requests per traffic phase (burst/dwell/idle), summed
+    /// over sessions; all zero unless burst scheduling was on.
+    pub per_traffic: [usize; 3],
+    /// Speculative tiles fetched across sessions.
+    pub prefetch_issued: usize,
+    /// Speculative tiles later served as cache hits.
+    pub prefetch_used: usize,
+    /// Whether burst-aware scheduling was active for this run.
+    pub burst_active: bool,
 }
 
 /// Runs `cfg.base.sessions` concurrent analysts under `cfg.plan`.
@@ -167,6 +185,9 @@ where
         max_resident: usize,
         panicked: bool,
         latency_ns: Vec<u64>,
+        per_traffic: [usize; 3],
+        prefetch_issued: usize,
+        prefetch_used: usize,
     }
 
     let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
@@ -194,6 +215,9 @@ where
                             handle,
                         );
                         mw.set_faults(cfg.plan.clone(), cfg.retry);
+                        mw.set_burst(cfg.burst);
+                        let think = (!cfg.think.is_empty())
+                            .then(|| cfg.think[i % cfg.think.len()].as_slice());
                         let mut out = SessionOutcome::default();
                         let (from, until) = cfg.fault_window;
                         'replay: loop {
@@ -204,6 +228,9 @@ where
                                     break 'replay;
                                 }
                                 let mv = if j == 0 { None } else { step.mv };
+                                if let Some(d) = think.and_then(|t| t.get(j)) {
+                                    mw.note_idle(*d);
+                                }
                                 let result = mw.try_request(step.tile, mv);
                                 let bucket = if idx < from {
                                     &mut out.before
@@ -240,6 +267,10 @@ where
                                 break;
                             }
                         }
+                        let st = mw.stats();
+                        out.per_traffic = st.per_traffic;
+                        out.prefetch_issued = st.prefetch_issued;
+                        out.prefetch_used = st.prefetch_used;
                         out
                     }));
                     match body {
@@ -262,6 +293,9 @@ where
     let mut retries = 0u64;
     let mut max_resident = 0usize;
     let mut panics = 0usize;
+    let mut per_traffic = [0usize; 3];
+    let mut prefetch_issued = 0usize;
+    let mut prefetch_used = 0usize;
     let mut all_ns: Vec<u64> = Vec::new();
     for o in &outcomes {
         before.absorb(&o.before);
@@ -270,6 +304,11 @@ where
         retries += o.retries;
         max_resident = max_resident.max(o.max_resident);
         panics += usize::from(o.panicked);
+        for (sum, n) in per_traffic.iter_mut().zip(o.per_traffic) {
+            *sum += n;
+        }
+        prefetch_issued += o.prefetch_issued;
+        prefetch_used += o.prefetch_used;
         all_ns.extend_from_slice(&o.latency_ns);
     }
     all_ns.sort_unstable();
@@ -299,6 +338,10 @@ where
         scheduler: scheduler.map(|s| s.stats()),
         latency_p50,
         latency_p99,
+        per_traffic,
+        prefetch_issued,
+        prefetch_used,
+        burst_active: cfg.burst.is_some(),
     }
 }
 
@@ -335,6 +378,23 @@ pub fn assert_invariants(r: &ChaosReport) {
         assert!(
             p.degraded <= p.served,
             "{name}: degraded within served: {p:?}"
+        );
+    }
+    assert!(
+        r.prefetch_used <= r.prefetch_issued,
+        "a prefetch cannot be used more often than issued: {r:?}"
+    );
+    if r.burst_active {
+        assert_eq!(
+            r.per_traffic.iter().sum::<usize>(),
+            r.served,
+            "every served request lands in exactly one traffic phase: {r:?}"
+        );
+    } else {
+        assert_eq!(
+            r.per_traffic,
+            [0, 0, 0],
+            "traffic buckets must stay empty with burst scheduling off: {r:?}"
         );
     }
     if let Some(s) = &r.scheduler {

@@ -39,6 +39,7 @@ pub mod task;
 pub mod terrain;
 pub mod trace;
 pub mod user;
+pub mod zoo;
 
 pub use auto_weights::{learn_weights, LearnedWeights};
 pub use chaos::{assert_invariants, run_chaos, ChaosConfig, ChaosReport, PhaseStats};
@@ -52,3 +53,4 @@ pub use task::TaskSpec;
 pub use terrain::TerrainConfig;
 pub use trace::{Trace, TraceStep};
 pub use user::UserParams;
+pub use zoo::{replay_workload, Workload, ZooOutcome, ZOO_NAMES};

@@ -62,6 +62,8 @@ fn chaos_quiet_plan_is_faultless() {
         plan: Arc::new(FaultPlan::quiet(1)),
         retry: RetryPolicy::default(),
         fault_window: (0, u64::MAX),
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(&p, factory(g), &traces, &cfg);
     assert_invariants(&r);
@@ -91,6 +93,8 @@ fn chaos_backend_brownout_recovers() {
         plan: Arc::new(FaultPlan::brownout(7, 8, 20)),
         retry: RetryPolicy::default(),
         fault_window: (8, 20),
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(&p, factory(g), &traces, &cfg);
     assert_invariants(&r);
@@ -128,6 +132,8 @@ fn chaos_flash_crowd_error_burst_is_contained() {
         plan: Arc::new(FaultPlan::error_burst(11, 10, 26)),
         retry: RetryPolicy::default(),
         fault_window: (10, 26),
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(&p, factory(g), &traces, &cfg);
     assert_invariants(&r);
@@ -164,6 +170,8 @@ fn chaos_degraded_backend_stays_mostly_served() {
         plan: Arc::new(FaultPlan::degraded_backend(3)),
         retry: RetryPolicy::default(),
         fault_window: (0, u64::MAX),
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(&p, factory(g), &traces, &cfg);
     assert_invariants(&r);
@@ -199,6 +207,8 @@ fn chaos_single_session_replay_is_deterministic() {
         plan: Arc::new(FaultPlan::brownout(23, 6, 18)),
         retry: RetryPolicy::default(),
         fault_window: (6, 18),
+        burst: None,
+        think: Vec::new(),
     };
     let a = run_chaos(&p, factory(g), &traces, &cfg);
     let b = run_chaos(&pyramid(), factory(g), &traces, &cfg);
@@ -266,6 +276,8 @@ fn chaos_window_serves_ancestors_not_errors_when_resident() {
         )),
         retry: RetryPolicy::default(),
         fault_window: (1, u64::MAX),
+        burst: None,
+        think: Vec::new(),
     };
     let r = run_chaos(&p, factory(g), &[trace], &cfg);
     assert_invariants(&r);
