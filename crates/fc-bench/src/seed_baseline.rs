@@ -950,6 +950,22 @@ pub fn seed_encode_server_msg(msg: &ServerMsg) -> Bytes {
             body.put_u8(*code as u8);
             seed_put_string(&mut body, reason);
         }
+        ServerMsg::Push { payload } => {
+            body.put_u8(4);
+            body.put_u8(payload.tile.level);
+            body.put_u32_le(payload.tile.y);
+            body.put_u32_le(payload.tile.x);
+            body.put_u32_le(payload.h);
+            body.put_u32_le(payload.w);
+            body.put_u16_le(u16::try_from(payload.attrs.len()).expect("attr count"));
+            for (name, values) in payload.attrs.iter().zip(&payload.data) {
+                seed_put_string(&mut body, name);
+                for v in values {
+                    body.put_f64_le(*v);
+                }
+            }
+            body.put_slice(&payload.present);
+        }
     }
     seed_frame(body)
 }
@@ -1041,6 +1057,47 @@ pub fn seed_decode_server_msg(mut body: Bytes) -> io::Result<ServerMsg> {
             Ok(ServerMsg::Error {
                 code,
                 reason: seed_get_string(&mut body)?,
+            })
+        }
+        4 => {
+            if body.remaining() < 9 {
+                return Err(seed_bad("truncated tile id"));
+            }
+            let tile = TileId::new(body.get_u8(), body.get_u32_le(), body.get_u32_le());
+            if body.remaining() < 4 + 4 + 2 {
+                return Err(seed_bad("truncated Push header"));
+            }
+            let h = body.get_u32_le();
+            let w = body.get_u32_le();
+            let nattrs = body.get_u16_le() as usize;
+            let ncells = (h as usize) * (w as usize);
+            let mut attrs = Vec::with_capacity(nattrs);
+            let mut data = Vec::with_capacity(nattrs);
+            for _ in 0..nattrs {
+                let name = seed_get_string(&mut body)?;
+                if body.remaining() < ncells * 8 {
+                    return Err(seed_bad("truncated attribute data"));
+                }
+                let mut values = Vec::with_capacity(ncells);
+                for _ in 0..ncells {
+                    values.push(body.get_f64_le());
+                }
+                attrs.push(name);
+                data.push(values);
+            }
+            if body.remaining() < ncells {
+                return Err(seed_bad("truncated presence mask"));
+            }
+            let present = body.copy_to_bytes(ncells).to_vec();
+            Ok(ServerMsg::Push {
+                payload: TilePayload {
+                    tile,
+                    h,
+                    w,
+                    attrs,
+                    data,
+                    present,
+                },
             })
         }
         t => Err(seed_bad(&format!("unknown server tag {t}"))),

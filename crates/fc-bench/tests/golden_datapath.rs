@@ -46,6 +46,19 @@ fn assert_msg_bits_equal(a: &ServerMsg, b: &ServerMsg) {
                 }
             }
         }
+        (ServerMsg::Push { payload: pa }, ServerMsg::Push { payload: pb }) => {
+            assert_eq!(pa.tile, pb.tile);
+            assert_eq!((pa.h, pa.w), (pb.h, pb.w));
+            assert_eq!(pa.attrs, pb.attrs);
+            assert_eq!(pa.present, pb.present);
+            assert_eq!(pa.data.len(), pb.data.len());
+            for (ca, cb) in pa.data.iter().zip(&pb.data) {
+                assert_eq!(ca.len(), cb.len());
+                for (x, y) in ca.iter().zip(cb) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+                }
+            }
+        }
         _ => assert_eq!(a, b),
     }
 }
@@ -112,6 +125,16 @@ fn sample_messages() -> Vec<ServerMsg> {
         ServerMsg::Error {
             code: fc_server::ErrorCode::NoSuchTile,
             reason: "no such tile: L9 (1, 2)".into(),
+        },
+        ServerMsg::Push {
+            payload: TilePayload {
+                tile: TileId::new(2, 1, 3),
+                h: 2,
+                w: 2,
+                attrs: vec!["ndsi_avg".into()],
+                data: vec![vec![0.125, f64::NAN, -0.0, 9.5]],
+                present: vec![1, 0, 1, 1],
+            },
         },
     ]
 }

@@ -35,6 +35,18 @@
 //! * **idle** — a bounded keep-warm trickle of
 //!   [`BurstConfig::idle_trickle`] tiles per request.
 //!
+//! Two refinements close the policy's known blind spot — pause-free
+//! sweeps, where there is no quiet window to spend the budget in:
+//!
+//! * **momentum** ([`BurstConfig::momentum`]) — a model-free 1-deep
+//!   same-direction lookahead on burst-paced pans, cheap enough to run
+//!   even reactively;
+//! * **auto sweep fallback** ([`BurstConfig::auto_window`]) — a
+//!   Schmitt trigger over burst occupancy in a sliding request window;
+//!   a session classified as *sweeping* is served with the uniform
+//!   per-request budget until its occupancy drops back out of the
+//!   sweep band.
+//!
 //! Everything is gated behind `EngineConfig::burst: Option<BurstConfig>`
 //! defaulting to `None`, which keeps the middleware byte-for-byte the
 //! pre-scheduler code (golden-pinned in `fc-sim/tests/golden_burst.rs`).
@@ -127,6 +139,31 @@ pub struct BurstConfig {
     pub dwell_keep_warm: usize,
     /// Keep-warm budget per request while idle.
     pub idle_trickle: usize,
+    /// Burst-phase momentum prefetch: a 1-deep same-direction
+    /// lookahead on every burst-paced pan. It consults no model (one
+    /// geometry step, one fetch), so it is nearly free even on the
+    /// reactive path — and it is the one speculation that pays on
+    /// pause-free sweeps, where every request continues the current
+    /// pan run.
+    pub momentum: bool,
+    /// Sliding window (in requests) of the *auto* sweep detector; 0
+    /// disables auto mode. The detector watches the classified phase
+    /// of the last `auto_window` requests and, when burst occupancy
+    /// crosses [`BurstConfig::auto_enter_per_mille`], declares the
+    /// session **sweeping** — traffic with essentially no quiet
+    /// windows, where the counter-cyclical schedule has nothing to
+    /// spend its budget in and the right policy is the uniform
+    /// per-request budget.
+    pub auto_window: usize,
+    /// Burst occupancy (per mille of the window) at or above which
+    /// auto mode enters sweep fallback. Integer per-mille keeps the
+    /// config `Eq`/hashable and the detector exact.
+    pub auto_enter_per_mille: u32,
+    /// Burst occupancy (per mille) below which sweep fallback exits.
+    /// The `[auto_exit, auto_enter)` band is hysteresis: bursty
+    /// workloads that hover near their worst-case occupancy cannot
+    /// flap the budget policy request-to-request.
+    pub auto_exit_per_mille: u32,
 }
 
 impl Default for BurstConfig {
@@ -143,6 +180,16 @@ impl Default for BurstConfig {
             dwell_hotspots: 2,
             dwell_keep_warm: 8,
             idle_trickle: 1,
+            momentum: true,
+            // Defaults calibrated against the workload zoo: the
+            // bursty-pan-sprint's worst sustained window is 29/32
+            // burst (906 ‰) — the enter threshold sits above it, so
+            // genuinely bursty traffic can never trip the fallback —
+            // while serpentine sweeps run 30/32 (937 ‰) and cross it
+            // within two rows.
+            auto_window: 32,
+            auto_enter_per_mille: 925,
+            auto_exit_per_mille: 850,
         }
     }
 }
@@ -156,6 +203,8 @@ impl BurstConfig {
         self.burst_enter <= self.burst_exit
             && self.burst_exit <= self.idle_exit
             && self.idle_exit <= self.idle_enter
+            && self.auto_exit_per_mille <= self.auto_enter_per_mille
+            && self.auto_enter_per_mille <= 1000
     }
 
     /// The speculative prefetch budget for one request: the
@@ -179,6 +228,11 @@ pub struct BurstTracker {
     phase: TrafficPhase,
     observed: u64,
     transitions: u64,
+    /// Ring of `phase == Burst` verdicts for the last
+    /// `cfg.auto_window` requests (empty when auto mode is off).
+    window: std::collections::VecDeque<bool>,
+    bursts_in_window: usize,
+    sweeping: bool,
 }
 
 impl BurstTracker {
@@ -199,6 +253,9 @@ impl BurstTracker {
             phase: TrafficPhase::Burst,
             observed: 0,
             transitions: 0,
+            window: std::collections::VecDeque::with_capacity(cfg.auto_window),
+            bursts_in_window: 0,
+            sweeping: false,
         }
     }
 
@@ -208,44 +265,77 @@ impl BurstTracker {
     /// request is served under.
     pub fn observe(&mut self, gap: Option<Duration>) -> TrafficPhase {
         self.observed += 1;
-        let Some(gap) = gap else {
-            return self.phase;
-        };
-        let cfg = &self.cfg;
-        let next = match self.phase {
-            TrafficPhase::Burst => {
-                if gap <= cfg.burst_exit {
-                    TrafficPhase::Burst
-                } else if gap >= cfg.idle_enter {
-                    TrafficPhase::Idle
-                } else {
-                    TrafficPhase::Dwell
+        if let Some(gap) = gap {
+            let cfg = &self.cfg;
+            let next = match self.phase {
+                TrafficPhase::Burst => {
+                    if gap <= cfg.burst_exit {
+                        TrafficPhase::Burst
+                    } else if gap >= cfg.idle_enter {
+                        TrafficPhase::Idle
+                    } else {
+                        TrafficPhase::Dwell
+                    }
                 }
-            }
-            TrafficPhase::Dwell => {
-                if gap <= cfg.burst_enter {
-                    TrafficPhase::Burst
-                } else if gap >= cfg.idle_enter {
-                    TrafficPhase::Idle
-                } else {
-                    TrafficPhase::Dwell
+                TrafficPhase::Dwell => {
+                    if gap <= cfg.burst_enter {
+                        TrafficPhase::Burst
+                    } else if gap >= cfg.idle_enter {
+                        TrafficPhase::Idle
+                    } else {
+                        TrafficPhase::Dwell
+                    }
                 }
-            }
-            TrafficPhase::Idle => {
-                if gap >= cfg.idle_exit {
-                    TrafficPhase::Idle
-                } else if gap <= cfg.burst_enter {
-                    TrafficPhase::Burst
-                } else {
-                    TrafficPhase::Dwell
+                TrafficPhase::Idle => {
+                    if gap >= cfg.idle_exit {
+                        TrafficPhase::Idle
+                    } else if gap <= cfg.burst_enter {
+                        TrafficPhase::Burst
+                    } else {
+                        TrafficPhase::Dwell
+                    }
                 }
+            };
+            if next != self.phase {
+                self.transitions += 1;
+                self.phase = next;
             }
-        };
-        if next != self.phase {
-            self.transitions += 1;
-            self.phase = next;
         }
+        self.note_phase_for_sweep();
         self.phase
+    }
+
+    /// Feeds this request's verdict into the auto sweep window and
+    /// updates the sweep Schmitt trigger. Occupancy is compared in
+    /// integer per-mille-scaled units (`bursts × 1000` vs
+    /// `threshold × window`), so the detector is exact and
+    /// host-independent.
+    fn note_phase_for_sweep(&mut self) {
+        let cap = self.cfg.auto_window;
+        if cap == 0 {
+            return;
+        }
+        let is_burst = self.phase == TrafficPhase::Burst;
+        self.window.push_back(is_burst);
+        self.bursts_in_window += is_burst as usize;
+        if self.window.len() > cap && self.window.pop_front() == Some(true) {
+            self.bursts_in_window -= 1;
+        }
+        if self.window.len() == cap {
+            let occ = self.bursts_in_window * 1000;
+            if !self.sweeping && occ >= self.cfg.auto_enter_per_mille as usize * cap {
+                self.sweeping = true;
+            } else if self.sweeping && occ < self.cfg.auto_exit_per_mille as usize * cap {
+                self.sweeping = false;
+            }
+        }
+    }
+
+    /// Whether the auto detector currently classifies this session as
+    /// a pause-free sweep (serve it with the uniform budget). Always
+    /// `false` when [`BurstConfig::auto_window`] is 0.
+    pub fn sweeping(&self) -> bool {
+        self.sweeping
     }
 
     /// The current phase (the last [`BurstTracker::observe`] verdict).
@@ -341,6 +431,83 @@ mod tests {
         let cfg = BurstConfig {
             burst_enter: ms(500),
             burst_exit: ms(200),
+            ..BurstConfig::default()
+        };
+        let _ = BurstTracker::new(cfg);
+    }
+
+    #[test]
+    fn sweep_trigger_needs_a_full_window() {
+        let cfg = BurstConfig::default();
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        for _ in 0..cfg.auto_window - 2 {
+            assert_eq!(t.observe(Some(ms(50))), TrafficPhase::Burst);
+            assert!(!t.sweeping(), "partial window must not trigger");
+        }
+        t.observe(Some(ms(50)));
+        assert!(t.sweeping(), "a full all-burst window is a sweep");
+    }
+
+    #[test]
+    fn sweep_exit_has_hysteresis() {
+        let cfg = BurstConfig::default();
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        for _ in 0..cfg.auto_window {
+            t.observe(Some(ms(50)));
+        }
+        assert!(t.sweeping());
+        // Two dwell gaps in a 32-window: occupancy 30/32 = 937 ‰ —
+        // below enter (925 would re-enter at 937? no: 937 ≥ 925), so
+        // drive occupancy just below exit (850 ‰ → < 27.2/32): five
+        // dwells leaves 27/32 = 843 ‰.
+        for _ in 0..4 {
+            t.observe(Some(ms(2_000)));
+            t.observe(Some(ms(50))); // classifier re-enters burst fast
+            assert!(t.sweeping(), "inside the hysteresis band: still sweeping");
+        }
+        t.observe(Some(ms(2_000)));
+        assert!(!t.sweeping(), "occupancy fell below the exit threshold");
+    }
+
+    #[test]
+    fn bursty_occupancy_never_trips_the_sweep_trigger() {
+        // A 9-burst/1-dwell sprint cycle — the zoo's worst sustained
+        // bursty pattern — peaks at 29/32 burst (906 ‰), under the
+        // 925 ‰ enter threshold.
+        let cfg = BurstConfig::default();
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        for _ in 0..40 {
+            for _ in 0..9 {
+                t.observe(Some(ms(50)));
+            }
+            t.observe(Some(ms(2_000)));
+            assert!(!t.sweeping(), "sprint traffic must keep the schedule");
+        }
+    }
+
+    #[test]
+    fn auto_window_zero_disables_the_detector() {
+        let cfg = BurstConfig {
+            auto_window: 0,
+            ..BurstConfig::default()
+        };
+        let mut t = BurstTracker::new(cfg);
+        t.observe(None);
+        for _ in 0..200 {
+            t.observe(Some(ms(50)));
+        }
+        assert!(!t.sweeping());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn crossed_auto_thresholds_are_rejected() {
+        let cfg = BurstConfig {
+            auto_enter_per_mille: 700,
+            auto_exit_per_mille: 900,
             ..BurstConfig::default()
         };
         let _ = BurstTracker::new(cfg);

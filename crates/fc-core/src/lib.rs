@@ -48,6 +48,7 @@ pub mod middleware;
 pub mod multiuser;
 pub mod paircache;
 pub mod phase;
+pub mod push;
 pub mod recommender;
 pub mod roi;
 pub mod sb;
@@ -75,6 +76,7 @@ pub use multiuser::{
 };
 pub use paircache::{PairCache, PairCacheStats};
 pub use phase::{Phase, PhaseClassifier};
+pub use push::{PushConfig, PushPlanner, PushPolicy, PushStats};
 pub use recommender::{PredictionContext, Recommender};
 pub use roi::RoiTracker;
 pub use sb::{Chi2Kernel, SbConfig, SbRecommender};

@@ -237,10 +237,12 @@ pub struct Middleware {
     /// yet — the outstanding speculation `prefetch_used` is settled
     /// against. Tracked unconditionally (it never changes behavior).
     speculative: HashSet<TileId>,
-    /// The last dwell plan (burst-on, shared mode): the hold set the
-    /// session keeps pinned while it rides a burst reactively. Kept
-    /// to the session's fair budget slice so four planning sessions
-    /// can never pin more than the communal capacity between them.
+    /// The last dwell plan (burst-on): shared mode pins it as the
+    /// hold set the session keeps while riding a burst reactively
+    /// (kept to the session's fair budget slice so four planning
+    /// sessions can never pin more than the communal capacity between
+    /// them); private mode uses it as the keep list a momentum fetch
+    /// folds in around.
     dwell_plan: Vec<TileId>,
     /// The previous request's interface move — the momentum signal
     /// the dwell planner checks: a dwell move that repeats it (same
@@ -253,6 +255,12 @@ pub struct Middleware {
     /// re-fetches if evicted). Tracked unconditionally; read only
     /// when burst-aware scheduling is on.
     recent: VecDeque<TileId>,
+    /// The last request's full ranked prediction list, captured
+    /// *before* the fetch-budget truncation — the server-push
+    /// planner's candidate feed ([`Middleware::take_push_candidates`]).
+    /// Tracked unconditionally; behavior-inert (no stats, no cache
+    /// effect) until something drains it.
+    push_candidates: Vec<TileId>,
 }
 
 /// Cap on the [`Middleware::recent`] ring. Bounds the bookkeeping,
@@ -356,6 +364,7 @@ impl Middleware {
             dwell_plan: Vec::new(),
             last_move: None,
             recent: VecDeque::new(),
+            push_candidates: Vec::new(),
         }
     }
 
@@ -371,6 +380,22 @@ impl Middleware {
     /// scheduling is off).
     pub fn traffic_phase(&self) -> Option<TrafficPhase> {
         self.burst.as_ref().map(|b| b.tracker.phase())
+    }
+
+    /// Whether the auto sweep detector currently has this session on
+    /// the uniform fallback budget (always `false` with burst-aware
+    /// scheduling off or [`crate::burst::BurstConfig::auto_window`]
+    /// = 0).
+    pub fn sweeping(&self) -> bool {
+        self.burst.as_ref().is_some_and(|b| b.tracker.sweeping())
+    }
+
+    /// Takes the last request's full ranked prediction list (before
+    /// the fetch-budget truncation) — the candidate feed for the
+    /// server-push planner ([`crate::PushPlanner::refill`]). Empty
+    /// until a request has been served, and after each take.
+    pub fn take_push_candidates(&mut self) -> Vec<TileId> {
+        std::mem::take(&mut self.push_candidates)
     }
 
     /// Advances the session's burst timeline by `d` of user think
@@ -481,6 +506,13 @@ impl Middleware {
         // the gap on the session's timeline since the last request
         // finished (None with the scheduler off).
         let traffic = self.burst.as_mut().map(BurstState::classify);
+        // Auto sweep fallback: when burst occupancy over the sliding
+        // window says this session is a pause-free sweep, the
+        // counter-cyclical schedule has no quiet windows to spend its
+        // budget in — every budget decision below reverts to the
+        // uniform per-request path while classification (and the
+        // per-traffic accounting) keeps running.
+        let sweeping = self.burst.as_ref().is_some_and(|b| b.tracker.sweeping());
         // Settle outstanding speculation: if this tile was one of our
         // prefetches, the request decides whether it was useful (it
         // must still be resident to count).
@@ -572,17 +604,20 @@ impl Middleware {
         // when idle. With the scheduler off (`traffic` None) every
         // value below reduces to today's uniform budget.
         let (eff_k, dwell) = match (traffic, self.burst.as_ref()) {
+            // Sweeping sessions take the exact burst-off arm: uniform
+            // budget, no dwell plan.
+            _ if sweeping => (self.k, None),
             (Some(tp), Some(b)) => (
                 b.cfg.speculative_budget(tp, self.k),
                 (tp == TrafficPhase::Dwell).then_some(b.cfg),
             ),
             _ => (self.k, None),
         };
-        let reactive_only = matches!(traffic, Some(TrafficPhase::Burst)) && eff_k == 0;
+        let reactive_only = !sweeping && matches!(traffic, Some(TrafficPhase::Burst)) && eff_k == 0;
         // Idle keep-warm: the trickle maintains the analyst's working
         // set, it does not speculate — the plan is the recent ring,
         // the engine stays off the idle path entirely.
-        let idle_warm = matches!(traffic, Some(TrafficPhase::Idle))
+        let idle_warm = (!sweeping && matches!(traffic, Some(TrafficPhase::Idle)))
             .then(|| self.burst.as_ref().map(|b| b.cfg))
             .flatten();
         let predict_start = Instant::now();
@@ -732,7 +767,44 @@ impl Middleware {
             }
             predictions = plan;
         }
+        // Burst-phase momentum ([`BurstConfig::momentum`]): mid-burst
+        // the one speculation with a confirmed signal is the pan the
+        // user is executing *right now* — a 1-deep same-direction
+        // lookahead that consults no model (one geometry step) and so
+        // stays cheap even on the reactive path. It leads the list and
+        // rides on top of the phase budget (`momentum_extra` below),
+        // which is what makes pause-free sweeps survivable: every
+        // request of a straight sweep leg after the first hits its
+        // predecessor's lookahead. It fires on a MISS (the run has
+        // outrun the cache, the next tile is about to miss too) or on
+        // a *speculative* hit (the chain case: this tile was itself a
+        // prefetch — momentum's own lookahead, a dwell extrapolation
+        // — so the run is live and the staged coverage ends here).
+        // An organic hit stays quiet: the run is inside a revisited
+        // working set or a pinned plan, and a lookahead would only
+        // churn tiles other sessions have pinned.
+        let mut momentum_extra = 0usize;
+        if !sweeping
+            && (!cache_hit || was_speculative)
+            && matches!(traffic, Some(TrafficPhase::Burst))
+            && self.burst.as_ref().is_some_and(|b| b.cfg.momentum)
+        {
+            if let Some(next) = mv
+                .filter(|m| m.is_pan())
+                .and_then(|m| self.pyramid.geometry().apply(id, m))
+            {
+                if !predictions.contains(&next) {
+                    predictions.insert(0, next);
+                    momentum_extra = 1;
+                }
+            }
+        }
         let predictions = predictions;
+        // Captured pre-truncation: the push planner wants the whole
+        // ranked belief, including tiles already resident (they are
+        // exactly the ones a push can ship without new backend I/O).
+        self.push_candidates.clear();
+        self.push_candidates.extend_from_slice(&predictions);
         let predict_time = predict_start.elapsed();
         let pair_cache = match &scheduler {
             Some(sched) => sched.pair_cache_stats(),
@@ -754,8 +826,10 @@ impl Middleware {
         // plus the opportunistic tail), but the list's extra entries
         // are for `hold`; fetch I/O stays within the phase budget.
         // Burst-off predictions never exceed `eff_k`, so this is
-        // byte-for-byte inert without a scheduler.
-        to_fetch.truncate(eff_k);
+        // byte-for-byte inert without a scheduler. The momentum
+        // lookahead (list head) rides on top of the phase budget: a
+        // reactive burst still fetches its one confirmed tile.
+        to_fetch.truncate(eff_k + momentum_extra);
         // Shared mode: install() keeps at most the session's fair
         // budget slice, so fetching past it would charge backend I/O
         // for tiles the cache immediately discards. Predictions are
@@ -864,12 +938,26 @@ impl Middleware {
             None if reactive_only => {
                 // Private mode, mid-burst: leave the prefetch set
                 // alone — install's replace semantics would drop the
-                // dwell plan the burst is consuming.
+                // dwell plan the burst is consuming. A momentum fetch
+                // folds in through the keeping install, with the keep
+                // list the staged plan plus the recent ring (both
+                // capped), so the set stays bounded across an
+                // arbitrarily long burst.
+                if !fetched_tiles.is_empty() {
+                    let mut keep: Vec<TileId> = self.dwell_plan.clone();
+                    keep.extend(self.recent.iter().copied());
+                    self.cache.install_prefetch_keeping(fetched_tiles, &keep);
+                }
             }
-            None if dwell.is_some() || idle_warm.is_some() => self
-                .cache
-                .install_prefetch_keeping(fetched_tiles, &predictions),
-            None => self.cache.install_prefetch(fetched_tiles),
+            None if dwell.is_some() || idle_warm.is_some() => {
+                self.cache
+                    .install_prefetch_keeping(fetched_tiles, &predictions);
+                self.dwell_plan = predictions.clone();
+            }
+            None => {
+                self.cache.install_prefetch(fetched_tiles);
+                self.dwell_plan.clear();
+            }
         }
 
         self.stats.requests += 1;
@@ -1440,14 +1528,21 @@ mod tests {
         assert_eq!(mw.traffic_phase(), Some(TrafficPhase::Burst));
 
         // Back-to-back requests land inside the burst-enter threshold:
-        // reactive-only, no speculation (default burst budget is 0).
+        // reactive-only — the engine stays off, and the only
+        // speculation is the momentum lookahead along the confirmed
+        // pan (one tile, no move on r1 means none at all).
         let r1 = mw.request(TileId::new(2, 2, 0), None).unwrap();
         let r2 = mw
             .request(TileId::new(2, 2, 1), Some(Move::PanRight))
             .unwrap();
         assert_eq!(r1.traffic, Some(TrafficPhase::Burst));
         assert_eq!(r2.traffic, Some(TrafficPhase::Burst));
-        assert!(r1.prefetched.is_empty() && r2.prefetched.is_empty());
+        assert!(r1.prefetched.is_empty(), "no move, no momentum");
+        assert_eq!(
+            r2.prefetched,
+            vec![TileId::new(2, 2, 2)],
+            "mid-burst speculation is the momentum lookahead only"
+        );
 
         // A one-second pause exits the burst; the dwell deep run
         // speculates along the pan direction.
@@ -1483,6 +1578,77 @@ mod tests {
         assert!(s.prefetch_used >= 1);
         let eff = s.prefetch_efficiency();
         assert!(eff > 0.0 && eff <= 1.0, "{eff}");
+    }
+
+    #[test]
+    fn momentum_off_keeps_bursts_fully_reactive() {
+        use crate::burst::{BurstConfig, TrafficPhase};
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.set_burst(Some(BurstConfig {
+            momentum: false,
+            ..BurstConfig::default()
+        }));
+        mw.request(TileId::new(2, 2, 0), None).unwrap();
+        let r = mw
+            .request(TileId::new(2, 2, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r.traffic, Some(TrafficPhase::Burst));
+        assert!(r.prefetched.is_empty(), "no lookahead with momentum off");
+        assert_eq!(mw.stats().prefetch_issued, 0);
+    }
+
+    #[test]
+    fn sweep_fallback_restores_uniform_speculation() {
+        use crate::burst::{BurstConfig, TrafficPhase};
+        let p = pyramid();
+        let mut mw = middleware(p, 4);
+        mw.set_burst(Some(BurstConfig {
+            auto_window: 8,
+            ..BurstConfig::default()
+        }));
+        // A serpentine sweep over the deepest level's 4×4 grid,
+        // back-to-back (every gap inside the burst band).
+        let serp: Vec<(TileId, Option<Move>)> = {
+            let mut walk = vec![(TileId::new(2, 0, 0), None)];
+            for row in 0..4u32 {
+                let (cols, mv): (Vec<u32>, Move) = if row % 2 == 0 {
+                    ((1..4).collect(), Move::PanRight)
+                } else {
+                    ((0..3).rev().collect(), Move::PanLeft)
+                };
+                for c in cols {
+                    walk.push((TileId::new(2, row, c), Some(mv)));
+                }
+                if row < 3 {
+                    let x = walk.last().unwrap().0.x;
+                    walk.push((TileId::new(2, row + 1, x), Some(Move::PanDown)));
+                }
+            }
+            walk
+        };
+        for &(id, mv) in &serp {
+            mw.request(id, mv).unwrap();
+        }
+        assert!(
+            mw.sweeping(),
+            "a pause-free sweep must trip the auto fallback"
+        );
+        assert_eq!(mw.traffic_phase(), Some(TrafficPhase::Burst));
+        // Second lap, still sweeping: a mid-row pan is served with
+        // the uniform budget — the model speculates again (a reactive
+        // burst would fetch at most the single momentum tile; sweep
+        // mode hands the full `k` back to the engine).
+        mw.request(TileId::new(2, 0, 0), None).unwrap();
+        let r = mw
+            .request(TileId::new(2, 0, 1), Some(Move::PanRight))
+            .unwrap();
+        assert_eq!(r.traffic, Some(TrafficPhase::Burst));
+        assert!(mw.sweeping());
+        assert!(
+            !r.prefetched.is_empty(),
+            "sweep fallback must restore uniform speculation"
+        );
     }
 
     #[test]

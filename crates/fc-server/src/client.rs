@@ -12,6 +12,9 @@ pub struct Client {
     stream: TcpStream,
     levels: u8,
     deepest_tiles: (u32, u32),
+    /// Unsolicited [`ServerMsg::Push`] tiles received while awaiting
+    /// replies, in arrival order (drained by [`Client::take_pushed`]).
+    pushed: Vec<TilePayload>,
 }
 
 /// A structured server-side error reply, carried as the source of the
@@ -124,6 +127,7 @@ impl Client {
                 stream,
                 levels,
                 deepest_tiles,
+                pushed: Vec::new(),
             }),
             ServerMsg::Error { code, reason } => Err(server_err(code, reason)),
             other => Err(io::Error::other(format!(
@@ -152,7 +156,7 @@ impl Client {
             &mut self.stream,
             &ClientMsg::RequestTile { tile, mv }.encode(),
         )?;
-        match ServerMsg::decode(read_frame(&mut self.stream)?)? {
+        match self.read_reply()? {
             ServerMsg::Tile {
                 payload,
                 latency_ns,
@@ -179,7 +183,7 @@ impl Client {
     /// Socket or protocol errors.
     pub fn stats(&mut self) -> io::Result<SessionStats> {
         write_frame(&mut self.stream, &ClientMsg::GetStats.encode())?;
-        match ServerMsg::decode(read_frame(&mut self.stream)?)? {
+        match self.read_reply()? {
             ServerMsg::Stats {
                 requests,
                 hits,
@@ -198,6 +202,27 @@ impl Client {
                 "unexpected reply to GetStats: {other:?}"
             ))),
         }
+    }
+
+    /// Reads the next *reply*, stashing any unsolicited
+    /// [`ServerMsg::Push`] frames that arrive first — a push is never
+    /// the answer to a request, so the request/reply rhythm is
+    /// preserved no matter how many pushes interleave.
+    fn read_reply(&mut self) -> io::Result<ServerMsg> {
+        loop {
+            match ServerMsg::decode(read_frame(&mut self.stream)?)? {
+                ServerMsg::Push { payload } => self.pushed.push(payload),
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    /// Drains the tiles the server has pushed unsolicited so far, in
+    /// arrival order. Pushes are only *observed* while a reply is
+    /// being awaited (the client never reads the socket otherwise), so
+    /// after a reply this reflects every push sent before it.
+    pub fn take_pushed(&mut self) -> Vec<TilePayload> {
+        std::mem::take(&mut self.pushed)
     }
 
     /// Closes the session politely.

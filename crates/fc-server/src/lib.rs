@@ -20,16 +20,31 @@
 //!   [`fc_core::SharedTileCache`] (communal prefetches, fairly
 //!   repartitioned budgets) and the cross-session
 //!   [`fc_core::PredictScheduler`];
+//! * [`poll`] and [`epoll`] — minimal readiness shims over std (the
+//!   container has no mio/tokio; std already links libc, so the
+//!   syscalls are a plain `extern "C"` away): `poll(2)` as the simple
+//!   primitive for small descriptor sets, `epoll(7)` for the
+//!   reactor's O(ready) wakeups at thousands of sessions;
+//! * the session reactor (via [`server::ServerConfig::reactor`]) —
+//!   the same sessions multiplexed on a single-threaded readiness loop:
+//!   per-session read re-assembly and bounded write queues around the
+//!   same codec and message handler, bit-identical replies, plus the
+//!   utility-scheduled server push
+//!   ([`server::ServerConfig::push`], [`fc_core::PushPlanner`]);
 //! * [`client`] — a blocking client for Rust front-ends and tests.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod epoll;
+pub mod poll;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use client::{Client, ServerError};
 pub use protocol::{ClientMsg, ErrorCode, FrameBuf, ServerMsg, TilePayload};
 pub use server::{
-    DatasetSpec, EngineFactory, FaultSetup, MultiUserServing, Server, ServerConfig, SessionLimits,
+    DatasetSpec, EngineFactory, FaultSetup, MultiUserServing, PushServing, Server, ServerConfig,
+    SessionLimits,
 };

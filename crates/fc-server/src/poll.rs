@@ -1,0 +1,183 @@
+//! A minimal `poll(2)` shim over std — the readiness primitive the
+//! session reactor multiplexes on.
+//!
+//! The container is offline, so the usual ecosystem answer (mio /
+//! tokio) is out of reach; std itself links libc, which means the one
+//! syscall we need is available through a plain `extern "C"`
+//! declaration with the kernel's own ABI types. The shim is
+//! deliberately tiny: an FFI-faithful [`PollFd`], the event-bit
+//! constants the reactor uses, and [`poll_fds`] with EINTR retry.
+//! `poll` (unlike `select`) has no FD_SETSIZE ceiling, so one flat
+//! descriptor table scales to the thousands of sessions the reactor
+//! targets.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readable data (or a peer close, which reads as EOF).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hangup (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's interest set and readiness result — ABI-identical
+/// to the kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor (negative entries are ignored by the kernel,
+    /// which is how slots are parked without compacting the table).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events; also carries `POLLERR`/`POLLHUP`/`POLLNVAL`
+    /// regardless of what was requested.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An interest entry for `fd` watching `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the descriptor is readable (or at EOF / errored —
+    /// conditions a read will surface, so the read path must run).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the descriptor is writable without blocking.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Whether the kernel flagged an error/hangup condition.
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry is ready or `timeout` elapses;
+/// returns how many entries have nonzero `revents`. `None` blocks
+/// indefinitely; sub-millisecond timeouts round up to 1 ms so a short
+/// positive timeout can never spin as a busy-wait. Interrupted calls
+/// (EINTR) retry with the full timeout — callers use bounded tick
+/// timeouts, so the drift is capped at one tick.
+///
+/// # Errors
+/// The raw OS error for anything other than EINTR.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                c_int::try_from(ms).unwrap_or(c_int::MAX)
+            }
+        }
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn connected_socket_is_writable_and_quiet() {
+        let (a, _b) = socket_pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(500))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable(), "fresh socket has send-buffer room");
+        assert!(
+            fds[0].revents & POLLIN == 0,
+            "nothing to read yet: {:#x}",
+            fds[0].revents
+        );
+    }
+
+    #[test]
+    fn data_arrival_flags_readable() {
+        let (mut a, b) = socket_pair();
+        a.write_all(b"ping").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 4];
+        let mut b = b;
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn idle_descriptor_times_out_with_zero_ready() {
+        let (a, _b) = socket_pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0, "no data, no hangup — poll must time out clean");
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn peer_close_reads_as_ready() {
+        let (a, b) = socket_pair();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "EOF must wake the read path");
+    }
+
+    #[test]
+    fn parked_negative_fd_is_ignored() {
+        let (a, _b) = socket_pair();
+        let mut fds = [
+            PollFd::new(-1, POLLIN | POLLOUT),
+            PollFd::new(a.as_raw_fd(), POLLOUT),
+        ];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(500))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(fds[0].revents, 0, "parked slot stays silent");
+        assert!(fds[1].writable());
+    }
+}

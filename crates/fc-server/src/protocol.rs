@@ -189,6 +189,14 @@ pub enum ServerMsg {
         /// Human-readable reason.
         reason: String,
     },
+    /// A server-initiated speculative tile: the push planner decided
+    /// this session is likely to request it soon and its socket had
+    /// write headroom. Unsolicited — the client caches or drops it; it
+    /// is never an answer to an outstanding request.
+    Push {
+        /// The payload.
+        payload: TilePayload,
+    },
 }
 
 /// A reusable frame-encoding buffer; see the module docs for the reuse
@@ -434,6 +442,15 @@ impl ServerMsg {
             }
             ServerMsg::Stats { .. } => 1 + 8 + 8 + 8 + 8 + 8,
             ServerMsg::Error { reason, .. } => 1 + 1 + 2 + wire_str(reason).len(),
+            ServerMsg::Push { payload } => {
+                let ncells = payload.h as usize * payload.w as usize;
+                let columns: usize = payload
+                    .attrs
+                    .iter()
+                    .map(|name| 2 + wire_str(name).len() + ncells * 8)
+                    .sum();
+                1 + 9 + 4 + 4 + 2 + columns + payload.present.len()
+            }
         }
     }
 
@@ -494,6 +511,19 @@ impl ServerMsg {
                 body.push(3);
                 body.push(*code as u8);
                 put_string(body, reason);
+            }
+            ServerMsg::Push { payload } => {
+                body.push(4);
+                put_tile_id(body, payload.tile);
+                body.extend_from_slice(&payload.h.to_le_bytes());
+                body.extend_from_slice(&payload.w.to_le_bytes());
+                let nattrs = u16::try_from(payload.attrs.len()).expect("attr count");
+                body.extend_from_slice(&nattrs.to_le_bytes());
+                for (name, values) in payload.attrs.iter().zip(&payload.data) {
+                    put_string(body, name);
+                    put_f64_column(body, values);
+                }
+                body.extend_from_slice(&payload.present);
             }
         }
         frame.finish_frame()
@@ -586,6 +616,43 @@ impl ServerMsg {
                 Ok(ServerMsg::Error {
                     code,
                     reason: get_string(&mut body)?,
+                })
+            }
+            4 => {
+                let tile = get_tile_id(&mut body)?;
+                if body.remaining() < 4 + 4 + 2 {
+                    return Err(bad("truncated Push header"));
+                }
+                let h = body.get_u32_le();
+                let w = body.get_u32_le();
+                let nattrs = body.get_u16_le() as usize;
+                let ncells = (h as usize)
+                    .checked_mul(w as usize)
+                    .filter(|&n| n <= MAX_FRAME)
+                    .ok_or_else(|| bad("tile dimensions too large"))?;
+                let mut attrs = Vec::with_capacity(nattrs);
+                let mut data = Vec::with_capacity(nattrs);
+                for _ in 0..nattrs {
+                    let name = get_string(&mut body)?;
+                    if body.remaining() < ncells * 8 {
+                        return Err(bad("truncated attribute data"));
+                    }
+                    attrs.push(name);
+                    data.push(get_f64_column(&mut body, ncells));
+                }
+                if body.remaining() < ncells {
+                    return Err(bad("truncated presence mask"));
+                }
+                let present = body.copy_to_bytes(ncells).to_vec();
+                Ok(ServerMsg::Push {
+                    payload: TilePayload {
+                        tile,
+                        h,
+                        w,
+                        attrs,
+                        data,
+                        present,
+                    },
                 })
             }
             t => Err(bad(&format!("unknown server tag {t}"))),
@@ -705,12 +772,33 @@ mod tests {
                 code: ErrorCode::Overloaded,
                 reason: String::new(),
             },
+            ServerMsg::Push {
+                payload: TilePayload {
+                    tile: TileId::new(3, 4, 5),
+                    h: 2,
+                    w: 2,
+                    attrs: vec!["ndsi_avg".into()],
+                    data: vec![vec![0.5, 0.25, 0.75, 1.0]],
+                    present: vec![1, 1, 1, 0],
+                },
+            },
         ];
         for m in msgs {
             let enc = m.encode();
             let dec = ServerMsg::decode(unframe(&enc)).unwrap();
             assert_eq!(dec, m);
         }
+    }
+
+    #[test]
+    fn truncated_push_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(4); // Push tag
+        b.put_u8(0); // tile id
+        b.put_u32_le(0);
+        b.put_u32_le(0);
+        b.put_u32_le(4); // h — header then ends early
+        assert!(ServerMsg::decode(b.freeze()).is_err());
     }
 
     #[test]

@@ -22,10 +22,10 @@ use fc_core::{
 use fc_tiles::{Pyramid, Tile};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Builds a fresh prediction engine per session (sessions never share
 /// history/ROI state; what *is* shared in multi-user mode — the tile
@@ -108,9 +108,20 @@ pub struct SessionLimits {
     /// Per-session socket read timeout: a client idle past it (a
     /// slow-client or dead peer) gets a clean server-side teardown
     /// instead of pinning a session thread forever (`None` = block).
+    /// In reactor mode this is the idle-session timeout, enforced on
+    /// the event loop's clock rather than the socket.
     pub read_timeout: Option<Duration>,
-    /// Per-session socket write timeout (`None` = block).
+    /// Per-session socket write timeout (`None` = block). In reactor
+    /// mode this is the write-stall timeout: a session whose socket
+    /// stays unwritable this long with output pending is torn down.
     pub write_timeout: Option<Duration>,
+    /// Reactor mode only: bound on a session's pending write queue,
+    /// in frames. A reply that would queue past it sheds the session
+    /// with [`ErrorCode::Overloaded`] — a slow reader's backlog is
+    /// bounded memory, never unbounded (0 = unbounded, the historical
+    /// behaviour). The threaded path needs no bound: its blocking
+    /// writes hold at most one frame.
+    pub max_write_queue: usize,
 }
 
 /// Deterministic backend fault injection applied to every session's
@@ -123,6 +134,27 @@ pub struct FaultSetup {
     pub plan: Arc<FaultPlan>,
     /// Retry/backoff/deadline budget for faulted fetches.
     pub retry: RetryPolicy,
+}
+
+/// Server-push serving parameters (reactor mode, multi-user only —
+/// pushes ship tiles already resident in the shared cache).
+#[derive(Debug, Clone, Copy)]
+pub struct PushServing {
+    /// The planner's policy and queue bounds.
+    pub planner: fc_core::PushConfig,
+    /// Pushes the planner may hand to the wire per reactor tick — the
+    /// global drain budget the utility (or round-robin) schedule
+    /// allocates across writable sessions.
+    pub tick_budget: usize,
+}
+
+impl Default for PushServing {
+    fn default() -> Self {
+        Self {
+            planner: fc_core::PushConfig::default(),
+            tick_budget: 4,
+        }
+    }
 }
 
 /// Server configuration.
@@ -146,6 +178,16 @@ pub struct ServerConfig {
     /// middleware (default: `None` — the uniform per-request budget,
     /// bit-identical to the unscheduled server).
     pub burst: Option<fc_core::BurstConfig>,
+    /// Serve sessions on the single-threaded poll reactor instead of
+    /// one thread per connection (default: `false`, the threaded
+    /// path). Same codec, same `handle_msg`, same admission control —
+    /// replies are bit-identical; only the concurrency substrate
+    /// changes.
+    pub reactor: bool,
+    /// Utility-scheduled server push (reactor + multi-user mode only;
+    /// ignored elsewhere). Default: `None` — no unsolicited frames,
+    /// bit-identical to the pre-push wire stream.
+    pub push: Option<PushServing>,
 }
 
 impl Default for ServerConfig {
@@ -158,28 +200,30 @@ impl Default for ServerConfig {
             limits: SessionLimits::default(),
             faults: None,
             burst: None,
+            reactor: false,
+            push: None,
         }
     }
 }
 
 /// One dataset's serving state: spec + (in multi-user mode) its cache
 /// namespace and predict scheduler.
-struct ServedDataset {
-    spec: DatasetSpec,
-    shared: Option<DatasetShared>,
+pub(crate) struct ServedDataset {
+    pub(crate) spec: DatasetSpec,
+    pub(crate) shared: Option<DatasetShared>,
 }
 
 /// A dataset's slice of the multi-user serving core.
-struct DatasetShared {
-    namespace: Arc<DatasetNamespace>,
-    scheduler: Option<Arc<PredictScheduler>>,
+pub(crate) struct DatasetShared {
+    pub(crate) namespace: Arc<DatasetNamespace>,
+    pub(crate) scheduler: Option<Arc<PredictScheduler>>,
     /// Whether sessions' handles carry the namespace's hotspot model.
-    hotspots_on: bool,
+    pub(crate) hotspots_on: bool,
 }
 
 /// Everything the accept loop shares with session threads.
-struct ServedDatasets {
-    datasets: Vec<ServedDataset>,
+pub(crate) struct ServedDatasets {
+    pub(crate) datasets: Vec<ServedDataset>,
     /// The registry partitioning the global budget (multi-user mode).
     /// Held so the namespaces stay attached for the server's lifetime.
     #[allow(dead_code)]
@@ -189,13 +233,22 @@ struct ServedDatasets {
 impl ServedDatasets {
     /// Resolves a Hello's dataset name: empty picks the default
     /// (first) dataset.
-    fn resolve(&self, name: &str) -> Option<&ServedDataset> {
+    pub(crate) fn resolve(&self, name: &str) -> Option<&ServedDataset> {
         if name.is_empty() {
             self.datasets.first()
         } else {
             self.datasets.iter().find(|d| d.spec.name == name)
         }
     }
+}
+
+/// Cumulative push accounting mirrored out of the reactor's planner
+/// (the reactor thread owns the planner; these atomics are the
+/// observable copy).
+#[derive(Debug, Default)]
+pub(crate) struct PushCounters {
+    pub(crate) pushed: AtomicU64,
+    pub(crate) used: AtomicU64,
 }
 
 /// A running ForeCache server.
@@ -205,6 +258,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     active_sessions: Arc<AtomicUsize>,
     served: Arc<ServedDatasets>,
+    push_counters: Arc<PushCounters>,
 }
 
 impl Server {
@@ -304,18 +358,31 @@ impl Server {
             })
             .collect();
         let served = Arc::new(ServedDatasets { datasets, registry });
+        let push_counters = Arc::new(PushCounters::default());
         let accept_shutdown = shutdown.clone();
         let accept_sessions = active_sessions.clone();
         let accept_served = served.clone();
+        let accept_push = push_counters.clone();
         let accept_config = config;
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(
-                listener,
-                accept_served,
-                accept_config,
-                accept_shutdown,
-                accept_sessions,
-            );
+            if accept_config.reactor {
+                crate::reactor::reactor_loop(
+                    listener,
+                    accept_served,
+                    accept_config,
+                    accept_shutdown,
+                    accept_sessions,
+                    accept_push,
+                );
+            } else {
+                accept_loop(
+                    listener,
+                    accept_served,
+                    accept_config,
+                    accept_shutdown,
+                    accept_sessions,
+                );
+            }
         });
         Ok(Server {
             local_addr,
@@ -323,6 +390,7 @@ impl Server {
             accept_thread: Some(accept_thread),
             active_sessions,
             served,
+            push_counters,
         })
     }
 
@@ -374,6 +442,17 @@ impl Server {
             .and_then(|d| d.shared.as_ref())
             .and_then(|s| s.scheduler.as_ref())
             .map(|s| s.stats())
+    }
+
+    /// Cumulative server-push accounting `(pushed, used)` across all
+    /// reactor sessions: frames handed to the wire unsolicited, and
+    /// how many of them the session then requested. Both zero outside
+    /// reactor mode or with push off.
+    pub fn push_stats(&self) -> (u64, u64) {
+        (
+            self.push_counters.pushed.load(Ordering::Relaxed),
+            self.push_counters.used.load(Ordering::Relaxed),
+        )
     }
 
     /// The bound address (for clients).
@@ -451,8 +530,11 @@ fn accept_loop(
     }
 }
 
-/// What the session loop does after handling one message.
-enum Flow {
+/// What the session loop does after handling one message. Shared by
+/// the threaded loop and the reactor — the two substrates interpret
+/// the same verdicts, which is what keeps their wire streams
+/// bit-identical.
+pub(crate) enum Flow {
     /// Send the reply, keep serving.
     Reply(ServerMsg),
     /// Send the reply (best-effort), then tear the session down.
@@ -478,6 +560,11 @@ fn serve_session(
     // One reusable frame buffer per session: steady-state replies encode
     // with zero allocations (see protocol.rs, "FrameBuf reuse contract").
     let mut frame = FrameBuf::new();
+    // Wall-clock arrival of the previous tile request: live serving
+    // drives the session's burst timeline with real inter-request
+    // gaps (the analyst's think time), where the replay harnesses
+    // charge simulated think time via the same `note_idle`.
+    let mut last_request: Option<Instant> = None;
     loop {
         let body = match read_frame(&mut stream) {
             Ok(b) => b,
@@ -505,6 +592,13 @@ fn serve_session(
                 return Err(e);
             }
         };
+        if matches!(msg, ClientMsg::RequestTile { .. }) {
+            let now = Instant::now();
+            if let (Some(mw), Some(prev)) = (middleware.as_mut(), last_request) {
+                mw.note_idle(now.duration_since(prev));
+            }
+            last_request = Some(now);
+        }
         // Contain per-message panics (middleware bugs, poisoned tile
         // data): the client gets a structured Internal error and the
         // session tears down cleanly — dropping `middleware` releases
@@ -533,7 +627,7 @@ fn serve_session(
 
 /// Handles one decoded client message. Runs under the session loop's
 /// `catch_unwind`; must not write to the socket (the loop owns it).
-fn handle_msg(
+pub(crate) fn handle_msg(
     msg: ClientMsg,
     middleware: &mut Option<Middleware>,
     served: &ServedDatasets,

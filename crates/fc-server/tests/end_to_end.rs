@@ -347,8 +347,9 @@ fn prefetching_speeds_up_predictable_walks() {
 fn burst_scheduler_wired_through_server_config() {
     // Burst-scheduled server: a pan run at wire speed never leaves the
     // Burst phase (every inter-request gap is far below `burst_enter`),
-    // so the scheduler stays reactive — zero speculative fetches — and
-    // the wire carries the prefetch counters to prove it.
+    // so the engine stays off the burst path — the only speculation
+    // under the default config is the momentum lookahead, at most one
+    // tile per pan, and the wire carries the counters to prove it.
     let (mut server, ds) = start_server_with(ServerConfig {
         burst: Some(fc_core::BurstConfig::default()),
         ..ServerConfig::default()
@@ -371,8 +372,29 @@ fn burst_scheduler_wired_through_server_config() {
     let on = walk(&server);
     server.shutdown();
     assert_eq!(on.requests, 4);
+    assert!(
+        on.prefetch_issued >= 1 && on.prefetch_issued <= 3,
+        "mid-burst speculation is the 1-deep momentum lookahead only: {on:?}"
+    );
+    assert!(
+        on.prefetch_used >= 1,
+        "the momentum chain must cover the pan run: {on:?}"
+    );
+
+    // With momentum disabled the burst path is fully reactive — zero
+    // speculative fetches.
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        burst: Some(fc_core::BurstConfig {
+            momentum: false,
+            ..fc_core::BurstConfig::default()
+        }),
+        ..ServerConfig::default()
+    });
+    let reactive = walk(&server);
+    server.shutdown();
+    assert_eq!(reactive.requests, 4);
     assert_eq!(
-        on.prefetch_issued, 0,
+        reactive.prefetch_issued, 0,
         "wire-speed traffic is a burst: the scheduler must stay reactive"
     );
 

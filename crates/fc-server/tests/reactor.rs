@@ -1,0 +1,396 @@
+//! Reactor-path tests: equivalence with the threaded server, the
+//! failure paths that only exist on an event loop (write backpressure,
+//! mid-frame disconnects, idle teardown), and utility-scheduled push.
+
+use fc_core::engine::PhaseSource;
+use fc_core::signature::SignatureKind;
+use fc_core::{
+    AbRecommender, AllocationStrategy, EngineConfig, PredictionEngine, PushConfig, PushPolicy,
+    SbConfig, SbRecommender,
+};
+use fc_server::protocol::{read_frame, write_frame, ClientMsg, ServerMsg};
+use fc_server::{
+    Client, DatasetSpec, EngineFactory, ErrorCode, MultiUserServing, PushServing, Server,
+    ServerConfig, ServerError, SessionLimits,
+};
+use fc_sim::dataset::{DatasetConfig, StudyDataset};
+use fc_tiles::{Move, Quadrant, TileId};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn pan_right_factory(ds: &StudyDataset) -> EngineFactory {
+    let engine_pyramid = ds.pyramid.clone();
+    Arc::new(move || {
+        let r = Move::PanRight.index() as u16;
+        let traces: Vec<Vec<u16>> = vec![vec![r; 10]];
+        let refs: Vec<&[u16]> = traces.iter().map(|t| t.as_slice()).collect();
+        PredictionEngine::new(
+            engine_pyramid.geometry(),
+            AbRecommender::train(refs, 3),
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            PhaseSource::Heuristic,
+            EngineConfig {
+                strategy: AllocationStrategy::Updated,
+                ..EngineConfig::default()
+            },
+        )
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (Server, StudyDataset) {
+    let ds = StudyDataset::build(DatasetConfig::tiny());
+    let factory = pan_right_factory(&ds);
+    let server =
+        Server::bind("127.0.0.1:0", ds.pyramid.clone(), factory, config).expect("server binds");
+    (server, ds)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The golden walk both substrates replay for the equivalence test.
+fn golden_walk(addr: std::net::SocketAddr) -> (Vec<String>, String) {
+    let mut c = Client::connect(addr, 4).expect("connect");
+    let deepest = c.levels() - 1;
+    let mut answers = Vec::new();
+    let mut walk: Vec<(TileId, Option<Move>)> = vec![
+        (TileId::ROOT, None),
+        (TileId::new(1, 0, 0), Some(Move::ZoomIn(Quadrant::Nw))),
+    ];
+    for x in 0..4 {
+        walk.push((TileId::new(deepest, 1, x), Some(Move::PanRight)));
+    }
+    for (tile, mv) in walk {
+        let a = c.request_tile(tile, mv).expect("tile reply");
+        // The full answer, bit-exactly: payload (tile, dims, attrs,
+        // data bits, validity), flags, latency.
+        let bits: Vec<String> = a
+            .payload
+            .data
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|v| format!("{:016x}", v.to_bits()))
+                    .collect::<String>()
+            })
+            .collect();
+        answers.push(format!(
+            "{}|{}x{}|{:?}|{:?}|{:?}|hit={}|deg={}|phase={}|lat={}",
+            a.payload.tile,
+            a.payload.h,
+            a.payload.w,
+            a.payload.attrs,
+            bits,
+            a.payload.present,
+            a.cache_hit,
+            a.degraded,
+            a.phase,
+            a.latency.as_nanos(),
+        ));
+    }
+    let stats = c.stats().expect("stats");
+    c.bye().expect("bye");
+    (answers, format!("{stats:?}"))
+}
+
+#[test]
+fn reactor_is_bit_identical_to_threaded_on_a_golden_trace() {
+    let ds = StudyDataset::build(DatasetConfig::tiny());
+    let factory = pan_right_factory(&ds);
+    let threaded = Server::bind(
+        "127.0.0.1:0",
+        ds.pyramid.clone(),
+        factory.clone(),
+        ServerConfig::default(),
+    )
+    .expect("threaded server");
+    let reactor = Server::bind(
+        "127.0.0.1:0",
+        ds.pyramid.clone(),
+        factory,
+        ServerConfig {
+            reactor: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("reactor server");
+    let (mut threaded, mut reactor) = (threaded, reactor);
+    let (t_answers, t_stats) = golden_walk(threaded.addr());
+    let (r_answers, r_stats) = golden_walk(reactor.addr());
+    assert_eq!(t_answers, r_answers, "every reply must match bit-exactly");
+    assert_eq!(t_stats, r_stats, "session stats must match");
+    threaded.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
+fn reactor_serves_concurrent_isolated_sessions() {
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        reactor: true,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, 3).expect("connect");
+                c.request_tile(TileId::ROOT, None).expect("root");
+                let q = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se][i % 4];
+                c.request_tile(TileId::new(1, q.dy(), q.dx()), Some(Move::ZoomIn(q)))
+                    .expect("child");
+                let s = c.stats().expect("stats");
+                assert_eq!(s.requests, 2, "sessions do not share counters");
+                c.bye().expect("bye");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    wait_for(|| server.active_sessions() == 0, "session teardown");
+    server.shutdown();
+}
+
+#[test]
+fn reactor_sheds_at_max_sessions() {
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        reactor: true,
+        limits: SessionLimits {
+            max_sessions: 2,
+            ..SessionLimits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let _a = Client::connect(addr, 2).expect("first session");
+    let _b = Client::connect(addr, 2).expect("second session");
+    wait_for(|| server.active_sessions() == 2, "two admitted sessions");
+    let refused = Client::connect(addr, 2);
+    let err = refused.expect_err("third session is shed");
+    let code = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<ServerError>())
+        .map(|e| e.code);
+    assert_eq!(code, Some(ErrorCode::Overloaded), "err: {err}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_reader_backlog_is_shed_with_overloaded() {
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        reactor: true,
+        limits: SessionLimits {
+            max_write_queue: 2,
+            ..SessionLimits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    write_frame(
+        &mut stream,
+        &ClientMsg::Hello {
+            prefetch_k: 2,
+            dataset: String::new(),
+        }
+        .encode(),
+    )
+    .expect("hello");
+    // Pipeline far more requests than the kernel's socket buffers can
+    // absorb in replies — without reading any. The reactor's write
+    // queue hits the 2-frame bound and sheds the session.
+    for _ in 0..2000 {
+        write_frame(
+            &mut stream,
+            &ClientMsg::RequestTile {
+                tile: TileId::ROOT,
+                mv: None,
+            }
+            .encode(),
+        )
+        .expect("pipelined request");
+    }
+    // Now drain: Welcome, some Tile replies, then the shed notice.
+    let mut shed = false;
+    let mut replies = 0u32;
+    // (EOF after teardown ends the drain.)
+    while let Ok(frame) = read_frame(&mut stream) {
+        match ServerMsg::decode(frame).expect("well-formed frame") {
+            ServerMsg::Error { code, reason } => {
+                assert_eq!(code, ErrorCode::Overloaded, "reason: {reason}");
+                shed = true;
+            }
+            _ => replies += 1,
+        }
+    }
+    assert!(
+        shed,
+        "write backlog must shed with Overloaded (saw {replies} replies)"
+    );
+    assert!(
+        replies < 2000,
+        "the session must not survive to serve everything"
+    );
+    wait_for(|| server.active_sessions() == 0, "shed session reaped");
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_is_reaped_cleanly() {
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        reactor: true,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        &ClientMsg::Hello {
+            prefetch_k: 2,
+            dataset: String::new(),
+        }
+        .encode(),
+    )
+    .expect("hello");
+    let welcome = ServerMsg::decode(read_frame(&mut stream).expect("reply")).expect("decode");
+    assert!(matches!(welcome, ServerMsg::Welcome { .. }));
+    wait_for(|| server.active_sessions() == 1, "session admitted");
+    // A frame header promising 100 bytes, followed by 10 — then gone.
+    use std::io::Write;
+    stream.write_all(&100u32.to_le_bytes()).expect("prefix");
+    stream.write_all(&[0u8; 10]).expect("partial body");
+    drop(stream);
+    wait_for(
+        || server.active_sessions() == 0,
+        "mid-frame disconnect reaped",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idle_session_times_out_on_the_reactor_clock() {
+    let (mut server, _ds) = start_server_with(ServerConfig {
+        reactor: true,
+        limits: SessionLimits {
+            read_timeout: Some(Duration::from_millis(150)),
+            ..SessionLimits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let _c = Client::connect(server.addr(), 2).expect("connect");
+    wait_for(|| server.active_sessions() == 1, "session admitted");
+    // Say nothing. The reactor's idle clock reaps the session.
+    wait_for(|| server.active_sessions() == 0, "idle teardown");
+    server.shutdown();
+}
+
+#[test]
+fn utility_push_ships_predicted_tiles_and_counts_use() {
+    let (mut server, ds) = start_server_with(ServerConfig {
+        reactor: true,
+        multi_user: Some(MultiUserServing::default()),
+        push: Some(PushServing {
+            planner: PushConfig {
+                policy: PushPolicy::Utility,
+                ..PushConfig::default()
+            },
+            tick_budget: 4,
+        }),
+        ..ServerConfig::default()
+    });
+    let deepest = ds.pyramid.geometry().levels - 1;
+    let mut c = Client::connect(server.addr(), 4).expect("connect");
+    // Establish a rightward pan run the AB model can extrapolate,
+    // leaving think-time gaps for push ticks to fire in.
+    for x in 0..3 {
+        c.request_tile(TileId::new(deepest, 1, x), Some(Move::PanRight))
+            .expect("pan tile");
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    // Push frames are observed while awaiting replies; poke the
+    // socket with stats until pushes surface.
+    let mut pushed = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pushed.is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(60));
+        let _ = c.stats().expect("stats");
+        pushed = c.take_pushed();
+    }
+    assert!(!pushed.is_empty(), "the planner must push in think time");
+    let (srv_pushed, _) = server.push_stats();
+    assert!(srv_pushed >= pushed.len() as u64);
+    // Requesting a pushed tile books a *used* push server-side.
+    let hit = c
+        .request_tile(pushed[0].tile, Some(Move::PanRight))
+        .expect("pushed tile served");
+    assert_eq!(hit.payload.tile, pushed[0].tile);
+    wait_for(
+        || server.push_stats().1 >= 1,
+        "a pushed-then-requested tile counted as used",
+    );
+    c.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn push_stays_silent_without_opt_in() {
+    let (mut server, ds) = start_server_with(ServerConfig {
+        reactor: true,
+        multi_user: Some(MultiUserServing::default()),
+        ..ServerConfig::default()
+    });
+    let deepest = ds.pyramid.geometry().levels - 1;
+    let mut c = Client::connect(server.addr(), 4).expect("connect");
+    for x in 0..3 {
+        c.request_tile(TileId::new(deepest, 1, x), Some(Move::PanRight))
+            .expect("pan tile");
+        std::thread::sleep(Duration::from_millis(80));
+    }
+    let _ = c.stats().expect("stats");
+    assert!(c.take_pushed().is_empty(), "no push without opt-in");
+    assert_eq!(server.push_stats(), (0, 0));
+    c.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn reactor_supports_multiple_datasets() {
+    let ds = StudyDataset::build(DatasetConfig::tiny());
+    let factory = pan_right_factory(&ds);
+    let specs = vec![
+        DatasetSpec {
+            name: "alpha".into(),
+            pyramid: ds.pyramid.clone(),
+            engines: factory.clone(),
+        },
+        DatasetSpec {
+            name: "beta".into(),
+            pyramid: ds.pyramid.clone(),
+            engines: factory,
+        },
+    ];
+    let mut server = Server::bind_datasets(
+        "127.0.0.1:0",
+        specs,
+        ServerConfig {
+            reactor: true,
+            multi_user: Some(MultiUserServing::default()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let mut a = Client::connect_dataset(server.addr(), 3, "alpha").expect("alpha");
+    let mut b = Client::connect_dataset(server.addr(), 3, "beta").expect("beta");
+    a.request_tile(TileId::ROOT, None).expect("alpha root");
+    b.request_tile(TileId::ROOT, None).expect("beta root");
+    let missing = Client::connect_dataset(server.addr(), 3, "gamma");
+    assert!(missing.is_err(), "unknown dataset still refused");
+    a.bye().expect("bye");
+    b.bye().expect("bye");
+    server.shutdown();
+}

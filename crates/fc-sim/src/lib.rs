@@ -25,7 +25,11 @@
 //!   simulated analysts (threads) over one shared pyramid, joined
 //!   through the shared tile cache and optional cross-session predict
 //!   scheduler, reporting aggregate throughput and predict-latency
-//!   percentiles (the `exp_multiuser` substrate).
+//!   percentiles (the `exp_multiuser` substrate);
+//! * [`swarm`] — the socket-level fleet driver: hundreds-to-thousands
+//!   of paced, nonblocking client sessions from one thread against a
+//!   live `fc-server` (threaded or reactor), measuring wire-path
+//!   request latency and observing server pushes.
 
 #![warn(missing_docs)]
 
@@ -35,6 +39,7 @@ pub mod dataset;
 pub mod multiuser;
 pub mod replay;
 pub mod study;
+pub mod swarm;
 pub mod task;
 pub mod terrain;
 pub mod trace;
@@ -49,6 +54,7 @@ pub use multiuser::{
 };
 pub use replay::{AccuracyReport, Predictor, ReplayOutcome};
 pub use study::{Study, StudyConfig};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use task::TaskSpec;
 pub use terrain::TerrainConfig;
 pub use trace::{Trace, TraceStep};
