@@ -1,0 +1,102 @@
+//! `fc-check` CLI: the repo's correctness gates.
+//!
+//! ```text
+//! fc-check lint [--root <dir>]        # invariant lint gate (exit 1 on findings)
+//! fc-check lockgraph --dir <dir>      # merge FC_LOCKGRAPH dumps, fail on cycles
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fc_check::{lint_tree, LockGraph};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:\n  fc-check lint [--root <dir>]\n  fc-check lockgraph --dir <dir>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("lockgraph") => cmd_lockgraph(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (findings, summary) = lint_tree(&root);
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "fc-check lint: {} file(s), {} finding(s), {} waiver(s) honoured",
+        summary.files,
+        findings.len(),
+        summary.waivers_used
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_lockgraph(args: &[String]) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    let mut graph = LockGraph::new();
+    let read = match graph.ingest_dir(&dir) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("fc-check lockgraph: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fc-check lockgraph: {} dump(s), {} site(s), {} edge(s)",
+        read,
+        graph.node_count(),
+        graph.edge_count()
+    );
+    match graph.find_cycle() {
+        None => {
+            eprintln!("fc-check lockgraph: no lock-order cycles");
+            ExitCode::SUCCESS
+        }
+        Some(cycle) => {
+            eprintln!("fc-check lockgraph: LOCK-ORDER CYCLE (potential deadlock):");
+            for pair in cycle.windows(2) {
+                eprintln!(
+                    "  {} (acquired at {}) -> {} (acquired at {})",
+                    pair[0],
+                    graph.label_of(&pair[0]),
+                    pair[1],
+                    graph.label_of(&pair[1])
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

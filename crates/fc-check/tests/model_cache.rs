@@ -1,0 +1,238 @@
+//! Deterministic model checking of the multi-user tile cache.
+//!
+//! Debug-only: the loom-lite scheduler in the `parking_lot` shim is
+//! compiled out of release builds, so these suites gate on
+//! `debug_assertions`. Each check runs the *live* `SharedTileCache`
+//! (or a deliberately broken local variant) under systematic schedule
+//! exploration and asserts the quiescent invariants the serving stack
+//! relies on: capacity never exceeded, stats balanced, and the hold
+//! index consistent with per-tile holder lists.
+#![cfg(debug_assertions)]
+
+use std::sync::Arc;
+
+use fc_array::{DenseArray, Schema};
+use fc_core::multiuser::{MultiUserCache, SharedTileCache};
+use fc_tiles::{Tile, TileId};
+use parking_lot::model::{self, Mode, Options};
+use parking_lot::Mutex;
+
+fn tile(id: TileId) -> Arc<Tile> {
+    Arc::new(Tile::new(
+        id,
+        DenseArray::filled(Schema::grid2d("T", 2, 2, &["v"]).unwrap(), 1.0),
+    ))
+}
+
+fn tid(x: u32) -> TileId {
+    TileId::new(2, 0, x)
+}
+
+/// DFS over the interleavings of two sessions racing install / hold /
+/// lookup / retain on a capacity-1 shared cache — the tightest
+/// configuration, where every install must evict. The CHESS-style
+/// preemption bound keeps the space tractable while still covering
+/// every schedule with up to two forced context switches (which
+/// subsumes all two-thread interleavings of short op sequences; most
+/// real concurrency bugs need ≤2 preemptions to surface).
+#[test]
+fn shared_cache_install_hold_evict_exhaustive() {
+    let opts = Options {
+        preemption_bound: Some(2),
+        ..Options::default()
+    };
+    let stats = model::check(opts, || {
+        let c = Arc::new(SharedTileCache::with_shards(1, 1));
+        let s1 = c.open_session();
+        let s2 = c.open_session();
+        let (a, b) = (tid(1), tid(2));
+
+        let c2 = Arc::clone(&c);
+        let t = model::spawn(move || {
+            c2.install(s2, vec![tile(b)]);
+            let _ = c2.lookup(s2, a);
+        });
+
+        c.install(s1, vec![tile(a)]);
+        c.hold(s1, &[b]);
+        let _ = c.lookup(s1, b);
+        c.retain_for(s1, &[]);
+        t.join();
+
+        // Quiescent invariants, whatever the interleaving was.
+        assert!(c.len() <= 1, "capacity exceeded: len={}", c.len());
+        let st = c.stats();
+        assert_eq!(st.hits + st.misses, 2, "exactly two lookups happened");
+        for id in [a, b] {
+            // Hold-index consistency: every holder of a resident tile
+            // has that tile in its per-session hold index.
+            for s in c.holders_of(id).unwrap_or_default() {
+                let ix = c.hold_index_of(s).unwrap_or_default();
+                assert!(
+                    ix.contains(&id),
+                    "holder {s:?} missing {id:?} in hold index"
+                );
+            }
+        }
+    });
+    assert!(stats.exhausted, "DFS should exhaust this model");
+    // Two threads with several sync ops each: the schedule space is
+    // well beyond the ≤6-step two-thread floor the gate requires.
+    assert!(
+        stats.schedules >= 20,
+        "only {} schedules explored",
+        stats.schedules
+    );
+}
+
+/// Two sessions, two shards: cross-shard install plus a close_session
+/// racing a hold, checking holder cleanup never leaves a dangling
+/// session in a holders list.
+#[test]
+fn shared_cache_close_session_races_hold() {
+    let stats = model::check(Options::default(), || {
+        let c = Arc::new(SharedTileCache::with_shards(2, 2));
+        let s1 = c.open_session();
+        let s2 = c.open_session();
+        let (a, b) = (tid(1), tid(2));
+
+        let c2 = Arc::clone(&c);
+        let t = model::spawn(move || {
+            c2.hold(s2, &[a, b]);
+            c2.close_session(s2);
+        });
+
+        c.install(s1, vec![tile(a), tile(b)]);
+        t.join();
+
+        // After close_session returns, s2 must not appear in any
+        // holders list — the serving stack frees budget on this.
+        for id in [a, b] {
+            let holders = c.holders_of(id).unwrap_or_default();
+            assert!(!holders.contains(&s2), "closed session still holds {id:?}");
+        }
+        assert!(c.len() <= 2);
+    });
+    assert!(stats.exhausted);
+}
+
+/// The hotspot model's published-epoch protocol: a reader pairing
+/// `epoch()` with `snapshot()` must never see a snapshot older than
+/// the epoch it just read, however refreshes interleave.
+#[test]
+fn hotspot_snapshot_never_older_than_published_epoch() {
+    use fc_core::multiuser::{HotspotConfig, SharedHotspotModel};
+    let stats = model::check(Options::default(), || {
+        let c = Arc::new(SharedTileCache::with_shards(1, 1));
+        let s = c.open_session();
+        c.install(s, vec![tile(tid(1))]);
+        let m = Arc::new(SharedHotspotModel::new(HotspotConfig::default()));
+
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        let t = model::spawn(move || {
+            m2.refresh(c2.as_ref());
+            m2.refresh(c2.as_ref());
+        });
+
+        let e1 = m.epoch();
+        let s1 = m.snapshot();
+        assert!(
+            s1.epoch >= e1,
+            "snapshot epoch {} < published {}",
+            s1.epoch,
+            e1
+        );
+        let e2 = m.epoch();
+        assert!(e2 >= e1, "published epoch went backwards");
+        t.join();
+        assert_eq!(m.epoch(), 2);
+    });
+    assert!(stats.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation coverage: the checker must CATCH a seeded capacity bug.
+// ---------------------------------------------------------------------------
+
+/// A deliberately broken cache: the capacity check and the insert
+/// happen under *separate* critical sections (check-then-act), so two
+/// concurrent inserts can both pass the check and overfill the cache.
+struct BrokenCapCache {
+    tiles: Mutex<Vec<TileId>>,
+    capacity: usize,
+}
+
+impl BrokenCapCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            tiles: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// The seeded bug: TOCTOU between the capacity check and the
+    /// insert. The fixed variant below does both under one guard.
+    fn insert_broken(&self, id: TileId) {
+        let room = { self.tiles.lock().len() < self.capacity };
+        if room {
+            self.tiles.lock().push(id);
+        }
+    }
+
+    fn insert_fixed(&self, id: TileId) {
+        let mut g = self.tiles.lock();
+        if g.len() < self.capacity {
+            g.push(id);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tiles.lock().len()
+    }
+}
+
+/// The checker finds the interleaving where both threads pass the
+/// capacity check before either inserts, and its recorded schedule
+/// replays to the same failure deterministically.
+#[test]
+fn model_catches_seeded_capacity_toctou() {
+    let body = || {
+        let c = Arc::new(BrokenCapCache::new(1));
+        let c2 = Arc::clone(&c);
+        let t = model::spawn(move || c2.insert_broken(tid(1)));
+        c.insert_broken(tid(2));
+        t.join();
+        assert!(c.len() <= 1, "capacity exceeded: len={}", c.len());
+    };
+
+    let failure =
+        model::try_check(Options::default(), body).expect_err("DFS must find the TOCTOU overfill");
+    assert!(
+        failure.message.contains("capacity exceeded"),
+        "unexpected failure: {}",
+        failure.message
+    );
+
+    // Deterministic replay: the failing schedule reproduces the bug.
+    let replay = Options {
+        mode: Mode::Replay(failure.schedule.clone()),
+        ..Options::default()
+    };
+    let again = model::try_check(replay, body).expect_err("replay must reproduce");
+    assert!(again.message.contains("capacity exceeded"));
+}
+
+/// Control: with check and insert under one guard, the same model is
+/// exhaustively clean — proving the catch above is the bug, not noise.
+#[test]
+fn model_passes_fixed_capacity_variant() {
+    let stats = model::check(Options::default(), || {
+        let c = Arc::new(BrokenCapCache::new(1));
+        let c2 = Arc::clone(&c);
+        let t = model::spawn(move || c2.insert_fixed(tid(1)));
+        c.insert_fixed(tid(2));
+        t.join();
+        assert!(c.len() <= 1);
+    });
+    assert!(stats.exhausted);
+}

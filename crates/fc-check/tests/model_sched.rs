@@ -1,0 +1,105 @@
+//! Model checking the predict scheduler: two sessions racing `rank`
+//! under randomized schedule exploration must each get the ranking a
+//! solo (unbatched) computation produces — the batching layer's
+//! bit-identity contract, now checked across adversarial
+//! interleavings rather than whatever the OS scheduler happens to do.
+//!
+//! Debug-only: the loom-lite scheduler is compiled out of release.
+#![cfg(debug_assertions)]
+
+use std::sync::Arc;
+
+use fc_core::batch::{BatchConfig, PredictScheduler};
+use fc_core::signature::SignatureKind;
+use fc_core::{SbConfig, SbRecommender};
+use fc_tiles::{Pyramid, PyramidBuilder, PyramidConfig, TileId};
+use parking_lot::model::{self, Mode, Options};
+
+fn pyramid() -> Arc<Pyramid> {
+    let schema = fc_array::Schema::grid2d("G", 64, 64, &["v"]).unwrap();
+    let data: Vec<f64> = (0..64 * 64).map(|i| (i % 64) as f64 / 64.0).collect();
+    let base = fc_array::DenseArray::from_vec(schema, data).unwrap();
+    let p = PyramidBuilder::new()
+        .build(&base, &PyramidConfig::simple(3, 16, &["v"]))
+        .unwrap();
+    for id in p.geometry().all_tiles() {
+        let v = f64::from(id.x % 3) / 3.0;
+        p.store()
+            .put_meta(id, SignatureKind::Hist1D.meta_name(), vec![v, 1.0 - v]);
+    }
+    Arc::new(p)
+}
+
+/// The expected ranking: a single-session scheduler takes the
+/// uncontended leader path, which fc-core's own tests pin as equal to
+/// the unbatched direct computation.
+fn solo_ranking(p: &Arc<Pyramid>, cands: &[TileId], refs: &[TileId]) -> Vec<TileId> {
+    let s = PredictScheduler::new(
+        SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+        p.clone(),
+        BatchConfig::default(),
+    );
+    s.register();
+    let out = s.rank(cands, refs);
+    s.unregister();
+    out
+}
+
+/// Two registered sessions rank different candidate sets concurrently;
+/// whichever becomes tick leader, both must return their solo ranking.
+#[test]
+fn concurrent_rank_is_solo_identical_under_model_schedules() {
+    let p = pyramid();
+    // Pre-warm the signature index so its lazy build is not part of
+    // the model (it is single-threaded setup, not the protocol under
+    // test, and it would blow up the schedule space).
+    let _ = p.store().signature_index().unwrap();
+
+    let t1 = TileId::new(2, 2, 2);
+    let t2 = TileId::new(2, 1, 1);
+    let cands1 = p.geometry().candidates(t1, 1);
+    let cands2 = p.geometry().candidates(t2, 1);
+    let want1 = solo_ranking(&p, &cands1, &[t1]);
+    let want2 = solo_ranking(&p, &cands2, &[t2]);
+
+    let opts = Options {
+        mode: Mode::Random {
+            seed: 0xf07ec4,
+            runs: 30,
+        },
+        ..Options::default()
+    };
+    let stats = model::check(opts, move || {
+        let s = Arc::new(PredictScheduler::new(
+            SbRecommender::new(SbConfig::single(SignatureKind::Hist1D)),
+            p.clone(),
+            BatchConfig::default(),
+        ));
+        s.register();
+        s.register();
+
+        let (s2, cands2c, want2c) = (Arc::clone(&s), cands2.clone(), want2.clone());
+        let t = model::spawn(move || {
+            let got = s2.rank(&cands2c, &[TileId::new(2, 1, 1)]);
+            assert_eq!(got, want2c, "batched rank diverged from solo (thread)");
+        });
+
+        let got = s.rank(&cands1, &[TileId::new(2, 2, 2)]);
+        assert_eq!(got, want1, "batched rank diverged from solo (main)");
+        t.join();
+
+        // Both requests were served, either inside a tick or (when
+        // the model's virtual clock fires the follower timeout before
+        // the leader's deposit) by a bit-identical solo rescue. The
+        // two can overlap — a leader may still batch a job whose
+        // follower already rescued itself — so the counts bound,
+        // rather than sum to, the request count.
+        let st = s.stats();
+        assert!(st.jobs + st.rescues >= 2, "request lost: {st:?}");
+        assert!(st.jobs <= 2 && st.rescues <= 2, "overcounted: {st:?}");
+        assert!(st.batches >= 1 && st.batches <= 2);
+        s.unregister();
+        s.unregister();
+    });
+    assert_eq!(stats.schedules, 30);
+}

@@ -1,0 +1,31 @@
+//! The gate itself: the live tree must lint clean. Runs the same scan
+//! CI runs (`fc-check lint`), so a violation fails `cargo test` even
+//! before the CI step does.
+
+use std::path::Path;
+
+use fc_check::lint_tree;
+
+#[test]
+fn repository_lints_clean() {
+    // crates/fc-check -> repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root");
+    assert!(root.join("Cargo.toml").exists(), "mislocated root {root:?}");
+    let (findings, summary) = lint_tree(root);
+    assert!(
+        summary.files > 100,
+        "scan missed most of the tree: {summary:?}"
+    );
+    assert!(
+        findings.is_empty(),
+        "repo lint violations:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

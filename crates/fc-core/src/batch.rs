@@ -43,11 +43,12 @@ use crate::paircache::{PairCache, PairCacheStats};
 use crate::sb::{sort_scored, PredictScratch, SbBatchJob, SbRecommender};
 use crate::signature::pair_cache_capacity_hint;
 use fc_tiles::{Pyramid, TileId};
-use parking_lot::Mutex;
+use parking_lot::atomic::{AtomicU64, AtomicUsize};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar};
-use std::time::{Duration, Instant};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Scheduler tuning parameters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -152,8 +153,9 @@ pub struct PredictScheduler {
     /// Sessions currently registered (the leader's fan-in target).
     registered: AtomicUsize,
     state: Mutex<SchedState>,
-    /// Std condvar: the parking_lot shim's guards are std guards, so
-    /// they interoperate directly.
+    /// Shim condvar (guard-based `wait`/`wait_for` API): in debug
+    /// builds its waits are model-checker scheduling points, which is
+    /// what lets `fc-check` explore the leader/follower rendezvous.
     cv: Condvar,
     batches: AtomicU64,
     jobs_total: AtomicU64,
@@ -263,7 +265,7 @@ impl PredictScheduler {
     fn lead(&self, ticket: u64) -> Vec<TileId> {
         let mut g = self.state.lock();
         if !self.cfg.window.is_zero() {
-            let deadline = Instant::now() + self.cfg.window;
+            let deadline = parking_lot::time::now() + self.cfg.window;
             g.leader_waiting = true;
             loop {
                 let mut target = self.registered.load(Ordering::Relaxed).max(1);
@@ -273,15 +275,11 @@ impl PredictScheduler {
                 if g.pending.len() >= target {
                     break;
                 }
-                let now = Instant::now();
+                let now = parking_lot::time::now();
                 if now >= deadline {
                     break;
                 }
-                let (g2, _timeout) = self
-                    .cv
-                    .wait_timeout(g, deadline - now)
-                    .unwrap_or_else(|e| e.into_inner());
-                g = g2;
+                self.cv.wait_for(&mut g, deadline - now);
             }
             g.leader_waiting = false;
         }
@@ -416,21 +414,17 @@ impl PredictScheduler {
         } else {
             self.cfg.follower_timeout
         };
-        let deadline = Instant::now() + timeout;
+        let deadline = parking_lot::time::now() + timeout;
         let mut g = self.state.lock();
         loop {
             if let Some(r) = g.results.remove(&ticket) {
                 return r;
             }
-            let now = Instant::now();
+            let now = parking_lot::time::now();
             if now >= deadline {
                 break;
             }
-            let (g2, _timeout) = self
-                .cv
-                .wait_timeout(g, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            g = g2;
+            self.cv.wait_for(&mut g, deadline - now);
         }
         // Rescue. If our job is still queued the leader died before
         // even collecting the tick: withdraw the job and clear the
@@ -480,6 +474,7 @@ mod tests {
     use crate::{SbConfig, SbRecommender};
     use fc_array::{DenseArray, Schema};
     use fc_tiles::{PyramidBuilder, PyramidConfig, TileId};
+    use std::time::Instant;
 
     fn pyramid(with_sigs: bool) -> Arc<Pyramid> {
         let schema = Schema::grid2d("G", 64, 64, &["v"]).unwrap();

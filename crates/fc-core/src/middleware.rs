@@ -24,7 +24,7 @@ use fc_tiles::{Pyramid, Tile, TileId, TileStore};
 use rayon::prelude::*;
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Fan the prefetch-fetch loop out across cores only for bulk budgets;
 /// interactive budgets (k ≤ 9) stay on the sequential path where the
@@ -620,7 +620,7 @@ impl Middleware {
         let idle_warm = (!sweeping && matches!(traffic, Some(TrafficPhase::Idle)))
             .then(|| self.burst.as_ref().map(|b| b.cfg))
             .flatten();
-        let predict_start = Instant::now();
+        let predict_start = parking_lot::time::now();
         let scheduler = self.shared.as_ref().and_then(|sh| sh.scheduler.clone());
         let prior = self
             .shared
@@ -805,7 +805,7 @@ impl Middleware {
         // exactly the ones a push can ship without new backend I/O).
         self.push_candidates.clear();
         self.push_candidates.extend_from_slice(&predictions);
-        let predict_time = predict_start.elapsed();
+        let predict_time = parking_lot::time::now().saturating_duration_since(predict_start);
         let pair_cache = match &scheduler {
             Some(sched) => sched.pair_cache_stats(),
             None => self.engine.pair_cache_stats(),

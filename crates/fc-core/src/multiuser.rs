@@ -69,9 +69,10 @@
 //! gated per phase by `EngineConfig::hotspot`).
 
 use fc_tiles::{Tile, TileId};
+use parking_lot::atomic::{AtomicU64, AtomicUsize};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// A session handle within the shared cache.
@@ -797,6 +798,29 @@ impl SharedTileCache {
     /// Total capacity in tiles.
     pub fn capacity(&self) -> usize {
         self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The sessions currently holding resident tile `id`, or `None`
+    /// when the tile is not resident. Diagnostic accessor (takes one
+    /// shard lock); `fc-check`'s model suites use it to assert the
+    /// holders/hold-index consistency invariant under every explored
+    /// interleaving.
+    pub fn holders_of(&self, id: TileId) -> Option<Vec<SessionId>> {
+        self.shards[self.shard_of(id)]
+            .lock()
+            .tiles
+            .get(&id)
+            .map(|r| r.holders.clone())
+    }
+
+    /// `session`'s hold-index entry (the tile ids the reverse index
+    /// believes it holds), or `None` when absent. Diagnostic accessor
+    /// for the model suites (takes one stripe lock).
+    pub fn hold_index_of(&self, session: SessionId) -> Option<Vec<TileId>> {
+        self.holds[self.hold_stripe_of(session)]
+            .lock()
+            .get(&session)
+            .cloned()
     }
 }
 

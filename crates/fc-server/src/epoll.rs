@@ -104,6 +104,8 @@ impl Epoll {
     /// # Errors
     /// The raw OS error from `epoll_create1`.
     pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // checked below and surfaced as the OS error.
         let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -116,6 +118,8 @@ impl Epoll {
             events,
             data: token,
         };
+        // SAFETY: `ev` is a live, properly-aligned EpollEvent for the
+        // duration of the call; the kernel only reads it.
         let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -171,6 +175,10 @@ impl Epoll {
             }
         };
         loop {
+            // SAFETY: the out-pointer and length describe exactly the
+            // caller's `events` slice, which stays borrowed mutably for
+            // the whole call; the kernel writes at most `events.len()`
+            // entries.
             let rc = unsafe {
                 epoll_wait(
                     self.fd,
@@ -192,6 +200,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` is the epoll descriptor this struct owns
+        // exclusively; nothing uses it after Drop.
         unsafe {
             close(self.fd);
         }

@@ -34,6 +34,7 @@
 //! * [`client`] — a blocking client for Rust front-ends and tests.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod client;
 pub mod epoll;

@@ -95,6 +95,9 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
         }
     };
     loop {
+        // SAFETY: the pointer and length describe exactly the caller's
+        // `fds` slice, mutably borrowed for the whole call; the kernel
+        // only rewrites the `revents` fields in place.
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);

@@ -233,6 +233,7 @@ impl FrameBuf {
     /// columns shorter than `h·w` — still yields a self-consistent
     /// frame the receiver rejects cleanly, never a desynced stream.
     fn finish_frame(&mut self) -> &[u8] {
+        // fc-check: allow(handler-unwrap) -- encoder-built frame; length is capped far below u32::MAX by MAX_FRAME
         let body_len = u32::try_from(self.buf.len() - 4).expect("frame fits u32");
         self.buf[..4].copy_from_slice(&body_len.to_le_bytes());
         &self.buf
@@ -312,6 +313,7 @@ fn get_f64_column(buf: &mut Bytes, n: usize) -> Vec<f64> {
     let raw = buf.copy_to_bytes(n * 8);
     let mut values = vec![0.0f64; n];
     for (v, b) in values.iter_mut().zip(raw.chunks_exact(8)) {
+        // fc-check: allow(handler-unwrap) -- chunks_exact(8) yields exactly 8-byte slices
         *v = f64::from_le_bytes(b.try_into().expect("8-byte chunk"));
     }
     values
@@ -367,6 +369,7 @@ impl ClientMsg {
                 body.push(1);
                 put_tile_id(body, *tile);
                 match mv {
+                    // fc-check: allow(handler-unwrap) -- Move::index() is 0..8 by construction, always fits u8
                     Some(m) => body.push(u8::try_from(m.index() + 1).expect("move id fits")),
                     None => body.push(0),
                 }
@@ -485,6 +488,7 @@ impl ServerMsg {
                 body.push(u8::from(*cache_hit));
                 body.push(*phase);
                 body.push(u8::from(*degraded));
+                // fc-check: allow(handler-unwrap) -- attr count comes from the served dataset schema, far below u16::MAX
                 let nattrs = u16::try_from(payload.attrs.len()).expect("attr count");
                 body.extend_from_slice(&nattrs.to_le_bytes());
                 for (name, values) in payload.attrs.iter().zip(&payload.data) {
@@ -517,6 +521,7 @@ impl ServerMsg {
                 put_tile_id(body, payload.tile);
                 body.extend_from_slice(&payload.h.to_le_bytes());
                 body.extend_from_slice(&payload.w.to_le_bytes());
+                // fc-check: allow(handler-unwrap) -- attr count comes from the served dataset schema, far below u16::MAX
                 let nattrs = u16::try_from(payload.attrs.len()).expect("attr count");
                 body.extend_from_slice(&nattrs.to_le_bytes());
                 for (name, values) in payload.attrs.iter().zip(&payload.data) {

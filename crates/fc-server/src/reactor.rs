@@ -247,6 +247,7 @@ pub(crate) fn reactor_loop(
                     p,
                     config
                         .push
+                        // fc-check: allow(handler-unwrap) -- the planner is only constructed when push config is present
                         .expect("planner implies push config")
                         .tick_budget,
                     &mut frame,
@@ -384,6 +385,7 @@ fn serve_buffered(
         if rest.len() < 4 {
             break;
         }
+        // fc-check: allow(handler-unwrap) -- rest.len() >= 4 is checked directly above
         let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME {
             // Corrupt prefix: the threaded read_frame fails the
@@ -576,6 +578,7 @@ fn push_tick(
     let caches: HashMap<u64, Arc<dyn MultiUserCache>> = sessions
         .values()
         .filter(|s| s.push_cache.is_some())
+        // fc-check: allow(handler-unwrap) -- the filter above keeps only sessions with push_cache set
         .map(|s| (s.sid, s.push_cache.clone().expect("filtered")))
         .collect();
     let picks = planner.plan(budget, &writable, |sid, tile| {

@@ -332,6 +332,7 @@ impl Server {
             .into_iter()
             .map(|spec| {
                 let shared = config.multi_user.as_ref().map(|mu| {
+                    // fc-check: allow(handler-unwrap) -- registry is built above whenever multi_user config is set
                     let registry = registry.as_ref().expect("registry exists in mu mode");
                     let namespace = registry.attach(&spec.name);
                     // The scheduler's SB model must match the
@@ -734,6 +735,7 @@ pub(crate) fn handle_msg(
                         payload: tile_payload(&resp.tile),
                         latency_ns: u64::try_from(resp.latency.as_nanos()).unwrap_or(u64::MAX),
                         cache_hit: resp.cache_hit,
+                        // fc-check: allow(handler-unwrap) -- phase index is 0..3 by construction, always fits u8
                         phase: u8::try_from(resp.phase.index()).expect("phase id"),
                         degraded: resp.degraded,
                     },
@@ -784,12 +786,15 @@ pub fn tile_payload(tile: &Tile) -> TilePayload {
     let attrs: Vec<String> = schema.attrs.iter().map(|a| a.name.clone()).collect();
     let data: Vec<Vec<f64>> = attrs
         .iter()
+        // fc-check: allow(handler-unwrap) -- attr names are read from this same array's schema two lines up
         .map(|a| tile.array.attr_values(a).expect("attr exists").to_vec())
         .collect();
     let present: Vec<u8> = tile.array.validity().iter().map(u8::from).collect();
     TilePayload {
         tile: tile.id,
+        // fc-check: allow(handler-unwrap) -- tile dimensions are server-configured and far below u32::MAX
         h: u32::try_from(h).expect("tile height"),
+        // fc-check: allow(handler-unwrap) -- tile dimensions are server-configured and far below u32::MAX
         w: u32::try_from(w).expect("tile width"),
         attrs,
         data,

@@ -204,22 +204,38 @@ fn slow_reader_backlog_is_shed_with_overloaded() {
     .expect("hello");
     // Pipeline far more requests than the kernel's socket buffers can
     // absorb in replies — without reading any. The reactor's write
-    // queue hits the 2-frame bound and sheds the session.
+    // queue hits the 2-frame bound and sheds the session. The shed
+    // can land mid-pipeline: the reactor's close resets the
+    // connection while we are still writing, which is itself proof of
+    // the shed (and may discard the best-effort Overloaded frame
+    // queued ahead of the reset).
+    let mut write_reset = false;
     for _ in 0..2000 {
-        write_frame(
+        if let Err(e) = write_frame(
             &mut stream,
             &ClientMsg::RequestTile {
                 tile: TileId::ROOT,
                 mv: None,
             }
             .encode(),
-        )
-        .expect("pipelined request");
+        ) {
+            assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ),
+                "pipelined request: {e}"
+            );
+            write_reset = true;
+            break;
+        }
     }
     // Now drain: Welcome, some Tile replies, then the shed notice.
     let mut shed = false;
     let mut replies = 0u32;
-    // (EOF after teardown ends the drain.)
+    // (EOF or a reset after teardown ends the drain.)
     while let Ok(frame) = read_frame(&mut stream) {
         match ServerMsg::decode(frame).expect("well-formed frame") {
             ServerMsg::Error { code, reason } => {
@@ -230,7 +246,7 @@ fn slow_reader_backlog_is_shed_with_overloaded() {
         }
     }
     assert!(
-        shed,
+        shed || write_reset,
         "write backlog must shed with Overloaded (saw {replies} replies)"
     );
     assert!(

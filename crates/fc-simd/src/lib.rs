@@ -38,6 +38,7 @@
 //!    levels-agree bitwise test (plus a proptest) at the bottom.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 #[cfg(target_arch = "x86_64")]
 mod x86;
@@ -363,8 +364,10 @@ pub fn chi2_acc4<const RECIP: bool>(
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; rows `b0..b3` are at least `a.len()` long (asserted above).
         SimdLevel::Sse2 => unsafe { x86::chi2_acc4_sse2::<RECIP>(a, b0, b1, b2, b3) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; rows `b0..b3` are at least `a.len()` long (asserted above).
         SimdLevel::Avx2 => unsafe { x86::chi2_acc4_avx2::<RECIP>(a, b0, b1, b2, b3) },
         _ => chi2_acc4_scalar::<RECIP>(a, b0, b1, b2, b3),
     }
@@ -377,8 +380,10 @@ pub fn chi2_acc4<const RECIP: bool>(
 pub fn max_scan(level: SimdLevel, row: &[f64]) -> f64 {
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; the kernel's own chunking keeps every read inside `row`.
         SimdLevel::Sse2 => unsafe { x86::max_scan_sse2(row) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; the kernel's own chunking keeps every read inside `row`.
         SimdLevel::Avx2 => unsafe { x86::max_scan_avx2(row) },
         _ => max_scan_scalar(row),
     }
@@ -399,8 +404,10 @@ pub fn max_pen_accum4(level: SimdLevel, block: &[f64], pen: &[f64], mx: &mut [f6
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `block.len() >= pen.len()*4` (asserted above).
         SimdLevel::Sse2 => unsafe { x86::max_pen_accum4_sse2(block, pen, mx) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `block.len() >= pen.len()*4` (asserted above).
         SimdLevel::Avx2 => unsafe { x86::max_pen_accum4_avx2(block, pen, mx) },
         _ => max_pen_accum4_scalar(block, pen, mx),
     }
@@ -432,8 +439,10 @@ pub fn combine_exact4(
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `block.len() >= pen.len()*4` and `den.len() >= pen.len()` (asserted above).
         SimdLevel::Sse2 => unsafe { x86::combine_exact4_sse2(block, pen, den, w, m) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `block.len() >= pen.len()*4` and `den.len() >= pen.len()` (asserted above).
         SimdLevel::Avx2 => unsafe { x86::combine_exact4_avx2(block, pen, den, w, m) },
         _ => combine_exact4_scalar(block, pen, den, w, m),
     }
@@ -446,8 +455,10 @@ pub fn combine_exact4(
 pub fn norm_sq_accum(level: SimdLevel, row: &[f64], m: f64, w: f64, sq: &mut [f64]) {
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; the kernel bounds itself to `min(row.len(), sq.len())`.
         SimdLevel::Sse2 => unsafe { x86::norm_sq_accum_sse2(row, m, w, sq) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; the kernel bounds itself to `min(row.len(), sq.len())`.
         SimdLevel::Avx2 => unsafe { x86::norm_sq_accum_avx2(row, m, w, sq) },
         _ => norm_sq_accum_scalar(row, m, w, sq),
     }
@@ -460,8 +471,10 @@ pub fn sqrt_div_sum(level: SimdLevel, sq: &[f64], den: &[f64]) -> f64 {
     let n = sq.len().min(den.len());
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `sq` and `den` are pre-trimmed to equal length.
         SimdLevel::Sse2 => unsafe { x86::sqrt_div_sum_sse2(&sq[..n], &den[..n]) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `sq` and `den` are pre-trimmed to equal length.
         SimdLevel::Avx2 => unsafe { x86::sqrt_div_sum_avx2(&sq[..n], &den[..n]) },
         _ => sqrt_div_sum_scalar(&sq[..n], &den[..n]),
     }
@@ -481,8 +494,10 @@ pub fn conv_valid(level: SimdLevel, padded: &[f64], taps: &[f64], out: &mut [f64
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `padded.len() + 1 >= out.len() + taps.len()` (asserted above).
         SimdLevel::Sse2 => unsafe { x86::conv_valid_sse2(padded, taps, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `padded.len() + 1 >= out.len() + taps.len()` (asserted above).
         SimdLevel::Avx2 => unsafe { x86::conv_valid_avx2(padded, taps, out) },
         _ => conv_valid_scalar(padded, taps, out),
     }
@@ -497,8 +512,10 @@ pub fn axpy(level: SimdLevel, a: f64, x: &[f64], y: &mut [f64]) {
     let (x, y) = (&x[..n], &mut y[..n]);
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `x` and `y` are pre-trimmed to equal length.
         SimdLevel::Sse2 => unsafe { x86::axpy_sse2(a, x, y) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `x` and `y` are pre-trimmed to equal length.
         SimdLevel::Avx2 => unsafe { x86::axpy_avx2(a, x, y) },
         _ => axpy_scalar(a, x, y),
     }
@@ -516,8 +533,10 @@ pub fn halved_diff(level: SimdLevel, plus: &[f64], minus: &[f64], out: &mut [f64
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `plus` and `minus` are at least `out.len()` long (asserted above).
         SimdLevel::Sse2 => unsafe { x86::halved_diff_sse2(plus, minus, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `plus` and `minus` are at least `out.len()` long (asserted above).
         SimdLevel::Avx2 => unsafe { x86::halved_diff_avx2(plus, minus, out) },
         _ => halved_diff_scalar(plus, minus, out),
     }
@@ -536,8 +555,10 @@ pub fn magnitude(level: SimdLevel, gx: &[f64], gy: &[f64], out: &mut [f64]) {
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `gx` and `gy` are at least `out.len()` long (asserted above).
         SimdLevel::Sse2 => unsafe { x86::magnitude_sse2(gx, gy, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `gx` and `gy` are at least `out.len()` long (asserted above).
         SimdLevel::Avx2 => unsafe { x86::magnitude_avx2(gx, gy, out) },
         _ => magnitude_scalar(gx, gy, out),
     }
@@ -563,8 +584,10 @@ pub fn nearest_groups4(level: SimdLevel, p: &[f64], tposed: &[f64], k: usize) ->
     );
     match clamp_level(level) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is the x86-64 baseline; `tposed.len() >= (k/4 rounded up)*p.len()*4` (asserted above).
         SimdLevel::Sse2 => unsafe { x86::nearest_groups4_sse2(p, tposed, k) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_level` returns `Avx2` only when runtime-detected; `tposed.len() >= (k/4 rounded up)*p.len()*4` (asserted above).
         SimdLevel::Avx2 => unsafe { x86::nearest_groups4_avx2(p, tposed, k) },
         _ => nearest_groups4_scalar(p, tposed, k),
     }

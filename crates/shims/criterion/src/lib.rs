@@ -30,10 +30,12 @@ impl Criterion {
         let mut b = Bencher { result: None };
         f(&mut b);
         match b.result {
+            // fc-check: allow(no-print) -- the criterion shim IS the bench reporter; stdout is its output format
             Some(r) => println!(
                 "bench: {name:<48} {:>12.1} ns/iter ({} iters)",
                 r.ns_per_iter, r.iters
             ),
+            // fc-check: allow(no-print) -- the criterion shim IS the bench reporter; stdout is its output format
             None => println!("bench: {name:<48} (no measurement)"),
         }
         self

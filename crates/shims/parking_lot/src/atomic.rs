@@ -1,0 +1,209 @@
+//! Model-aware atomic wrappers.
+//!
+//! Same API shape as `std::sync::atomic`, but in debug builds every
+//! operation on a model-checker thread is a scheduling point, so the
+//! checker explores interleavings around atomic reads/updates (stats
+//! counters, epoch stamps, capacity cells) instead of treating them as
+//! invisible. In release builds the wrappers are transparent
+//! `#[inline(always)]` passthroughs.
+//!
+//! The checker serializes every atomic access, i.e. it models
+//! sequential consistency at operation granularity — callers' chosen
+//! `Ordering` still applies to the real execution.
+
+use std::sync::atomic::Ordering;
+
+macro_rules! atomic_wrapper {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Default, Debug)]
+        #[repr(transparent)]
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            #[inline]
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$inner>::new(v) }
+            }
+
+            #[cfg(debug_assertions)]
+            #[inline]
+            fn point(site: &'static std::panic::Location<'static>) {
+                if crate::model::is_model_thread() {
+                    crate::model::atomic_point(site);
+                }
+            }
+
+            #[cfg(not(debug_assertions))]
+            #[inline(always)]
+            fn point(_site: &'static std::panic::Location<'static>) {}
+
+            /// Loads the current value.
+            #[inline]
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.load(order)
+            }
+
+            /// Stores a value.
+            #[inline]
+            #[track_caller]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                Self::point(std::panic::Location::caller());
+                self.inner.store(v, order)
+            }
+
+            /// Swaps the value, returning the previous one.
+            #[inline]
+            #[track_caller]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.swap(v, order)
+            }
+
+            /// Adds to the value, returning the previous one.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Maximum with the value, returning the previous one.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.fetch_max(v, order)
+            }
+
+            /// Minimum with the value, returning the previous one.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                Self::point(std::panic::Location::caller());
+                self.inner.fetch_min(v, order)
+            }
+
+            /// Compare-and-exchange; `Ok(previous)` on success.
+            ///
+            /// # Errors
+            /// The actual value, when it differed from `current`.
+            #[inline]
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                Self::point(std::panic::Location::caller());
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without synchronization (requires
+            /// exclusive borrow).
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+atomic_wrapper!(
+    /// Model-aware `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+atomic_wrapper!(
+    /// Model-aware `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+atomic_wrapper!(
+    /// Model-aware `AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+
+/// Model-aware `AtomicBool`.
+#[derive(Default, Debug)]
+#[repr(transparent)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    #[inline]
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn point(site: &'static std::panic::Location<'static>) {
+        if crate::model::is_model_thread() {
+            crate::model::atomic_point(site);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn point(_site: &'static std::panic::Location<'static>) {}
+
+    /// Loads the current value.
+    #[inline]
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> bool {
+        Self::point(std::panic::Location::caller());
+        self.inner.load(order)
+    }
+
+    /// Stores a value.
+    #[inline]
+    #[track_caller]
+    pub fn store(&self, v: bool, order: Ordering) {
+        Self::point(std::panic::Location::caller());
+        self.inner.store(v, order)
+    }
+
+    /// Swaps the value, returning the previous one.
+    #[inline]
+    #[track_caller]
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        Self::point(std::panic::Location::caller());
+        self.inner.swap(v, order)
+    }
+}

@@ -1,95 +1,571 @@
-//! Offline shim for the `parking_lot` crate.
+//! Offline shim for the `parking_lot` crate — with correctness
+//! instrumentation.
 //!
 //! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning
-//! API (`lock()` / `read()` / `write()` return guards directly). A
+//! API (`lock()` / `read()` / `write()` return guards directly; a
 //! poisoned std lock is recovered by taking the inner guard: the
-//! workspace holds no lock across panic-relevant invariants.
+//! workspace holds no lock across panic-relevant invariants).
+//!
+//! Beyond the plain shim, debug builds add two opt-in layers that
+//! compile away entirely in release (`cargo build --release` contains
+//! no trace of them — CI asserts this on the shipped binaries):
+//!
+//! - a **lock-order witness** ([`lockgraph`]): every acquisition
+//!   through the shim maintains a thread-local held-locks stack,
+//!   panics on same-instance relocks, and (under `FC_LOCKGRAPH=1`)
+//!   records the global site→site acquisition graph for the
+//!   suite-wide cycle check in `fc-check lockgraph`;
+//! - a **cooperative-scheduling model checker** ([`model`]): threads
+//!   spawned through [`model::spawn`] run one-at-a-time with a
+//!   scheduling decision at every shim sync operation, letting
+//!   `fc-check`'s model suites explore thread interleavings
+//!   systematically (DFS with a preemption bound) and replay failing
+//!   schedules deterministically.
+//!
+//! [`time::now`] and the [`atomic`] wrappers are the matching seams
+//! for code that must stay model-checkable: virtualized monotonic time
+//! and atomics whose accesses are scheduling points.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+#[cfg(debug_assertions)]
+use std::panic::Location;
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+pub mod atomic;
+#[cfg(debug_assertions)]
+pub mod lockgraph;
+#[cfg(debug_assertions)]
+pub mod model;
+pub mod time;
+
+#[cfg(debug_assertions)]
+use lockgraph::LockKind;
+
+/// Process-global lock-id allocator; 0 means "not yet assigned".
+#[cfg(debug_assertions)]
+static NEXT_LOCK_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Lazily assigns a stable nonzero id to a lock instance.
+#[cfg(debug_assertions)]
+fn assign_id(cell: &AtomicU32) -> u32 {
+    let v = cell.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let n = NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed);
+    match cell.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => n,
+        Err(won) => won,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: AtomicU32,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            #[cfg(debug_assertions)]
+            id: AtomicU32::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg(debug_assertions)]
+    fn iid(&self) -> u32 {
+        assign_id(&self.id)
+    }
+
     /// Acquires the lock, blocking until available.
-    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        {
+            let site = Location::caller();
+            let id = self.iid();
+            lockgraph::check_relock(id, LockKind::Mutex, site);
+            if model::is_model_thread() {
+                model::mutex_acquire(id, site);
+            }
+            let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            lockgraph::acquired(id, LockKind::Mutex, site);
+            MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Attempts to acquire the lock without blocking; `None` when it is
     /// held elsewhere (mirrors `parking_lot::Mutex::try_lock`). Used by
     /// `Debug` impls that must never block behind a lock holder.
-    pub fn try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        {
+            let site = Location::caller();
+            let id = self.iid();
+            if model::is_model_thread() && !model::mutex_try(id, site) {
+                return None;
+            }
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    lockgraph::acquired(id, LockKind::Mutex, site);
+                    Some(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                    })
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    lockgraph::acquired(id, LockKind::Mutex, site);
+                    Some(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if model::is_model_thread() {
+                        // Virtual grant said free but the real lock is
+                        // contended — only possible against a non-model
+                        // thread sharing a global lock; fall back to a
+                        // real blocking acquire to stay consistent.
+                        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                        lockgraph::acquired(id, LockKind::Mutex, site);
+                        return Some(MutexGuard {
+                            lock: self,
+                            inner: Some(g),
+                        });
+                    }
+                    None
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
-/// A reader-writer lock with `parking_lot`'s panic-free API.
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside a condvar wait (the guard is
+    /// mutably borrowed for the whole wait, so users never observe it).
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard empty outside a condvar wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard empty outside a condvar wait"),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the real lock first
+        #[cfg(debug_assertions)]
+        {
+            let id = self.lock.iid();
+            lockgraph::released(id, LockKind::Mutex);
+            if model::is_model_thread() {
+                model::mutex_release(id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout
+/// elapsed (vs. a notification).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with `parking_lot`'s guard-based API.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct Condvar {
+    #[cfg(debug_assertions)]
+    id: AtomicU32,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(debug_assertions)]
+            id: AtomicU32::new(0),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn iid(&self) -> u32 {
+        assign_id(&self.id)
+    }
+
+    /// Blocks on this condvar, atomically releasing the mutex behind
+    /// `guard`; the mutex is re-acquired before returning. Subject to
+    /// spurious wakeups, like every condvar.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, None);
+    }
+
+    /// Like [`wait`](Condvar::wait) with a timeout; says whether the
+    /// timeout elapsed.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(self.wait_inner(guard, Some(timeout)))
+    }
+
+    #[cfg_attr(debug_assertions, track_caller)]
+    fn wait_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Option<Duration>) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            let site = Location::caller();
+            let lock_id = guard.lock.iid();
+            let relink = lockgraph::wait_unlink(lock_id);
+            let timed_out;
+            if model::is_model_thread() {
+                guard.inner = None; // release the real lock for the wait
+                timed_out = model::cv_wait(self.iid(), lock_id, timeout, site);
+                // Virtually granted exclusive again; re-take for real.
+                guard.inner = Some(guard.lock.inner.lock().unwrap_or_else(|e| e.into_inner()));
+            } else {
+                let g = guard
+                    .inner
+                    .take()
+                    .unwrap_or_else(|| unreachable!("guard empty outside a condvar wait"));
+                match timeout {
+                    Some(t) => {
+                        let (g2, to) = self
+                            .inner
+                            .wait_timeout(g, t)
+                            .unwrap_or_else(|e| e.into_inner());
+                        guard.inner = Some(g2);
+                        timed_out = to.timed_out();
+                    }
+                    None => {
+                        guard.inner = Some(self.inner.wait(g).unwrap_or_else(|e| e.into_inner()));
+                        timed_out = false;
+                    }
+                }
+            }
+            lockgraph::wait_relink(relink);
+            timed_out
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let g = guard
+                .inner
+                .take()
+                .unwrap_or_else(|| unreachable!("guard empty outside a condvar wait"));
+            match timeout {
+                Some(t) => {
+                    let (g2, to) = self
+                        .inner
+                        .wait_timeout(g, t)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard.inner = Some(g2);
+                    to.timed_out()
+                }
+                None => {
+                    guard.inner = Some(self.inner.wait(g).unwrap_or_else(|e| e.into_inner()));
+                    false
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn notify_one(&self) {
+        #[cfg(debug_assertions)]
+        if model::is_model_thread() {
+            model::cv_notify(self.iid(), false, Location::caller());
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn notify_all(&self) {
+        #[cfg(debug_assertions)]
+        if model::is_model_thread() {
+            model::cv_notify(self.iid(), true, Location::caller());
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock with `parking_lot`'s panic-free API.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: AtomicU32,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            #[cfg(debug_assertions)]
+            id: AtomicU32::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg(debug_assertions)]
+    fn iid(&self) -> u32 {
+        assign_id(&self.id)
+    }
+
     /// Acquires shared read access.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        {
+            let site = Location::caller();
+            let id = self.iid();
+            lockgraph::check_relock(id, LockKind::Read, site);
+            if model::is_model_thread() {
+                model::rw_read(id, site);
+            }
+            let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            lockgraph::acquired(id, LockKind::Read, site);
+            RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        RwLockReadGuard {
+            inner: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Acquires exclusive write access.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        {
+            let site = Location::caller();
+            let id = self.iid();
+            lockgraph::check_relock(id, LockKind::Write, site);
+            if model::is_model_thread() {
+                model::rw_write(id, site);
+            }
+            let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            lockgraph::acquired(id, LockKind::Write, site);
+            RwLockWriteGuard {
+                lock: self,
+                inner: Some(g),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        RwLockWriteGuard {
+            inner: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("read guard is never emptied before drop"),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        #[cfg(debug_assertions)]
+        {
+            let id = self.lock.iid();
+            lockgraph::released(id, LockKind::Read);
+            if model::is_model_thread() {
+                model::rw_read_release(id);
+            }
+        }
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("write guard is never emptied before drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("write guard is never emptied before drop"),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        #[cfg(debug_assertions)]
+        {
+            let id = self.lock.iid();
+            lockgraph::released(id, LockKind::Write);
+            if model::is_model_thread() {
+                model::rw_write_release(id);
+            }
+        }
     }
 }
 
@@ -106,12 +582,16 @@ mod tests {
     }
 
     #[test]
-    fn try_lock_fails_while_held() {
-        let m = Mutex::new(5);
-        {
-            let _g = m.lock();
-            assert!(m.try_lock().is_none());
-        }
+    fn try_lock_fails_while_held_elsewhere() {
+        let m = std::sync::Arc::new(Mutex::new(5));
+        let m2 = std::sync::Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || m2.try_lock().is_none());
+        assert!(
+            h.join().expect("probe thread"),
+            "held lock must not try_lock"
+        );
+        drop(g);
         assert_eq!(*m.try_lock().expect("free lock"), 5);
     }
 
@@ -120,5 +600,43 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        h.join().expect("notifier");
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order witness")]
+    fn same_instance_relock_panics() {
+        let m = Mutex::new(0u32);
+        let _a = m.lock();
+        let _b = m.lock();
     }
 }
